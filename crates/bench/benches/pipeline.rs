@@ -1,0 +1,176 @@
+//! Criterion micro-benchmarks for the pipeline stages, addressing the
+//! paper's §7 "system considerations": how cheap is per-packet processing
+//! and per-window inference if an operator deploys this at scale?
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use vcaml::{
+    build_samples, HeuristicParams, IpUdpHeuristic, MediaClassifier, PipelineOpts,
+};
+use vcaml_datasets::{inlab_corpus, to_core_trace, CorpusConfig};
+use vcaml_features::{ipudp_features, PktObs, DEFAULT_THETA_IAT_US};
+use vcaml_mlcore::{Dataset, RandomForest, RandomForestParams, Task};
+use vcaml_netem::{synth_ndt_schedule, LinkConfig};
+use vcaml_netpkt::{Timestamp, UdpDatagram};
+use vcaml_rtp::VcaKind;
+use vcaml_vcasim::{Session, SessionConfig, VcaProfile};
+
+fn sample_trace() -> vcaml::Trace {
+    let profile = VcaProfile::lab(VcaKind::Teams);
+    let session = Session::new(SessionConfig {
+        profile: profile.clone(),
+        schedule: synth_ndt_schedule(1, 30),
+        duration_secs: 30,
+        seed: 1,
+        link: LinkConfig::default(),
+    })
+    .run();
+    to_core_trace(&session, profile.payload_map)
+}
+
+fn bench_packet_parse(c: &mut Criterion) {
+    // A realistic IPv4/UDP/RTP packet off the simulator.
+    let profile = VcaProfile::lab(VcaKind::Teams);
+    let session = Session::new(SessionConfig {
+        profile: profile.clone(),
+        schedule: synth_ndt_schedule(2, 5),
+        duration_secs: 5,
+        seed: 2,
+        link: LinkConfig::default(),
+    })
+    .run();
+    let cap = &session.to_captured()[100];
+    let payload = &cap.datagram.payload;
+    let mut frame = vec![0u8; 20 + 8 + payload.len()];
+    vcaml_netpkt::Ipv4Repr {
+        src: [203, 0, 113, 10],
+        dst: [192, 168, 1, 100],
+        protocol: vcaml_netpkt::IP_PROTO_UDP,
+        payload_len: 8 + payload.len(),
+        ttl: 58,
+        ident: 0,
+    }
+    .emit(&mut frame);
+    frame[28..].copy_from_slice(payload);
+    vcaml_netpkt::UdpRepr { src_port: 3478, dst_port: 51820 }.emit_v4(
+        &mut frame[20..],
+        payload.len(),
+        [203, 0, 113, 10],
+        [192, 168, 1, 100],
+    );
+
+    let mut g = c.benchmark_group("packet_parse");
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("ipv4_udp_decode", |b| {
+        b.iter(|| UdpDatagram::parse_ipv4(std::hint::black_box(&frame)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_media_classification(c: &mut Criterion) {
+    let trace = sample_trace();
+    let classifier = MediaClassifier::default();
+    let mut g = c.benchmark_group("media_classification");
+    g.throughput(Throughput::Elements(trace.packets.len() as u64));
+    g.bench_function("vmin_filter_30s_trace", |b| {
+        b.iter(|| classifier.video_packets(std::hint::black_box(&trace)).len())
+    });
+    g.finish();
+}
+
+fn bench_heuristic(c: &mut Criterion) {
+    let trace = sample_trace();
+    let classifier = MediaClassifier::default();
+    let video: Vec<(Timestamp, u16)> = trace
+        .packets
+        .iter()
+        .filter(|p| classifier.is_video(p))
+        .map(|p| (p.ts, p.size))
+        .collect();
+    let heuristic = IpUdpHeuristic::new(HeuristicParams::paper(VcaKind::Teams));
+    let mut g = c.benchmark_group("frame_assembly");
+    g.throughput(Throughput::Elements(video.len() as u64));
+    g.bench_function("ipudp_heuristic_30s_trace", |b| {
+        b.iter(|| heuristic.assemble(std::hint::black_box(&video)).0.len())
+    });
+    g.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let trace = sample_trace();
+    let classifier = MediaClassifier::default();
+    let window: Vec<PktObs> = trace
+        .packets
+        .iter()
+        .filter(|p| classifier.is_video(p) && p.ts.second_index() == 10)
+        .map(|p| PktObs { ts: p.ts, size: p.size })
+        .collect();
+    let mut g = c.benchmark_group("feature_extraction");
+    g.throughput(Throughput::Elements(window.len() as u64));
+    g.bench_function("ipudp_features_1s_window", |b| {
+        b.iter(|| ipudp_features(std::hint::black_box(&window), 1.0, DEFAULT_THETA_IAT_US))
+    });
+    g.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let traces = inlab_corpus(
+        VcaKind::Teams,
+        &CorpusConfig { n_calls: 4, min_secs: 25, max_secs: 30, seed: 3 },
+    );
+    let opts = PipelineOpts::paper(VcaKind::Teams);
+    let set = build_samples(&traces, &opts);
+    let mut d = Dataset::new(set.ipudp_names.clone());
+    for s in &set.samples {
+        d.push(&s.ipudp_features, s.truth.fps);
+    }
+    let params = RandomForestParams { n_trees: 40, seed: 1, ..Default::default() };
+    let forest = RandomForest::fit(&d, Task::Regression, &params);
+    let row = set.samples[0].ipudp_features.clone();
+
+    let mut g = c.benchmark_group("random_forest");
+    g.bench_function("predict_one_window", |b| {
+        b.iter(|| forest.predict(std::hint::black_box(&row)))
+    });
+    let small = RandomForestParams { n_trees: 10, seed: 1, ..Default::default() };
+    g.sample_size(10);
+    g.bench_function("fit_10_trees", |b| {
+        b.iter_batched(
+            || d.clone(),
+            |d| RandomForest::fit(&d, Task::Regression, &small),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("teams_30s_call", |b| {
+        b.iter(|| {
+            let profile = VcaProfile::lab(VcaKind::Teams);
+            Session::new(SessionConfig {
+                profile,
+                schedule: synth_ndt_schedule(5, 30),
+                duration_secs: 30,
+                seed: 5,
+                link: LinkConfig::default(),
+            })
+            .run()
+            .packets
+            .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_packet_parse,
+    bench_media_classification,
+    bench_heuristic,
+    bench_feature_extraction,
+    bench_forest,
+    bench_simulation
+);
+criterion_main!(benches);

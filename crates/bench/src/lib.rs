@@ -1,0 +1,11 @@
+//! # vcaml-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper from simulated corpora.
+//! The `repro` binary dispatches to [`experiments`]; [`ctx`] caches the
+//! generated corpora and fitted sample sets so one invocation can run the
+//! whole suite without recomputation; [`report`] renders paper-style
+//! tables and CDFs.
+
+pub mod ctx;
+pub mod experiments;
+pub mod report;

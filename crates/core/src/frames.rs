@@ -1,0 +1,129 @@
+//! Frame abstraction shared by both heuristics: "a VCA session can be
+//! abstracted as a sequence of video frames, with each frame transmitted
+//! sequentially over a group of RTP packets" (§3.2.1).
+
+use serde::{Deserialize, Serialize};
+use vcaml_netpkt::Timestamp;
+
+/// A reconstructed (or ground-truth) video frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Arrival time of the first packet assigned to the frame.
+    pub start_ts: Timestamp,
+    /// Arrival time of the last packet — the frame end time `ET_i` used
+    /// for frame-rate and jitter estimation.
+    pub end_ts: Timestamp,
+    /// Total bytes across the frame's packets. For IP/UDP reconstruction
+    /// this is IP total length minus the 40-byte IP/UDP and 12-byte RTP
+    /// fixed overheads per packet (§5.1.3 subtracts the fixed RTP header).
+    pub size_bytes: usize,
+    /// Number of packets in the frame.
+    pub n_packets: u32,
+    /// RTP timestamp, when reconstructed from RTP headers (ground truth /
+    /// RTP Heuristic).
+    pub rtp_ts: Option<u32>,
+}
+
+impl Frame {
+    /// Frame duration from first to last packet.
+    pub fn assembly_time(&self) -> Timestamp {
+        self.end_ts - self.start_ts
+    }
+}
+
+/// Builds ground-truth frames from RTP video packets by grouping on the
+/// RTP timestamp (packets of one frame share it, §3.3). Input must be in
+/// arrival order; output frames are ordered by end time.
+///
+/// `payload_sizes` are per-packet sizes to accumulate (callers choose the
+/// accounting: RTP payload bytes for ground truth).
+pub fn frames_from_rtp(packets: &[(Timestamp, u32, usize)]) -> Vec<Frame> {
+    let mut frames: Vec<Frame> = Vec::new();
+    // Frames can interleave under reordering; find by timestamp among the
+    // recent tail (bounded scan keeps this linear in practice).
+    for &(ts, rtp_ts, size) in packets {
+        match frames.iter_mut().rev().take(16).find(|f| f.rtp_ts == Some(rtp_ts)) {
+            Some(f) => {
+                f.size_bytes += size;
+                f.n_packets += 1;
+                f.end_ts = f.end_ts.max(ts);
+                f.start_ts = f.start_ts.min(ts);
+            }
+            None => frames.push(Frame {
+                start_ts: ts,
+                end_ts: ts,
+                size_bytes: size,
+                n_packets: 1,
+                rtp_ts: Some(rtp_ts),
+            }),
+        }
+    }
+    frames.sort_by_key(|f| f.end_ts);
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn groups_by_timestamp() {
+        let pkts = vec![
+            (t(0), 100u32, 500usize),
+            (t(1), 100, 500),
+            (t(33), 200, 700),
+        ];
+        let frames = frames_from_rtp(&pkts);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].size_bytes, 1000);
+        assert_eq!(frames[0].n_packets, 2);
+        assert_eq!(frames[0].end_ts, t(1));
+        assert_eq!(frames[1].rtp_ts, Some(200));
+    }
+
+    #[test]
+    fn interleaved_packets_still_grouped() {
+        let pkts = vec![
+            (t(0), 100u32, 10usize),
+            (t(1), 200, 20),
+            (t(2), 100, 10), // late packet of frame 100
+            (t(3), 200, 20),
+        ];
+        let frames = frames_from_rtp(&pkts);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].n_packets, 2);
+        assert_eq!(frames[1].n_packets, 2);
+        // Frame 100 ends at t=2, frame 200 at t=3.
+        assert_eq!(frames[0].end_ts, t(2));
+        assert_eq!(frames[1].end_ts, t(3));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(frames_from_rtp(&[]).is_empty());
+    }
+
+    #[test]
+    fn assembly_time_spans_packets() {
+        let frames = frames_from_rtp(&[(t(10), 5, 1), (t(25), 5, 1)]);
+        assert_eq!(frames[0].assembly_time(), Timestamp::from_millis(15));
+    }
+
+    #[test]
+    fn output_sorted_by_end_time() {
+        // Frame 200's last packet lands before frame 100's.
+        let pkts = vec![
+            (t(0), 100u32, 1usize),
+            (t(5), 200, 1),
+            (t(6), 200, 1),
+            (t(50), 100, 1),
+        ];
+        let frames = frames_from_rtp(&pkts);
+        assert_eq!(frames[0].rtp_ts, Some(200));
+        assert_eq!(frames[1].rtp_ts, Some(100));
+    }
+}

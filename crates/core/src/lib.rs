@@ -1,0 +1,49 @@
+//! # vcaml — WebRTC video QoE estimation from IP/UDP headers
+//!
+//! Rust implementation of the methods in *"Estimating WebRTC Video QoE
+//! Metrics Without Using Application Headers"* (IMC 2023):
+//!
+//! * [`media`] — video/non-video packet classification from packet sizes
+//!   alone (the `Vmin` threshold, §3.1);
+//! * [`heuristic`] — the **IP/UDP Heuristic**: frame-boundary detection
+//!   from packet-size similarity (Algorithm 1), exploiting VCAs'
+//!   equal-size frame fragmentation;
+//! * [`rtp_heuristic`] — the **RTP Heuristic** baseline: frame boundaries
+//!   from RTP timestamps and marker bits (Michel et al.-style, §3.3);
+//! * [`qoe`] — frame-sequence → per-window frame rate / bitrate / frame
+//!   jitter estimators (§3.2.1);
+//! * [`pipeline`] — the **IP/UDP ML** and **RTP ML** methods: feature
+//!   extraction, 5-fold cross-validated random forests, transfer
+//!   evaluation, and feature importances (§3.2.2);
+//! * [`resolution`] — resolution class schemes (per-height for Meet/Webex,
+//!   low/medium/high bins for Teams, §5.1.5);
+//! * [`errors`] — the heuristic error taxonomy of Fig. 4 (splits /
+//!   interleaves / coalesces);
+//! * [`streaming`] — a single-pass, bounded-memory estimator (§7's
+//!   "streaming versions of the methods");
+//! * [`trace`] — the monitor-side trace model consumed by all methods.
+
+pub mod errors;
+pub mod frames;
+pub mod heuristic;
+pub mod media;
+pub mod modes;
+pub mod pipeline;
+pub mod qoe;
+pub mod resolution;
+pub mod rtp_heuristic;
+pub mod streaming;
+pub mod trace;
+
+pub use frames::Frame;
+pub use heuristic::{HeuristicParams, IpUdpHeuristic};
+pub use media::MediaClassifier;
+pub use pipeline::{
+    build_samples, eval_heuristic, eval_ml_regression, eval_ml_resolution, feature_importances,
+    summarize, transfer_regression, EvalSummary, Method, PipelineOpts, SampleSet, Target,
+    WindowSample,
+};
+pub use qoe::{estimate_windows, QoeEstimate};
+pub use resolution::ResolutionScheme;
+pub use streaming::{StreamingEstimator, StreamingReport};
+pub use trace::{Trace, TracePacket, TruthRow};

@@ -1,0 +1,153 @@
+//! Application-mode analysis (paper §7): detecting video-off calls from
+//! the UDP packet-size distribution, and estimating the number of active
+//! video participants in a multi-party call before per-stream QoE
+//! estimation.
+
+use crate::media::MediaClassifier;
+use crate::trace::TracePacket;
+use vcaml_rtp::MediaKind;
+
+/// Minimum sustained rate of video-sized packets (per second) for a call
+/// to count as having video. A single 180p stream at 7 fps with one packet
+/// per frame is ~7 pps; DTLS handshake bursts at call start are excluded
+/// by the warm-up skip.
+pub const MIN_VIDEO_PPS: f64 = 4.0;
+
+/// Seconds ignored at call start (ICE/DTLS setup noise).
+pub const WARMUP_SECS: i64 = 2;
+
+/// Returns true when the call carries no user video: the rate of
+/// video-sized packets after warm-up stays below [`MIN_VIDEO_PPS`]. The
+/// paper: "Determining whether user video is disabled seems possible by
+/// analyzing UDP packet size distribution".
+pub fn detect_video_off(packets: &[TracePacket], classifier: &MediaClassifier) -> bool {
+    let Some(last) = packets.last() else { return true };
+    let horizon_secs = last.ts.second_index() - WARMUP_SECS + 1;
+    if horizon_secs <= 0 {
+        return true;
+    }
+    let video_count = packets
+        .iter()
+        .filter(|p| p.ts.second_index() >= WARMUP_SECS && classifier.is_video(p))
+        .count();
+    (video_count as f64 / horizon_secs as f64) < MIN_VIDEO_PPS
+}
+
+/// Participant-count estimate from IP/UDP data alone: the aggregate frame
+/// rate of the merged flow divided by a nominal per-stream frame rate.
+/// Conferences cap at 30 fps per tile, so `round(agg_fps / nominal)` with
+/// a floor of one.
+pub fn estimate_participants_ipudp(aggregate_fps: f64, nominal_fps: f64) -> usize {
+    assert!(nominal_fps > 0.0, "non-positive nominal fps");
+    (aggregate_fps / nominal_fps).round().max(1.0) as usize
+}
+
+/// Participant-count baseline using RTP headers: the number of distinct
+/// video SSRCs observed.
+pub fn estimate_participants_rtp(packets: &[TracePacket], video_pt: u8) -> usize {
+    let ssrcs: std::collections::HashSet<u32> = packets
+        .iter()
+        .filter_map(|p| p.rtp)
+        .filter(|h| h.payload_type == video_pt)
+        .map(|h| h.ssrc)
+        .collect();
+    ssrcs.len()
+}
+
+/// Splits a multi-party trace into per-SSRC video substreams (RTP
+/// baseline), returning `(ssrc, packets)` pairs ordered by first
+/// appearance — the "additional step" the paper anticipates before
+/// per-stream QoE estimation.
+pub fn split_by_ssrc(packets: &[TracePacket], video_pt: u8) -> Vec<(u32, Vec<TracePacket>)> {
+    let mut out: Vec<(u32, Vec<TracePacket>)> = Vec::new();
+    for p in packets {
+        let Some(h) = p.rtp else { continue };
+        if h.payload_type != video_pt {
+            continue;
+        }
+        match out.iter_mut().find(|(s, _)| *s == h.ssrc) {
+            Some((_, v)) => v.push(*p),
+            None => out.push((h.ssrc, vec![*p])),
+        }
+    }
+    out
+}
+
+/// Ground-truth helper for evaluation: true when the trace actually
+/// carries video packets.
+pub fn has_video_truth(packets: &[TracePacket]) -> bool {
+    packets.iter().any(|p| p.truth_media == Some(MediaKind::Video))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcaml_netpkt::Timestamp;
+    use vcaml_rtp::RtpHeader;
+
+    fn pkt(ms: i64, size: u16, rtp: Option<(u8, u32)>) -> TracePacket {
+        TracePacket {
+            ts: Timestamp::from_millis(ms),
+            size,
+            rtp: rtp.map(|(pt, ssrc)| RtpHeader::basic(pt, 0, 0, ssrc, false)),
+            truth_media: None,
+        }
+    }
+
+    #[test]
+    fn audio_only_call_detected_as_video_off() {
+        let classifier = MediaClassifier::default();
+        let mut pkts = Vec::new();
+        // A big DTLS record during setup must not count.
+        pkts.push(pkt(100, 1200, None));
+        for i in 0..500 {
+            pkts.push(pkt(i * 20, 150, None));
+        }
+        assert!(detect_video_off(&pkts, &classifier));
+    }
+
+    #[test]
+    fn video_call_not_flagged() {
+        let classifier = MediaClassifier::default();
+        let mut pkts = Vec::new();
+        for i in 0..300 {
+            pkts.push(pkt(i * 33, 1100, None));
+        }
+        assert!(!detect_video_off(&pkts, &classifier));
+    }
+
+    #[test]
+    fn empty_trace_is_video_off() {
+        assert!(detect_video_off(&[], &MediaClassifier::default()));
+    }
+
+    #[test]
+    fn participant_estimates() {
+        assert_eq!(estimate_participants_ipudp(30.0, 30.0), 1);
+        assert_eq!(estimate_participants_ipudp(58.0, 30.0), 2);
+        assert_eq!(estimate_participants_ipudp(91.0, 30.0), 3);
+        assert_eq!(estimate_participants_ipudp(2.0, 30.0), 1); // floor
+    }
+
+    #[test]
+    fn rtp_participants_by_ssrc() {
+        let pkts = vec![
+            pkt(0, 1100, Some((102, 1))),
+            pkt(1, 1100, Some((102, 2))),
+            pkt(2, 1100, Some((102, 1))),
+            pkt(3, 150, Some((111, 9))), // audio doesn't count
+        ];
+        assert_eq!(estimate_participants_rtp(&pkts, 102), 2);
+        let streams = split_by_ssrc(&pkts, 102);
+        assert_eq!(streams.len(), 2);
+        assert_eq!(streams[0].0, 1);
+        assert_eq!(streams[0].1.len(), 2);
+        assert_eq!(streams[1].1.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn zero_nominal_rejected() {
+        let _ = estimate_participants_ipudp(30.0, 0.0);
+    }
+}

@@ -1,0 +1,628 @@
+//! End-to-end estimation pipelines for all four methods of the paper:
+//! `IP/UDP Heuristic`, `IP/UDP ML`, `RTP Heuristic`, `RTP ML` — feature
+//! extraction, cross-validated training, transfer evaluation, and
+//! summaries.
+
+use crate::heuristic::{HeuristicParams, IpUdpHeuristic};
+use crate::media::MediaClassifier;
+use crate::qoe::{estimate_windows, QoeEstimate};
+use crate::resolution::ResolutionScheme;
+use crate::rtp_heuristic;
+use crate::trace::{Trace, TruthRow};
+use serde::{Deserialize, Serialize};
+use vcaml_features::{
+    ipudp_feature_names, ipudp_features, rtp_feature_names, windows_by_second, PktObs, RtpWindow,
+};
+use vcaml_features::flow_stats::{flow_feature_names, flow_features};
+use vcaml_features::rtp_feats::LagReference;
+use vcaml_mlcore::{
+    accuracy, cross_val_predict, mae, mrae, percentile, ConfusionMatrix, Dataset, RandomForest,
+    RandomForestParams, Task,
+};
+use vcaml_netpkt::Timestamp;
+use vcaml_rtp::VcaKind;
+#[cfg(test)]
+use vcaml_rtp::MediaKind;
+
+/// The four methods compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Frame reconstruction from packet sizes only (Algorithm 1).
+    IpUdpHeuristic,
+    /// Random forest on IP/UDP features.
+    IpUdpMl,
+    /// Frame reconstruction from RTP timestamps + marker bits.
+    RtpHeuristic,
+    /// Random forest on flow + RTP features.
+    RtpMl,
+}
+
+impl Method {
+    /// All four, in the paper's legend order.
+    pub const ALL: [Method; 4] =
+        [Method::RtpMl, Method::IpUdpMl, Method::RtpHeuristic, Method::IpUdpHeuristic];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::IpUdpHeuristic => "IP/UDP Heuristic",
+            Method::IpUdpMl => "IP/UDP ML",
+            Method::RtpHeuristic => "RTP Heuristic",
+            Method::RtpMl => "RTP ML",
+        }
+    }
+
+    /// Whether this is one of the ML methods.
+    pub fn is_ml(&self) -> bool {
+        matches!(self, Method::IpUdpMl | Method::RtpMl)
+    }
+}
+
+/// The four estimated QoE metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// Frames per second (regression; MAE).
+    FrameRate,
+    /// Video bitrate in kbps (regression; MRAE).
+    Bitrate,
+    /// Frame jitter in ms (regression; MAE).
+    FrameJitter,
+    /// Frame height class (classification; accuracy).
+    Resolution,
+}
+
+/// Pipeline configuration (paper defaults via [`PipelineOpts::paper`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineOpts {
+    /// Media-classification size threshold.
+    pub vmin: u16,
+    /// IP/UDP Heuristic parameters.
+    pub heuristic: HeuristicParams,
+    /// Microburst IAT threshold, microseconds.
+    pub theta_iat_us: i64,
+    /// Prediction window length, seconds.
+    pub window_secs: u32,
+    /// Random-forest hyperparameters.
+    pub forest: RandomForestParams,
+    /// Cross-validation folds (paper: 5).
+    pub cv_folds: usize,
+}
+
+impl PipelineOpts {
+    /// The paper's configuration for a VCA (§4.3).
+    pub fn paper(vca: VcaKind) -> Self {
+        PipelineOpts {
+            vmin: crate::media::DEFAULT_VMIN,
+            heuristic: HeuristicParams::paper(vca),
+            theta_iat_us: vcaml_features::DEFAULT_THETA_IAT_US,
+            window_secs: 1,
+            forest: RandomForestParams::default(),
+            cv_folds: 5,
+        }
+    }
+}
+
+/// One prediction window with every method's inputs and outputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowSample {
+    /// IP/UDP ML feature vector (14 features).
+    pub ipudp_features: Vec<f64>,
+    /// RTP ML feature vector (12 flow + 12 RTP features).
+    pub rtp_features: Vec<f64>,
+    /// Ground truth for the window.
+    pub truth: TruthRow,
+    /// IP/UDP Heuristic estimate.
+    pub heur: QoeEstimate,
+    /// RTP Heuristic estimate.
+    pub rtp_heur: QoeEstimate,
+    /// Which trace the window came from.
+    pub trace_id: usize,
+}
+
+/// A corpus of windows ready for training/evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleSet {
+    /// The VCA the corpus belongs to.
+    pub vca: VcaKind,
+    /// All windows across all traces.
+    pub samples: Vec<WindowSample>,
+    /// Feature names for the IP/UDP ML model.
+    pub ipudp_names: Vec<String>,
+    /// Feature names for the RTP ML model.
+    pub rtp_names: Vec<String>,
+    /// Window length used.
+    pub window_secs: u32,
+}
+
+impl SampleSet {
+    /// Distinct ground-truth frame heights observed (for resolution
+    /// schemes).
+    pub fn observed_heights(&self) -> Vec<u32> {
+        let mut hs: Vec<u32> =
+            self.samples.iter().map(|s| s.truth.height).filter(|&h| h > 0).collect();
+        hs.sort_unstable();
+        hs.dedup();
+        hs
+    }
+
+    /// The resolution scheme for this corpus.
+    pub fn resolution_scheme(&self) -> ResolutionScheme {
+        ResolutionScheme::for_vca(self.vca, &self.observed_heights())
+    }
+}
+
+/// Aggregates per-second truth rows into one row for a multi-second
+/// window.
+fn aggregate_truth(rows: &[TruthRow]) -> TruthRow {
+    assert!(!rows.is_empty());
+    let n = rows.len() as f64;
+    let height = {
+        let mut counts = std::collections::HashMap::new();
+        for r in rows {
+            *counts.entry(r.height).or_insert(0u32) += 1;
+        }
+        counts.into_iter().max_by_key(|&(h, c)| (c, h)).map(|(h, _)| h).unwrap_or(0)
+    };
+    TruthRow {
+        second: rows[0].second,
+        bitrate_kbps: rows.iter().map(|r| r.bitrate_kbps).sum::<f64>() / n,
+        fps: rows.iter().map(|r| r.fps).sum::<f64>() / n,
+        frame_jitter_ms: rows.iter().map(|r| r.frame_jitter_ms).sum::<f64>() / n,
+        height,
+    }
+}
+
+/// Builds the window samples for a corpus of traces.
+pub fn build_samples(traces: &[Trace], opts: &PipelineOpts) -> SampleSet {
+    assert!(!traces.is_empty(), "empty corpus");
+    let vca = traces[0].vca;
+    let classifier = MediaClassifier::new(opts.vmin);
+    let w = opts.window_secs;
+    let mut samples = Vec::new();
+
+    for (trace_id, trace) in traces.iter().enumerate() {
+        if !trace.is_complete() {
+            continue; // §4.1 filtering
+        }
+        let n_windows = (trace.duration_secs.div_ceil(w)) as usize;
+
+        // --- IP/UDP path: size-classified video packets.
+        let video: Vec<PktObs> = trace
+            .packets
+            .iter()
+            .filter(|p| classifier.is_video(p))
+            .map(|p| PktObs { ts: p.ts, size: p.size })
+            .collect();
+        let ip_windows = windows_by_second(&video, trace.duration_secs, w);
+        let heur_input: Vec<(Timestamp, u16)> = video.iter().map(|p| (p.ts, p.size)).collect();
+        let (heur_frames, _) = IpUdpHeuristic::new(opts.heuristic).assemble(&heur_input);
+        let heur_est = estimate_windows(&heur_frames, n_windows, w);
+
+        // --- RTP path: PT-classified streams.
+        let rtp_video: Vec<(Timestamp, vcaml_rtp::RtpHeader)> =
+            trace.rtp_video_packets().map(|p| (p.ts, p.rtp.unwrap())).collect();
+        let rtp_rtx: Vec<(Timestamp, vcaml_rtp::RtpHeader)> =
+            trace.rtp_rtx_packets().map(|p| (p.ts, p.rtp.unwrap())).collect();
+        let lag_ref = rtp_video
+            .first()
+            .map(|(t, h)| LagReference { t0: *t, ts0: h.timestamp });
+        let rtp_frames = rtp_heuristic::assemble(trace);
+        let rtp_heur_est = estimate_windows(&rtp_frames, n_windows, w);
+        // Flow statistics for the RTP model use PT-identified video
+        // packets.
+        let rtp_flow_pkts: Vec<PktObs> = trace
+            .rtp_video_packets()
+            .map(|p| PktObs { ts: p.ts, size: p.size })
+            .collect();
+        let rtp_flow_windows = windows_by_second(&rtp_flow_pkts, trace.duration_secs, w);
+
+        let window_us = i64::from(w) * 1_000_000;
+        for wi in 0..n_windows {
+            let lo = wi as i64 * window_us;
+            let hi = lo + window_us;
+            let in_win = |t: Timestamp| t.as_micros() >= lo && t.as_micros() < hi;
+
+            // Truth rows covered by this window.
+            let rows: Vec<TruthRow> = trace
+                .truth
+                .iter()
+                .filter(|r| r.second >= wi as i64 * i64::from(w) && r.second < (wi as i64 + 1) * i64::from(w))
+                .copied()
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let truth = aggregate_truth(&rows);
+
+            let ipudp = ipudp_features(&ip_windows[wi], f64::from(w), opts.theta_iat_us);
+
+            let rtp_win = RtpWindow {
+                video: rtp_video.iter().filter(|(t, _)| in_win(*t)).cloned().collect(),
+                rtx: rtp_rtx.iter().filter(|(t, _)| in_win(*t)).cloned().collect(),
+            };
+            let mut rtp_f = flow_features(&rtp_flow_windows[wi], f64::from(w));
+            rtp_f.extend(rtp_win.features(lag_ref));
+
+            samples.push(WindowSample {
+                ipudp_features: ipudp,
+                rtp_features: rtp_f,
+                truth,
+                heur: heur_est[wi],
+                rtp_heur: rtp_heur_est[wi],
+                trace_id,
+            });
+        }
+    }
+
+    let mut rtp_names = flow_feature_names();
+    rtp_names.extend(rtp_feature_names());
+    SampleSet {
+        vca,
+        samples,
+        ipudp_names: ipudp_feature_names(),
+        rtp_names,
+        window_secs: opts.window_secs,
+    }
+}
+
+/// Summary statistics for one (method, target) cell of the evaluation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalSummary {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Mean relative absolute error (meaningful for bitrate).
+    pub mrae: f64,
+    /// 10th percentile of signed errors (box-plot whisker).
+    pub p10: f64,
+    /// 90th percentile of signed errors.
+    pub p90: f64,
+    /// Median signed error.
+    pub median_err: f64,
+    /// Number of windows evaluated.
+    pub n: usize,
+}
+
+/// Summarizes predictions against ground truth.
+pub fn summarize(preds: &[f64], truths: &[f64]) -> EvalSummary {
+    let errs: Vec<f64> = preds.iter().zip(truths).map(|(p, t)| p - t).collect();
+    EvalSummary {
+        mae: mae(preds, truths),
+        mrae: if truths.iter().any(|t| t.abs() > 1e-9) { mrae(preds, truths) } else { 0.0 },
+        p10: percentile(&errs, 10.0),
+        p90: percentile(&errs, 90.0),
+        median_err: percentile(&errs, 50.0),
+        n: preds.len(),
+    }
+}
+
+fn regression_truth(s: &WindowSample, target: Target) -> f64 {
+    match target {
+        Target::FrameRate => s.truth.fps,
+        Target::Bitrate => s.truth.bitrate_kbps,
+        Target::FrameJitter => s.truth.frame_jitter_ms,
+        Target::Resolution => unreachable!("resolution is a classification target"),
+    }
+}
+
+fn heuristic_estimate(s: &WindowSample, method: Method, target: Target) -> f64 {
+    let est = match method {
+        Method::IpUdpHeuristic => &s.heur,
+        Method::RtpHeuristic => &s.rtp_heur,
+        _ => unreachable!("not a heuristic method"),
+    };
+    match target {
+        Target::FrameRate => est.fps,
+        Target::Bitrate => est.bitrate_kbps,
+        Target::FrameJitter => est.frame_jitter_ms,
+        Target::Resolution => unreachable!("heuristics do not estimate resolution"),
+    }
+}
+
+fn features_of(s: &WindowSample, method: Method) -> &[f64] {
+    match method {
+        Method::IpUdpMl => &s.ipudp_features,
+        Method::RtpMl => &s.rtp_features,
+        _ => unreachable!("not an ML method"),
+    }
+}
+
+fn names_of(set: &SampleSet, method: Method) -> &[String] {
+    match method {
+        Method::IpUdpMl => &set.ipudp_names,
+        Method::RtpMl => &set.rtp_names,
+        _ => unreachable!("not an ML method"),
+    }
+}
+
+/// Builds the regression dataset for an ML method.
+fn regression_dataset(set: &SampleSet, method: Method, target: Target) -> Dataset {
+    let mut d = Dataset::new(names_of(set, method).to_vec());
+    for s in &set.samples {
+        d.push(features_of(s, method), regression_truth(s, target));
+    }
+    d
+}
+
+/// Cross-validated predictions + truths for a regression target.
+pub fn eval_ml_regression(
+    set: &SampleSet,
+    method: Method,
+    target: Target,
+    opts: &PipelineOpts,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(method.is_ml(), "ML evaluation on a heuristic method");
+    let d = regression_dataset(set, method, target);
+    let preds =
+        cross_val_predict(&d, Task::Regression, &opts.forest, opts.cv_folds, opts.forest.seed);
+    (preds, d.targets().to_vec())
+}
+
+/// Heuristic predictions + truths for a regression target.
+pub fn eval_heuristic(set: &SampleSet, method: Method, target: Target) -> (Vec<f64>, Vec<f64>) {
+    assert!(!method.is_ml(), "heuristic evaluation on an ML method");
+    let preds: Vec<f64> =
+        set.samples.iter().map(|s| heuristic_estimate(s, method, target)).collect();
+    let truths: Vec<f64> = set.samples.iter().map(|s| regression_truth(s, target)).collect();
+    (preds, truths)
+}
+
+/// Cross-validated resolution classification: returns (confusion matrix,
+/// accuracy). `None` when the corpus shows fewer than two classes (the
+/// paper skips Webex real-world, §5.2.4).
+pub fn eval_ml_resolution(
+    set: &SampleSet,
+    method: Method,
+    opts: &PipelineOpts,
+) -> Option<(ConfusionMatrix, f64)> {
+    assert!(method.is_ml());
+    let scheme = set.resolution_scheme();
+    if !scheme.is_classifiable() {
+        return None;
+    }
+    let mut d = Dataset::new(names_of(set, method).to_vec());
+    for s in &set.samples {
+        if let Some(cls) = scheme.class_of(s.truth.height) {
+            d.push(features_of(s, method), cls as f64);
+        }
+    }
+    if d.len() < opts.cv_folds {
+        return None;
+    }
+    let task = Task::Classification { n_classes: scheme.n_classes() };
+    let preds = cross_val_predict(&d, task, &opts.forest, opts.cv_folds, opts.forest.seed);
+    let acc = accuracy(&preds, d.targets());
+    let m = ConfusionMatrix::from_predictions(scheme.labels(), &preds, d.targets());
+    Some((m, acc))
+}
+
+/// Fits on the full corpus and returns the top-k feature importances
+/// (paper Figs. 5, 7, 9, A.4–A.9).
+pub fn feature_importances(
+    set: &SampleSet,
+    method: Method,
+    target: Target,
+    opts: &PipelineOpts,
+    k: usize,
+) -> Vec<(String, f64)> {
+    assert!(method.is_ml());
+    match target {
+        Target::Resolution => {
+            let scheme = set.resolution_scheme();
+            let mut d = Dataset::new(names_of(set, method).to_vec());
+            for s in &set.samples {
+                if let Some(cls) = scheme.class_of(s.truth.height) {
+                    d.push(features_of(s, method), cls as f64);
+                }
+            }
+            let f = RandomForest::fit(
+                &d,
+                Task::Classification { n_classes: scheme.n_classes() },
+                &opts.forest,
+            );
+            f.top_features(k)
+        }
+        _ => {
+            let d = regression_dataset(set, method, target);
+            let f = RandomForest::fit(&d, Task::Regression, &opts.forest);
+            f.top_features(k)
+        }
+    }
+}
+
+/// Transferability (§5.3): trains on one corpus, tests on another.
+/// Returns (predictions, truths) on the test corpus.
+pub fn transfer_regression(
+    train: &SampleSet,
+    test: &SampleSet,
+    method: Method,
+    target: Target,
+    opts: &PipelineOpts,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(method.is_ml());
+    let d_train = regression_dataset(train, method, target);
+    let forest = RandomForest::fit(&d_train, Task::Regression, &opts.forest);
+    let preds: Vec<f64> =
+        test.samples.iter().map(|s| forest.predict(features_of(s, method))).collect();
+    let truths: Vec<f64> = test.samples.iter().map(|s| regression_truth(s, target)).collect();
+    (preds, truths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TracePacket;
+    use vcaml_rtp::{PayloadMap, RtpHeader};
+
+    /// Builds a toy trace: `fps` equal-size-fragmented frames per second
+    /// for `secs` seconds, plus audio packets, with exact ground truth.
+    fn toy_trace(fps: u32, secs: u32, frame_bytes: u16, seed: u64) -> Trace {
+        let mut packets = Vec::new();
+        let mut seq = 0u16;
+        let frame_gap_us = 1_000_000 / i64::from(fps);
+        for s in 0..secs {
+            for f in 0..fps {
+                let t0 = i64::from(s) * 1_000_000 + i64::from(f) * frame_gap_us;
+                // Two packets per frame, sizes within 1 byte; frame sizes
+                // alternate so consecutive frames differ.
+                let bump = ((s * fps + f + seed as u32) % 7 * 20) as u16;
+                let size = frame_bytes + bump;
+                let ts = (s * fps + f) * 3000;
+                for i in 0..2u16 {
+                    packets.push(TracePacket {
+                        ts: Timestamp::from_micros(t0 + i64::from(i) * 300),
+                        size: size + (i % 2),
+                        rtp: Some(RtpHeader::basic(102, seq, ts, 1, i == 1)),
+                        truth_media: Some(MediaKind::Video),
+                    });
+                    seq = seq.wrapping_add(1);
+                }
+            }
+            // Audio packets: 50/s at 20 ms.
+            for a in 0..50 {
+                packets.push(TracePacket {
+                    ts: Timestamp::from_micros(i64::from(s) * 1_000_000 + a * 20_000),
+                    size: 150,
+                    rtp: Some(RtpHeader::basic(111, a as u16, 0, 2, false)),
+                    truth_media: Some(MediaKind::Audio),
+                });
+            }
+        }
+        packets.sort_by_key(|p| p.ts);
+        let truth = (0..secs)
+            .map(|s| TruthRow {
+                second: i64::from(s),
+                bitrate_kbps: f64::from(fps) * f64::from(frame_bytes) * 2.0 * 8.0 / 1000.0,
+                fps: f64::from(fps),
+                frame_jitter_ms: 2.0,
+                height: if frame_bytes > 800 { 360 } else { 180 },
+            })
+            .collect();
+        Trace {
+            vca: VcaKind::Teams,
+            payload_map: PayloadMap::lab(VcaKind::Teams),
+            packets,
+            truth,
+            duration_secs: secs,
+        }
+    }
+
+    fn toy_corpus() -> Vec<Trace> {
+        vec![
+            toy_trace(30, 10, 1000, 1),
+            toy_trace(15, 10, 600, 2),
+            toy_trace(24, 10, 900, 3),
+            toy_trace(10, 10, 700, 4),
+        ]
+    }
+
+    fn opts() -> PipelineOpts {
+        let mut o = PipelineOpts::paper(VcaKind::Teams);
+        o.forest = RandomForestParams { n_trees: 12, seed: 1, ..Default::default() };
+        o
+    }
+
+    #[test]
+    fn build_samples_counts_windows() {
+        let set = build_samples(&toy_corpus(), &opts());
+        assert_eq!(set.samples.len(), 40);
+        assert_eq!(set.ipudp_names.len(), 14);
+        assert_eq!(set.rtp_names.len(), 24);
+        assert_eq!(set.samples[0].ipudp_features.len(), 14);
+        assert_eq!(set.samples[0].rtp_features.len(), 24);
+    }
+
+    #[test]
+    fn heuristics_recover_exact_fps_on_clean_traces() {
+        let set = build_samples(&toy_corpus(), &opts());
+        let (hp, ht) = eval_heuristic(&set, Method::IpUdpHeuristic, Target::FrameRate);
+        let m = mae(&hp, &ht);
+        assert!(m < 1.0, "IP/UDP heuristic fps MAE {m}");
+        let (rp, rt) = eval_heuristic(&set, Method::RtpHeuristic, Target::FrameRate);
+        let m = mae(&rp, &rt);
+        assert!(m < 0.5, "RTP heuristic fps MAE {m}");
+    }
+
+    #[test]
+    fn ml_learns_fps_from_features() {
+        let set = build_samples(&toy_corpus(), &opts());
+        let (p, t) = eval_ml_regression(&set, Method::IpUdpMl, Target::FrameRate, &opts());
+        let m = mae(&p, &t);
+        assert!(m < 4.0, "IP/UDP ML fps MAE {m}");
+    }
+
+    #[test]
+    fn ml_bitrate_tracks_truth() {
+        let set = build_samples(&toy_corpus(), &opts());
+        let (p, t) = eval_ml_regression(&set, Method::RtpMl, Target::Bitrate, &opts());
+        let rel = mrae(&p, &t);
+        assert!(rel < 0.35, "RTP ML bitrate MRAE {rel}");
+    }
+
+    #[test]
+    fn resolution_classification_works() {
+        let set = build_samples(&toy_corpus(), &opts());
+        let (m, acc) = eval_ml_resolution(&set, Method::IpUdpMl, &opts()).unwrap();
+        assert!(acc > 0.8, "resolution accuracy {acc}");
+        assert_eq!(m.labels().len(), 3); // Teams → low/medium/high
+    }
+
+    #[test]
+    fn importances_sorted_and_named() {
+        let set = build_samples(&toy_corpus(), &opts());
+        let imp = feature_importances(&set, Method::IpUdpMl, Target::FrameRate, &opts(), 5);
+        assert_eq!(imp.len(), 5);
+        assert!(imp.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(set.ipudp_names.contains(&imp[0].0));
+    }
+
+    #[test]
+    fn transfer_produces_predictions() {
+        let train = build_samples(&toy_corpus(), &opts());
+        let test_traces = vec![toy_trace(20, 8, 800, 9)];
+        let test = build_samples(&test_traces, &opts());
+        let (p, t) = transfer_regression(&train, &test, Method::IpUdpMl, Target::FrameRate, &opts());
+        assert_eq!(p.len(), test.samples.len());
+        let m = mae(&p, &t);
+        assert!(m < 8.0, "transfer MAE {m}");
+    }
+
+    #[test]
+    fn summarize_reports_percentiles() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0], &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mae - 1.5).abs() < 1e-9);
+        assert!(s.p10 >= 0.0 && s.p90 <= 3.0);
+    }
+
+    #[test]
+    fn incomplete_traces_filtered() {
+        let mut t = toy_trace(30, 10, 1000, 1);
+        t.truth.truncate(5); // fewer logs than duration → dropped (§4.1)
+        let good = toy_trace(15, 10, 600, 2);
+        let set = build_samples(&[t, good], &opts());
+        assert_eq!(set.samples.len(), 10);
+    }
+
+    #[test]
+    fn wider_windows_aggregate_truth() {
+        let mut o = opts();
+        o.window_secs = 2;
+        let set = build_samples(&toy_corpus(), &o);
+        assert_eq!(set.samples.len(), 20);
+        // fps truth equals per-second fps (constant in the toy traces).
+        assert!(set.samples.iter().all(|s| s.truth.fps >= 10.0));
+    }
+
+    #[test]
+    fn observed_heights_and_scheme() {
+        let set = build_samples(&toy_corpus(), &opts());
+        let hs = set.observed_heights();
+        assert_eq!(hs, vec![180, 360]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn empty_corpus_rejected() {
+        let _ = build_samples(&[], &opts());
+    }
+}

@@ -1,0 +1,134 @@
+//! QoE estimation from a reconstructed frame sequence (§3.2.1):
+//!
+//! * **bitrate** — total frame bits landing in the window, divided by the
+//!   window length;
+//! * **frame rate** — frames whose end time falls in the window, per
+//!   second;
+//! * **frame jitter** — standard deviation of consecutive frame-end gaps
+//!   within the window.
+
+use crate::frames::Frame;
+use serde::{Deserialize, Serialize};
+
+/// Per-window heuristic QoE estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoeEstimate {
+    /// Estimated video bitrate, kbps.
+    pub bitrate_kbps: f64,
+    /// Estimated frames per second.
+    pub fps: f64,
+    /// Estimated frame jitter, milliseconds.
+    pub frame_jitter_ms: f64,
+}
+
+/// Buckets frames by end time into `n_windows` windows of `window_secs`
+/// seconds and estimates the three metrics in each.
+pub fn estimate_windows(frames: &[Frame], n_windows: usize, window_secs: u32) -> Vec<QoeEstimate> {
+    assert!(window_secs > 0, "zero window");
+    let w_us = i64::from(window_secs) * 1_000_000;
+    let mut per_window: Vec<Vec<&Frame>> = vec![Vec::new(); n_windows];
+    for f in frames {
+        let idx = f.end_ts.as_micros().div_euclid(w_us);
+        if idx >= 0 && (idx as usize) < n_windows {
+            per_window[idx as usize].push(f);
+        }
+    }
+    per_window
+        .iter()
+        .map(|frames| {
+            let w = f64::from(window_secs);
+            let bits: f64 = frames.iter().map(|f| f.size_bytes as f64 * 8.0).sum();
+            let fps = frames.len() as f64 / w;
+            let jitter = if frames.len() >= 3 {
+                let gaps: Vec<f64> = frames
+                    .windows(2)
+                    .map(|p| (p[1].end_ts - p[0].end_ts).as_millis_f64())
+                    .collect();
+                stddev(&gaps)
+            } else {
+                0.0
+            };
+            QoeEstimate { bitrate_kbps: bits / w / 1000.0, fps, frame_jitter_ms: jitter }
+        })
+        .collect()
+}
+
+fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcaml_netpkt::Timestamp;
+
+    fn frame(end_ms: i64, size: usize) -> Frame {
+        Frame {
+            start_ts: Timestamp::from_millis(end_ms - 1),
+            end_ts: Timestamp::from_millis(end_ms),
+            size_bytes: size,
+            n_packets: 1,
+            rtp_ts: None,
+        }
+    }
+
+    #[test]
+    fn fps_counts_frames_by_end_time() {
+        let frames: Vec<Frame> = (0..30).map(|i| frame(i * 33, 1000)).collect();
+        let est = estimate_windows(&frames, 2, 1);
+        assert_eq!(est.len(), 2);
+        // 30 frames at 33 ms: ends 0..957 all in window 0 → 30 fps; the
+        // 31st would be at 990.
+        assert_eq!(est[0].fps, 30.0);
+        assert_eq!(est[1].fps, 0.0);
+    }
+
+    #[test]
+    fn bitrate_sums_frame_bits() {
+        let frames = vec![frame(100, 12_500), frame(200, 12_500)];
+        let est = estimate_windows(&frames, 1, 1);
+        // 25000 bytes = 200 kbit in 1 s.
+        assert_eq!(est[0].bitrate_kbps, 200.0);
+    }
+
+    #[test]
+    fn jitter_zero_for_regular_frames() {
+        let frames: Vec<Frame> = (0..10).map(|i| frame(i * 33, 100)).collect();
+        let est = estimate_windows(&frames, 1, 1);
+        assert!(est[0].frame_jitter_ms < 1e-9);
+    }
+
+    #[test]
+    fn jitter_positive_for_irregular_frames() {
+        let frames = vec![frame(0, 1), frame(10, 1), frame(90, 1), frame(100, 1)];
+        let est = estimate_windows(&frames, 1, 1);
+        assert!(est[0].frame_jitter_ms > 20.0);
+    }
+
+    #[test]
+    fn fewer_than_three_frames_reports_zero_jitter() {
+        let frames = vec![frame(0, 1), frame(500, 1)];
+        let est = estimate_windows(&frames, 1, 1);
+        assert_eq!(est[0].frame_jitter_ms, 0.0);
+    }
+
+    #[test]
+    fn multi_second_window_normalizes() {
+        let frames: Vec<Frame> = (0..20).map(|i| frame(i * 100, 1250)).collect();
+        let est = estimate_windows(&frames, 1, 2);
+        // 20 frames in 2 s = 10 fps; 25 kB over 2 s = 100 kbps.
+        assert_eq!(est[0].fps, 10.0);
+        assert_eq!(est[0].bitrate_kbps, 100.0);
+    }
+
+    #[test]
+    fn frames_outside_range_ignored() {
+        let frames = vec![frame(-100, 1), frame(5_000, 1)];
+        let est = estimate_windows(&frames, 2, 1);
+        assert!(est.iter().all(|e| e.fps == 0.0));
+    }
+}

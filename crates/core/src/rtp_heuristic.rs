@@ -1,0 +1,146 @@
+//! The RTP Heuristic baseline (§3.3): frame boundaries from the RTP
+//! timestamp field (all packets of a frame share it) and the marker bit
+//! (set on a frame's last packet). This mirrors the approach Michel et
+//! al. used for Zoom.
+
+use crate::frames::Frame;
+use crate::trace::Trace;
+use vcaml_netpkt::Timestamp;
+
+/// Reconstructs frames from the trace's RTP video stream.
+///
+/// Packets are grouped by RTP timestamp; the frame end time is the
+/// arrival of its marker packet when one was received, else the last
+/// arrival. Frame sizes count RTP payload bytes (IP total length minus
+/// the 52 bytes of IP/UDP/RTP headers), matching the heuristic bitrate
+/// accounting.
+pub fn assemble(trace: &Trace) -> Vec<Frame> {
+    struct Acc {
+        frame: Frame,
+        marker_at: Option<Timestamp>,
+    }
+    let mut accs: Vec<Acc> = Vec::new();
+    for p in trace.rtp_video_packets() {
+        let h = p.rtp.expect("rtp_video_packets yields RTP packets");
+        let payload = usize::from(p.size).saturating_sub(52).max(1);
+        match accs.iter_mut().rev().take(16).find(|a| a.frame.rtp_ts == Some(h.timestamp)) {
+            Some(a) => {
+                a.frame.size_bytes += payload;
+                a.frame.n_packets += 1;
+                a.frame.start_ts = a.frame.start_ts.min(p.ts);
+                a.frame.end_ts = a.frame.end_ts.max(p.ts);
+                if h.marker {
+                    a.marker_at = Some(p.ts);
+                }
+            }
+            None => accs.push(Acc {
+                frame: Frame {
+                    start_ts: p.ts,
+                    end_ts: p.ts,
+                    size_bytes: payload,
+                    n_packets: 1,
+                    rtp_ts: Some(h.timestamp),
+                },
+                marker_at: h.marker.then_some(p.ts),
+            }),
+        }
+    }
+    let mut frames: Vec<Frame> = accs
+        .into_iter()
+        .map(|a| {
+            let mut f = a.frame;
+            // Marker packet defines the end of the frame when present.
+            if let Some(m) = a.marker_at {
+                f.end_ts = m;
+            }
+            f
+        })
+        .collect();
+    frames.sort_by_key(|f| f.end_ts);
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TracePacket;
+    use vcaml_rtp::{PayloadMap, RtpHeader, VcaKind};
+
+    fn t(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn pkt(ms: i64, size: u16, pt: u8, seq: u16, ts: u32, marker: bool) -> TracePacket {
+        TracePacket {
+            ts: t(ms),
+            size,
+            rtp: Some(RtpHeader::basic(pt, seq, ts, 1, marker)),
+            truth_media: None,
+        }
+    }
+
+    fn trace(packets: Vec<TracePacket>) -> Trace {
+        Trace {
+            vca: VcaKind::Teams,
+            payload_map: PayloadMap::lab(VcaKind::Teams),
+            packets,
+            truth: vec![],
+            duration_secs: 0,
+        }
+    }
+
+    #[test]
+    fn groups_by_timestamp_and_marker_sets_end() {
+        let tr = trace(vec![
+            pkt(0, 1052, 102, 0, 100, false),
+            pkt(1, 1052, 102, 1, 100, true), // marker
+            pkt(5, 1052, 102, 2, 100, false), // straggler after marker
+            pkt(33, 900, 102, 3, 200, true),
+        ]);
+        let frames = assemble(&tr);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].n_packets, 3);
+        assert_eq!(frames[0].end_ts, t(1)); // marker arrival, not straggler
+        assert_eq!(frames[0].size_bytes, 3000);
+        assert_eq!(frames[1].rtp_ts, Some(200));
+    }
+
+    #[test]
+    fn ignores_audio_and_rtx() {
+        let tr = trace(vec![
+            pkt(0, 150, 111, 0, 1, false),  // audio
+            pkt(1, 304, 103, 0, 2, false),  // rtx keepalive
+            pkt(2, 1052, 102, 1, 100, true),
+        ]);
+        let frames = assemble(&tr);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].n_packets, 1);
+    }
+
+    #[test]
+    fn no_marker_falls_back_to_last_arrival() {
+        let tr = trace(vec![
+            pkt(0, 1052, 102, 0, 100, false),
+            pkt(4, 1052, 102, 1, 100, false),
+        ]);
+        let frames = assemble(&tr);
+        assert_eq!(frames[0].end_ts, t(4));
+    }
+
+    #[test]
+    fn reordered_frames_sorted_by_end() {
+        let tr = trace(vec![
+            pkt(0, 1052, 102, 0, 100, false),
+            pkt(2, 900, 102, 1, 200, true), // frame 200 completes first
+            pkt(50, 1052, 102, 2, 100, true),
+        ]);
+        let frames = assemble(&tr);
+        assert_eq!(frames[0].rtp_ts, Some(200));
+        assert_eq!(frames[1].rtp_ts, Some(100));
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(assemble(&trace(vec![])).is_empty());
+    }
+}

@@ -1,0 +1,374 @@
+//! Streaming (single-pass, bounded-memory) QoE estimation.
+//!
+//! The paper's §7 notes that network-wide deployment needs "streaming
+//! versions of the methods". [`StreamingEstimator`] consumes packets one
+//! at a time — no trace buffering — and emits one [`StreamingReport`] per
+//! completed window. State is O(window) for the feature vector plus O(1)
+//! for the frame assembler, independent of call length.
+
+use crate::heuristic::HeuristicParams;
+use crate::media::MediaClassifier;
+use crate::qoe::QoeEstimate;
+use serde::{Deserialize, Serialize};
+use vcaml_features::{ipudp_features, PktObs};
+use vcaml_mlcore::RandomForest;
+use vcaml_netpkt::Timestamp;
+
+/// One emitted window: heuristic estimates plus (optionally) a model
+/// prediction made from the same features an offline pipeline would
+/// compute.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamingReport {
+    /// Index of the completed window (0-based from stream start).
+    pub window: u64,
+    /// Heuristic estimates for the window.
+    pub heuristic: QoeEstimate,
+    /// The 14 IP/UDP features of the window (model input / diagnostics).
+    pub features: Vec<f64>,
+    /// Frame-rate prediction from the attached model, if any.
+    pub model_fps: Option<f64>,
+    /// Video packets observed in the window.
+    pub video_packets: usize,
+}
+
+/// Single-pass estimator.
+///
+/// Feed packets in capture order via [`StreamingEstimator::push`]; a
+/// report is returned whenever a window boundary is crossed. Call
+/// [`StreamingEstimator::finish`] at end of stream to flush the last
+/// partial window.
+pub struct StreamingEstimator {
+    classifier: MediaClassifier,
+    params: HeuristicParams,
+    window_us: i64,
+    theta_iat_us: i64,
+    model: Option<RandomForest>,
+
+    // O(lookback) frame-assembly state (Algorithm 1, incremental).
+    recent: Vec<(u16, u64)>, // (size, frame id)
+    next_frame_id: u64,
+    frame_sizes: std::collections::HashMap<u64, usize>,
+
+    // Per-window state.
+    current_window: u64,
+    window_pkts: Vec<PktObs>,
+    frame_ends: Vec<Timestamp>,
+    window_bits: f64,
+    started: bool,
+}
+
+impl StreamingEstimator {
+    /// Creates an estimator with the paper's parameters for a VCA plus a
+    /// window length in seconds.
+    pub fn new(
+        classifier: MediaClassifier,
+        params: HeuristicParams,
+        window_secs: u32,
+        theta_iat_us: i64,
+    ) -> Self {
+        assert!(window_secs > 0, "zero window");
+        StreamingEstimator {
+            classifier,
+            params,
+            window_us: i64::from(window_secs) * 1_000_000,
+            theta_iat_us,
+            model: None,
+            recent: Vec::new(),
+            next_frame_id: 0,
+            frame_sizes: std::collections::HashMap::new(),
+            current_window: 0,
+            window_pkts: Vec::new(),
+            frame_ends: Vec::new(),
+            window_bits: 0.0,
+            started: false,
+        }
+    }
+
+    /// Attaches a trained frame-rate model; its prediction is included in
+    /// every report.
+    pub fn with_model(mut self, model: RandomForest) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Offers one captured packet (`ts` non-decreasing). Returns completed
+    /// window reports (usually zero or one; more if the stream was idle
+    /// across several windows).
+    pub fn push(&mut self, ts: Timestamp, ip_total_len: u16) -> Vec<StreamingReport> {
+        let mut out = Vec::new();
+        let window = (ts.as_micros().div_euclid(self.window_us)).max(0) as u64;
+        if self.started {
+            while self.current_window < window {
+                out.push(self.emit());
+                self.current_window += 1;
+            }
+        } else {
+            self.started = true;
+            self.current_window = window;
+        }
+
+        // Media classification.
+        let pkt = crate::trace::TracePacket {
+            ts,
+            size: ip_total_len,
+            rtp: None,
+            truth_media: None,
+        };
+        if !self.classifier.is_video(&pkt) {
+            return out;
+        }
+        self.window_pkts.push(PktObs { ts, size: ip_total_len });
+        let payload = usize::from(ip_total_len).saturating_sub(52).max(1);
+        self.window_bits += payload as f64 * 8.0;
+
+        // Incremental Algorithm 1: compare against up to Nmax recent
+        // packets, newest first.
+        let matched = self
+            .recent
+            .iter()
+            .rev()
+            .find(|(s, _)| s.abs_diff(ip_total_len) <= self.params.delta_max_size)
+            .map(|&(_, fid)| fid);
+        let fid = match matched {
+            Some(fid) => fid,
+            None => {
+                self.next_frame_id += 1;
+                self.next_frame_id - 1
+            }
+        };
+        // A frame "ends" (provisionally) at its latest packet; track only
+        // the newest end per window by recording the end each time the
+        // frame grows, replacing the previous record for the same frame.
+        match self.frame_sizes.get_mut(&fid) {
+            Some(sz) => {
+                *sz += payload;
+                // Move this frame's end time forward.
+                if let Some(last) = self.frame_ends.last_mut() {
+                    // Only cheap-update when it was the most recent frame;
+                    // otherwise push a corrected end (dedup at emit).
+                    if self.recent.last().map(|&(_, f)| f) == Some(fid) {
+                        *last = ts;
+                    } else {
+                        self.frame_ends.push(ts);
+                    }
+                }
+            }
+            None => {
+                self.frame_sizes.insert(fid, payload);
+                self.frame_ends.push(ts);
+                // Bound assembler memory: drop frames that can no longer
+                // match (not in the lookback set).
+                if self.frame_sizes.len() > self.params.lookback + 8 {
+                    let keep: std::collections::HashSet<u64> =
+                        self.recent.iter().map(|&(_, f)| f).collect();
+                    self.frame_sizes.retain(|f, _| keep.contains(f) || *f == fid);
+                }
+            }
+        }
+        if self.recent.len() == self.params.lookback {
+            self.recent.remove(0);
+        }
+        self.recent.push((ip_total_len, fid));
+        out
+    }
+
+    /// Flushes the current partial window.
+    pub fn finish(&mut self) -> StreamingReport {
+        self.emit()
+    }
+
+    fn emit(&mut self) -> StreamingReport {
+        let w_secs = self.window_us as f64 / 1e6;
+        // Dedup frame ends that were double-recorded for corrected frames.
+        self.frame_ends.dedup();
+        let fps = self.frame_ends.len() as f64 / w_secs;
+        let jitter = if self.frame_ends.len() >= 3 {
+            let gaps: Vec<f64> = self
+                .frame_ends
+                .windows(2)
+                .map(|w| (w[1] - w[0]).as_millis_f64())
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            (gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64).sqrt()
+        } else {
+            0.0
+        };
+        let features = ipudp_features(&self.window_pkts, w_secs, self.theta_iat_us);
+        let report = StreamingReport {
+            window: self.current_window,
+            heuristic: QoeEstimate {
+                bitrate_kbps: self.window_bits / w_secs / 1000.0,
+                fps,
+                frame_jitter_ms: jitter,
+            },
+            model_fps: self.model.as_ref().map(|m| m.predict(&features)),
+            video_packets: self.window_pkts.len(),
+            features,
+        };
+        self.window_pkts.clear();
+        self.frame_ends.clear();
+        self.window_bits = 0.0;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcaml_rtp::VcaKind;
+
+    fn estimator() -> StreamingEstimator {
+        StreamingEstimator::new(
+            MediaClassifier::default(),
+            HeuristicParams::paper(VcaKind::Teams),
+            1,
+            vcaml_features::DEFAULT_THETA_IAT_US,
+        )
+    }
+
+    /// 30 fps, two 1100-byte packets per frame, with per-frame size
+    /// variation so boundaries are detectable.
+    fn synthetic_stream(secs: i64) -> Vec<(Timestamp, u16)> {
+        let mut out = Vec::new();
+        for f in 0..secs * 30 {
+            let t0 = f * 33_333;
+            let size = 1000 + ((f % 9) * 13) as u16;
+            out.push((Timestamp::from_micros(t0), size));
+            out.push((Timestamp::from_micros(t0 + 300), size));
+            // Audio packet in between (filtered out).
+            out.push((Timestamp::from_micros(t0 + 10_000), 150));
+        }
+        out.sort_by_key(|&(t, _)| t);
+        out
+    }
+
+    #[test]
+    fn emits_one_report_per_window() {
+        let mut est = estimator();
+        let mut reports = Vec::new();
+        for (ts, size) in synthetic_stream(5) {
+            reports.extend(est.push(ts, size));
+        }
+        reports.push(est.finish());
+        assert_eq!(reports.len(), 5);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.window, i as u64);
+        }
+    }
+
+    #[test]
+    fn fps_matches_ground_rate() {
+        let mut est = estimator();
+        let mut reports = Vec::new();
+        for (ts, size) in synthetic_stream(4) {
+            reports.extend(est.push(ts, size));
+        }
+        reports.push(est.finish());
+        for r in &reports {
+            assert!((r.heuristic.fps - 30.0).abs() <= 2.0, "fps {}", r.heuristic.fps);
+            // Frames straddling a window boundary shift one packet.
+            assert!((58..=62).contains(&r.video_packets), "{} packets", r.video_packets);
+        }
+    }
+
+    #[test]
+    fn bitrate_counts_video_payload_only() {
+        let mut est = estimator();
+        let mut reports = Vec::new();
+        for (ts, size) in synthetic_stream(2) {
+            reports.extend(est.push(ts, size));
+        }
+        reports.push(est.finish());
+        // ~60 packets/s × ~(1050-52) B × 8 ≈ 480 kbps.
+        for r in &reports {
+            assert!(
+                (350.0..650.0).contains(&r.heuristic.bitrate_kbps),
+                "bitrate {}",
+                r.heuristic.bitrate_kbps
+            );
+        }
+    }
+
+    #[test]
+    fn features_match_offline_extractor() {
+        let mut est = estimator();
+        let stream = synthetic_stream(1);
+        let mut reports = Vec::new();
+        for &(ts, size) in &stream {
+            reports.extend(est.push(ts, size));
+        }
+        reports.push(est.finish());
+        let video: Vec<PktObs> = stream
+            .iter()
+            .filter(|&&(_, s)| s >= 450)
+            .map(|&(ts, size)| PktObs { ts, size })
+            .collect();
+        let offline = ipudp_features(&video, 1.0, vcaml_features::DEFAULT_THETA_IAT_US);
+        assert_eq!(reports[0].features, offline);
+    }
+
+    #[test]
+    fn idle_gap_emits_empty_windows() {
+        let mut est = estimator();
+        est.push(Timestamp::from_millis(100), 1100);
+        let reports = est.push(Timestamp::from_millis(3_100), 1100);
+        assert_eq!(reports.len(), 3); // windows 0,1,2 completed
+        assert_eq!(reports[1].video_packets, 0);
+        assert_eq!(reports[1].heuristic.fps, 0.0);
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut est = estimator();
+        // An hour of traffic with adversarial all-distinct sizes.
+        for i in 0..200_000i64 {
+            let size = 450 + (i % 900) as u16;
+            est.push(Timestamp::from_micros(i * 18_000), size);
+        }
+        assert!(est.frame_sizes.len() <= est.params.lookback + 9);
+        assert!(est.recent.len() <= est.params.lookback);
+    }
+
+    #[test]
+    fn model_prediction_included() {
+        use vcaml_mlcore::{Dataset, RandomForest, RandomForestParams, Task};
+        // Train a trivial model: fps = constant 30.
+        let mut d = Dataset::new(vcaml_features::ipudp_feature_names());
+        let stream = synthetic_stream(3);
+        let video: Vec<PktObs> = stream
+            .iter()
+            .filter(|&&(_, s)| s >= 450)
+            .map(|&(ts, size)| PktObs { ts, size })
+            .collect();
+        for w in 0..3usize {
+            let win: Vec<PktObs> = video
+                .iter()
+                .filter(|p| p.ts.second_index() == w as i64)
+                .copied()
+                .collect();
+            d.push(&ipudp_features(&win, 1.0, 3000), 30.0);
+        }
+        // Duplicate rows so the forest has something to chew on.
+        for _ in 0..5 {
+            for i in 0..3 {
+                let row: Vec<f64> = d.row(i).to_vec();
+                d.push(&row, 30.0);
+            }
+        }
+        let model = RandomForest::fit(
+            &d,
+            Task::Regression,
+            &RandomForestParams { n_trees: 5, seed: 0, ..Default::default() },
+        );
+        let mut est = estimator().with_model(model);
+        let mut reports = Vec::new();
+        for (ts, size) in synthetic_stream(2) {
+            reports.extend(est.push(ts, size));
+        }
+        reports.push(est.finish());
+        for r in &reports {
+            let fps = r.model_fps.expect("model attached");
+            assert!((fps - 30.0).abs() < 1.0, "model fps {fps}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Adapts simulator output to the monitor-side trace model the inference
+//! methods consume.
+
+use vcaml::{Trace, TracePacket, TruthRow};
+use vcaml_rtp::PayloadMap;
+use vcaml_vcasim::SessionTrace;
+
+/// Converts a simulated session into a [`Trace`].
+///
+/// The packet view keeps exactly what a monitor would have: arrival time,
+/// IP total length, the RTP header (parseable from the wire bytes), and —
+/// for evaluation only — the simulator's ground-truth media class.
+pub fn to_core_trace(session: &SessionTrace, payload_map: PayloadMap) -> Trace {
+    let packets = session
+        .packets
+        .iter()
+        .map(|p| TracePacket {
+            ts: p.arrival_ts,
+            size: p.ip_total_len,
+            rtp: p.rtp,
+            truth_media: Some(p.media),
+        })
+        .collect();
+    let truth = session
+        .truth
+        .iter()
+        .map(|t| TruthRow {
+            second: t.second,
+            bitrate_kbps: t.bitrate_kbps,
+            fps: t.fps,
+            frame_jitter_ms: t.frame_jitter_ms,
+            height: t.height,
+        })
+        .collect();
+    Trace {
+        vca: session.vca,
+        payload_map,
+        packets,
+        truth,
+        duration_secs: session.duration_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcaml_netem::{ConditionSchedule, SecondCondition};
+    use vcaml_netem::LinkConfig;
+    use vcaml_rtp::VcaKind;
+    use vcaml_vcasim::{Session, SessionConfig, VcaProfile};
+
+    #[test]
+    fn conversion_preserves_counts_and_order() {
+        let session = Session::new(SessionConfig {
+            profile: VcaProfile::lab(VcaKind::Teams),
+            schedule: ConditionSchedule::constant(SecondCondition::paper_default()),
+            duration_secs: 8,
+            seed: 1,
+            link: LinkConfig::default(),
+        })
+        .run();
+        let trace = to_core_trace(&session, PayloadMap::lab(VcaKind::Teams));
+        assert_eq!(trace.packets.len(), session.packets.len());
+        assert_eq!(trace.truth.len(), 8);
+        assert!(trace.is_complete());
+        assert!(trace.packets.windows(2).all(|w| w[0].ts <= w[1].ts));
+        // RTP headers survive, PT classification works.
+        assert!(trace.rtp_video_packets().count() > 50);
+    }
+}

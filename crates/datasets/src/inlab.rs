@@ -1,0 +1,81 @@
+//! The in-lab corpus: calls under NDT-trace-driven emulation (§4.2).
+//!
+//! Each call replays a synthetic speed test: per-second RTT and loss
+//! series with throughput resampled from a Normal fit, means capped at
+//! 10 Mbps — "challenging network conditions".
+
+use crate::{convert::to_core_trace, CorpusConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcaml::Trace;
+use vcaml_netem::{synth_ndt_schedule, LinkConfig};
+use vcaml_rtp::VcaKind;
+use vcaml_vcasim::{Session, SessionConfig, VcaProfile};
+
+/// Generates the in-lab corpus for one VCA.
+pub fn inlab_corpus(vca: VcaKind, cfg: &CorpusConfig) -> Vec<Trace> {
+    assert!(cfg.n_calls > 0 && cfg.min_secs > 0 && cfg.min_secs <= cfg.max_secs);
+    let profile = VcaProfile::lab(vca);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1ab);
+    (0..cfg.n_calls)
+        .map(|i| {
+            let secs = rng.gen_range(cfg.min_secs..=cfg.max_secs);
+            let trace_seed = cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(i as u64);
+            let schedule = synth_ndt_schedule(trace_seed, secs as usize);
+            let session = Session::new(SessionConfig {
+                profile: profile.clone(),
+                schedule,
+                duration_secs: secs,
+                seed: trace_seed ^ 0xca11,
+                link: LinkConfig::default(),
+            })
+            .run();
+            to_core_trace(&session, profile.payload_map)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_requested_calls() {
+        let traces = inlab_corpus(VcaKind::Webex, &CorpusConfig::small(1));
+        assert_eq!(traces.len(), 6);
+        for t in &traces {
+            assert!(t.is_complete());
+            assert!((20..=30).contains(&t.duration_secs));
+            assert!(!t.packets.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = inlab_corpus(VcaKind::Meet, &CorpusConfig::small(7));
+        let b = inlab_corpus(VcaKind::Meet, &CorpusConfig::small(7));
+        assert_eq!(a[0].packets.len(), b[0].packets.len());
+        assert_eq!(a[2].truth.len(), b[2].truth.len());
+        let c = inlab_corpus(VcaKind::Meet, &CorpusConfig::small(8));
+        assert_ne!(
+            a.iter().map(|t| t.packets.len()).collect::<Vec<_>>(),
+            c.iter().map(|t| t.packets.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn conditions_are_challenging() {
+        // Under <10 Mbps NDT-style conditions, mean bitrate stays well
+        // below the Teams ceiling and QoE varies across calls.
+        let traces = inlab_corpus(VcaKind::Teams, &CorpusConfig { n_calls: 8, min_secs: 25, max_secs: 35, seed: 3 });
+        let means: Vec<f64> = traces
+            .iter()
+            .map(|t| {
+                t.truth.iter().map(|r| r.bitrate_kbps).sum::<f64>() / t.truth.len() as f64
+            })
+            .collect();
+        let spread = means.iter().cloned().fold(f64::MIN, f64::max)
+            - means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 200.0, "bitrate spread {spread} too small: {means:?}");
+    }
+}

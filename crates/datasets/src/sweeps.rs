@@ -1,0 +1,146 @@
+//! The Table A.6 single-impairment sweeps used for §5.4 ("Effect of
+//! Network Conditions"): one parameter varied, everything else at the
+//! defaults, four calls per combination.
+
+use crate::convert::to_core_trace;
+use vcaml::Trace;
+use vcaml_netem::{ImpairmentDim, ImpairmentProfile, LinkConfig};
+use vcaml_rtp::VcaKind;
+use vcaml_vcasim::{Session, SessionConfig, VcaProfile};
+
+/// Calls per parameter combination (paper: "repeated for four calls").
+pub const CALLS_PER_CELL: usize = 4;
+
+/// Generates the corpus for one sweep cell (dimension at a value).
+pub fn sweep_value_corpus(
+    vca: VcaKind,
+    profile: ImpairmentProfile,
+    calls: usize,
+    secs: u32,
+    seed: u64,
+) -> Vec<Trace> {
+    assert!(calls > 0 && secs > 0);
+    let vca_profile = VcaProfile::lab(vca);
+    (0..calls)
+        .map(|i| {
+            let call_seed = seed
+                .wrapping_mul(0x5ee9)
+                .wrapping_add((profile.value * 1000.0) as u64)
+                .wrapping_add(i as u64);
+            let schedule = profile.schedule(secs as usize, call_seed);
+            let session = Session::new(SessionConfig {
+                profile: vca_profile.clone(),
+                schedule,
+                duration_secs: secs,
+                seed: call_seed ^ 0x5a5a,
+                link: LinkConfig::default(),
+            })
+            .run();
+            to_core_trace(&session, vca_profile.payload_map)
+        })
+        .collect()
+}
+
+/// Generates corpora for every value of one impairment dimension.
+/// Returns `(value, traces)` pairs in sweep order.
+pub fn sweep_corpus(
+    vca: VcaKind,
+    dim: ImpairmentDim,
+    calls_per_cell: usize,
+    secs: u32,
+    seed: u64,
+) -> Vec<(f64, Vec<Trace>)> {
+    dim.values()
+        .iter()
+        .map(|&v| {
+            let traces = sweep_value_corpus(
+                vca,
+                ImpairmentProfile { dim, value: v },
+                calls_per_cell,
+                secs,
+                seed,
+            );
+            (v, traces)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_sweep_grid() {
+        let sweep = sweep_corpus(VcaKind::Webex, ImpairmentDim::PacketLoss, 2, 15, 1);
+        assert_eq!(sweep.len(), 6); // {1,2,5,10,15,20}%
+        assert_eq!(sweep[0].0, 1.0);
+        assert_eq!(sweep[5].0, 20.0);
+        for (_, traces) in &sweep {
+            assert_eq!(traces.len(), 2);
+            assert!(traces.iter().all(Trace::is_complete));
+        }
+    }
+
+    #[test]
+    fn higher_loss_degrades_fps() {
+        let low = sweep_value_corpus(
+            VcaKind::Teams,
+            ImpairmentProfile { dim: ImpairmentDim::PacketLoss, value: 1.0 },
+            3,
+            20,
+            2,
+        );
+        let high = sweep_value_corpus(
+            VcaKind::Teams,
+            ImpairmentProfile { dim: ImpairmentDim::PacketLoss, value: 20.0 },
+            3,
+            20,
+            2,
+        );
+        let mean_fps = |ts: &[Trace]| {
+            let (mut s, mut n) = (0.0, 0.0);
+            for t in ts {
+                for r in &t.truth {
+                    s += r.fps;
+                    n += 1.0;
+                }
+            }
+            s / n
+        };
+        assert!(
+            mean_fps(&low) > mean_fps(&high) + 2.0,
+            "low-loss fps {} vs high-loss {}",
+            mean_fps(&low),
+            mean_fps(&high)
+        );
+    }
+
+    #[test]
+    fn throughput_sweep_controls_bitrate() {
+        let slow = sweep_value_corpus(
+            VcaKind::Teams,
+            ImpairmentProfile { dim: ImpairmentDim::MeanThroughput, value: 200.0 },
+            2,
+            20,
+            3,
+        );
+        let fast = sweep_value_corpus(
+            VcaKind::Teams,
+            ImpairmentProfile { dim: ImpairmentDim::MeanThroughput, value: 4000.0 },
+            2,
+            20,
+            3,
+        );
+        let mean_br = |ts: &[Trace]| {
+            let (mut s, mut n) = (0.0, 0.0);
+            for t in ts {
+                for r in &t.truth {
+                    s += r.bitrate_kbps;
+                    n += 1.0;
+                }
+            }
+            s / n
+        };
+        assert!(mean_br(&fast) > mean_br(&slow) * 2.0);
+    }
+}

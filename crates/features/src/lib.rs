@@ -1,0 +1,44 @@
+//! # vcaml-features — feature extraction (paper Table 1)
+//!
+//! Three feature families, computed per prediction window `W`:
+//!
+//! * **Flow-level statistics** (12): bytes/s, packets/s, and five order
+//!   statistics each over packet sizes and inter-arrival times.
+//! * **VCA-semantics features** (2): number of unique packet sizes and
+//!   number of microbursts — the features derived from how VCAs fragment
+//!   frames into packets (§3.2.2).
+//! * **RTP features** (12): unique RTP timestamp counts over the video and
+//!   retransmission streams plus their intersection/union, per-stream
+//!   marker-bit sums, out-of-order sequence count, and five statistics of
+//!   the RTP lag.
+//!
+//! `IP/UDP ML` uses the first two families (14 features); `RTP ML` uses
+//! flow statistics + RTP features.
+pub mod flow_stats;
+pub mod rtp_feats;
+pub mod semantics;
+pub mod stats;
+pub mod window;
+
+pub use flow_stats::{flow_feature_names, flow_features};
+pub use rtp_feats::{rtp_feature_names, RtpWindow};
+pub use semantics::{microbursts, unique_sizes, DEFAULT_THETA_IAT_US};
+pub use window::{windows_by_second, PktObs};
+
+/// Feature names for the IP/UDP ML model (flow stats + semantics).
+pub fn ipudp_feature_names() -> Vec<String> {
+    let mut names = flow_feature_names();
+    names.push("# unique sizes".to_string());
+    names.push("# microbursts".to_string());
+    names
+}
+
+/// The IP/UDP ML feature vector for one window of video-classified
+/// packets (`window_secs` is the window length; `theta_iat_us` the
+/// microburst inter-arrival threshold).
+pub fn ipudp_features(pkts: &[PktObs], window_secs: f64, theta_iat_us: i64) -> Vec<f64> {
+    let mut v = flow_features(pkts, window_secs);
+    v.push(unique_sizes(pkts));
+    v.push(microbursts(pkts, theta_iat_us));
+    v
+}

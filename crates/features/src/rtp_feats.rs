@@ -1,0 +1,233 @@
+//! RTP-header features (Table 1, third row), used by the RTP ML baseline.
+
+use serde::{Deserialize, Serialize};
+use vcaml_netpkt::Timestamp;
+use vcaml_rtp::{RtpClock, RtpHeader};
+use std::collections::HashSet;
+
+use crate::stats::{five_stats, STAT_SUFFIXES};
+
+/// Names of the 12 RTP features, in vector order.
+pub fn rtp_feature_names() -> Vec<String> {
+    let mut names = vec![
+        "# unique RTPvid TS".to_string(),
+        "# unique RTPrtx TS".to_string(),
+        "# RTP TS [intersect]".to_string(),
+        "# RTP TS [union]".to_string(),
+        "Markervid bit sum".to_string(),
+        "Markerrtx bit sum".to_string(),
+        "# out-of-order seq".to_string(),
+    ];
+    for s in STAT_SUFFIXES {
+        names.push(format!("RTP lag [{s}]"));
+    }
+    names
+}
+
+/// Session-level reference for RTP-lag computation: the first video
+/// frame's arrival time and RTP timestamp ("we assume that the first
+/// frame had zero delay", §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LagReference {
+    /// Arrival time of the first frame.
+    pub t0: Timestamp,
+    /// RTP timestamp of the first frame.
+    pub ts0: u32,
+}
+
+/// The RTP packets of one prediction window, split by stream.
+#[derive(Debug, Clone, Default)]
+pub struct RtpWindow {
+    /// Video-stream packets: (arrival, header).
+    pub video: Vec<(Timestamp, RtpHeader)>,
+    /// Retransmission-stream packets.
+    pub rtx: Vec<(Timestamp, RtpHeader)>,
+}
+
+impl RtpWindow {
+    /// Computes the 12 RTP features. `lag_ref` anchors the RTP-lag clock;
+    /// if `None`, the window's first video packet is used.
+    pub fn features(&self, lag_ref: Option<LagReference>) -> Vec<f64> {
+        let vid_ts: HashSet<u32> = self.video.iter().map(|(_, h)| h.timestamp).collect();
+        let rtx_ts: HashSet<u32> = self.rtx.iter().map(|(_, h)| h.timestamp).collect();
+        let intersect = vid_ts.intersection(&rtx_ts).count() as f64;
+        let union = vid_ts.union(&rtx_ts).count() as f64;
+        let marker_vid = self.video.iter().filter(|(_, h)| h.marker).count() as f64;
+        let marker_rtx = self.rtx.iter().filter(|(_, h)| h.marker).count() as f64;
+
+        // Out-of-order: discontinuities in the video sequence numbers in
+        // arrival order ("total number of discontinuities in video packet
+        // RTP sequence numbers", §3.3).
+        let ooo = self
+            .video
+            .windows(2)
+            .filter(|w| {
+                let expected = w[0].1.sequence.wrapping_add(1);
+                w[1].1.sequence != expected
+            })
+            .count() as f64;
+
+        // RTP lag: per frame (unique timestamp), using the frame's
+        // completion (max arrival) time.
+        let lags = self.frame_lags(lag_ref);
+
+        let mut v = Vec::with_capacity(12);
+        v.push(vid_ts.len() as f64);
+        v.push(rtx_ts.len() as f64);
+        v.push(intersect);
+        v.push(union);
+        v.push(marker_vid);
+        v.push(marker_rtx);
+        v.push(ooo);
+        v.extend_from_slice(&five_stats(&lags));
+        v
+    }
+
+    /// Per-frame transmission lags in milliseconds.
+    fn frame_lags(&self, lag_ref: Option<LagReference>) -> Vec<f64> {
+        if self.video.is_empty() {
+            return Vec::new();
+        }
+        // Frame completion time = last arrival per unique RTP timestamp.
+        let mut frames: Vec<(u32, Timestamp)> = Vec::new();
+        for (t, h) in &self.video {
+            match frames.iter_mut().find(|(ts, _)| *ts == h.timestamp) {
+                Some((_, done)) => *done = (*done).max(*t),
+                None => frames.push((h.timestamp, *t)),
+            }
+        }
+        let anchor = lag_ref.unwrap_or(LagReference {
+            t0: frames[0].1,
+            ts0: frames[0].0,
+        });
+        let clock = RtpClock::video();
+        frames
+            .iter()
+            .map(|(ts, t)| clock.lag_secs(anchor.t0, anchor.ts0, *t, *ts) * 1000.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr(seq: u16, ts: u32, marker: bool) -> RtpHeader {
+        RtpHeader::basic(102, seq, ts, 1, marker)
+    }
+
+    fn at(ms: i64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn names_and_width_agree() {
+        assert_eq!(rtp_feature_names().len(), 12);
+        assert_eq!(RtpWindow::default().features(None).len(), 12);
+    }
+
+    #[test]
+    fn unique_ts_counts() {
+        let w = RtpWindow {
+            video: vec![(at(0), hdr(0, 100, false)), (at(1), hdr(1, 100, true)), (at(33), hdr(2, 200, true))],
+            rtx: vec![(at(50), hdr(0, 100, false)), (at(51), hdr(1, 300, false))],
+        };
+        let f = w.features(None);
+        assert_eq!(f[0], 2.0); // vid unique: {100, 200}
+        assert_eq!(f[1], 2.0); // rtx unique: {100, 300}
+        assert_eq!(f[2], 1.0); // intersect {100}
+        assert_eq!(f[3], 3.0); // union {100,200,300}
+    }
+
+    #[test]
+    fn marker_sums_per_stream() {
+        let w = RtpWindow {
+            video: vec![(at(0), hdr(0, 1, true)), (at(1), hdr(1, 2, true)), (at(2), hdr(2, 3, false))],
+            rtx: vec![(at(3), hdr(0, 1, true))],
+        };
+        let f = w.features(None);
+        assert_eq!(f[4], 2.0);
+        assert_eq!(f[5], 1.0);
+    }
+
+    #[test]
+    fn out_of_order_counts_discontinuities() {
+        let w = RtpWindow {
+            video: vec![
+                (at(0), hdr(10, 1, false)),
+                (at(1), hdr(11, 1, false)), // in order
+                (at(2), hdr(13, 2, false)), // gap
+                (at(3), hdr(12, 2, false)), // backwards
+                (at(4), hdr(15, 2, false)), // gap again
+            ],
+            rtx: vec![],
+        };
+        let f = w.features(None);
+        assert_eq!(f[6], 3.0);
+    }
+
+    #[test]
+    fn lag_zero_for_perfectly_paced_stream() {
+        // Frames every 33.333 ms with 3000-tick increments (90 kHz).
+        let w = RtpWindow {
+            video: (0..10)
+                .map(|i| {
+                    (
+                        Timestamp::from_micros(i * 33_333),
+                        hdr(i as u16, (i * 3000) as u32, true),
+                    )
+                })
+                .collect(),
+            rtx: vec![],
+        };
+        let f = w.features(None);
+        // lag mean ≈ 0, lag max small.
+        assert!(f[7].abs() < 1.0, "lag mean {}", f[7]);
+        assert!(f[11].abs() < 1.0, "lag max {}", f[11]);
+    }
+
+    #[test]
+    fn delayed_frame_shows_positive_lag() {
+        let mut video: Vec<(Timestamp, RtpHeader)> = (0..5)
+            .map(|i| {
+                (
+                    Timestamp::from_micros(i * 33_333),
+                    hdr(i as u16, (i * 3000) as u32, true),
+                )
+            })
+            .collect();
+        // Frame 5 arrives 100 ms late.
+        video.push((
+            Timestamp::from_micros(5 * 33_333 + 100_000),
+            hdr(5, 15_000, true),
+        ));
+        let w = RtpWindow { video, rtx: vec![] };
+        let f = w.features(None);
+        assert!((f[11] - 100.0).abs() < 2.0, "lag max {}", f[11]);
+    }
+
+    #[test]
+    fn session_lag_reference_applies() {
+        let w = RtpWindow {
+            video: vec![(at(1000), hdr(30, 90_000, true))],
+            rtx: vec![],
+        };
+        // Anchor: frame 0 at t=0 with ts=0 → this frame is exactly on time.
+        let f = w.features(Some(LagReference { t0: at(0), ts0: 0 }));
+        assert!(f[7].abs() < 1e-6, "lag {}", f[7]);
+        // Without an anchor the single frame defines zero lag trivially.
+        let f2 = w.features(None);
+        assert_eq!(f2[7], 0.0);
+    }
+
+    #[test]
+    fn frame_completion_uses_last_packet() {
+        // One frame in two packets; the second arrives late.
+        let w = RtpWindow {
+            video: vec![(at(0), hdr(0, 0, false)), (at(40), hdr(1, 0, true))],
+            rtx: vec![],
+        };
+        let f = w.features(Some(LagReference { t0: at(0), ts0: 0 }));
+        assert!((f[11] - 40.0).abs() < 1e-6, "lag max {}", f[11]);
+    }
+}

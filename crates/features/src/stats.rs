@@ -1,0 +1,60 @@
+//! The five order statistics the paper computes over packet sizes and
+//! inter-arrival times: mean, standard deviation, median, minimum, maximum.
+
+/// Returns `[mean, stdev, median, min, max]`; all zeros for empty input.
+pub fn five_stats(values: &[f64]) -> [f64; 5] {
+    if values.is_empty() {
+        return [0.0; 5];
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    [mean, var.sqrt(), median, sorted[0], sorted[sorted.len() - 1]]
+}
+
+/// Suffixes used in feature names, matching the paper's plots
+/// (`Size [mean]`, `IAT [stdev]`, ...).
+pub const STAT_SUFFIXES: [&str; 5] = ["mean", "stdev", "median", "min", "max"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(five_stats(&[]), [0.0; 5]);
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(five_stats(&[4.0]), [4.0, 0.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn odd_median() {
+        let s = five_stats(&[3.0, 1.0, 2.0]);
+        assert_eq!(s[2], 2.0);
+        assert_eq!(s[3], 1.0);
+        assert_eq!(s[4], 3.0);
+    }
+
+    #[test]
+    fn even_median_interpolates() {
+        let s = five_stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s[2], 2.5);
+    }
+
+    #[test]
+    fn stdev_population() {
+        let s = five_stats(&[2.0, 4.0]);
+        assert_eq!(s[0], 3.0);
+        assert_eq!(s[1], 1.0); // population stdev
+    }
+}

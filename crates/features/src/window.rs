@@ -1,0 +1,91 @@
+//! Windowing: slicing a packet stream into the prediction windows `W`
+//! over which QoE is estimated (§2.2; default 1 second, swept in Fig. 12).
+
+use vcaml_netpkt::Timestamp;
+
+/// The minimal per-packet observation every IP/UDP method consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PktObs {
+    /// Capture timestamp.
+    pub ts: Timestamp,
+    /// IP total length in bytes.
+    pub size: u16,
+}
+
+/// Groups packets into consecutive fixed-length windows starting at t = 0.
+///
+/// Returns one entry per window covering `0..n_windows` where `n_windows =
+/// ceil(duration / window_secs)` derived from `duration_secs`; windows with
+/// no packets are empty vectors, so window index `i` always corresponds to
+/// time `[i·w, (i+1)·w)`.
+///
+/// # Panics
+/// Panics if `window_secs` is zero.
+pub fn windows_by_second(
+    pkts: &[PktObs],
+    duration_secs: u32,
+    window_secs: u32,
+) -> Vec<Vec<PktObs>> {
+    assert!(window_secs > 0, "zero window");
+    let n_windows = duration_secs.div_ceil(window_secs) as usize;
+    let mut out: Vec<Vec<PktObs>> = vec![Vec::new(); n_windows];
+    let w_us = i64::from(window_secs) * 1_000_000;
+    for p in pkts {
+        let idx = p.ts.as_micros().div_euclid(w_us);
+        if idx >= 0 && (idx as usize) < n_windows {
+            out[idx as usize].push(*p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ms: i64, size: u16) -> PktObs {
+        PktObs { ts: Timestamp::from_millis(ms), size }
+    }
+
+    #[test]
+    fn one_second_windows() {
+        let pkts = vec![p(100, 10), p(999, 20), p(1000, 30), p(2500, 40)];
+        let w = windows_by_second(&pkts, 3, 1);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].len(), 2);
+        assert_eq!(w[1], vec![p(1000, 30)]);
+        assert_eq!(w[2], vec![p(2500, 40)]);
+    }
+
+    #[test]
+    fn empty_windows_preserved() {
+        let pkts = vec![p(2500, 40)];
+        let w = windows_by_second(&pkts, 4, 1);
+        assert_eq!(w.len(), 4);
+        assert!(w[0].is_empty() && w[1].is_empty() && w[3].is_empty());
+        assert_eq!(w[2].len(), 1);
+    }
+
+    #[test]
+    fn wider_windows() {
+        let pkts = vec![p(100, 1), p(1100, 2), p(2100, 3), p(3100, 4), p(4100, 5)];
+        let w = windows_by_second(&pkts, 5, 2);
+        assert_eq!(w.len(), 3); // ceil(5/2)
+        assert_eq!(w[0].len(), 2);
+        assert_eq!(w[1].len(), 2);
+        assert_eq!(w[2].len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_packets_dropped() {
+        let pkts = vec![p(-5, 1), p(10_000, 2)];
+        let w = windows_by_second(&pkts, 3, 1);
+        assert!(w.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero window")]
+    fn zero_window_rejected() {
+        let _ = windows_by_second(&[], 3, 0);
+    }
+}

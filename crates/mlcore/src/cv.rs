@@ -1,0 +1,98 @@
+//! k-fold cross-validation. The paper reports every ML accuracy number
+//! after 5-fold cross-validation (§4.3).
+
+use crate::dataset::Dataset;
+use crate::forest::{RandomForest, RandomForestParams, Task};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffled fold assignments: returns `k` disjoint index sets covering
+/// `0..n`.
+///
+/// # Panics
+/// Panics if `k < 2` or `n < k`.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(n >= k, "fewer samples than folds");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+    for (i, s) in idx.into_iter().enumerate() {
+        folds[i % k].push(s);
+    }
+    folds
+}
+
+/// Out-of-fold predictions: each sample is predicted by the forest trained
+/// on the other `k − 1` folds. Returns predictions aligned with the
+/// dataset's sample order.
+pub fn cross_val_predict(
+    data: &Dataset,
+    task: Task,
+    params: &RandomForestParams,
+    k: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let folds = kfold_indices(data.len(), k, seed);
+    let mut preds = vec![f64::NAN; data.len()];
+    for (fi, test_idx) in folds.iter().enumerate() {
+        let train_idx: Vec<usize> =
+            folds.iter().enumerate().filter(|(i, _)| *i != fi).flat_map(|(_, f)| f.iter().copied()).collect();
+        let train = data.subset(&train_idx);
+        let fold_params = RandomForestParams { seed: params.seed ^ (fi as u64) << 32, ..*params };
+        let forest = RandomForest::fit(&train, task, &fold_params);
+        for &i in test_idx {
+            preds[i] = forest.predict(data.row(i));
+        }
+    }
+    debug_assert!(preds.iter().all(|p| p.is_finite()));
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_everything() {
+        let folds = kfold_indices(103, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..103).collect::<Vec<_>>());
+        // Balanced within one element.
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn folds_are_shuffled_but_deterministic() {
+        let a = kfold_indices(50, 5, 7);
+        let b = kfold_indices(50, 5, 7);
+        let c = kfold_indices(50, 5, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Not simply 0..10 in the first fold.
+        assert_ne!(a[0], (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cross_val_predictions_generalize_on_learnable_data() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..300 {
+            let x = (i % 100) as f64 / 100.0;
+            d.push(&[x], 2.0 * x);
+        }
+        let params = RandomForestParams { n_trees: 15, seed: 3, ..Default::default() };
+        let preds = cross_val_predict(&d, Task::Regression, &params, 5, 11);
+        let m = crate::metrics::mae(&preds, d.targets());
+        assert!(m < 0.1, "cv MAE {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer samples than folds")]
+    fn too_few_samples_rejected() {
+        let _ = kfold_indices(3, 5, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # vcaml-mlcore — machine-learning substrate
+//!
+//! The Rust ecosystem has no mature random-forest implementation available
+//! offline, so this crate implements the paper's model family from
+//! scratch:
+//!
+//! * CART decision trees ([`tree`]) for regression (variance reduction)
+//!   and classification (Gini impurity),
+//! * random forests ([`forest`]) with bootstrap bagging, per-node feature
+//!   subsampling, multi-threaded training, and impurity-based feature
+//!   importance (the paper's Figures 5/7/9 and A.4–A.9),
+//! * ridge regression ([`linear`]) as the classical baseline the paper's
+//!   model comparison needs,
+//! * k-fold cross-validation ([`cv`]) — the paper reports all ML numbers
+//!   over 5-fold CV (§4.3),
+//! * the paper's evaluation metrics ([`metrics`]): MAE, MRAE, accuracy,
+//!   and normalized confusion matrices.
+
+pub mod cv;
+pub mod dataset;
+pub mod forest;
+pub mod linear;
+pub mod metrics;
+pub mod tree;
+
+pub use cv::{cross_val_predict, kfold_indices};
+pub use dataset::Dataset;
+pub use forest::{RandomForest, RandomForestParams, Task};
+pub use linear::RidgeRegression;
+pub use metrics::{accuracy, mae, mrae, percentile, ConfusionMatrix};
+pub use tree::DecisionTree;

@@ -1,0 +1,25 @@
+//! # vcaml-netem — network emulation substrate
+//!
+//! A discrete-event single-link emulator reproducing the conditions the
+//! paper evaluates under:
+//!
+//! * **token-bucket rate limiting** with a drop-tail queue (bufferbloat up
+//!   to a configurable queuing-delay cap),
+//! * **propagation delay** with Gaussian **latency jitter** (which causes
+//!   packet reordering, the paper's main heuristic-error driver),
+//! * **Bernoulli packet loss** (paper §5.4 uses a Bernoulli loss model),
+//! * **per-second condition schedules** — the paper emulates each NDT
+//!   trace value for one second (§4.2),
+//! * an **NDT-like trace generator** standing in for the M-Lab `tcp-info`
+//!   dataset, and
+//! * the **Table A.6 impairment profiles** used for the sensitivity study.
+
+pub mod conditions;
+pub mod impairment;
+pub mod link;
+pub mod trace;
+
+pub use conditions::{ConditionSchedule, SecondCondition};
+pub use impairment::{ImpairmentDim, ImpairmentProfile};
+pub use link::{DropReason, Link, LinkConfig, LinkVerdict};
+pub use trace::{synth_ndt_schedule, NdtTest};

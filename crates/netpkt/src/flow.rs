@@ -1,0 +1,96 @@
+//! Flow identification: the 5-tuple key used to group a VCA session's
+//! packets and to tell upstream from downstream.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::IpAddr;
+
+/// Direction of a packet relative to the monitored client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowDirection {
+    /// Towards the monitored client (the paper infers QoE of the receiver).
+    Downstream,
+    /// From the monitored client.
+    Upstream,
+}
+
+/// A canonicalized UDP 5-tuple.
+///
+/// `FlowKey::canonical` orders the endpoints so that both directions of a
+/// conversation map to the same key, which is how a passive monitor groups
+/// a VCA session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Lower endpoint address (after canonicalization).
+    pub addr_a: IpAddr,
+    /// Lower endpoint port.
+    pub port_a: u16,
+    /// Higher endpoint address.
+    pub addr_b: IpAddr,
+    /// Higher endpoint port.
+    pub port_b: u16,
+    /// IP protocol number (always 17 here, kept for completeness).
+    pub protocol: u8,
+}
+
+impl FlowKey {
+    /// Builds a canonical key from a directed (src, dst) pair. Returns the
+    /// key plus whether the given src was endpoint A.
+    pub fn canonical(
+        src: IpAddr,
+        src_port: u16,
+        dst: IpAddr,
+        dst_port: u16,
+        protocol: u8,
+    ) -> (Self, bool) {
+        let src_first = (src, src_port) <= (dst, dst_port);
+        let key = if src_first {
+            FlowKey { addr_a: src, port_a: src_port, addr_b: dst, port_b: dst_port, protocol }
+        } else {
+            FlowKey { addr_a: dst, port_a: dst_port, addr_b: src, port_b: src_port, protocol }
+        };
+        (key, src_first)
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} <-> {}:{} proto {}",
+            self.addr_a, self.port_a, self.addr_b, self.port_b, self.protocol
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
+    }
+
+    #[test]
+    fn both_directions_same_key() {
+        let (k1, fwd1) = FlowKey::canonical(ip(1), 50000, ip(2), 3478, 17);
+        let (k2, fwd2) = FlowKey::canonical(ip(2), 3478, ip(1), 50000, 17);
+        assert_eq!(k1, k2);
+        assert_ne!(fwd1, fwd2);
+    }
+
+    #[test]
+    fn port_breaks_tie_on_same_addr() {
+        let (k1, fwd) = FlowKey::canonical(ip(1), 9, ip(1), 5, 17);
+        assert!(!fwd);
+        assert_eq!(k1.port_a, 5);
+        assert_eq!(k1.port_b, 9);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (k, _) = FlowKey::canonical(ip(1), 50000, ip(2), 3478, 17);
+        assert_eq!(k.to_string(), "10.0.0.1:50000 <-> 10.0.0.2:3478 proto 17");
+    }
+}

@@ -1,0 +1,280 @@
+//! Classic libpcap file format reader and writer.
+//!
+//! Supports both byte orders and both microsecond (`0xa1b2c3d4`) and
+//! nanosecond (`0xa1b23c4d`) magic variants on read; always writes
+//! little-endian microsecond files, which every tool accepts.
+
+use crate::error::{Error, Result};
+use crate::packet::Timestamp;
+use std::io::{Read, Write};
+
+/// Subset of pcap link types this library produces or consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkType {
+    /// LINKTYPE_ETHERNET (1): frames start with an Ethernet II header.
+    Ethernet,
+    /// LINKTYPE_RAW (101): frames start directly with an IPv4/IPv6 header.
+    RawIp,
+    /// Anything else, carried verbatim.
+    Other(u32),
+}
+
+impl From<u32> for LinkType {
+    fn from(v: u32) -> Self {
+        match v {
+            1 => LinkType::Ethernet,
+            101 => LinkType::RawIp,
+            other => LinkType::Other(other),
+        }
+    }
+}
+
+impl From<LinkType> for u32 {
+    fn from(l: LinkType) -> u32 {
+        match l {
+            LinkType::Ethernet => 1,
+            LinkType::RawIp => 101,
+            LinkType::Other(v) => v,
+        }
+    }
+}
+
+const MAGIC_US: u32 = 0xa1b2_c3d4;
+const MAGIC_NS: u32 = 0xa1b2_3c4d;
+
+/// A record read from a pcap file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Capture timestamp.
+    pub ts: Timestamp,
+    /// Original packet length on the wire.
+    pub orig_len: u32,
+    /// Captured bytes (may be shorter than `orig_len` if the trace used a
+    /// snap length).
+    pub data: Vec<u8>,
+}
+
+/// Streaming pcap reader.
+pub struct PcapReader<R: Read> {
+    reader: R,
+    swapped: bool,
+    nanos: bool,
+    link_type: LinkType,
+    snaplen: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Reads and validates the global header.
+    pub fn new(mut reader: R) -> Result<Self> {
+        let mut hdr = [0u8; 24];
+        reader.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let (swapped, nanos) = match magic {
+            MAGIC_US => (false, false),
+            MAGIC_NS => (false, true),
+            m if m.swap_bytes() == MAGIC_US => (true, false),
+            m if m.swap_bytes() == MAGIC_NS => (true, true),
+            m => return Err(Error::BadMagic(m)),
+        };
+        let u32_at = |b: &[u8], off: usize| {
+            let raw = [b[off], b[off + 1], b[off + 2], b[off + 3]];
+            if swapped {
+                u32::from_be_bytes(raw)
+            } else {
+                u32::from_le_bytes(raw)
+            }
+        };
+        let snaplen = u32_at(&hdr, 16);
+        let link_type = LinkType::from(u32_at(&hdr, 20));
+        Ok(Self { reader, swapped, nanos, link_type, snaplen })
+    }
+
+    /// Link type declared in the global header.
+    pub fn link_type(&self) -> LinkType {
+        self.link_type
+    }
+
+    /// Snap length declared in the global header.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// Reads the next record; `Ok(None)` at a clean end of file.
+    pub fn next_record(&mut self) -> Result<Option<PcapRecord>> {
+        let mut hdr = [0u8; 16];
+        match self.reader.read_exact(&mut hdr) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let u32_at = |b: &[u8], off: usize| {
+            let raw = [b[off], b[off + 1], b[off + 2], b[off + 3]];
+            if self.swapped {
+                u32::from_be_bytes(raw)
+            } else {
+                u32::from_le_bytes(raw)
+            }
+        };
+        let ts_sec = u32_at(&hdr, 0) as i64;
+        let ts_frac = u32_at(&hdr, 4) as i64;
+        let incl_len = u32_at(&hdr, 8);
+        let orig_len = u32_at(&hdr, 12);
+        if incl_len > self.snaplen.max(65_535) {
+            return Err(Error::Malformed { layer: "pcap", what: "record length beyond snaplen" });
+        }
+        let micros = if self.nanos { ts_frac / 1_000 } else { ts_frac };
+        let mut data = vec![0u8; incl_len as usize];
+        self.reader.read_exact(&mut data)?;
+        Ok(Some(PcapRecord { ts: Timestamp(ts_sec * 1_000_000 + micros), orig_len, data }))
+    }
+
+    /// Convenience: drains the file into a vector of records.
+    pub fn read_all(&mut self) -> Result<Vec<PcapRecord>> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+/// Streaming pcap writer (little-endian, microsecond timestamps).
+pub struct PcapWriter<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Writes the global header.
+    pub fn new(mut writer: W, link_type: LinkType) -> Result<Self> {
+        let mut hdr = [0u8; 24];
+        hdr[0..4].copy_from_slice(&MAGIC_US.to_le_bytes());
+        hdr[4..6].copy_from_slice(&2u16.to_le_bytes()); // major
+        hdr[6..8].copy_from_slice(&4u16.to_le_bytes()); // minor
+        hdr[16..20].copy_from_slice(&65_535u32.to_le_bytes()); // snaplen
+        hdr[20..24].copy_from_slice(&u32::from(link_type).to_le_bytes());
+        writer.write_all(&hdr)?;
+        Ok(Self { writer })
+    }
+
+    /// Appends one full-length packet record.
+    pub fn write_packet(&mut self, ts: Timestamp, data: &[u8]) -> Result<()> {
+        let secs = ts.0.div_euclid(1_000_000);
+        let micros = ts.0.rem_euclid(1_000_000);
+        let mut hdr = [0u8; 16];
+        hdr[0..4].copy_from_slice(&(secs as u32).to_le_bytes());
+        hdr[4..8].copy_from_slice(&(micros as u32).to_le_bytes());
+        hdr[8..12].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        hdr[12..16].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        self.writer.write_all(&hdr)?;
+        self.writer.write_all(data)?;
+        Ok(())
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn finish(mut self) -> Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(packets: &[(i64, Vec<u8>)]) -> Vec<PcapRecord> {
+        let mut w = PcapWriter::new(Vec::new(), LinkType::Ethernet).unwrap();
+        for (us, data) in packets {
+            w.write_packet(Timestamp(*us), data).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.link_type(), LinkType::Ethernet);
+        r.read_all().unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let pkts = vec![(0i64, vec![1u8, 2, 3]), (1_500_000, vec![4u8; 100]), (2_000_001, vec![])];
+        let recs = roundtrip(&pkts);
+        assert_eq!(recs.len(), 3);
+        for (rec, (us, data)) in recs.iter().zip(&pkts) {
+            assert_eq!(rec.ts.0, *us);
+            assert_eq!(&rec.data, data);
+            assert_eq!(rec.orig_len as usize, data.len());
+        }
+    }
+
+    #[test]
+    fn empty_file_reads_no_records() {
+        let w = PcapWriter::new(Vec::new(), LinkType::RawIp).unwrap();
+        let bytes = w.finish().unwrap();
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.link_type(), LinkType::RawIp);
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = vec![0u8; 24];
+        assert!(matches!(PcapReader::new(Cursor::new(bytes)), Err(Error::BadMagic(0))));
+    }
+
+    #[test]
+    fn big_endian_file_parses() {
+        // Hand-build a big-endian global header + one record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_US.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes()); // thiszone
+        bytes.extend_from_slice(&0u32.to_be_bytes()); // sigfigs
+        bytes.extend_from_slice(&65_535u32.to_be_bytes());
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        bytes.extend_from_slice(&42u32.to_be_bytes()); // ts_usec
+        bytes.extend_from_slice(&3u32.to_be_bytes()); // incl
+        bytes.extend_from_slice(&3u32.to_be_bytes()); // orig
+        bytes.extend_from_slice(&[9, 9, 9]);
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.ts.0, 7_000_042);
+        assert_eq!(rec.data, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn nanosecond_magic_converted() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_NS.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        bytes.extend_from_slice(&65_535u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // ts_sec
+        bytes.extend_from_slice(&1_500u32.to_le_bytes()); // 1500 ns = 1 µs
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0xab);
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.ts.0, 1_000_001);
+    }
+
+    #[test]
+    fn truncated_record_errors() {
+        let mut w = PcapWriter::new(Vec::new(), LinkType::Ethernet).unwrap();
+        w.write_packet(Timestamp(0), &[1, 2, 3, 4]).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes.truncate(bytes.len() - 2);
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert!(r.next_record().is_err());
+    }
+
+    #[test]
+    fn negative_timestamp_roundtrip_is_clamped_sanely() {
+        // Timestamps before the epoch can't appear in pcap; the writer
+        // stores seconds as u32, so verify the euclidean split stays exact
+        // for t >= 0 boundary values.
+        let recs = roundtrip(&[(999_999, vec![1])]);
+        assert_eq!(recs[0].ts.0, 999_999);
+    }
+}

@@ -1,0 +1,155 @@
+//! Application modes beyond the two-person video call (paper §7):
+//! multi-party conferences (several video streams multiplexed on one UDP
+//! flow, as an SFU forwards them) and video-off calls.
+
+use crate::receiver::SecondTruth;
+use crate::session::{SessionTrace, SimPacket};
+use vcaml_rtp::MediaKind;
+
+/// Merges per-participant downstream sessions into one flow, as an SFU
+/// would forward them to a single receiver. Each participant's RTP
+/// streams get a distinct SSRC namespace; per-second ground truth is
+/// aggregated (bitrates and frame rates add; the jitter reported is the
+/// participant mean; the height is the maximum rendered tile).
+///
+/// # Panics
+/// Panics if `sessions` is empty or durations differ.
+pub fn merge_multiparty(sessions: &[SessionTrace]) -> SessionTrace {
+    assert!(!sessions.is_empty(), "no participants");
+    let duration = sessions[0].duration_secs;
+    assert!(
+        sessions.iter().all(|s| s.duration_secs == duration),
+        "participant sessions must share a duration"
+    );
+    let mut packets: Vec<SimPacket> = Vec::new();
+    for (i, s) in sessions.iter().enumerate() {
+        let ssrc_base = (i as u32 + 1) << 20;
+        for p in &s.packets {
+            let mut p = *p;
+            if let Some(h) = p.rtp.as_mut() {
+                h.ssrc = h.ssrc.wrapping_add(ssrc_base);
+            }
+            packets.push(p);
+        }
+    }
+    packets.sort_by_key(|p| (p.arrival_ts, p.send_ts));
+
+    let truth: Vec<SecondTruth> = (0..duration as usize)
+        .map(|sec| {
+            let rows: Vec<&SecondTruth> =
+                sessions.iter().filter_map(|s| s.truth.get(sec)).collect();
+            SecondTruth {
+                second: sec as i64,
+                bitrate_kbps: rows.iter().map(|r| r.bitrate_kbps).sum(),
+                fps: rows.iter().map(|r| r.fps).sum(),
+                frame_jitter_ms: rows.iter().map(|r| r.frame_jitter_ms).sum::<f64>()
+                    / rows.len().max(1) as f64,
+                height: rows.iter().map(|r| r.height).max().unwrap_or(0),
+            }
+        })
+        .collect();
+
+    SessionTrace { vca: sessions[0].vca, packets, truth, duration_secs: duration }
+}
+
+/// Converts a session into its video-off counterpart: the sender keeps
+/// audio and control traffic but sends no video or retransmissions, and
+/// ground-truth video QoE is zero.
+pub fn video_off(session: &SessionTrace) -> SessionTrace {
+    let packets = session
+        .packets
+        .iter()
+        .filter(|p| matches!(p.media, MediaKind::Audio | MediaKind::Control))
+        .copied()
+        .collect();
+    let truth = session
+        .truth
+        .iter()
+        .map(|t| SecondTruth {
+            second: t.second,
+            bitrate_kbps: 0.0,
+            fps: 0.0,
+            frame_jitter_ms: 0.0,
+            height: 0,
+        })
+        .collect();
+    SessionTrace {
+        vca: session.vca,
+        packets,
+        truth,
+        duration_secs: session.duration_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::VcaProfile;
+    use crate::session::{Session, SessionConfig};
+    use vcaml_netem::{ConditionSchedule, LinkConfig, SecondCondition};
+    use vcaml_rtp::VcaKind;
+
+    fn one_session(seed: u64) -> SessionTrace {
+        Session::new(SessionConfig {
+            profile: VcaProfile::lab(VcaKind::Teams),
+            schedule: ConditionSchedule::constant(SecondCondition {
+                throughput_kbps: 10_000.0,
+                delay_ms: 15.0,
+                jitter_ms: 0.5,
+                loss_pct: 0.0,
+            }),
+            duration_secs: 8,
+            seed,
+            link: LinkConfig::default(),
+        })
+        .run()
+    }
+
+    #[test]
+    fn merge_aggregates_truth_and_packets() {
+        let a = one_session(1);
+        let b = one_session(2);
+        let merged = merge_multiparty(&[a.clone(), b.clone()]);
+        assert_eq!(merged.packets.len(), a.packets.len() + b.packets.len());
+        assert!(merged.packets.windows(2).all(|w| w[0].arrival_ts <= w[1].arrival_ts));
+        let sec = 5;
+        assert!(
+            (merged.truth[sec].fps - (a.truth[sec].fps + b.truth[sec].fps)).abs() < 1e-9
+        );
+        assert!(
+            (merged.truth[sec].bitrate_kbps
+                - (a.truth[sec].bitrate_kbps + b.truth[sec].bitrate_kbps))
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn merge_keeps_ssrcs_distinct() {
+        let merged = merge_multiparty(&[one_session(1), one_session(2)]);
+        let video_ssrcs: std::collections::HashSet<u32> = merged
+            .packets
+            .iter()
+            .filter(|p| p.media == MediaKind::Video)
+            .map(|p| p.rtp.unwrap().ssrc)
+            .collect();
+        assert_eq!(video_ssrcs.len(), 2);
+    }
+
+    #[test]
+    fn video_off_strips_video_and_truth() {
+        let off = video_off(&one_session(3));
+        assert!(off
+            .packets
+            .iter()
+            .all(|p| matches!(p.media, MediaKind::Audio | MediaKind::Control)));
+        assert!(!off.packets.is_empty());
+        assert!(off.truth.iter().all(|t| t.fps == 0.0 && t.bitrate_kbps == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no participants")]
+    fn empty_merge_rejected() {
+        let _ = merge_multiparty(&[]);
+    }
+}

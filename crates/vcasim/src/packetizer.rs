@@ -1,0 +1,150 @@
+//! Frame packetization.
+//!
+//! The default policy splits a frame into equal-sized RTP payloads
+//! (difference ≤ 1 byte), mirroring the FEC-friendly fragmentation the
+//! paper identifies (§3.2.1, citing RFC 6184 / RFC 5109). The `Unequal`
+//! policy reproduces the Meet/VP8 behaviour where intra-frame packet sizes
+//! spread by tens-to-hundreds of bytes, which breaks the IP/UDP Heuristic
+//! (§5.2.1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How a frame is split into packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentPolicy {
+    /// Equal split: payload sizes differ by at most one byte.
+    Equal,
+    /// Unequal split: payload sizes vary substantially within the frame.
+    Unequal,
+}
+
+/// Splits `frame_size` payload bytes into per-packet payload sizes, none
+/// exceeding `max_payload`.
+///
+/// # Panics
+/// Panics if `frame_size` is zero or `max_payload` is zero.
+pub fn packetize(
+    frame_size: usize,
+    max_payload: usize,
+    policy: FragmentPolicy,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    assert!(frame_size > 0, "empty frame");
+    assert!(max_payload > 0, "zero max payload");
+    let n = frame_size.div_ceil(max_payload);
+    match policy {
+        FragmentPolicy::Equal => {
+            let base = frame_size / n;
+            let rem = frame_size % n;
+            // `rem` packets carry one extra byte: sizes differ by ≤ 1.
+            (0..n).map(|i| base + usize::from(i < rem)).collect()
+        }
+        FragmentPolicy::Unequal => {
+            if n == 1 {
+                // Split a single-packet frame in two uneven pieces so the
+                // intra-frame spread exists even for small frames.
+                if frame_size >= 160 {
+                    let first = rng.gen_range(frame_size / 2..frame_size - 40);
+                    return vec![first, frame_size - first];
+                }
+                return vec![frame_size];
+            }
+            // Start from the equal split, then move a random amount across
+            // ONE packet boundary: VP8 partition boundaries typically leave
+            // a single odd-sized packet per affected frame, so an unequal
+            // frame splits into about two heuristic frames (paper Fig. 4:
+            // ~0.7 splits per window for Meet).
+            let mut sizes: Vec<usize> = {
+                let base = frame_size / n;
+                let rem = frame_size % n;
+                (0..n).map(|i| base + usize::from(i < rem)).collect()
+            };
+            let i = rng.gen_range(0..n - 1);
+            let max_shift = sizes[i].saturating_sub(60).min(max_payload - sizes[i + 1]);
+            if max_shift >= 8 {
+                let shift = rng.gen_range(8..=max_shift.min(400));
+                sizes[i] -= shift;
+                sizes[i + 1] += shift;
+            }
+            sizes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn equal_split_within_one_byte() {
+        let mut r = rng();
+        for size in [1usize, 100, 1160, 1161, 3000, 9999, 20000] {
+            let parts = packetize(size, 1160, FragmentPolicy::Equal, &mut r);
+            assert_eq!(parts.iter().sum::<usize>(), size);
+            let min = *parts.iter().min().unwrap();
+            let max = *parts.iter().max().unwrap();
+            assert!(max - min <= 1, "size {size}: spread {}", max - min);
+            assert!(max <= 1160);
+        }
+    }
+
+    #[test]
+    fn equal_split_packet_count_minimal() {
+        let mut r = rng();
+        assert_eq!(packetize(1160, 1160, FragmentPolicy::Equal, &mut r).len(), 1);
+        assert_eq!(packetize(1161, 1160, FragmentPolicy::Equal, &mut r).len(), 2);
+        assert_eq!(packetize(2320, 1160, FragmentPolicy::Equal, &mut r).len(), 2);
+        assert_eq!(packetize(2321, 1160, FragmentPolicy::Equal, &mut r).len(), 3);
+    }
+
+    #[test]
+    fn unequal_split_preserves_total_and_cap() {
+        let mut r = rng();
+        for size in [500usize, 2000, 4000, 12000] {
+            let parts = packetize(size, 1160, FragmentPolicy::Unequal, &mut r);
+            assert_eq!(parts.iter().sum::<usize>(), size, "size {size}");
+            assert!(parts.iter().all(|&p| p > 0 && p <= 1160));
+        }
+    }
+
+    #[test]
+    fn unequal_split_actually_spreads() {
+        let mut r = rng();
+        let mut spread_seen = 0;
+        for _ in 0..50 {
+            let parts = packetize(3000, 1160, FragmentPolicy::Unequal, &mut r);
+            let min = *parts.iter().min().unwrap();
+            let max = *parts.iter().max().unwrap();
+            if max - min > 2 {
+                spread_seen += 1;
+            }
+        }
+        assert!(spread_seen > 40, "only {spread_seen}/50 frames spread");
+    }
+
+    #[test]
+    fn unequal_single_packet_frame_splits_when_large() {
+        let mut r = rng();
+        let parts = packetize(800, 1160, FragmentPolicy::Unequal, &mut r);
+        assert_eq!(parts.iter().sum::<usize>(), 800);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn unequal_tiny_frame_stays_single() {
+        let mut r = rng();
+        assert_eq!(packetize(100, 1160, FragmentPolicy::Unequal, &mut r), vec![100]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty frame")]
+    fn zero_frame_rejected() {
+        packetize(0, 1160, FragmentPolicy::Equal, &mut rng());
+    }
+}

@@ -1,0 +1,95 @@
+//! Wire-format round trip: export a simulated call as a standard libpcap
+//! file (openable in Wireshark/tcpdump), read it back, re-parse every
+//! packet from raw bytes, and run the QoE pipeline on the re-parsed trace
+//! — demonstrating that the estimator consumes nothing beyond what a
+//! packet capture contains.
+//!
+//! ```sh
+//! cargo run --release --example pcap_pipeline
+//! ```
+
+use std::io::Cursor;
+use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
+use vcaml_suite::netpkt::{
+    EthernetFrame, EthernetRepr, EtherType, Ipv4Repr, LinkType, MacAddr, PcapReader, PcapWriter,
+    UdpDatagram, UdpRepr,
+};
+use vcaml_suite::rtp::{RtpHeader, VcaKind};
+use vcaml_suite::vcaml::{estimate_windows, HeuristicParams, IpUdpHeuristic, MediaClassifier};
+use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
+
+fn main() {
+    // 1. Simulate a call and materialize wire bytes.
+    let profile = VcaProfile::lab(VcaKind::Webex);
+    let session = Session::new(SessionConfig {
+        profile: profile.clone(),
+        schedule: synth_ndt_schedule(7, 20),
+        duration_secs: 20,
+        seed: 7,
+        link: LinkConfig::default(),
+    })
+    .run();
+    let captured = session.to_captured();
+
+    // 2. Write a classic pcap with full Ethernet/IPv4/UDP framing.
+    let mut writer = PcapWriter::new(Vec::new(), LinkType::Ethernet).expect("pcap header");
+    let eth = EthernetRepr {
+        src: MacAddr([0x02, 0, 0, 0, 0, 0x01]),
+        dst: MacAddr([0x02, 0, 0, 0, 0, 0x02]),
+        ethertype: EtherType::Ipv4,
+    };
+    for cap in &captured {
+        let payload = &cap.datagram.payload;
+        let mut frame = vec![0u8; 14 + 20 + 8 + payload.len()];
+        eth.emit(&mut frame);
+        Ipv4Repr {
+            src: [203, 0, 113, 10],
+            dst: [192, 168, 1, 100],
+            protocol: vcaml_suite::netpkt::IP_PROTO_UDP,
+            payload_len: 8 + payload.len(),
+            ttl: 58,
+            ident: 0,
+        }
+        .emit(&mut frame[14..]);
+        frame[42..].copy_from_slice(payload);
+        UdpRepr { src_port: cap.datagram.src_port, dst_port: cap.datagram.dst_port }.emit_v4(
+            &mut frame[34..],
+            payload.len(),
+            [203, 0, 113, 10],
+            [192, 168, 1, 100],
+        );
+        writer.write_packet(cap.ts, &frame).expect("write record");
+    }
+    let pcap_bytes = writer.finish().expect("flush");
+    std::fs::write("webex_call.pcap", &pcap_bytes).expect("write file");
+    println!("wrote webex_call.pcap: {} packets, {} bytes", captured.len(), pcap_bytes.len());
+
+    // 3. Read it back and re-parse from raw bytes only.
+    let mut reader = PcapReader::new(Cursor::new(pcap_bytes)).expect("pcap header");
+    let mut video_pkts = Vec::new();
+    let mut n_rtp = 0usize;
+    let classifier = MediaClassifier::default();
+    while let Some(rec) = reader.next_record().expect("read record") {
+        let frame = EthernetFrame::new_checked(&rec.data[..]).expect("ethernet");
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        let Some(dg) = UdpDatagram::parse(&rec.data).expect("udp parse") else { continue };
+        if RtpHeader::parse(&dg.payload).is_ok() {
+            n_rtp += 1;
+        }
+        // The monitor's view: timestamp + IP total length.
+        if dg.ip_total_len >= classifier.vmin {
+            video_pkts.push((rec.ts, dg.ip_total_len));
+        }
+    }
+    println!("re-parsed: {n_rtp} RTP packets, {} video-classified", video_pkts.len());
+
+    // 4. QoE estimation straight from the re-parsed capture.
+    let (frames, _) =
+        IpUdpHeuristic::new(HeuristicParams::paper(VcaKind::Webex)).assemble(&video_pkts);
+    let est = estimate_windows(&frames, 20, 1);
+    println!("\n  t   FPS  kbps");
+    for (t, e) in est.iter().enumerate() {
+        println!("{t:>3}  {:>4.0}  {:>5.0}", e.fps, e.bitrate_kbps);
+    }
+    std::fs::remove_file("webex_call.pcap").ok();
+}

@@ -1,0 +1,59 @@
+//! Quickstart: simulate one Teams call over an emulated access link,
+//! estimate its per-second QoE with the IP/UDP Heuristic, and compare
+//! against ground truth — the paper's core loop in ~60 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vcaml_suite::datasets::to_core_trace;
+use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
+use vcaml_suite::rtp::VcaKind;
+use vcaml_suite::vcaml::{
+    estimate_windows, HeuristicParams, IpUdpHeuristic, MediaClassifier,
+};
+use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
+
+fn main() {
+    // 1. A 30-second Teams call over NDT-like emulated network conditions.
+    let profile = VcaProfile::lab(VcaKind::Teams);
+    let session = Session::new(SessionConfig {
+        profile: profile.clone(),
+        schedule: synth_ndt_schedule(42, 30),
+        duration_secs: 30,
+        seed: 42,
+        link: LinkConfig::default(),
+    })
+    .run();
+    let trace = to_core_trace(&session, profile.payload_map);
+    println!("captured {} packets over {} s", trace.packets.len(), trace.duration_secs);
+
+    // 2. Media classification from packet sizes alone (no RTP access).
+    let classifier = MediaClassifier::default();
+    let video: Vec<_> = trace
+        .packets
+        .iter()
+        .filter(|p| classifier.is_video(p))
+        .map(|p| (p.ts, p.size))
+        .collect();
+    println!("{} packets classified as video", video.len());
+
+    // 3. Frame-boundary detection from packet sizes (Algorithm 1).
+    let heuristic = IpUdpHeuristic::new(HeuristicParams::paper(VcaKind::Teams));
+    let (frames, _) = heuristic.assemble(&video);
+    println!("reconstructed {} video frames", frames.len());
+
+    // 4. Per-second QoE estimates vs ground truth.
+    let est = estimate_windows(&frames, trace.duration_secs as usize, 1);
+    println!("\n  t   est FPS  true FPS  est kbps  true kbps");
+    let mut abs_err = 0.0;
+    for truth in &trace.truth {
+        let e = est[truth.second as usize];
+        abs_err += (e.fps - truth.fps).abs();
+        println!(
+            "{:>3}   {:>7.1}  {:>8.1}  {:>8.0}  {:>9.0}",
+            truth.second, e.fps, truth.fps, e.bitrate_kbps, truth.bitrate_kbps
+        );
+    }
+    println!("\nframe rate MAE: {:.2} FPS", abs_err / trace.truth.len() as f64);
+}

@@ -1,0 +1,15 @@
+//! # vcaml-suite — umbrella crate
+//!
+//! Re-exports the whole workspace so examples and integration tests can use
+//! a single dependency. See the individual crates for documentation:
+//! [`netpkt`], [`rtp`], [`netem`], [`vcasim`], [`mlcore`], [`features`],
+//! [`vcaml`] (the paper's contribution), and [`datasets`].
+
+pub use vcaml;
+pub use vcaml_datasets as datasets;
+pub use vcaml_features as features;
+pub use vcaml_mlcore as mlcore;
+pub use vcaml_netem as netem;
+pub use vcaml_netpkt as netpkt;
+pub use vcaml_rtp as rtp;
+pub use vcaml_vcasim as vcasim;

@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: simulator → datasets → feature
+//! extraction → heuristics/ML → evaluation, plus wire-format round trips.
+
+use vcaml_suite::datasets::{inlab_corpus, realworld_corpus, to_core_trace, CorpusConfig};
+use vcaml_suite::mlcore::{mae, RandomForestParams};
+use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
+use vcaml_suite::netpkt::{LinkType, PcapReader, PcapWriter, UdpDatagram};
+use vcaml_suite::rtp::{MediaKind, RtpHeader, VcaKind};
+use vcaml_suite::vcaml::{
+    build_samples, eval_heuristic, eval_ml_regression, eval_ml_resolution, transfer_regression,
+    MediaClassifier, Method, PipelineOpts, Target,
+};
+use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
+
+fn small_opts(vca: VcaKind) -> PipelineOpts {
+    let mut o = PipelineOpts::paper(vca);
+    o.forest = RandomForestParams { n_trees: 10, seed: 1, ..Default::default() };
+    o
+}
+
+fn small_corpus(vca: VcaKind, seed: u64) -> Vec<vcaml_suite::vcaml::Trace> {
+    inlab_corpus(vca, &CorpusConfig { n_calls: 6, min_secs: 25, max_secs: 35, seed })
+}
+
+#[test]
+fn end_to_end_all_methods_reasonable_on_webex() {
+    let vca = VcaKind::Webex;
+    let opts = small_opts(vca);
+    let set = build_samples(&small_corpus(vca, 1), &opts);
+    assert!(set.samples.len() > 100);
+
+    for method in Method::ALL {
+        let (p, t) = if method.is_ml() {
+            eval_ml_regression(&set, method, Target::FrameRate, &opts)
+        } else {
+            eval_heuristic(&set, method, Target::FrameRate)
+        };
+        let m = mae(&p, &t);
+        assert!(m < 5.0, "{} frame-rate MAE {m}", method.name());
+    }
+}
+
+#[test]
+fn ipudp_ml_close_to_rtp_ml() {
+    // The paper's headline: IP/UDP features are nearly as good as RTP.
+    let vca = VcaKind::Teams;
+    let opts = small_opts(vca);
+    let set = build_samples(&small_corpus(vca, 2), &opts);
+    let (ip_p, ip_t) = eval_ml_regression(&set, Method::IpUdpMl, Target::FrameRate, &opts);
+    let (rt_p, rt_t) = eval_ml_regression(&set, Method::RtpMl, Target::FrameRate, &opts);
+    let gap = mae(&ip_p, &ip_t) - mae(&rt_p, &rt_t);
+    assert!(gap < 2.5, "IP/UDP ML trails RTP ML by {gap} FPS");
+}
+
+#[test]
+fn media_classification_high_accuracy_all_vcas() {
+    for vca in VcaKind::ALL {
+        let traces = small_corpus(vca, 3);
+        let classifier = MediaClassifier::default();
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        for t in &traces {
+            let m = classifier.evaluate(t, 304);
+            correct += m.count(0, 0) + m.count(1, 1);
+            total += m.row_total(0) + m.row_total(1);
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.97, "{vca}: media accuracy {acc}");
+    }
+}
+
+#[test]
+fn resolution_classification_works_for_teams() {
+    let vca = VcaKind::Teams;
+    let opts = small_opts(vca);
+    let set = build_samples(&small_corpus(vca, 4), &opts);
+    let (m, acc) = eval_ml_resolution(&set, Method::IpUdpMl, &opts).expect("classifiable");
+    assert!(acc > 0.6, "resolution accuracy {acc}");
+    assert_eq!(m.labels(), &["Low", "Medium", "High"]);
+}
+
+#[test]
+fn lab_model_transfers_to_real_world() {
+    let vca = VcaKind::Webex;
+    let opts = small_opts(vca);
+    let train = build_samples(&small_corpus(vca, 5), &opts);
+    let rw = realworld_corpus(
+        vca,
+        &CorpusConfig { n_calls: 8, min_secs: 15, max_secs: 20, seed: 6 },
+    );
+    let test = build_samples(&rw, &opts);
+    let (p, t) = transfer_regression(&train, &test, Method::IpUdpMl, Target::FrameRate, &opts);
+    let m = mae(&p, &t);
+    assert!(m < 6.0, "transfer MAE {m}");
+}
+
+#[test]
+fn captured_bytes_roundtrip_through_pcap() {
+    let profile = VcaProfile::lab(VcaKind::Teams);
+    let session = Session::new(SessionConfig {
+        profile: profile.clone(),
+        schedule: synth_ndt_schedule(9, 10),
+        duration_secs: 10,
+        seed: 9,
+        link: LinkConfig::default(),
+    })
+    .run();
+    let captured = session.to_captured();
+
+    // Raw-IP pcap: write IPv4 packets, read them back, re-parse.
+    let mut w = PcapWriter::new(Vec::new(), LinkType::RawIp).unwrap();
+    for cap in &captured {
+        // Rebuild the IPv4 packet bytes from the datagram.
+        let payload = &cap.datagram.payload;
+        let mut buf = vec![0u8; 20 + 8 + payload.len()];
+        vcaml_suite::netpkt::Ipv4Repr {
+            src: [203, 0, 113, 10],
+            dst: [192, 168, 1, 100],
+            protocol: vcaml_suite::netpkt::IP_PROTO_UDP,
+            payload_len: 8 + payload.len(),
+            ttl: 58,
+            ident: 0,
+        }
+        .emit(&mut buf);
+        buf[28..].copy_from_slice(payload);
+        vcaml_suite::netpkt::UdpRepr { src_port: 3478, dst_port: 51820 }.emit_v4(
+            &mut buf[20..],
+            payload.len(),
+            [203, 0, 113, 10],
+            [192, 168, 1, 100],
+        );
+        w.write_packet(cap.ts, &buf).unwrap();
+    }
+    let bytes = w.finish().unwrap();
+
+    let mut r = PcapReader::new(std::io::Cursor::new(bytes)).unwrap();
+    assert_eq!(r.link_type(), LinkType::RawIp);
+    let mut n = 0usize;
+    while let Some(rec) = r.next_record().unwrap() {
+        let dg = UdpDatagram::parse_ipv4(&rec.data).unwrap().expect("udp");
+        assert_eq!(dg.ip_total_len, captured[n].size());
+        assert_eq!(rec.ts, captured[n].ts);
+        n += 1;
+    }
+    assert_eq!(n, captured.len());
+}
+
+#[test]
+fn rtp_headers_in_captured_bytes_match_simulation() {
+    let profile = VcaProfile::lab(VcaKind::Meet);
+    let session = Session::new(SessionConfig {
+        profile: profile.clone(),
+        schedule: synth_ndt_schedule(10, 8),
+        duration_secs: 8,
+        seed: 10,
+        link: LinkConfig::default(),
+    })
+    .run();
+    let trace = to_core_trace(&session, profile.payload_map);
+    // PT classification must agree with simulator truth for RTP packets.
+    for p in &trace.packets {
+        if let Some(h) = p.rtp {
+            let classified = profile.payload_map.classify(h.payload_type);
+            match p.truth_media.unwrap() {
+                MediaKind::Video => assert_eq!(classified, Some(MediaKind::Video)),
+                MediaKind::Audio => assert_eq!(classified, Some(MediaKind::Audio)),
+                MediaKind::VideoRtx => assert_eq!(classified, Some(MediaKind::VideoRtx)),
+                MediaKind::Control => panic!("control packet with RTP header"),
+            }
+        }
+    }
+    // And the emitted wire bytes parse back to the same header.
+    let captured = session.to_captured();
+    for (cap, sim) in captured.iter().zip(&session.packets) {
+        match sim.rtp {
+            Some(h) => assert_eq!(RtpHeader::parse(&cap.datagram.payload).unwrap(), h),
+            None => assert!(RtpHeader::parse(&cap.datagram.payload).is_err()),
+        }
+    }
+}
+
+#[test]
+fn corpora_are_deterministic_across_processes() {
+    // Same seeds -> identical window counts and truth series.
+    let a = small_corpus(VcaKind::Meet, 11);
+    let b = small_corpus(VcaKind::Meet, 11);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.packets.len(), y.packets.len());
+        assert_eq!(x.truth.len(), y.truth.len());
+        for (tx, ty) in x.truth.iter().zip(&y.truth) {
+            assert_eq!(tx.fps, ty.fps);
+            assert_eq!(tx.bitrate_kbps, ty.bitrate_kbps);
+        }
+    }
+}
+
+#[test]
+fn window_sweep_reduces_ml_error() {
+    // Fig 12's trend: larger windows -> easier prediction.
+    let vca = VcaKind::Webex;
+    let traces = small_corpus(vca, 12);
+    let mut maes = Vec::new();
+    for w in [1u32, 5] {
+        let mut opts = small_opts(vca);
+        opts.window_secs = w;
+        let set = build_samples(&traces, &opts);
+        let (p, t) = eval_ml_regression(&set, Method::IpUdpMl, Target::FrameRate, &opts);
+        maes.push(mae(&p, &t));
+    }
+    assert!(maes[1] < maes[0], "window sweep: {maes:?}");
+}

@@ -1,0 +1,253 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across the workspace.
+
+use proptest::prelude::*;
+use vcaml_suite::features::{microbursts, unique_sizes, windows_by_second, PktObs};
+use vcaml_suite::mlcore::{percentile, ConfusionMatrix};
+use vcaml_suite::netpkt::checksum::{checksum, verify, Checksum};
+use vcaml_suite::netpkt::{Ipv4Packet, Ipv4Repr, LinkType, PcapReader, PcapWriter, Timestamp, UdpPacket, UdpRepr};
+use vcaml_suite::rtp::{seq_distance, seq_greater, RtpHeader, SequenceTracker};
+use vcaml_suite::vcaml::{HeuristicParams, IpUdpHeuristic};
+use vcaml_suite::vcasim::{packetize, FragmentPolicy};
+
+proptest! {
+    // ---------------- netpkt ----------------
+
+    #[test]
+    fn checksum_of_patched_buffer_verifies(data in proptest::collection::vec(any::<u8>(), 12..256)) {
+        let mut buf = data;
+        buf[10] = 0;
+        buf[11] = 0;
+        let ck = checksum(&buf);
+        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+        prop_assert!(verify(&buf));
+    }
+
+    #[test]
+    fn checksum_order_independent(a in proptest::collection::vec(any::<u8>(), 0..64),
+                                  b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // One's-complement addition commutes across even-length chunks.
+        let mut c1 = Checksum::new();
+        let mut even_a = a.clone();
+        if even_a.len() % 2 == 1 { even_a.push(0); }
+        let mut even_b = b.clone();
+        if even_b.len() % 2 == 1 { even_b.push(0); }
+        c1.add_bytes(&even_a);
+        c1.add_bytes(&even_b);
+        let mut c2 = Checksum::new();
+        c2.add_bytes(&even_b);
+        c2.add_bytes(&even_a);
+        prop_assert_eq!(c1.finish(), c2.finish());
+    }
+
+    #[test]
+    fn ipv4_roundtrip(src in any::<[u8; 4]>(), dst in any::<[u8; 4]>(),
+                      ttl in 1u8..=255, ident in any::<u16>(),
+                      payload_len in 0usize..1400) {
+        let repr = Ipv4Repr { src, dst, protocol: 17, payload_len, ttl, ident };
+        let mut buf = vec![0u8; 20 + payload_len];
+        repr.emit(&mut buf);
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        prop_assert!(pkt.verify_checksum());
+        prop_assert_eq!(Ipv4Repr::parse(&pkt), repr);
+    }
+
+    #[test]
+    fn udp_roundtrip_detects_any_single_flip(payload in proptest::collection::vec(any::<u8>(), 1..512),
+                                             flip in any::<usize>()) {
+        let src = [10, 0, 0, 1];
+        let dst = [10, 0, 0, 2];
+        let mut buf = vec![0u8; 8 + payload.len()];
+        buf[8..].copy_from_slice(&payload);
+        UdpRepr { src_port: 1000, dst_port: 2000 }.emit_v4(&mut buf, payload.len(), src, dst);
+        let pkt = UdpPacket::new_checked(&buf[..]).unwrap();
+        prop_assert!(pkt.verify_checksum_v4(src, dst));
+        // Flip one payload bit: checksum must catch it (one's complement
+        // detects all single-bit errors).
+        let pos = 8 + flip % payload.len();
+        let mut bad = buf.clone();
+        bad[pos] ^= 0x01;
+        let pkt = UdpPacket::new_checked(&bad[..]).unwrap();
+        prop_assert!(!pkt.verify_checksum_v4(src, dst));
+    }
+
+    #[test]
+    fn pcap_roundtrip(packets in proptest::collection::vec(
+        (0i64..2_000_000_000, proptest::collection::vec(any::<u8>(), 0..200)), 0..20)) {
+        let mut w = PcapWriter::new(Vec::new(), LinkType::Ethernet).unwrap();
+        for (us, data) in &packets {
+            w.write_packet(Timestamp(*us), data).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let mut r = PcapReader::new(std::io::Cursor::new(bytes)).unwrap();
+        let recs = r.read_all().unwrap();
+        prop_assert_eq!(recs.len(), packets.len());
+        for (rec, (us, data)) in recs.iter().zip(&packets) {
+            prop_assert_eq!(rec.ts.0, *us);
+            prop_assert_eq!(&rec.data, data);
+        }
+    }
+
+    // ---------------- rtp ----------------
+
+    #[test]
+    fn rtp_header_roundtrip(pt in 0u8..=127, seq in any::<u16>(), ts in any::<u32>(),
+                            ssrc in any::<u32>(), marker in any::<bool>(),
+                            payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let h = RtpHeader::basic(pt, seq, ts, ssrc, marker);
+        let mut buf = vec![0u8; 12 + payload.len()];
+        h.emit(&mut buf);
+        buf[12..].copy_from_slice(&payload);
+        let parsed = RtpHeader::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, h);
+        prop_assert_eq!(parsed.payload(&buf).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn seq_arithmetic_antisymmetric(a in any::<u16>(), b in any::<u16>()) {
+        if a != b {
+            prop_assert_ne!(seq_greater(a, b), seq_greater(b, a));
+            prop_assert_eq!(seq_distance(a, b), -seq_distance(b, a));
+        } else {
+            prop_assert_eq!(seq_distance(a, b), 0);
+        }
+    }
+
+    #[test]
+    fn seq_tracker_in_order_run_has_no_events(start in any::<u16>(), len in 1usize..500) {
+        let mut t = SequenceTracker::new();
+        let mut prev_ext = None;
+        for i in 0..len {
+            let ext = t.observe(start.wrapping_add(i as u16));
+            if let Some(p) = prev_ext {
+                prop_assert_eq!(ext, p + 1);
+            }
+            prev_ext = Some(ext);
+        }
+        prop_assert_eq!(t.reordered, 0);
+        prop_assert_eq!(t.gap_packets, 0);
+        prop_assert_eq!(t.received, len as u64);
+    }
+
+    // ---------------- vcasim ----------------
+
+    #[test]
+    fn packetize_preserves_total(frame in 1usize..60_000, policy in any::<bool>()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let policy = if policy { FragmentPolicy::Unequal } else { FragmentPolicy::Equal };
+        let parts = packetize(frame, 1160, policy, &mut rng);
+        prop_assert_eq!(parts.iter().sum::<usize>(), frame);
+        prop_assert!(parts.iter().all(|&p| p > 0 && p <= 1160));
+    }
+
+    #[test]
+    fn equal_packetize_spread_at_most_one(frame in 1usize..60_000) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+        let parts = packetize(frame, 1160, FragmentPolicy::Equal, &mut rng);
+        let min = parts.iter().min().unwrap();
+        let max = parts.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+        // Packet count is minimal.
+        prop_assert_eq!(parts.len(), frame.div_ceil(1160));
+    }
+
+    // ---------------- features ----------------
+
+    #[test]
+    fn windows_partition_all_in_range_packets(
+        pkts in proptest::collection::vec((0i64..30_000_000, 40u16..1500), 0..300),
+        w in 1u32..5) {
+        let mut obs: Vec<PktObs> = pkts
+            .iter()
+            .map(|&(us, size)| PktObs { ts: Timestamp(us), size })
+            .collect();
+        obs.sort_by_key(|p| p.ts);
+        let windows = windows_by_second(&obs, 30, w);
+        let total: usize = windows.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, obs.len());
+        // Every packet is in the window matching its timestamp.
+        for (i, win) in windows.iter().enumerate() {
+            for p in win {
+                let sec = p.ts.as_micros() / 1_000_000;
+                prop_assert_eq!((sec / i64::from(w)) as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn microburst_count_bounded_by_packets(
+        pkts in proptest::collection::vec((0i64..1_000_000, 40u16..1500), 0..100)) {
+        let mut obs: Vec<PktObs> =
+            pkts.iter().map(|&(us, s)| PktObs { ts: Timestamp(us), size: s }).collect();
+        obs.sort_by_key(|p| p.ts);
+        let b = microbursts(&obs, 3_000);
+        prop_assert!(b <= obs.len() as f64);
+        prop_assert!(unique_sizes(&obs) <= obs.len() as f64);
+        if !obs.is_empty() {
+            prop_assert!(b >= 1.0);
+        }
+    }
+
+    // ---------------- core heuristic ----------------
+
+    #[test]
+    fn heuristic_conserves_packets(
+        sizes in proptest::collection::vec(450u16..1500, 0..200),
+        lookback in 1usize..6) {
+        let pkts: Vec<(Timestamp, u16)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (Timestamp::from_millis(i as i64), s))
+            .collect();
+        let params = HeuristicParams { delta_max_size: 2, lookback };
+        let (frames, asg) = IpUdpHeuristic::new(params).assemble(&pkts);
+        prop_assert_eq!(asg.len(), pkts.len());
+        let total: u32 = frames.iter().map(|f| f.n_packets).sum();
+        prop_assert_eq!(total as usize, pkts.len());
+        // Frames ordered by end time; every frame non-empty.
+        for w in frames.windows(2) {
+            prop_assert!(w[0].end_ts <= w[1].end_ts);
+        }
+        prop_assert!(frames.iter().all(|f| f.n_packets >= 1 && f.size_bytes >= 1));
+    }
+
+    #[test]
+    fn deeper_lookback_never_increases_frame_count(
+        sizes in proptest::collection::vec(450u16..1500, 1..150)) {
+        let pkts: Vec<(Timestamp, u16)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (Timestamp::from_millis(i as i64), s))
+            .collect();
+        let count = |lb: usize| {
+            let params = HeuristicParams { delta_max_size: 2, lookback: lb };
+            IpUdpHeuristic::new(params).assemble(&pkts).0.len()
+        };
+        prop_assert!(count(4) <= count(1));
+    }
+
+    // ---------------- mlcore ----------------
+
+    #[test]
+    fn percentile_within_range(values in proptest::collection::vec(-1e6f64..1e6, 1..100),
+                               q in 0.0f64..=100.0) {
+        let p = percentile(&values, q);
+        let lo = values.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(p >= lo && p <= hi);
+    }
+
+    #[test]
+    fn confusion_rows_sum_to_100(obs in proptest::collection::vec((0usize..3, 0usize..3), 1..200)) {
+        let mut m = ConfusionMatrix::new(vec!["a".into(), "b".into(), "c".into()]);
+        for (actual, pred) in &obs {
+            m.record(*actual, *pred);
+        }
+        for a in 0..3 {
+            if m.row_total(a) > 0 {
+                let sum: f64 = (0..3).map(|p| m.percent(a, p)).sum();
+                prop_assert!((sum - 100.0).abs() < 1e-9);
+            }
+        }
+    }
+}
