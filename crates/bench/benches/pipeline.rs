@@ -3,14 +3,16 @@
 //! and per-window inference if an operator deploys this at scale?
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::net::{IpAddr, Ipv4Addr};
 use vcaml::{
-    build_samples, HeuristicParams, IpUdpHeuristic, MediaClassifier, PipelineOpts,
+    build_samples, estimate_windows, EngineConfig, FlowTable, HeuristicParams, IpUdpHeuristic,
+    IpUdpHeuristicEngine, IpUdpMlEngine, MediaClassifier, PipelineOpts, QoeEstimator,
 };
 use vcaml_datasets::{inlab_corpus, to_core_trace, CorpusConfig};
-use vcaml_features::{ipudp_features, PktObs, DEFAULT_THETA_IAT_US};
+use vcaml_features::{ipudp_features, windows_by_second, PktObs, DEFAULT_THETA_IAT_US};
 use vcaml_mlcore::{Dataset, RandomForest, RandomForestParams, Task};
 use vcaml_netem::{synth_ndt_schedule, LinkConfig};
-use vcaml_netpkt::{Timestamp, UdpDatagram};
+use vcaml_netpkt::{FlowKey, Timestamp, UdpDatagram};
 use vcaml_rtp::VcaKind;
 use vcaml_vcasim::{Session, SessionConfig, VcaProfile};
 
@@ -51,7 +53,11 @@ fn bench_packet_parse(c: &mut Criterion) {
     }
     .emit(&mut frame);
     frame[28..].copy_from_slice(payload);
-    vcaml_netpkt::UdpRepr { src_port: 3478, dst_port: 51820 }.emit_v4(
+    vcaml_netpkt::UdpRepr {
+        src_port: 3478,
+        dst_port: 51820,
+    }
+    .emit_v4(
         &mut frame[20..],
         payload.len(),
         [203, 0, 113, 10],
@@ -102,7 +108,10 @@ fn bench_feature_extraction(c: &mut Criterion) {
         .packets
         .iter()
         .filter(|p| classifier.is_video(p) && p.ts.second_index() == 10)
-        .map(|p| PktObs { ts: p.ts, size: p.size })
+        .map(|p| PktObs {
+            ts: p.ts,
+            size: p.size,
+        })
         .collect();
     let mut g = c.benchmark_group("feature_extraction");
     g.throughput(Throughput::Elements(window.len() as u64));
@@ -115,7 +124,12 @@ fn bench_feature_extraction(c: &mut Criterion) {
 fn bench_forest(c: &mut Criterion) {
     let traces = inlab_corpus(
         VcaKind::Teams,
-        &CorpusConfig { n_calls: 4, min_secs: 25, max_secs: 30, seed: 3 },
+        &CorpusConfig {
+            n_calls: 4,
+            min_secs: 25,
+            max_secs: 30,
+            seed: 3,
+        },
     );
     let opts = PipelineOpts::paper(VcaKind::Teams);
     let set = build_samples(&traces, &opts);
@@ -123,7 +137,11 @@ fn bench_forest(c: &mut Criterion) {
     for s in &set.samples {
         d.push(&s.ipudp_features, s.truth.fps);
     }
-    let params = RandomForestParams { n_trees: 40, seed: 1, ..Default::default() };
+    let params = RandomForestParams {
+        n_trees: 40,
+        seed: 1,
+        ..Default::default()
+    };
     let forest = RandomForest::fit(&d, Task::Regression, &params);
     let row = set.samples[0].ipudp_features.clone();
 
@@ -131,7 +149,11 @@ fn bench_forest(c: &mut Criterion) {
     g.bench_function("predict_one_window", |b| {
         b.iter(|| forest.predict(std::hint::black_box(&row)))
     });
-    let small = RandomForestParams { n_trees: 10, seed: 1, ..Default::default() };
+    let small = RandomForestParams {
+        n_trees: 10,
+        seed: 1,
+        ..Default::default()
+    };
     g.sample_size(10);
     g.bench_function("fit_10_trees", |b| {
         b.iter_batched(
@@ -164,12 +186,106 @@ fn bench_simulation(c: &mut Criterion) {
     g.finish();
 }
 
+/// Old-batch vs incremental-engine throughput on the same 30 s trace:
+/// the batch path buffers the trace, assembles frames over the whole
+/// capture, and re-computes features per window slice; the engine path
+/// makes one pass, packet by packet.
+fn bench_batch_vs_engine(c: &mut Criterion) {
+    let trace = sample_trace();
+    let config = EngineConfig::paper(VcaKind::Teams);
+    let n_pkts = trace.packets.len() as u64;
+
+    let mut g = c.benchmark_group("batch_vs_engine");
+    g.throughput(Throughput::Elements(n_pkts));
+    g.bench_function("batch_30s_trace", |b| {
+        b.iter(|| {
+            let classifier = MediaClassifier::new(config.vmin);
+            let video: Vec<PktObs> = trace
+                .packets
+                .iter()
+                .filter(|p| classifier.is_video(p))
+                .map(|p| PktObs {
+                    ts: p.ts,
+                    size: p.size,
+                })
+                .collect();
+            let pairs: Vec<(Timestamp, u16)> = video.iter().map(|p| (p.ts, p.size)).collect();
+            let (frames, _) = IpUdpHeuristic::new(config.heuristic).assemble(&pairs);
+            let est = estimate_windows(&frames, trace.duration_secs as usize, 1);
+            let windows = windows_by_second(&video, trace.duration_secs, 1);
+            let feats: usize = windows
+                .iter()
+                .map(|w| ipudp_features(w, 1.0, config.theta_iat_us).len())
+                .sum();
+            est.len() + feats
+        })
+    });
+    g.bench_function("engine_30s_trace", |b| {
+        b.iter(|| {
+            let mut heur = IpUdpHeuristicEngine::new(config);
+            let mut ml = IpUdpMlEngine::new(config);
+            let mut n = 0usize;
+            for p in &trace.packets {
+                n += heur.push(p).len();
+                n += ml.push(p).len();
+            }
+            n + heur.finish().len() + ml.finish().len()
+        })
+    });
+    g.finish();
+}
+
+/// FlowTable throughput with 64 concurrent calls interleaved into one
+/// arrival-ordered feed — the multi-household monitoring shape.
+fn bench_flow_table_64_flows(c: &mut Criterion) {
+    let trace = sample_trace();
+    let config = EngineConfig::paper(VcaKind::Teams);
+    let mut feed: Vec<(FlowKey, vcaml::TracePacket)> = Vec::new();
+    for flow in 0..64usize {
+        let client = IpAddr::V4(Ipv4Addr::new(
+            10,
+            1,
+            (flow / 200) as u8,
+            (flow % 200) as u8 + 1,
+        ));
+        let relay = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 9));
+        let (key, _) = FlowKey::canonical(relay, 3478, client, 51_000 + flow as u16, 17);
+        // Offset each copy a little so flows are not in lockstep.
+        let shift = (flow as i64 % 16) * 1_731;
+        feed.extend(trace.packets.iter().map(|p| {
+            let mut q = *p;
+            q.ts = Timestamp::from_micros(p.ts.as_micros() + shift);
+            (key, q)
+        }));
+    }
+    feed.sort_by_key(|(_, p)| p.ts);
+
+    let mut g = c.benchmark_group("flow_table");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(feed.len() as u64));
+    g.bench_function("heuristic_64_flows", |b| {
+        b.iter(|| {
+            let mut table = FlowTable::new(8, Timestamp::from_secs(60), move |_: &FlowKey| {
+                IpUdpHeuristicEngine::new(config)
+            });
+            let mut n = 0usize;
+            for (key, p) in &feed {
+                n += table.push(*key, p).len();
+            }
+            n + table.finish_all().len()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_packet_parse,
     bench_media_classification,
     bench_heuristic,
     bench_feature_extraction,
+    bench_batch_vs_engine,
+    bench_flow_table_64_flows,
     bench_forest,
     bench_simulation
 );

@@ -62,7 +62,9 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        reg.iter().filter(|(id, _, _)| ids.iter().any(|w| w == id)).collect()
+        reg.iter()
+            .filter(|(id, _, _)| ids.iter().any(|w| w == id))
+            .collect()
     };
 
     let sink = Sink::new(&out_dir).expect("create output dir");
@@ -72,5 +74,8 @@ fn main() {
         eprintln!("[{:>7.1?}] running {id}: {desc}", started.elapsed());
         run(&mut ctx, &sink);
     }
-    eprintln!("[{:>7.1?}] done — artifacts in {out_dir}/", started.elapsed());
+    eprintln!(
+        "[{:>7.1?}] done — artifacts in {out_dir}/",
+        started.elapsed()
+    );
 }

@@ -35,7 +35,11 @@ pub struct Ctx {
 impl Ctx {
     /// Creates an empty context.
     pub fn new(scale: Scale) -> Self {
-        Ctx { scale, traces: HashMap::new(), samples: HashMap::new() }
+        Ctx {
+            scale,
+            traces: HashMap::new(),
+            samples: HashMap::new(),
+        }
     }
 
     fn corpus_config(&self, corpus: Corpus, vca: VcaKind) -> CorpusConfig {
@@ -50,14 +54,23 @@ impl Ctx {
                     VcaKind::Teams => 36,
                     VcaKind::Webex => 80,
                 };
-                CorpusConfig { n_calls, ..CorpusConfig::realworld_default(seed) }
+                CorpusConfig {
+                    n_calls,
+                    ..CorpusConfig::realworld_default(seed)
+                }
             }
-            (Corpus::InLab, Scale::Small) => {
-                CorpusConfig { n_calls: 8, min_secs: 25, max_secs: 40, seed }
-            }
-            (Corpus::RealWorld, Scale::Small) => {
-                CorpusConfig { n_calls: 12, min_secs: 15, max_secs: 25, seed }
-            }
+            (Corpus::InLab, Scale::Small) => CorpusConfig {
+                n_calls: 8,
+                min_secs: 25,
+                max_secs: 40,
+                seed,
+            },
+            (Corpus::RealWorld, Scale::Small) => CorpusConfig {
+                n_calls: 12,
+                min_secs: 15,
+                max_secs: 25,
+                seed,
+            },
         }
     }
 
@@ -66,8 +79,16 @@ impl Ctx {
     pub fn opts(&self, vca: VcaKind) -> PipelineOpts {
         let mut o = PipelineOpts::paper(vca);
         o.forest = match self.scale {
-            Scale::Full => RandomForestParams { n_trees: 40, seed: 7, ..Default::default() },
-            Scale::Small => RandomForestParams { n_trees: 15, seed: 7, ..Default::default() },
+            Scale::Full => RandomForestParams {
+                n_trees: 40,
+                seed: 7,
+                ..Default::default()
+            },
+            Scale::Small => RandomForestParams {
+                n_trees: 15,
+                seed: 7,
+                ..Default::default()
+            },
         };
         o
     }

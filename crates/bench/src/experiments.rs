@@ -25,35 +25,83 @@ type ExpFn = fn(&mut Ctx, &Sink);
 pub fn registry() -> Vec<(&'static str, &'static str, ExpFn)> {
     vec![
         ("f1", "Fig 1: packet sizes vs payload type (Teams)", f1),
-        ("f2", "Fig 2: intra-/inter-frame packet size difference (Teams)", f2),
+        (
+            "f2",
+            "Fig 2: intra-/inter-frame packet size difference (Teams)",
+            f2,
+        ),
         ("t2", "Table 2: media classification confusion (Meet)", t2),
-        ("ta1", "Table A.1: media classification confusion (Webex)", ta1),
-        ("ta2", "Table A.2: media classification confusion (Teams)", ta2),
+        (
+            "ta1",
+            "Table A.1: media classification confusion (Webex)",
+            ta1,
+        ),
+        (
+            "ta2",
+            "Table A.2: media classification confusion (Teams)",
+            ta2,
+        ),
         ("f3", "Fig 3: in-lab frame rate errors", f3),
         ("f4", "Fig 4: heuristic error taxonomy", f4),
-        ("f5", "Fig 5: top-5 IP/UDP ML frame-rate features (Teams)", f5),
+        (
+            "f5",
+            "Fig 5: top-5 IP/UDP ML frame-rate features (Teams)",
+            f5,
+        ),
         ("f6a", "Fig 6a: in-lab bitrate relative errors", f6a),
         ("f6b", "Fig 6b: in-lab frame jitter errors", f6b),
         ("f7", "Fig 7: top-5 IP/UDP ML bitrate features (Webex)", f7),
         ("f8", "Fig 8: frame jitter time series (Meet)", f8),
-        ("f9", "Fig 9: top-5 IP/UDP ML resolution features (Webex)", f9),
+        (
+            "f9",
+            "Fig 9: top-5 IP/UDP ML resolution features (Webex)",
+            f9,
+        ),
         ("t3", "Table 3: resolution accuracy", t3),
         ("t4", "Table 4: Teams resolution confusion (in-lab)", t4),
-        ("f10", "Fig 10: real-world errors (frame rate, bitrate, jitter)", f10),
+        (
+            "f10",
+            "Fig 10: real-world errors (frame rate, bitrate, jitter)",
+            f10,
+        ),
         ("t5", "Table 5: transferability, frame rate MAE", t5),
         ("f11", "Fig 11: frame-rate MAE vs packet loss", f11),
         ("f12", "Fig 12: frame-rate MAE vs prediction window", f12),
         ("fa1", "Fig A.1: ground-truth QoE CDFs (in-lab)", fa1),
         ("fa2", "Fig A.2: ground-truth QoE CDFs (real-world)", fa2),
-        ("fa3", "Fig A.3: heuristic frame-assignment illustration", fa3),
-        ("fa4", "Fig A.4: IP/UDP ML frame-rate features (Meet, Webex)", fa4),
+        (
+            "fa3",
+            "Fig A.3: heuristic frame-assignment illustration",
+            fa3,
+        ),
+        (
+            "fa4",
+            "Fig A.4: IP/UDP ML frame-rate features (Meet, Webex)",
+            fa4,
+        ),
         ("fa5", "Fig A.5: RTP ML frame-rate features (all VCAs)", fa5),
-        ("fa6", "Fig A.6: IP/UDP ML bitrate features (Meet, Teams)", fa6),
+        (
+            "fa6",
+            "Fig A.6: IP/UDP ML bitrate features (Meet, Teams)",
+            fa6,
+        ),
         ("fa7", "Fig A.7: RTP ML bitrate features (all VCAs)", fa7),
-        ("fa8", "Fig A.8: IP/UDP ML resolution features (Meet, Teams)", fa8),
+        (
+            "fa8",
+            "Fig A.8: IP/UDP ML resolution features (Meet, Teams)",
+            fa8,
+        ),
         ("fa9", "Fig A.9: RTP ML resolution features (all VCAs)", fa9),
-        ("fa10", "Fig A.10: frame-rate MAE vs heuristic lookback", fa10),
-        ("ta3", "Table A.3: Teams resolution confusion (real-world)", ta3),
+        (
+            "fa10",
+            "Fig A.10: frame-rate MAE vs heuristic lookback",
+            fa10,
+        ),
+        (
+            "ta3",
+            "Table A.3: Teams resolution confusion (real-world)",
+            ta3,
+        ),
         ("ta4", "Table A.4: transferability, bitrate MAE", ta4),
         ("ta5", "Table A.5: transferability, frame jitter MAE", ta5),
         ("ta6", "Table A.6: impairment profiles", ta6),
@@ -63,7 +111,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, ExpFn)> {
         ("ab4", "Ablation: microburst threshold sweep", ab4),
         ("ab5", "Ablation: heuristic size-delta sweep", ab5),
         ("ab6", "Ablation: model family comparison", ab6),
-        ("am1", "Extension: application modes (video-off, multi-party)", am1),
+        (
+            "am1",
+            "Extension: application modes (video-off, multi-party)",
+            am1,
+        ),
     ]
 }
 
@@ -102,19 +154,30 @@ fn f1(ctx: &mut Ctx, sink: &Sink) {
         rows.push(vec![
             kind.to_string(),
             format!("{share:.0}%"),
-            format!("[{:.0}, {:.0}]", percentile(sizes, 0.0), percentile(sizes, 100.0)),
+            format!(
+                "[{:.0}, {:.0}]",
+                percentile(sizes, 0.0),
+                percentile(sizes, 100.0)
+            ),
             format!("{p1:.0}"),
             format!("{p99:.0}"),
         ]);
-        artifact.insert(kind.into(), json!({ "share_pct": share, "cdf": cdf_points(sizes, 21) }));
+        artifact.insert(
+            kind.into(),
+            json!({ "share_pct": share, "cdf": cdf_points(sizes, 21) }),
+        );
     }
-    println!("{}", table(&["Media", "Share", "Size range [B]", "p1", "p99"], &rows));
+    println!(
+        "{}",
+        table(&["Media", "Share", "Size range [B]", "p1", "p99"], &rows)
+    );
     let video = &by_kind["Video"];
     println!(
         "video packets > 564 B: {:.1}% (paper: 99%)",
         (1.0 - fraction_le(video, 564.0)) * 100.0
     );
-    sink.write("f1", &serde_json::Value::Object(artifact)).unwrap();
+    sink.write("f1", &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 /// Per-frame packet sizes from PT-classified video packets, in arrival
@@ -132,7 +195,10 @@ fn truth_frames_sizes(trace: &Trace) -> Vec<Vec<u16>> {
 }
 
 fn f2(ctx: &mut Ctx, sink: &Sink) {
-    section("F2", "Intra- vs inter-frame packet size difference, Teams in-lab");
+    section(
+        "F2",
+        "Intra- vs inter-frame packet size difference, Teams in-lab",
+    );
     let traces = ctx.traces(Corpus::InLab, VcaKind::Teams).to_vec();
     let mut intra = Vec::new();
     let mut inter = Vec::new();
@@ -177,7 +243,10 @@ fn f2(ctx: &mut Ctx, sink: &Sink) {
 }
 
 fn media_confusion(ctx: &mut Ctx, sink: &Sink, id: &str, vca: VcaKind) {
-    section(&id.to_uppercase(), &format!("Media classification confusion, {vca} in-lab"));
+    section(
+        &id.to_uppercase(),
+        &format!("Media classification confusion, {vca} in-lab"),
+    );
     let traces = ctx.traces(Corpus::InLab, vca).to_vec();
     let opts = ctx.opts(vca);
     let classifier = MediaClassifier::new(opts.vmin);
@@ -215,8 +284,15 @@ fn ta2(ctx: &mut Ctx, sink: &Sink) {
 }
 
 fn truth_cdfs(ctx: &mut Ctx, sink: &Sink, id: &str, corpus: Corpus) {
-    let label = if corpus == Corpus::InLab { "in-lab" } else { "real-world" };
-    section(&id.to_uppercase(), &format!("Ground-truth QoE CDFs, {label}"));
+    let label = if corpus == Corpus::InLab {
+        "in-lab"
+    } else {
+        "real-world"
+    };
+    section(
+        &id.to_uppercase(),
+        &format!("Ground-truth QoE CDFs, {label}"),
+    );
     let mut artifact = serde_json::Map::new();
     let mut rows = Vec::new();
     for vca in VcaKind::ALL {
@@ -249,9 +325,19 @@ fn truth_cdfs(ctx: &mut Ctx, sink: &Sink, id: &str, corpus: Corpus) {
     }
     println!(
         "{}",
-        table(&["VCA", "median FPS", "median kbps", "median jitter ms", "seconds"], &rows)
+        table(
+            &[
+                "VCA",
+                "median FPS",
+                "median kbps",
+                "median jitter ms",
+                "seconds"
+            ],
+            &rows
+        )
     );
-    sink.write(id, &serde_json::Value::Object(artifact)).unwrap();
+    sink.write(id, &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 fn fa1(ctx: &mut Ctx, sink: &Sink) {
@@ -262,7 +348,10 @@ fn fa2(ctx: &mut Ctx, sink: &Sink) {
 }
 
 fn fa3(ctx: &mut Ctx, sink: &Sink) {
-    section("FA3", "IP/UDP Heuristic frame assignment over one 1-s window (Teams)");
+    section(
+        "FA3",
+        "IP/UDP Heuristic frame assignment over one 1-s window (Teams)",
+    );
     let traces = ctx.traces(Corpus::InLab, VcaKind::Teams).to_vec();
     let opts = ctx.opts(VcaKind::Teams);
     let trace = &traces[0];
@@ -292,9 +381,14 @@ fn fa3(ctx: &mut Ctx, sink: &Sink) {
             format!("{ts_id}"),
             format!("{}", asg[i].frame_id + 1),
         ]);
-        artifact.push(json!({"pkt": i, "size": size, "rtp_frame": ts_id, "assigned": asg[i].frame_id + 1}));
+        artifact.push(
+            json!({"pkt": i, "size": size, "rtp_frame": ts_id, "assigned": asg[i].frame_id + 1}),
+        );
     }
-    println!("{}", table(&["Pkt", "Size [B]", "True frame", "Assigned frame"], &rows));
+    println!(
+        "{}",
+        table(&["Pkt", "Size [B]", "True frame", "Assigned frame"], &rows)
+    );
     sink.write("fa3", &artifact).unwrap();
 }
 
@@ -353,7 +447,11 @@ fn error_figure(
             rows.push(vec![
                 vca.name().to_string(),
                 method.name().to_string(),
-                if relative { format!("{:.0}%", headline * 100.0) } else { format!("{headline:.2}") },
+                if relative {
+                    format!("{:.0}%", headline * 100.0)
+                } else {
+                    format!("{headline:.2}")
+                },
                 format!("{:.2}", percentile(&errs, 10.0)),
                 format!("{:.2}", percentile(&errs, 50.0)),
                 format!("{:.2}", percentile(&errs, 90.0)),
@@ -370,27 +468,83 @@ fn error_figure(
             );
         }
     }
-    println!("{}", table(&["VCA", "Method", metric_label, "p10", "median", "p90"], &rows));
-    sink.write(id, &serde_json::Value::Object(artifact)).unwrap();
+    println!(
+        "{}",
+        table(
+            &["VCA", "Method", metric_label, "p10", "median", "p90"],
+            &rows
+        )
+    );
+    sink.write(id, &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 fn f3(ctx: &mut Ctx, sink: &Sink) {
-    error_figure(ctx, sink, "f3", "In-lab frame rate errors [FPS]", Corpus::InLab, Target::FrameRate, false);
+    error_figure(
+        ctx,
+        sink,
+        "f3",
+        "In-lab frame rate errors [FPS]",
+        Corpus::InLab,
+        Target::FrameRate,
+        false,
+    );
 }
 
 fn f6a(ctx: &mut Ctx, sink: &Sink) {
-    error_figure(ctx, sink, "f6a", "In-lab bitrate relative errors", Corpus::InLab, Target::Bitrate, true);
+    error_figure(
+        ctx,
+        sink,
+        "f6a",
+        "In-lab bitrate relative errors",
+        Corpus::InLab,
+        Target::Bitrate,
+        true,
+    );
 }
 
 fn f6b(ctx: &mut Ctx, sink: &Sink) {
-    error_figure(ctx, sink, "f6b", "In-lab frame jitter errors [ms]", Corpus::InLab, Target::FrameJitter, false);
+    error_figure(
+        ctx,
+        sink,
+        "f6b",
+        "In-lab frame jitter errors [ms]",
+        Corpus::InLab,
+        Target::FrameJitter,
+        false,
+    );
 }
 
 fn f10(ctx: &mut Ctx, sink: &Sink) {
-    error_figure(ctx, sink, "f10a", "Real-world frame rate errors [FPS]", Corpus::RealWorld, Target::FrameRate, false);
-    error_figure(ctx, sink, "f10b", "Real-world bitrate relative errors", Corpus::RealWorld, Target::Bitrate, true);
-    error_figure(ctx, sink, "f10c", "Real-world frame jitter errors [ms]", Corpus::RealWorld, Target::FrameJitter, false);
-    sink.write("f10", &json!({"see": ["f10a", "f10b", "f10c"]})).unwrap();
+    error_figure(
+        ctx,
+        sink,
+        "f10a",
+        "Real-world frame rate errors [FPS]",
+        Corpus::RealWorld,
+        Target::FrameRate,
+        false,
+    );
+    error_figure(
+        ctx,
+        sink,
+        "f10b",
+        "Real-world bitrate relative errors",
+        Corpus::RealWorld,
+        Target::Bitrate,
+        true,
+    );
+    error_figure(
+        ctx,
+        sink,
+        "f10c",
+        "Real-world frame jitter errors [ms]",
+        Corpus::RealWorld,
+        Target::FrameJitter,
+        false,
+    );
+    sink.write("f10", &json!({"see": ["f10a", "f10b", "f10c"]}))
+        .unwrap();
 }
 
 fn f4(ctx: &mut Ctx, sink: &Sink) {
@@ -433,8 +587,12 @@ fn f4(ctx: &mut Ctx, sink: &Sink) {
             json!({"splits": s, "interleaves": i, "coalesces": c, "windows": total.windows}),
         );
     }
-    println!("{}", table(&["VCA", "Splits", "Interleaves", "Coalesces"], &rows));
-    sink.write("f4", &serde_json::Value::Object(artifact)).unwrap();
+    println!(
+        "{}",
+        table(&["VCA", "Splits", "Interleaves", "Coalesces"], &rows)
+    );
+    sink.write("f4", &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 fn f8(ctx: &mut Ctx, sink: &Sink) {
@@ -445,7 +603,12 @@ fn f8(ctx: &mut Ctx, sink: &Sink) {
     let spike_trace = set
         .samples
         .iter()
-        .max_by(|a, b| a.truth.frame_jitter_ms.partial_cmp(&b.truth.frame_jitter_ms).unwrap())
+        .max_by(|a, b| {
+            a.truth
+                .frame_jitter_ms
+                .partial_cmp(&b.truth.frame_jitter_ms)
+                .unwrap()
+        })
         .map(|s| s.trace_id)
         .unwrap();
     // Train on every other trace, predict the chosen one.
@@ -453,7 +616,11 @@ fn f8(ctx: &mut Ctx, sink: &Sink) {
     let mut test_feats: Vec<(i64, Vec<f64>, f64)> = Vec::new();
     for s in &set.samples {
         if s.trace_id == spike_trace {
-            test_feats.push((s.truth.second, s.ipudp_features.clone(), s.truth.frame_jitter_ms));
+            test_feats.push((
+                s.truth.second,
+                s.ipudp_features.clone(),
+                s.truth.frame_jitter_ms,
+            ));
         } else {
             train.push(&s.ipudp_features, s.truth.frame_jitter_ms);
         }
@@ -464,10 +631,17 @@ fn f8(ctx: &mut Ctx, sink: &Sink) {
     let mut artifact = Vec::new();
     for (sec, feats, truth) in &test_feats {
         let pred = forest.predict(feats);
-        rows.push(vec![format!("{sec}"), format!("{pred:.1}"), format!("{truth:.1}")]);
+        rows.push(vec![
+            format!("{sec}"),
+            format!("{pred:.1}"),
+            format!("{truth:.1}"),
+        ]);
         artifact.push(json!({"t": sec, "pred_ms": pred, "truth_ms": truth}));
     }
-    println!("{}", table(&["t [s]", "IP/UDP ML [ms]", "Ground truth [ms]"], &rows));
+    println!(
+        "{}",
+        table(&["t [s]", "IP/UDP ML [ms]", "Ground truth [ms]"], &rows)
+    );
     sink.write("f8", &artifact).unwrap();
 }
 
@@ -498,38 +672,114 @@ fn importance_figure(
         println!("{}", table(&["Feature", "Importance"], &rows));
         artifact.insert(
             vca.name().into(),
-            json!(top.iter().map(|(n, v)| json!({"feature": n, "importance": v})).collect::<Vec<_>>()),
+            json!(top
+                .iter()
+                .map(|(n, v)| json!({"feature": n, "importance": v}))
+                .collect::<Vec<_>>()),
         );
     }
-    sink.write(id, &serde_json::Value::Object(artifact)).unwrap();
+    sink.write(id, &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 fn f5(ctx: &mut Ctx, sink: &Sink) {
-    importance_figure(ctx, sink, "f5", "IP/UDP ML frame-rate importances (Teams)", Method::IpUdpMl, Target::FrameRate, &[VcaKind::Teams]);
+    importance_figure(
+        ctx,
+        sink,
+        "f5",
+        "IP/UDP ML frame-rate importances (Teams)",
+        Method::IpUdpMl,
+        Target::FrameRate,
+        &[VcaKind::Teams],
+    );
 }
 fn fa4(ctx: &mut Ctx, sink: &Sink) {
-    importance_figure(ctx, sink, "fa4", "IP/UDP ML frame-rate importances (Meet, Webex)", Method::IpUdpMl, Target::FrameRate, &[VcaKind::Meet, VcaKind::Webex]);
+    importance_figure(
+        ctx,
+        sink,
+        "fa4",
+        "IP/UDP ML frame-rate importances (Meet, Webex)",
+        Method::IpUdpMl,
+        Target::FrameRate,
+        &[VcaKind::Meet, VcaKind::Webex],
+    );
 }
 fn fa5(ctx: &mut Ctx, sink: &Sink) {
-    importance_figure(ctx, sink, "fa5", "RTP ML frame-rate importances", Method::RtpMl, Target::FrameRate, &VcaKind::ALL);
+    importance_figure(
+        ctx,
+        sink,
+        "fa5",
+        "RTP ML frame-rate importances",
+        Method::RtpMl,
+        Target::FrameRate,
+        &VcaKind::ALL,
+    );
 }
 fn f7(ctx: &mut Ctx, sink: &Sink) {
-    importance_figure(ctx, sink, "f7", "IP/UDP ML bitrate importances (Webex)", Method::IpUdpMl, Target::Bitrate, &[VcaKind::Webex]);
+    importance_figure(
+        ctx,
+        sink,
+        "f7",
+        "IP/UDP ML bitrate importances (Webex)",
+        Method::IpUdpMl,
+        Target::Bitrate,
+        &[VcaKind::Webex],
+    );
 }
 fn fa6(ctx: &mut Ctx, sink: &Sink) {
-    importance_figure(ctx, sink, "fa6", "IP/UDP ML bitrate importances (Meet, Teams)", Method::IpUdpMl, Target::Bitrate, &[VcaKind::Meet, VcaKind::Teams]);
+    importance_figure(
+        ctx,
+        sink,
+        "fa6",
+        "IP/UDP ML bitrate importances (Meet, Teams)",
+        Method::IpUdpMl,
+        Target::Bitrate,
+        &[VcaKind::Meet, VcaKind::Teams],
+    );
 }
 fn fa7(ctx: &mut Ctx, sink: &Sink) {
-    importance_figure(ctx, sink, "fa7", "RTP ML bitrate importances", Method::RtpMl, Target::Bitrate, &VcaKind::ALL);
+    importance_figure(
+        ctx,
+        sink,
+        "fa7",
+        "RTP ML bitrate importances",
+        Method::RtpMl,
+        Target::Bitrate,
+        &VcaKind::ALL,
+    );
 }
 fn f9(ctx: &mut Ctx, sink: &Sink) {
-    importance_figure(ctx, sink, "f9", "IP/UDP ML resolution importances (Webex)", Method::IpUdpMl, Target::Resolution, &[VcaKind::Webex]);
+    importance_figure(
+        ctx,
+        sink,
+        "f9",
+        "IP/UDP ML resolution importances (Webex)",
+        Method::IpUdpMl,
+        Target::Resolution,
+        &[VcaKind::Webex],
+    );
 }
 fn fa8(ctx: &mut Ctx, sink: &Sink) {
-    importance_figure(ctx, sink, "fa8", "IP/UDP ML resolution importances (Meet, Teams)", Method::IpUdpMl, Target::Resolution, &[VcaKind::Meet, VcaKind::Teams]);
+    importance_figure(
+        ctx,
+        sink,
+        "fa8",
+        "IP/UDP ML resolution importances (Meet, Teams)",
+        Method::IpUdpMl,
+        Target::Resolution,
+        &[VcaKind::Meet, VcaKind::Teams],
+    );
 }
 fn fa9(ctx: &mut Ctx, sink: &Sink) {
-    importance_figure(ctx, sink, "fa9", "RTP ML resolution importances", Method::RtpMl, Target::Resolution, &VcaKind::ALL);
+    importance_figure(
+        ctx,
+        sink,
+        "fa9",
+        "RTP ML resolution importances",
+        Method::RtpMl,
+        Target::Resolution,
+        &VcaKind::ALL,
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -553,12 +803,20 @@ fn t3(ctx: &mut Ctx, sink: &Sink) {
         rows.push(row);
     }
     println!("{}", table(&["Method", "Meet", "Teams", "Webex"], &rows));
-    sink.write("t3", &serde_json::Value::Object(artifact)).unwrap();
+    sink.write("t3", &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 fn resolution_confusion(ctx: &mut Ctx, sink: &Sink, id: &str, corpus: Corpus) {
-    let label = if corpus == Corpus::InLab { "in-lab" } else { "real-world" };
-    section(&id.to_uppercase(), &format!("Teams resolution confusion, IP/UDP ML, {label}"));
+    let label = if corpus == Corpus::InLab {
+        "in-lab"
+    } else {
+        "real-world"
+    };
+    section(
+        &id.to_uppercase(),
+        &format!("Teams resolution confusion, IP/UDP ML, {label}"),
+    );
     let opts = ctx.opts(VcaKind::Teams);
     let set = ctx.samples(corpus, VcaKind::Teams, 1).clone();
     match eval_ml_resolution(&set, Method::IpUdpMl, &opts) {
@@ -575,7 +833,8 @@ fn resolution_confusion(ctx: &mut Ctx, sink: &Sink, id: &str, corpus: Corpus) {
                     })
                 })
                 .collect();
-            sink.write(id, &json!({"accuracy": acc, "cells": cells})).unwrap();
+            sink.write(id, &json!({"accuracy": acc, "cells": cells}))
+                .unwrap();
         }
         None => println!("not classifiable (single resolution class)"),
     }
@@ -613,7 +872,8 @@ fn transfer_table(ctx: &mut Ctx, sink: &Sink, id: &str, target: Target, unit: &s
         rows.push(row);
     }
     println!("{}", table(&["Method", "Meet", "Teams", "Webex"], &rows));
-    sink.write(id, &serde_json::Value::Object(artifact)).unwrap();
+    sink.write(id, &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 fn t5(ctx: &mut Ctx, sink: &Sink) {
@@ -645,11 +905,15 @@ fn f11(ctx: &mut Ctx, sink: &Sink) {
         // Build one sample set per loss value, split 50/50 train/test
         // (§5.4: models trained on half the data across all conditions).
         let mut train = Dataset::new(vcaml_features::ipudp_feature_names());
-        let mut tests: Vec<(f64, Vec<(Vec<f64>, f64)>)> = Vec::new();
+        type TestRows = Vec<(Vec<f64>, f64)>;
+        let mut tests: Vec<(f64, TestRows)> = Vec::new();
         for &loss in ImpairmentDim::PacketLoss.values() {
             let traces = vcaml_datasets::sweep_value_corpus(
                 vca,
-                ImpairmentProfile { dim: ImpairmentDim::PacketLoss, value: loss },
+                ImpairmentProfile {
+                    dim: ImpairmentDim::PacketLoss,
+                    value: loss,
+                },
                 calls,
                 secs,
                 0xf11 + vca as u64,
@@ -679,19 +943,29 @@ fn f11(ctx: &mut Ctx, sink: &Sink) {
         });
         artifact.insert(
             vca.name().into(),
-            json!(per_value.iter().map(|(l, m)| json!({"loss_pct": l, "mae": m})).collect::<Vec<_>>()),
+            json!(per_value
+                .iter()
+                .map(|(l, m)| json!({"loss_pct": l, "mae": m}))
+                .collect::<Vec<_>>()),
         );
     }
     let mut headers = vec!["VCA"];
-    let labels: Vec<String> =
-        ImpairmentDim::PacketLoss.values().iter().map(|v| format!("{v}%")).collect();
+    let labels: Vec<String> = ImpairmentDim::PacketLoss
+        .values()
+        .iter()
+        .map(|v| format!("{v}%"))
+        .collect();
     headers.extend(labels.iter().map(String::as_str));
     println!("{}", table(&headers, &rows));
-    sink.write("f11", &serde_json::Value::Object(artifact)).unwrap();
+    sink.write("f11", &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 fn f12(ctx: &mut Ctx, sink: &Sink) {
-    section("F12", "IP/UDP ML frame-rate MAE vs prediction window (in-lab)");
+    section(
+        "F12",
+        "IP/UDP ML frame-rate MAE vs prediction window (in-lab)",
+    );
     let windows = [1u32, 2, 4, 6, 8, 10];
     let mut rows = Vec::new();
     let mut artifact = serde_json::Map::new();
@@ -711,7 +985,10 @@ fn f12(ctx: &mut Ctx, sink: &Sink) {
         });
         artifact.insert(
             vca.name().into(),
-            json!(per_w.iter().map(|(w, m)| json!({"window_s": w, "mae": m})).collect::<Vec<_>>()),
+            json!(per_w
+                .iter()
+                .map(|(w, m)| json!({"window_s": w, "mae": m}))
+                .collect::<Vec<_>>()),
         );
     }
     let headers: Vec<String> = std::iter::once("VCA".to_string())
@@ -719,11 +996,15 @@ fn f12(ctx: &mut Ctx, sink: &Sink) {
         .collect();
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
     println!("{}", table(&href, &rows));
-    sink.write("f12", &serde_json::Value::Object(artifact)).unwrap();
+    sink.write("f12", &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 fn fa10(ctx: &mut Ctx, sink: &Sink) {
-    section("FA10", "IP/UDP Heuristic frame-rate MAE vs packet lookback (in-lab)");
+    section(
+        "FA10",
+        "IP/UDP Heuristic frame-rate MAE vs packet lookback (in-lab)",
+    );
     let mut rows = Vec::new();
     let mut artifact = serde_json::Map::new();
     for vca in VcaKind::ALL {
@@ -732,7 +1013,10 @@ fn fa10(ctx: &mut Ctx, sink: &Sink) {
         let classifier = MediaClassifier::new(opts.vmin);
         let mut per_lb = Vec::new();
         for lookback in 1..=10usize {
-            let params = vcaml::HeuristicParams { delta_max_size: 2, lookback };
+            let params = vcaml::HeuristicParams {
+                delta_max_size: 2,
+                lookback,
+            };
             let mut preds = Vec::new();
             let mut truths = Vec::new();
             for t in &traces {
@@ -765,7 +1049,8 @@ fn fa10(ctx: &mut Ctx, sink: &Sink) {
         .collect();
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
     println!("{}", table(&href, &rows));
-    sink.write("fa10", &serde_json::Value::Object(artifact)).unwrap();
+    sink.write("fa10", &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 fn ta6(_ctx: &mut Ctx, sink: &Sink) {
@@ -807,55 +1092,6 @@ pub fn full_summary(
     out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::ctx::Scale;
-
-    fn tmp_sink() -> Sink {
-        Sink::new(std::env::temp_dir().join("vcaml_exp_tests")).unwrap()
-    }
-
-    #[test]
-    fn registry_ids_unique_and_complete() {
-        let reg = registry();
-        assert_eq!(reg.len(), 40);
-        let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), 40, "duplicate experiment ids");
-    }
-
-    #[test]
-    fn ta6_runs_without_corpora() {
-        let mut ctx = Ctx::new(Scale::Small);
-        ta6(&mut ctx, &tmp_sink());
-    }
-
-    #[test]
-    fn media_confusion_small() {
-        let mut ctx = Ctx::new(Scale::Small);
-        media_confusion(&mut ctx, &tmp_sink(), "t2_test", VcaKind::Meet);
-    }
-
-    #[test]
-    fn f2_small_matches_fragmentation_model() {
-        let mut ctx = Ctx::new(Scale::Small);
-        f2(&mut ctx, &tmp_sink());
-    }
-
-    #[test]
-    fn full_summary_produces_all_cells() {
-        let mut ctx = Ctx::new(Scale::Small);
-        let cells = full_summary(&mut ctx, Corpus::InLab, VcaKind::Webex);
-        assert_eq!(cells.len(), 12);
-        for (_, _, s) in &cells {
-            assert!(s.n > 0);
-            assert!(s.mae.is_finite());
-        }
-    }
-}
-
 // ---------------------------------------------------------------------
 // Ablations (DESIGN.md §5) — design-choice sensitivity beyond the paper
 // ---------------------------------------------------------------------
@@ -891,13 +1127,17 @@ pub fn ab1(ctx: &mut Ctx, sink: &Sink) {
         .collect();
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
     println!("{}", table(&href, &rows));
-    sink.write("ab1", &serde_json::Value::Object(artifact)).unwrap();
+    sink.write("ab1", &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 /// AB2: value of the semantics features — IP/UDP ML with flow statistics
 /// only vs the full 14-feature set (frame rate, in-lab).
 pub fn ab2(ctx: &mut Ctx, sink: &Sink) {
-    section("AB2", "IP/UDP ML frame-rate MAE: flow-stats-only vs +semantics features");
+    section(
+        "AB2",
+        "IP/UDP ML frame-rate MAE: flow-stats-only vs +semantics features",
+    );
     let mut rows = Vec::new();
     let mut artifact = serde_json::Map::new();
     for vca in VcaKind::ALL {
@@ -931,14 +1171,21 @@ pub fn ab2(ctx: &mut Ctx, sink: &Sink) {
             json!({"flow_only_mae": mae_flow, "full_mae": mae_full}),
         );
     }
-    println!("{}", table(&["VCA", "Flow-only MAE", "Full MAE", "Δ"], &rows));
-    sink.write("ab2", &serde_json::Value::Object(artifact)).unwrap();
+    println!(
+        "{}",
+        table(&["VCA", "Flow-only MAE", "Full MAE", "Δ"], &rows)
+    );
+    sink.write("ab2", &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 /// AB3: forest size vs accuracy — the accuracy/cost trade-off an operator
 /// would tune (§7 system considerations).
 pub fn ab3(ctx: &mut Ctx, sink: &Sink) {
-    section("AB3", "IP/UDP ML frame-rate MAE vs forest size (Teams, in-lab)");
+    section(
+        "AB3",
+        "IP/UDP ML frame-rate MAE vs forest size (Teams, in-lab)",
+    );
     let vca = VcaKind::Teams;
     let set = ctx.samples(Corpus::InLab, vca, 1).clone();
     let sizes = [1usize, 5, 10, 20, 40, 80];
@@ -959,7 +1206,10 @@ pub fn ab3(ctx: &mut Ctx, sink: &Sink) {
 /// AB4: microburst θ_IAT sensitivity — how the only timing-based semantics
 /// feature reacts to its threshold.
 pub fn ab4(ctx: &mut Ctx, sink: &Sink) {
-    section("AB4", "IP/UDP ML frame-rate MAE vs microburst threshold (Webex, in-lab)");
+    section(
+        "AB4",
+        "IP/UDP ML frame-rate MAE vs microburst threshold (Webex, in-lab)",
+    );
     let vca = VcaKind::Webex;
     let thetas = [500i64, 1_000, 3_000, 5_000, 10_000, 20_000];
     let traces = ctx.traces(Corpus::InLab, vca).to_vec();
@@ -971,7 +1221,10 @@ pub fn ab4(ctx: &mut Ctx, sink: &Sink) {
         let set = vcaml::build_samples(&traces, &opts);
         let (p, t) = eval_ml_regression(&set, Method::IpUdpMl, Target::FrameRate, &opts);
         let m = mae(&p, &t);
-        rows.push(vec![format!("{:.1} ms", theta as f64 / 1000.0), format!("{m:.2}")]);
+        rows.push(vec![
+            format!("{:.1} ms", theta as f64 / 1000.0),
+            format!("{m:.2}"),
+        ]);
         artifact.push(json!({"theta_us": theta, "mae": m}));
     }
     println!("{}", table(&["θ_IAT", "MAE"], &rows));
@@ -980,7 +1233,10 @@ pub fn ab4(ctx: &mut Ctx, sink: &Sink) {
 
 /// AB5: Δmax_size sensitivity for the IP/UDP Heuristic.
 pub fn ab5(ctx: &mut Ctx, sink: &Sink) {
-    section("AB5", "IP/UDP Heuristic frame-rate MAE vs Δmax_size (in-lab)");
+    section(
+        "AB5",
+        "IP/UDP Heuristic frame-rate MAE vs Δmax_size (in-lab)",
+    );
     let deltas = [0u16, 1, 2, 4, 8, 16, 32];
     let mut rows = Vec::new();
     let mut artifact = serde_json::Map::new();
@@ -1025,7 +1281,8 @@ pub fn ab5(ctx: &mut Ctx, sink: &Sink) {
         .collect();
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
     println!("{}", table(&href, &rows));
-    sink.write("ab5", &serde_json::Value::Object(artifact)).unwrap();
+    sink.write("ab5", &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 /// AB6: model-family comparison (§4.3: "we experiment with several
@@ -1033,7 +1290,10 @@ pub fn ab5(ctx: &mut Ctx, sink: &Sink) {
 /// the highest accuracy"). Compares ridge regression, a single CART tree,
 /// and the forest on frame rate.
 pub fn ab6(ctx: &mut Ctx, sink: &Sink) {
-    section("AB6", "Model family comparison, IP/UDP features, frame rate (in-lab)");
+    section(
+        "AB6",
+        "Model family comparison, IP/UDP features, frame rate (in-lab)",
+    );
     let mut rows = Vec::new();
     let mut artifact = serde_json::Map::new();
     for vca in VcaKind::ALL {
@@ -1087,15 +1347,22 @@ pub fn ab6(ctx: &mut Ctx, sink: &Sink) {
             json!({"ridge": m_lin, "tree": m_tree, "forest": m_forest}),
         );
     }
-    println!("{}", table(&["VCA", "Ridge MAE", "Tree MAE", "Forest MAE"], &rows));
-    sink.write("ab6", &serde_json::Value::Object(artifact)).unwrap();
+    println!(
+        "{}",
+        table(&["VCA", "Ridge MAE", "Tree MAE", "Forest MAE"], &rows)
+    );
+    sink.write("ab6", &serde_json::Value::Object(artifact))
+        .unwrap();
 }
 
 /// AM1: application modes (§7) — video-off detection accuracy and
 /// multi-party participant-count estimation.
 pub fn am1(ctx: &mut Ctx, sink: &Sink) {
     use vcaml_vcasim::{merge_multiparty, video_off, Session, SessionConfig, VcaProfile};
-    section("AM1", "Application modes: video-off detection and participant counting");
+    section(
+        "AM1",
+        "Application modes: video-off detection and participant counting",
+    );
     let _ = &ctx.scale;
     let profile = VcaProfile::lab(VcaKind::Teams);
     let classifier = MediaClassifier::default();
@@ -1117,8 +1384,7 @@ pub fn am1(ctx: &mut Ctx, sink: &Sink) {
         let on = run_one(seed);
         let off = video_off(&on);
         for (session, truth_off) in [(&on, false), (&off, true)] {
-            let trace =
-                vcaml_datasets::to_core_trace(session, profile.payload_map);
+            let trace = vcaml_datasets::to_core_trace(session, profile.payload_map);
             let detected = vcaml::modes::detect_video_off(&trace.packets, &classifier);
             correct += usize::from(detected == truth_off);
             total += 1;
@@ -1161,8 +1427,69 @@ pub fn am1(ctx: &mut Ctx, sink: &Sink) {
     }
     println!(
         "{}",
-        table(&["True participants", "Aggregate FPS", "IP/UDP estimate", "RTP estimate"], &rows)
+        table(
+            &[
+                "True participants",
+                "Aggregate FPS",
+                "IP/UDP estimate",
+                "RTP estimate"
+            ],
+            &rows
+        )
     );
-    artifact.insert("video_off_accuracy".into(), json!(correct as f64 / total as f64));
-    sink.write("am1", &serde_json::Value::Object(artifact)).unwrap();
+    artifact.insert(
+        "video_off_accuracy".into(),
+        json!(correct as f64 / total as f64),
+    );
+    sink.write("am1", &serde_json::Value::Object(artifact))
+        .unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Scale;
+
+    fn tmp_sink() -> Sink {
+        Sink::new(std::env::temp_dir().join("vcaml_exp_tests")).unwrap()
+    }
+
+    #[test]
+    fn registry_ids_unique_and_complete() {
+        let reg = registry();
+        assert_eq!(reg.len(), 40);
+        let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 40, "duplicate experiment ids");
+    }
+
+    #[test]
+    fn ta6_runs_without_corpora() {
+        let mut ctx = Ctx::new(Scale::Small);
+        ta6(&mut ctx, &tmp_sink());
+    }
+
+    #[test]
+    fn media_confusion_small() {
+        let mut ctx = Ctx::new(Scale::Small);
+        media_confusion(&mut ctx, &tmp_sink(), "t2_test", VcaKind::Meet);
+    }
+
+    #[test]
+    fn f2_small_matches_fragmentation_model() {
+        let mut ctx = Ctx::new(Scale::Small);
+        f2(&mut ctx, &tmp_sink());
+    }
+
+    #[test]
+    fn full_summary_produces_all_cells() {
+        let mut ctx = Ctx::new(Scale::Small);
+        let cells = full_summary(&mut ctx, Corpus::InLab, VcaKind::Webex);
+        assert_eq!(cells.len(), 12);
+        for (_, _, s) in &cells {
+            assert!(s.n > 0);
+            assert!(s.mae.is_finite());
+        }
+    }
 }

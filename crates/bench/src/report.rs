@@ -29,7 +29,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
     out.push('\n');
@@ -80,7 +83,11 @@ impl Sink {
     pub fn write<T: Serialize>(&self, id: &str, value: &T) -> std::io::Result<()> {
         let path = self.dir.join(format!("{id}.json"));
         let mut f = std::fs::File::create(path)?;
-        f.write_all(serde_json::to_string_pretty(value).expect("serialize").as_bytes())
+        f.write_all(
+            serde_json::to_string_pretty(value)
+                .expect("serialize")
+                .as_bytes(),
+        )
     }
 }
 

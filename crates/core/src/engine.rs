@@ -1,0 +1,1385 @@
+//! The unified incremental estimation engine (§7's "streaming versions of
+//! the methods", scaled out to many concurrent calls).
+//!
+//! All four methods of the paper implement one trait — [`QoeEstimator`]:
+//! feed captured packets in arrival order via `push`, receive finalized
+//! [`WindowReport`]s as window boundaries become safe, and `finish` at end
+//! of stream. The engines share the incremental building blocks the batch
+//! pipeline is itself built from (the assemblers in [`crate::heuristic`] /
+//! [`crate::rtp_heuristic`], the [`crate::qoe::QoeWindower`], and the
+//! feature accumulators in `vcaml_features::incremental`), so a streaming
+//! run reproduces the batch pipeline's numbers exactly — the batch
+//! [`crate::pipeline::build_samples`] is in fact a replay over these
+//! engines (see [`replay`]).
+//!
+//! For network-wide deployment, [`FlowTable`] demuxes a mixed packet feed
+//! onto per-flow engines keyed by the canonical UDP 5-tuple
+//! (`vcaml_netpkt::FlowKey`), sharded for cache locality and future
+//! parallelism, with idle-flow eviction so memory tracks the set of
+//! *active* calls.
+//!
+//! ## Emission latency
+//!
+//! Heuristic reports are emitted as soon as every frame that could still
+//! land in a window has been sealed (a few packets after the boundary for
+//! the IP/UDP method, up to [`SCAN_DEPTH`](crate::rtp_heuristic) frames
+//! for the RTP method); ML feature reports are emitted at the first
+//! packet past the boundary. `finish` flushes everything.
+
+use crate::frames::Frame;
+use crate::heuristic::{HeuristicParams, IpUdpAssembler};
+use crate::media::MediaClassifier;
+use crate::pipeline::Method;
+use crate::qoe::{QoeEstimate, QoeWindower};
+use crate::rtp_heuristic::RtpAssembler;
+use crate::trace::{Trace, TracePacket};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use vcaml_features::rtp_feats::LagReference;
+use vcaml_features::{FlowFeatureAcc, IpUdpFeatureAcc, RtpWindowAcc, StatsMode};
+use vcaml_mlcore::RandomForest;
+use vcaml_netpkt::{FlowKey, Timestamp};
+use vcaml_rtp::{MediaKind, PayloadMap, VcaKind};
+
+/// Engine configuration shared by all four methods.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Media-classification size threshold (IP/UDP methods).
+    pub vmin: u16,
+    /// Algorithm 1 parameters (IP/UDP Heuristic).
+    pub heuristic: HeuristicParams,
+    /// Prediction window length, seconds.
+    pub window_secs: u32,
+    /// Microburst inter-arrival threshold, microseconds.
+    pub theta_iat_us: i64,
+    /// Order-statistic accumulation mode: `Exact` reproduces the batch
+    /// formulas bit-compatibly; `Sketch` caps per-flow state at O(1).
+    pub stats: StatsMode,
+}
+
+impl EngineConfig {
+    /// The paper's configuration for a VCA (§4.3).
+    pub fn paper(vca: VcaKind) -> Self {
+        EngineConfig {
+            vmin: crate::media::DEFAULT_VMIN,
+            heuristic: HeuristicParams::paper(vca),
+            window_secs: 1,
+            theta_iat_us: vcaml_features::DEFAULT_THETA_IAT_US,
+            stats: StatsMode::Exact,
+        }
+    }
+
+    fn window_us(&self) -> i64 {
+        i64::from(self.window_secs) * 1_000_000
+    }
+}
+
+/// Largest run of consecutive empty windows an engine will emit for one
+/// arrival gap. A packet whose window index jumps further than this — in
+/// either direction, covering a corrupt timestamp on the *first* packet
+/// followed by sane traffic "in the past" — is *quarantined*: the packet
+/// is dropped, and only after
+/// [`DISCONTINUITY_CORROBORATION`] consecutive packets land near the same
+/// new epoch does the engine treat the jump as a genuine capture
+/// discontinuity (very long idle, capture restart) — flushing pending
+/// windows, skipping the gap without per-window reports, and re-anchoring
+/// emission at the new window. Isolated corrupt timestamps (a mangled
+/// pcap record) are therefore dropped without poisoning the flow, while
+/// per-packet work and allocation stay bounded no matter what timestamps
+/// arrive. [`replay`] fills skipped windows explicitly, so batch outputs
+/// are unaffected.
+pub const MAX_WINDOW_GAP: u64 = 4_096;
+
+/// How many consecutive packets must agree with a new far-future epoch
+/// before an engine re-anchors to it (see [`MAX_WINDOW_GAP`]).
+pub const DISCONTINUITY_CORROBORATION: u32 = 3;
+
+/// Verdict for one packet's window index against the flow's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GapVerdict {
+    /// Within the bounded gap: process normally.
+    Normal,
+    /// Quarantined outlier: drop the packet.
+    Drop,
+    /// Corroborated discontinuity: flush, skip, and re-anchor at this
+    /// packet's window.
+    Reanchor,
+}
+
+/// Shared quarantine logic for far-future timestamp jumps.
+#[derive(Debug, Clone, Copy, Default)]
+struct GapGuard {
+    /// `(first suspect window, corroborating packets seen)`.
+    suspect: Option<(u64, u32)>,
+}
+
+impl GapGuard {
+    fn check(&mut self, clock: u64, started: bool, w: u64) -> GapVerdict {
+        if !started || w.abs_diff(clock) <= MAX_WINDOW_GAP {
+            // Near the established epoch: any earlier outlier was corrupt.
+            self.suspect = None;
+            return GapVerdict::Normal;
+        }
+        match self.suspect {
+            Some((epoch, seen)) if w.abs_diff(epoch) <= MAX_WINDOW_GAP => {
+                if seen + 1 >= DISCONTINUITY_CORROBORATION {
+                    self.suspect = None;
+                    GapVerdict::Reanchor
+                } else {
+                    self.suspect = Some((epoch, seen + 1));
+                    GapVerdict::Drop
+                }
+            }
+            // First suspect, or a jump that does not cluster with the
+            // previous suspect (random corruption): restart quarantine.
+            _ => {
+                self.suspect = Some((w, 1));
+                GapVerdict::Drop
+            }
+        }
+    }
+}
+
+/// One finalized prediction window from an engine.
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowReport {
+    /// Window index (0-based from stream start).
+    pub window: u64,
+    /// The method that produced the report.
+    pub method: Method,
+    /// Heuristic QoE estimate (heuristic methods only).
+    pub estimate: Option<QoeEstimate>,
+    /// Feature vector (ML methods only): 14 IP/UDP or 24 RTP features.
+    pub features: Option<Vec<f64>>,
+    /// Frame-rate prediction from an attached model, if any.
+    pub model_fps: Option<f64>,
+    /// Packets the method attributed to video in this window (by arrival).
+    pub video_packets: usize,
+}
+
+/// The unified per-flow estimator interface all four methods implement.
+///
+/// Contract: packets arrive with non-decreasing timestamps; negative
+/// timestamps are outside every window and are dropped. Reports come out
+/// in strict window order with no gaps (idle windows yield zero
+/// estimates / zero features). Call `finish` exactly once at end of
+/// stream to flush the remaining windows.
+pub trait QoeEstimator {
+    /// Which of the paper's four methods this engine implements.
+    fn method(&self) -> Method;
+
+    /// Offers one captured packet; returns any windows finalized by it.
+    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport>;
+
+    /// Flushes every remaining window at end of stream.
+    fn finish(&mut self) -> Vec<WindowReport>;
+
+    /// The report an idle (empty) window produces — used by [`replay`] to
+    /// pad a fixed-duration evaluation.
+    fn empty_report(&self, window: u64) -> WindowReport;
+}
+
+/// Tracks per-window video-packet counts for reporting.
+#[derive(Debug, Clone, Default)]
+struct ArrivalCounts {
+    counts: BTreeMap<u64, usize>,
+}
+
+impl ArrivalCounts {
+    fn bump(&mut self, window: u64) {
+        *self.counts.entry(window).or_insert(0) += 1;
+    }
+
+    fn take(&mut self, window: u64) -> usize {
+        self.counts.remove(&window).unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-flow windowing state
+// ---------------------------------------------------------------------------
+
+/// Clock, window epoch, and safe-drain logic shared by the two heuristic
+/// engines.
+///
+/// The window *indices* are absolute (window `w` always covers
+/// `[w·W, (w+1)·W)` on the capture clock), but emission is **anchored at
+/// the first packet the flow sees**: a flow first observed an hour into a
+/// capture starts reporting at that hour's window instead of emitting
+/// thousands of empty windows from t = 0. Replay fills any leading gap
+/// explicitly, so batch outputs are unaffected.
+struct HeuristicState {
+    windower: QoeWindower,
+    counts: ArrivalCounts,
+    window_us: i64,
+    clock: u64,
+    started: bool,
+    gap: GapGuard,
+}
+
+impl HeuristicState {
+    fn new(config: EngineConfig) -> Self {
+        HeuristicState {
+            windower: QoeWindower::new(config.window_secs),
+            counts: ArrivalCounts::default(),
+            window_us: config.window_us(),
+            clock: 0,
+            started: false,
+            gap: GapGuard::default(),
+        }
+    }
+
+    /// Window index for a timestamp, or `None` for negative timestamps
+    /// (outside every window).
+    fn window_of(&self, ts: Timestamp) -> Option<u64> {
+        let us = ts.as_micros();
+        (us >= 0).then(|| us.div_euclid(self.window_us) as u64)
+    }
+
+    /// Classifies a packet's window against the bounded emission gap
+    /// ([`MAX_WINDOW_GAP`]): process, quarantine-drop, or re-anchor.
+    fn gap_check(&mut self, w: u64) -> GapVerdict {
+        self.gap.check(self.clock, self.started, w)
+    }
+
+    /// Skips across a discontinuity: drops pending arrival counts and
+    /// re-anchors emission at `w`. The caller must seal its assembler and
+    /// flush via [`Self::drain_finish`] first.
+    fn skip_to(&mut self, w: u64) {
+        self.counts = ArrivalCounts::default();
+        self.windower.skip_to(w);
+        self.clock = w;
+    }
+
+    /// Advances the clock for one accepted packet in window `w`.
+    fn observe(&mut self, w: u64) {
+        if !self.started {
+            self.started = true;
+            self.windower.start_at(w);
+            self.clock = w;
+        }
+        self.clock = self.clock.max(w);
+    }
+
+    /// Emits every window that is final: arrivals have moved past it and
+    /// no still-open frame (bounded below by `min_open_end`) could seal
+    /// into it.
+    fn drain_safe(&mut self, min_open_end: Option<Timestamp>) -> Vec<(u64, QoeEstimate)> {
+        let open_bound = min_open_end
+            .and_then(|ts| self.windower.window_of(ts))
+            .unwrap_or(self.clock);
+        self.windower.drain_until(self.clock.min(open_bound))
+    }
+
+    /// Emits everything through the last arrival window and the last
+    /// window holding a frame (end of stream).
+    fn drain_finish(&mut self) -> Vec<(u64, QoeEstimate)> {
+        if !self.started {
+            return Vec::new();
+        }
+        let through = (self.clock + 1).max(self.windower.last_open_window().map_or(0, |w| w + 1));
+        self.windower.drain_until(through)
+    }
+
+    fn report(&mut self, method: Method, window: u64, estimate: QoeEstimate) -> WindowReport {
+        WindowReport {
+            window,
+            method,
+            estimate: Some(estimate),
+            features: None,
+            model_fps: None,
+            video_packets: self.counts.take(window),
+        }
+    }
+
+    fn empty_report(&self, method: Method, window: u64) -> WindowReport {
+        WindowReport {
+            window,
+            method,
+            estimate: Some(self.windower.empty_estimate()),
+            features: None,
+            model_fps: None,
+            video_packets: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heuristic engines (shared driver over two frame sources)
+// ---------------------------------------------------------------------------
+
+/// What a heuristic engine's frame assembly must provide; implemented by
+/// the two classification+assembler pairings so the (subtle) push/finish
+/// orchestration exists exactly once in [`HeuristicDriver`].
+trait FrameSource {
+    /// Classifies one packet and, for video, feeds the assembler.
+    /// Returns `None` for non-video packets, `Some(sealed frames)` for
+    /// video packets.
+    fn accept(&mut self, pkt: &TracePacket) -> Option<Vec<(u64, Frame)>>;
+
+    /// Seals every open frame (end of stream or discontinuity).
+    fn seal_all(&mut self) -> Vec<(u64, Frame)>;
+
+    /// Earliest end time any open frame can still finalize with.
+    fn min_open_end(&self) -> Option<Timestamp>;
+}
+
+/// The shared heuristic state machine: gap quarantine, window clock,
+/// frame offering, and safe/final draining.
+struct HeuristicDriver<S> {
+    source: S,
+    state: HeuristicState,
+    method: Method,
+}
+
+impl<S: FrameSource> HeuristicDriver<S> {
+    fn new(config: EngineConfig, method: Method, source: S) -> Self {
+        HeuristicDriver {
+            source,
+            state: HeuristicState::new(config),
+            method,
+        }
+    }
+
+    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
+        let Some(w) = self.state.window_of(pkt.ts) else {
+            return Vec::new();
+        };
+        let mut flushed = Vec::new();
+        match self.state.gap_check(w) {
+            GapVerdict::Drop => return Vec::new(),
+            GapVerdict::Reanchor => {
+                // Flush everything pending before jumping: report
+                // construction must precede skip_to so window counts are
+                // consumed at their own indices.
+                for (id, frame) in self.source.seal_all() {
+                    self.state.windower.offer(id, &frame);
+                }
+                let method = self.method;
+                flushed = self
+                    .state
+                    .drain_finish()
+                    .into_iter()
+                    .map(|(dw, e)| self.state.report(method, dw, e))
+                    .collect();
+                self.state.skip_to(w);
+            }
+            GapVerdict::Normal => {}
+        }
+        self.state.observe(w);
+        if let Some(sealed) = self.source.accept(pkt) {
+            self.state.counts.bump(w);
+            for (id, frame) in sealed {
+                self.state.windower.offer(id, &frame);
+            }
+        }
+        let method = self.method;
+        let min_open_end = self.source.min_open_end();
+        flushed.extend(
+            self.state
+                .drain_safe(min_open_end)
+                .into_iter()
+                .map(|(w, e)| self.state.report(method, w, e)),
+        );
+        flushed
+    }
+
+    fn finish(&mut self) -> Vec<WindowReport> {
+        for (id, frame) in self.source.seal_all() {
+            self.state.windower.offer(id, &frame);
+        }
+        let method = self.method;
+        self.state
+            .drain_finish()
+            .into_iter()
+            .map(|(w, e)| self.state.report(method, w, e))
+            .collect()
+    }
+
+    fn empty_report(&self, window: u64) -> WindowReport {
+        self.state.empty_report(self.method, window)
+    }
+}
+
+/// Size-threshold classification feeding Algorithm 1.
+struct IpUdpSource {
+    classifier: MediaClassifier,
+    assembler: IpUdpAssembler,
+}
+
+impl FrameSource for IpUdpSource {
+    fn accept(&mut self, pkt: &TracePacket) -> Option<Vec<(u64, Frame)>> {
+        if !self.classifier.is_video(pkt) {
+            return None;
+        }
+        let (_, sealed) = self.assembler.push(pkt.ts, pkt.size);
+        Some(sealed)
+    }
+
+    fn seal_all(&mut self) -> Vec<(u64, Frame)> {
+        self.assembler.finish()
+    }
+
+    fn min_open_end(&self) -> Option<Timestamp> {
+        self.assembler.min_open_end()
+    }
+}
+
+/// Payload-type classification feeding RTP timestamp/marker grouping.
+struct RtpSource {
+    payload_map: PayloadMap,
+    assembler: RtpAssembler,
+}
+
+impl FrameSource for RtpSource {
+    fn accept(&mut self, pkt: &TracePacket) -> Option<Vec<(u64, Frame)>> {
+        let h = pkt
+            .rtp
+            .filter(|h| self.payload_map.classify(h.payload_type) == Some(MediaKind::Video))?;
+        Some(self.assembler.push(pkt.ts, h.timestamp, h.marker, pkt.size))
+    }
+
+    fn seal_all(&mut self) -> Vec<(u64, Frame)> {
+        self.assembler.finish()
+    }
+
+    fn min_open_end(&self) -> Option<Timestamp> {
+        self.assembler.min_open_end()
+    }
+}
+
+/// Streaming IP/UDP Heuristic: size-threshold media classification,
+/// incremental Algorithm 1, per-window QoE estimation.
+pub struct IpUdpHeuristicEngine {
+    driver: HeuristicDriver<IpUdpSource>,
+}
+
+impl IpUdpHeuristicEngine {
+    /// Creates an engine from a configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        IpUdpHeuristicEngine {
+            driver: HeuristicDriver::new(
+                config,
+                Method::IpUdpHeuristic,
+                IpUdpSource {
+                    classifier: MediaClassifier::new(config.vmin),
+                    assembler: IpUdpAssembler::new(config.heuristic),
+                },
+            ),
+        }
+    }
+}
+
+impl QoeEstimator for IpUdpHeuristicEngine {
+    fn method(&self) -> Method {
+        Method::IpUdpHeuristic
+    }
+
+    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
+        self.driver.push(pkt)
+    }
+
+    fn finish(&mut self) -> Vec<WindowReport> {
+        self.driver.finish()
+    }
+
+    fn empty_report(&self, window: u64) -> WindowReport {
+        self.driver.empty_report(window)
+    }
+}
+
+/// Streaming RTP Heuristic: payload-type media classification, incremental
+/// timestamp/marker frame grouping, per-window QoE estimation.
+pub struct RtpHeuristicEngine {
+    driver: HeuristicDriver<RtpSource>,
+}
+
+impl RtpHeuristicEngine {
+    /// Creates an engine; the payload map supplies PT→media classification.
+    pub fn new(config: EngineConfig, payload_map: PayloadMap) -> Self {
+        RtpHeuristicEngine {
+            driver: HeuristicDriver::new(
+                config,
+                Method::RtpHeuristic,
+                RtpSource {
+                    payload_map,
+                    assembler: RtpAssembler::new(),
+                },
+            ),
+        }
+    }
+}
+
+impl QoeEstimator for RtpHeuristicEngine {
+    fn method(&self) -> Method {
+        Method::RtpHeuristic
+    }
+
+    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
+        self.driver.push(pkt)
+    }
+
+    fn finish(&mut self) -> Vec<WindowReport> {
+        self.driver.finish()
+    }
+
+    fn empty_report(&self, window: u64) -> WindowReport {
+        self.driver.empty_report(window)
+    }
+}
+
+/// Window clock shared by the two ML engines: first-packet anchoring,
+/// bounded gap emission, and the advance/finish bookkeeping.
+struct MlWindowClock {
+    window_us: i64,
+    current: u64,
+    started: bool,
+    gap: GapGuard,
+}
+
+impl MlWindowClock {
+    fn new(config: EngineConfig) -> Self {
+        MlWindowClock {
+            window_us: config.window_us(),
+            current: 0,
+            started: false,
+            gap: GapGuard::default(),
+        }
+    }
+
+    /// Accepts one packet timestamp. Returns the (bounded) range of
+    /// window indices to finalize before accumulating the packet, or
+    /// `None` when the packet must be dropped (negative timestamp, or a
+    /// quarantined far-future jump — see [`MAX_WINDOW_GAP`]). A
+    /// corroborated discontinuity finalizes only the in-progress window,
+    /// then skips to the new window without per-window reports.
+    fn advance(&mut self, ts: Timestamp) -> Option<std::ops::Range<u64>> {
+        let us = ts.as_micros();
+        if us < 0 {
+            return None;
+        }
+        let w = us.div_euclid(self.window_us) as u64;
+        if !self.started {
+            self.started = true;
+            self.current = w;
+            return Some(w..w);
+        }
+        match self.gap.check(self.current, self.started, w) {
+            GapVerdict::Drop => None,
+            GapVerdict::Reanchor => {
+                let emit = self.current..self.current + 1;
+                self.current = w;
+                Some(emit)
+            }
+            GapVerdict::Normal => {
+                let emit = self.current..w.max(self.current);
+                self.current = w.max(self.current);
+                Some(emit)
+            }
+        }
+    }
+
+    /// The window to finalize at end of stream, if any packet was seen.
+    fn finish(&mut self) -> Option<u64> {
+        self.started.then(|| {
+            let w = self.current;
+            self.current += 1;
+            w
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IP/UDP ML
+// ---------------------------------------------------------------------------
+
+/// Streaming IP/UDP ML feature extraction (+ optional model inference):
+/// the 14-feature vector per window, computed incrementally.
+pub struct IpUdpMlEngine {
+    classifier: MediaClassifier,
+    acc: IpUdpFeatureAcc,
+    /// The (constant) feature vector of an empty window, derived once
+    /// from a pristine accumulator so the formulas stay single-sourced.
+    empty_features: Vec<f64>,
+    window_secs: f64,
+    clock: MlWindowClock,
+    model: Option<RandomForest>,
+}
+
+impl IpUdpMlEngine {
+    /// Creates an engine from a configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let window_secs = f64::from(config.window_secs);
+        IpUdpMlEngine {
+            classifier: MediaClassifier::new(config.vmin),
+            acc: IpUdpFeatureAcc::new(config.stats, config.theta_iat_us),
+            empty_features: IpUdpFeatureAcc::new(config.stats, config.theta_iat_us)
+                .features(window_secs),
+            window_secs,
+            clock: MlWindowClock::new(config),
+            model: None,
+        }
+    }
+
+    /// Attaches a trained frame-rate model; its prediction is included in
+    /// every report.
+    pub fn with_model(mut self, model: RandomForest) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    fn emit_window(&mut self, window: u64) -> WindowReport {
+        let features = self.acc.features(self.window_secs);
+        let report = WindowReport {
+            window,
+            method: Method::IpUdpMl,
+            estimate: None,
+            model_fps: self.model.as_ref().map(|m| m.predict(&features)),
+            video_packets: self.acc.packets() as usize,
+            features: Some(features),
+        };
+        self.acc.reset();
+        report
+    }
+}
+
+impl QoeEstimator for IpUdpMlEngine {
+    fn method(&self) -> Method {
+        Method::IpUdpMl
+    }
+
+    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
+        let Some(emit) = self.clock.advance(pkt.ts) else {
+            return Vec::new();
+        };
+        let out = emit.map(|w| self.emit_window(w)).collect();
+        if self.classifier.is_video(pkt) {
+            self.acc.push(pkt.ts, pkt.size);
+        }
+        out
+    }
+
+    fn finish(&mut self) -> Vec<WindowReport> {
+        match self.clock.finish() {
+            Some(w) => vec![self.emit_window(w)],
+            None => Vec::new(),
+        }
+    }
+
+    fn empty_report(&self, window: u64) -> WindowReport {
+        WindowReport {
+            window,
+            method: Method::IpUdpMl,
+            estimate: None,
+            features: Some(self.empty_features.clone()),
+            model_fps: None,
+            video_packets: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RTP ML
+// ---------------------------------------------------------------------------
+
+/// Streaming RTP ML feature extraction (+ optional model inference): the
+/// 12 flow features over PT-classified video packets plus the 12 RTP
+/// features, computed incrementally per window.
+pub struct RtpMlEngine {
+    payload_map: PayloadMap,
+    flow: FlowFeatureAcc,
+    rtp: RtpWindowAcc,
+    lag_ref: Option<LagReference>,
+    /// The (constant) feature vector of an empty window.
+    empty_features: Vec<f64>,
+    window_secs: f64,
+    clock: MlWindowClock,
+    video_packets: usize,
+    model: Option<RandomForest>,
+}
+
+impl RtpMlEngine {
+    /// Creates an engine; the payload map supplies PT→media classification.
+    pub fn new(config: EngineConfig, payload_map: PayloadMap) -> Self {
+        let window_secs = f64::from(config.window_secs);
+        // An empty window's features are lag-ref independent (no frames
+        // means no lags), so one pristine-accumulator evaluation covers
+        // every empty report.
+        let mut empty_features = FlowFeatureAcc::new(config.stats).features(window_secs);
+        empty_features.extend(RtpWindowAcc::new().features(None));
+        RtpMlEngine {
+            payload_map,
+            flow: FlowFeatureAcc::new(config.stats),
+            rtp: RtpWindowAcc::new(),
+            lag_ref: None,
+            empty_features,
+            window_secs,
+            clock: MlWindowClock::new(config),
+            video_packets: 0,
+            model: None,
+        }
+    }
+
+    /// Attaches a trained frame-rate model.
+    pub fn with_model(mut self, model: RandomForest) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    fn emit_window(&mut self, window: u64) -> WindowReport {
+        let mut features = self.flow.features(self.window_secs);
+        features.extend(self.rtp.features(self.lag_ref));
+        let report = WindowReport {
+            window,
+            method: Method::RtpMl,
+            estimate: None,
+            model_fps: self.model.as_ref().map(|m| m.predict(&features)),
+            video_packets: self.video_packets,
+            features: Some(features),
+        };
+        self.flow.reset();
+        self.rtp.reset();
+        self.video_packets = 0;
+        report
+    }
+}
+
+impl QoeEstimator for RtpMlEngine {
+    fn method(&self) -> Method {
+        Method::RtpMl
+    }
+
+    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
+        let Some(emit) = self.clock.advance(pkt.ts) else {
+            return Vec::new();
+        };
+        let out = emit.map(|w| self.emit_window(w)).collect();
+        if let Some(h) = pkt.rtp {
+            match self.payload_map.classify(h.payload_type) {
+                Some(MediaKind::Video) => {
+                    // The lag clock anchors at the session's first video
+                    // packet ("we assume that the first frame had zero
+                    // delay", §3.3).
+                    self.lag_ref.get_or_insert(LagReference {
+                        t0: pkt.ts,
+                        ts0: h.timestamp,
+                    });
+                    self.flow.push(pkt.ts, pkt.size);
+                    self.rtp.push_video(pkt.ts, &h);
+                    self.video_packets += 1;
+                }
+                Some(MediaKind::VideoRtx) => self.rtp.push_rtx(pkt.ts, &h),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    fn finish(&mut self) -> Vec<WindowReport> {
+        match self.clock.finish() {
+            Some(w) => vec![self.emit_window(w)],
+            None => Vec::new(),
+        }
+    }
+
+    fn empty_report(&self, window: u64) -> WindowReport {
+        WindowReport {
+            window,
+            method: Method::RtpMl,
+            estimate: None,
+            features: Some(self.empty_features.clone()),
+            model_fps: None,
+            video_packets: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay (batch = streaming)
+// ---------------------------------------------------------------------------
+
+/// Replays a trace through an engine and returns exactly
+/// `ceil(duration / window_secs)` reports: the batch evaluation as a thin
+/// layer over the streaming path. Windows past the end of the stream are
+/// padded with [`QoeEstimator::empty_report`]; windows past the nominal
+/// duration are dropped (they carry no ground truth).
+pub fn replay<E: QoeEstimator + ?Sized>(
+    engine: &mut E,
+    trace: &Trace,
+    window_secs: u32,
+) -> Vec<WindowReport> {
+    replay_packets(engine, &trace.packets, trace.duration_secs, window_secs)
+}
+
+/// [`replay`] over a raw packet list with an explicit nominal duration.
+pub fn replay_packets<E: QoeEstimator + ?Sized>(
+    engine: &mut E,
+    packets: &[TracePacket],
+    duration_secs: u32,
+    window_secs: u32,
+) -> Vec<WindowReport> {
+    assert!(window_secs > 0, "zero window");
+    let mut reports = Vec::new();
+    for p in packets {
+        reports.extend(engine.push(p));
+    }
+    reports.extend(engine.finish());
+    // Engines are anchored at their first packet's window, so place each
+    // report at its absolute index and fill leading/trailing gaps with
+    // empty windows.
+    let n = duration_secs.div_ceil(window_secs) as usize;
+    let mut slots: Vec<Option<WindowReport>> = (0..n).map(|_| None).collect();
+    for r in reports {
+        let w = r.window as usize;
+        if w < n {
+            debug_assert!(slots[w].is_none(), "duplicate report for window {w}");
+            slots[w] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(w, slot)| slot.unwrap_or_else(|| engine.empty_report(w as u64)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// FlowTable
+// ---------------------------------------------------------------------------
+
+/// A sharded, flow-keyed table of per-flow estimators: one process
+/// monitoring many concurrent VCA calls.
+///
+/// Packets are routed by canonical UDP 5-tuple to a per-flow engine
+/// created on first sight by the factory. Shards bound rehash cost and
+/// give each a smaller, cache-friendlier map (and are the unit a future
+/// multi-threaded monitor would pin to cores). Idle flows are evicted —
+/// flushing their final windows — so memory is O(active flows), each
+/// O(window content) ([`StatsMode::Sketch`]: O(1)).
+pub struct FlowTable<E: QoeEstimator> {
+    shards: Vec<HashMap<FlowKey, FlowEntry<E>>>,
+    factory: Box<dyn FnMut(&FlowKey) -> E + Send>,
+    idle_timeout_us: i64,
+}
+
+struct FlowEntry<E> {
+    engine: E,
+    last_seen: Timestamp,
+}
+
+impl<E: QoeEstimator> FlowTable<E> {
+    /// Creates a table with `n_shards` shards (≥ 1), a per-flow engine
+    /// factory, and an idle timeout after which flows are evictable.
+    pub fn new(
+        n_shards: usize,
+        idle_timeout: Timestamp,
+        factory: impl FnMut(&FlowKey) -> E + Send + 'static,
+    ) -> Self {
+        assert!(n_shards >= 1, "zero shards");
+        assert!(idle_timeout.as_micros() > 0, "non-positive idle timeout");
+        FlowTable {
+            shards: (0..n_shards).map(|_| HashMap::new()).collect(),
+            factory: Box::new(factory),
+            idle_timeout_us: idle_timeout.as_micros(),
+        }
+    }
+
+    fn shard_of(&self, key: &FlowKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Routes one packet to its flow's engine (creating it on first
+    /// sight) and returns that flow's finalized windows.
+    pub fn push(&mut self, key: FlowKey, pkt: &TracePacket) -> Vec<WindowReport> {
+        let shard = self.shard_of(&key);
+        let entry = self.shards[shard].entry(key).or_insert_with(|| FlowEntry {
+            engine: (self.factory)(&key),
+            last_seen: pkt.ts,
+        });
+        // Advance `last_seen` by at most one idle timeout per packet: a
+        // corrupt far-future timestamp (which the engine quarantines)
+        // then delays eviction by at most one timeout instead of marking
+        // a healthy flow as "from the future" and getting it evicted —
+        // or, with a plain max, pinning it forever.
+        let bound = Timestamp::from_micros(
+            entry
+                .last_seen
+                .as_micros()
+                .saturating_add(self.idle_timeout_us),
+        );
+        entry.last_seen = entry.last_seen.max(pkt.ts.min(bound));
+        entry.engine.push(pkt)
+    }
+
+    /// Evicts flows idle longer than the timeout at `now`, flushing each
+    /// evicted flow's remaining windows.
+    pub fn evict_idle(&mut self, now: Timestamp) -> Vec<(FlowKey, Vec<WindowReport>)> {
+        let deadline = now.as_micros() - self.idle_timeout_us;
+        // A flow whose last packet claims to be from far in the future
+        // relative to `now` carries a corrupt timestamp; reclaim it too
+        // rather than letting it pin memory forever.
+        let future_bound = now.as_micros().saturating_add(self.idle_timeout_us);
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            let stale: Vec<FlowKey> = shard
+                .iter()
+                .filter(|(_, e)| {
+                    e.last_seen.as_micros() < deadline || e.last_seen.as_micros() > future_bound
+                })
+                .map(|(k, _)| *k)
+                .collect();
+            for key in stale {
+                let mut entry = shard.remove(&key).expect("key listed above");
+                out.push((key, entry.engine.finish()));
+            }
+        }
+        out
+    }
+
+    /// Finishes every flow (end of capture), returning each flow's
+    /// remaining windows.
+    pub fn finish_all(mut self) -> Vec<(FlowKey, Vec<WindowReport>)> {
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            for (key, mut entry) in shard.drain() {
+                out.push((key, entry.engine.finish()));
+            }
+        }
+        out.sort_by_key(|(k, _)| (k.addr_a, k.port_a, k.addr_b, k.port_b));
+        out
+    }
+
+    /// Number of currently tracked flows.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// True when no flow is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Flows per shard (for load-balance inspection).
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards.iter().map(HashMap::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::IpUdpHeuristic;
+    use crate::qoe::estimate_windows;
+    use std::net::{IpAddr, Ipv4Addr};
+    use vcaml_features::{ipudp_features, windows_by_second, PktObs};
+
+    fn config() -> EngineConfig {
+        EngineConfig::paper(VcaKind::Teams)
+    }
+
+    fn pkt(us: i64, size: u16) -> TracePacket {
+        TracePacket {
+            ts: Timestamp::from_micros(us),
+            size,
+            rtp: None,
+            truth_media: None,
+        }
+    }
+
+    /// 30 fps, two equal-size packets per frame with per-frame size
+    /// variation so boundaries are detectable, plus audio in between.
+    fn synthetic_stream(secs: i64) -> Vec<TracePacket> {
+        let mut out = Vec::new();
+        for f in 0..secs * 30 {
+            let t0 = f * 33_333;
+            let size = 1000 + ((f % 9) * 13) as u16;
+            out.push(pkt(t0, size));
+            out.push(pkt(t0 + 300, size));
+            out.push(pkt(t0 + 10_000, 150)); // audio (filtered out)
+        }
+        out.sort_by_key(|p| p.ts);
+        out
+    }
+
+    fn run<E: QoeEstimator>(engine: &mut E, packets: &[TracePacket]) -> Vec<WindowReport> {
+        let mut reports = Vec::new();
+        for p in packets {
+            reports.extend(engine.push(p));
+        }
+        reports.extend(engine.finish());
+        reports
+    }
+
+    #[test]
+    fn heuristic_engine_windows_are_consecutive() {
+        let stream = synthetic_stream(5);
+        let reports = run(&mut IpUdpHeuristicEngine::new(config()), &stream);
+        assert_eq!(reports.len(), 5);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.window, i as u64);
+            assert_eq!(r.method, Method::IpUdpHeuristic);
+        }
+    }
+
+    #[test]
+    fn heuristic_engine_matches_batch_exactly() {
+        let stream = synthetic_stream(4);
+        let reports = run(&mut IpUdpHeuristicEngine::new(config()), &stream);
+        // Independent batch path: classify, assemble the whole trace,
+        // bucket frames by end time.
+        let video: Vec<(Timestamp, u16)> = stream
+            .iter()
+            .filter(|p| p.size >= crate::media::DEFAULT_VMIN)
+            .map(|p| (p.ts, p.size))
+            .collect();
+        let (frames, _) = IpUdpHeuristic::new(config().heuristic).assemble(&video);
+        let batch = estimate_windows(&frames, 4, 1);
+        assert_eq!(reports.len(), batch.len());
+        for (r, b) in reports.iter().zip(&batch) {
+            assert_eq!(r.estimate.unwrap(), *b, "window {}", r.window);
+        }
+        for r in &reports {
+            let fps = r.estimate.unwrap().fps;
+            assert!((fps - 30.0).abs() <= 2.0, "fps {fps}");
+        }
+    }
+
+    #[test]
+    fn ml_engine_features_match_batch_slices() {
+        let stream = synthetic_stream(3);
+        let reports = run(&mut IpUdpMlEngine::new(config()), &stream);
+        let video: Vec<PktObs> = stream
+            .iter()
+            .filter(|p| p.size >= crate::media::DEFAULT_VMIN)
+            .map(|p| PktObs {
+                ts: p.ts,
+                size: p.size,
+            })
+            .collect();
+        let windows = windows_by_second(&video, 3, 1);
+        assert_eq!(reports.len(), 3);
+        for (wi, r) in reports.iter().enumerate() {
+            let batch = ipudp_features(&windows[wi], 1.0, config().theta_iat_us);
+            assert_eq!(r.features.as_deref().unwrap(), &batch[..], "window {wi}");
+        }
+    }
+
+    #[test]
+    fn idle_gap_emits_empty_windows() {
+        let mut engine = IpUdpHeuristicEngine::new(config());
+        engine.push(&pkt(100_000, 1100));
+        let reports = engine.push(&pkt(3_100_000, 1100));
+        // The second packet matches the open frame (same size within Δ),
+        // pulling its end into window 3 — exactly what the batch
+        // assembler does — so windows 0..=2 are all final and empty.
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].video_packets, 1); // arrival count stays put
+        for r in &reports {
+            assert_eq!(r.estimate.unwrap().fps, 0.0);
+        }
+    }
+
+    #[test]
+    fn negative_timestamps_dropped() {
+        let mut engine = IpUdpMlEngine::new(config());
+        assert!(engine.push(&pkt(-5_000, 1100)).is_empty());
+        let reports = run(&mut engine, &synthetic_stream(1));
+        assert_eq!(reports.len(), 1);
+        // The negative-time packet contributed nothing.
+        assert_eq!(reports[0].video_packets, 60);
+    }
+
+    #[test]
+    fn assembler_memory_stays_bounded() {
+        let mut engine = IpUdpHeuristicEngine::new(config());
+        // An hour of adversarial all-distinct sizes.
+        for i in 0..200_000i64 {
+            let size = 450 + (i % 900) as u16;
+            engine.push(&pkt(i * 18_000, size));
+        }
+        assert!(engine.driver.source.assembler.open_frames() <= config().heuristic.lookback + 1);
+    }
+
+    #[test]
+    fn late_flow_anchors_at_first_packet_window() {
+        // A flow first seen an hour into the capture must not flood the
+        // caller with ~3600 empty windows.
+        let hour_us = 3_600i64 * 1_000_000;
+        let mut heur = IpUdpHeuristicEngine::new(config());
+        assert!(heur.push(&pkt(hour_us + 1_000, 1100)).is_empty());
+        // Two more non-matching packets seal the first frame (lookback 2),
+        // making window 3600 final — and only then is it emitted.
+        assert!(heur.push(&pkt(hour_us + 1_100_000, 1000)).is_empty());
+        let reports = heur.push(&pkt(hour_us + 1_200_000, 900));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].window, 3_600);
+
+        let mut ml = IpUdpMlEngine::new(config());
+        assert!(ml.push(&pkt(hour_us + 1_000, 1100)).is_empty());
+        let reports = ml.push(&pkt(hour_us + 1_100_000, 1000));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].window, 3_600);
+        let tail = ml.finish();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].window, 3_601);
+    }
+
+    #[test]
+    fn corrupt_timestamp_dropped_and_engine_recovers() {
+        // A single packet with an absurd timestamp (a mangled pcap
+        // record) is quarantined — no window flood, and the flow keeps
+        // reporting correctly once sane packets resume.
+        let year_us = 365 * 24 * 3_600i64 * 1_000_000;
+        let mut clean = IpUdpHeuristicEngine::new(config());
+        let mut dirty = IpUdpHeuristicEngine::new(config());
+        let stream = synthetic_stream(4);
+        let mut clean_reports = Vec::new();
+        let mut dirty_reports = Vec::new();
+        for (i, p) in stream.iter().enumerate() {
+            if i == stream.len() / 2 {
+                // The corrupt packet is dropped, emitting nothing.
+                assert!(dirty.push(&pkt(year_us, 800)).is_empty());
+            }
+            clean_reports.extend(clean.push(p));
+            dirty_reports.extend(dirty.push(p));
+        }
+        clean_reports.extend(clean.finish());
+        dirty_reports.extend(dirty.finish());
+        assert_eq!(clean_reports.len(), dirty_reports.len());
+        for (c, d) in clean_reports.iter().zip(&dirty_reports) {
+            assert_eq!(c.window, d.window);
+            assert_eq!(c.estimate.unwrap(), d.estimate.unwrap());
+        }
+
+        let mut ml = IpUdpMlEngine::new(config());
+        ml.push(&pkt(0, 1100));
+        assert!(ml.push(&pkt(year_us, 800)).is_empty(), "outlier dropped");
+        // Sane traffic continues in the original epoch.
+        let reports = ml.push(&pkt(1_100_000, 1000));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].window, 0);
+    }
+
+    #[test]
+    fn corrupt_first_timestamp_recovers_backward() {
+        // A mangled timestamp on the very first packet anchors the flow
+        // at a bogus epoch; sane traffic "in the past" must quarantine
+        // that epoch and re-anchor backward instead of being silently
+        // dropped forever.
+        let year_us = 365 * 24 * 3_600i64 * 1_000_000;
+        let mut heur = IpUdpHeuristicEngine::new(config());
+        heur.push(&pkt(year_us, 800));
+        let stream = synthetic_stream(3);
+        let mut reports = Vec::new();
+        for p in &stream {
+            reports.extend(heur.push(p));
+        }
+        reports.extend(heur.finish());
+        // Windows 0..=2 of the sane epoch come out (the corrupt epoch's
+        // lone frame flushes at a far-future index and is discarded here).
+        let sane: Vec<_> = reports.iter().filter(|r| r.window < 10).collect();
+        assert_eq!(sane.len(), 3, "sane windows: {reports:?}");
+        for r in &sane {
+            let fps = r.estimate.unwrap().fps;
+            assert!(r.window >= 1 || fps > 0.0 || r.video_packets > 0);
+        }
+
+        let mut ml = IpUdpMlEngine::new(config());
+        ml.push(&pkt(year_us, 800));
+        let mut reports = Vec::new();
+        for p in &stream {
+            reports.extend(ml.push(p));
+        }
+        reports.extend(ml.finish());
+        let sane: Vec<_> = reports.iter().filter(|r| r.window < 10).collect();
+        assert_eq!(sane.len(), 3, "sane ML windows");
+        assert!(sane.iter().all(|r| r.video_packets > 0));
+    }
+
+    #[test]
+    fn corroborated_discontinuity_reanchors() {
+        // Several packets agreeing on a far-future epoch constitute a
+        // genuine capture discontinuity: the engine flushes, skips the
+        // gap without per-window reports, and resumes at the new epoch.
+        // Two hours exceeds MAX_WINDOW_GAP (4096 one-second windows).
+        let jump_us = 2 * 3_600i64 * 1_000_000;
+        let mut ml = IpUdpMlEngine::new(config());
+        ml.push(&pkt(0, 1100));
+        assert!(ml.push(&pkt(jump_us, 1000)).is_empty());
+        assert!(ml.push(&pkt(jump_us + 1_000, 1000)).is_empty());
+        let reports = ml.push(&pkt(jump_us + 2_000, 1000));
+        // The corroborating packet finalizes the old in-progress window…
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].window, 0);
+        // …and emission resumes at the new epoch.
+        let tail = ml.finish();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].window, 7_200);
+    }
+
+    #[test]
+    fn replay_fills_leading_gap_with_empty_windows() {
+        // First packet lands in window 3: replay still returns windows
+        // 0..n with empty reports up front.
+        let packets = vec![
+            pkt(3_100_000, 1100),
+            pkt(3_200_000, 1000),
+            pkt(3_300_000, 900),
+        ];
+        let reports = replay_packets(&mut IpUdpMlEngine::new(config()), &packets, 5, 1);
+        assert_eq!(reports.len(), 5);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.window, i as u64);
+        }
+        assert_eq!(reports[0].video_packets, 0);
+        assert_eq!(reports[3].video_packets, 3);
+        // Leading empties equal the engine's own empty-window vector.
+        let empty = IpUdpMlEngine::new(config()).empty_report(0);
+        assert_eq!(reports[0].features, empty.features);
+    }
+
+    #[test]
+    fn replay_pads_and_truncates_to_duration() {
+        let mut engine = IpUdpHeuristicEngine::new(config());
+        let reports = replay_packets(&mut engine, &synthetic_stream(2), 6, 1);
+        assert_eq!(reports.len(), 6);
+        assert!(reports[5].video_packets == 0);
+        let mut engine = IpUdpMlEngine::new(config());
+        let reports = replay_packets(&mut engine, &synthetic_stream(4), 2, 1);
+        assert_eq!(reports.len(), 2);
+    }
+
+    fn flow_key(n: u8) -> FlowKey {
+        let client = IpAddr::V4(Ipv4Addr::new(10, 0, 0, n));
+        let server = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 1));
+        FlowKey::canonical(server, 3478, client, 50_000 + u16::from(n), 17).0
+    }
+
+    #[test]
+    fn flow_table_separates_interleaved_flows() {
+        // Flow 1: the synthetic stream. Flow 2: the same shape shifted in
+        // size so its windows differ.
+        let a = synthetic_stream(3);
+        let b: Vec<TracePacket> = a
+            .iter()
+            .map(|p| pkt(p.ts.as_micros() + 7, p.size.saturating_add(200)))
+            .collect();
+        let mut feed: Vec<(FlowKey, TracePacket)> = a
+            .iter()
+            .map(|p| (flow_key(1), *p))
+            .chain(b.iter().map(|p| (flow_key(2), *p)))
+            .collect();
+        feed.sort_by_key(|(_, p)| p.ts);
+
+        let mut table = FlowTable::new(4, Timestamp::from_secs(60), |_: &FlowKey| {
+            IpUdpHeuristicEngine::new(config())
+        });
+        let mut per_flow: std::collections::HashMap<FlowKey, Vec<WindowReport>> =
+            std::collections::HashMap::new();
+        for (key, p) in &feed {
+            per_flow
+                .entry(*key)
+                .or_default()
+                .extend(table.push(*key, p));
+        }
+        assert_eq!(table.len(), 2);
+        for (key, rest) in table.finish_all() {
+            per_flow.entry(key).or_default().extend(rest);
+        }
+
+        // Each flow's reports equal a solo run of the same packets.
+        let solo_a = run(&mut IpUdpHeuristicEngine::new(config()), &a);
+        let solo_b = run(&mut IpUdpHeuristicEngine::new(config()), &b);
+        for (solo, key) in [(&solo_a, flow_key(1)), (&solo_b, flow_key(2))] {
+            let got = &per_flow[&key];
+            assert_eq!(got.len(), solo.len());
+            for (g, s) in got.iter().zip(solo.iter()) {
+                assert_eq!(g.window, s.window);
+                assert_eq!(g.estimate.unwrap(), s.estimate.unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn flow_table_evicts_idle_flows() {
+        let mut table = FlowTable::new(2, Timestamp::from_secs(5), |_: &FlowKey| {
+            IpUdpHeuristicEngine::new(config())
+        });
+        table.push(flow_key(1), &pkt(0, 1100));
+        table.push(flow_key(2), &pkt(9_000_000, 1100));
+        assert_eq!(table.len(), 2);
+        let evicted = table.evict_idle(Timestamp::from_secs(10));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, flow_key(1));
+        assert!(!evicted[0].1.is_empty(), "eviction flushes final windows");
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn flow_table_shards_spread_load() {
+        let mut table = FlowTable::new(8, Timestamp::from_secs(60), |_: &FlowKey| {
+            IpUdpMlEngine::new(config())
+        });
+        for n in 0..64 {
+            table.push(flow_key(n), &pkt(0, 1100));
+        }
+        assert_eq!(table.len(), 64);
+        assert_eq!(table.shard_count(), 8);
+        let loads = table.shard_loads();
+        assert!(
+            loads.iter().filter(|&&l| l > 0).count() >= 4,
+            "loads {loads:?}"
+        );
+    }
+
+    #[test]
+    fn rtp_engines_consume_rtp_stream() {
+        use vcaml_rtp::{PayloadMap, RtpHeader};
+        let map = PayloadMap::lab(VcaKind::Teams);
+        let mut packets = Vec::new();
+        for f in 0..60i64 {
+            let t0 = f * 33_333;
+            let size = 1100u16;
+            for i in 0..2u16 {
+                packets.push(TracePacket {
+                    ts: Timestamp::from_micros(t0 + i64::from(i) * 300),
+                    size,
+                    rtp: Some(RtpHeader::basic(
+                        102,
+                        (f * 2) as u16 + i,
+                        (f * 3000) as u32,
+                        1,
+                        i == 1,
+                    )),
+                    truth_media: None,
+                });
+            }
+        }
+        let mut heur = RtpHeuristicEngine::new(config(), map);
+        let reports = run(&mut heur, &packets);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            let fps = r.estimate.unwrap().fps;
+            assert!((fps - 30.0).abs() <= 1.0, "fps {fps}");
+        }
+        let mut ml = RtpMlEngine::new(config(), map);
+        let reports = run(&mut ml, &packets);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            let f = r.features.as_deref().unwrap();
+            assert_eq!(f.len(), 24);
+            // ~30 unique video timestamps per second (±1 for the frame
+            // straddling the window boundary).
+            assert!((29.0..=31.0).contains(&f[12]), "unique ts {}", f[12]);
+        }
+    }
+}

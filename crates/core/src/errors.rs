@@ -55,7 +55,10 @@ pub fn analyze_window(
     params: &HeuristicParams,
 ) -> ErrorCounts {
     assert_eq!(packets.len(), assignments.len(), "length mismatch");
-    let mut counts = ErrorCounts { windows: 1, ..Default::default() };
+    let mut counts = ErrorCounts {
+        windows: 1,
+        ..Default::default()
+    };
 
     // Splits: ground-truth frames whose intra-frame size spread > Δ.
     let mut by_ts: HashMap<u32, (u16, u16)> = HashMap::new();
@@ -135,7 +138,13 @@ mod tests {
     fn interleave_detected() {
         // Frame 1 packets wrap around frame 2's.
         let pkts = [(1100, 1), (800, 2), (1100, 1)];
-        let c = run(&pkts, HeuristicParams { delta_max_size: 2, lookback: 2 });
+        let c = run(
+            &pkts,
+            HeuristicParams {
+                delta_max_size: 2,
+                lookback: 2,
+            },
+        );
         assert_eq!(c.interleaves, 1.0);
     }
 
@@ -150,8 +159,18 @@ mod tests {
     #[test]
     fn averages_divide_by_windows() {
         let mut total = ErrorCounts::default();
-        total.add(&ErrorCounts { splits: 3.0, interleaves: 1.0, coalesces: 2.0, windows: 2 });
-        total.add(&ErrorCounts { splits: 1.0, interleaves: 0.0, coalesces: 0.0, windows: 2 });
+        total.add(&ErrorCounts {
+            splits: 3.0,
+            interleaves: 1.0,
+            coalesces: 2.0,
+            windows: 2,
+        });
+        total.add(&ErrorCounts {
+            splits: 1.0,
+            interleaves: 0.0,
+            coalesces: 0.0,
+            windows: 2,
+        });
         let (s, i, c) = total.averages();
         assert_eq!(s, 1.0);
         assert_eq!(i, 0.25);

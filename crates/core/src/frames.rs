@@ -31,37 +31,6 @@ impl Frame {
     }
 }
 
-/// Builds ground-truth frames from RTP video packets by grouping on the
-/// RTP timestamp (packets of one frame share it, §3.3). Input must be in
-/// arrival order; output frames are ordered by end time.
-///
-/// `payload_sizes` are per-packet sizes to accumulate (callers choose the
-/// accounting: RTP payload bytes for ground truth).
-pub fn frames_from_rtp(packets: &[(Timestamp, u32, usize)]) -> Vec<Frame> {
-    let mut frames: Vec<Frame> = Vec::new();
-    // Frames can interleave under reordering; find by timestamp among the
-    // recent tail (bounded scan keeps this linear in practice).
-    for &(ts, rtp_ts, size) in packets {
-        match frames.iter_mut().rev().take(16).find(|f| f.rtp_ts == Some(rtp_ts)) {
-            Some(f) => {
-                f.size_bytes += size;
-                f.n_packets += 1;
-                f.end_ts = f.end_ts.max(ts);
-                f.start_ts = f.start_ts.min(ts);
-            }
-            None => frames.push(Frame {
-                start_ts: ts,
-                end_ts: ts,
-                size_bytes: size,
-                n_packets: 1,
-                rtp_ts: Some(rtp_ts),
-            }),
-        }
-    }
-    frames.sort_by_key(|f| f.end_ts);
-    frames
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,59 +40,14 @@ mod tests {
     }
 
     #[test]
-    fn groups_by_timestamp() {
-        let pkts = vec![
-            (t(0), 100u32, 500usize),
-            (t(1), 100, 500),
-            (t(33), 200, 700),
-        ];
-        let frames = frames_from_rtp(&pkts);
-        assert_eq!(frames.len(), 2);
-        assert_eq!(frames[0].size_bytes, 1000);
-        assert_eq!(frames[0].n_packets, 2);
-        assert_eq!(frames[0].end_ts, t(1));
-        assert_eq!(frames[1].rtp_ts, Some(200));
-    }
-
-    #[test]
-    fn interleaved_packets_still_grouped() {
-        let pkts = vec![
-            (t(0), 100u32, 10usize),
-            (t(1), 200, 20),
-            (t(2), 100, 10), // late packet of frame 100
-            (t(3), 200, 20),
-        ];
-        let frames = frames_from_rtp(&pkts);
-        assert_eq!(frames.len(), 2);
-        assert_eq!(frames[0].n_packets, 2);
-        assert_eq!(frames[1].n_packets, 2);
-        // Frame 100 ends at t=2, frame 200 at t=3.
-        assert_eq!(frames[0].end_ts, t(2));
-        assert_eq!(frames[1].end_ts, t(3));
-    }
-
-    #[test]
-    fn empty_input() {
-        assert!(frames_from_rtp(&[]).is_empty());
-    }
-
-    #[test]
     fn assembly_time_spans_packets() {
-        let frames = frames_from_rtp(&[(t(10), 5, 1), (t(25), 5, 1)]);
-        assert_eq!(frames[0].assembly_time(), Timestamp::from_millis(15));
-    }
-
-    #[test]
-    fn output_sorted_by_end_time() {
-        // Frame 200's last packet lands before frame 100's.
-        let pkts = vec![
-            (t(0), 100u32, 1usize),
-            (t(5), 200, 1),
-            (t(6), 200, 1),
-            (t(50), 100, 1),
-        ];
-        let frames = frames_from_rtp(&pkts);
-        assert_eq!(frames[0].rtp_ts, Some(200));
-        assert_eq!(frames[1].rtp_ts, Some(100));
+        let f = Frame {
+            start_ts: t(10),
+            end_ts: t(25),
+            size_bytes: 2,
+            n_packets: 2,
+            rtp_ts: Some(5),
+        };
+        assert_eq!(f.assembly_time(), Timestamp::from_millis(15));
     }
 }

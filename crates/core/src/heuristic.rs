@@ -31,13 +31,19 @@ impl HeuristicParams {
             VcaKind::Teams => 2,
             VcaKind::Webex => 1,
         };
-        HeuristicParams { delta_max_size: 2, lookback }
+        HeuristicParams {
+            delta_max_size: 2,
+            lookback,
+        }
     }
 }
 
 impl Default for HeuristicParams {
     fn default() -> Self {
-        HeuristicParams { delta_max_size: 2, lookback: 2 }
+        HeuristicParams {
+            delta_max_size: 2,
+            lookback: 2,
+        }
     }
 }
 
@@ -49,6 +55,113 @@ pub struct Assignment {
     pub packet_idx: usize,
     /// Heuristic frame id the packet was assigned to.
     pub frame_id: usize,
+}
+
+/// Incremental Algorithm 1: consumes video packets one at a time and
+/// emits frames as soon as they are *sealed* — provably immutable because
+/// their id has left the `Nmax` lookback set and can never be matched
+/// again. This is the single implementation of frame assembly; the batch
+/// [`IpUdpHeuristic::assemble`] replays a slice through it.
+///
+/// State is O(`lookback`): the lookback set plus at most `lookback + 1`
+/// open frames, independent of stream length.
+#[derive(Debug, Clone)]
+pub struct IpUdpAssembler {
+    params: HeuristicParams,
+    /// `(size, frame id)` of the last `lookback` packets, most recent last.
+    recent: std::collections::VecDeque<(u16, u64)>,
+    /// Frames whose ids are still in the lookback set, by id.
+    open: std::collections::HashMap<u64, Frame>,
+    next_id: u64,
+}
+
+impl IpUdpAssembler {
+    /// Creates an assembler with explicit parameters.
+    pub fn new(params: HeuristicParams) -> Self {
+        assert!(params.lookback >= 1, "lookback must be at least 1");
+        IpUdpAssembler {
+            params,
+            recent: std::collections::VecDeque::with_capacity(params.lookback + 1),
+            open: std::collections::HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Offers one video packet (`ts` non-decreasing). Returns the frame id
+    /// the packet was assigned to (ids count frames in creation order) and
+    /// any frames sealed by this packet, each tagged with its id.
+    ///
+    /// Frame sizes subtract the 40-byte IP/UDP and 12-byte fixed RTP
+    /// overheads per packet, as the paper's bitrate accounting does
+    /// (§5.1.3).
+    pub fn push(&mut self, ts: Timestamp, size: u16) -> (u64, Vec<(u64, Frame)>) {
+        let payload = usize::from(size).saturating_sub(52).max(1);
+        // Compare with up to Nmax previous packets, most recent first.
+        let matched = self
+            .recent
+            .iter()
+            .rev()
+            .find(|(s, _)| s.abs_diff(size) <= self.params.delta_max_size)
+            .map(|&(_, fid)| fid);
+        let fid = match matched {
+            Some(fid) => {
+                let f = self.open.get_mut(&fid).expect("matched frame is open");
+                f.size_bytes += payload;
+                f.n_packets += 1;
+                f.end_ts = f.end_ts.max(ts);
+                f.start_ts = f.start_ts.min(ts);
+                fid
+            }
+            None => {
+                let fid = self.next_id;
+                self.next_id += 1;
+                self.open.insert(
+                    fid,
+                    Frame {
+                        start_ts: ts,
+                        end_ts: ts,
+                        size_bytes: payload,
+                        n_packets: 1,
+                        rtp_ts: None,
+                    },
+                );
+                fid
+            }
+        };
+        let mut sealed = Vec::new();
+        if self.recent.len() == self.params.lookback {
+            let (_, evicted) = self.recent.pop_front().expect("non-empty lookback");
+            // Seal the evicted frame once no other lookback entry keeps it
+            // matchable (and the current packet did not rejoin it).
+            if evicted != fid && !self.recent.iter().any(|&(_, f)| f == evicted) {
+                if let Some(frame) = self.open.remove(&evicted) {
+                    sealed.push((evicted, frame));
+                }
+            }
+        }
+        self.recent.push_back((size, fid));
+        (fid, sealed)
+    }
+
+    /// Seals every open frame (end of stream) and resets the assembler.
+    pub fn finish(&mut self) -> Vec<(u64, Frame)> {
+        self.recent.clear();
+        let mut out: Vec<(u64, Frame)> = self.open.drain().collect();
+        out.sort_by_key(|&(id, _)| id);
+        out
+    }
+
+    /// Earliest end time any still-open frame currently has. Open frames
+    /// can only move *forward* in time, so every window strictly before
+    /// this bound is final.
+    pub fn min_open_end(&self) -> Option<Timestamp> {
+        self.open.values().map(|f| f.end_ts).min()
+    }
+
+    /// Number of frames still open (≤ lookback + 1).
+    pub fn open_frames(&self) -> usize {
+        self.open.len()
+    }
 }
 
 /// The IP/UDP Heuristic frame-boundary estimator.
@@ -66,55 +179,27 @@ impl IpUdpHeuristic {
     }
 
     /// Runs Algorithm 1 over video packets `(arrival, ip_total_len)` in
-    /// arrival order. Returns the reconstructed frames (ordered by end
-    /// time) and the per-packet assignments.
-    ///
-    /// Frame sizes subtract the 40-byte IP/UDP and 12-byte fixed RTP
-    /// overheads per packet, as the paper's bitrate accounting does
-    /// (§5.1.3).
+    /// arrival order by replaying them through the incremental
+    /// [`IpUdpAssembler`]. Returns the reconstructed frames (ordered by
+    /// end time) and the per-packet assignments (frame ids in creation
+    /// order).
     pub fn assemble(&self, packets: &[(Timestamp, u16)]) -> (Vec<Frame>, Vec<Assignment>) {
-        let mut frames: Vec<Frame> = Vec::new();
-        // frame id of each of the last `lookback` packets, most recent last.
-        let mut recent: Vec<(u16, usize)> = Vec::with_capacity(self.params.lookback);
+        let mut asm = IpUdpAssembler::new(self.params);
         let mut assignments = Vec::with_capacity(packets.len());
-
+        let mut frames: Vec<(u64, Frame)> = Vec::new();
         for (i, &(ts, size)) in packets.iter().enumerate() {
-            let payload = usize::from(size).saturating_sub(52).max(1);
-            // Compare with up to Nmax previous packets, most recent first.
-            let matched = recent
-                .iter()
-                .rev()
-                .find(|(s, _)| s.abs_diff(size) <= self.params.delta_max_size)
-                .map(|&(_, fid)| fid);
-            let fid = match matched {
-                Some(fid) => {
-                    let f = &mut frames[fid];
-                    f.size_bytes += payload;
-                    f.n_packets += 1;
-                    f.end_ts = f.end_ts.max(ts);
-                    f.start_ts = f.start_ts.min(ts);
-                    fid
-                }
-                None => {
-                    frames.push(Frame {
-                        start_ts: ts,
-                        end_ts: ts,
-                        size_bytes: payload,
-                        n_packets: 1,
-                        rtp_ts: None,
-                    });
-                    frames.len() - 1
-                }
-            };
-            assignments.push(Assignment { packet_idx: i, frame_id: fid });
-            if recent.len() == self.params.lookback {
-                recent.remove(0);
-            }
-            recent.push((size, fid));
+            let (fid, sealed) = asm.push(ts, size);
+            assignments.push(Assignment {
+                packet_idx: i,
+                frame_id: fid as usize,
+            });
+            frames.extend(sealed);
         }
-        let mut ordered = frames;
-        ordered.sort_by_key(|f| f.end_ts);
-        (ordered, assignments)
+        frames.extend(asm.finish());
+        // End-time order with creation order breaking ties, matching the
+        // stable sort the batch algorithm historically applied.
+        frames.sort_by_key(|&(id, f)| (f.end_ts, id));
+        (frames.into_iter().map(|(_, f)| f).collect(), assignments)
     }
 }
 
@@ -167,8 +252,20 @@ mod tests {
         // Frame A (1100) interleaved with frame B (800):
         // A A B A B — the late A packet is 2 back from the last.
         let pkts = [(0, 1100), (1, 1100), (2, 800), (3, 1101), (4, 801)];
-        let (frames_lb1, _) = run(&pkts, HeuristicParams { delta_max_size: 2, lookback: 1 });
-        let (frames_lb2, _) = run(&pkts, HeuristicParams { delta_max_size: 2, lookback: 2 });
+        let (frames_lb1, _) = run(
+            &pkts,
+            HeuristicParams {
+                delta_max_size: 2,
+                lookback: 1,
+            },
+        );
+        let (frames_lb2, _) = run(
+            &pkts,
+            HeuristicParams {
+                delta_max_size: 2,
+                lookback: 2,
+            },
+        );
         // Lookback 1 can only match against the immediately preceding
         // packet, so both interleaved packets open spurious frames.
         assert_eq!(frames_lb1.len(), 4);
@@ -206,7 +303,13 @@ mod tests {
     #[test]
     fn assignments_cover_all_packets() {
         let pkts = [(0, 1100), (1, 900), (2, 902), (3, 1100)];
-        let (frames, asg) = run(&pkts, HeuristicParams { delta_max_size: 2, lookback: 3 });
+        let (frames, asg) = run(
+            &pkts,
+            HeuristicParams {
+                delta_max_size: 2,
+                lookback: 3,
+            },
+        );
         assert_eq!(asg.len(), 4);
         let total: u32 = frames.iter().map(|f| f.n_packets).sum();
         assert_eq!(total, 4);
@@ -233,6 +336,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "lookback")]
     fn zero_lookback_rejected() {
-        let _ = IpUdpHeuristic::new(HeuristicParams { delta_max_size: 2, lookback: 0 });
+        let _ = IpUdpHeuristic::new(HeuristicParams {
+            delta_max_size: 2,
+            lookback: 0,
+        });
     }
 }

@@ -7,22 +7,36 @@
 //!   alone (the `Vmin` threshold, §3.1);
 //! * [`heuristic`] — the **IP/UDP Heuristic**: frame-boundary detection
 //!   from packet-size similarity (Algorithm 1), exploiting VCAs'
-//!   equal-size frame fragmentation;
+//!   equal-size frame fragmentation, implemented as the incremental
+//!   [`heuristic::IpUdpAssembler`];
 //! * [`rtp_heuristic`] — the **RTP Heuristic** baseline: frame boundaries
-//!   from RTP timestamps and marker bits (Michel et al.-style, §3.3);
+//!   from RTP timestamps and marker bits (Michel et al.-style, §3.3),
+//!   implemented as the incremental [`rtp_heuristic::RtpAssembler`];
 //! * [`qoe`] — frame-sequence → per-window frame rate / bitrate / frame
-//!   jitter estimators (§3.2.1);
+//!   jitter estimators (§3.2.1), implemented as the incremental
+//!   [`qoe::QoeWindower`];
+//! * [`engine`] — the unified streaming engine: all four methods behind
+//!   the [`engine::QoeEstimator`] trait (`push`/`finish`), plus the
+//!   sharded, flow-keyed [`engine::FlowTable`] that monitors many
+//!   concurrent calls in one process (§7's "streaming versions of the
+//!   methods");
 //! * [`pipeline`] — the **IP/UDP ML** and **RTP ML** methods: feature
-//!   extraction, 5-fold cross-validated random forests, transfer
-//!   evaluation, and feature importances (§3.2.2);
+//!   extraction (a replay over the engines), 5-fold cross-validated
+//!   random forests, transfer evaluation, and feature importances
+//!   (§3.2.2);
 //! * [`resolution`] — resolution class schemes (per-height for Meet/Webex,
 //!   low/medium/high bins for Teams, §5.1.5);
 //! * [`errors`] — the heuristic error taxonomy of Fig. 4 (splits /
 //!   interleaves / coalesces);
-//! * [`streaming`] — a single-pass, bounded-memory estimator (§7's
-//!   "streaming versions of the methods");
 //! * [`trace`] — the monitor-side trace model consumed by all methods.
+//!
+//! Batch and streaming share one implementation: the batch entry points
+//! ([`pipeline::build_samples`], [`IpUdpHeuristic::assemble`],
+//! [`qoe::estimate_windows`], `rtp_heuristic::assemble`) replay their
+//! inputs through the same incremental state machines the engines drive
+//! packet-by-packet, so the two paths produce identical windows.
 
+pub mod engine;
 pub mod errors;
 pub mod frames;
 pub mod heuristic;
@@ -32,18 +46,20 @@ pub mod pipeline;
 pub mod qoe;
 pub mod resolution;
 pub mod rtp_heuristic;
-pub mod streaming;
 pub mod trace;
 
+pub use engine::{
+    replay, replay_packets, EngineConfig, FlowTable, IpUdpHeuristicEngine, IpUdpMlEngine,
+    QoeEstimator, RtpHeuristicEngine, RtpMlEngine, WindowReport,
+};
 pub use frames::Frame;
-pub use heuristic::{HeuristicParams, IpUdpHeuristic};
+pub use heuristic::{HeuristicParams, IpUdpAssembler, IpUdpHeuristic};
 pub use media::MediaClassifier;
 pub use pipeline::{
     build_samples, eval_heuristic, eval_ml_regression, eval_ml_resolution, feature_importances,
     summarize, transfer_regression, EvalSummary, Method, PipelineOpts, SampleSet, Target,
     WindowSample,
 };
-pub use qoe::{estimate_windows, QoeEstimate};
+pub use qoe::{estimate_windows, QoeEstimate, QoeWindower};
 pub use resolution::ResolutionScheme;
-pub use streaming::{StreamingEstimator, StreamingReport};
 pub use trace::{Trace, TracePacket, TruthRow};

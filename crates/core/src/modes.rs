@@ -21,7 +21,9 @@ pub const WARMUP_SECS: i64 = 2;
 /// paper: "Determining whether user video is disabled seems possible by
 /// analyzing UDP packet size distribution".
 pub fn detect_video_off(packets: &[TracePacket], classifier: &MediaClassifier) -> bool {
-    let Some(last) = packets.last() else { return true };
+    let Some(last) = packets.last() else {
+        return true;
+    };
     let horizon_secs = last.ts.second_index() - WARMUP_SECS + 1;
     if horizon_secs <= 0 {
         return true;
@@ -76,7 +78,9 @@ pub fn split_by_ssrc(packets: &[TracePacket], video_pt: u8) -> Vec<(u32, Vec<Tra
 /// Ground-truth helper for evaluation: true when the trace actually
 /// carries video packets.
 pub fn has_video_truth(packets: &[TracePacket]) -> bool {
-    packets.iter().any(|p| p.truth_media == Some(MediaKind::Video))
+    packets
+        .iter()
+        .any(|p| p.truth_media == Some(MediaKind::Video))
 }
 
 #[cfg(test)]

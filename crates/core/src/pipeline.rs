@@ -2,27 +2,31 @@
 //! `IP/UDP Heuristic`, `IP/UDP ML`, `RTP Heuristic`, `RTP ML` — feature
 //! extraction, cross-validated training, transfer evaluation, and
 //! summaries.
+//!
+//! Window construction is a *replay* over the incremental engines of
+//! [`crate::engine`]: each trace is streamed packet-by-packet through one
+//! engine per method, so the batch evaluation exercises exactly the code a
+//! live monitor runs (no separate batch windowing/frame-assembly path).
 
-use crate::heuristic::{HeuristicParams, IpUdpHeuristic};
-use crate::media::MediaClassifier;
-use crate::qoe::{estimate_windows, QoeEstimate};
+use crate::engine::{
+    replay, EngineConfig, IpUdpHeuristicEngine, IpUdpMlEngine, RtpHeuristicEngine, RtpMlEngine,
+};
+use crate::heuristic::HeuristicParams;
+use crate::qoe::QoeEstimate;
 use crate::resolution::ResolutionScheme;
-use crate::rtp_heuristic;
 use crate::trace::{Trace, TruthRow};
 use serde::{Deserialize, Serialize};
-use vcaml_features::{
-    ipudp_feature_names, ipudp_features, rtp_feature_names, windows_by_second, PktObs, RtpWindow,
-};
-use vcaml_features::flow_stats::{flow_feature_names, flow_features};
-use vcaml_features::rtp_feats::LagReference;
+use vcaml_features::flow_stats::flow_feature_names;
+use vcaml_features::{ipudp_feature_names, rtp_feature_names};
 use vcaml_mlcore::{
     accuracy, cross_val_predict, mae, mrae, percentile, ConfusionMatrix, Dataset, RandomForest,
     RandomForestParams, Task,
 };
+#[cfg(test)]
 use vcaml_netpkt::Timestamp;
-use vcaml_rtp::VcaKind;
 #[cfg(test)]
 use vcaml_rtp::MediaKind;
+use vcaml_rtp::VcaKind;
 
 /// The four methods compared throughout the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -39,8 +43,12 @@ pub enum Method {
 
 impl Method {
     /// All four, in the paper's legend order.
-    pub const ALL: [Method; 4] =
-        [Method::RtpMl, Method::IpUdpMl, Method::RtpHeuristic, Method::IpUdpHeuristic];
+    pub const ALL: [Method; 4] = [
+        Method::RtpMl,
+        Method::IpUdpMl,
+        Method::RtpHeuristic,
+        Method::IpUdpHeuristic,
+    ];
 
     /// Display name as used in the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -100,6 +108,17 @@ impl PipelineOpts {
             cv_folds: 5,
         }
     }
+
+    /// The streaming-engine configuration these options describe.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            vmin: self.vmin,
+            heuristic: self.heuristic,
+            window_secs: self.window_secs,
+            theta_iat_us: self.theta_iat_us,
+            stats: vcaml_features::StatsMode::Exact,
+        }
+    }
 }
 
 /// One prediction window with every method's inputs and outputs.
@@ -138,8 +157,12 @@ impl SampleSet {
     /// Distinct ground-truth frame heights observed (for resolution
     /// schemes).
     pub fn observed_heights(&self) -> Vec<u32> {
-        let mut hs: Vec<u32> =
-            self.samples.iter().map(|s| s.truth.height).filter(|&h| h > 0).collect();
+        let mut hs: Vec<u32> = self
+            .samples
+            .iter()
+            .map(|s| s.truth.height)
+            .filter(|&h| h > 0)
+            .collect();
         hs.sort_unstable();
         hs.dedup();
         hs
@@ -161,7 +184,11 @@ fn aggregate_truth(rows: &[TruthRow]) -> TruthRow {
         for r in rows {
             *counts.entry(r.height).or_insert(0u32) += 1;
         }
-        counts.into_iter().max_by_key(|&(h, c)| (c, h)).map(|(h, _)| h).unwrap_or(0)
+        counts
+            .into_iter()
+            .max_by_key(|&(h, c)| (c, h))
+            .map(|(h, _)| h)
+            .unwrap_or(0)
     };
     TruthRow {
         second: rows[0].second,
@@ -172,61 +199,38 @@ fn aggregate_truth(rows: &[TruthRow]) -> TruthRow {
     }
 }
 
-/// Builds the window samples for a corpus of traces.
+/// Builds the window samples for a corpus of traces by replaying each
+/// trace through the four streaming engines — one packet pass per method,
+/// no per-trace buffering of windowed packet lists.
 pub fn build_samples(traces: &[Trace], opts: &PipelineOpts) -> SampleSet {
     assert!(!traces.is_empty(), "empty corpus");
     let vca = traces[0].vca;
-    let classifier = MediaClassifier::new(opts.vmin);
     let w = opts.window_secs;
+    let config = opts.engine_config();
     let mut samples = Vec::new();
 
     for (trace_id, trace) in traces.iter().enumerate() {
         if !trace.is_complete() {
             continue; // §4.1 filtering
         }
-        let n_windows = (trace.duration_secs.div_ceil(w)) as usize;
+        let heur_r = replay(&mut IpUdpHeuristicEngine::new(config), trace, w);
+        let ip_ml_r = replay(&mut IpUdpMlEngine::new(config), trace, w);
+        let rtp_heur_r = replay(
+            &mut RtpHeuristicEngine::new(config, trace.payload_map),
+            trace,
+            w,
+        );
+        let rtp_ml_r = replay(&mut RtpMlEngine::new(config, trace.payload_map), trace, w);
 
-        // --- IP/UDP path: size-classified video packets.
-        let video: Vec<PktObs> = trace
-            .packets
-            .iter()
-            .filter(|p| classifier.is_video(p))
-            .map(|p| PktObs { ts: p.ts, size: p.size })
-            .collect();
-        let ip_windows = windows_by_second(&video, trace.duration_secs, w);
-        let heur_input: Vec<(Timestamp, u16)> = video.iter().map(|p| (p.ts, p.size)).collect();
-        let (heur_frames, _) = IpUdpHeuristic::new(opts.heuristic).assemble(&heur_input);
-        let heur_est = estimate_windows(&heur_frames, n_windows, w);
-
-        // --- RTP path: PT-classified streams.
-        let rtp_video: Vec<(Timestamp, vcaml_rtp::RtpHeader)> =
-            trace.rtp_video_packets().map(|p| (p.ts, p.rtp.unwrap())).collect();
-        let rtp_rtx: Vec<(Timestamp, vcaml_rtp::RtpHeader)> =
-            trace.rtp_rtx_packets().map(|p| (p.ts, p.rtp.unwrap())).collect();
-        let lag_ref = rtp_video
-            .first()
-            .map(|(t, h)| LagReference { t0: *t, ts0: h.timestamp });
-        let rtp_frames = rtp_heuristic::assemble(trace);
-        let rtp_heur_est = estimate_windows(&rtp_frames, n_windows, w);
-        // Flow statistics for the RTP model use PT-identified video
-        // packets.
-        let rtp_flow_pkts: Vec<PktObs> = trace
-            .rtp_video_packets()
-            .map(|p| PktObs { ts: p.ts, size: p.size })
-            .collect();
-        let rtp_flow_windows = windows_by_second(&rtp_flow_pkts, trace.duration_secs, w);
-
-        let window_us = i64::from(w) * 1_000_000;
-        for wi in 0..n_windows {
-            let lo = wi as i64 * window_us;
-            let hi = lo + window_us;
-            let in_win = |t: Timestamp| t.as_micros() >= lo && t.as_micros() < hi;
-
+        for wi in 0..heur_r.len() {
             // Truth rows covered by this window.
             let rows: Vec<TruthRow> = trace
                 .truth
                 .iter()
-                .filter(|r| r.second >= wi as i64 * i64::from(w) && r.second < (wi as i64 + 1) * i64::from(w))
+                .filter(|r| {
+                    r.second >= wi as i64 * i64::from(w)
+                        && r.second < (wi as i64 + 1) * i64::from(w)
+                })
                 .copied()
                 .collect();
             if rows.is_empty() {
@@ -234,21 +238,22 @@ pub fn build_samples(traces: &[Trace], opts: &PipelineOpts) -> SampleSet {
             }
             let truth = aggregate_truth(&rows);
 
-            let ipudp = ipudp_features(&ip_windows[wi], f64::from(w), opts.theta_iat_us);
-
-            let rtp_win = RtpWindow {
-                video: rtp_video.iter().filter(|(t, _)| in_win(*t)).cloned().collect(),
-                rtx: rtp_rtx.iter().filter(|(t, _)| in_win(*t)).cloned().collect(),
-            };
-            let mut rtp_f = flow_features(&rtp_flow_windows[wi], f64::from(w));
-            rtp_f.extend(rtp_win.features(lag_ref));
-
             samples.push(WindowSample {
-                ipudp_features: ipudp,
-                rtp_features: rtp_f,
+                ipudp_features: ip_ml_r[wi]
+                    .features
+                    .clone()
+                    .expect("ML report carries features"),
+                rtp_features: rtp_ml_r[wi]
+                    .features
+                    .clone()
+                    .expect("ML report carries features"),
                 truth,
-                heur: heur_est[wi],
-                rtp_heur: rtp_heur_est[wi],
+                heur: heur_r[wi]
+                    .estimate
+                    .expect("heuristic report carries estimate"),
+                rtp_heur: rtp_heur_r[wi]
+                    .estimate
+                    .expect("heuristic report carries estimate"),
                 trace_id,
             });
         }
@@ -287,7 +292,11 @@ pub fn summarize(preds: &[f64], truths: &[f64]) -> EvalSummary {
     let errs: Vec<f64> = preds.iter().zip(truths).map(|(p, t)| p - t).collect();
     EvalSummary {
         mae: mae(preds, truths),
-        mrae: if truths.iter().any(|t| t.abs() > 1e-9) { mrae(preds, truths) } else { 0.0 },
+        mrae: if truths.iter().any(|t| t.abs() > 1e-9) {
+            mrae(preds, truths)
+        } else {
+            0.0
+        },
         p10: percentile(&errs, 10.0),
         p90: percentile(&errs, 90.0),
         median_err: percentile(&errs, 50.0),
@@ -352,17 +361,29 @@ pub fn eval_ml_regression(
 ) -> (Vec<f64>, Vec<f64>) {
     assert!(method.is_ml(), "ML evaluation on a heuristic method");
     let d = regression_dataset(set, method, target);
-    let preds =
-        cross_val_predict(&d, Task::Regression, &opts.forest, opts.cv_folds, opts.forest.seed);
+    let preds = cross_val_predict(
+        &d,
+        Task::Regression,
+        &opts.forest,
+        opts.cv_folds,
+        opts.forest.seed,
+    );
     (preds, d.targets().to_vec())
 }
 
 /// Heuristic predictions + truths for a regression target.
 pub fn eval_heuristic(set: &SampleSet, method: Method, target: Target) -> (Vec<f64>, Vec<f64>) {
     assert!(!method.is_ml(), "heuristic evaluation on an ML method");
-    let preds: Vec<f64> =
-        set.samples.iter().map(|s| heuristic_estimate(s, method, target)).collect();
-    let truths: Vec<f64> = set.samples.iter().map(|s| regression_truth(s, target)).collect();
+    let preds: Vec<f64> = set
+        .samples
+        .iter()
+        .map(|s| heuristic_estimate(s, method, target))
+        .collect();
+    let truths: Vec<f64> = set
+        .samples
+        .iter()
+        .map(|s| regression_truth(s, target))
+        .collect();
     (preds, truths)
 }
 
@@ -388,7 +409,9 @@ pub fn eval_ml_resolution(
     if d.len() < opts.cv_folds {
         return None;
     }
-    let task = Task::Classification { n_classes: scheme.n_classes() };
+    let task = Task::Classification {
+        n_classes: scheme.n_classes(),
+    };
     let preds = cross_val_predict(&d, task, &opts.forest, opts.cv_folds, opts.forest.seed);
     let acc = accuracy(&preds, d.targets());
     let m = ConfusionMatrix::from_predictions(scheme.labels(), &preds, d.targets());
@@ -416,7 +439,9 @@ pub fn feature_importances(
             }
             let f = RandomForest::fit(
                 &d,
-                Task::Classification { n_classes: scheme.n_classes() },
+                Task::Classification {
+                    n_classes: scheme.n_classes(),
+                },
                 &opts.forest,
             );
             f.top_features(k)
@@ -441,9 +466,16 @@ pub fn transfer_regression(
     assert!(method.is_ml());
     let d_train = regression_dataset(train, method, target);
     let forest = RandomForest::fit(&d_train, Task::Regression, &opts.forest);
-    let preds: Vec<f64> =
-        test.samples.iter().map(|s| forest.predict(features_of(s, method))).collect();
-    let truths: Vec<f64> = test.samples.iter().map(|s| regression_truth(s, target)).collect();
+    let preds: Vec<f64> = test
+        .samples
+        .iter()
+        .map(|s| forest.predict(features_of(s, method)))
+        .collect();
+    let truths: Vec<f64> = test
+        .samples
+        .iter()
+        .map(|s| regression_truth(s, target))
+        .collect();
     (preds, truths)
 }
 
@@ -517,7 +549,11 @@ mod tests {
 
     fn opts() -> PipelineOpts {
         let mut o = PipelineOpts::paper(VcaKind::Teams);
-        o.forest = RandomForestParams { n_trees: 12, seed: 1, ..Default::default() };
+        o.forest = RandomForestParams {
+            n_trees: 12,
+            seed: 1,
+            ..Default::default()
+        };
         o
     }
 
@@ -580,7 +616,8 @@ mod tests {
         let train = build_samples(&toy_corpus(), &opts());
         let test_traces = vec![toy_trace(20, 8, 800, 9)];
         let test = build_samples(&test_traces, &opts());
-        let (p, t) = transfer_regression(&train, &test, Method::IpUdpMl, Target::FrameRate, &opts());
+        let (p, t) =
+            transfer_regression(&train, &test, Method::IpUdpMl, Target::FrameRate, &opts());
         assert_eq!(p.len(), test.samples.len());
         let m = mae(&p, &t);
         assert!(m < 8.0, "transfer MAE {m}");

@@ -9,6 +9,7 @@
 
 use crate::frames::Frame;
 use serde::{Deserialize, Serialize};
+use vcaml_netpkt::Timestamp;
 
 /// Per-window heuristic QoE estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -21,35 +22,145 @@ pub struct QoeEstimate {
     pub frame_jitter_ms: f64,
 }
 
-/// Buckets frames by end time into `n_windows` windows of `window_secs`
-/// seconds and estimates the three metrics in each.
-pub fn estimate_windows(frames: &[Frame], n_windows: usize, window_secs: u32) -> Vec<QoeEstimate> {
-    assert!(window_secs > 0, "zero window");
-    let w_us = i64::from(window_secs) * 1_000_000;
-    let mut per_window: Vec<Vec<&Frame>> = vec![Vec::new(); n_windows];
-    for f in frames {
-        let idx = f.end_ts.as_micros().div_euclid(w_us);
-        if idx >= 0 && (idx as usize) < n_windows {
-            per_window[idx as usize].push(f);
+/// Buckets sealed frames by end time into fixed windows and emits one
+/// [`QoeEstimate`] per window, in window order, as soon as the caller
+/// declares a window final.
+///
+/// This is the single implementation of §3.2.1's window estimation: the
+/// batch [`estimate_windows`] replays a frame list through it, and the
+/// streaming engine offers frames as its assemblers seal them. Frames may
+/// be offered out of end-time order (sealing order is not arrival order);
+/// each window sorts its few frames at emission.
+#[derive(Debug, Clone)]
+pub struct QoeWindower {
+    window_us: i64,
+    window_secs: f64,
+    next_emit: u64,
+    /// Open windows: window index → `(frame id, end, bytes)`.
+    open: std::collections::BTreeMap<u64, Vec<(u64, Timestamp, usize)>>,
+}
+
+impl QoeWindower {
+    /// Creates a windower with the window length in seconds.
+    pub fn new(window_secs: u32) -> Self {
+        assert!(window_secs > 0, "zero window");
+        QoeWindower {
+            window_us: i64::from(window_secs) * 1_000_000,
+            window_secs: f64::from(window_secs),
+            next_emit: 0,
+            open: std::collections::BTreeMap::new(),
         }
     }
-    per_window
-        .iter()
-        .map(|frames| {
-            let w = f64::from(window_secs);
-            let bits: f64 = frames.iter().map(|f| f.size_bytes as f64 * 8.0).sum();
-            let fps = frames.len() as f64 / w;
-            let jitter = if frames.len() >= 3 {
-                let gaps: Vec<f64> = frames
-                    .windows(2)
-                    .map(|p| (p[1].end_ts - p[0].end_ts).as_millis_f64())
-                    .collect();
-                stddev(&gaps)
-            } else {
-                0.0
-            };
-            QoeEstimate { bitrate_kbps: bits / w / 1000.0, fps, frame_jitter_ms: jitter }
-        })
+
+    /// Window index a timestamp falls into (`None` for negative times,
+    /// which are outside every window).
+    pub fn window_of(&self, ts: Timestamp) -> Option<u64> {
+        let idx = ts.as_micros().div_euclid(self.window_us);
+        (idx >= 0).then_some(idx as u64)
+    }
+
+    /// Offers one sealed frame (`id` in creation order, used to break
+    /// end-time ties deterministically).
+    pub fn offer(&mut self, id: u64, frame: &Frame) {
+        if let Some(w) = self.window_of(frame.end_ts) {
+            debug_assert!(w >= self.next_emit, "frame sealed into an emitted window");
+            if w >= self.next_emit {
+                self.open
+                    .entry(w)
+                    .or_default()
+                    .push((id, frame.end_ts, frame.size_bytes));
+            }
+        }
+    }
+
+    /// Emits every window strictly before `safe` (consecutive from the
+    /// last emission; windows without frames yield zero estimates).
+    pub fn drain_until(&mut self, safe: u64) -> Vec<(u64, QoeEstimate)> {
+        let mut out = Vec::new();
+        while self.next_emit < safe {
+            let w = self.next_emit;
+            let frames = self.open.remove(&w).unwrap_or_default();
+            out.push((w, self.estimate(frames)));
+            self.next_emit += 1;
+        }
+        out
+    }
+
+    /// Next window index that would be emitted.
+    pub fn next_window(&self) -> u64 {
+        self.next_emit
+    }
+
+    /// Highest window index currently holding an unemitted frame.
+    pub fn last_open_window(&self) -> Option<u64> {
+        self.open.keys().next_back().copied()
+    }
+
+    /// Anchors the first emitted window (a flow's epoch). Only valid
+    /// before anything has been offered or emitted.
+    pub fn start_at(&mut self, window: u64) {
+        assert!(
+            self.next_emit == 0 && self.open.is_empty(),
+            "start_at after emission began"
+        );
+        self.next_emit = window;
+    }
+
+    /// Re-anchors emission at `window` across a discontinuity — forward
+    /// (a long gap was skipped) or backward (the previous epoch came from
+    /// a corrupt first timestamp). Only valid once pending windows have
+    /// been drained.
+    pub fn skip_to(&mut self, window: u64) {
+        assert!(self.open.is_empty(), "skip_to with pending frames");
+        self.next_emit = window;
+    }
+
+    /// The estimate an empty window produces.
+    pub fn empty_estimate(&self) -> QoeEstimate {
+        self.estimate(Vec::new())
+    }
+
+    fn estimate(&self, mut frames: Vec<(u64, Timestamp, usize)>) -> QoeEstimate {
+        // End-time order, creation order breaking ties — the same order
+        // the batch stable sort produced.
+        frames.sort_by_key(|&(id, end, _)| (end, id));
+        let bits: f64 = frames.iter().map(|&(_, _, bytes)| bytes as f64 * 8.0).sum();
+        let fps = frames.len() as f64 / self.window_secs;
+        let jitter = if frames.len() >= 3 {
+            let gaps: Vec<f64> = frames
+                .windows(2)
+                .map(|p| (p[1].1 - p[0].1).as_millis_f64())
+                .collect();
+            stddev(&gaps)
+        } else {
+            0.0
+        };
+        QoeEstimate {
+            bitrate_kbps: bits / self.window_secs / 1000.0,
+            fps,
+            frame_jitter_ms: jitter,
+        }
+    }
+}
+
+/// Buckets frames by end time into `n_windows` windows of `window_secs`
+/// seconds and estimates the three metrics in each, by replaying the list
+/// through [`QoeWindower`]. Frames ending beyond the last window (or at
+/// negative times) are ignored.
+pub fn estimate_windows(frames: &[Frame], n_windows: usize, window_secs: u32) -> Vec<QoeEstimate> {
+    let mut windower = QoeWindower::new(window_secs);
+    for (id, f) in frames.iter().enumerate() {
+        if windower
+            .window_of(f.end_ts)
+            .is_some_and(|w| w < n_windows as u64)
+        {
+            windower.offer(id as u64, f);
+        }
+    }
+    windower
+        .drain_until(n_windows as u64)
+        .into_iter()
+        .map(|(_, e)| e)
         .collect()
 }
 

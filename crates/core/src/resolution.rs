@@ -25,8 +25,11 @@ impl ResolutionScheme {
         match vca {
             VcaKind::Teams => ResolutionScheme::LowMediumHigh,
             VcaKind::Meet | VcaKind::Webex => {
-                let mut hs: Vec<u32> =
-                    observed_heights.iter().copied().filter(|&h| h > 0).collect();
+                let mut hs: Vec<u32> = observed_heights
+                    .iter()
+                    .copied()
+                    .filter(|&h| h > 0)
+                    .collect();
                 hs.sort_unstable();
                 hs.dedup();
                 ResolutionScheme::PerValue { heights: hs }
@@ -41,9 +44,7 @@ impl ResolutionScheme {
             return None;
         }
         match self {
-            ResolutionScheme::PerValue { heights } => {
-                heights.iter().position(|&h| h == height)
-            }
+            ResolutionScheme::PerValue { heights } => heights.iter().position(|&h| h == height),
             ResolutionScheme::LowMediumHigh => Some(if height <= 240 {
                 0
             } else if height <= 480 {

@@ -5,59 +5,141 @@
 
 use crate::frames::Frame;
 use crate::trace::Trace;
+use std::collections::VecDeque;
 use vcaml_netpkt::Timestamp;
 
-/// Reconstructs frames from the trace's RTP video stream.
-///
-/// Packets are grouped by RTP timestamp; the frame end time is the
-/// arrival of its marker packet when one was received, else the last
-/// arrival. Frame sizes count RTP payload bytes (IP total length minus
-/// the 52 bytes of IP/UDP/RTP headers), matching the heuristic bitrate
-/// accounting.
-pub fn assemble(trace: &Trace) -> Vec<Frame> {
-    struct Acc {
-        frame: Frame,
-        marker_at: Option<Timestamp>,
+/// How many of the most recently opened frames a new packet is matched
+/// against. A frame older than that can never change again and is sealed.
+const SCAN_DEPTH: usize = 16;
+
+struct Acc {
+    id: u64,
+    frame: Frame,
+    marker_at: Option<Timestamp>,
+}
+
+impl Acc {
+    fn finalize(self) -> (u64, Frame) {
+        let mut f = self.frame;
+        // Marker packet defines the end of the frame when present.
+        if let Some(m) = self.marker_at {
+            f.end_ts = m;
+        }
+        (self.id, f)
     }
-    let mut accs: Vec<Acc> = Vec::new();
-    for p in trace.rtp_video_packets() {
-        let h = p.rtp.expect("rtp_video_packets yields RTP packets");
-        let payload = usize::from(p.size).saturating_sub(52).max(1);
-        match accs.iter_mut().rev().take(16).find(|a| a.frame.rtp_ts == Some(h.timestamp)) {
+
+    /// The earliest end time this frame can finalize with: the marker
+    /// arrival once seen (later markers only move it forward), else the
+    /// latest arrival so far.
+    fn min_final_end(&self) -> Timestamp {
+        self.marker_at.unwrap_or(self.frame.end_ts)
+    }
+}
+
+/// Incremental RTP frame assembly: groups video packets by RTP timestamp,
+/// matching each packet against the [`SCAN_DEPTH`] most recently opened
+/// frames, and seals a frame as soon as it falls out of that scan window.
+/// The batch [`assemble`] replays a trace through this; the streaming
+/// engine feeds it packet by packet. State is O([`SCAN_DEPTH`]).
+#[derive(Default)]
+pub struct RtpAssembler {
+    open: VecDeque<Acc>,
+    next_id: u64,
+}
+
+impl RtpAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        RtpAssembler::default()
+    }
+
+    /// Offers one video-stream packet (`ts` non-decreasing): its arrival,
+    /// RTP timestamp, marker bit, and IP total length. Returns any frames
+    /// sealed by this packet, tagged with creation-order ids.
+    ///
+    /// Frame sizes count RTP payload bytes (IP total length minus the 52
+    /// bytes of IP/UDP/RTP headers), matching the heuristic bitrate
+    /// accounting.
+    pub fn push(
+        &mut self,
+        ts: Timestamp,
+        rtp_ts: u32,
+        marker: bool,
+        size: u16,
+    ) -> Vec<(u64, Frame)> {
+        let payload = usize::from(size).saturating_sub(52).max(1);
+        match self
+            .open
+            .iter_mut()
+            .rev()
+            .find(|a| a.frame.rtp_ts == Some(rtp_ts))
+        {
             Some(a) => {
                 a.frame.size_bytes += payload;
                 a.frame.n_packets += 1;
-                a.frame.start_ts = a.frame.start_ts.min(p.ts);
-                a.frame.end_ts = a.frame.end_ts.max(p.ts);
-                if h.marker {
-                    a.marker_at = Some(p.ts);
+                a.frame.start_ts = a.frame.start_ts.min(ts);
+                a.frame.end_ts = a.frame.end_ts.max(ts);
+                if marker {
+                    a.marker_at = Some(ts);
                 }
+                Vec::new()
             }
-            None => accs.push(Acc {
-                frame: Frame {
-                    start_ts: p.ts,
-                    end_ts: p.ts,
-                    size_bytes: payload,
-                    n_packets: 1,
-                    rtp_ts: Some(h.timestamp),
-                },
-                marker_at: h.marker.then_some(p.ts),
-            }),
+            None => {
+                self.open.push_back(Acc {
+                    id: self.next_id,
+                    frame: Frame {
+                        start_ts: ts,
+                        end_ts: ts,
+                        size_bytes: payload,
+                        n_packets: 1,
+                        rtp_ts: Some(rtp_ts),
+                    },
+                    marker_at: marker.then_some(ts),
+                });
+                self.next_id += 1;
+                let mut sealed = Vec::new();
+                while self.open.len() > SCAN_DEPTH {
+                    sealed.push(self.open.pop_front().expect("len checked").finalize());
+                }
+                sealed
+            }
         }
     }
-    let mut frames: Vec<Frame> = accs
-        .into_iter()
-        .map(|a| {
-            let mut f = a.frame;
-            // Marker packet defines the end of the frame when present.
-            if let Some(m) = a.marker_at {
-                f.end_ts = m;
-            }
-            f
-        })
-        .collect();
-    frames.sort_by_key(|f| f.end_ts);
-    frames
+
+    /// Seals every open frame (end of stream) and resets the assembler.
+    pub fn finish(&mut self) -> Vec<(u64, Frame)> {
+        self.open.drain(..).map(Acc::finalize).collect()
+    }
+
+    /// Earliest end time any open frame can still finalize with; windows
+    /// strictly before this bound are final.
+    pub fn min_open_end(&self) -> Option<Timestamp> {
+        self.open.iter().map(Acc::min_final_end).min()
+    }
+
+    /// Number of frames still open (≤ [`SCAN_DEPTH`]).
+    pub fn open_frames(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// Reconstructs frames from the trace's RTP video stream by replaying it
+/// through the incremental [`RtpAssembler`].
+///
+/// Packets are grouped by RTP timestamp; the frame end time is the
+/// arrival of its marker packet when one was received, else the last
+/// arrival. Output frames are ordered by end time (creation order breaks
+/// ties).
+pub fn assemble(trace: &Trace) -> Vec<Frame> {
+    let mut asm = RtpAssembler::new();
+    let mut frames: Vec<(u64, Frame)> = Vec::new();
+    for p in trace.rtp_video_packets() {
+        let h = p.rtp.expect("rtp_video_packets yields RTP packets");
+        frames.extend(asm.push(p.ts, h.timestamp, h.marker, p.size));
+    }
+    frames.extend(asm.finish());
+    frames.sort_by_key(|&(id, f)| (f.end_ts, id));
+    frames.into_iter().map(|(_, f)| f).collect()
 }
 
 #[cfg(test)]
@@ -93,7 +175,7 @@ mod tests {
     fn groups_by_timestamp_and_marker_sets_end() {
         let tr = trace(vec![
             pkt(0, 1052, 102, 0, 100, false),
-            pkt(1, 1052, 102, 1, 100, true), // marker
+            pkt(1, 1052, 102, 1, 100, true),  // marker
             pkt(5, 1052, 102, 2, 100, false), // straggler after marker
             pkt(33, 900, 102, 3, 200, true),
         ]);
@@ -108,8 +190,8 @@ mod tests {
     #[test]
     fn ignores_audio_and_rtx() {
         let tr = trace(vec![
-            pkt(0, 150, 111, 0, 1, false),  // audio
-            pkt(1, 304, 103, 0, 2, false),  // rtx keepalive
+            pkt(0, 150, 111, 0, 1, false), // audio
+            pkt(1, 304, 103, 0, 2, false), // rtx keepalive
             pkt(2, 1052, 102, 1, 100, true),
         ]);
         let frames = assemble(&tr);

@@ -122,7 +122,13 @@ mod tests {
         let mut t = trace(vec![]);
         t.duration_secs = 3;
         t.truth = vec![
-            TruthRow { second: 0, bitrate_kbps: 0.0, fps: 0.0, frame_jitter_ms: 0.0, height: 0 };
+            TruthRow {
+                second: 0,
+                bitrate_kbps: 0.0,
+                fps: 0.0,
+                frame_jitter_ms: 0.0,
+                height: 0
+            };
             2
         ];
         assert!(!t.is_complete());

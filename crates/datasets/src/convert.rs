@@ -44,8 +44,8 @@ pub fn to_core_trace(session: &SessionTrace, payload_map: PayloadMap) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vcaml_netem::{ConditionSchedule, SecondCondition};
     use vcaml_netem::LinkConfig;
+    use vcaml_netem::{ConditionSchedule, SecondCondition};
     use vcaml_rtp::VcaKind;
     use vcaml_vcasim::{Session, SessionConfig, VcaProfile};
 

@@ -67,15 +67,24 @@ mod tests {
     fn conditions_are_challenging() {
         // Under <10 Mbps NDT-style conditions, mean bitrate stays well
         // below the Teams ceiling and QoE varies across calls.
-        let traces = inlab_corpus(VcaKind::Teams, &CorpusConfig { n_calls: 8, min_secs: 25, max_secs: 35, seed: 3 });
+        let traces = inlab_corpus(
+            VcaKind::Teams,
+            &CorpusConfig {
+                n_calls: 8,
+                min_secs: 25,
+                max_secs: 35,
+                seed: 3,
+            },
+        );
         let means: Vec<f64> = traces
             .iter()
-            .map(|t| {
-                t.truth.iter().map(|r| r.bitrate_kbps).sum::<f64>() / t.truth.len() as f64
-            })
+            .map(|t| t.truth.iter().map(|r| r.bitrate_kbps).sum::<f64>() / t.truth.len() as f64)
             .collect();
         let spread = means.iter().cloned().fold(f64::MIN, f64::max)
             - means.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread > 200.0, "bitrate spread {spread} too small: {means:?}");
+        assert!(
+            spread > 200.0,
+            "bitrate spread {spread} too small: {means:?}"
+        );
     }
 }

@@ -41,17 +41,32 @@ pub struct CorpusConfig {
 impl CorpusConfig {
     /// A small corpus for tests and quick runs.
     pub fn small(seed: u64) -> Self {
-        CorpusConfig { n_calls: 6, min_secs: 20, max_secs: 30, seed }
+        CorpusConfig {
+            n_calls: 6,
+            min_secs: 20,
+            max_secs: 30,
+            seed,
+        }
     }
 
     /// The default in-lab corpus scale (paper: 11k–15k seconds per VCA;
     /// scaled down to keep the full reproduction tractable).
     pub fn inlab_default(seed: u64) -> Self {
-        CorpusConfig { n_calls: 36, min_secs: 45, max_secs: 90, seed }
+        CorpusConfig {
+            n_calls: 36,
+            min_secs: 45,
+            max_secs: 90,
+            seed,
+        }
     }
 
     /// The default real-world corpus scale (paper: 15–25 s calls).
     pub fn realworld_default(seed: u64) -> Self {
-        CorpusConfig { n_calls: 60, min_secs: 15, max_secs: 25, seed }
+        CorpusConfig {
+            n_calls: 60,
+            min_secs: 15,
+            max_secs: 25,
+            seed,
+        }
     }
 }

@@ -53,7 +53,11 @@ fn call_schedule(h: Household, secs: u32, rng: &mut StdRng) -> ConditionSchedule
                     throughput_kbps: rng.gen_range(250.0..2_500.0),
                     delay_ms: h.base_owd_ms + rng.gen_range(5.0..60.0),
                     jitter_ms: rng.gen_range(1.0..8.0),
-                    loss_pct: if rng.gen::<f64>() < 0.4 { rng.gen_range(0.2..3.0) } else { 0.0 },
+                    loss_pct: if rng.gen::<f64>() < 0.4 {
+                        rng.gen_range(0.2..3.0)
+                    } else {
+                        0.0
+                    },
                 }
             } else {
                 SecondCondition {
@@ -122,7 +126,12 @@ mod tests {
 
     #[test]
     fn real_world_qoe_beats_inlab() {
-        let cfg = CorpusConfig { n_calls: 10, min_secs: 20, max_secs: 25, seed: 11 };
+        let cfg = CorpusConfig {
+            n_calls: 10,
+            min_secs: 20,
+            max_secs: 25,
+            seed: 11,
+        };
         let rw = realworld_corpus(VcaKind::Teams, &cfg);
         let lab = crate::inlab_corpus(VcaKind::Teams, &cfg);
         let (rw_fps, rw_br) = mean_qoe(&rw);
@@ -133,9 +142,18 @@ mod tests {
 
     #[test]
     fn meet_real_world_reaches_higher_resolutions() {
-        let cfg = CorpusConfig { n_calls: 12, min_secs: 20, max_secs: 25, seed: 2 };
+        let cfg = CorpusConfig {
+            n_calls: 12,
+            min_secs: 20,
+            max_secs: 25,
+            seed: 2,
+        };
         let rw = realworld_corpus(VcaKind::Meet, &cfg);
-        let max_h = rw.iter().flat_map(|t| t.truth.iter().map(|r| r.height)).max().unwrap();
+        let max_h = rw
+            .iter()
+            .flat_map(|t| t.truth.iter().map(|r| r.height))
+            .max()
+            .unwrap();
         assert!(max_h >= 540, "max height {max_h}");
     }
 
@@ -149,7 +167,12 @@ mod tests {
 
     #[test]
     fn some_calls_are_degraded() {
-        let cfg = CorpusConfig { n_calls: 30, min_secs: 15, max_secs: 20, seed: 9 };
+        let cfg = CorpusConfig {
+            n_calls: 30,
+            min_secs: 15,
+            max_secs: 20,
+            seed: 9,
+        };
         let rw = realworld_corpus(VcaKind::Webex, &cfg);
         let mut call_fps: Vec<f64> = rw
             .iter()
@@ -157,6 +180,9 @@ mod tests {
             .collect();
         call_fps.sort_by(|a, b| a.partial_cmp(b).unwrap());
         // The tail call should be clearly worse than the median.
-        assert!(call_fps[0] < call_fps[call_fps.len() / 2] - 2.0, "{call_fps:?}");
+        assert!(
+            call_fps[0] < call_fps[call_fps.len() / 2] - 2.0,
+            "{call_fps:?}"
+        );
     }
 }

@@ -85,14 +85,20 @@ mod tests {
     fn higher_loss_degrades_fps() {
         let low = sweep_value_corpus(
             VcaKind::Teams,
-            ImpairmentProfile { dim: ImpairmentDim::PacketLoss, value: 1.0 },
+            ImpairmentProfile {
+                dim: ImpairmentDim::PacketLoss,
+                value: 1.0,
+            },
             3,
             20,
             2,
         );
         let high = sweep_value_corpus(
             VcaKind::Teams,
-            ImpairmentProfile { dim: ImpairmentDim::PacketLoss, value: 20.0 },
+            ImpairmentProfile {
+                dim: ImpairmentDim::PacketLoss,
+                value: 20.0,
+            },
             3,
             20,
             2,
@@ -119,14 +125,20 @@ mod tests {
     fn throughput_sweep_controls_bitrate() {
         let slow = sweep_value_corpus(
             VcaKind::Teams,
-            ImpairmentProfile { dim: ImpairmentDim::MeanThroughput, value: 200.0 },
+            ImpairmentProfile {
+                dim: ImpairmentDim::MeanThroughput,
+                value: 200.0,
+            },
             2,
             20,
             3,
         );
         let fast = sweep_value_corpus(
             VcaKind::Teams,
-            ImpairmentProfile { dim: ImpairmentDim::MeanThroughput, value: 4000.0 },
+            ImpairmentProfile {
+                dim: ImpairmentDim::MeanThroughput,
+                value: 4000.0,
+            },
             2,
             20,
             3,

@@ -1,7 +1,12 @@
 //! Flow-level statistics (Table 1, first row): bytes/s, packets/s, and
 //! five statistics each over packet sizes and inter-arrival times.
+//!
+//! The computation itself lives in [`crate::incremental::FlowFeatureAcc`];
+//! the batch function here replays a window slice through that accumulator
+//! so the batch and streaming paths share one implementation.
 
-use crate::stats::{five_stats, STAT_SUFFIXES};
+use crate::incremental::{FlowFeatureAcc, StatsMode};
+use crate::stats::STAT_SUFFIXES;
 use crate::window::PktObs;
 
 /// Names of the 12 flow-level features, in vector order.
@@ -19,21 +24,14 @@ pub fn flow_feature_names() -> Vec<String> {
 /// Computes the 12 flow-level features over one window.
 ///
 /// Sizes are in bytes; inter-arrival times in milliseconds; rates are
-/// per-second (normalized by `window_secs`).
+/// per-second (normalized by `window_secs`). Implemented as a replay over
+/// the incremental accumulator.
 pub fn flow_features(pkts: &[PktObs], window_secs: f64) -> Vec<f64> {
-    assert!(window_secs > 0.0, "non-positive window");
-    let sizes: Vec<f64> = pkts.iter().map(|p| f64::from(p.size)).collect();
-    let bytes: f64 = sizes.iter().sum();
-    let iats: Vec<f64> = pkts
-        .windows(2)
-        .map(|w| (w[1].ts - w[0].ts).as_millis_f64())
-        .collect();
-    let mut v = Vec::with_capacity(12);
-    v.push(bytes / window_secs);
-    v.push(pkts.len() as f64 / window_secs);
-    v.extend_from_slice(&five_stats(&sizes));
-    v.extend_from_slice(&five_stats(&iats));
-    v
+    let mut acc = FlowFeatureAcc::new(StatsMode::Exact);
+    for p in pkts {
+        acc.push(p.ts, p.size);
+    }
+    acc.features(window_secs)
 }
 
 #[cfg(test)]
@@ -42,7 +40,10 @@ mod tests {
     use vcaml_netpkt::Timestamp;
 
     fn p(ms: i64, size: u16) -> PktObs {
-        PktObs { ts: Timestamp::from_millis(ms), size }
+        PktObs {
+            ts: Timestamp::from_millis(ms),
+            size,
+        }
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! RTP-header features (Table 1, third row), used by the RTP ML baseline.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use vcaml_netpkt::Timestamp;
 use vcaml_rtp::{RtpClock, RtpHeader};
-use std::collections::HashSet;
 
 use crate::stats::{five_stats, STAT_SUFFIXES};
 
@@ -45,63 +45,113 @@ pub struct RtpWindow {
 }
 
 impl RtpWindow {
-    /// Computes the 12 RTP features. `lag_ref` anchors the RTP-lag clock;
-    /// if `None`, the window's first video packet is used.
+    /// Computes the 12 RTP features by replaying the window through the
+    /// incremental [`RtpWindowAcc`] (the single implementation shared with
+    /// the streaming engine). `lag_ref` anchors the RTP-lag clock; if
+    /// `None`, the window's first video packet is used.
     pub fn features(&self, lag_ref: Option<LagReference>) -> Vec<f64> {
-        let vid_ts: HashSet<u32> = self.video.iter().map(|(_, h)| h.timestamp).collect();
-        let rtx_ts: HashSet<u32> = self.rtx.iter().map(|(_, h)| h.timestamp).collect();
-        let intersect = vid_ts.intersection(&rtx_ts).count() as f64;
-        let union = vid_ts.union(&rtx_ts).count() as f64;
-        let marker_vid = self.video.iter().filter(|(_, h)| h.marker).count() as f64;
-        let marker_rtx = self.rtx.iter().filter(|(_, h)| h.marker).count() as f64;
+        let mut acc = RtpWindowAcc::new();
+        for (t, h) in &self.video {
+            acc.push_video(*t, h);
+        }
+        for (t, h) in &self.rtx {
+            acc.push_rtx(*t, h);
+        }
+        acc.features(lag_ref)
+    }
+}
 
+/// Incremental accumulator for the 12 RTP features of one window.
+///
+/// State is bounded by the window's content (unique timestamp sets and one
+/// entry per frame observed in the window) and cleared by [`reset`]
+/// (`RtpWindowAcc::reset`) at window boundaries.
+#[derive(Debug, Clone, Default)]
+pub struct RtpWindowAcc {
+    vid_ts: HashSet<u32>,
+    rtx_ts: HashSet<u32>,
+    marker_vid: u64,
+    marker_rtx: u64,
+    last_vid_seq: Option<u16>,
+    ooo: u64,
+    /// Frames in first-arrival order: (RTP timestamp, completion time).
+    frames: Vec<(u32, Timestamp)>,
+}
+
+impl RtpWindowAcc {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RtpWindowAcc::default()
+    }
+
+    /// Offers one video-stream packet (arrival order).
+    pub fn push_video(&mut self, t: Timestamp, h: &RtpHeader) {
+        self.vid_ts.insert(h.timestamp);
+        if h.marker {
+            self.marker_vid += 1;
+        }
         // Out-of-order: discontinuities in the video sequence numbers in
         // arrival order ("total number of discontinuities in video packet
-        // RTP sequence numbers", §3.3).
-        let ooo = self
-            .video
-            .windows(2)
-            .filter(|w| {
-                let expected = w[0].1.sequence.wrapping_add(1);
-                w[1].1.sequence != expected
-            })
-            .count() as f64;
+        // RTP sequence numbers", §3.3); pairs never span windows.
+        if let Some(prev) = self.last_vid_seq {
+            if h.sequence != prev.wrapping_add(1) {
+                self.ooo += 1;
+            }
+        }
+        self.last_vid_seq = Some(h.sequence);
+        // Frame completion time = last arrival per unique RTP timestamp.
+        match self.frames.iter_mut().find(|(ts, _)| *ts == h.timestamp) {
+            Some((_, done)) => *done = (*done).max(t),
+            None => self.frames.push((h.timestamp, t)),
+        }
+    }
 
-        // RTP lag: per frame (unique timestamp), using the frame's
-        // completion (max arrival) time.
+    /// Offers one retransmission-stream packet (arrival order).
+    pub fn push_rtx(&mut self, _t: Timestamp, h: &RtpHeader) {
+        self.rtx_ts.insert(h.timestamp);
+        if h.marker {
+            self.marker_rtx += 1;
+        }
+    }
+
+    /// True when no packet has been offered this window.
+    pub fn is_empty(&self) -> bool {
+        self.vid_ts.is_empty() && self.rtx_ts.is_empty()
+    }
+
+    /// Emits the 12 features for the current window.
+    pub fn features(&self, lag_ref: Option<LagReference>) -> Vec<f64> {
+        let intersect = self.vid_ts.intersection(&self.rtx_ts).count() as f64;
+        let union = self.vid_ts.union(&self.rtx_ts).count() as f64;
         let lags = self.frame_lags(lag_ref);
-
         let mut v = Vec::with_capacity(12);
-        v.push(vid_ts.len() as f64);
-        v.push(rtx_ts.len() as f64);
+        v.push(self.vid_ts.len() as f64);
+        v.push(self.rtx_ts.len() as f64);
         v.push(intersect);
         v.push(union);
-        v.push(marker_vid);
-        v.push(marker_rtx);
-        v.push(ooo);
+        v.push(self.marker_vid as f64);
+        v.push(self.marker_rtx as f64);
+        v.push(self.ooo as f64);
         v.extend_from_slice(&five_stats(&lags));
         v
     }
 
-    /// Per-frame transmission lags in milliseconds.
+    /// Clears per-window state.
+    pub fn reset(&mut self) {
+        *self = RtpWindowAcc::default();
+    }
+
+    /// Per-frame transmission lags in milliseconds, in first-arrival order.
     fn frame_lags(&self, lag_ref: Option<LagReference>) -> Vec<f64> {
-        if self.video.is_empty() {
+        if self.frames.is_empty() {
             return Vec::new();
         }
-        // Frame completion time = last arrival per unique RTP timestamp.
-        let mut frames: Vec<(u32, Timestamp)> = Vec::new();
-        for (t, h) in &self.video {
-            match frames.iter_mut().find(|(ts, _)| *ts == h.timestamp) {
-                Some((_, done)) => *done = (*done).max(*t),
-                None => frames.push((h.timestamp, *t)),
-            }
-        }
         let anchor = lag_ref.unwrap_or(LagReference {
-            t0: frames[0].1,
-            ts0: frames[0].0,
+            t0: self.frames[0].1,
+            ts0: self.frames[0].0,
         });
         let clock = RtpClock::video();
-        frames
+        self.frames
             .iter()
             .map(|(ts, t)| clock.lag_secs(anchor.t0, anchor.ts0, *t, *ts) * 1000.0)
             .collect()
@@ -129,7 +179,11 @@ mod tests {
     #[test]
     fn unique_ts_counts() {
         let w = RtpWindow {
-            video: vec![(at(0), hdr(0, 100, false)), (at(1), hdr(1, 100, true)), (at(33), hdr(2, 200, true))],
+            video: vec![
+                (at(0), hdr(0, 100, false)),
+                (at(1), hdr(1, 100, true)),
+                (at(33), hdr(2, 200, true)),
+            ],
             rtx: vec![(at(50), hdr(0, 100, false)), (at(51), hdr(1, 300, false))],
         };
         let f = w.features(None);
@@ -142,7 +196,11 @@ mod tests {
     #[test]
     fn marker_sums_per_stream() {
         let w = RtpWindow {
-            video: vec![(at(0), hdr(0, 1, true)), (at(1), hdr(1, 2, true)), (at(2), hdr(2, 3, false))],
+            video: vec![
+                (at(0), hdr(0, 1, true)),
+                (at(1), hdr(1, 2, true)),
+                (at(2), hdr(2, 3, false)),
+            ],
             rtx: vec![(at(3), hdr(0, 1, true))],
         };
         let f = w.features(None);

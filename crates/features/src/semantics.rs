@@ -43,7 +43,10 @@ mod tests {
     use vcaml_netpkt::Timestamp;
 
     fn p(us: i64, size: u16) -> PktObs {
-        PktObs { ts: Timestamp::from_micros(us), size }
+        PktObs {
+            ts: Timestamp::from_micros(us),
+            size,
+        }
     }
 
     #[test]

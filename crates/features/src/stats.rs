@@ -16,7 +16,13 @@ pub fn five_stats(values: &[f64]) -> [f64; 5] {
     } else {
         (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
     };
-    [mean, var.sqrt(), median, sorted[0], sorted[sorted.len() - 1]]
+    [
+        mean,
+        var.sqrt(),
+        median,
+        sorted[0],
+        sorted[sorted.len() - 1],
+    ]
 }
 
 /// Suffixes used in feature names, matching the paper's plots

@@ -12,12 +12,30 @@ pub struct PktObs {
     pub size: u16,
 }
 
+/// How far past the nominal duration [`windows_by_second`] will extend
+/// for late packets before treating a timestamp as corrupt. Bounds the
+/// allocation a single bad timestamp can trigger, and matches the
+/// streaming engine's `MAX_WINDOW_GAP` so batch and streaming accept the
+/// same late packets (the engine anchors its bound at the last packet's
+/// window rather than the nominal duration, so inputs more than this far
+/// beyond *both* anchors are treated as corrupt by both paths).
+pub const MAX_EXTRA_WINDOWS: usize = 4_096;
+
 /// Groups packets into consecutive fixed-length windows starting at t = 0.
 ///
-/// Returns one entry per window covering `0..n_windows` where `n_windows =
-/// ceil(duration / window_secs)` derived from `duration_secs`; windows with
-/// no packets are empty vectors, so window index `i` always corresponds to
-/// time `[i·w, (i+1)·w)`.
+/// Returns at least `ceil(duration_secs / window_secs)` entries; window
+/// index `i` always corresponds to time `[i·w, (i+1)·w)` and windows with
+/// no packets are empty vectors. Packets whose timestamps fall **at or
+/// beyond** `duration_secs` extend the output with additional windows
+/// (up to [`MAX_EXTRA_WINDOWS`] past the nominal count) rather than being
+/// silently dropped, so batch window counts agree with a streaming replay
+/// of the same input (callers that want exactly the nominal duration can
+/// truncate). Timestamps beyond the extension bound are treated as
+/// corrupt and dropped.
+///
+/// Packets with negative timestamps are outside every window and are
+/// dropped — the same normalization the streaming engine applies (capture
+/// time is defined to start at t = 0).
 ///
 /// # Panics
 /// Panics if `window_secs` is zero.
@@ -28,11 +46,15 @@ pub fn windows_by_second(
 ) -> Vec<Vec<PktObs>> {
     assert!(window_secs > 0, "zero window");
     let n_windows = duration_secs.div_ceil(window_secs) as usize;
+    let max_windows = n_windows.saturating_add(MAX_EXTRA_WINDOWS);
     let mut out: Vec<Vec<PktObs>> = vec![Vec::new(); n_windows];
     let w_us = i64::from(window_secs) * 1_000_000;
     for p in pkts {
         let idx = p.ts.as_micros().div_euclid(w_us);
-        if idx >= 0 && (idx as usize) < n_windows {
+        if idx >= 0 && (idx as usize) < max_windows {
+            if idx as usize >= out.len() {
+                out.resize(idx as usize + 1, Vec::new());
+            }
             out[idx as usize].push(*p);
         }
     }
@@ -44,7 +66,10 @@ mod tests {
     use super::*;
 
     fn p(ms: i64, size: u16) -> PktObs {
-        PktObs { ts: Timestamp::from_millis(ms), size }
+        PktObs {
+            ts: Timestamp::from_millis(ms),
+            size,
+        }
     }
 
     #[test]
@@ -77,10 +102,34 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_packets_dropped() {
+    fn negative_timestamps_dropped_late_packets_extend() {
         let pkts = vec![p(-5, 1), p(10_000, 2)];
         let w = windows_by_second(&pkts, 3, 1);
-        assert!(w.iter().all(Vec::is_empty));
+        // The negative-timestamp packet is outside every window; the
+        // packet at t = 10 s extends the output beyond the nominal
+        // duration instead of disappearing.
+        assert_eq!(w.len(), 11);
+        assert!(w[..10].iter().all(Vec::is_empty));
+        assert_eq!(w[10], vec![p(10_000, 2)]);
+    }
+
+    #[test]
+    fn corrupt_timestamp_extension_bounded() {
+        // A mangled timestamp far in the future must not trigger a
+        // gigabyte-scale resize; it is dropped as corrupt.
+        let pkts = vec![p(0, 1), p(4_000_000_000_000, 2)];
+        let w = windows_by_second(&pkts, 3, 1);
+        assert!(w.len() <= 3 + MAX_EXTRA_WINDOWS);
+        assert_eq!(w[0], vec![p(0, 1)]);
+        assert_eq!(w.iter().map(Vec::len).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn packet_exactly_at_duration_kept() {
+        let pkts = vec![p(3_000, 7)];
+        let w = windows_by_second(&pkts, 3, 1);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[3], vec![p(3_000, 7)]);
     }
 
     #[test]

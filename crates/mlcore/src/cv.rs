@@ -37,10 +37,17 @@ pub fn cross_val_predict(
     let folds = kfold_indices(data.len(), k, seed);
     let mut preds = vec![f64::NAN; data.len()];
     for (fi, test_idx) in folds.iter().enumerate() {
-        let train_idx: Vec<usize> =
-            folds.iter().enumerate().filter(|(i, _)| *i != fi).flat_map(|(_, f)| f.iter().copied()).collect();
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != fi)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
         let train = data.subset(&train_idx);
-        let fold_params = RandomForestParams { seed: params.seed ^ (fi as u64) << 32, ..*params };
+        let fold_params = RandomForestParams {
+            seed: params.seed ^ (fi as u64) << 32,
+            ..*params
+        };
         let forest = RandomForest::fit(&train, task, &fold_params);
         for &i in test_idx {
             preds[i] = forest.predict(data.row(i));
@@ -84,7 +91,11 @@ mod tests {
             let x = (i % 100) as f64 / 100.0;
             d.push(&[x], 2.0 * x);
         }
-        let params = RandomForestParams { n_trees: 15, seed: 3, ..Default::default() };
+        let params = RandomForestParams {
+            n_trees: 15,
+            seed: 3,
+            ..Default::default()
+        };
         let preds = cross_val_predict(&d, Task::Regression, &params, 5, 11);
         let m = crate::metrics::mae(&preds, d.targets());
         assert!(m < 0.1, "cv MAE {m}");

@@ -17,8 +17,16 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset with named features.
     pub fn new(feature_names: Vec<String>) -> Self {
-        assert!(!feature_names.is_empty(), "dataset needs at least one feature");
-        Dataset { x: Vec::new(), y: Vec::new(), n_features: feature_names.len(), feature_names }
+        assert!(
+            !feature_names.is_empty(),
+            "dataset needs at least one feature"
+        );
+        Dataset {
+            x: Vec::new(),
+            y: Vec::new(),
+            n_features: feature_names.len(),
+            feature_names,
+        }
     }
 
     /// Appends one sample.
@@ -27,7 +35,10 @@ impl Dataset {
     /// Panics if the row width doesn't match or contains NaN.
     pub fn push(&mut self, row: &[f64], target: f64) {
         assert_eq!(row.len(), self.n_features, "row width mismatch");
-        assert!(row.iter().all(|v| v.is_finite()), "non-finite feature value");
+        assert!(
+            row.iter().all(|v| v.is_finite()),
+            "non-finite feature value"
+        );
         assert!(target.is_finite(), "non-finite target");
         self.x.extend_from_slice(row);
         self.y.push(target);
@@ -70,7 +81,11 @@ impl Dataset {
 
     /// Number of distinct classes assuming integer class-id targets.
     pub fn n_classes(&self) -> usize {
-        self.y.iter().map(|&v| v as usize).max().map_or(0, |m| m + 1)
+        self.y
+            .iter()
+            .map(|&v| v as usize)
+            .max()
+            .map_or(0, |m| m + 1)
     }
 
     /// Builds a sub-dataset from the given sample indices.

@@ -39,7 +39,13 @@ pub struct RandomForestParams {
 
 impl Default for RandomForestParams {
     fn default() -> Self {
-        RandomForestParams { n_trees: 40, max_depth: 14, min_samples_leaf: 2, mtry: None, seed: 0 }
+        RandomForestParams {
+            n_trees: 40,
+            max_depth: 14,
+            min_samples_leaf: 2,
+            mtry: None,
+            seed: 0,
+        }
     }
 }
 
@@ -62,7 +68,9 @@ impl RandomForest {
         if let Task::Classification { n_classes } = task {
             assert!(n_classes >= 2, "classification needs at least two classes");
             assert!(
-                data.targets().iter().all(|&y| (y as usize) < n_classes && y >= 0.0),
+                data.targets()
+                    .iter()
+                    .all(|&y| (y as usize) < n_classes && y >= 0.0),
                 "target outside class range"
             );
         }
@@ -84,7 +92,9 @@ impl RandomForest {
         let mut seeder = StdRng::seed_from_u64(params.seed);
         let seeds: Vec<u64> = (0..params.n_trees).map(|_| seeder.gen()).collect();
 
-        let n_threads = std::thread::available_parallelism().map_or(4, |c| c.get()).min(16);
+        let n_threads = std::thread::available_parallelism()
+            .map_or(4, |c| c.get())
+            .min(16);
         let trees: Vec<DecisionTree> = std::thread::scope(|scope| {
             let chunks: Vec<Vec<u64>> = seeds
                 .chunks(params.n_trees.div_ceil(n_threads).max(1))
@@ -98,15 +108,17 @@ impl RandomForest {
                             .into_iter()
                             .map(|seed| {
                                 let mut rng = StdRng::seed_from_u64(seed);
-                                let idx: Vec<usize> =
-                                    (0..n).map(|_| rng.gen_range(0..n)).collect();
+                                let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
                                 DecisionTree::fit(data, &idx, task, &tree_params, &mut rng)
                             })
                             .collect::<Vec<_>>()
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("tree fit panicked")).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("tree fit panicked"))
+                .collect()
         });
 
         // Aggregate + normalize importances.
@@ -123,7 +135,12 @@ impl RandomForest {
             }
         }
 
-        RandomForest { trees, task, feature_names: data.feature_names().to_vec(), importances }
+        RandomForest {
+            trees,
+            task,
+            feature_names: data.feature_names().to_vec(),
+            importances,
+        }
     }
 
     /// Predicts one sample.
@@ -256,7 +273,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let d = make_regression(300);
-        let p = RandomForestParams { seed: 9, n_trees: 10, ..Default::default() };
+        let p = RandomForestParams {
+            seed: 9,
+            n_trees: 10,
+            ..Default::default()
+        };
         let a = RandomForest::fit(&d, Task::Regression, &p);
         let b = RandomForest::fit(&d, Task::Regression, &p);
         let row = [0.37, 0.2];
@@ -271,7 +292,10 @@ mod tests {
     #[test]
     fn n_trees_respected() {
         let d = make_regression(100);
-        let p = RandomForestParams { n_trees: 7, ..Default::default() };
+        let p = RandomForestParams {
+            n_trees: 7,
+            ..Default::default()
+        };
         let f = RandomForest::fit(&d, Task::Regression, &p);
         assert_eq!(f.n_trees(), 7);
     }

@@ -77,15 +77,20 @@ impl RidgeRegression {
             xtx[j * p + j] += lambda.max(1e-9) * n as f64 / n as f64 + 1e-9;
         }
         let weights = cholesky_solve(&xtx, &xty, p);
-        RidgeRegression { weights, bias: y_mean, x_mean, x_scale }
+        RidgeRegression {
+            weights,
+            bias: y_mean,
+            x_mean,
+            x_scale,
+        }
     }
 
     /// Predicts one sample.
     pub fn predict(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.weights.len(), "feature width mismatch");
         let mut y = self.bias;
-        for j in 0..row.len() {
-            y += self.weights[j] * (row[j] - self.x_mean[j]) / self.x_scale[j];
+        for (j, &x) in row.iter().enumerate() {
+            y += self.weights[j] * (x - self.x_mean[j]) / self.x_scale[j];
         }
         y
     }
@@ -196,7 +201,10 @@ mod tests {
         let m = RidgeRegression::fit(&d, 1e-3);
         let preds = m.predict_all(&d);
         let mae = crate::metrics::mae(&preds, d.targets());
-        assert!(mae > 1.0, "linear model unexpectedly solved a step (MAE {mae})");
+        assert!(
+            mae > 1.0,
+            "linear model unexpectedly solved a step (MAE {mae})"
+        );
     }
 
     #[test]

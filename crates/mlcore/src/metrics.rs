@@ -12,7 +12,11 @@ use serde::{Deserialize, Serialize};
 pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "length mismatch");
     assert!(!pred.is_empty(), "empty input");
-    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Mean relative absolute error: mean of |pred - truth| / truth, skipping
@@ -42,7 +46,11 @@ pub fn errors(pred: &[f64], truth: &[f64]) -> Vec<f64> {
 pub fn accuracy(pred: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(pred.len(), truth.len(), "length mismatch");
     assert!(!pred.is_empty(), "empty input");
-    let hits = pred.iter().zip(truth).filter(|(p, t)| (**p - **t).abs() < 0.5).count();
+    let hits = pred
+        .iter()
+        .zip(truth)
+        .filter(|(p, t)| (**p - **t).abs() < 0.5)
+        .count();
     hits as f64 / pred.len() as f64
 }
 
@@ -75,7 +83,10 @@ impl ConfusionMatrix {
     pub fn new(labels: Vec<String>) -> Self {
         let n = labels.len();
         assert!(n >= 2, "need at least two classes");
-        ConfusionMatrix { labels, counts: vec![vec![0; n]; n] }
+        ConfusionMatrix {
+            labels,
+            counts: vec![vec![0; n]; n],
+        }
     }
 
     /// Builds a matrix from parallel class-id slices.

@@ -22,14 +22,26 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 16, min_samples_leaf: 2, min_samples_split: 4, mtry: None }
+        TreeParams {
+            max_depth: 16,
+            min_samples_leaf: 2,
+            min_samples_split: 4,
+            mtry: None,
+        }
     }
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
-    Leaf { value: f64 },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        value: f64,
+    },
 }
 
 /// A fitted CART tree.
@@ -71,8 +83,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -124,7 +145,7 @@ impl DecisionTree {
         let mut best: Option<(f64, usize, f64)> = None; // (decrease, feature, threshold)
         for &f in &feats {
             if let Some((decrease, thr)) = self.best_split_on(data, idx, f, params) {
-                if best.map_or(true, |(d, _, _)| decrease > d) {
+                if best.is_none_or(|(d, _, _)| decrease > d) {
                     best = Some((decrease, f, thr));
                 }
             }
@@ -156,7 +177,12 @@ impl DecisionTree {
         let (left_idx, right_idx) = idx.split_at_mut(split_point);
         let left = self.grow(data, left_idx, params, rng, depth + 1);
         let right = self.grow(data, right_idx, params, rng, depth + 1);
-        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        self.nodes[node_id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_id
     }
 
@@ -197,8 +223,10 @@ impl DecisionTree {
         feature: usize,
         params: &TreeParams,
     ) -> Option<(f64, f64)> {
-        let mut pairs: Vec<(f64, f64)> =
-            idx.iter().map(|&i| (data.row(i)[feature], data.target(i))).collect();
+        let mut pairs: Vec<(f64, f64)> = idx
+            .iter()
+            .map(|&i| (data.row(i)[feature], data.target(i)))
+            .collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let n = pairs.len();
         let parent = self.node_impurity(data, idx);
@@ -225,7 +253,7 @@ impl DecisionTree {
                     let sse_l = lq - ls * ls / nl;
                     let sse_r = (total_sq - lq) - (total_sum - ls) * (total_sum - ls) / nr;
                     let decrease = parent - sse_l - sse_r;
-                    if decrease > 1e-12 && best.map_or(true, |(d, _)| decrease > d) {
+                    if decrease > 1e-12 && best.is_none_or(|(d, _)| decrease > d) {
                         best = Some((decrease, (pairs[k].0 + pairs[k + 1].0) / 2.0));
                     }
                 }
@@ -267,7 +295,7 @@ impl DecisionTree {
                     let gl = gini(&left, nl, None);
                     let gr = gini(&left, nr, Some(&total));
                     let decrease = parent - gl - gr;
-                    if decrease > 1e-12 && best.map_or(true, |(d, _)| decrease > d) {
+                    if decrease > 1e-12 && best.is_none_or(|(d, _)| decrease > d) {
                         best = Some((decrease, (pairs[k].0 + pairs[k + 1].0) / 2.0));
                     }
                 }
@@ -326,7 +354,13 @@ mod tests {
             d.push(&[x], if x < 0.5 { 1.0 } else { 5.0 });
         }
         let idx: Vec<usize> = (0..d.len()).collect();
-        let t = DecisionTree::fit(&d, &idx, Task::Regression, &TreeParams::default(), &mut rng());
+        let t = DecisionTree::fit(
+            &d,
+            &idx,
+            Task::Regression,
+            &TreeParams::default(),
+            &mut rng(),
+        );
         assert!((t.predict(&[0.2]) - 1.0).abs() < 1e-9);
         assert!((t.predict(&[0.8]) - 5.0).abs() < 1e-9);
     }
@@ -355,7 +389,13 @@ mod tests {
             d.push(&[i as f64], 7.0);
         }
         let idx: Vec<usize> = (0..d.len()).collect();
-        let t = DecisionTree::fit(&d, &idx, Task::Regression, &TreeParams::default(), &mut rng());
+        let t = DecisionTree::fit(
+            &d,
+            &idx,
+            Task::Regression,
+            &TreeParams::default(),
+            &mut rng(),
+        );
         assert_eq!(t.n_nodes(), 1);
         assert_eq!(t.predict(&[3.0]), 7.0);
     }
@@ -365,7 +405,10 @@ mod tests {
         let mut d = Dataset::new(vec!["x".into()]);
         d.push(&[0.0], 0.0);
         d.push(&[1.0], 10.0);
-        let params = TreeParams { max_depth: 0, ..Default::default() };
+        let params = TreeParams {
+            max_depth: 0,
+            ..Default::default()
+        };
         let idx: Vec<usize> = (0..d.len()).collect();
         let t = DecisionTree::fit(&d, &idx, Task::Regression, &params, &mut rng());
         assert_eq!(t.n_nodes(), 1);
@@ -379,7 +422,10 @@ mod tests {
             d.push(&[i as f64], if i == 0 { 100.0 } else { 0.0 });
         }
         // With min_samples_leaf = 3 the outlier cannot be isolated.
-        let params = TreeParams { min_samples_leaf: 3, ..Default::default() };
+        let params = TreeParams {
+            min_samples_leaf: 3,
+            ..Default::default()
+        };
         let idx: Vec<usize> = (0..d.len()).collect();
         let t = DecisionTree::fit(&d, &idx, Task::Regression, &params, &mut rng());
         // Leftmost leaf holds >= 3 samples, so prediction < 100.
@@ -395,7 +441,13 @@ mod tests {
             d.push(&[x, noise], if x < 0.5 { 0.0 } else { 10.0 });
         }
         let idx: Vec<usize> = (0..d.len()).collect();
-        let t = DecisionTree::fit(&d, &idx, Task::Regression, &TreeParams::default(), &mut rng());
+        let t = DecisionTree::fit(
+            &d,
+            &idx,
+            Task::Regression,
+            &TreeParams::default(),
+            &mut rng(),
+        );
         let imp = t.importances_raw();
         assert!(imp[0] > imp[1] * 10.0, "importances {imp:?}");
     }
@@ -408,7 +460,13 @@ mod tests {
             d.push(&[1.0], i as f64);
         }
         let idx: Vec<usize> = (0..d.len()).collect();
-        let t = DecisionTree::fit(&d, &idx, Task::Regression, &TreeParams::default(), &mut rng());
+        let t = DecisionTree::fit(
+            &d,
+            &idx,
+            Task::Regression,
+            &TreeParams::default(),
+            &mut rng(),
+        );
         assert_eq!(t.n_nodes(), 1);
     }
 
@@ -416,6 +474,12 @@ mod tests {
     #[should_panic(expected = "zero samples")]
     fn empty_fit_rejected() {
         let d = Dataset::new(vec!["x".into()]);
-        let _ = DecisionTree::fit(&d, &[], Task::Regression, &TreeParams::default(), &mut rng());
+        let _ = DecisionTree::fit(
+            &d,
+            &[],
+            Task::Regression,
+            &TreeParams::default(),
+            &mut rng(),
+        );
     }
 }

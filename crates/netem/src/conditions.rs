@@ -21,7 +21,12 @@ impl SecondCondition {
     /// The paper's §5.4 default operating point: 1500 kbps, 50 ms latency,
     /// no jitter, no loss.
     pub fn paper_default() -> Self {
-        SecondCondition { throughput_kbps: 1500.0, delay_ms: 25.0, jitter_ms: 0.0, loss_pct: 0.0 }
+        SecondCondition {
+            throughput_kbps: 1500.0,
+            delay_ms: 25.0,
+            jitter_ms: 0.0,
+            loss_pct: 0.0,
+        }
     }
 
     /// Validates the physical plausibility of the condition.
@@ -46,8 +51,14 @@ impl ConditionSchedule {
     /// # Panics
     /// Panics if `seconds` is empty or any entry is invalid.
     pub fn new(seconds: Vec<SecondCondition>) -> Self {
-        assert!(!seconds.is_empty(), "schedule must cover at least one second");
-        assert!(seconds.iter().all(SecondCondition::is_valid), "invalid condition in schedule");
+        assert!(
+            !seconds.is_empty(),
+            "schedule must cover at least one second"
+        );
+        assert!(
+            seconds.iter().all(SecondCondition::is_valid),
+            "invalid condition in schedule"
+        );
         ConditionSchedule { seconds }
     }
 
@@ -85,11 +96,23 @@ mod tests {
     #[test]
     fn lookup_clamps_to_ends() {
         let sched = ConditionSchedule::new(vec![
-            SecondCondition { throughput_kbps: 1000.0, ..SecondCondition::paper_default() },
-            SecondCondition { throughput_kbps: 2000.0, ..SecondCondition::paper_default() },
+            SecondCondition {
+                throughput_kbps: 1000.0,
+                ..SecondCondition::paper_default()
+            },
+            SecondCondition {
+                throughput_kbps: 2000.0,
+                ..SecondCondition::paper_default()
+            },
         ]);
-        assert_eq!(sched.at(Timestamp::from_millis(500)).throughput_kbps, 1000.0);
-        assert_eq!(sched.at(Timestamp::from_millis(1500)).throughput_kbps, 2000.0);
+        assert_eq!(
+            sched.at(Timestamp::from_millis(500)).throughput_kbps,
+            1000.0
+        );
+        assert_eq!(
+            sched.at(Timestamp::from_millis(1500)).throughput_kbps,
+            2000.0
+        );
         // Beyond the end: last entry persists.
         assert_eq!(sched.at(Timestamp::from_secs(99)).throughput_kbps, 2000.0);
         // Negative time clamps to the first entry.
@@ -106,8 +129,14 @@ mod tests {
     #[test]
     fn mean_throughput() {
         let sched = ConditionSchedule::new(vec![
-            SecondCondition { throughput_kbps: 1000.0, ..SecondCondition::paper_default() },
-            SecondCondition { throughput_kbps: 3000.0, ..SecondCondition::paper_default() },
+            SecondCondition {
+                throughput_kbps: 1000.0,
+                ..SecondCondition::paper_default()
+            },
+            SecondCondition {
+                throughput_kbps: 3000.0,
+                ..SecondCondition::paper_default()
+            },
         ]);
         assert_eq!(sched.mean_throughput_kbps(), 2000.0);
     }

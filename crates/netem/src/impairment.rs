@@ -90,7 +90,13 @@ impl ImpairmentProfile {
         };
         let seconds: Vec<SecondCondition> = match self.dim {
             ImpairmentDim::MeanThroughput => {
-                vec![SecondCondition { throughput_kbps: self.value, ..base }; secs]
+                vec![
+                    SecondCondition {
+                        throughput_kbps: self.value,
+                        ..base
+                    };
+                    secs
+                ]
             }
             ImpairmentDim::ThroughputStdev => {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -107,13 +113,31 @@ impl ImpairmentProfile {
                     .collect()
             }
             ImpairmentDim::MeanLatency => {
-                vec![SecondCondition { delay_ms: self.value / 2.0, ..base }; secs]
+                vec![
+                    SecondCondition {
+                        delay_ms: self.value / 2.0,
+                        ..base
+                    };
+                    secs
+                ]
             }
             ImpairmentDim::LatencyStdev => {
-                vec![SecondCondition { jitter_ms: self.value, ..base }; secs]
+                vec![
+                    SecondCondition {
+                        jitter_ms: self.value,
+                        ..base
+                    };
+                    secs
+                ]
             }
             ImpairmentDim::PacketLoss => {
-                vec![SecondCondition { loss_pct: self.value, ..base }; secs]
+                vec![
+                    SecondCondition {
+                        loss_pct: self.value,
+                        ..base
+                    };
+                    secs
+                ]
             }
         };
         ConditionSchedule::new(seconds)
@@ -123,7 +147,11 @@ impl ImpairmentProfile {
     pub fn grid() -> Vec<ImpairmentProfile> {
         ImpairmentDim::ALL
             .iter()
-            .flat_map(|d| d.values().iter().map(|&v| ImpairmentProfile { dim: *d, value: v }))
+            .flat_map(|d| {
+                d.values()
+                    .iter()
+                    .map(|&v| ImpairmentProfile { dim: *d, value: v })
+            })
             .collect()
     }
 }
@@ -141,7 +169,10 @@ mod tests {
 
     #[test]
     fn loss_profile_sets_only_loss() {
-        let p = ImpairmentProfile { dim: ImpairmentDim::PacketLoss, value: 10.0 };
+        let p = ImpairmentProfile {
+            dim: ImpairmentDim::PacketLoss,
+            value: 10.0,
+        };
         let s = p.schedule(5, 1);
         let c = s.at(Timestamp::from_secs(2));
         assert_eq!(c.loss_pct, 10.0);
@@ -152,13 +183,19 @@ mod tests {
 
     #[test]
     fn latency_profile_halves_to_one_way() {
-        let p = ImpairmentProfile { dim: ImpairmentDim::MeanLatency, value: 400.0 };
+        let p = ImpairmentProfile {
+            dim: ImpairmentDim::MeanLatency,
+            value: 400.0,
+        };
         assert_eq!(p.schedule(3, 1).at(Timestamp::ZERO).delay_ms, 200.0);
     }
 
     #[test]
     fn tput_stdev_profile_varies_per_second() {
-        let p = ImpairmentProfile { dim: ImpairmentDim::ThroughputStdev, value: 500.0 };
+        let p = ImpairmentProfile {
+            dim: ImpairmentDim::ThroughputStdev,
+            value: 500.0,
+        };
         let s = p.schedule(30, 7);
         let vals: Vec<f64> = s.iter().map(|c| c.throughput_kbps).collect();
         let distinct = vals.windows(2).filter(|w| w[0] != w[1]).count();
@@ -169,14 +206,20 @@ mod tests {
 
     #[test]
     fn zero_stdev_is_constant() {
-        let p = ImpairmentProfile { dim: ImpairmentDim::ThroughputStdev, value: 0.0 };
+        let p = ImpairmentProfile {
+            dim: ImpairmentDim::ThroughputStdev,
+            value: 0.0,
+        };
         let s = p.schedule(10, 7);
         assert!(s.iter().all(|c| c.throughput_kbps == DEFAULT_TPUT_KBPS));
     }
 
     #[test]
     fn jitter_profile_sets_jitter() {
-        let p = ImpairmentProfile { dim: ImpairmentDim::LatencyStdev, value: 60.0 };
+        let p = ImpairmentProfile {
+            dim: ImpairmentDim::LatencyStdev,
+            value: 60.0,
+        };
         assert_eq!(p.schedule(2, 0).at(Timestamp::ZERO).jitter_ms, 60.0);
     }
 

@@ -41,7 +41,9 @@ pub struct LinkConfig {
 
 impl Default for LinkConfig {
     fn default() -> Self {
-        LinkConfig { max_queue_ms: 200.0 }
+        LinkConfig {
+            max_queue_ms: 200.0,
+        }
     }
 }
 
@@ -143,13 +145,22 @@ mod tests {
     use crate::conditions::SecondCondition;
 
     fn link_with(cond: SecondCondition, seed: u64) -> Link {
-        Link::new(ConditionSchedule::constant(cond), LinkConfig::default(), seed)
+        Link::new(
+            ConditionSchedule::constant(cond),
+            LinkConfig::default(),
+            seed,
+        )
     }
 
     #[test]
     fn uncongested_delivery_is_delay_plus_serialization() {
         let mut link = link_with(
-            SecondCondition { throughput_kbps: 8000.0, delay_ms: 10.0, jitter_ms: 0.0, loss_pct: 0.0 },
+            SecondCondition {
+                throughput_kbps: 8000.0,
+                delay_ms: 10.0,
+                jitter_ms: 0.0,
+                loss_pct: 0.0,
+            },
             1,
         );
         // 1000 bytes at 8 Mbps = 1 ms serialization; +10 ms delay.
@@ -162,7 +173,12 @@ mod tests {
     #[test]
     fn queueing_accumulates() {
         let mut link = link_with(
-            SecondCondition { throughput_kbps: 800.0, delay_ms: 0.0, jitter_ms: 0.0, loss_pct: 0.0 },
+            SecondCondition {
+                throughput_kbps: 800.0,
+                delay_ms: 0.0,
+                jitter_ms: 0.0,
+                loss_pct: 0.0,
+            },
             1,
         );
         // Each 1000-byte packet takes 10 ms to serialize at 800 kbps.
@@ -181,7 +197,12 @@ mod tests {
     #[test]
     fn sustained_overload_drops_tail() {
         let mut link = link_with(
-            SecondCondition { throughput_kbps: 100.0, delay_ms: 0.0, jitter_ms: 0.0, loss_pct: 0.0 },
+            SecondCondition {
+                throughput_kbps: 100.0,
+                delay_ms: 0.0,
+                jitter_ms: 0.0,
+                loss_pct: 0.0,
+            },
             1,
         );
         // 100 kbps, 1250-byte packets = 100 ms each; queue cap 200 ms.
@@ -212,7 +233,10 @@ mod tests {
         let n = 20_000;
         let mut lost = 0;
         for i in 0..n {
-            if matches!(link.send(Timestamp::from_micros(i), 100), LinkVerdict::Dropped(_)) {
+            if matches!(
+                link.send(Timestamp::from_micros(i), 100),
+                LinkVerdict::Dropped(_)
+            ) {
                 lost += 1;
             }
         }
@@ -244,7 +268,12 @@ mod tests {
     #[test]
     fn no_jitter_preserves_order() {
         let mut link = link_with(
-            SecondCondition { throughput_kbps: 5000.0, delay_ms: 20.0, jitter_ms: 0.0, loss_pct: 0.0 },
+            SecondCondition {
+                throughput_kbps: 5000.0,
+                delay_ms: 20.0,
+                jitter_ms: 0.0,
+                loss_pct: 0.0,
+            },
             7,
         );
         let mut arrivals = Vec::new();
@@ -259,8 +288,18 @@ mod tests {
     #[test]
     fn rate_change_mid_schedule_affects_serialization() {
         let sched = ConditionSchedule::new(vec![
-            SecondCondition { throughput_kbps: 8000.0, delay_ms: 0.0, jitter_ms: 0.0, loss_pct: 0.0 },
-            SecondCondition { throughput_kbps: 800.0, delay_ms: 0.0, jitter_ms: 0.0, loss_pct: 0.0 },
+            SecondCondition {
+                throughput_kbps: 8000.0,
+                delay_ms: 0.0,
+                jitter_ms: 0.0,
+                loss_pct: 0.0,
+            },
+            SecondCondition {
+                throughput_kbps: 800.0,
+                delay_ms: 0.0,
+                jitter_ms: 0.0,
+                loss_pct: 0.0,
+            },
         ]);
         let mut link = Link::new(sched, LinkConfig::default(), 3);
         // In second 0: 1 ms; in second 1: 10 ms.

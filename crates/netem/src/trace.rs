@@ -69,7 +69,12 @@ impl NdtTest {
                 loss_pct.push(0.0);
             }
         }
-        NdtTest { mean_kbps, stdev_kbps, rtt_ms, loss_pct }
+        NdtTest {
+            mean_kbps,
+            stdev_kbps,
+            rtt_ms,
+            loss_pct,
+        }
     }
 
     /// Converts the test into a per-second [`ConditionSchedule`], sampling
@@ -83,8 +88,7 @@ impl NdtTest {
             .iter()
             .zip(&self.loss_pct)
             .map(|(&rtt, &loss)| {
-                let tput =
-                    (self.mean_kbps + gaussian(&mut rng) * self.stdev_kbps).max(100.0);
+                let tput = (self.mean_kbps + gaussian(&mut rng) * self.stdev_kbps).max(100.0);
                 SecondCondition {
                     throughput_kbps: tput,
                     delay_ms: rtt / 2.0, // one-way

@@ -96,7 +96,9 @@ mod tests {
 
     #[test]
     fn filled_buffer_verifies() {
-        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0x1d, 0x94, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let mut data = vec![
+            0x45u8, 0x00, 0x00, 0x1c, 0x1d, 0x94, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
         let ck = checksum(&data);
         data[10..12].copy_from_slice(&ck.to_be_bytes());
         assert!(verify(&data));

@@ -70,20 +70,33 @@ mod tests {
 
     #[test]
     fn display_truncated() {
-        let e = Error::Truncated { layer: "ipv4", needed: 20, got: 7 };
+        let e = Error::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            got: 7,
+        };
         assert_eq!(e.to_string(), "ipv4: truncated (need 20 bytes, got 7)");
     }
 
     #[test]
     fn display_malformed() {
-        let e = Error::Malformed { layer: "udp", what: "length field too small" };
+        let e = Error::Malformed {
+            layer: "udp",
+            what: "length field too small",
+        };
         assert_eq!(e.to_string(), "udp: malformed (length field too small)");
     }
 
     #[test]
     fn display_checksum_and_magic() {
-        assert_eq!(Error::Checksum { layer: "udp" }.to_string(), "udp: checksum mismatch");
-        assert_eq!(Error::BadMagic(0xdead_beef).to_string(), "pcap: unknown magic 0xdeadbeef");
+        assert_eq!(
+            Error::Checksum { layer: "udp" }.to_string(),
+            "udp: checksum mismatch"
+        );
+        assert_eq!(
+            Error::BadMagic(0xdead_beef).to_string(),
+            "pcap: unknown magic 0xdeadbeef"
+        );
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl<T: AsRef<[u8]>> EthernetFrame<T> {
     pub fn new_checked(buffer: T) -> Result<Self> {
         let len = buffer.as_ref().len();
         if len < HEADER_LEN {
-            return Err(Error::Truncated { layer: "ethernet", needed: HEADER_LEN, got: len });
+            return Err(Error::Truncated {
+                layer: "ethernet",
+                needed: HEADER_LEN,
+                got: len,
+            });
         }
         Ok(Self { buffer })
     }
@@ -131,7 +135,11 @@ pub struct EthernetRepr {
 impl EthernetRepr {
     /// Parses the header fields out of a frame view.
     pub fn parse<T: AsRef<[u8]>>(frame: &EthernetFrame<T>) -> Self {
-        Self { src: frame.src(), dst: frame.dst(), ethertype: frame.ethertype() }
+        Self {
+            src: frame.src(),
+            dst: frame.dst(),
+            ethertype: frame.ethertype(),
+        }
     }
 
     /// Serialized header length.
@@ -180,7 +188,10 @@ mod tests {
     fn truncated_rejected() {
         assert!(matches!(
             EthernetFrame::new_checked(&[0u8; 13][..]),
-            Err(Error::Truncated { layer: "ethernet", .. })
+            Err(Error::Truncated {
+                layer: "ethernet",
+                ..
+            })
         ));
     }
 

@@ -45,9 +45,21 @@ impl FlowKey {
     ) -> (Self, bool) {
         let src_first = (src, src_port) <= (dst, dst_port);
         let key = if src_first {
-            FlowKey { addr_a: src, port_a: src_port, addr_b: dst, port_b: dst_port, protocol }
+            FlowKey {
+                addr_a: src,
+                port_a: src_port,
+                addr_b: dst,
+                port_b: dst_port,
+                protocol,
+            }
         } else {
-            FlowKey { addr_a: dst, port_a: dst_port, addr_b: src, port_b: src_port, protocol }
+            FlowKey {
+                addr_a: dst,
+                port_a: dst_port,
+                addr_b: src,
+                port_b: src_port,
+                protocol,
+            }
         };
         (key, src_first)
     }

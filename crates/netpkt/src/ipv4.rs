@@ -19,24 +19,45 @@ impl<T: AsRef<[u8]>> Ipv4Packet<T> {
         let pkt = Self { buffer };
         let b = pkt.buffer.as_ref();
         if b.len() < MIN_HEADER_LEN {
-            return Err(Error::Truncated { layer: "ipv4", needed: MIN_HEADER_LEN, got: b.len() });
+            return Err(Error::Truncated {
+                layer: "ipv4",
+                needed: MIN_HEADER_LEN,
+                got: b.len(),
+            });
         }
         if b[0] >> 4 != 4 {
-            return Err(Error::Malformed { layer: "ipv4", what: "version is not 4" });
+            return Err(Error::Malformed {
+                layer: "ipv4",
+                what: "version is not 4",
+            });
         }
         let ihl = pkt.header_len();
         if ihl < MIN_HEADER_LEN {
-            return Err(Error::Malformed { layer: "ipv4", what: "IHL below 5 words" });
+            return Err(Error::Malformed {
+                layer: "ipv4",
+                what: "IHL below 5 words",
+            });
         }
         if b.len() < ihl {
-            return Err(Error::Truncated { layer: "ipv4", needed: ihl, got: b.len() });
+            return Err(Error::Truncated {
+                layer: "ipv4",
+                needed: ihl,
+                got: b.len(),
+            });
         }
         let total = pkt.total_len() as usize;
         if total < ihl {
-            return Err(Error::Malformed { layer: "ipv4", what: "total length below header length" });
+            return Err(Error::Malformed {
+                layer: "ipv4",
+                what: "total length below header length",
+            });
         }
         if b.len() < total {
-            return Err(Error::Truncated { layer: "ipv4", needed: total, got: b.len() });
+            return Err(Error::Truncated {
+                layer: "ipv4",
+                needed: total,
+                got: b.len(),
+            });
         }
         Ok(pkt)
     }
@@ -216,12 +237,15 @@ mod tests {
 
     #[test]
     fn rejects_wrong_version() {
-        let mut buf = vec![0u8; MIN_HEADER_LEN];
+        let mut buf = [0u8; MIN_HEADER_LEN];
         buf[0] = 0x65; // version 6
         buf[2..4].copy_from_slice(&20u16.to_be_bytes());
         assert!(matches!(
             Ipv4Packet::new_checked(&buf[..]),
-            Err(Error::Malformed { what: "version is not 4", .. })
+            Err(Error::Malformed {
+                what: "version is not 4",
+                ..
+            })
         ));
     }
 
@@ -235,26 +259,35 @@ mod tests {
 
     #[test]
     fn rejects_total_len_beyond_buffer() {
-        let mut buf = vec![0u8; MIN_HEADER_LEN];
+        let mut buf = [0u8; MIN_HEADER_LEN];
         buf[0] = 0x45;
         buf[2..4].copy_from_slice(&100u16.to_be_bytes());
-        assert!(matches!(Ipv4Packet::new_checked(&buf[..]), Err(Error::Truncated { .. })));
+        assert!(matches!(
+            Ipv4Packet::new_checked(&buf[..]),
+            Err(Error::Truncated { .. })
+        ));
     }
 
     #[test]
     fn rejects_total_len_below_header() {
-        let mut buf = vec![0u8; MIN_HEADER_LEN];
+        let mut buf = [0u8; MIN_HEADER_LEN];
         buf[0] = 0x45;
         buf[2..4].copy_from_slice(&10u16.to_be_bytes());
-        assert!(matches!(Ipv4Packet::new_checked(&buf[..]), Err(Error::Malformed { .. })));
+        assert!(matches!(
+            Ipv4Packet::new_checked(&buf[..]),
+            Err(Error::Malformed { .. })
+        ));
     }
 
     #[test]
     fn rejects_bad_ihl() {
-        let mut buf = vec![0u8; MIN_HEADER_LEN];
+        let mut buf = [0u8; MIN_HEADER_LEN];
         buf[0] = 0x44; // IHL = 4 words
         buf[2..4].copy_from_slice(&20u16.to_be_bytes());
-        assert!(matches!(Ipv4Packet::new_checked(&buf[..]), Err(Error::Malformed { .. })));
+        assert!(matches!(
+            Ipv4Packet::new_checked(&buf[..]),
+            Err(Error::Malformed { .. })
+        ));
     }
 
     #[test]
@@ -269,7 +302,10 @@ mod tests {
 
     #[test]
     fn payload_respects_total_len() {
-        let repr = Ipv4Repr { payload_len: 4, ..sample_repr() };
+        let repr = Ipv4Repr {
+            payload_len: 4,
+            ..sample_repr()
+        };
         // Buffer longer than total length (e.g. Ethernet padding).
         let mut buf = vec![0u8; MIN_HEADER_LEN + 10];
         repr.emit(&mut buf);

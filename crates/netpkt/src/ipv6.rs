@@ -20,14 +20,25 @@ impl<T: AsRef<[u8]>> Ipv6Packet<T> {
         let pkt = Self { buffer };
         let b = pkt.buffer.as_ref();
         if b.len() < HEADER_LEN {
-            return Err(Error::Truncated { layer: "ipv6", needed: HEADER_LEN, got: b.len() });
+            return Err(Error::Truncated {
+                layer: "ipv6",
+                needed: HEADER_LEN,
+                got: b.len(),
+            });
         }
         if b[0] >> 4 != 6 {
-            return Err(Error::Malformed { layer: "ipv6", what: "version is not 6" });
+            return Err(Error::Malformed {
+                layer: "ipv6",
+                what: "version is not 6",
+            });
         }
         let total = HEADER_LEN + pkt.payload_len() as usize;
         if b.len() < total {
-            return Err(Error::Truncated { layer: "ipv6", needed: total, got: b.len() });
+            return Err(Error::Truncated {
+                layer: "ipv6",
+                needed: total,
+                got: b.len(),
+            });
         }
         Ok(pkt)
     }
@@ -107,7 +118,10 @@ impl Ipv6Repr {
     /// Panics if `buf` is shorter than 40 bytes or the payload length
     /// overflows 16 bits.
     pub fn emit(&self, buf: &mut [u8]) {
-        assert!(self.payload_len <= usize::from(u16::MAX), "ipv6 payload length overflow");
+        assert!(
+            self.payload_len <= usize::from(u16::MAX),
+            "ipv6 payload length overflow"
+        );
         buf[0] = 0x60;
         buf[1] = 0;
         buf[2] = 0;
@@ -153,25 +167,34 @@ mod tests {
 
     #[test]
     fn rejects_wrong_version() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[0] = 0x45;
         assert!(matches!(
             Ipv6Packet::new_checked(&buf[..]),
-            Err(Error::Malformed { what: "version is not 6", .. })
+            Err(Error::Malformed {
+                what: "version is not 6",
+                ..
+            })
         ));
     }
 
     #[test]
     fn rejects_short_buffer() {
-        assert!(matches!(Ipv6Packet::new_checked(&[0x60u8; 20][..]), Err(Error::Truncated { .. })));
+        assert!(matches!(
+            Ipv6Packet::new_checked(&[0x60u8; 20][..]),
+            Err(Error::Truncated { .. })
+        ));
     }
 
     #[test]
     fn rejects_payload_len_beyond_buffer() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[0] = 0x60;
         buf[4..6].copy_from_slice(&100u16.to_be_bytes());
-        assert!(matches!(Ipv6Packet::new_checked(&buf[..]), Err(Error::Truncated { .. })));
+        assert!(matches!(
+            Ipv6Packet::new_checked(&buf[..]),
+            Err(Error::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -126,7 +126,10 @@ impl UdpDatagram {
         }
         if ip.more_frags() || ip.frag_offset() != 0 {
             // Fragments carry no UDP header; a monitor cannot attribute them.
-            return Err(Error::Malformed { layer: "ipv4", what: "fragmented UDP not supported" });
+            return Err(Error::Malformed {
+                layer: "ipv4",
+                what: "fragmented UDP not supported",
+            });
         }
         let udp = UdpPacket::new_checked(ip.payload())?;
         Ok(Some(UdpDatagram {
@@ -158,7 +161,13 @@ impl UdpDatagram {
 
     /// Canonical flow key plus whether this datagram runs A→B.
     pub fn flow_key(&self) -> (FlowKey, bool) {
-        FlowKey::canonical(self.src, self.src_port, self.dst, self.dst_port, crate::IP_PROTO_UDP)
+        FlowKey::canonical(
+            self.src,
+            self.src_port,
+            self.dst,
+            self.dst_port,
+            crate::IP_PROTO_UDP,
+        )
     }
 
     /// UDP payload length in bytes.
@@ -211,7 +220,10 @@ mod tests {
             ttl: 64,
             ident: 7,
         };
-        let udp = UdpRepr { src_port: 40000, dst_port: 50000 };
+        let udp = UdpRepr {
+            src_port: 40000,
+            dst_port: 50000,
+        };
         let total = 14 + 20 + 8 + payload.len();
         let mut buf = vec![0u8; total];
         eth.emit(&mut buf);
@@ -237,7 +249,7 @@ mod tests {
     fn non_udp_returns_none() {
         let mut frame = build_udp_frame(b"x");
         frame[23] = 6; // protocol = TCP
-        // Fix IPv4 header checksum after mutation.
+                       // Fix IPv4 header checksum after mutation.
         frame[24] = 0;
         frame[25] = 0;
         let ck = crate::checksum::checksum(&frame[14..34]);
@@ -281,7 +293,10 @@ mod tests {
         let mut buf = vec![0u8; 40 + 8 + payload.len()];
         ip.emit(&mut buf);
         buf[48..].copy_from_slice(payload);
-        let udp = UdpRepr { src_port: 1111, dst_port: 2222 };
+        let udp = UdpRepr {
+            src_port: 1111,
+            dst_port: 2222,
+        };
         // Emit with a dummy v4 pseudo-header then zero the checksum: the
         // parser does not verify v6 checksums.
         udp.emit_v4(&mut buf[40..], payload.len(), [0; 4], [0; 4]);
@@ -305,7 +320,10 @@ mod tests {
     fn captured_packet_size() {
         let frame = build_udp_frame(&[0u8; 100]);
         let dg = UdpDatagram::parse(&frame).unwrap().unwrap();
-        let cap = CapturedPacket { ts: Timestamp::from_millis(10), datagram: dg };
+        let cap = CapturedPacket {
+            ts: Timestamp::from_millis(10),
+            datagram: dg,
+        };
         assert_eq!(cap.size(), 128);
         assert_eq!(cap.payload_len(), 100);
     }

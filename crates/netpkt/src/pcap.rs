@@ -86,7 +86,13 @@ impl<R: Read> PcapReader<R> {
         };
         let snaplen = u32_at(&hdr, 16);
         let link_type = LinkType::from(u32_at(&hdr, 20));
-        Ok(Self { reader, swapped, nanos, link_type, snaplen })
+        Ok(Self {
+            reader,
+            swapped,
+            nanos,
+            link_type,
+            snaplen,
+        })
     }
 
     /// Link type declared in the global header.
@@ -120,12 +126,19 @@ impl<R: Read> PcapReader<R> {
         let incl_len = u32_at(&hdr, 8);
         let orig_len = u32_at(&hdr, 12);
         if incl_len > self.snaplen.max(65_535) {
-            return Err(Error::Malformed { layer: "pcap", what: "record length beyond snaplen" });
+            return Err(Error::Malformed {
+                layer: "pcap",
+                what: "record length beyond snaplen",
+            });
         }
         let micros = if self.nanos { ts_frac / 1_000 } else { ts_frac };
         let mut data = vec![0u8; incl_len as usize];
         self.reader.read_exact(&mut data)?;
-        Ok(Some(PcapRecord { ts: Timestamp(ts_sec * 1_000_000 + micros), orig_len, data }))
+        Ok(Some(PcapRecord {
+            ts: Timestamp(ts_sec * 1_000_000 + micros),
+            orig_len,
+            data,
+        }))
     }
 
     /// Convenience: drains the file into a vector of records.
@@ -195,7 +208,11 @@ mod tests {
 
     #[test]
     fn write_read_roundtrip() {
-        let pkts = vec![(0i64, vec![1u8, 2, 3]), (1_500_000, vec![4u8; 100]), (2_000_001, vec![])];
+        let pkts = vec![
+            (0i64, vec![1u8, 2, 3]),
+            (1_500_000, vec![4u8; 100]),
+            (2_000_001, vec![]),
+        ];
         let recs = roundtrip(&pkts);
         assert_eq!(recs.len(), 3);
         for (rec, (us, data)) in recs.iter().zip(&pkts) {
@@ -217,7 +234,10 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let bytes = vec![0u8; 24];
-        assert!(matches!(PcapReader::new(Cursor::new(bytes)), Err(Error::BadMagic(0))));
+        assert!(matches!(
+            PcapReader::new(Cursor::new(bytes)),
+            Err(Error::BadMagic(0))
+        ));
     }
 
     #[test]

@@ -19,14 +19,25 @@ impl<T: AsRef<[u8]>> UdpPacket<T> {
         let pkt = Self { buffer };
         let b = pkt.buffer.as_ref();
         if b.len() < HEADER_LEN {
-            return Err(Error::Truncated { layer: "udp", needed: HEADER_LEN, got: b.len() });
+            return Err(Error::Truncated {
+                layer: "udp",
+                needed: HEADER_LEN,
+                got: b.len(),
+            });
         }
         let len = pkt.len() as usize;
         if len < HEADER_LEN {
-            return Err(Error::Malformed { layer: "udp", what: "length field below header size" });
+            return Err(Error::Malformed {
+                layer: "udp",
+                what: "length field below header size",
+            });
         }
         if b.len() < len {
-            return Err(Error::Truncated { layer: "udp", needed: len, got: b.len() });
+            return Err(Error::Truncated {
+                layer: "udp",
+                needed: len,
+                got: b.len(),
+            });
         }
         Ok(pkt)
     }
@@ -107,7 +118,8 @@ impl UdpRepr {
         buf[4..6].copy_from_slice(&(total as u16).to_be_bytes());
         buf[6] = 0;
         buf[7] = 0;
-        let mut c: Checksum = checksum::pseudo_header_v4(src, dst, crate::IP_PROTO_UDP, total as u16);
+        let mut c: Checksum =
+            checksum::pseudo_header_v4(src, dst, crate::IP_PROTO_UDP, total as u16);
         c.add_bytes(&buf[..total]);
         let mut ck = c.finish();
         // RFC 768: a computed checksum of zero is transmitted as all-ones.
@@ -128,7 +140,11 @@ mod tests {
     fn build(payload: &[u8]) -> Vec<u8> {
         let mut buf = vec![0u8; HEADER_LEN + payload.len()];
         buf[HEADER_LEN..].copy_from_slice(payload);
-        UdpRepr { src_port: 50000, dst_port: 3478 }.emit_v4(&mut buf, payload.len(), SRC, DST);
+        UdpRepr {
+            src_port: 50000,
+            dst_port: 3478,
+        }
+        .emit_v4(&mut buf, payload.len(), SRC, DST);
         buf
     }
 
@@ -171,17 +187,26 @@ mod tests {
 
     #[test]
     fn rejects_short_buffer() {
-        assert!(matches!(UdpPacket::new_checked(&[0u8; 4][..]), Err(Error::Truncated { .. })));
+        assert!(matches!(
+            UdpPacket::new_checked(&[0u8; 4][..]),
+            Err(Error::Truncated { .. })
+        ));
     }
 
     #[test]
     fn rejects_bad_length_field() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         buf[4..6].copy_from_slice(&4u16.to_be_bytes());
-        assert!(matches!(UdpPacket::new_checked(&buf[..]), Err(Error::Malformed { .. })));
-        let mut buf = vec![0u8; HEADER_LEN];
+        assert!(matches!(
+            UdpPacket::new_checked(&buf[..]),
+            Err(Error::Malformed { .. })
+        ));
+        let mut buf = [0u8; HEADER_LEN];
         buf[4..6].copy_from_slice(&64u16.to_be_bytes());
-        assert!(matches!(UdpPacket::new_checked(&buf[..]), Err(Error::Truncated { .. })));
+        assert!(matches!(
+            UdpPacket::new_checked(&buf[..]),
+            Err(Error::Truncated { .. })
+        ));
     }
 
     #[test]

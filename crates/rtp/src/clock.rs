@@ -13,12 +13,16 @@ pub struct RtpClock {
 impl RtpClock {
     /// The 90 kHz video clock (RFC 6184).
     pub fn video() -> Self {
-        RtpClock { hz: crate::VIDEO_CLOCK_HZ }
+        RtpClock {
+            hz: crate::VIDEO_CLOCK_HZ,
+        }
     }
 
     /// The 48 kHz Opus clock (RFC 7587).
     pub fn audio() -> Self {
-        RtpClock { hz: crate::AUDIO_CLOCK_HZ }
+        RtpClock {
+            hz: crate::AUDIO_CLOCK_HZ,
+        }
     }
 
     /// A clock at an arbitrary frequency.
@@ -46,13 +50,7 @@ impl RtpClock {
     /// timestamp `ts_i`, the lag relative to frame 0 is
     /// `(t_i - t_0) - (ts_i - ts_0)/SF` — transmission delay under the
     /// assumption that frame 0 had zero delay. Returned in seconds.
-    pub fn lag_secs(
-        &self,
-        t0: Timestamp,
-        ts0: u32,
-        ti: Timestamp,
-        tsi: u32,
-    ) -> f64 {
+    pub fn lag_secs(&self, t0: Timestamp, ts0: u32, ti: Timestamp, tsi: u32) -> f64 {
         let wall = (ti - t0).as_secs_f64();
         let media = f64::from(tsi.wrapping_sub(ts0)) / f64::from(self.hz);
         wall - media

@@ -38,10 +38,17 @@ impl RtpHeader {
     /// the version and that CSRCs + extension fit in the buffer.
     pub fn parse(buf: &[u8]) -> Result<Self> {
         if buf.len() < HEADER_LEN {
-            return Err(Error::Truncated { layer: "rtp", needed: HEADER_LEN, got: buf.len() });
+            return Err(Error::Truncated {
+                layer: "rtp",
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
         }
         if buf[0] >> 6 != 2 {
-            return Err(Error::Malformed { layer: "rtp", what: "version is not 2" });
+            return Err(Error::Malformed {
+                layer: "rtp",
+                what: "version is not 2",
+            });
         }
         let hdr = RtpHeader {
             has_padding: buf[0] & 0x20 != 0,
@@ -56,7 +63,11 @@ impl RtpHeader {
         // Validate that the declared CSRC list and extension header fit.
         let needed = hdr.payload_offset_unchecked(buf)?;
         if buf.len() < needed {
-            return Err(Error::Truncated { layer: "rtp", needed, got: buf.len() });
+            return Err(Error::Truncated {
+                layer: "rtp",
+                needed,
+                got: buf.len(),
+            });
         }
         Ok(hdr)
     }
@@ -65,7 +76,11 @@ impl RtpHeader {
         let mut off = HEADER_LEN + usize::from(self.csrc_count) * 4;
         if self.has_extension {
             if buf.len() < off + 4 {
-                return Err(Error::Truncated { layer: "rtp", needed: off + 4, got: buf.len() });
+                return Err(Error::Truncated {
+                    layer: "rtp",
+                    needed: off + 4,
+                    got: buf.len(),
+                });
             }
             let ext_words = u16::from_be_bytes([buf[off + 2], buf[off + 3]]) as usize;
             off += 4 + ext_words * 4;
@@ -85,11 +100,17 @@ impl RtpHeader {
         let mut end = buf.len();
         if self.has_padding {
             if end <= off {
-                return Err(Error::Malformed { layer: "rtp", what: "padding with empty payload" });
+                return Err(Error::Malformed {
+                    layer: "rtp",
+                    what: "padding with empty payload",
+                });
             }
             let pad = buf[end - 1] as usize;
             if pad == 0 || off + pad > end {
-                return Err(Error::Malformed { layer: "rtp", what: "invalid padding length" });
+                return Err(Error::Malformed {
+                    layer: "rtp",
+                    what: "invalid padding length",
+                });
             }
             end -= pad;
         }
@@ -153,17 +174,26 @@ mod tests {
     #[test]
     fn rejects_wrong_version() {
         let buf = [0x40u8; HEADER_LEN];
-        assert!(matches!(RtpHeader::parse(&buf), Err(Error::Malformed { .. })));
+        assert!(matches!(
+            RtpHeader::parse(&buf),
+            Err(Error::Malformed { .. })
+        ));
     }
 
     #[test]
     fn rejects_short_buffer() {
-        assert!(matches!(RtpHeader::parse(&[0x80; 5]), Err(Error::Truncated { .. })));
+        assert!(matches!(
+            RtpHeader::parse(&[0x80; 5]),
+            Err(Error::Truncated { .. })
+        ));
     }
 
     #[test]
     fn csrc_skipped() {
-        let h = RtpHeader { csrc_count: 2, ..RtpHeader::basic(96, 1, 2, 3, false) };
+        let h = RtpHeader {
+            csrc_count: 2,
+            ..RtpHeader::basic(96, 1, 2, 3, false)
+        };
         let mut buf = vec![0u8; HEADER_LEN + 8 + 3];
         h.emit(&mut buf);
         buf[HEADER_LEN + 8..].copy_from_slice(b"abc");
@@ -174,10 +204,16 @@ mod tests {
 
     #[test]
     fn truncated_csrc_rejected() {
-        let h = RtpHeader { csrc_count: 3, ..RtpHeader::basic(96, 1, 2, 3, false) };
+        let h = RtpHeader {
+            csrc_count: 3,
+            ..RtpHeader::basic(96, 1, 2, 3, false)
+        };
         let mut buf = vec![0u8; HEADER_LEN + 12];
         h.emit(&mut buf);
-        assert!(matches!(RtpHeader::parse(&buf[..HEADER_LEN + 4]), Err(Error::Truncated { .. })));
+        assert!(matches!(
+            RtpHeader::parse(&buf[..HEADER_LEN + 4]),
+            Err(Error::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -186,7 +222,7 @@ mod tests {
         let mut buf = vec![0u8; HEADER_LEN + 4 + 8 + 2];
         h.emit(&mut buf);
         buf[0] |= 0x10; // X bit
-        // Extension header: profile 0xbede, length = 2 words.
+                        // Extension header: profile 0xbede, length = 2 words.
         buf[HEADER_LEN..HEADER_LEN + 2].copy_from_slice(&0xbedeu16.to_be_bytes());
         buf[HEADER_LEN + 2..HEADER_LEN + 4].copy_from_slice(&2u16.to_be_bytes());
         buf[HEADER_LEN + 12..].copy_from_slice(b"ok");
@@ -202,12 +238,18 @@ mod tests {
         h.emit(&mut buf);
         buf[0] |= 0x10;
         buf[HEADER_LEN + 2..HEADER_LEN + 4].copy_from_slice(&4u16.to_be_bytes());
-        assert!(matches!(RtpHeader::parse(&buf), Err(Error::Truncated { .. })));
+        assert!(matches!(
+            RtpHeader::parse(&buf),
+            Err(Error::Truncated { .. })
+        ));
     }
 
     #[test]
     fn padding_trimmed() {
-        let h = RtpHeader { has_padding: true, ..RtpHeader::basic(96, 1, 2, 3, false) };
+        let h = RtpHeader {
+            has_padding: true,
+            ..RtpHeader::basic(96, 1, 2, 3, false)
+        };
         let mut buf = vec![0u8; HEADER_LEN + 6];
         h.emit(&mut buf);
         buf[HEADER_LEN..HEADER_LEN + 3].copy_from_slice(b"xyz");
@@ -218,7 +260,10 @@ mod tests {
 
     #[test]
     fn invalid_padding_rejected() {
-        let h = RtpHeader { has_padding: true, ..RtpHeader::basic(96, 1, 2, 3, false) };
+        let h = RtpHeader {
+            has_padding: true,
+            ..RtpHeader::basic(96, 1, 2, 3, false)
+        };
         let mut buf = vec![0u8; HEADER_LEN + 2];
         h.emit(&mut buf);
         buf[HEADER_LEN + 1] = 9; // pad length beyond payload

@@ -68,9 +68,21 @@ impl PayloadMap {
     /// The in-lab mapping for a VCA (paper §3.1).
     pub fn lab(vca: VcaKind) -> Self {
         match vca {
-            VcaKind::Meet => PayloadMap { audio: 111, video: 96, video_rtx: Some(97) },
-            VcaKind::Teams => PayloadMap { audio: 111, video: 102, video_rtx: Some(103) },
-            VcaKind::Webex => PayloadMap { audio: 111, video: 102, video_rtx: Some(103) },
+            VcaKind::Meet => PayloadMap {
+                audio: 111,
+                video: 96,
+                video_rtx: Some(97),
+            },
+            VcaKind::Teams => PayloadMap {
+                audio: 111,
+                video: 102,
+                video_rtx: Some(103),
+            },
+            VcaKind::Webex => PayloadMap {
+                audio: 111,
+                video: 102,
+                video_rtx: Some(103),
+            },
         }
     }
 
@@ -78,9 +90,21 @@ impl PayloadMap {
     /// Webex video 100, no rtx).
     pub fn real_world(vca: VcaKind) -> Self {
         match vca {
-            VcaKind::Meet => PayloadMap { audio: 111, video: 96, video_rtx: Some(97) },
-            VcaKind::Teams => PayloadMap { audio: 111, video: 100, video_rtx: Some(101) },
-            VcaKind::Webex => PayloadMap { audio: 111, video: 100, video_rtx: None },
+            VcaKind::Meet => PayloadMap {
+                audio: 111,
+                video: 96,
+                video_rtx: Some(97),
+            },
+            VcaKind::Teams => PayloadMap {
+                audio: 111,
+                video: 100,
+                video_rtx: Some(101),
+            },
+            VcaKind::Webex => PayloadMap {
+                audio: 111,
+                video: 100,
+                video_rtx: None,
+            },
         }
     }
 

@@ -58,7 +58,12 @@ impl RtcpPacket {
     /// Serializes the packet, returning the wire bytes.
     pub fn emit(&self) -> Vec<u8> {
         match self {
-            RtcpPacket::SenderReport { ssrc, rtp_ts, packet_count, octet_count } => {
+            RtcpPacket::SenderReport {
+                ssrc,
+                rtp_ts,
+                packet_count,
+                octet_count,
+            } => {
                 let mut b = vec![0u8; 28];
                 b[0] = 0x80; // V=2, no report blocks
                 b[1] = PT_SR;
@@ -94,7 +99,11 @@ impl RtcpPacket {
                 // LSR/DLSR left zero.
                 b
             }
-            RtcpPacket::Nack { sender_ssrc, media_ssrc, lost_seqs } => {
+            RtcpPacket::Nack {
+                sender_ssrc,
+                media_ssrc,
+                lost_seqs,
+            } => {
                 let fci = encode_nack_fci(lost_seqs);
                 let mut b = vec![0u8; 12 + fci.len() * 4];
                 b[0] = 0x80 | NACK_FMT;
@@ -115,20 +124,34 @@ impl RtcpPacket {
     /// Parses one RTCP packet from `buf`.
     pub fn parse(buf: &[u8]) -> Result<Self> {
         if buf.len() < 8 {
-            return Err(Error::Truncated { layer: "rtcp", needed: 8, got: buf.len() });
+            return Err(Error::Truncated {
+                layer: "rtcp",
+                needed: 8,
+                got: buf.len(),
+            });
         }
         if buf[0] >> 6 != 2 {
-            return Err(Error::Malformed { layer: "rtcp", what: "version is not 2" });
+            return Err(Error::Malformed {
+                layer: "rtcp",
+                what: "version is not 2",
+            });
         }
         let len_words = u16::from_be_bytes([buf[2], buf[3]]) as usize;
         let total = (len_words + 1) * 4;
         if buf.len() < total {
-            return Err(Error::Truncated { layer: "rtcp", needed: total, got: buf.len() });
+            return Err(Error::Truncated {
+                layer: "rtcp",
+                needed: total,
+                got: buf.len(),
+            });
         }
         match buf[1] {
             PT_SR => {
                 if total < 28 {
-                    return Err(Error::Malformed { layer: "rtcp", what: "SR too short" });
+                    return Err(Error::Malformed {
+                        layer: "rtcp",
+                        what: "SR too short",
+                    });
                 }
                 Ok(RtcpPacket::SenderReport {
                     ssrc: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
@@ -139,7 +162,10 @@ impl RtcpPacket {
             }
             PT_RR => {
                 if total < 32 {
-                    return Err(Error::Malformed { layer: "rtcp", what: "RR too short" });
+                    return Err(Error::Malformed {
+                        layer: "rtcp",
+                        what: "RR too short",
+                    });
                 }
                 Ok(RtcpPacket::ReceiverReport {
                     ssrc: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
@@ -170,7 +196,10 @@ impl RtcpPacket {
                     lost_seqs: lost,
                 })
             }
-            _ => Err(Error::Malformed { layer: "rtcp", what: "unsupported packet type" }),
+            _ => Err(Error::Malformed {
+                layer: "rtcp",
+                what: "unsupported packet type",
+            }),
         }
     }
 }
@@ -193,7 +222,7 @@ fn encode_nack_fci(lost: &[u16]) -> Vec<(u16, u16)> {
         match out.last_mut() {
             Some((pid, blp)) => {
                 let d = s.wrapping_sub(*pid);
-                if d >= 1 && d <= 16 {
+                if (1..=16).contains(&d) {
                     *blp |= 1 << (d - 1);
                 } else {
                     out.push((s, 0));
@@ -251,7 +280,11 @@ mod tests {
     #[test]
     fn nack_roundtrip_spread_over_multiple_fci() {
         let lost = vec![10u16, 50, 90];
-        let nack = RtcpPacket::Nack { sender_ssrc: 1, media_ssrc: 2, lost_seqs: lost.clone() };
+        let nack = RtcpPacket::Nack {
+            sender_ssrc: 1,
+            media_ssrc: 2,
+            lost_seqs: lost.clone(),
+        };
         match RtcpPacket::parse(&nack.emit()).unwrap() {
             RtcpPacket::Nack { lost_seqs, .. } => assert_eq!(lost_seqs, lost),
             other => panic!("wrong packet: {other:?}"),
@@ -274,8 +307,13 @@ mod tests {
     #[test]
     fn rejects_truncated_and_bad_version() {
         assert!(RtcpPacket::parse(&[0x80, 200]).is_err());
-        let mut sr = RtcpPacket::SenderReport { ssrc: 0, rtp_ts: 0, packet_count: 0, octet_count: 0 }
-            .emit();
+        let mut sr = RtcpPacket::SenderReport {
+            ssrc: 0,
+            rtp_ts: 0,
+            packet_count: 0,
+            octet_count: 0,
+        }
+        .emit();
         sr[0] = 0x40;
         assert!(RtcpPacket::parse(&sr).is_err());
     }

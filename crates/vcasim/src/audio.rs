@@ -33,15 +33,16 @@ impl AudioSource {
     /// Next RTP payload size in bytes.
     pub fn next_payload(&mut self, rng: &mut StdRng) -> usize {
         // Random-walk the VBR level inside the envelope.
-        self.level = (self.level + rng.gen_range(-8.0..8.0))
-            .clamp((MIN_TOTAL - HEADER_OVERHEAD) as f64 + 6.0, (MAX_TOTAL - HEADER_OVERHEAD) as f64);
+        self.level = (self.level + rng.gen_range(-8.0..8.0)).clamp(
+            (MIN_TOTAL - HEADER_OVERHEAD) as f64 + 6.0,
+            (MAX_TOTAL - HEADER_OVERHEAD) as f64,
+        );
         if rng.gen::<f64>() < 0.05 {
             // DTX / comfort noise: minimum-size packet.
             return MIN_TOTAL - HEADER_OVERHEAD;
         }
         let jittered = self.level + rng.gen_range(-12.0..12.0);
-        (jittered as usize)
-            .clamp(MIN_TOTAL - HEADER_OVERHEAD, MAX_TOTAL - HEADER_OVERHEAD)
+        (jittered as usize).clamp(MIN_TOTAL - HEADER_OVERHEAD, MAX_TOTAL - HEADER_OVERHEAD)
     }
 }
 
@@ -72,7 +73,11 @@ mod tests {
         let mut src = AudioSource::new();
         let sizes: Vec<usize> = (0..200).map(|_| src.next_payload(&mut rng)).collect();
         let distinct: std::collections::HashSet<_> = sizes.iter().collect();
-        assert!(distinct.len() > 20, "only {} distinct sizes", distinct.len());
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct sizes",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -80,7 +85,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut src = AudioSource::new();
         let floor = MIN_TOTAL - HEADER_OVERHEAD;
-        let hits = (0..2000).filter(|_| src.next_payload(&mut rng) == floor).count();
+        let hits = (0..2000)
+            .filter(|_| src.next_payload(&mut rng) == floor)
+            .count();
         assert!(hits > 30, "only {hits} DTX packets");
     }
 }

@@ -74,8 +74,7 @@ impl FrameSource {
         self.activity = self.activity.clamp(0.25, 3.0);
 
         let keyframe = self.force_key
-            || (self.frames_since_key >= self.key_interval
-                && self.rng.gen::<f64>() < 0.2);
+            || (self.frames_since_key >= self.key_interval && self.rng.gen::<f64>() < 0.2);
         self.force_key = false;
         if keyframe {
             self.frames_since_key = 0;
@@ -85,7 +84,11 @@ impl FrameSource {
 
         let gain = if keyframe { self.key_gain } else { 1.0 };
         let size = (mean_bytes * self.activity * gain).max(120.0) as usize;
-        VideoFrame { size, keyframe, height }
+        VideoFrame {
+            size,
+            keyframe,
+            height,
+        }
     }
 }
 
@@ -111,19 +114,22 @@ mod tests {
         let mut src = FrameSource::new(2, 0.25);
         src.next_frame(1000.0, 30.0, 360); // discard keyframe
         let n = 5000;
-        let total: usize =
-            (0..n).map(|_| src.next_frame(1000.0, 30.0, 360).size).sum();
+        let total: usize = (0..n).map(|_| src.next_frame(1000.0, 30.0, 360).size).sum();
         let mean = total as f64 / n as f64;
         let budget = 1000.0 * 1000.0 / 8.0 / 30.0; // ≈ 4167 bytes
-        // Keyframes inside the window inflate the mean a bit; allow 25%.
-        assert!((mean - budget).abs() / budget < 0.25, "mean {mean} vs {budget}");
+                                                   // Keyframes inside the window inflate the mean a bit; allow 25%.
+        assert!(
+            (mean - budget).abs() / budget < 0.25,
+            "mean {mean} vs {budget}"
+        );
     }
 
     #[test]
     fn consecutive_frames_differ() {
         let mut src = FrameSource::new(3, 0.25);
-        let sizes: Vec<usize> =
-            (0..200).map(|_| src.next_frame(800.0, 30.0, 270).size).collect();
+        let sizes: Vec<usize> = (0..200)
+            .map(|_| src.next_frame(800.0, 30.0, 270).size)
+            .collect();
         let same = sizes.windows(2).filter(|w| w[0] == w[1]).count();
         assert!(same < 5, "{same} identical consecutive frames");
     }
@@ -137,7 +143,11 @@ mod tests {
             deltas.push(src.next_frame(1000.0, 30.0, 360).size);
         }
         let mean_delta = deltas.iter().sum::<usize>() / deltas.len();
-        assert!(key.size > mean_delta * 2, "key {} vs delta mean {mean_delta}", key.size);
+        assert!(
+            key.size > mean_delta * 2,
+            "key {} vs delta mean {mean_delta}",
+            key.size
+        );
     }
 
     #[test]
@@ -169,7 +179,9 @@ mod tests {
     fn deterministic() {
         let run = |seed| {
             let mut s = FrameSource::new(seed, 0.25);
-            (0..100).map(|_| s.next_frame(900.0, 30.0, 360).size).collect::<Vec<_>>()
+            (0..100)
+                .map(|_| s.next_frame(900.0, 30.0, 360).size)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

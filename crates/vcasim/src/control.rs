@@ -31,19 +31,31 @@ pub fn dtls_handshake(rng: &mut StdRng) -> Vec<ControlPacket> {
     // STUN binding requests/responses during ICE.
     let mut t = 0u64;
     for _ in 0..rng.gen_range(3..6) {
-        out.push(ControlPacket { at_ms: t, payload: rng.gen_range(20..120) });
+        out.push(ControlPacket {
+            at_ms: t,
+            payload: rng.gen_range(20..120),
+        });
         t += rng.gen_range(5..40);
     }
     // ServerHello + Certificate flight: 1–2 near-MTU records.
     for _ in 0..rng.gen_range(1..3) {
-        out.push(ControlPacket { at_ms: t, payload: rng.gen_range(900..1250) });
+        out.push(ControlPacket {
+            at_ms: t,
+            payload: rng.gen_range(900..1250),
+        });
         t += rng.gen_range(2..10);
     }
     // ServerKeyExchange + ServerHelloDone.
-    out.push(ControlPacket { at_ms: t, payload: rng.gen_range(300..600) });
+    out.push(ControlPacket {
+        at_ms: t,
+        payload: rng.gen_range(300..600),
+    });
     t += rng.gen_range(10..40);
     // ChangeCipherSpec + Finished.
-    out.push(ControlPacket { at_ms: t, payload: rng.gen_range(50..120) });
+    out.push(ControlPacket {
+        at_ms: t,
+        payload: rng.gen_range(50..120),
+    });
     out
 }
 

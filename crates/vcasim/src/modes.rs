@@ -49,7 +49,12 @@ pub fn merge_multiparty(sessions: &[SessionTrace]) -> SessionTrace {
         })
         .collect();
 
-    SessionTrace { vca: sessions[0].vca, packets, truth, duration_secs: duration }
+    SessionTrace {
+        vca: sessions[0].vca,
+        packets,
+        truth,
+        duration_secs: duration,
+    }
 }
 
 /// Converts a session into its video-off counterpart: the sender keeps
@@ -111,11 +116,12 @@ mod tests {
         let b = one_session(2);
         let merged = merge_multiparty(&[a.clone(), b.clone()]);
         assert_eq!(merged.packets.len(), a.packets.len() + b.packets.len());
-        assert!(merged.packets.windows(2).all(|w| w[0].arrival_ts <= w[1].arrival_ts));
+        assert!(merged
+            .packets
+            .windows(2)
+            .all(|w| w[0].arrival_ts <= w[1].arrival_ts));
         let sec = 5;
-        assert!(
-            (merged.truth[sec].fps - (a.truth[sec].fps + b.truth[sec].fps)).abs() < 1e-9
-        );
+        assert!((merged.truth[sec].fps - (a.truth[sec].fps + b.truth[sec].fps)).abs() < 1e-9);
         assert!(
             (merged.truth[sec].bitrate_kbps
                 - (a.truth[sec].bitrate_kbps + b.truth[sec].bitrate_kbps))
@@ -144,7 +150,10 @@ mod tests {
             .iter()
             .all(|p| matches!(p.media, MediaKind::Audio | MediaKind::Control)));
         assert!(!off.packets.is_empty());
-        assert!(off.truth.iter().all(|t| t.fps == 0.0 && t.bitrate_kbps == 0.0));
+        assert!(off
+            .truth
+            .iter()
+            .all(|t| t.fps == 0.0 && t.bitrate_kbps == 0.0));
     }
 
     #[test]

@@ -97,10 +97,22 @@ mod tests {
     #[test]
     fn equal_split_packet_count_minimal() {
         let mut r = rng();
-        assert_eq!(packetize(1160, 1160, FragmentPolicy::Equal, &mut r).len(), 1);
-        assert_eq!(packetize(1161, 1160, FragmentPolicy::Equal, &mut r).len(), 2);
-        assert_eq!(packetize(2320, 1160, FragmentPolicy::Equal, &mut r).len(), 2);
-        assert_eq!(packetize(2321, 1160, FragmentPolicy::Equal, &mut r).len(), 3);
+        assert_eq!(
+            packetize(1160, 1160, FragmentPolicy::Equal, &mut r).len(),
+            1
+        );
+        assert_eq!(
+            packetize(1161, 1160, FragmentPolicy::Equal, &mut r).len(),
+            2
+        );
+        assert_eq!(
+            packetize(2320, 1160, FragmentPolicy::Equal, &mut r).len(),
+            2
+        );
+        assert_eq!(
+            packetize(2321, 1160, FragmentPolicy::Equal, &mut r).len(),
+            3
+        );
     }
 
     #[test]
@@ -139,7 +151,10 @@ mod tests {
     #[test]
     fn unequal_tiny_frame_stays_single() {
         let mut r = rng();
-        assert_eq!(packetize(100, 1160, FragmentPolicy::Unequal, &mut r), vec![100]);
+        assert_eq!(
+            packetize(100, 1160, FragmentPolicy::Unequal, &mut r),
+            vec![100]
+        );
     }
 
     #[test]

@@ -63,9 +63,18 @@ impl VcaProfile {
                 vca,
                 payload_map: PayloadMap::lab(vca),
                 ladder: vec![
-                    LadderRung { height: 180, min_kbps: 0.0 },
-                    LadderRung { height: 270, min_kbps: 450.0 },
-                    LadderRung { height: 360, min_kbps: 800.0 },
+                    LadderRung {
+                        height: 180,
+                        min_kbps: 0.0,
+                    },
+                    LadderRung {
+                        height: 270,
+                        min_kbps: 450.0,
+                    },
+                    LadderRung {
+                        height: 360,
+                        min_kbps: 800.0,
+                    },
                 ],
                 min_bitrate_kbps: 60.0,
                 max_bitrate_kbps: 2800.0,
@@ -82,17 +91,50 @@ impl VcaProfile {
                 vca,
                 payload_map: PayloadMap::lab(vca),
                 ladder: vec![
-                    LadderRung { height: 90, min_kbps: 0.0 },
-                    LadderRung { height: 120, min_kbps: 120.0 },
-                    LadderRung { height: 180, min_kbps: 200.0 },
-                    LadderRung { height: 240, min_kbps: 350.0 },
-                    LadderRung { height: 270, min_kbps: 500.0 },
-                    LadderRung { height: 360, min_kbps: 700.0 },
-                    LadderRung { height: 404, min_kbps: 1000.0 },
-                    LadderRung { height: 480, min_kbps: 1400.0 },
-                    LadderRung { height: 540, min_kbps: 1900.0 },
-                    LadderRung { height: 630, min_kbps: 2400.0 },
-                    LadderRung { height: 720, min_kbps: 3000.0 },
+                    LadderRung {
+                        height: 90,
+                        min_kbps: 0.0,
+                    },
+                    LadderRung {
+                        height: 120,
+                        min_kbps: 120.0,
+                    },
+                    LadderRung {
+                        height: 180,
+                        min_kbps: 200.0,
+                    },
+                    LadderRung {
+                        height: 240,
+                        min_kbps: 350.0,
+                    },
+                    LadderRung {
+                        height: 270,
+                        min_kbps: 500.0,
+                    },
+                    LadderRung {
+                        height: 360,
+                        min_kbps: 700.0,
+                    },
+                    LadderRung {
+                        height: 404,
+                        min_kbps: 1000.0,
+                    },
+                    LadderRung {
+                        height: 480,
+                        min_kbps: 1400.0,
+                    },
+                    LadderRung {
+                        height: 540,
+                        min_kbps: 1900.0,
+                    },
+                    LadderRung {
+                        height: 630,
+                        min_kbps: 2400.0,
+                    },
+                    LadderRung {
+                        height: 720,
+                        min_kbps: 3000.0,
+                    },
                 ],
                 min_bitrate_kbps: 80.0,
                 max_bitrate_kbps: 4000.0,
@@ -109,8 +151,14 @@ impl VcaProfile {
                 vca,
                 payload_map: PayloadMap::lab(vca),
                 ladder: vec![
-                    LadderRung { height: 180, min_kbps: 0.0 },
-                    LadderRung { height: 360, min_kbps: 550.0 },
+                    LadderRung {
+                        height: 180,
+                        min_kbps: 0.0,
+                    },
+                    LadderRung {
+                        height: 360,
+                        min_kbps: 550.0,
+                    },
                 ],
                 min_bitrate_kbps: 60.0,
                 max_bitrate_kbps: 900.0,
@@ -135,8 +183,14 @@ impl VcaProfile {
         p.payload_map = PayloadMap::real_world(vca);
         match vca {
             VcaKind::Meet => {
-                p.ladder.push(LadderRung { height: 540, min_kbps: 1500.0 });
-                p.ladder.push(LadderRung { height: 720, min_kbps: 2400.0 });
+                p.ladder.push(LadderRung {
+                    height: 540,
+                    min_kbps: 1500.0,
+                });
+                p.ladder.push(LadderRung {
+                    height: 720,
+                    min_kbps: 2400.0,
+                });
                 p.max_bitrate_kbps = 4200.0;
                 p.start_bitrate_kbps = 1600.0;
                 p.unequal_frag_prob = 0.1448;
@@ -146,7 +200,10 @@ impl VcaProfile {
             }
             VcaKind::Webex => {
                 p.has_rtx = false;
-                p.ladder = vec![LadderRung { height: 360, min_kbps: 0.0 }];
+                p.ladder = vec![LadderRung {
+                    height: 360,
+                    min_kbps: 0.0,
+                }];
                 p.start_bitrate_kbps = 700.0;
             }
         }
@@ -194,7 +251,10 @@ mod tests {
     #[test]
     fn lab_resolution_sets_match_paper() {
         let heights = |p: &VcaProfile| p.ladder.iter().map(|r| r.height).collect::<Vec<_>>();
-        assert_eq!(heights(&VcaProfile::lab(VcaKind::Meet)), vec![180, 270, 360]);
+        assert_eq!(
+            heights(&VcaProfile::lab(VcaKind::Meet)),
+            vec![180, 270, 360]
+        );
         assert_eq!(heights(&VcaProfile::lab(VcaKind::Teams)).len(), 11);
         assert_eq!(heights(&VcaProfile::lab(VcaKind::Webex)), vec![180, 360]);
     }

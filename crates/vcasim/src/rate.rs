@@ -34,7 +34,12 @@ impl RateController {
     /// Creates a controller with a starting rate and bounds.
     pub fn new(start_kbps: f64, min_kbps: f64, max_kbps: f64) -> Self {
         assert!(min_kbps > 0.0 && min_kbps <= start_kbps && start_kbps <= max_kbps);
-        RateController { target_kbps: start_kbps, min_kbps, max_kbps, base_owd_ms: None }
+        RateController {
+            target_kbps: start_kbps,
+            min_kbps,
+            max_kbps,
+            base_owd_ms: None,
+        }
     }
 
     /// Current target bitrate in kbps.
@@ -48,10 +53,13 @@ impl RateController {
         // don't pin it forever).
         self.base_owd_ms = Some(match self.base_owd_ms {
             None => fb.mean_owd_ms,
-            Some(b) => (b * 1.02).min(fb.mean_owd_ms.max(b * 0.98)).min(fb.mean_owd_ms).max(
-                // never below the observed minimum this round
-                b.min(fb.mean_owd_ms),
-            ),
+            Some(b) => (b * 1.02)
+                .min(fb.mean_owd_ms.max(b * 0.98))
+                .min(fb.mean_owd_ms)
+                .max(
+                    // never below the observed minimum this round
+                    b.min(fb.mean_owd_ms),
+                ),
         });
         let base = self.base_owd_ms.unwrap();
         let queued_ms = (fb.mean_owd_ms - base).max(0.0);
@@ -84,7 +92,11 @@ mod tests {
     use super::*;
 
     fn clean(rate: f64) -> Feedback {
-        Feedback { loss_fraction: 0.0, mean_owd_ms: 30.0, recv_rate_kbps: rate }
+        Feedback {
+            loss_fraction: 0.0,
+            mean_owd_ms: 30.0,
+            recv_rate_kbps: rate,
+        }
     }
 
     #[test]
@@ -93,20 +105,32 @@ mod tests {
         for _ in 0..30 {
             rc.update(clean(rc.target_kbps()));
         }
-        assert!((rc.target_kbps() - 4000.0).abs() < 1e-6, "rate {}", rc.target_kbps());
+        assert!(
+            (rc.target_kbps() - 4000.0).abs() < 1e-6,
+            "rate {}",
+            rc.target_kbps()
+        );
     }
 
     #[test]
     fn heavy_loss_backs_off() {
         let mut rc = RateController::new(2000.0, 100.0, 4000.0);
-        rc.update(Feedback { loss_fraction: 0.2, mean_owd_ms: 30.0, recv_rate_kbps: 1500.0 });
+        rc.update(Feedback {
+            loss_fraction: 0.2,
+            mean_owd_ms: 30.0,
+            recv_rate_kbps: 1500.0,
+        });
         assert!(rc.target_kbps() < 2000.0 * 0.95);
     }
 
     #[test]
     fn moderate_loss_holds() {
         let mut rc = RateController::new(2000.0, 100.0, 4000.0);
-        rc.update(Feedback { loss_fraction: 0.05, mean_owd_ms: 30.0, recv_rate_kbps: 1900.0 });
+        rc.update(Feedback {
+            loss_fraction: 0.05,
+            mean_owd_ms: 30.0,
+            recv_rate_kbps: 1900.0,
+        });
         assert!((rc.target_kbps() - 2000.0).abs() < 1e-9);
     }
 
@@ -115,7 +139,11 @@ mod tests {
         let mut rc = RateController::new(2000.0, 100.0, 4000.0);
         rc.update(clean(2000.0)); // establish 30 ms baseline (and +8% growth)
         let before = rc.target_kbps();
-        rc.update(Feedback { loss_fraction: 0.0, mean_owd_ms: 160.0, recv_rate_kbps: 1000.0 });
+        rc.update(Feedback {
+            loss_fraction: 0.0,
+            mean_owd_ms: 160.0,
+            recv_rate_kbps: 1000.0,
+        });
         // Increase 8% then ×0.85 and capped at 95% of recv rate.
         assert!(rc.target_kbps() <= 1000.0 * 0.95 + 1e-9);
         assert!(rc.target_kbps() < before);
@@ -125,7 +153,11 @@ mod tests {
     fn respects_bounds() {
         let mut rc = RateController::new(150.0, 100.0, 800.0);
         for _ in 0..50 {
-            rc.update(Feedback { loss_fraction: 0.5, mean_owd_ms: 30.0, recv_rate_kbps: 50.0 });
+            rc.update(Feedback {
+                loss_fraction: 0.5,
+                mean_owd_ms: 30.0,
+                recv_rate_kbps: 50.0,
+            });
         }
         assert!((rc.target_kbps() - 100.0).abs() < 1e-9);
         for _ in 0..50 {

@@ -165,8 +165,7 @@ impl Receiver {
     pub fn on_packet(&mut self, pkt: ArrivedPacket) -> Vec<u16> {
         let sec = pkt.arrival.second_index();
         *self.arrivals_per_sec.entry(sec).or_insert(0) += 1;
-        *self.owd_sum_per_sec.entry(sec).or_insert(0.0) +=
-            (pkt.arrival - pkt.send).as_millis_f64();
+        *self.owd_sum_per_sec.entry(sec).or_insert(0.0) += (pkt.arrival - pkt.send).as_millis_f64();
 
         let mut nacks = Vec::new();
         match pkt.media {
@@ -266,10 +265,13 @@ impl Receiver {
                 }
                 self.last_complete_arrival = Some(complete);
                 let noise = self.decode_delay_noise();
-                let out =
-                    (complete + self.buffer_delay() + noise).max(self.last_decode_out);
+                let out = (complete + self.buffer_delay() + noise).max(self.last_decode_out);
                 self.last_decode_out = out;
-                self.decoded.push(DecodedFrame { decode_ts: out, frame_id: id, height });
+                self.decoded.push(DecodedFrame {
+                    decode_ts: out,
+                    frame_id: id,
+                    height,
+                });
                 self.frames.remove(&id);
                 self.next_decode += 1;
             } else if (now - asm.first_arrival).as_micros() > self.abandon_us {
@@ -320,7 +322,10 @@ impl Receiver {
         self.drain_decodable(Timestamp::from_secs(duration_secs) + Timestamp::from_secs(10));
         let mut decode_by_sec: HashMap<i64, Vec<DecodedFrame>> = HashMap::new();
         for d in &self.decoded {
-            decode_by_sec.entry(d.decode_ts.second_index()).or_default().push(*d);
+            decode_by_sec
+                .entry(d.decode_ts.second_index())
+                .or_default()
+                .push(*d);
         }
         let mut out = Vec::with_capacity(duration_secs as usize);
         for sec in 0..duration_secs {
@@ -371,7 +376,11 @@ fn mode_height(decodes: &[DecodedFrame]) -> u32 {
     for d in decodes {
         *counts.entry(d.height).or_insert(0) += 1;
     }
-    counts.into_iter().max_by_key(|&(h, c)| (c, h)).map(|(h, _)| h).unwrap_or(0)
+    counts
+        .into_iter()
+        .max_by_key(|&(h, c)| (c, h))
+        .map(|(h, _)| h)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -463,34 +472,38 @@ mod tests {
     #[test]
     fn ground_truth_counts_fps_and_bitrate() {
         let mut r = Receiver::new();
-        let mut seq = 0;
-        for f in 0..60u64 {
+        for (seq, f) in (0..60u64).enumerate() {
             // 30 fps: frames at 33 ms intervals over 2 seconds.
-            r.on_packet(pkt(f as i64 * 33, f, 1, seq, 270));
-            seq += 1;
+            r.on_packet(pkt(f as i64 * 33, f, 1, seq as u16, 270));
         }
         let gt = r.ground_truth(2);
         assert_eq!(gt.len(), 2);
         // ~30 fps in each full second (jitter-buffer shifts a couple).
         assert!(gt[0].fps >= 25.0 && gt[0].fps <= 32.0, "fps {}", gt[0].fps);
         // 1000 B/frame * ~30 frames = ~240 kbps.
-        assert!((gt[0].bitrate_kbps - 240.0).abs() < 40.0, "bitrate {}", gt[0].bitrate_kbps);
+        assert!(
+            (gt[0].bitrate_kbps - 240.0).abs() < 40.0,
+            "bitrate {}",
+            gt[0].bitrate_kbps
+        );
         assert_eq!(gt[0].height, 270);
     }
 
     #[test]
     fn jitter_reflects_irregular_decode_gaps() {
         let mut r = Receiver::new();
-        let mut seq = 0;
         let mut t = 0i64;
         // Irregular gaps: alternating 10 / 80 ms.
-        for f in 0..20u64 {
-            r.on_packet(pkt(t, f, 1, seq, 360));
-            seq += 1;
+        for (seq, f) in (0..20u64).enumerate() {
+            r.on_packet(pkt(t, f, 1, seq as u16, 360));
             t += if f % 2 == 0 { 10 } else { 80 };
         }
         let gt = r.ground_truth(1);
-        assert!(gt[0].frame_jitter_ms > 10.0, "jitter {}", gt[0].frame_jitter_ms);
+        assert!(
+            gt[0].frame_jitter_ms > 10.0,
+            "jitter {}",
+            gt[0].frame_jitter_ms
+        );
     }
 
     #[test]
@@ -508,7 +521,11 @@ mod tests {
 
     #[test]
     fn mode_height_prefers_majority() {
-        let mk = |h| DecodedFrame { decode_ts: Timestamp::ZERO, frame_id: 0, height: h };
+        let mk = |h| DecodedFrame {
+            decode_ts: Timestamp::ZERO,
+            frame_id: 0,
+            height: h,
+        };
         assert_eq!(mode_height(&[mk(360), mk(180), mk(360)]), 360);
         assert_eq!(mode_height(&[]), 0);
     }

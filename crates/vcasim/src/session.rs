@@ -192,6 +192,7 @@ impl Session {
 
     /// Sends one packet through the link; on delivery, records it and
     /// queues the receiver-side arrival.
+    #[allow(clippy::too_many_arguments)]
     fn transmit(
         &mut self,
         now: Timestamp,
@@ -202,8 +203,7 @@ impl Session {
         frame_packets: u32,
         height: u32,
     ) {
-        let ip_total =
-            (IP_UDP_OVERHEAD + rtp.map_or(0, |_| RTP_OVERHEAD) + payload_len) as u16;
+        let ip_total = (IP_UDP_OVERHEAD + rtp.map_or(0, |_| RTP_OVERHEAD) + payload_len) as u16;
         if rtp.is_some() {
             *self.sent_rtp_per_sec.entry(now.second_index()).or_insert(0) += 1;
         }
@@ -249,8 +249,7 @@ impl Session {
             if self.cfg.profile.has_rtx && !nacks.is_empty() {
                 // NACK travels back over the reverse path, then the sender
                 // retransmits.
-                let owd =
-                    self.cfg.schedule.at(entry.at).delay_ms + 5.0;
+                let owd = self.cfg.schedule.at(entry.at).delay_ms + 5.0;
                 let when = entry.at + Timestamp::from_micros((owd * 1000.0) as i64);
                 for seq in nacks {
                     self.push_event(when.max(now), EventKind::Retransmit { seq });
@@ -265,10 +264,15 @@ impl Session {
 
         // Seed the event queue.
         for (i, cp) in self.control_schedule.clone().into_iter().enumerate() {
-            self.push_event(Timestamp::from_millis(cp.at_ms as i64), EventKind::Control(i));
+            self.push_event(
+                Timestamp::from_millis(cp.at_ms as i64),
+                EventKind::Control(i),
+            );
         }
         let media_start = Timestamp::from_millis(
-            self.control_schedule.last().map_or(200, |c| c.at_ms as i64 + 50),
+            self.control_schedule
+                .last()
+                .map_or(200, |c| c.at_ms as i64 + 50),
         );
         self.video_ts_offset = self.rng.gen();
         self.audio_ts_offset = self.rng.gen();
@@ -280,9 +284,14 @@ impl Session {
                 EventKind::RtxKeepalive,
             );
         }
-        self.push_event(Timestamp::from_millis(control::STUN_INTERVAL_MS as i64),
-            EventKind::StunKeepalive);
-        self.push_event(media_start + Timestamp::from_millis(500), EventKind::RtcpReport);
+        self.push_event(
+            Timestamp::from_millis(control::STUN_INTERVAL_MS as i64),
+            EventKind::StunKeepalive,
+        );
+        self.push_event(
+            media_start + Timestamp::from_millis(500),
+            EventKind::RtcpReport,
+        );
         self.push_event(Timestamp::from_secs(1), EventKind::RateUpdate);
 
         while let Some(Reverse((t, _, kind))) = self.events.pop() {
@@ -306,20 +315,36 @@ impl Session {
 
         let mut packets = std::mem::take(&mut self.packets);
         packets.sort_by_key(|p| (p.arrival_ts, p.send_ts));
-        let truth = self.receiver.ground_truth(i64::from(self.cfg.duration_secs));
-        SessionTrace { vca: self.cfg.profile.vca, packets, truth, duration_secs: self.cfg.duration_secs }
+        let truth = self
+            .receiver
+            .ground_truth(i64::from(self.cfg.duration_secs));
+        SessionTrace {
+            vca: self.cfg.profile.vca,
+            packets,
+            truth,
+            duration_secs: self.cfg.duration_secs,
+        }
     }
 
     fn on_video_frame(&mut self, t: Timestamp) {
         let target = self.rate.target_kbps();
-        let frame = self.frames.next_frame(target, self.current_fps, self.current_height);
+        let frame = self
+            .frames
+            .next_frame(target, self.current_fps, self.current_height);
         let policy = if self.rng.gen::<f64>() < self.cfg.profile.unequal_frag_prob {
             FragmentPolicy::Unequal
         } else {
             FragmentPolicy::Equal
         };
-        let parts = packetize(frame.size, self.cfg.profile.max_payload, policy, &mut self.rng);
-        let rtp_ts = RtpClock::video().ticks_for(t).wrapping_add(self.video_ts_offset);
+        let parts = packetize(
+            frame.size,
+            self.cfg.profile.max_payload,
+            policy,
+            &mut self.rng,
+        );
+        let rtp_ts = RtpClock::video()
+            .ticks_for(t)
+            .wrapping_add(self.video_ts_offset);
         let n = parts.len() as u32;
         let fid = self.frame_id;
         self.frame_id += 1;
@@ -352,7 +377,8 @@ impl Session {
         // sequence numbers can no longer be NACKed anyway.
         if self.rtx_map.len() > 4096 {
             let horizon = self.video_seq.wrapping_sub(2048);
-            self.rtx_map.retain(|&s, _| vcaml_rtp::seq_distance(s, horizon) >= 0);
+            self.rtx_map
+                .retain(|&s, _| vcaml_rtp::seq_distance(s, horizon) >= 0);
         }
         let next = t + Timestamp::from_micros((1e6 / self.current_fps) as i64);
         self.push_event(next, EventKind::VideoFrame);
@@ -365,7 +391,9 @@ impl Session {
         let hdr = RtpHeader::basic(
             self.cfg.profile.payload_map.audio,
             seq,
-            RtpClock::audio().ticks_for(t).wrapping_add(self.audio_ts_offset),
+            RtpClock::audio()
+                .ticks_for(t)
+                .wrapping_add(self.audio_ts_offset),
             0x0000_00a0,
             false,
         );
@@ -377,16 +405,21 @@ impl Session {
     }
 
     fn on_rtx_keepalive(&mut self, t: Timestamp) {
-        let payload = usize::from(self.cfg.profile.keepalive_size)
-            - IP_UDP_OVERHEAD
-            - RTP_OVERHEAD;
+        let payload = usize::from(self.cfg.profile.keepalive_size) - IP_UDP_OVERHEAD - RTP_OVERHEAD;
         let seq = self.rtx_seq;
         self.rtx_seq = self.rtx_seq.wrapping_add(1);
-        let pt = self.cfg.profile.payload_map.video_rtx.expect("rtx keepalive without rtx PT");
+        let pt = self
+            .cfg
+            .profile
+            .payload_map
+            .video_rtx
+            .expect("rtx keepalive without rtx PT");
         let hdr = RtpHeader::basic(
             pt,
             seq,
-            RtpClock::video().ticks_for(t).wrapping_add(self.video_ts_offset),
+            RtpClock::video()
+                .ticks_for(t)
+                .wrapping_add(self.video_ts_offset),
             0x0000_0111,
             false,
         );
@@ -422,7 +455,9 @@ impl Session {
         if !self.cfg.profile.has_rtx {
             return;
         }
-        let Some(info) = self.rtx_map.get_mut(&seq) else { return };
+        let Some(info) = self.rtx_map.get_mut(&seq) else {
+            return;
+        };
         if info.retransmitted {
             return;
         }
@@ -430,7 +465,12 @@ impl Session {
         let info = *info;
         let rtx_seq = self.rtx_seq;
         self.rtx_seq = self.rtx_seq.wrapping_add(1);
-        let pt = self.cfg.profile.payload_map.video_rtx.expect("retransmit without rtx PT");
+        let pt = self
+            .cfg
+            .profile
+            .payload_map
+            .video_rtx
+            .expect("retransmit without rtx PT");
         let hdr = RtpHeader::basic(pt, rtx_seq, info.rtp_ts, 0x0000_0111, false);
         // RFC 4588: original sequence number prefixes the payload.
         self.transmit(
@@ -565,9 +605,11 @@ mod tests {
     fn packets_sorted_and_classified() {
         let trace = run(VcaKind::Meet, good_network(), 10, 4);
         assert!(!trace.packets.is_empty());
-        assert!(trace.packets.windows(2).all(|w| w[0].arrival_ts <= w[1].arrival_ts));
-        let kinds: std::collections::HashSet<_> =
-            trace.packets.iter().map(|p| p.media).collect();
+        assert!(trace
+            .packets
+            .windows(2)
+            .all(|w| w[0].arrival_ts <= w[1].arrival_ts));
+        let kinds: std::collections::HashSet<_> = trace.packets.iter().map(|p| p.media).collect();
         assert!(kinds.contains(&MediaKind::Video));
         assert!(kinds.contains(&MediaKind::Audio));
         assert!(kinds.contains(&MediaKind::Control));
@@ -580,7 +622,11 @@ mod tests {
         for p in &trace.packets {
             match p.media {
                 MediaKind::Audio => {
-                    assert!((89..=385).contains(&p.ip_total_len), "audio {}", p.ip_total_len)
+                    assert!(
+                        (89..=385).contains(&p.ip_total_len),
+                        "audio {}",
+                        p.ip_total_len
+                    )
                 }
                 MediaKind::Video => {}
                 _ => {}
@@ -628,7 +674,10 @@ mod tests {
             .iter()
             .filter(|p| p.media == MediaKind::VideoRtx && p.ip_total_len != 304)
             .count();
-        assert!(rtx_data > 5, "only {rtx_data} retransmissions under 5% loss");
+        assert!(
+            rtx_data > 5,
+            "only {rtx_data} retransmissions under 5% loss"
+        );
     }
 
     #[test]
@@ -705,7 +754,10 @@ mod tests {
         let mut by_ts: HashMap<u32, Vec<u16>> = HashMap::new();
         for p in &trace.packets {
             if p.media == MediaKind::Video {
-                by_ts.entry(p.rtp.unwrap().timestamp).or_default().push(p.ip_total_len);
+                by_ts
+                    .entry(p.rtp.unwrap().timestamp)
+                    .or_default()
+                    .push(p.ip_total_len);
             }
         }
         let mut bad = 0;
@@ -730,7 +782,10 @@ mod tests {
         let mut by_ts: HashMap<u32, Vec<u16>> = HashMap::new();
         for p in &trace.packets {
             if p.media == MediaKind::Video {
-                by_ts.entry(p.rtp.unwrap().timestamp).or_default().push(p.ip_total_len);
+                by_ts
+                    .entry(p.rtp.unwrap().timestamp)
+                    .or_default()
+                    .push(p.ip_total_len);
             }
         }
         let mut bad = 0;
@@ -746,6 +801,9 @@ mod tests {
             }
         }
         let frac = f64::from(bad) / f64::from(multi.max(1));
-        assert!(frac > 0.01 && frac < 0.15, "unequal fraction {frac} ({bad}/{multi})");
+        assert!(
+            frac > 0.01 && frac < 0.15,
+            "unequal fraction {frac} ({bad}/{multi})"
+        );
     }
 }

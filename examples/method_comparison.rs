@@ -17,10 +17,21 @@ fn main() {
     let vca = VcaKind::Webex;
     let opts = PipelineOpts::paper(vca);
     println!("generating in-lab {vca} corpus...");
-    let traces =
-        inlab_corpus(vca, &CorpusConfig { n_calls: 10, min_secs: 30, max_secs: 50, seed: 3 });
+    let traces = inlab_corpus(
+        vca,
+        &CorpusConfig {
+            n_calls: 10,
+            min_secs: 30,
+            max_secs: 50,
+            seed: 3,
+        },
+    );
     let set = build_samples(&traces, &opts);
-    println!("{} windows from {} calls\n", set.samples.len(), traces.len());
+    println!(
+        "{} windows from {} calls\n",
+        set.samples.len(),
+        traces.len()
+    );
 
     println!(
         "{:<18} {:>14} {:>14} {:>16}",

@@ -2,17 +2,24 @@
 //! for many households *without* RTP access.
 //!
 //! Trains an IP/UDP-ML model on lab data once, then watches a fleet of
-//! real-world calls and raises alerts when the inferred frame rate drops —
+//! real-world calls — **interleaved into one packet feed, as a tap would
+//! deliver them** — through a sharded `FlowTable` that demuxes per-flow
+//! engine state, and raises alerts when the inferred frame rate drops:
 //! the "diagnose and react to QoE degradation" loop of §1.
 //!
 //! ```sh
 //! cargo run --release --example operator_monitor
 //! ```
 
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
 use vcaml_suite::datasets::{inlab_corpus, realworld_corpus, CorpusConfig};
 use vcaml_suite::mlcore::{Dataset, RandomForest, Task};
+use vcaml_suite::netpkt::{FlowKey, Timestamp};
 use vcaml_suite::rtp::VcaKind;
-use vcaml_suite::vcaml::{build_samples, PipelineOpts};
+use vcaml_suite::vcaml::{
+    build_samples, EngineConfig, FlowTable, IpUdpMlEngine, PipelineOpts, TracePacket,
+};
 
 fn main() {
     let vca = VcaKind::Meet;
@@ -20,46 +27,105 @@ fn main() {
 
     // --- Offline: train on the lab corpus (the operator's one-time cost).
     println!("training IP/UDP ML frame-rate model on lab data...");
-    let lab = inlab_corpus(vca, &CorpusConfig { n_calls: 12, min_secs: 30, max_secs: 45, seed: 1 });
+    let lab = inlab_corpus(
+        vca,
+        &CorpusConfig {
+            n_calls: 12,
+            min_secs: 30,
+            max_secs: 45,
+            seed: 1,
+        },
+    );
     let lab_set = build_samples(&lab, &opts);
     let mut train = Dataset::new(lab_set.ipudp_names.clone());
     for s in &lab_set.samples {
         train.push(&s.ipudp_features, s.truth.fps);
     }
     let model = RandomForest::fit(&train, Task::Regression, &opts.forest);
-    println!("model: {} trees on {} windows", model.n_trees(), train.len());
+    println!(
+        "model: {} trees on {} windows",
+        model.n_trees(),
+        train.len()
+    );
 
-    // --- Online: watch real-world calls, alert on sustained low FPS.
-    let calls =
-        realworld_corpus(vca, &CorpusConfig { n_calls: 15, min_secs: 15, max_secs: 25, seed: 7 });
-    let rw_set = build_samples(&calls, &opts);
+    // --- Online: one mixed feed of concurrent calls, one flow per
+    // household, demuxed by the canonical UDP 5-tuple.
+    let profiles = realworld_corpus(
+        vca,
+        &CorpusConfig {
+            n_calls: 15,
+            min_secs: 15,
+            max_secs: 25,
+            seed: 7,
+        },
+    );
+    let mut feed: Vec<(FlowKey, TracePacket)> = Vec::new();
+    let mut key_of_call = Vec::new();
+    for (call, trace) in profiles.iter().enumerate() {
+        let client = IpAddr::V4(Ipv4Addr::new(
+            10,
+            0,
+            (call / 250) as u8,
+            (call % 250) as u8 + 1,
+        ));
+        let relay = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 10));
+        let (key, _) = FlowKey::canonical(relay, 3478, client, 50_000 + call as u16, 17);
+        key_of_call.push(key);
+        feed.extend(trace.packets.iter().map(|p| (key, *p)));
+    }
+    // A tap delivers packets in global arrival order.
+    feed.sort_by_key(|(_, p)| p.ts);
 
+    let config = EngineConfig::paper(vca);
+    let mdl = model.clone();
+    let mut table = FlowTable::new(8, Timestamp::from_secs(30), move |_key: &FlowKey| {
+        IpUdpMlEngine::new(config).with_model(mdl.clone())
+    });
+
+    let mut inferred: HashMap<FlowKey, Vec<f64>> = HashMap::new();
+    for (key, pkt) in &feed {
+        for report in table.push(*key, pkt) {
+            if let Some(fps) = report.model_fps {
+                inferred.entry(*key).or_default().push(fps);
+            }
+        }
+    }
+    for (key, reports) in table.finish_all() {
+        for report in reports {
+            if let Some(fps) = report.model_fps {
+                inferred.entry(key).or_default().push(fps);
+            }
+        }
+    }
+
+    println!(
+        "\ndemuxed {} packets into {} flows across 8 shards",
+        feed.len(),
+        key_of_call.len()
+    );
     println!("\ncall  windows  inferred FPS (mean)  true FPS (mean)  verdict");
     let mut degraded = 0;
-    for call_id in 0..calls.len() {
-        let windows: Vec<_> =
-            rw_set.samples.iter().filter(|s| s.trace_id == call_id).collect();
-        if windows.is_empty() {
+    for (call, trace) in profiles.iter().enumerate() {
+        let Some(preds) = inferred.get(&key_of_call[call]) else {
             continue;
-        }
-        let inferred: f64 = windows.iter().map(|s| model.predict(&s.ipudp_features)).sum::<f64>()
-            / windows.len() as f64;
+        };
+        let mean: f64 = preds.iter().sum::<f64>() / preds.len() as f64;
         let truth: f64 =
-            windows.iter().map(|s| s.truth.fps).sum::<f64>() / windows.len() as f64;
-        let verdict = if inferred < 20.0 {
+            trace.truth.iter().map(|t| t.fps).sum::<f64>() / trace.truth.len().max(1) as f64;
+        let verdict = if mean < 20.0 {
             degraded += 1;
             "DEGRADED — investigate access link"
         } else {
             "ok"
         };
         println!(
-            "{call_id:>4}  {:>7}  {:>19.1}  {:>15.1}  {verdict}",
-            windows.len(),
-            inferred,
+            "{call:>4}  {:>7}  {:>19.1}  {:>15.1}  {verdict}",
+            preds.len(),
+            mean,
             truth
         );
     }
-    println!("\n{degraded}/{} calls flagged as degraded", calls.len());
+    println!("\n{degraded}/{} calls flagged as degraded", profiles.len());
 
     // What the model keys on — without ever reading an RTP header.
     println!("\ntop features:");

@@ -11,11 +11,13 @@
 use std::io::Cursor;
 use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
 use vcaml_suite::netpkt::{
-    EthernetFrame, EthernetRepr, EtherType, Ipv4Repr, LinkType, MacAddr, PcapReader, PcapWriter,
+    EtherType, EthernetFrame, EthernetRepr, Ipv4Repr, LinkType, MacAddr, PcapReader, PcapWriter,
     UdpDatagram, UdpRepr,
 };
 use vcaml_suite::rtp::{RtpHeader, VcaKind};
-use vcaml_suite::vcaml::{estimate_windows, HeuristicParams, IpUdpHeuristic, MediaClassifier};
+use vcaml_suite::vcaml::{
+    EngineConfig, IpUdpHeuristicEngine, MediaClassifier, QoeEstimator, TracePacket,
+};
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
 fn main() {
@@ -52,7 +54,11 @@ fn main() {
         }
         .emit(&mut frame[14..]);
         frame[42..].copy_from_slice(payload);
-        UdpRepr { src_port: cap.datagram.src_port, dst_port: cap.datagram.dst_port }.emit_v4(
+        UdpRepr {
+            src_port: cap.datagram.src_port,
+            dst_port: cap.datagram.dst_port,
+        }
+        .emit_v4(
             &mut frame[34..],
             payload.len(),
             [203, 0, 113, 10],
@@ -62,34 +68,49 @@ fn main() {
     }
     let pcap_bytes = writer.finish().expect("flush");
     std::fs::write("webex_call.pcap", &pcap_bytes).expect("write file");
-    println!("wrote webex_call.pcap: {} packets, {} bytes", captured.len(), pcap_bytes.len());
+    println!(
+        "wrote webex_call.pcap: {} packets, {} bytes",
+        captured.len(),
+        pcap_bytes.len()
+    );
 
-    // 3. Read it back and re-parse from raw bytes only.
+    // 3. Read it back, re-parse from raw bytes only, and stream each
+    //    packet straight into the unified engine — the exact loop a
+    //    monitor runs on a live tap.
     let mut reader = PcapReader::new(Cursor::new(pcap_bytes)).expect("pcap header");
-    let mut video_pkts = Vec::new();
-    let mut n_rtp = 0usize;
+    let mut engine = IpUdpHeuristicEngine::new(EngineConfig::paper(VcaKind::Webex));
     let classifier = MediaClassifier::default();
+    let mut reports = Vec::new();
+    let mut n_rtp = 0usize;
+    let mut n_video = 0usize;
     while let Some(rec) = reader.next_record().expect("read record") {
         let frame = EthernetFrame::new_checked(&rec.data[..]).expect("ethernet");
         assert_eq!(frame.ethertype(), EtherType::Ipv4);
-        let Some(dg) = UdpDatagram::parse(&rec.data).expect("udp parse") else { continue };
+        let Some(dg) = UdpDatagram::parse(&rec.data).expect("udp parse") else {
+            continue;
+        };
         if RtpHeader::parse(&dg.payload).is_ok() {
             n_rtp += 1;
         }
-        // The monitor's view: timestamp + IP total length.
         if dg.ip_total_len >= classifier.vmin {
-            video_pkts.push((rec.ts, dg.ip_total_len));
+            n_video += 1;
         }
+        // The monitor's view: timestamp + IP total length.
+        reports.extend(engine.push(&TracePacket {
+            ts: rec.ts,
+            size: dg.ip_total_len,
+            rtp: None,
+            truth_media: None,
+        }));
     }
-    println!("re-parsed: {n_rtp} RTP packets, {} video-classified", video_pkts.len());
+    reports.extend(engine.finish());
+    println!("re-parsed: {n_rtp} RTP packets, {n_video} video-classified");
 
-    // 4. QoE estimation straight from the re-parsed capture.
-    let (frames, _) =
-        IpUdpHeuristic::new(HeuristicParams::paper(VcaKind::Webex)).assemble(&video_pkts);
-    let est = estimate_windows(&frames, 20, 1);
+    // 4. Per-window QoE straight off the re-parsed capture.
     println!("\n  t   FPS  kbps");
-    for (t, e) in est.iter().enumerate() {
-        println!("{t:>3}  {:>4.0}  {:>5.0}", e.fps, e.bitrate_kbps);
+    for r in &reports {
+        let e = r.estimate.expect("heuristic engine reports estimates");
+        println!("{:>3}  {:>4.0}  {:>5.0}", r.window, e.fps, e.bitrate_kbps);
     }
     std::fs::remove_file("webex_call.pcap").ok();
 }

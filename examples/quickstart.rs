@@ -9,9 +9,7 @@
 use vcaml_suite::datasets::to_core_trace;
 use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
 use vcaml_suite::rtp::VcaKind;
-use vcaml_suite::vcaml::{
-    estimate_windows, HeuristicParams, IpUdpHeuristic, MediaClassifier,
-};
+use vcaml_suite::vcaml::{estimate_windows, HeuristicParams, IpUdpHeuristic, MediaClassifier};
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
 fn main() {
@@ -26,7 +24,11 @@ fn main() {
     })
     .run();
     let trace = to_core_trace(&session, profile.payload_map);
-    println!("captured {} packets over {} s", trace.packets.len(), trace.duration_secs);
+    println!(
+        "captured {} packets over {} s",
+        trace.packets.len(),
+        trace.duration_secs
+    );
 
     // 2. Media classification from packet sizes alone (no RTP access).
     let classifier = MediaClassifier::default();
@@ -55,5 +57,8 @@ fn main() {
             truth.second, e.fps, truth.fps, e.bitrate_kbps, truth.bitrate_kbps
         );
     }
-    println!("\nframe rate MAE: {:.2} FPS", abs_err / trace.truth.len() as f64);
+    println!(
+        "\nframe rate MAE: {:.2} FPS",
+        abs_err / trace.truth.len() as f64
+    );
 }

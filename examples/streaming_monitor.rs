@@ -3,16 +3,20 @@
 //! QoE report at every window boundary — the deployment shape a network
 //! operator actually needs.
 //!
+//! Two engines of the unified `QoeEstimator` trait run side by side on the
+//! same feed: the IP/UDP Heuristic (frame reconstruction) and IP/UDP ML
+//! (incremental features + a random-forest model trained offline).
+//!
 //! ```sh
 //! cargo run --release --example streaming_monitor
 //! ```
 
-use vcaml_suite::datasets::{inlab_corpus, CorpusConfig};
+use vcaml_suite::datasets::{inlab_corpus, to_core_trace, CorpusConfig};
 use vcaml_suite::mlcore::{Dataset, RandomForest, Task};
 use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    build_samples, HeuristicParams, MediaClassifier, PipelineOpts, StreamingEstimator,
+    build_samples, EngineConfig, IpUdpHeuristicEngine, IpUdpMlEngine, PipelineOpts, QoeEstimator,
 };
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
@@ -22,7 +26,15 @@ fn main() {
 
     // Train a frame-rate model offline (once).
     println!("training model...");
-    let lab = inlab_corpus(vca, &CorpusConfig { n_calls: 8, min_secs: 25, max_secs: 35, seed: 2 });
+    let lab = inlab_corpus(
+        vca,
+        &CorpusConfig {
+            n_calls: 8,
+            min_secs: 25,
+            max_secs: 35,
+            seed: 2,
+        },
+    );
     let set = build_samples(&lab, &opts);
     let mut train = Dataset::new(set.ipudp_names.clone());
     for s in &set.samples {
@@ -40,37 +52,39 @@ fn main() {
         link: LinkConfig::default(),
     })
     .run();
+    let trace = to_core_trace(&session, profile.payload_map);
 
-    let mut estimator = StreamingEstimator::new(
-        MediaClassifier::new(opts.vmin),
-        HeuristicParams::paper(vca),
-        1,
-        opts.theta_iat_us,
-    )
-    .with_model(model);
+    let config = EngineConfig::paper(vca);
+    let mut heur = IpUdpHeuristicEngine::new(config);
+    let mut ml = IpUdpMlEngine::new(config).with_model(model);
 
     println!("\n  t   heuristic FPS  model FPS  true FPS  kbps");
-    let mut reports = Vec::new();
-    for p in &session.packets {
-        reports.extend(estimator.push(p.arrival_ts, p.ip_total_len));
+    let mut heur_reports = Vec::new();
+    let mut ml_reports = Vec::new();
+    for p in &trace.packets {
+        heur_reports.extend(heur.push(p));
+        ml_reports.extend(ml.push(p));
     }
-    reports.push(estimator.finish());
-    for r in &reports {
-        let truth = session
+    heur_reports.extend(heur.finish());
+    ml_reports.extend(ml.finish());
+
+    for (h, m) in heur_reports.iter().zip(&ml_reports) {
+        let est = h.estimate.expect("heuristic engine reports estimates");
+        let truth = trace
             .truth
-            .get(r.window as usize)
+            .get(h.window as usize)
             .map_or(f64::NAN, |t| t.fps);
         println!(
             "{:>3}   {:>13.1}  {:>9.1}  {:>8.1}  {:>5.0}",
-            r.window,
-            r.heuristic.fps,
-            r.model_fps.unwrap_or(f64::NAN),
+            h.window,
+            est.fps,
+            m.model_fps.unwrap_or(f64::NAN),
             truth,
-            r.heuristic.bitrate_kbps,
+            est.bitrate_kbps,
         );
     }
     println!(
-        "\nstate is O(window): no trace is ever buffered — this loop can run \
-         per-flow on a monitoring box."
+        "\nstate is O(window) per flow: no trace is ever buffered — drop these \
+         engines into a FlowTable to monitor a whole access network."
     );
 }

@@ -1,0 +1,118 @@
+//! Derive macros for the in-repo `serde` shim.
+//!
+//! `#[derive(Serialize)]` emits a field-by-field `serde::Serialize` impl
+//! for plain (non-generic) named-field structs and a `Value::Null` impl
+//! otherwise; `#[derive(Deserialize)]` emits nothing (no code in the
+//! workspace deserializes). Hand-rolled token scanning keeps this shim
+//! free of `syn`/`quote`, which are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(is_struct, type_name, is_generic, body_group)`.
+fn parse_item(input: TokenStream) -> Option<(bool, String, bool, Option<TokenStream>)> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    _ => return None,
+                };
+                let mut generic = false;
+                let mut body = None;
+                for tt in iter {
+                    match &tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => generic = true,
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            body = Some(g.stream());
+                            break;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ';' => break,
+                        _ => {}
+                    }
+                }
+                return Some((kw == "struct", name, generic, body));
+            }
+        }
+    }
+    None
+}
+
+/// Collects named-field identifiers from a struct body: idents directly
+/// followed by `:` where the preceding token is not `:` (path segments)
+/// and we are outside any nested group.
+fn field_names(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Ident(id) if angle_depth == 0 => {
+                let followed_by_colon = matches!(
+                    tokens.get(i + 1),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':'
+                        && p.spacing() == proc_macro::Spacing::Alone
+                );
+                let preceded_ok = match i.checked_sub(1).map(|j| &tokens[j]) {
+                    None => true,
+                    Some(TokenTree::Punct(p)) => p.as_char() == ',',
+                    Some(TokenTree::Ident(prev)) => prev.to_string() == "pub",
+                    Some(TokenTree::Group(_)) => true, // after an attribute or pub(...)
+                    _ => false,
+                };
+                if followed_by_colon && preceded_ok {
+                    fields.push(id.to_string());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Some((is_struct, name, generic, body)) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    if generic {
+        return TokenStream::new();
+    }
+    let body_src = if is_struct {
+        match body.as_ref().map(field_names) {
+            Some(fields) if !fields.is_empty() => {
+                let mut s = String::from("let mut m = serde::Map::new();");
+                for f in fields {
+                    s.push_str(&format!(
+                        "m.insert(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}));"
+                    ));
+                }
+                s.push_str("serde::Value::Object(m)");
+                s
+            }
+            _ => String::from("serde::Value::Null"),
+        }
+    } else {
+        // Enums render as their Debug name: good enough for artifacts.
+        String::from("serde::Value::String(format!(\"{:?}\", self))")
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body_src} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives nothing: the workspace never deserializes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,12 +14,24 @@ use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
 fn small_opts(vca: VcaKind) -> PipelineOpts {
     let mut o = PipelineOpts::paper(vca);
-    o.forest = RandomForestParams { n_trees: 10, seed: 1, ..Default::default() };
+    o.forest = RandomForestParams {
+        n_trees: 10,
+        seed: 1,
+        ..Default::default()
+    };
     o
 }
 
 fn small_corpus(vca: VcaKind, seed: u64) -> Vec<vcaml_suite::vcaml::Trace> {
-    inlab_corpus(vca, &CorpusConfig { n_calls: 6, min_secs: 25, max_secs: 35, seed })
+    inlab_corpus(
+        vca,
+        &CorpusConfig {
+            n_calls: 6,
+            min_secs: 25,
+            max_secs: 35,
+            seed,
+        },
+    )
 }
 
 #[test]
@@ -86,7 +98,12 @@ fn lab_model_transfers_to_real_world() {
     let train = build_samples(&small_corpus(vca, 5), &opts);
     let rw = realworld_corpus(
         vca,
-        &CorpusConfig { n_calls: 8, min_secs: 15, max_secs: 20, seed: 6 },
+        &CorpusConfig {
+            n_calls: 8,
+            min_secs: 15,
+            max_secs: 20,
+            seed: 6,
+        },
     );
     let test = build_samples(&rw, &opts);
     let (p, t) = transfer_regression(&train, &test, Method::IpUdpMl, Target::FrameRate, &opts);
@@ -123,7 +140,11 @@ fn captured_bytes_roundtrip_through_pcap() {
         }
         .emit(&mut buf);
         buf[28..].copy_from_slice(payload);
-        vcaml_suite::netpkt::UdpRepr { src_port: 3478, dst_port: 51820 }.emit_v4(
+        vcaml_suite::netpkt::UdpRepr {
+            src_port: 3478,
+            dst_port: 51820,
+        }
+        .emit_v4(
             &mut buf[20..],
             payload.len(),
             [203, 0, 113, 10],

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use vcaml_suite::features::{microbursts, unique_sizes, windows_by_second, PktObs};
 use vcaml_suite::mlcore::{percentile, ConfusionMatrix};
 use vcaml_suite::netpkt::checksum::{checksum, verify, Checksum};
-use vcaml_suite::netpkt::{Ipv4Packet, Ipv4Repr, LinkType, PcapReader, PcapWriter, Timestamp, UdpPacket, UdpRepr};
+use vcaml_suite::netpkt::{
+    Ipv4Packet, Ipv4Repr, LinkType, PcapReader, PcapWriter, Timestamp, UdpPacket, UdpRepr,
+};
 use vcaml_suite::rtp::{seq_distance, seq_greater, RtpHeader, SequenceTracker};
 use vcaml_suite::vcaml::{HeuristicParams, IpUdpHeuristic};
 use vcaml_suite::vcasim::{packetize, FragmentPolicy};
