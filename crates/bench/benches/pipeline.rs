@@ -4,9 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::net::{IpAddr, Ipv4Addr};
+use vcaml::api::build_engine;
 use vcaml::{
-    build_samples, estimate_windows, EngineConfig, FlowTable, HeuristicParams, IpUdpHeuristic,
-    IpUdpHeuristicEngine, IpUdpMlEngine, MediaClassifier, PipelineOpts, QoeEstimator,
+    build_samples, estimate_windows, EngineConfig, EstimationMethod, HeuristicParams,
+    IpUdpHeuristic, MediaClassifier, Method, MonitorBuilder, PipelineOpts, QoeEstimator,
 };
 use vcaml_datasets::{inlab_corpus, to_core_trace, CorpusConfig};
 use vcaml_features::{ipudp_features, windows_by_second, PktObs, DEFAULT_THETA_IAT_US};
@@ -222,8 +223,8 @@ fn bench_batch_vs_engine(c: &mut Criterion) {
     });
     g.bench_function("engine_30s_trace", |b| {
         b.iter(|| {
-            let mut heur = IpUdpHeuristicEngine::new(config);
-            let mut ml = IpUdpMlEngine::new(config);
+            let mut heur = build_engine(Method::IpUdpHeuristic, config, trace.payload_map, None);
+            let mut ml = build_engine(Method::IpUdpMl, config, trace.payload_map, None);
             let mut n = 0usize;
             for p in &trace.packets {
                 n += heur.push(p).len();
@@ -235,11 +236,11 @@ fn bench_batch_vs_engine(c: &mut Criterion) {
     g.finish();
 }
 
-/// FlowTable throughput with 64 concurrent calls interleaved into one
-/// arrival-ordered feed — the multi-household monitoring shape.
+/// Monitor-facade throughput with 64 concurrent calls interleaved into
+/// one arrival-ordered feed — the multi-household monitoring shape,
+/// including the facade's demux, eviction sweep, and event bookkeeping.
 fn bench_flow_table_64_flows(c: &mut Criterion) {
     let trace = sample_trace();
-    let config = EngineConfig::paper(VcaKind::Teams);
     let mut feed: Vec<(FlowKey, vcaml::TracePacket)> = Vec::new();
     for flow in 0..64usize {
         let client = IpAddr::V4(Ipv4Addr::new(
@@ -265,14 +266,17 @@ fn bench_flow_table_64_flows(c: &mut Criterion) {
     g.throughput(Throughput::Elements(feed.len() as u64));
     g.bench_function("heuristic_64_flows", |b| {
         b.iter(|| {
-            let mut table = FlowTable::new(8, Timestamp::from_secs(60), move |_: &FlowKey| {
-                IpUdpHeuristicEngine::new(config)
-            });
-            let mut n = 0usize;
+            let mut monitor = MonitorBuilder::new(VcaKind::Teams)
+                .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+                .shards(8)
+                .idle_timeout(Timestamp::from_secs(60))
+                .build();
             for (key, p) in &feed {
-                n += table.push(*key, p).len();
+                monitor.ingest_packet(*key, *p);
             }
-            n + table.finish_all().len()
+            let mut n = monitor.pending_events();
+            n += monitor.finish().len();
+            n
         })
     });
     g.finish();

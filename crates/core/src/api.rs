@@ -1,0 +1,1350 @@
+//! The public monitoring facade: raw packets in, typed QoE events out.
+//!
+//! This module is the stable contract of the crate. A [`MonitorBuilder`]
+//! turns typed configuration — estimation method (with RTP-confidence
+//! fallback), [`StatsMode`], window length, idle-eviction policy, optional
+//! max-lag flush — into a [`Monitor`] that owns the flow demultiplexer and
+//! per-flow engines internally. Ingestion accepts raw link-layer bytes,
+//! raw IP bytes, decoded [`CapturedPacket`]s, or pre-parsed
+//! [`TracePacket`]s (for simulated feeds), performing the layered
+//! eth→ip→udp parse and the RTP parse-attempt itself; callers never touch
+//! `netpkt` internals. Output is a stream of [`QoeEvent`]s — window
+//! reports, flow lifecycle, classified parse drops — drained as an
+//! iterator or delivered to a callback sink, and serializable as JSON
+//! lines for dashboards and log shippers.
+//!
+//! The raw engines and `FlowTable` in [`crate::engine`] remain public for
+//! parity tests and benchmarks but are documented-unstable; everything
+//! else should come through here.
+//!
+//! ```
+//! use vcaml::api::{EstimationMethod, MonitorBuilder, QoeEvent};
+//! use vcaml::{Method, TracePacket};
+//! use vcaml_netpkt::{FlowKey, Timestamp};
+//! use vcaml_rtp::VcaKind;
+//!
+//! let mut monitor = MonitorBuilder::new(VcaKind::Teams)
+//!     .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+//!     .build();
+//! let (flow, _) = FlowKey::canonical(
+//!     "10.0.0.1".parse().unwrap(), 50_000,
+//!     "203.0.113.1".parse().unwrap(), 3_478, 17);
+//! // 3 seconds of 30 fps video, two ~1.1 kB packets per frame.
+//! for f in 0..90i64 {
+//!     for i in 0..2i64 {
+//!         monitor.ingest_packet(flow, TracePacket {
+//!             ts: Timestamp::from_micros(f * 33_333 + i * 300),
+//!             size: 1_100 + (f % 7) as u16,
+//!             rtp: None,
+//!             truth_media: None,
+//!         });
+//!     }
+//! }
+//! let events: Vec<QoeEvent> = monitor.finish();
+//! assert!(events.iter().any(|e| matches!(e, QoeEvent::FlowOpened { .. })));
+//! // Mid-stream windows arrive as WindowReport events; the sealed tail
+//! // rides on the end-of-stream FlowEvicted event.
+//! let windows: usize = events.iter().map(|e| match e {
+//!     QoeEvent::WindowReport { .. } => 1,
+//!     QoeEvent::FlowEvicted { final_reports, .. } => final_reports.len(),
+//!     _ => 0,
+//! }).sum();
+//! assert_eq!(windows, 3, "one report per elapsed second");
+//! ```
+
+use crate::engine::{EngineConfig, FlowTable, QoeEstimator, WindowReport};
+use crate::engine::{IpUdpHeuristicEngine, IpUdpMlEngine, RtpHeuristicEngine, RtpMlEngine};
+use crate::pipeline::Method;
+use crate::trace::TracePacket;
+use serde::{Map, Serialize, Value};
+use std::collections::{HashMap, VecDeque};
+use vcaml_features::StatsMode;
+use vcaml_mlcore::RandomForest;
+use vcaml_netpkt::pcap::PcapRecord;
+use vcaml_netpkt::{CapturedPacket, Error as NetError, FlowKey, LinkType, Timestamp, UdpDatagram};
+use vcaml_rtp::{PayloadMap, RtpHeader, VcaKind};
+
+/// A per-flow estimator behind the facade. `Send` so a future sharded
+/// monitor can move engines across worker threads.
+pub type BoxedEngine = Box<dyn QoeEstimator + Send>;
+
+/// Packets buffered per flow before the RTP-confidence decision is made
+/// (auto method selection only).
+pub const RTP_PROBATION_PACKETS: usize = 16;
+
+/// Fraction of probation packets that must parse as RTP for a flow to be
+/// assigned the RTP variant of an auto method. A majority suffices:
+/// real sessions lead with STUN/DTLS handshake packets that are not RTP,
+/// and the IP/UDP fallback is always sound, so the preference only needs
+/// media to be genuinely visible.
+pub const RTP_CONFIDENCE: f64 = 0.5;
+
+/// How often (in stream time) the monitor sweeps for idle flows.
+const EVICT_CHECK_US: i64 = 1_000_000;
+
+/// How a [`Monitor`] picks the estimation method for each flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimationMethod {
+    /// Every flow gets the named method.
+    Fixed(Method),
+    /// RTP Heuristic for flows whose early packets parse as RTP with
+    /// confidence (a monitor inside the application's trust boundary),
+    /// IP/UDP Heuristic otherwise.
+    AutoHeuristic,
+    /// RTP ML when RTP parses with confidence, IP/UDP ML otherwise.
+    AutoMl,
+}
+
+impl EstimationMethod {
+    /// Whether per-flow probation is needed before the method is known.
+    fn is_auto(&self) -> bool {
+        !matches!(self, EstimationMethod::Fixed(_))
+    }
+
+    /// The method used when RTP cannot be parsed confidently (and the
+    /// factory default for fixed selection).
+    fn fallback(&self) -> Method {
+        match self {
+            EstimationMethod::Fixed(m) => *m,
+            EstimationMethod::AutoHeuristic => Method::IpUdpHeuristic,
+            EstimationMethod::AutoMl => Method::IpUdpMl,
+        }
+    }
+
+    /// The method used when RTP parses with confidence.
+    fn preferred(&self) -> Method {
+        match self {
+            EstimationMethod::Fixed(m) => *m,
+            EstimationMethod::AutoHeuristic => Method::RtpHeuristic,
+            EstimationMethod::AutoMl => Method::RtpMl,
+        }
+    }
+}
+
+/// Why a raw packet was not ingested. Every packet offered to a
+/// [`Monitor`] is either routed to a flow or accounted for with one of
+/// these in a [`QoeEvent::ParseDrop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseDropReason {
+    /// The buffer ended before a protocol header did.
+    Truncated {
+        /// Protocol layer that ran out of bytes.
+        layer: &'static str,
+    },
+    /// A header field violated the codec's constraints (bad IHL, bad
+    /// version, length mismatch, unsupported fragmentation, ...).
+    Malformed {
+        /// Protocol layer that failed to decode.
+        layer: &'static str,
+        /// The violated constraint.
+        what: &'static str,
+    },
+    /// A header checksum did not verify.
+    Checksum {
+        /// Protocol layer whose checksum failed.
+        layer: &'static str,
+    },
+    /// Well-formed, but not a UDP packet (ARP, TCP, ICMP, non-IP
+    /// ethertype) — VCA media is UDP, so the monitor skips it.
+    NotUdp,
+    /// Capture timestamp before the epoch; outside every window.
+    NegativeTimestamp,
+}
+
+impl ParseDropReason {
+    /// Short machine-readable tag used in JSON output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ParseDropReason::Truncated { .. } => "truncated",
+            ParseDropReason::Malformed { .. } => "malformed",
+            ParseDropReason::Checksum { .. } => "checksum",
+            ParseDropReason::NotUdp => "not_udp",
+            ParseDropReason::NegativeTimestamp => "negative_timestamp",
+        }
+    }
+}
+
+impl From<&NetError> for ParseDropReason {
+    fn from(e: &NetError) -> Self {
+        match *e {
+            NetError::Truncated { layer, .. } => ParseDropReason::Truncated { layer },
+            NetError::Malformed { layer, what } => ParseDropReason::Malformed { layer, what },
+            NetError::Checksum { layer } => ParseDropReason::Checksum { layer },
+            // Unreachable from in-memory parsing; classified for totality.
+            NetError::BadMagic(_) => ParseDropReason::Malformed {
+                layer: "pcap",
+                what: "bad magic",
+            },
+            NetError::Io(_) => ParseDropReason::Malformed {
+                layer: "io",
+                what: "read error",
+            },
+        }
+    }
+}
+
+/// Why a flow left the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictReason {
+    /// No packet for longer than the idle timeout.
+    Idle,
+    /// [`Monitor::finish`] sealed every remaining flow.
+    EndOfStream,
+}
+
+/// One event from the monitor's structured output stream.
+#[derive(Debug, Clone)]
+pub enum QoeEvent {
+    /// First packet of a new flow was seen.
+    FlowOpened {
+        /// The flow's canonical 5-tuple.
+        flow: FlowKey,
+        /// Capture time of the first packet.
+        ts: Timestamp,
+    },
+    /// A prediction window was emitted for a flow.
+    WindowReport {
+        /// The flow the window belongs to.
+        flow: FlowKey,
+        /// The window's metrics (estimate or feature vector, per method).
+        report: WindowReport,
+        /// True for max-lag flush snapshots: the metrics are lower bounds
+        /// that a later final report for the same window supersedes.
+        provisional: bool,
+    },
+    /// A flow was sealed; its remaining windows ride along so the tail of
+    /// every call is observable even if the caller never polls.
+    FlowEvicted {
+        /// The flow's canonical 5-tuple.
+        flow: FlowKey,
+        /// Idle timeout or end of stream.
+        reason: EvictReason,
+        /// The flow's final windows, flushed by sealing.
+        final_reports: Vec<WindowReport>,
+    },
+    /// A packet could not be ingested; the reason classifies the drop.
+    ParseDrop {
+        /// Capture time of the dropped packet.
+        ts: Timestamp,
+        /// Why it was dropped.
+        reason: ParseDropReason,
+    },
+}
+
+impl QoeEvent {
+    /// Machine-readable event tag (the `type` field of the JSON form).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            QoeEvent::FlowOpened { .. } => "flow_opened",
+            QoeEvent::WindowReport { .. } => "window_report",
+            QoeEvent::FlowEvicted { .. } => "flow_evicted",
+            QoeEvent::ParseDrop { .. } => "parse_drop",
+        }
+    }
+
+    /// One compact JSON object per event — the JSON-lines form consumed
+    /// by dashboards and log shippers.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("event serialization is infallible")
+    }
+
+    /// The flow this event belongs to (`None` for [`QoeEvent::ParseDrop`],
+    /// which happens before flow attribution).
+    pub fn flow(&self) -> Option<FlowKey> {
+        match self {
+            QoeEvent::FlowOpened { flow, .. }
+            | QoeEvent::WindowReport { flow, .. }
+            | QoeEvent::FlowEvicted { flow, .. } => Some(*flow),
+            QoeEvent::ParseDrop { .. } => None,
+        }
+    }
+
+    /// The *finalized* window reports this event carries: the single
+    /// report of a non-provisional [`QoeEvent::WindowReport`], or an
+    /// eviction's sealed tail. Empty for everything else (including
+    /// provisional max-lag snapshots, which a later final report
+    /// supersedes) — so summing this across a monitor's whole event
+    /// stream yields each flow's windows exactly once.
+    pub fn final_reports(&self) -> &[WindowReport] {
+        match self {
+            QoeEvent::WindowReport {
+                report,
+                provisional: false,
+                ..
+            } => std::slice::from_ref(report),
+            QoeEvent::FlowEvicted { final_reports, .. } => final_reports,
+            _ => &[],
+        }
+    }
+}
+
+impl Serialize for QoeEvent {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("type".into(), Value::String(self.tag().into()));
+        match self {
+            QoeEvent::FlowOpened { flow, ts } => {
+                m.insert("flow".into(), Value::String(flow.to_string()));
+                m.insert("ts_us".into(), ts.as_micros().to_value());
+            }
+            QoeEvent::WindowReport {
+                flow,
+                report,
+                provisional,
+            } => {
+                m.insert("flow".into(), Value::String(flow.to_string()));
+                m.insert("provisional".into(), Value::Bool(*provisional));
+                m.insert("report".into(), report.to_value());
+            }
+            QoeEvent::FlowEvicted {
+                flow,
+                reason,
+                final_reports,
+            } => {
+                m.insert("flow".into(), Value::String(flow.to_string()));
+                m.insert(
+                    "reason".into(),
+                    Value::String(
+                        match reason {
+                            EvictReason::Idle => "idle",
+                            EvictReason::EndOfStream => "end_of_stream",
+                        }
+                        .into(),
+                    ),
+                );
+                m.insert("final_reports".into(), final_reports.to_value());
+            }
+            QoeEvent::ParseDrop { ts, reason } => {
+                m.insert("ts_us".into(), ts.as_micros().to_value());
+                m.insert("reason".into(), Value::String(reason.tag().into()));
+                match reason {
+                    ParseDropReason::Truncated { layer } | ParseDropReason::Checksum { layer } => {
+                        m.insert("layer".into(), Value::String((*layer).into()));
+                    }
+                    ParseDropReason::Malformed { layer, what } => {
+                        m.insert("layer".into(), Value::String((*layer).into()));
+                        m.insert("what".into(), Value::String((*what).into()));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+/// Running counters over everything a [`Monitor`] has seen.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct MonitorStats {
+    /// Packets routed to a flow engine.
+    pub packets: u64,
+    /// Packets dropped at parse time (see [`QoeEvent::ParseDrop`]).
+    pub parse_drops: u64,
+    /// Flows opened.
+    pub flows_opened: u64,
+    /// Flows evicted (idle or end of stream).
+    pub flows_evicted: u64,
+    /// Final window reports emitted.
+    pub window_reports: u64,
+    /// Provisional (max-lag flush) reports emitted.
+    pub provisional_reports: u64,
+}
+
+/// Typed configuration for a [`Monitor`].
+///
+/// Construct with [`MonitorBuilder::new`], chain the knobs you care
+/// about, and [`MonitorBuilder::build`]. Every knob has a paper-faithful
+/// default for the chosen VCA.
+pub struct MonitorBuilder {
+    vca: VcaKind,
+    method: EstimationMethod,
+    config: EngineConfig,
+    payload_map: PayloadMap,
+    model: Option<RandomForest>,
+    shards: usize,
+    idle_timeout: Timestamp,
+    flush_after: Option<u32>,
+    sink: Option<Box<dyn FnMut(QoeEvent) + Send>>,
+}
+
+impl MonitorBuilder {
+    /// Starts from the paper's configuration for a VCA: auto method
+    /// selection (RTP when it parses, IP/UDP otherwise), exact statistics,
+    /// 1-second windows, 8 shards, 60-second idle eviction, no max-lag
+    /// flush.
+    pub fn new(vca: VcaKind) -> Self {
+        MonitorBuilder {
+            vca,
+            method: EstimationMethod::AutoHeuristic,
+            config: EngineConfig::paper(vca),
+            payload_map: PayloadMap::lab(vca),
+            model: None,
+            shards: 8,
+            idle_timeout: Timestamp::from_secs(60),
+            flush_after: None,
+            sink: None,
+        }
+    }
+
+    /// Selects the estimation method (fixed, or RTP-confidence auto).
+    pub fn method(mut self, method: EstimationMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Order-statistic accumulation: `Exact` (batch-bit-compatible) or
+    /// `Sketch` (strict O(1) per-flow state).
+    pub fn stats_mode(mut self, stats: StatsMode) -> Self {
+        self.config.stats = stats;
+        self
+    }
+
+    /// Prediction window length in seconds (default 1).
+    pub fn window_secs(mut self, secs: u32) -> Self {
+        assert!(secs > 0, "zero window");
+        self.config.window_secs = secs;
+        self
+    }
+
+    /// Replaces the full engine configuration (power users; the other
+    /// knobs are views onto it).
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Payload-type → media mapping for the RTP methods (default: the
+    /// lab mapping of the chosen VCA).
+    pub fn payload_map(mut self, map: PayloadMap) -> Self {
+        self.payload_map = map;
+        self
+    }
+
+    /// Attaches a trained frame-rate model; ML engines include its
+    /// prediction in every report.
+    pub fn model(mut self, model: RandomForest) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Number of flow-table shards (default 8).
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "zero shards");
+        self.shards = n;
+        self
+    }
+
+    /// Evicts flows with no packet for this long, sealing their final
+    /// windows into a [`QoeEvent::FlowEvicted`] (default 60 s).
+    pub fn idle_timeout(mut self, timeout: Timestamp) -> Self {
+        assert!(timeout.as_micros() > 0, "non-positive idle timeout");
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Max-lag flush: after `k` packets on a flow without a finalized
+    /// window, emit provisional snapshots of its pending windows (marked
+    /// `provisional`; a later final report supersedes them). Default off —
+    /// exactness-first consumers see only final windows.
+    pub fn flush_after_packets(mut self, k: u32) -> Self {
+        assert!(k > 0, "zero flush threshold");
+        self.flush_after = Some(k);
+        self
+    }
+
+    /// Delivers events to a callback as they happen instead of queueing
+    /// them for [`Monitor::drain_events`].
+    pub fn sink(mut self, sink: impl FnMut(QoeEvent) + Send + 'static) -> Self {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Constructs the monitor.
+    pub fn build(self) -> Monitor {
+        let config = self.config;
+        let payload_map = self.payload_map;
+        // The facade always inserts engines explicitly (method selection
+        // can depend on probation evidence, not just the key), so the
+        // table's first-sight factory must never fire.
+        let table = FlowTable::new(self.shards, self.idle_timeout, |_: &FlowKey| {
+            unreachable!("the facade inserts engines explicitly")
+        });
+        Monitor {
+            wants_rtp: self.method.is_auto()
+                || matches!(
+                    self.method,
+                    EstimationMethod::Fixed(Method::RtpHeuristic | Method::RtpMl)
+                ),
+            method: self.method,
+            config,
+            payload_map,
+            model: self.model,
+            idle_timeout_us: self.idle_timeout.as_micros(),
+            flush_after: self.flush_after,
+            table,
+            meta: HashMap::new(),
+            pending: HashMap::new(),
+            now: None,
+            behind_streak: 0,
+            last_evict_us: i64::MIN,
+            events: VecDeque::new(),
+            sink: self.sink,
+            stats: MonitorStats::default(),
+            vca: self.vca,
+        }
+    }
+}
+
+impl std::fmt::Debug for MonitorBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorBuilder")
+            .field("vca", &self.vca)
+            .field("method", &self.method)
+            .field("window_secs", &self.config.window_secs)
+            .field("stats", &self.config.stats)
+            .field("shards", &self.shards)
+            .field("idle_timeout_us", &self.idle_timeout.as_micros())
+            .field("flush_after", &self.flush_after)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds one per-flow engine for a resolved method — the single
+/// construction point for the raw engines (the batch pipeline and the
+/// monitor both come through here).
+pub fn build_engine(
+    method: Method,
+    config: EngineConfig,
+    payload_map: PayloadMap,
+    model: Option<&RandomForest>,
+) -> BoxedEngine {
+    match method {
+        Method::IpUdpHeuristic => Box::new(IpUdpHeuristicEngine::new(config)),
+        Method::RtpHeuristic => Box::new(RtpHeuristicEngine::new(config, payload_map)),
+        Method::IpUdpMl => {
+            let engine = IpUdpMlEngine::new(config);
+            Box::new(match model {
+                Some(m) => engine.with_model(m.clone()),
+                None => engine,
+            })
+        }
+        Method::RtpMl => {
+            let engine = RtpMlEngine::new(config, payload_map);
+            Box::new(match model {
+                Some(m) => engine.with_model(m.clone()),
+                None => engine,
+            })
+        }
+    }
+}
+
+/// Per-flow facade bookkeeping (the engine itself lives in the table).
+struct FlowMeta {
+    /// Packets pushed since the last finalized window (max-lag flush).
+    since_report: u32,
+    /// Still buffering toward the RTP-confidence decision (auto methods
+    /// only); cached here so the hot path pays one map probe, not a
+    /// table lookup per packet.
+    probation: bool,
+}
+
+/// A flow still in RTP-confidence probation: packets buffered until the
+/// method decision.
+struct PendingFlow {
+    packets: Vec<TracePacket>,
+    rtp_ok: usize,
+    last_seen: Timestamp,
+}
+
+impl PendingFlow {
+    fn confident_rtp(&self) -> bool {
+        !self.packets.is_empty() && self.rtp_ok as f64 / self.packets.len() as f64 >= RTP_CONFIDENCE
+    }
+}
+
+/// A passive QoE monitor: feed it raw packets, read typed [`QoeEvent`]s.
+///
+/// Owns the sharded flow table and one estimation engine per active flow;
+/// flows idle past the configured timeout are evicted with their final
+/// windows attached to the eviction event, so no tail report is ever
+/// silently lost. See [`MonitorBuilder`] for configuration and the
+/// [module docs](self) for a runnable example.
+pub struct Monitor {
+    method: EstimationMethod,
+    config: EngineConfig,
+    payload_map: PayloadMap,
+    model: Option<RandomForest>,
+    idle_timeout_us: i64,
+    flush_after: Option<u32>,
+    /// Whether any configured method can consume an RTP header — gates
+    /// the per-packet RTP parse-attempt on the raw ingestion path.
+    wants_rtp: bool,
+    table: FlowTable<BoxedEngine>,
+    meta: HashMap<FlowKey, FlowMeta>,
+    pending: HashMap<FlowKey, PendingFlow>,
+    /// Stream clock: max ingest timestamp, bounded-advance so one corrupt
+    /// far-future timestamp cannot mass-evict healthy flows.
+    now: Option<Timestamp>,
+    /// Consecutive packets arriving more than one idle timeout behind
+    /// `now` — corroboration that `now` itself came from a corrupt
+    /// timestamp and must re-anchor backward.
+    behind_streak: u32,
+    last_evict_us: i64,
+    events: VecDeque<QoeEvent>,
+    sink: Option<Box<dyn FnMut(QoeEvent) + Send>>,
+    stats: MonitorStats,
+    vca: VcaKind,
+}
+
+impl Monitor {
+    /// Shorthand for [`MonitorBuilder::new`].
+    pub fn builder(vca: VcaKind) -> MonitorBuilder {
+        MonitorBuilder::new(vca)
+    }
+
+    /// The VCA profile the monitor was configured for.
+    pub fn vca(&self) -> VcaKind {
+        self.vca
+    }
+
+    /// Running ingest/emit counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// Flows currently tracked (probation included).
+    pub fn active_flows(&self) -> usize {
+        self.table.len() + self.pending.len()
+    }
+
+    /// Queued events not yet drained (always 0 when a sink is set).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Drains every queued event, oldest first.
+    pub fn drain_events(&mut self) -> impl Iterator<Item = QoeEvent> + '_ {
+        self.events.drain(..)
+    }
+
+    // -- ingestion ---------------------------------------------------------
+
+    /// Ingests one raw link-layer (Ethernet II) frame.
+    pub fn ingest_frame(&mut self, ts: Timestamp, frame: &[u8]) {
+        match UdpDatagram::parse(frame) {
+            Ok(Some(dg)) => self.ingest_datagram(ts, &dg),
+            Ok(None) => self.drop_packet(ts, ParseDropReason::NotUdp),
+            Err(e) => self.drop_packet(ts, ParseDropReason::from(&e)),
+        }
+    }
+
+    /// Ingests one raw IP packet (pcap `LINKTYPE_RAW` and friends).
+    pub fn ingest_ip(&mut self, ts: Timestamp, bytes: &[u8]) {
+        let parsed = match bytes.first().map(|b| b >> 4) {
+            Some(4) => UdpDatagram::parse_ipv4(bytes),
+            Some(6) => UdpDatagram::parse_ipv6(bytes),
+            Some(_) => Err(NetError::Malformed {
+                layer: "ip",
+                what: "version is neither 4 nor 6",
+            }),
+            None => Err(NetError::Truncated {
+                layer: "ip",
+                needed: 1,
+                got: 0,
+            }),
+        };
+        match parsed {
+            Ok(Some(dg)) => self.ingest_datagram(ts, &dg),
+            Ok(None) => self.drop_packet(ts, ParseDropReason::NotUdp),
+            Err(e) => self.drop_packet(ts, ParseDropReason::from(&e)),
+        }
+    }
+
+    /// Ingests one pcap record, dispatching on the file's link type.
+    pub fn ingest_pcap_record(&mut self, link: LinkType, rec: &PcapRecord) {
+        match link {
+            LinkType::Ethernet => self.ingest_frame(rec.ts, &rec.data),
+            LinkType::RawIp => self.ingest_ip(rec.ts, &rec.data),
+            LinkType::Other(_) => self.drop_packet(
+                rec.ts,
+                ParseDropReason::Malformed {
+                    layer: "pcap",
+                    what: "unsupported link type",
+                },
+            ),
+        }
+    }
+
+    /// Ingests one decoded capture (timestamp + UDP datagram).
+    pub fn ingest_captured(&mut self, cap: &CapturedPacket) {
+        self.ingest_datagram(cap.ts, &cap.datagram);
+    }
+
+    fn ingest_datagram(&mut self, ts: Timestamp, dg: &UdpDatagram) {
+        let (flow, _) = dg.flow_key();
+        // The RTP parse-attempt: confidence over these results decides
+        // the method for auto-configured monitors, and the header feeds
+        // the RTP engines. Non-RTP payloads simply leave `rtp` empty;
+        // fixed IP/UDP monitors (the paper's no-RTP-access deployment)
+        // skip the attempt entirely — nothing consumes it.
+        let rtp = if self.wants_rtp {
+            RtpHeader::parse(&dg.payload).ok()
+        } else {
+            None
+        };
+        self.ingest_packet(
+            flow,
+            TracePacket {
+                ts,
+                size: dg.ip_total_len,
+                rtp,
+                truth_media: None,
+            },
+        );
+    }
+
+    /// Ingests one pre-parsed packet on an explicit flow — the entry point
+    /// for simulated feeds and replays that never materialized wire bytes.
+    pub fn ingest_packet(&mut self, flow: FlowKey, pkt: TracePacket) {
+        if pkt.ts.as_micros() < 0 {
+            self.drop_packet(pkt.ts, ParseDropReason::NegativeTimestamp);
+            return;
+        }
+        self.advance_clock(pkt.ts);
+        self.stats.packets += 1;
+
+        let needs_probation = self.method.is_auto();
+        let (is_new, in_probation) = match self.meta.entry(flow) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(FlowMeta {
+                    since_report: 0,
+                    probation: needs_probation,
+                });
+                (true, needs_probation)
+            }
+            std::collections::hash_map::Entry::Occupied(slot) => (false, slot.get().probation),
+        };
+        if is_new {
+            self.stats.flows_opened += 1;
+            self.emit(QoeEvent::FlowOpened { flow, ts: pkt.ts });
+        }
+
+        if is_new && !in_probation {
+            let engine = build_engine(
+                self.method.fallback(),
+                self.config,
+                self.payload_map,
+                self.model.as_ref(),
+            );
+            self.table.insert(flow, engine, pkt.ts);
+        }
+
+        if in_probation {
+            let pending = self.pending.entry(flow).or_insert_with(|| PendingFlow {
+                packets: Vec::with_capacity(RTP_PROBATION_PACKETS),
+                rtp_ok: 0,
+                last_seen: pkt.ts,
+            });
+            pending.rtp_ok += usize::from(pkt.rtp.is_some());
+            // Bounded advance, like FlowTable's last_seen: one corrupt
+            // far-future timestamp must not exempt the flow from the
+            // idle sweep forever.
+            let bound = pending
+                .last_seen
+                .as_micros()
+                .saturating_add(self.idle_timeout_us);
+            pending.last_seen = pending
+                .last_seen
+                .max(Timestamp::from_micros(pkt.ts.as_micros().min(bound)));
+            pending.packets.push(pkt);
+            if pending.packets.len() >= RTP_PROBATION_PACKETS {
+                self.resolve_pending(flow);
+            }
+        } else {
+            let reports = self.table.push(flow, &pkt);
+            self.account_reports(flow, reports, 1);
+        }
+
+        self.maybe_evict();
+    }
+
+    /// Seals and reports every remaining flow, returning all queued
+    /// events (when a sink is set they have already been delivered and
+    /// the returned list holds only what the sink had not consumed —
+    /// i.e. nothing).
+    pub fn finish(mut self) -> Vec<QoeEvent> {
+        let keys: Vec<FlowKey> = self.pending.keys().copied().collect();
+        for flow in keys {
+            self.resolve_pending(flow);
+        }
+        let table = std::mem::replace(
+            &mut self.table,
+            FlowTable::new(1, Timestamp::from_secs(1), |_| unreachable!("drained")),
+        );
+        for (flow, final_reports) in table.finish_all() {
+            self.seal_flow(flow, EvictReason::EndOfStream, final_reports);
+        }
+        self.events.into_iter().collect()
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// Advances the stream clock by at most one idle timeout per packet,
+    /// so a single corrupt far-future timestamp (which the engines
+    /// quarantine) cannot fast-forward time and mass-evict healthy flows.
+    /// The inverse corruption — the *first* packet carrying the bogus
+    /// timestamp — would otherwise pin the clock forever (sane traffic is
+    /// all "in the past", and a pinned clock never sweeps idle flows
+    /// again); when enough consecutive packets agree the clock is more
+    /// than one idle timeout ahead of reality, it re-anchors backward.
+    fn advance_clock(&mut self, ts: Timestamp) {
+        let Some(now) = self.now else {
+            self.now = Some(ts);
+            return;
+        };
+        if now.as_micros().saturating_sub(ts.as_micros()) > self.idle_timeout_us {
+            self.behind_streak += 1;
+            if self.behind_streak >= crate::engine::DISCONTINUITY_CORROBORATION {
+                self.behind_streak = 0;
+                self.now = Some(ts);
+                self.last_evict_us = self.last_evict_us.min(ts.as_micros());
+            }
+            return;
+        }
+        self.behind_streak = 0;
+        self.now = Some(
+            now.max(Timestamp::from_micros(
+                ts.as_micros()
+                    .min(now.as_micros().saturating_add(self.idle_timeout_us)),
+            )),
+        );
+    }
+
+    /// Decides a probation flow's method from its RTP parse confidence,
+    /// builds the engine, and replays the buffered packets through it.
+    fn resolve_pending(&mut self, flow: FlowKey) {
+        let Some(pending) = self.pending.remove(&flow) else {
+            return;
+        };
+        let method = if pending.confident_rtp() {
+            self.method.preferred()
+        } else {
+            self.method.fallback()
+        };
+        let engine = build_engine(method, self.config, self.payload_map, self.model.as_ref());
+        let first_seen = pending.packets.first().map_or(pending.last_seen, |p| p.ts);
+        self.table.insert(flow, engine, first_seen);
+        if let Some(meta) = self.meta.get_mut(&flow) {
+            meta.probation = false;
+        }
+        let mut reports = Vec::new();
+        for pkt in &pending.packets {
+            reports.extend(self.table.push(flow, pkt));
+        }
+        self.account_reports(flow, reports, pending.packets.len() as u32);
+    }
+
+    /// Emits finalized reports for a flow and runs the max-lag flush
+    /// bookkeeping for the `pushed` packets that produced them.
+    fn account_reports(&mut self, flow: FlowKey, reports: Vec<WindowReport>, pushed: u32) {
+        let finalized = !reports.is_empty();
+        for report in reports {
+            self.stats.window_reports += 1;
+            self.emit(QoeEvent::WindowReport {
+                flow,
+                report,
+                provisional: false,
+            });
+        }
+        let Some(k) = self.flush_after else {
+            return;
+        };
+        let Some(meta) = self.meta.get_mut(&flow) else {
+            return;
+        };
+        meta.since_report = if finalized {
+            0
+        } else {
+            meta.since_report + pushed
+        };
+        if meta.since_report >= k {
+            meta.since_report = 0;
+            let snapshots = self
+                .table
+                .get_mut(&flow)
+                .map(|e| e.provisional())
+                .unwrap_or_default();
+            for report in snapshots {
+                self.stats.provisional_reports += 1;
+                self.emit(QoeEvent::WindowReport {
+                    flow,
+                    report,
+                    provisional: true,
+                });
+            }
+        }
+    }
+
+    /// Periodic idle sweep over both established and probation flows.
+    fn maybe_evict(&mut self) {
+        let Some(now) = self.now else { return };
+        if now.as_micros().saturating_sub(self.last_evict_us) < EVICT_CHECK_US {
+            return;
+        }
+        self.last_evict_us = now.as_micros();
+        for (flow, final_reports) in self.table.evict_idle(now) {
+            self.seal_flow(flow, EvictReason::Idle, final_reports);
+        }
+        // Like FlowTable::evict_idle: reclaim probation flows that went
+        // idle, and ones whose last_seen claims to be from far in the
+        // future (a corrupt timestamp that slipped in before clamping).
+        let deadline = now.as_micros() - self.idle_timeout_us;
+        let future_bound = now.as_micros().saturating_add(self.idle_timeout_us);
+        let stale: Vec<FlowKey> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| {
+                p.last_seen.as_micros() < deadline || p.last_seen.as_micros() > future_bound
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for flow in stale {
+            // Decide with whatever probation evidence exists, replay, and
+            // seal immediately: short flows still get their windows.
+            self.resolve_pending(flow);
+            if let Some(mut engine) = self.table.remove(&flow) {
+                self.seal_flow(flow, EvictReason::Idle, engine.finish());
+            }
+        }
+    }
+
+    fn seal_flow(&mut self, flow: FlowKey, reason: EvictReason, final_reports: Vec<WindowReport>) {
+        self.meta.remove(&flow);
+        self.stats.flows_evicted += 1;
+        self.stats.window_reports += final_reports.len() as u64;
+        self.emit(QoeEvent::FlowEvicted {
+            flow,
+            reason,
+            final_reports,
+        });
+    }
+
+    fn drop_packet(&mut self, ts: Timestamp, reason: ParseDropReason) {
+        self.stats.parse_drops += 1;
+        self.emit(QoeEvent::ParseDrop { ts, reason });
+    }
+
+    fn emit(&mut self, event: QoeEvent) {
+        match &mut self.sink {
+            Some(sink) => sink(event),
+            None => self.events.push_back(event),
+        }
+    }
+}
+
+impl std::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("vca", &self.vca)
+            .field("method", &self.method)
+            .field("active_flows", &self.active_flows())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn flow_key(n: u8) -> FlowKey {
+        let client = IpAddr::V4(Ipv4Addr::new(10, 0, 0, n));
+        let server = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 1));
+        FlowKey::canonical(server, 3478, client, 50_000 + u16::from(n), 17).0
+    }
+
+    fn pkt(us: i64, size: u16) -> TracePacket {
+        TracePacket {
+            ts: Timestamp::from_micros(us),
+            size,
+            rtp: None,
+            truth_media: None,
+        }
+    }
+
+    fn video_stream(secs: i64) -> Vec<TracePacket> {
+        let mut out = Vec::new();
+        for f in 0..secs * 30 {
+            let t0 = f * 33_333;
+            let size = 1000 + ((f % 9) * 13) as u16;
+            out.push(pkt(t0, size));
+            out.push(pkt(t0 + 300, size));
+        }
+        out
+    }
+
+    fn fixed(method: Method) -> MonitorBuilder {
+        MonitorBuilder::new(VcaKind::Teams).method(EstimationMethod::Fixed(method))
+    }
+
+    fn window_reports(events: &[QoeEvent]) -> Vec<&WindowReport> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                QoeEvent::WindowReport {
+                    report,
+                    provisional: false,
+                    ..
+                } => Some(report),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builder_defaults_are_paper_shaped() {
+        let m = MonitorBuilder::new(VcaKind::Webex).build();
+        assert_eq!(m.vca(), VcaKind::Webex);
+        assert_eq!(m.config.window_secs, 1);
+        assert_eq!(m.active_flows(), 0);
+        assert_eq!(m.stats().packets, 0);
+    }
+
+    #[test]
+    fn single_flow_emits_open_windows_and_seal() {
+        let mut m = fixed(Method::IpUdpHeuristic).build();
+        let flow = flow_key(1);
+        for p in video_stream(4) {
+            m.ingest_packet(flow, p);
+        }
+        let events = m.finish();
+        assert!(matches!(events[0], QoeEvent::FlowOpened { .. }));
+        // Mid-stream windows arrive as WindowReport events; the sealed
+        // tail rides on the eviction event. Together: one per second.
+        let (reason, final_reports) = events
+            .iter()
+            .find_map(|e| match e {
+                QoeEvent::FlowEvicted {
+                    reason,
+                    final_reports,
+                    ..
+                } => Some((reason, final_reports)),
+                _ => None,
+            })
+            .expect("finish seals the flow");
+        assert_eq!(*reason, EvictReason::EndOfStream);
+        let mut windows: Vec<u64> = window_reports(&events)
+            .iter()
+            .map(|r| r.window)
+            .chain(final_reports.iter().map(|r| r.window))
+            .collect();
+        windows.sort_unstable();
+        assert_eq!(windows, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn idle_eviction_surfaces_tail_reports() {
+        let mut m = fixed(Method::IpUdpHeuristic)
+            .idle_timeout(Timestamp::from_secs(5))
+            .build();
+        let a = flow_key(1);
+        let b = flow_key(2);
+        for p in video_stream(2) {
+            m.ingest_packet(a, p);
+        }
+        // Flow B keeps the clock moving long after A went idle.
+        for s in 0..10i64 {
+            m.ingest_packet(b, pkt(2_000_000 + s * 1_000_000, 1100));
+        }
+        let events: Vec<QoeEvent> = m.drain_events().collect();
+        let idle_evictions: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                QoeEvent::FlowEvicted {
+                    flow,
+                    reason: EvictReason::Idle,
+                    final_reports,
+                } => Some((flow, final_reports)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idle_evictions.len(), 1);
+        assert_eq!(*idle_evictions[0].0, a);
+        assert!(
+            !idle_evictions[0].1.is_empty(),
+            "tail windows ride on the eviction event"
+        );
+    }
+
+    #[test]
+    fn auto_method_picks_rtp_for_rtp_flows() {
+        use vcaml_rtp::RtpHeader;
+        let mut m = MonitorBuilder::new(VcaKind::Teams)
+            .method(EstimationMethod::AutoHeuristic)
+            .build();
+        let rtp_flow = flow_key(1);
+        let plain_flow = flow_key(2);
+        for f in 0..60i64 {
+            let t0 = f * 33_333;
+            for i in 0..2u16 {
+                let mut p = pkt(t0 + i64::from(i) * 300, 1100);
+                p.rtp = Some(RtpHeader::basic(
+                    102,
+                    (f * 2) as u16 + i,
+                    (f * 3000) as u32,
+                    1,
+                    i == 1,
+                ));
+                m.ingest_packet(rtp_flow, p);
+                m.ingest_packet(plain_flow, pkt(t0 + i64::from(i) * 300, 1100));
+            }
+        }
+        let events = m.finish();
+        let method_of = |flow: FlowKey| {
+            events
+                .iter()
+                .find_map(|e| match e {
+                    QoeEvent::WindowReport {
+                        flow: f, report, ..
+                    } if *f == flow => Some(report.method),
+                    _ => None,
+                })
+                .expect("flow reported")
+        };
+        assert_eq!(method_of(rtp_flow), Method::RtpHeuristic);
+        assert_eq!(method_of(plain_flow), Method::IpUdpHeuristic);
+    }
+
+    #[test]
+    fn probation_replay_matches_direct_engine() {
+        // Auto selection buffers the first packets; the replay must make
+        // the flow's reports identical to a never-buffered run.
+        let mut auto = MonitorBuilder::new(VcaKind::Teams)
+            .method(EstimationMethod::AutoHeuristic)
+            .build();
+        let mut direct = fixed(Method::IpUdpHeuristic).build();
+        let flow = flow_key(1);
+        for p in video_stream(3) {
+            auto.ingest_packet(flow, p);
+            direct.ingest_packet(flow, p);
+        }
+        let a = auto.finish();
+        let d = direct.finish();
+        let aw = window_reports(&a);
+        let dw = window_reports(&d);
+        assert_eq!(aw.len(), dw.len());
+        for (x, y) in aw.iter().zip(&dw) {
+            assert_eq!(x.window, y.window);
+            assert_eq!(x.estimate.unwrap(), y.estimate.unwrap());
+        }
+    }
+
+    #[test]
+    fn flush_after_packets_emits_provisional_windows() {
+        let mut m = fixed(Method::IpUdpHeuristic)
+            .flush_after_packets(16)
+            .build();
+        let flow = flow_key(1);
+        // One frame per second: nothing finalizes for a long time, so the
+        // max-lag flush is the only source of freshness.
+        for s in 0..3i64 {
+            for i in 0..20i64 {
+                m.ingest_packet(flow, pkt(s * 1_000_000 + i * 40_000, 1100));
+            }
+        }
+        let events: Vec<QoeEvent> = m.drain_events().collect();
+        let provisional = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    QoeEvent::WindowReport {
+                        provisional: true,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(provisional > 0, "expected provisional snapshots");
+        assert!(m.stats().provisional_reports as usize == provisional);
+    }
+
+    #[test]
+    fn default_has_no_provisional_reports() {
+        let mut m = fixed(Method::IpUdpHeuristic).build();
+        let flow = flow_key(1);
+        for p in video_stream(5) {
+            m.ingest_packet(flow, p);
+        }
+        let events = m.finish();
+        assert!(events.iter().all(|e| !matches!(
+            e,
+            QoeEvent::WindowReport {
+                provisional: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn sink_receives_events_instead_of_queue() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let mut m = fixed(Method::IpUdpHeuristic)
+            .sink(move |e| seen2.lock().unwrap().push(e.tag()))
+            .build();
+        let flow = flow_key(1);
+        for p in video_stream(2) {
+            m.ingest_packet(flow, p);
+        }
+        assert_eq!(m.pending_events(), 0);
+        let leftover = m.finish();
+        assert!(leftover.is_empty());
+        let tags = seen.lock().unwrap();
+        assert!(tags.contains(&"flow_opened"));
+        assert!(tags.contains(&"window_report"));
+        assert!(tags.contains(&"flow_evicted"));
+    }
+
+    #[test]
+    fn negative_timestamps_classified() {
+        let mut m = fixed(Method::IpUdpHeuristic).build();
+        m.ingest_packet(flow_key(1), pkt(-5, 1100));
+        let events: Vec<QoeEvent> = m.drain_events().collect();
+        assert!(matches!(
+            events[0],
+            QoeEvent::ParseDrop {
+                reason: ParseDropReason::NegativeTimestamp,
+                ..
+            }
+        ));
+        assert_eq!(m.stats().parse_drops, 1);
+        assert_eq!(m.active_flows(), 0);
+    }
+
+    #[test]
+    fn raw_frame_ingestion_parses_and_routes() {
+        use vcaml_netpkt::{EtherType, EthernetRepr, Ipv4Repr, MacAddr, UdpRepr};
+        let payload = [0x16u8; 40]; // DTLS-looking, not RTP
+        let eth = EthernetRepr {
+            src: MacAddr([2, 0, 0, 0, 0, 1]),
+            dst: MacAddr([2, 0, 0, 0, 0, 2]),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut frame = vec![0u8; 14 + 20 + 8 + payload.len()];
+        eth.emit(&mut frame);
+        Ipv4Repr {
+            src: [10, 0, 0, 1],
+            dst: [10, 0, 0, 2],
+            protocol: vcaml_netpkt::IP_PROTO_UDP,
+            payload_len: 8 + payload.len(),
+            ttl: 64,
+            ident: 7,
+        }
+        .emit(&mut frame[14..]);
+        frame[42..].copy_from_slice(&payload);
+        UdpRepr {
+            src_port: 40000,
+            dst_port: 50000,
+        }
+        .emit_v4(
+            &mut frame[34..],
+            payload.len(),
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+        );
+
+        let mut m = fixed(Method::IpUdpHeuristic).build();
+        m.ingest_frame(Timestamp::from_millis(1), &frame);
+        assert_eq!(m.stats().packets, 1);
+        assert_eq!(m.active_flows(), 1);
+
+        // Truncating below the Ethernet header classifies as truncated.
+        m.ingest_frame(Timestamp::from_millis(2), &frame[..10]);
+        assert_eq!(m.stats().parse_drops, 1);
+        let events: Vec<QoeEvent> = m.drain_events().collect();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            QoeEvent::ParseDrop {
+                reason: ParseDropReason::Truncated { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn json_lines_are_one_object_per_event() {
+        let mut m = fixed(Method::IpUdpHeuristic).build();
+        let flow = flow_key(1);
+        for p in video_stream(2) {
+            m.ingest_packet(flow, p);
+        }
+        m.ingest_packet(flow, pkt(-1, 100));
+        for e in m.finish() {
+            let line = e.to_json_line();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(!line.contains('\n'), "single line: {line}");
+            assert!(line.contains("\"type\""), "{line}");
+        }
+    }
+
+    #[test]
+    fn corrupt_first_timestamp_does_not_pin_the_clock() {
+        // A corrupt far-future timestamp on the very first packet must
+        // not anchor the stream clock a year ahead: sane traffic "in the
+        // past" re-anchors it backward, so idle sweeps keep working.
+        let year_us = 365 * 24 * 3_600i64 * 1_000_000;
+        let mut m = fixed(Method::IpUdpHeuristic)
+            .idle_timeout(Timestamp::from_secs(5))
+            .build();
+        let a = flow_key(1);
+        let b = flow_key(2);
+        m.ingest_packet(a, pkt(year_us, 1100));
+        for p in video_stream(2) {
+            m.ingest_packet(a, p);
+        }
+        // Flow B keeps the (re-anchored) clock moving after A goes idle.
+        for s in 0..10i64 {
+            m.ingest_packet(b, pkt(2_000_000 + s * 1_000_000, 1100));
+        }
+        let idle_evictions = m
+            .drain_events()
+            .filter(|e| {
+                matches!(
+                    e,
+                    QoeEvent::FlowEvicted {
+                        reason: EvictReason::Idle,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(
+            idle_evictions >= 1,
+            "idle sweeps must survive the corruption"
+        );
+        assert_eq!(m.active_flows(), 1, "only the live flow remains");
+    }
+
+    #[test]
+    fn corrupt_future_timestamp_does_not_mass_evict() {
+        let mut m = fixed(Method::IpUdpHeuristic)
+            .idle_timeout(Timestamp::from_secs(30))
+            .build();
+        let flow = flow_key(1);
+        m.ingest_packet(flow, pkt(0, 1100));
+        // A year-ahead corrupt timestamp advances the clock by at most one
+        // idle timeout, so the healthy flow survives the next sweep.
+        let year_us = 365 * 24 * 3_600i64 * 1_000_000;
+        m.ingest_packet(flow, pkt(year_us, 1100));
+        m.ingest_packet(flow, pkt(1_000_000, 1100));
+        assert_eq!(m.active_flows(), 1);
+        let evicted = m
+            .drain_events()
+            .filter(|e| matches!(e, QoeEvent::FlowEvicted { .. }))
+            .count();
+        assert_eq!(evicted, 0);
+    }
+}

@@ -1,6 +1,14 @@
 //! The unified incremental estimation engine (§7's "streaming versions of
 //! the methods", scaled out to many concurrent calls).
 //!
+//! **Stability: unstable internals.** This module is the machine room
+//! under the [`crate::api`] facade. It stays `pub` so parity tests and
+//! benchmarks can drive engines directly, but its types and signatures
+//! may change without notice; applications should construct monitors
+//! through [`crate::api::MonitorBuilder`] and consume
+//! [`crate::api::QoeEvent`]s instead of wiring engines and [`FlowTable`]s
+//! by hand.
+//!
 //! All four methods of the paper implement one trait — [`QoeEstimator`]:
 //! feed captured packets in arrival order via `push`, receive finalized
 //! [`WindowReport`]s as window boundaries become safe, and `finish` at end
@@ -179,6 +187,39 @@ pub trait QoeEstimator {
     /// The report an idle (empty) window produces — used by [`replay`] to
     /// pad a fixed-duration evaluation.
     fn empty_report(&self, window: u64) -> WindowReport;
+
+    /// Snapshots every window that has started but is not yet final —
+    /// the still-accumulating current window and, for the heuristic
+    /// engines, boundary windows held back by open frames. The reports
+    /// are *provisional*: metrics are lower bounds that the eventual
+    /// final report supersedes, and nothing is consumed from the engine.
+    /// Used by the facade's optional max-lag flush; engines that cannot
+    /// snapshot return nothing (the default).
+    fn provisional(&self) -> Vec<WindowReport> {
+        Vec::new()
+    }
+}
+
+impl<T: QoeEstimator + ?Sized> QoeEstimator for Box<T> {
+    fn method(&self) -> Method {
+        (**self).method()
+    }
+
+    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
+        (**self).push(pkt)
+    }
+
+    fn finish(&mut self) -> Vec<WindowReport> {
+        (**self).finish()
+    }
+
+    fn empty_report(&self, window: u64) -> WindowReport {
+        (**self).empty_report(window)
+    }
+
+    fn provisional(&self) -> Vec<WindowReport> {
+        (**self).provisional()
+    }
 }
 
 /// Tracks per-window video-packet counts for reporting.
@@ -194,6 +235,10 @@ impl ArrivalCounts {
 
     fn take(&mut self, window: u64) -> usize {
         self.counts.remove(&window).unwrap_or(0)
+    }
+
+    fn peek(&self, window: u64) -> usize {
+        self.counts.get(&window).copied().unwrap_or(0)
     }
 }
 
@@ -304,6 +349,25 @@ impl HeuristicState {
             video_packets: 0,
         }
     }
+
+    /// Snapshots every pending window (`next emission ..= clock`) without
+    /// consuming anything: frames still open in the assembler are not
+    /// included, so the estimates are lower bounds.
+    fn provisional(&self, method: Method) -> Vec<WindowReport> {
+        if !self.started {
+            return Vec::new();
+        }
+        (self.windower.next_window()..=self.clock)
+            .map(|w| WindowReport {
+                window: w,
+                method,
+                estimate: Some(self.windower.peek(w)),
+                features: None,
+                model_fps: None,
+                video_packets: self.counts.peek(w),
+            })
+            .collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -401,6 +465,10 @@ impl<S: FrameSource> HeuristicDriver<S> {
     fn empty_report(&self, window: u64) -> WindowReport {
         self.state.empty_report(self.method, window)
     }
+
+    fn provisional(&self) -> Vec<WindowReport> {
+        self.state.provisional(self.method)
+    }
 }
 
 /// Size-threshold classification feeding Algorithm 1.
@@ -488,6 +556,10 @@ impl QoeEstimator for IpUdpHeuristicEngine {
     fn empty_report(&self, window: u64) -> WindowReport {
         self.driver.empty_report(window)
     }
+
+    fn provisional(&self) -> Vec<WindowReport> {
+        self.driver.provisional()
+    }
 }
 
 /// Streaming RTP Heuristic: payload-type media classification, incremental
@@ -527,6 +599,10 @@ impl QoeEstimator for RtpHeuristicEngine {
 
     fn empty_report(&self, window: u64) -> WindowReport {
         self.driver.empty_report(window)
+    }
+
+    fn provisional(&self) -> Vec<WindowReport> {
+        self.driver.provisional()
     }
 }
 
@@ -589,6 +665,11 @@ impl MlWindowClock {
             w
         })
     }
+
+    /// The window currently accumulating, if any packet was seen.
+    fn in_progress(&self) -> Option<u64> {
+        self.started.then_some(self.current)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -631,17 +712,21 @@ impl IpUdpMlEngine {
     }
 
     fn emit_window(&mut self, window: u64) -> WindowReport {
+        let report = self.snapshot_window(window);
+        self.acc.reset();
+        report
+    }
+
+    fn snapshot_window(&self, window: u64) -> WindowReport {
         let features = self.acc.features(self.window_secs);
-        let report = WindowReport {
+        WindowReport {
             window,
             method: Method::IpUdpMl,
             estimate: None,
             model_fps: self.model.as_ref().map(|m| m.predict(&features)),
             video_packets: self.acc.packets() as usize,
             features: Some(features),
-        };
-        self.acc.reset();
-        report
+        }
     }
 }
 
@@ -676,6 +761,13 @@ impl QoeEstimator for IpUdpMlEngine {
             features: Some(self.empty_features.clone()),
             model_fps: None,
             video_packets: 0,
+        }
+    }
+
+    fn provisional(&self) -> Vec<WindowReport> {
+        match self.clock.in_progress() {
+            Some(w) => vec![self.snapshot_window(w)],
+            None => Vec::new(),
         }
     }
 }
@@ -729,20 +821,24 @@ impl RtpMlEngine {
     }
 
     fn emit_window(&mut self, window: u64) -> WindowReport {
+        let report = self.snapshot_window(window);
+        self.flow.reset();
+        self.rtp.reset();
+        self.video_packets = 0;
+        report
+    }
+
+    fn snapshot_window(&self, window: u64) -> WindowReport {
         let mut features = self.flow.features(self.window_secs);
         features.extend(self.rtp.features(self.lag_ref));
-        let report = WindowReport {
+        WindowReport {
             window,
             method: Method::RtpMl,
             estimate: None,
             model_fps: self.model.as_ref().map(|m| m.predict(&features)),
             video_packets: self.video_packets,
             features: Some(features),
-        };
-        self.flow.reset();
-        self.rtp.reset();
-        self.video_packets = 0;
-        report
+        }
     }
 }
 
@@ -792,6 +888,13 @@ impl QoeEstimator for RtpMlEngine {
             features: Some(self.empty_features.clone()),
             model_fps: None,
             video_packets: 0,
+        }
+    }
+
+    fn provisional(&self) -> Vec<WindowReport> {
+        match self.clock.in_progress() {
+            Some(w) => vec![self.snapshot_window(w)],
+            None => Vec::new(),
         }
     }
 }
@@ -890,6 +993,28 @@ impl<E: QoeEstimator> FlowTable<E> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Inserts a pre-built engine for `key`, replacing any existing one.
+    /// The facade uses this when engine selection depends on more than the
+    /// flow key (RTP-confidence probation); plain [`Self::push`] creation
+    /// goes through the factory.
+    pub fn insert(&mut self, key: FlowKey, engine: E, last_seen: Timestamp) {
+        let shard = self.shard_of(&key);
+        self.shards[shard].insert(key, FlowEntry { engine, last_seen });
+    }
+
+    /// Mutable access to a flow's engine, if tracked.
+    pub fn get_mut(&mut self, key: &FlowKey) -> Option<&mut E> {
+        let shard = self.shard_of(key);
+        self.shards[shard].get_mut(key).map(|e| &mut e.engine)
+    }
+
+    /// Removes a flow's engine without finishing it; the caller owns any
+    /// remaining flush.
+    pub fn remove(&mut self, key: &FlowKey) -> Option<E> {
+        let shard = self.shard_of(key);
+        self.shards[shard].remove(key).map(|e| e.engine)
     }
 
     /// Routes one packet to its flow's engine (creating it on first

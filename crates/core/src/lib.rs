@@ -3,6 +3,11 @@
 //! Rust implementation of the methods in *"Estimating WebRTC Video QoE
 //! Metrics Without Using Application Headers"* (IMC 2023):
 //!
+//! * [`api`] — **the public monitoring facade and the crate's stable
+//!   contract**: [`api::MonitorBuilder`] → [`api::Monitor`] → a stream of
+//!   [`api::QoeEvent`]s, with raw-packet ingestion (eth→ip→udp layered
+//!   parse, RTP parse-attempt with confidence fallback), idle eviction
+//!   that surfaces final windows, and JSON-lines output;
 //! * [`media`] — video/non-video packet classification from packet sizes
 //!   alone (the `Vmin` threshold, §3.1);
 //! * [`heuristic`] — the **IP/UDP Heuristic**: frame-boundary detection
@@ -15,11 +20,12 @@
 //! * [`qoe`] — frame-sequence → per-window frame rate / bitrate / frame
 //!   jitter estimators (§3.2.1), implemented as the incremental
 //!   [`qoe::QoeWindower`];
-//! * [`engine`] — the unified streaming engine: all four methods behind
-//!   the [`engine::QoeEstimator`] trait (`push`/`finish`), plus the
-//!   sharded, flow-keyed [`engine::FlowTable`] that monitors many
-//!   concurrent calls in one process (§7's "streaming versions of the
-//!   methods");
+//! * [`engine`] — the unified streaming engine underneath the facade:
+//!   all four methods behind the [`engine::QoeEstimator`] trait
+//!   (`push`/`finish`), plus the sharded, flow-keyed [`engine::FlowTable`]
+//!   that monitors many concurrent calls in one process (§7's "streaming
+//!   versions of the methods"). *Unstable internals* — construct through
+//!   [`api`] unless you are a parity test or a benchmark;
 //! * [`pipeline`] — the **IP/UDP ML** and **RTP ML** methods: feature
 //!   extraction (a replay over the engines), 5-fold cross-validated
 //!   random forests, transfer evaluation, and feature importances
@@ -36,6 +42,7 @@
 //! inputs through the same incremental state machines the engines drive
 //! packet-by-packet, so the two paths produce identical windows.
 
+pub mod api;
 pub mod engine;
 pub mod errors;
 pub mod frames;
@@ -48,10 +55,12 @@ pub mod resolution;
 pub mod rtp_heuristic;
 pub mod trace;
 
-pub use engine::{
-    replay, replay_packets, EngineConfig, FlowTable, IpUdpHeuristicEngine, IpUdpMlEngine,
-    QoeEstimator, RtpHeuristicEngine, RtpMlEngine, WindowReport,
+pub use api::{
+    EstimationMethod, EvictReason, Monitor, MonitorBuilder, MonitorStats, ParseDropReason, QoeEvent,
 };
+// The concrete engines, `FlowTable`, and `replay` stay at their
+// `engine::` paths only: they are unstable internals behind the facade.
+pub use engine::{EngineConfig, QoeEstimator, WindowReport};
 pub use frames::Frame;
 pub use heuristic::{HeuristicParams, IpUdpAssembler, IpUdpHeuristic};
 pub use media::MediaClassifier;

@@ -8,9 +8,8 @@
 //! engine per method, so the batch evaluation exercises exactly the code a
 //! live monitor runs (no separate batch windowing/frame-assembly path).
 
-use crate::engine::{
-    replay, EngineConfig, IpUdpHeuristicEngine, IpUdpMlEngine, RtpHeuristicEngine, RtpMlEngine,
-};
+use crate::api::build_engine;
+use crate::engine::{replay, EngineConfig};
 use crate::heuristic::HeuristicParams;
 use crate::qoe::QoeEstimate;
 use crate::resolution::ResolutionScheme;
@@ -213,14 +212,19 @@ pub fn build_samples(traces: &[Trace], opts: &PipelineOpts) -> SampleSet {
         if !trace.is_complete() {
             continue; // §4.1 filtering
         }
-        let heur_r = replay(&mut IpUdpHeuristicEngine::new(config), trace, w);
-        let ip_ml_r = replay(&mut IpUdpMlEngine::new(config), trace, w);
-        let rtp_heur_r = replay(
-            &mut RtpHeuristicEngine::new(config, trace.payload_map),
-            trace,
-            w,
-        );
-        let rtp_ml_r = replay(&mut RtpMlEngine::new(config, trace.payload_map), trace, w);
+        // One replay per method, each through an engine built by the
+        // facade's single construction point.
+        let run = |method: Method| {
+            replay(
+                &mut build_engine(method, config, trace.payload_map, None),
+                trace,
+                w,
+            )
+        };
+        let heur_r = run(Method::IpUdpHeuristic);
+        let ip_ml_r = run(Method::IpUdpMl);
+        let rtp_heur_r = run(Method::RtpHeuristic);
+        let rtp_ml_r = run(Method::RtpMl);
 
         for wi in 0..heur_r.len() {
             // Truth rows covered by this window.

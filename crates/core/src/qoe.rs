@@ -120,6 +120,16 @@ impl QoeWindower {
         self.estimate(Vec::new())
     }
 
+    /// Estimates a not-yet-final window from the frames sealed into it so
+    /// far, without emitting it. More frames may still arrive, so the
+    /// result is a lower bound on frame count and bitrate — the
+    /// "provisional window" the max-lag flush publishes for dashboards
+    /// that prefer freshness over exactness.
+    pub fn peek(&self, window: u64) -> QoeEstimate {
+        let frames = self.open.get(&window).cloned().unwrap_or_default();
+        self.estimate(frames)
+    }
+
     fn estimate(&self, mut frames: Vec<(u64, Timestamp, usize)>) -> QoeEstimate {
         // End-time order, creation order breaking ties — the same order
         // the batch stable sort produced.

@@ -10,7 +10,7 @@ use vcaml_netpkt::Timestamp;
 
 /// How many of the most recently opened frames a new packet is matched
 /// against. A frame older than that can never change again and is sealed.
-const SCAN_DEPTH: usize = 16;
+pub const SCAN_DEPTH: usize = 16;
 
 struct Acc {
     id: u64,

@@ -64,8 +64,8 @@ impl RtpWindow {
 /// Incremental accumulator for the 12 RTP features of one window.
 ///
 /// State is bounded by the window's content (unique timestamp sets and one
-/// entry per frame observed in the window) and cleared by [`reset`]
-/// (`RtpWindowAcc::reset`) at window boundaries.
+/// entry per frame observed in the window) and cleared by
+/// [`RtpWindowAcc::reset`] at window boundaries.
 #[derive(Debug, Clone, Default)]
 pub struct RtpWindowAcc {
     vid_ts: HashSet<u32>,

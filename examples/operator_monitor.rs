@@ -3,9 +3,9 @@
 //!
 //! Trains an IP/UDP-ML model on lab data once, then watches a fleet of
 //! real-world calls — **interleaved into one packet feed, as a tap would
-//! deliver them** — through a sharded `FlowTable` that demuxes per-flow
-//! engine state, and raises alerts when the inferred frame rate drops:
-//! the "diagnose and react to QoE degradation" loop of §1.
+//! deliver them** — through a single `vcaml::api::Monitor` that demuxes
+//! per-flow state internally, and raises alerts when the inferred frame
+//! rate drops: the "diagnose and react to QoE degradation" loop of §1.
 //!
 //! ```sh
 //! cargo run --release --example operator_monitor
@@ -18,7 +18,7 @@ use vcaml_suite::mlcore::{Dataset, RandomForest, Task};
 use vcaml_suite::netpkt::{FlowKey, Timestamp};
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    build_samples, EngineConfig, FlowTable, IpUdpMlEngine, PipelineOpts, TracePacket,
+    build_samples, EstimationMethod, Method, MonitorBuilder, PipelineOpts, TracePacket,
 };
 
 fn main() {
@@ -76,32 +76,30 @@ fn main() {
     // A tap delivers packets in global arrival order.
     feed.sort_by_key(|(_, p)| p.ts);
 
-    let config = EngineConfig::paper(vca);
-    let mdl = model.clone();
-    let mut table = FlowTable::new(8, Timestamp::from_secs(30), move |_key: &FlowKey| {
-        IpUdpMlEngine::new(config).with_model(mdl.clone())
-    });
+    let mut monitor = MonitorBuilder::new(vca)
+        .method(EstimationMethod::Fixed(Method::IpUdpMl))
+        .model(model.clone())
+        .shards(8)
+        .idle_timeout(Timestamp::from_secs(30))
+        .build();
 
     let mut inferred: HashMap<FlowKey, Vec<f64>> = HashMap::new();
     for (key, pkt) in &feed {
-        for report in table.push(*key, pkt) {
-            if let Some(fps) = report.model_fps {
-                inferred.entry(*key).or_default().push(fps);
-            }
-        }
+        monitor.ingest_packet(*key, *pkt);
     }
-    for (key, reports) in table.finish_all() {
-        for report in reports {
+    let stats = monitor.stats();
+    for event in monitor.finish() {
+        let Some(flow) = event.flow() else { continue };
+        for report in event.final_reports() {
             if let Some(fps) = report.model_fps {
-                inferred.entry(key).or_default().push(fps);
+                inferred.entry(flow).or_default().push(fps);
             }
         }
     }
 
     println!(
         "\ndemuxed {} packets into {} flows across 8 shards",
-        feed.len(),
-        key_of_call.len()
+        stats.packets, stats.flows_opened
     );
     println!("\ncall  windows  inferred FPS (mean)  true FPS (mean)  verdict");
     let mut degraded = 0;

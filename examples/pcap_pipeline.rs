@@ -1,8 +1,8 @@
 //! Wire-format round trip: export a simulated call as a standard libpcap
-//! file (openable in Wireshark/tcpdump), read it back, re-parse every
-//! packet from raw bytes, and run the QoE pipeline on the re-parsed trace
-//! — demonstrating that the estimator consumes nothing beyond what a
-//! packet capture contains.
+//! file (openable in Wireshark/tcpdump), read it back, and stream every
+//! raw record into a `vcaml::api::Monitor` — demonstrating that the
+//! estimator consumes nothing beyond what a packet capture contains, and
+//! that malformed records are classified instead of crashing the monitor.
 //!
 //! ```sh
 //! cargo run --release --example pcap_pipeline
@@ -11,13 +11,11 @@
 use std::io::Cursor;
 use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
 use vcaml_suite::netpkt::{
-    EtherType, EthernetFrame, EthernetRepr, Ipv4Repr, LinkType, MacAddr, PcapReader, PcapWriter,
-    UdpDatagram, UdpRepr,
+    EtherType, EthernetRepr, Ipv4Repr, LinkType, MacAddr, PcapReader, PcapWriter, Timestamp,
+    UdpRepr,
 };
-use vcaml_suite::rtp::{RtpHeader, VcaKind};
-use vcaml_suite::vcaml::{
-    EngineConfig, IpUdpHeuristicEngine, MediaClassifier, QoeEstimator, TracePacket,
-};
+use vcaml_suite::rtp::VcaKind;
+use vcaml_suite::vcaml::{EstimationMethod, Method, MonitorBuilder, QoeEvent};
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
 fn main() {
@@ -66,51 +64,51 @@ fn main() {
         );
         writer.write_packet(cap.ts, &frame).expect("write record");
     }
+    // A deliberately truncated record: real captures contain garbage, and
+    // the monitor must classify it rather than fall over.
+    writer
+        .write_packet(Timestamp::from_secs(21), &[0x02, 0x00, 0x00])
+        .expect("write runt record");
     let pcap_bytes = writer.finish().expect("flush");
     std::fs::write("webex_call.pcap", &pcap_bytes).expect("write file");
     println!(
         "wrote webex_call.pcap: {} packets, {} bytes",
-        captured.len(),
+        captured.len() + 1,
         pcap_bytes.len()
     );
 
-    // 3. Read it back, re-parse from raw bytes only, and stream each
-    //    packet straight into the unified engine — the exact loop a
-    //    monitor runs on a live tap.
+    // 3. Read it back and feed the raw records straight into the monitor
+    //    — the exact loop a live tap runs. The facade does the layered
+    //    eth→ip→udp parse and the RTP parse-attempt itself.
     let mut reader = PcapReader::new(Cursor::new(pcap_bytes)).expect("pcap header");
-    let mut engine = IpUdpHeuristicEngine::new(EngineConfig::paper(VcaKind::Webex));
-    let classifier = MediaClassifier::default();
-    let mut reports = Vec::new();
-    let mut n_rtp = 0usize;
-    let mut n_video = 0usize;
+    let link = reader.link_type();
+    let mut monitor = MonitorBuilder::new(VcaKind::Webex)
+        .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+        .build();
     while let Some(rec) = reader.next_record().expect("read record") {
-        let frame = EthernetFrame::new_checked(&rec.data[..]).expect("ethernet");
-        assert_eq!(frame.ethertype(), EtherType::Ipv4);
-        let Some(dg) = UdpDatagram::parse(&rec.data).expect("udp parse") else {
-            continue;
-        };
-        if RtpHeader::parse(&dg.payload).is_ok() {
-            n_rtp += 1;
-        }
-        if dg.ip_total_len >= classifier.vmin {
-            n_video += 1;
-        }
-        // The monitor's view: timestamp + IP total length.
-        reports.extend(engine.push(&TracePacket {
-            ts: rec.ts,
-            size: dg.ip_total_len,
-            rtp: None,
-            truth_media: None,
-        }));
+        monitor.ingest_pcap_record(link, &rec);
     }
-    reports.extend(engine.finish());
-    println!("re-parsed: {n_rtp} RTP packets, {n_video} video-classified");
+    let stats = monitor.stats();
+    println!(
+        "re-parsed {} packets ({} classified drops)",
+        stats.packets, stats.parse_drops
+    );
 
     // 4. Per-window QoE straight off the re-parsed capture.
     println!("\n  t   FPS  kbps");
-    for r in &reports {
-        let e = r.estimate.expect("heuristic engine reports estimates");
-        println!("{:>3}  {:>4.0}  {:>5.0}", r.window, e.fps, e.bitrate_kbps);
+    for event in monitor.finish() {
+        if let QoeEvent::ParseDrop { ts, reason } = &event {
+            println!(
+                "  (dropped record at t={}s: {:?})",
+                ts.as_secs_f64(),
+                reason
+            );
+            continue;
+        }
+        for r in event.final_reports() {
+            let e = r.estimate.expect("heuristic reports carry estimates");
+            println!("{:>3}  {:>4.0}  {:>5.0}", r.window, e.fps, e.bitrate_kbps);
+        }
     }
     std::fs::remove_file("webex_call.pcap").ok();
 }

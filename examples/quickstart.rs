@@ -1,19 +1,19 @@
-//! Quickstart: simulate one Teams call over an emulated access link,
-//! estimate its per-second QoE with the IP/UDP Heuristic, and compare
-//! against ground truth — the paper's core loop in ~60 lines.
+//! Quickstart: simulate one Teams call, feed its captured packets to a
+//! `vcaml::api::Monitor`, and compare the per-second QoE events against
+//! ground truth — the paper's core loop through the public facade.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use vcaml_suite::datasets::to_core_trace;
 use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
 use vcaml_suite::rtp::VcaKind;
-use vcaml_suite::vcaml::{estimate_windows, HeuristicParams, IpUdpHeuristic, MediaClassifier};
+use vcaml_suite::vcaml::{EstimationMethod, Method, MonitorBuilder};
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
 fn main() {
-    // 1. A 30-second Teams call over NDT-like emulated network conditions.
+    // 1. A 30-second Teams call over NDT-like emulated network conditions,
+    //    materialized as captured UDP datagrams — what a tap would hand us.
     let profile = VcaProfile::lab(VcaKind::Teams);
     let session = Session::new(SessionConfig {
         profile: profile.clone(),
@@ -23,42 +23,37 @@ fn main() {
         link: LinkConfig::default(),
     })
     .run();
-    let trace = to_core_trace(&session, profile.payload_map);
-    println!(
-        "captured {} packets over {} s",
-        trace.packets.len(),
-        trace.duration_secs
-    );
+    let captured = session.to_captured();
+    println!("captured {} packets over 30 s", captured.len());
 
-    // 2. Media classification from packet sizes alone (no RTP access).
-    let classifier = MediaClassifier::default();
-    let video: Vec<_> = trace
-        .packets
-        .iter()
-        .filter(|p| classifier.is_video(p))
-        .map(|p| (p.ts, p.size))
-        .collect();
-    println!("{} packets classified as video", video.len());
+    // 2. The whole pipeline behind one typed entry point: packet-size
+    //    media classification, Algorithm-1 frame reconstruction, and
+    //    per-second QoE estimation (no application headers consumed).
+    let mut monitor = MonitorBuilder::new(VcaKind::Teams)
+        .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+        .build();
+    for cap in &captured {
+        monitor.ingest_captured(cap);
+    }
+    let events = monitor.finish();
 
-    // 3. Frame-boundary detection from packet sizes (Algorithm 1).
-    let heuristic = IpUdpHeuristic::new(HeuristicParams::paper(VcaKind::Teams));
-    let (frames, _) = heuristic.assemble(&video);
-    println!("reconstructed {} video frames", frames.len());
-
-    // 4. Per-second QoE estimates vs ground truth.
-    let est = estimate_windows(&frames, trace.duration_secs as usize, 1);
+    // 3. Per-second estimates vs ground truth, straight off the events.
     println!("\n  t   est FPS  true FPS  est kbps  true kbps");
     let mut abs_err = 0.0;
-    for truth in &trace.truth {
-        let e = est[truth.second as usize];
-        abs_err += (e.fps - truth.fps).abs();
-        println!(
-            "{:>3}   {:>7.1}  {:>8.1}  {:>8.0}  {:>9.0}",
-            truth.second, e.fps, truth.fps, e.bitrate_kbps, truth.bitrate_kbps
-        );
+    let mut n = 0usize;
+    for event in &events {
+        for r in event.final_reports() {
+            let e = r.estimate.expect("heuristic reports carry estimates");
+            let Some(truth) = session.truth.get(r.window as usize) else {
+                continue;
+            };
+            abs_err += (e.fps - truth.fps).abs();
+            n += 1;
+            println!(
+                "{:>3}   {:>7.1}  {:>8.1}  {:>8.0}  {:>9.0}",
+                r.window, e.fps, truth.fps, e.bitrate_kbps, truth.bitrate_kbps
+            );
+        }
     }
-    println!(
-        "\nframe rate MAE: {:.2} FPS",
-        abs_err / trace.truth.len() as f64
-    );
+    println!("\nframe rate MAE: {:.2} FPS", abs_err / n.max(1) as f64);
 }

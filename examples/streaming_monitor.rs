@@ -1,24 +1,37 @@
 //! Streaming estimation (paper §7 "system considerations"): process a
 //! live packet feed one packet at a time with bounded memory, emitting a
-//! QoE report at every window boundary — the deployment shape a network
-//! operator actually needs.
+//! QoE event at every window boundary — the deployment shape a network
+//! operator actually needs, driven entirely through `vcaml::api`.
 //!
-//! Two engines of the unified `QoeEstimator` trait run side by side on the
-//! same feed: the IP/UDP Heuristic (frame reconstruction) and IP/UDP ML
-//! (incremental features + a random-forest model trained offline).
+//! Two monitors run side by side on the same raw feed: the IP/UDP
+//! Heuristic (frame reconstruction) and IP/UDP ML (incremental features +
+//! a random-forest model trained offline).
 //!
 //! ```sh
 //! cargo run --release --example streaming_monitor
 //! ```
 
-use vcaml_suite::datasets::{inlab_corpus, to_core_trace, CorpusConfig};
+use std::collections::BTreeMap;
+use vcaml_suite::datasets::{inlab_corpus, CorpusConfig};
 use vcaml_suite::mlcore::{Dataset, RandomForest, Task};
 use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    build_samples, EngineConfig, IpUdpHeuristicEngine, IpUdpMlEngine, PipelineOpts, QoeEstimator,
+    build_samples, EstimationMethod, Method, Monitor, MonitorBuilder, PipelineOpts, QoeEvent,
+    WindowReport,
 };
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
+
+/// Collects every finalized window from a finished monitor's events.
+fn windows(events: Vec<QoeEvent>) -> BTreeMap<u64, WindowReport> {
+    let mut out = BTreeMap::new();
+    for event in events {
+        for report in event.final_reports() {
+            out.insert(report.window, report.clone());
+        }
+    }
+    out
+}
 
 fn main() {
     let vca = VcaKind::Webex;
@@ -42,7 +55,8 @@ fn main() {
     }
     let model = RandomForest::fit(&train, Task::Regression, &opts.forest);
 
-    // "Live" feed: a fresh call, consumed packet by packet.
+    // "Live" feed: a fresh call, consumed packet by packet from raw
+    // captured datagrams.
     let profile = VcaProfile::lab(vca);
     let session = Session::new(SessionConfig {
         profile: profile.clone(),
@@ -52,39 +66,37 @@ fn main() {
         link: LinkConfig::default(),
     })
     .run();
-    let trace = to_core_trace(&session, profile.payload_map);
+    let captured = session.to_captured();
 
-    let config = EngineConfig::paper(vca);
-    let mut heur = IpUdpHeuristicEngine::new(config);
-    let mut ml = IpUdpMlEngine::new(config).with_model(model);
+    let mut heur: Monitor = MonitorBuilder::new(vca)
+        .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+        .build();
+    let mut ml: Monitor = MonitorBuilder::new(vca)
+        .method(EstimationMethod::Fixed(Method::IpUdpMl))
+        .model(model)
+        .build();
+    for cap in &captured {
+        heur.ingest_captured(cap);
+        ml.ingest_captured(cap);
+    }
+    let heur_windows = windows(heur.finish());
+    let ml_windows = windows(ml.finish());
 
     println!("\n  t   heuristic FPS  model FPS  true FPS  kbps");
-    let mut heur_reports = Vec::new();
-    let mut ml_reports = Vec::new();
-    for p in &trace.packets {
-        heur_reports.extend(heur.push(p));
-        ml_reports.extend(ml.push(p));
-    }
-    heur_reports.extend(heur.finish());
-    ml_reports.extend(ml.finish());
-
-    for (h, m) in heur_reports.iter().zip(&ml_reports) {
-        let est = h.estimate.expect("heuristic engine reports estimates");
-        let truth = trace
-            .truth
-            .get(h.window as usize)
-            .map_or(f64::NAN, |t| t.fps);
+    for (w, h) in &heur_windows {
+        let est = h.estimate.expect("heuristic reports carry estimates");
+        let model_fps = ml_windows
+            .get(w)
+            .and_then(|m| m.model_fps)
+            .unwrap_or(f64::NAN);
+        let truth = session.truth.get(*w as usize).map_or(f64::NAN, |t| t.fps);
         println!(
             "{:>3}   {:>13.1}  {:>9.1}  {:>8.1}  {:>5.0}",
-            h.window,
-            est.fps,
-            m.model_fps.unwrap_or(f64::NAN),
-            truth,
-            est.bitrate_kbps,
+            w, est.fps, model_fps, truth, est.bitrate_kbps,
         );
     }
     println!(
-        "\nstate is O(window) per flow: no trace is ever buffered — drop these \
-         engines into a FlowTable to monitor a whole access network."
+        "\nstate is O(window) per flow: no trace is ever buffered — the same \
+         monitor demuxes a whole access network's flows by 5-tuple."
     );
 }

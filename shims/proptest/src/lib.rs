@@ -122,7 +122,7 @@ pub mod collection {
         max_exclusive: usize,
     }
 
-    /// Length specification for [`vec`].
+    /// Length specification for [`vec()`].
     pub trait SizeRange {
         /// Returns `(min, max_exclusive)`.
         fn bounds(&self) -> (usize, usize);

@@ -1,0 +1,165 @@
+//! Facade/engine parity: a `vcaml::api::Monitor` must reproduce, window
+//! for window, what a directly-driven `QoeEstimator` produces for the
+//! same packets — for all four methods, on realistic simulated traffic,
+//! through both the pre-parsed and the raw-datagram ingestion paths.
+
+use std::collections::BTreeMap;
+use vcaml_suite::datasets::{inlab_corpus, to_core_trace, CorpusConfig};
+use vcaml_suite::netpkt::FlowKey;
+use vcaml_suite::rtp::VcaKind;
+use vcaml_suite::vcaml::api::build_engine;
+use vcaml_suite::vcaml::{
+    EngineConfig, EstimationMethod, Method, MonitorBuilder, QoeEvent, Trace, WindowReport,
+};
+use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
+
+fn corpus(vca: VcaKind, seed: u64, n: usize) -> Vec<Trace> {
+    inlab_corpus(
+        vca,
+        &CorpusConfig {
+            n_calls: n,
+            min_secs: 15,
+            max_secs: 25,
+            seed,
+        },
+    )
+}
+
+fn flow_key() -> FlowKey {
+    FlowKey::canonical(
+        "203.0.113.1".parse().unwrap(),
+        3478,
+        "10.0.0.1".parse().unwrap(),
+        50_000,
+        17,
+    )
+    .0
+}
+
+/// Every finalized window a finished monitor produced, by index.
+fn monitor_windows(events: Vec<QoeEvent>) -> BTreeMap<u64, WindowReport> {
+    let mut out = BTreeMap::new();
+    for event in events {
+        for report in event.final_reports() {
+            assert!(
+                out.insert(report.window, report.clone()).is_none(),
+                "duplicate final window"
+            );
+        }
+    }
+    out
+}
+
+fn assert_reports_equal(got: &BTreeMap<u64, WindowReport>, want: &[WindowReport], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: window count");
+    for w in want {
+        let g = got.get(&w.window).unwrap_or_else(|| {
+            panic!("{ctx}: missing window {}", w.window);
+        });
+        assert_eq!(g.method, w.method, "{ctx}: window {}", w.window);
+        assert_eq!(g.estimate, w.estimate, "{ctx}: window {}", w.window);
+        assert_eq!(g.features, w.features, "{ctx}: window {}", w.window);
+        assert_eq!(
+            g.video_packets, w.video_packets,
+            "{ctx}: window {}",
+            w.window
+        );
+    }
+}
+
+/// The facade's event stream must equal a direct engine drive for every
+/// method — same windows, same estimates, same feature vectors.
+#[test]
+fn monitor_matches_direct_engine_for_all_methods() {
+    for vca in VcaKind::ALL {
+        let config = EngineConfig::paper(vca);
+        for trace in &corpus(vca, 23, 2) {
+            for method in Method::ALL {
+                let mut engine = build_engine(method, config, trace.payload_map, None);
+                let mut want = Vec::new();
+                for p in &trace.packets {
+                    want.extend(engine.push(p));
+                }
+                want.extend(engine.finish());
+
+                let mut monitor = MonitorBuilder::new(vca)
+                    .method(EstimationMethod::Fixed(method))
+                    .payload_map(trace.payload_map)
+                    .build();
+                let flow = flow_key();
+                for p in &trace.packets {
+                    monitor.ingest_packet(flow, *p);
+                }
+                let got = monitor_windows(monitor.finish());
+                assert_reports_equal(&got, &want, &format!("{vca} {method:?}"));
+            }
+        }
+    }
+}
+
+/// The raw-datagram path (RTP parse-attempt included) must agree with the
+/// pre-parsed path: ingesting a session's captured wire datagrams yields
+/// the same windows as replaying its decoded trace through an engine.
+#[test]
+fn raw_ingestion_matches_preparsed_trace() {
+    let vca = VcaKind::Teams;
+    let profile = VcaProfile::lab(vca);
+    let session = Session::new(SessionConfig {
+        profile: profile.clone(),
+        schedule: vcaml_suite::netem::synth_ndt_schedule(5, 20),
+        duration_secs: 20,
+        seed: 5,
+        link: vcaml_suite::netem::LinkConfig::default(),
+    })
+    .run();
+    let trace = to_core_trace(&session, profile.payload_map);
+    let captured = session.to_captured();
+    let config = EngineConfig::paper(vca);
+
+    for method in Method::ALL {
+        let mut engine = build_engine(method, config, trace.payload_map, None);
+        let mut want = Vec::new();
+        for p in &trace.packets {
+            want.extend(engine.push(p));
+        }
+        want.extend(engine.finish());
+
+        let mut monitor = MonitorBuilder::new(vca)
+            .method(EstimationMethod::Fixed(method))
+            .payload_map(trace.payload_map)
+            .build();
+        for cap in &captured {
+            monitor.ingest_captured(cap);
+        }
+        assert_eq!(monitor.stats().parse_drops, 0, "{method:?}: clean feed");
+        let got = monitor_windows(monitor.finish());
+        assert_reports_equal(&got, &want, &format!("raw {method:?}"));
+    }
+}
+
+/// Auto selection must not change the numbers, only the method: a flow
+/// resolved to its RTP variant reports the same windows as a fixed RTP
+/// monitor fed the same packets.
+#[test]
+fn auto_selection_preserves_window_exactness() {
+    let vca = VcaKind::Meet;
+    let trace = &corpus(vca, 31, 1)[0];
+    let run = |method: EstimationMethod| {
+        let mut monitor = MonitorBuilder::new(vca)
+            .method(method)
+            .payload_map(trace.payload_map)
+            .build();
+        let flow = flow_key();
+        for p in &trace.packets {
+            monitor.ingest_packet(flow, *p);
+        }
+        monitor_windows(monitor.finish())
+    };
+    let auto = run(EstimationMethod::AutoHeuristic);
+    let resolved_method = auto.values().next().expect("windows emitted").method;
+    let fixed = run(EstimationMethod::Fixed(resolved_method));
+    assert_eq!(auto.len(), fixed.len());
+    for (w, r) in &auto {
+        assert_eq!(r.estimate, fixed[w].estimate, "window {w}");
+    }
+}

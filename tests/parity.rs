@@ -10,10 +10,12 @@ use vcaml_suite::datasets::{inlab_corpus, CorpusConfig};
 use vcaml_suite::features::{ipudp_features, windows_by_second, PktObs, StatsMode};
 use vcaml_suite::netpkt::{FlowKey, Timestamp};
 use vcaml_suite::rtp::VcaKind;
+use vcaml_suite::vcaml::engine::{
+    replay, FlowTable, IpUdpHeuristicEngine, IpUdpMlEngine, RtpHeuristicEngine, RtpMlEngine,
+};
 use vcaml_suite::vcaml::{
-    build_samples, estimate_windows, qoe::QoeWindower, replay, rtp_heuristic, EngineConfig,
-    FlowTable, IpUdpHeuristic, IpUdpHeuristicEngine, IpUdpMlEngine, MediaClassifier, Method,
-    PipelineOpts, QoeEstimator, RtpHeuristicEngine, RtpMlEngine, Trace, WindowReport,
+    build_samples, estimate_windows, qoe::QoeWindower, rtp_heuristic, EngineConfig, IpUdpHeuristic,
+    MediaClassifier, Method, PipelineOpts, QoeEstimator, Trace, WindowReport,
 };
 
 fn corpus(vca: VcaKind, seed: u64, n: usize) -> Vec<Trace> {

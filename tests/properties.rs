@@ -8,7 +8,9 @@ use vcaml_suite::netpkt::checksum::{checksum, verify, Checksum};
 use vcaml_suite::netpkt::{
     Ipv4Packet, Ipv4Repr, LinkType, PcapReader, PcapWriter, Timestamp, UdpPacket, UdpRepr,
 };
+use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::rtp::{seq_distance, seq_greater, RtpHeader, SequenceTracker};
+use vcaml_suite::vcaml::{EstimationMethod, Method, MonitorBuilder, QoeEvent};
 use vcaml_suite::vcaml::{HeuristicParams, IpUdpHeuristic};
 use vcaml_suite::vcasim::{packetize, FragmentPolicy};
 
@@ -249,6 +251,81 @@ proptest! {
             if m.row_total(a) > 0 {
                 let sum: f64 = (0..3).map(|p| m.percent(a, p)).sum();
                 prop_assert!((sum - 100.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    // ---------------- api facade ----------------
+
+    #[test]
+    fn monitor_ingests_arbitrary_garbage_without_panicking(
+        frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..128), 1..30)) {
+        // Pure fuzz: whatever bytes arrive, every packet is either routed
+        // to a flow or classified as a drop — never lost, never a panic.
+        let mut monitor = MonitorBuilder::new(VcaKind::Teams).build();
+        for (i, frame) in frames.iter().enumerate() {
+            monitor.ingest_frame(Timestamp::from_millis(i as i64), frame);
+        }
+        let stats = monitor.stats();
+        prop_assert_eq!(stats.packets + stats.parse_drops, frames.len() as u64);
+        let classified = monitor
+            .finish()
+            .iter()
+            .filter(|e| matches!(e, QoeEvent::ParseDrop { .. }))
+            .count();
+        prop_assert_eq!(classified as u64, stats.parse_drops);
+    }
+
+    #[test]
+    fn monitor_classifies_mutated_real_frames(
+        payload_len in 12usize..160,
+        cut in any::<usize>(),
+        ihl in 0u8..16,
+        udp_len in any::<u16>(),
+        mutation in 0usize..4) {
+        // Start from a well-formed Ethernet/IPv4/UDP frame whose payload
+        // looks RTP-ish (version bits = 2), then break it the ways real
+        // captures do: truncation, a bad IHL, a lying UDP length.
+        use vcaml_suite::netpkt::{EtherType, EthernetRepr, Ipv4Repr, MacAddr, UdpRepr};
+        let mut payload = vec![0u8; payload_len];
+        payload[0] = 0x80; // RTP version 2, no padding/extension/CSRC
+        payload[1] = 102;
+        let mut frame = vec![0u8; 14 + 20 + 8 + payload.len()];
+        EthernetRepr {
+            src: MacAddr([2, 0, 0, 0, 0, 1]),
+            dst: MacAddr([2, 0, 0, 0, 0, 2]),
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&mut frame);
+        Ipv4Repr {
+            src: [10, 0, 0, 1],
+            dst: [10, 0, 0, 2],
+            protocol: 17,
+            payload_len: 8 + payload.len(),
+            ttl: 64,
+            ident: 1,
+        }
+        .emit(&mut frame[14..]);
+        frame[42..].copy_from_slice(&payload);
+        UdpRepr { src_port: 4000, dst_port: 5000 }
+            .emit_v4(&mut frame[34..], payload.len(), [10, 0, 0, 1], [10, 0, 0, 2]);
+
+        match mutation {
+            0 => frame.truncate(cut % frame.len()),          // truncated anywhere
+            1 => frame[14] = 0x40 | (ihl & 0x0f),            // bad IHL nibble
+            2 => frame[38..40].copy_from_slice(&udp_len.to_be_bytes()), // lying UDP length
+            _ => {}                                          // pristine control case
+        }
+
+        let mut monitor = MonitorBuilder::new(VcaKind::Teams)
+            .method(EstimationMethod::Fixed(Method::RtpHeuristic))
+            .build();
+        monitor.ingest_frame(Timestamp::from_millis(1), &frame);
+        let stats = monitor.stats();
+        prop_assert_eq!(stats.packets + stats.parse_drops, 1);
+        for event in monitor.finish() {
+            if let QoeEvent::ParseDrop { reason, .. } = event {
+                prop_assert!(!reason.tag().is_empty());
             }
         }
     }
