@@ -236,10 +236,9 @@ fn bench_batch_vs_engine(c: &mut Criterion) {
     g.finish();
 }
 
-/// Monitor-facade throughput with 64 concurrent calls interleaved into
-/// one arrival-ordered feed — the multi-household monitoring shape,
-/// including the facade's demux, eviction sweep, and event bookkeeping.
-fn bench_flow_table_64_flows(c: &mut Criterion) {
+/// 64 concurrent calls interleaved into one arrival-ordered feed — the
+/// multi-household monitoring shape.
+fn feed_64_flows() -> Vec<(FlowKey, vcaml::TracePacket)> {
     let trace = sample_trace();
     let mut feed: Vec<(FlowKey, vcaml::TracePacket)> = Vec::new();
     for flow in 0..64usize {
@@ -260,24 +259,49 @@ fn bench_flow_table_64_flows(c: &mut Criterion) {
         }));
     }
     feed.sort_by_key(|(_, p)| p.ts);
+    feed
+}
 
+fn run_64_flows(feed: &[(FlowKey, vcaml::TracePacket)], threads: usize) -> usize {
+    let mut monitor = MonitorBuilder::new(VcaKind::Teams)
+        .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+        .shards(8)
+        .threads(threads)
+        .idle_timeout(Timestamp::from_secs(60))
+        .build();
+    for (key, p) in feed {
+        monitor.ingest_packet(*key, *p);
+    }
+    let mut n = monitor.pending_events();
+    n += monitor.finish().len();
+    n
+}
+
+/// Monitor-facade throughput with 64 concurrent calls — the facade's
+/// demux, eviction sweep, and event bookkeeping on one thread.
+fn bench_flow_table_64_flows(c: &mut Criterion) {
+    let feed = feed_64_flows();
     let mut g = c.benchmark_group("flow_table");
     g.sample_size(10);
     g.throughput(Throughput::Elements(feed.len() as u64));
-    g.bench_function("heuristic_64_flows", |b| {
-        b.iter(|| {
-            let mut monitor = MonitorBuilder::new(VcaKind::Teams)
-                .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
-                .shards(8)
-                .idle_timeout(Timestamp::from_secs(60))
-                .build();
-            for (key, p) in &feed {
-                monitor.ingest_packet(*key, *p);
-            }
-            let mut n = monitor.pending_events();
-            n += monitor.finish().len();
-            n
-        })
+    g.bench_function("heuristic_64_flows", |b| b.iter(|| run_64_flows(&feed, 1)));
+    g.finish();
+}
+
+/// Single-thread vs N-thread 64-flow throughput through the same feed:
+/// the parallel monitor's reason to exist. The N-thread number includes
+/// worker spawn/join, channel hand-offs, and the event-queue merge, so
+/// the speedup shown is the end-to-end one an operator gets.
+fn bench_monitor_threads(c: &mut Criterion) {
+    let feed = feed_64_flows();
+    let mut g = c.benchmark_group("monitor_threads");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(feed.len() as u64));
+    g.bench_function("heuristic_64_flows_1_thread", |b| {
+        b.iter(|| run_64_flows(&feed, 1))
+    });
+    g.bench_function("heuristic_64_flows_4_threads", |b| {
+        b.iter(|| run_64_flows(&feed, 4))
     });
     g.finish();
 }
@@ -290,6 +314,7 @@ criterion_group!(
     bench_feature_extraction,
     bench_batch_vs_engine,
     bench_flow_table_64_flows,
+    bench_monitor_threads,
     bench_forest,
     bench_simulation
 );

@@ -13,6 +13,17 @@
 //! iterator or delivered to a callback sink, and serializable as JSON
 //! lines for dashboards and log shippers.
 //!
+//! The monitor scales across cores: [`MonitorBuilder::threads`] pins
+//! flow-table shards to dedicated worker threads — each packet is hashed
+//! by flow to one worker over a bounded channel, each worker runs its
+//! flows' engines, windowing, and eviction independently, and the merged
+//! event stream preserves per-flow ordering with window-exact parity
+//! against the sequential monitor (a tested invariant). The outgoing
+//! event queue is bounded ([`MonitorBuilder::queue_capacity`]) with an
+//! explicit [`OverflowPolicy`]: `Block` for end-to-end backpressure,
+//! `DropOldest` for bounded memory with exact loss accounting via
+//! [`QoeEvent::Dropped`] markers.
+//!
 //! The raw engines and `FlowTable` in [`crate::engine`] remain public for
 //! parity tests and benchmarks but are documented-unstable; everything
 //! else should come through here.
@@ -52,12 +63,18 @@
 //! assert_eq!(windows, 3, "one report per elapsed second");
 //! ```
 
+use crate::backpressure::EventQueue;
+pub use crate::backpressure::OverflowPolicy;
 use crate::engine::{EngineConfig, FlowTable, QoeEstimator, WindowReport};
 use crate::engine::{IpUdpHeuristicEngine, IpUdpMlEngine, RtpHeuristicEngine, RtpMlEngine};
 use crate::pipeline::Method;
 use crate::trace::TracePacket;
 use serde::{Map, Serialize, Value};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use vcaml_features::StatsMode;
 use vcaml_mlcore::RandomForest;
 use vcaml_netpkt::pcap::PcapRecord;
@@ -79,8 +96,26 @@ pub const RTP_PROBATION_PACKETS: usize = 16;
 /// media to be genuinely visible.
 pub const RTP_CONFIDENCE: f64 = 0.5;
 
+/// Packets between RTP-confidence re-probes on a flow that auto method
+/// selection resolved to its IP/UDP fallback. A flow that led with a
+/// non-RTP handshake (STUN/DTLS) and only then started media gets its
+/// RTP engine after at most this many post-probation packets instead of
+/// keeping the fallback forever.
+pub const RTP_REPROBE_PACKETS: u32 = 256;
+
 /// How often (in stream time) the monitor sweeps for idle flows.
 const EVICT_CHECK_US: i64 = 1_000_000;
+
+/// Default bound on the outgoing event queue (see
+/// [`MonitorBuilder::queue_capacity`]).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 65_536;
+
+/// Packets accumulated per shard before a batch is sent to its worker
+/// (threaded monitors only). Batching amortizes the channel hand-off —
+/// the dominant dispatch cost, so it is sized generously;
+/// [`Monitor::drain_events`] and [`Monitor::finish`] flush partial
+/// batches, so no packet waits forever.
+const INGEST_BATCH: usize = 512;
 
 /// How a [`Monitor`] picks the estimation method for each flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,6 +264,14 @@ pub enum QoeEvent {
         /// Why it was dropped.
         reason: ParseDropReason,
     },
+    /// Events were discarded because the bounded event queue overflowed
+    /// under [`OverflowPolicy::DropOldest`]. The marker leads the next
+    /// drained batch: everything it counts was older than the events
+    /// that follow it, and `count` is exact.
+    Dropped {
+        /// How many events were discarded since the last drain.
+        count: u64,
+    },
 }
 
 impl QoeEvent {
@@ -239,6 +282,7 @@ impl QoeEvent {
             QoeEvent::WindowReport { .. } => "window_report",
             QoeEvent::FlowEvicted { .. } => "flow_evicted",
             QoeEvent::ParseDrop { .. } => "parse_drop",
+            QoeEvent::Dropped { .. } => "dropped",
         }
     }
 
@@ -249,13 +293,14 @@ impl QoeEvent {
     }
 
     /// The flow this event belongs to (`None` for [`QoeEvent::ParseDrop`],
-    /// which happens before flow attribution).
+    /// which happens before flow attribution, and [`QoeEvent::Dropped`],
+    /// which aggregates across flows).
     pub fn flow(&self) -> Option<FlowKey> {
         match self {
             QoeEvent::FlowOpened { flow, .. }
             | QoeEvent::WindowReport { flow, .. }
             | QoeEvent::FlowEvicted { flow, .. } => Some(*flow),
-            QoeEvent::ParseDrop { .. } => None,
+            QoeEvent::ParseDrop { .. } | QoeEvent::Dropped { .. } => None,
         }
     }
 
@@ -328,6 +373,9 @@ impl Serialize for QoeEvent {
                     _ => {}
                 }
             }
+            QoeEvent::Dropped { count } => {
+                m.insert("count".into(), count.to_value());
+            }
         }
         Value::Object(m)
     }
@@ -346,8 +394,41 @@ pub struct MonitorStats {
     pub flows_evicted: u64,
     /// Final window reports emitted.
     pub window_reports: u64,
-    /// Provisional (max-lag flush) reports emitted.
+    /// Provisional (max-lag flush or method-upgrade boundary) reports
+    /// emitted.
     pub provisional_reports: u64,
+    /// Events discarded by the bounded event queue
+    /// ([`OverflowPolicy::DropOldest`] only).
+    pub events_dropped: u64,
+}
+
+/// Shared, thread-safe counter cells behind [`MonitorStats`]: shard
+/// workers bump them from their own threads, the monitor snapshots them
+/// on [`Monitor::stats`]. On a threaded monitor the snapshot is
+/// eventually consistent — packets still queued on a shard channel are
+/// not yet counted.
+#[derive(Debug, Default)]
+struct StatsCells {
+    packets: AtomicU64,
+    parse_drops: AtomicU64,
+    flows_opened: AtomicU64,
+    flows_evicted: AtomicU64,
+    window_reports: AtomicU64,
+    provisional_reports: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self, events_dropped: u64) -> MonitorStats {
+        MonitorStats {
+            packets: self.packets.load(Relaxed),
+            parse_drops: self.parse_drops.load(Relaxed),
+            flows_opened: self.flows_opened.load(Relaxed),
+            flows_evicted: self.flows_evicted.load(Relaxed),
+            window_reports: self.window_reports.load(Relaxed),
+            provisional_reports: self.provisional_reports.load(Relaxed),
+            events_dropped,
+        }
+    }
 }
 
 /// Typed configuration for a [`Monitor`].
@@ -362,6 +443,9 @@ pub struct MonitorBuilder {
     payload_map: PayloadMap,
     model: Option<RandomForest>,
     shards: usize,
+    threads: usize,
+    queue_capacity: usize,
+    overflow: OverflowPolicy,
     idle_timeout: Timestamp,
     flush_after: Option<u32>,
     sink: Option<Box<dyn FnMut(QoeEvent) + Send>>,
@@ -370,8 +454,9 @@ pub struct MonitorBuilder {
 impl MonitorBuilder {
     /// Starts from the paper's configuration for a VCA: auto method
     /// selection (RTP when it parses, IP/UDP otherwise), exact statistics,
-    /// 1-second windows, 8 shards, 60-second idle eviction, no max-lag
-    /// flush.
+    /// 1-second windows, 8 shards on one thread, a
+    /// [`DEFAULT_QUEUE_CAPACITY`]-event queue with [`OverflowPolicy::Block`],
+    /// 60-second idle eviction, no max-lag flush.
     pub fn new(vca: VcaKind) -> Self {
         MonitorBuilder {
             vca,
@@ -380,6 +465,9 @@ impl MonitorBuilder {
             payload_map: PayloadMap::lab(vca),
             model: None,
             shards: 8,
+            threads: 1,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            overflow: OverflowPolicy::Block,
             idle_timeout: Timestamp::from_secs(60),
             flush_after: None,
             sink: None,
@@ -427,10 +515,43 @@ impl MonitorBuilder {
         self
     }
 
-    /// Number of flow-table shards (default 8).
+    /// Number of flow-table shards (default 8). With worker threads
+    /// configured, shards are distributed across the workers.
     pub fn shards(mut self, n: usize) -> Self {
         assert!(n >= 1, "zero shards");
         self.shards = n;
+        self
+    }
+
+    /// Number of ingest worker threads (default 1 = fully inline, no
+    /// threads spawned). With `n ≥ 2` the monitor hashes each packet's
+    /// flow to one of `n` dedicated shard workers over a bounded channel;
+    /// each worker runs its flows' engines, windowing, probation, and
+    /// idle eviction independently, and the merged event stream preserves
+    /// per-flow ordering (a flow lives on exactly one worker).
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "zero threads");
+        self.threads = n;
+        self
+    }
+
+    /// Bound on the outgoing event queue, in events (default
+    /// [`DEFAULT_QUEUE_CAPACITY`]). Also sizes the per-worker ingest
+    /// channels of a threaded monitor, so one knob controls end-to-end
+    /// buffering. What happens at the bound is the
+    /// [`MonitorBuilder::overflow`] policy.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        assert!(n >= 1, "zero queue capacity");
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Overflow policy of the bounded event queue (default
+    /// [`OverflowPolicy::Block`]): block producers until the consumer
+    /// drains, or drop the oldest events and account for them with a
+    /// [`QoeEvent::Dropped`] marker.
+    pub fn overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.overflow = policy;
         self
     }
 
@@ -459,16 +580,68 @@ impl MonitorBuilder {
         self
     }
 
-    /// Constructs the monitor.
+    /// Constructs the monitor, spawning its shard workers when
+    /// [`MonitorBuilder::threads`] ≥ 2.
     pub fn build(self) -> Monitor {
-        let config = self.config;
-        let payload_map = self.payload_map;
-        // The facade always inserts engines explicitly (method selection
-        // can depend on probation evidence, not just the key), so the
-        // table's first-sight factory must never fire.
-        let table = FlowTable::new(self.shards, self.idle_timeout, |_: &FlowKey| {
-            unreachable!("the facade inserts engines explicitly")
-        });
+        let inline = self.threads == 1;
+        let stats = Arc::new(StatsCells::default());
+        // A single-threaded monitor must never park on its own queue
+        // (the producer is the consumer), so Block only waits when shard
+        // workers exist.
+        let queue = Arc::new(EventQueue::new(self.queue_capacity, self.overflow, !inline));
+        let deliver = match self.sink {
+            Some(sink) => Deliver::Sink(Arc::new(Mutex::new(sink))),
+            None => Deliver::Queue(Arc::clone(&queue)),
+        };
+        let shard_state = |n_shards: usize| ShardState {
+            method: self.method,
+            config: self.config,
+            payload_map: self.payload_map,
+            model: self.model.clone(),
+            idle_timeout_us: self.idle_timeout.as_micros(),
+            flush_after: self.flush_after,
+            window_us: i64::from(self.config.window_secs) * 1_000_000,
+            // The facade always inserts engines explicitly (method
+            // selection can depend on probation evidence, not just the
+            // key), so the table's first-sight factory must never fire.
+            table: FlowTable::new(n_shards, self.idle_timeout, |_: &FlowKey| {
+                unreachable!("the facade inserts engines explicitly")
+            }),
+            meta: HashMap::new(),
+            pending: HashMap::new(),
+            now: None,
+            behind_streak: 0,
+            last_evict_us: i64::MIN,
+            stats: Arc::clone(&stats),
+            out: Vec::new(),
+        };
+        let dispatch = if inline {
+            Dispatch::Inline(Box::new(shard_state(self.shards)))
+        } else {
+            // Distribute the configured shards across the workers; the
+            // ingest channels share the event queue's capacity knob
+            // (counted in batches) so one bound governs the pipeline.
+            let inner_shards = (self.shards / self.threads).max(1);
+            let channel_batches = (self.queue_capacity / INGEST_BATCH).max(1);
+            let mut senders = Vec::with_capacity(self.threads);
+            let mut handles = Vec::with_capacity(self.threads);
+            for worker in 0..self.threads {
+                let (tx, rx) = sync_channel::<ShardMsg>(channel_batches);
+                let state = shard_state(inner_shards);
+                let deliver = deliver.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("vcaml-shard-{worker}"))
+                    .spawn(move || worker_loop(state, rx, deliver))
+                    .expect("spawn shard worker");
+                senders.push(tx);
+                handles.push(handle);
+            }
+            Dispatch::Threaded {
+                batches: senders.iter().map(|_| Vec::new()).collect(),
+                senders,
+                handles,
+            }
+        };
         Monitor {
             wants_rtp: self.method.is_auto()
                 || matches!(
@@ -476,21 +649,15 @@ impl MonitorBuilder {
                     EstimationMethod::Fixed(Method::RtpHeuristic | Method::RtpMl)
                 ),
             method: self.method,
-            config,
-            payload_map,
-            model: self.model,
-            idle_timeout_us: self.idle_timeout.as_micros(),
-            flush_after: self.flush_after,
-            table,
-            meta: HashMap::new(),
-            pending: HashMap::new(),
-            now: None,
-            behind_streak: 0,
-            last_evict_us: i64::MIN,
-            events: VecDeque::new(),
-            sink: self.sink,
-            stats: MonitorStats::default(),
             vca: self.vca,
+            stats,
+            stage_on_full: !inline
+                && self.overflow == OverflowPolicy::Block
+                && matches!(deliver, Deliver::Queue(_)),
+            queue,
+            deliver,
+            dispatch,
+            drained: VecDeque::new(),
         }
     }
 }
@@ -503,6 +670,9 @@ impl std::fmt::Debug for MonitorBuilder {
             .field("window_secs", &self.config.window_secs)
             .field("stats", &self.config.stats)
             .field("shards", &self.shards)
+            .field("threads", &self.threads)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("overflow", &self.overflow)
             .field("idle_timeout_us", &self.idle_timeout.as_micros())
             .field("flush_after", &self.flush_after)
             .finish_non_exhaustive()
@@ -546,6 +716,19 @@ struct FlowMeta {
     /// only); cached here so the hot path pays one map probe, not a
     /// table lookup per packet.
     probation: bool,
+    /// Post-probation RTP re-probe counters: `Some` only for auto-method
+    /// flows that resolved to the IP/UDP fallback, which keep watching
+    /// for late-blooming RTP (see [`RTP_REPROBE_PACKETS`]).
+    reprobe: Option<Reprobe>,
+}
+
+/// Rolling RTP-confidence evidence over the current re-probe interval.
+#[derive(Default)]
+struct Reprobe {
+    /// Packets seen this interval.
+    seen: u32,
+    /// Of those, how many parsed as RTP.
+    rtp_ok: u32,
 }
 
 /// A flow still in RTP-confidence probation: packets buffered until the
@@ -562,38 +745,177 @@ impl PendingFlow {
     }
 }
 
+/// A user event callback, shared across shard workers.
+type SharedSink = Arc<Mutex<Box<dyn FnMut(QoeEvent) + Send>>>;
+
+/// Where produced events go: the shared bounded queue (drained by the
+/// caller) or a user callback sink. Cloned into every shard worker.
+#[derive(Clone)]
+enum Deliver {
+    Queue(Arc<EventQueue>),
+    Sink(SharedSink),
+}
+
+impl Deliver {
+    fn send(&self, events: Vec<QoeEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        match self {
+            Deliver::Queue(queue) => queue.push_batch(events),
+            Deliver::Sink(sink) => {
+                let mut sink = sink.lock().expect("sink poisoned");
+                for event in events {
+                    sink(event);
+                }
+            }
+        }
+    }
+}
+
+/// One message on a shard worker's bounded ingest channel.
+enum ShardMsg {
+    /// Packets for this worker's flows, in arrival order.
+    Batch(Vec<(FlowKey, TracePacket)>),
+    /// End of stream: seal every flow and exit.
+    Finish,
+}
+
+/// How packets reach the per-flow engines: on the caller's thread, or
+/// hashed across dedicated shard workers.
+enum Dispatch {
+    /// `threads == 1`: one shard state driven inline — no threads, no
+    /// channels, identical to the pre-parallel monitor.
+    Inline(Box<ShardState>),
+    /// `threads ≥ 2`: per-worker bounded channels plus per-worker batch
+    /// buffers that amortize the hand-off.
+    Threaded {
+        senders: Vec<SyncSender<ShardMsg>>,
+        batches: Vec<Vec<(FlowKey, TracePacket)>>,
+        handles: Vec<JoinHandle<()>>,
+    },
+    /// Placeholder after [`Monitor::finish`] has taken the dispatch
+    /// state (so the monitor's `Drop` has nothing left to reap).
+    Done,
+}
+
+/// Hands one batch to a shard worker without ever deadlocking on our own
+/// pipeline. Under [`OverflowPolicy::Block`] (without a sink) a worker
+/// can be parked on the full event queue while the dispatcher waits on
+/// that worker's full channel — each waiting on the other — so there
+/// (`stage_on_full`) a full channel is answered by draining the queue,
+/// which wakes the worker, and staging the events for the caller's next
+/// `drain_events`. Under `DropOldest` (or with a sink) workers never
+/// park, so a plain blocking send is both safe and required: draining
+/// would quietly turn the bounded queue into unbounded staging.
+fn dispatch_batch(
+    sender: &SyncSender<ShardMsg>,
+    queue: &EventQueue,
+    drained: &mut VecDeque<QoeEvent>,
+    stage_on_full: bool,
+    batch: Vec<(FlowKey, TracePacket)>,
+) {
+    let mut msg = ShardMsg::Batch(batch);
+    if !stage_on_full {
+        sender.send(msg).expect("shard workers outlive dispatch");
+        return;
+    }
+    loop {
+        match sender.try_send(msg) {
+            Ok(()) => return,
+            Err(std::sync::mpsc::TrySendError::Full(back)) => {
+                msg = back;
+                let events = queue.drain();
+                if events.is_empty() {
+                    // Channel full, queue empty: the worker is mid-batch.
+                    std::thread::yield_now();
+                }
+                drained.extend(events);
+            }
+            Err(std::sync::mpsc::TrySendError::Disconnected(_)) => {
+                unreachable!("shard workers outlive dispatch")
+            }
+        }
+    }
+}
+
+/// A shard worker's main loop: ingest batches until told (or observed,
+/// via channel disconnect) that the stream is over, then seal every flow
+/// and deliver the tail.
+fn worker_loop(mut state: ShardState, rx: Receiver<ShardMsg>, deliver: Deliver) {
+    while let Ok(ShardMsg::Batch(batch)) = rx.recv() {
+        for (flow, pkt) in batch {
+            state.ingest(flow, pkt);
+        }
+        deliver.send(state.take_events());
+    }
+    state.finish();
+    deliver.send(state.take_events());
+}
+
 /// A passive QoE monitor: feed it raw packets, read typed [`QoeEvent`]s.
 ///
 /// Owns the sharded flow table and one estimation engine per active flow;
 /// flows idle past the configured timeout are evicted with their final
 /// windows attached to the eviction event, so no tail report is ever
-/// silently lost. See [`MonitorBuilder`] for configuration and the
+/// silently lost. With [`MonitorBuilder::threads`] ≥ 2 the flow table is
+/// partitioned across dedicated worker threads behind bounded channels,
+/// and the event stream is bounded by
+/// [`MonitorBuilder::queue_capacity`] under an explicit
+/// [`OverflowPolicy`]. See [`MonitorBuilder`] for configuration and the
 /// [module docs](self) for a runnable example.
 pub struct Monitor {
+    method: EstimationMethod,
+    /// Whether any configured method can consume an RTP header — gates
+    /// the per-packet RTP parse-attempt on the raw ingestion path.
+    wants_rtp: bool,
+    vca: VcaKind,
+    stats: Arc<StatsCells>,
+    /// The bounded collector every shard pushes into (unused when a sink
+    /// is configured, but kept so `pending_events` stays cheap).
+    queue: Arc<EventQueue>,
+    deliver: Deliver,
+    dispatch: Dispatch,
+    /// Whether a full ingest channel must be answered by draining the
+    /// event queue into staging (true only when workers can park on it:
+    /// threaded + `Block` + no sink) — see [`dispatch_batch`].
+    stage_on_full: bool,
+    /// Staging buffer backing the `drain_events` iterator.
+    drained: VecDeque<QoeEvent>,
+}
+
+/// The per-worker slice of the monitor: a partition of the flow table
+/// plus everything per-flow processing needs — probation buffers,
+/// max-lag flush bookkeeping, the bounded-advance stream clock, and the
+/// idle-eviction sweep. `Send`, so it runs inline or on a worker thread
+/// unchanged; because a flow is hashed to exactly one shard, per-flow
+/// results are identical either way (the tested parallel-vs-sequential
+/// parity invariant).
+struct ShardState {
     method: EstimationMethod,
     config: EngineConfig,
     payload_map: PayloadMap,
     model: Option<RandomForest>,
     idle_timeout_us: i64,
     flush_after: Option<u32>,
-    /// Whether any configured method can consume an RTP header — gates
-    /// the per-packet RTP parse-attempt on the raw ingestion path.
-    wants_rtp: bool,
+    /// Window length in µs, for anchoring method upgrades.
+    window_us: i64,
     table: FlowTable<BoxedEngine>,
     meta: HashMap<FlowKey, FlowMeta>,
     pending: HashMap<FlowKey, PendingFlow>,
     /// Stream clock: max ingest timestamp, bounded-advance so one corrupt
-    /// far-future timestamp cannot mass-evict healthy flows.
+    /// far-future timestamp cannot mass-evict healthy flows. Per shard —
+    /// a shard's clock advances only on its own flows' packets.
     now: Option<Timestamp>,
     /// Consecutive packets arriving more than one idle timeout behind
     /// `now` — corroboration that `now` itself came from a corrupt
     /// timestamp and must re-anchor backward.
     behind_streak: u32,
     last_evict_us: i64,
-    events: VecDeque<QoeEvent>,
-    sink: Option<Box<dyn FnMut(QoeEvent) + Send>>,
-    stats: MonitorStats,
-    vca: VcaKind,
+    stats: Arc<StatsCells>,
+    /// Events produced since the last `take_events` (per-flow order is
+    /// append order).
+    out: Vec<QoeEvent>,
 }
 
 impl Monitor {
@@ -607,24 +929,46 @@ impl Monitor {
         self.vca
     }
 
-    /// Running ingest/emit counters.
+    /// Running ingest/emit counters. On a threaded monitor the snapshot
+    /// is eventually consistent: packets still queued on a shard channel
+    /// are not yet counted ([`Monitor::finish`] settles everything).
     pub fn stats(&self) -> MonitorStats {
-        self.stats
+        self.stats.snapshot(self.queue.dropped_total())
     }
 
-    /// Flows currently tracked (probation included).
+    /// Flows currently tracked (probation included). Exact on an inline
+    /// monitor; derived from the opened/evicted counters (and therefore
+    /// eventually consistent) on a threaded one.
     pub fn active_flows(&self) -> usize {
-        self.table.len() + self.pending.len()
+        match &self.dispatch {
+            Dispatch::Inline(shard) => shard.table.len() + shard.pending.len(),
+            Dispatch::Done => 0,
+            Dispatch::Threaded { .. } => {
+                let opened = self.stats.flows_opened.load(Relaxed);
+                let evicted = self.stats.flows_evicted.load(Relaxed);
+                opened.saturating_sub(evicted) as usize
+            }
+        }
     }
 
-    /// Queued events not yet drained (always 0 when a sink is set).
+    /// Queued events not yet drained (always 0 when a sink is set; on a
+    /// threaded monitor, what the shard workers have delivered so far).
     pub fn pending_events(&self) -> usize {
-        self.events.len()
+        self.queue.len()
     }
 
-    /// Drains every queued event, oldest first.
+    /// Drains every queued event, oldest first. Flushes any partially
+    /// filled ingest batches first, so a threaded monitor's workers see
+    /// every packet ingested before the drain; events for packets a
+    /// worker has not yet processed arrive on a later drain (per-flow
+    /// order is always preserved). When events were discarded under
+    /// [`OverflowPolicy::DropOldest`], the batch leads with a
+    /// [`QoeEvent::Dropped`] marker counting them.
     pub fn drain_events(&mut self) -> impl Iterator<Item = QoeEvent> + '_ {
-        self.events.drain(..)
+        self.flush_ingest();
+        let batch = self.queue.drain();
+        self.drained.extend(batch);
+        self.drained.drain(..)
     }
 
     // -- ingestion ---------------------------------------------------------
@@ -705,13 +1049,162 @@ impl Monitor {
 
     /// Ingests one pre-parsed packet on an explicit flow — the entry point
     /// for simulated feeds and replays that never materialized wire bytes.
+    ///
+    /// On a threaded monitor this hashes the flow to its shard worker and
+    /// enqueues the packet on that worker's bounded channel (batched);
+    /// when the channel is full the call waits for the worker to catch
+    /// up — ingest-side backpressure regardless of the event queue's
+    /// overflow policy. While waiting it drains any ready events into
+    /// the staging buffer (returned by the next
+    /// [`Monitor::drain_events`]), so a worker parked on a full `Block`
+    /// queue is always woken and the pipeline cannot deadlock on itself.
     pub fn ingest_packet(&mut self, flow: FlowKey, pkt: TracePacket) {
         if pkt.ts.as_micros() < 0 {
             self.drop_packet(pkt.ts, ParseDropReason::NegativeTimestamp);
             return;
         }
+        let Monitor {
+            dispatch,
+            deliver,
+            queue,
+            drained,
+            stage_on_full,
+            ..
+        } = self;
+        match dispatch {
+            Dispatch::Inline(shard) => {
+                shard.ingest(flow, pkt);
+                let events = shard.take_events();
+                deliver.send(events);
+            }
+            Dispatch::Threaded {
+                senders, batches, ..
+            } => {
+                let worker = worker_of(&flow, senders.len());
+                batches[worker].push((flow, pkt));
+                if batches[worker].len() >= INGEST_BATCH {
+                    let batch =
+                        std::mem::replace(&mut batches[worker], Vec::with_capacity(INGEST_BATCH));
+                    dispatch_batch(&senders[worker], queue, drained, *stage_on_full, batch);
+                }
+            }
+            Dispatch::Done => unreachable!("monitor already finished"),
+        }
+    }
+
+    /// Seals and reports every remaining flow, returning all queued
+    /// events (when a sink is set they have already been delivered and
+    /// the returned list holds only what the sink had not consumed —
+    /// i.e. nothing). On a threaded monitor this flushes every pending
+    /// ingest batch, signals end-of-stream to each shard worker, joins
+    /// them, and drains whatever they delivered — the end-of-stream flush
+    /// neither blocks on nor is dropped by the bounded queue.
+    pub fn finish(mut self) -> Vec<QoeEvent> {
+        // Lift the queue bound (and both overflow policies) first:
+        // workers flushing their sealed tails must neither park against
+        // a queue nobody is draining yet nor have those tails shed by
+        // DropOldest — the end-of-stream flush is lossless by contract.
+        self.queue.release();
+        let mut out: Vec<QoeEvent> = self.drained.drain(..).collect();
+        match std::mem::replace(&mut self.dispatch, Dispatch::Done) {
+            Dispatch::Inline(mut shard) => {
+                shard.finish();
+                self.deliver.send(shard.take_events());
+            }
+            Dispatch::Threaded {
+                senders,
+                mut batches,
+                handles,
+            } => {
+                // Blocking sends are safe here: the released queue never
+                // parks a worker, so every channel drains.
+                for (worker, batch) in batches.drain(..).enumerate() {
+                    if !batch.is_empty() {
+                        senders[worker]
+                            .send(ShardMsg::Batch(batch))
+                            .expect("shard worker alive");
+                    }
+                }
+                for tx in &senders {
+                    tx.send(ShardMsg::Finish).expect("shard worker alive");
+                }
+                drop(senders);
+                for handle in handles {
+                    handle.join().expect("shard worker panicked");
+                }
+            }
+            Dispatch::Done => unreachable!("finish runs once"),
+        }
+        out.extend(self.queue.drain());
+        out
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// Sends every partially filled ingest batch to its shard worker
+    /// (no-op on an inline monitor).
+    fn flush_ingest(&mut self) {
+        let Monitor {
+            dispatch,
+            queue,
+            drained,
+            stage_on_full,
+            ..
+        } = self;
+        if let Dispatch::Threaded {
+            senders, batches, ..
+        } = dispatch
+        {
+            for (worker, batch) in batches.iter_mut().enumerate() {
+                if !batch.is_empty() {
+                    let batch = std::mem::take(batch);
+                    dispatch_batch(&senders[worker], queue, drained, *stage_on_full, batch);
+                }
+            }
+        }
+    }
+
+    fn drop_packet(&mut self, ts: Timestamp, reason: ParseDropReason) {
+        self.stats.parse_drops.fetch_add(1, Relaxed);
+        self.deliver.send(vec![QoeEvent::ParseDrop { ts, reason }]);
+    }
+}
+
+/// Stable flow → worker routing. This runs once per packet on the
+/// dispatching thread — the serial section of the whole parallel
+/// monitor — so it is a cheap multiplicative hash with a splitmix64
+/// avalanche rather than the flow table's SipHash: routing only needs
+/// determinism and spread, not DoS resistance (the per-worker tables
+/// keep their own hasher).
+fn worker_of(key: &FlowKey, n_workers: usize) -> usize {
+    fn addr_bits(addr: &std::net::IpAddr) -> u64 {
+        match addr {
+            std::net::IpAddr::V4(v4) => u64::from(u32::from_be_bytes(v4.octets())),
+            std::net::IpAddr::V6(v6) => {
+                let o = v6.octets();
+                u64::from_le_bytes(o[..8].try_into().expect("8 bytes"))
+                    ^ u64::from_le_bytes(o[8..].try_into().expect("8 bytes"))
+            }
+        }
+    }
+    let mut h = addr_bits(&key.addr_a).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= addr_bits(&key.addr_b).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    h ^= (u64::from(key.port_a) << 32) | (u64::from(key.port_b) << 16) | u64::from(key.protocol);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h % n_workers as u64) as usize
+}
+
+impl ShardState {
+    /// Routes one packet through probation, re-probe, its flow engine,
+    /// and the idle sweep. The caller has already rejected negative
+    /// timestamps.
+    fn ingest(&mut self, flow: FlowKey, pkt: TracePacket) {
+        self.stats.packets.fetch_add(1, Relaxed);
         self.advance_clock(pkt.ts);
-        self.stats.packets += 1;
 
         let needs_probation = self.method.is_auto();
         let (is_new, in_probation) = match self.meta.entry(flow) {
@@ -719,13 +1212,14 @@ impl Monitor {
                 slot.insert(FlowMeta {
                     since_report: 0,
                     probation: needs_probation,
+                    reprobe: None,
                 });
                 (true, needs_probation)
             }
             std::collections::hash_map::Entry::Occupied(slot) => (false, slot.get().probation),
         };
         if is_new {
-            self.stats.flows_opened += 1;
+            self.stats.flows_opened.fetch_add(1, Relaxed);
             self.emit(QoeEvent::FlowOpened { flow, ts: pkt.ts });
         }
 
@@ -761,6 +1255,7 @@ impl Monitor {
                 self.resolve_pending(flow);
             }
         } else {
+            self.maybe_reprobe(flow, &pkt);
             let reports = self.table.push(flow, &pkt);
             self.account_reports(flow, reports, 1);
         }
@@ -768,26 +1263,21 @@ impl Monitor {
         self.maybe_evict();
     }
 
-    /// Seals and reports every remaining flow, returning all queued
-    /// events (when a sink is set they have already been delivered and
-    /// the returned list holds only what the sink had not consumed —
-    /// i.e. nothing).
-    pub fn finish(mut self) -> Vec<QoeEvent> {
+    /// Seals and reports every remaining flow (end of stream).
+    fn finish(&mut self) {
         let keys: Vec<FlowKey> = self.pending.keys().copied().collect();
         for flow in keys {
             self.resolve_pending(flow);
         }
-        let table = std::mem::replace(
-            &mut self.table,
-            FlowTable::new(1, Timestamp::from_secs(1), |_| unreachable!("drained")),
-        );
-        for (flow, final_reports) in table.finish_all() {
+        for (flow, final_reports) in self.table.drain_finish_all() {
             self.seal_flow(flow, EvictReason::EndOfStream, final_reports);
         }
-        self.events.into_iter().collect()
     }
 
-    // -- internals ---------------------------------------------------------
+    /// Takes the events produced since the last call, in emission order.
+    fn take_events(&mut self) -> Vec<QoeEvent> {
+        std::mem::take(&mut self.out)
+    }
 
     /// Advances the stream clock by at most one idle timeout per packet,
     /// so a single corrupt far-future timestamp (which the engines
@@ -822,11 +1312,15 @@ impl Monitor {
 
     /// Decides a probation flow's method from its RTP parse confidence,
     /// builds the engine, and replays the buffered packets through it.
+    /// A flow resolved to the fallback keeps re-probing for RTP (see
+    /// [`RTP_REPROBE_PACKETS`]); one resolved to the RTP variant is
+    /// settled for good.
     fn resolve_pending(&mut self, flow: FlowKey) {
         let Some(pending) = self.pending.remove(&flow) else {
             return;
         };
-        let method = if pending.confident_rtp() {
+        let confident = pending.confident_rtp();
+        let method = if confident {
             self.method.preferred()
         } else {
             self.method.fallback()
@@ -836,6 +1330,7 @@ impl Monitor {
         self.table.insert(flow, engine, first_seen);
         if let Some(meta) = self.meta.get_mut(&flow) {
             meta.probation = false;
+            meta.reprobe = (!confident && self.method.preferred() != method).then(Reprobe::default);
         }
         let mut reports = Vec::new();
         for pkt in &pending.packets {
@@ -844,12 +1339,69 @@ impl Monitor {
         self.account_reports(flow, reports, pending.packets.len() as u32);
     }
 
+    /// Post-probation RTP re-probe: every [`RTP_REPROBE_PACKETS`] packets
+    /// on a fallback-resolved auto flow, re-evaluate RTP confidence over
+    /// the interval just seen. When media has become visible, upgrade the
+    /// flow to the preferred RTP engine: the old engine's pending windows
+    /// flush first — final up to the upgrade boundary, `provisional` for
+    /// the boundary window itself, which the new engine (anchored at this
+    /// packet) will finalize — so every window still appears in
+    /// [`QoeEvent::final_reports`] exactly once. The seam is visible to
+    /// consumers as the report's `method` changing mid-flow.
+    fn maybe_reprobe(&mut self, flow: FlowKey, pkt: &TracePacket) {
+        let Some(meta) = self.meta.get_mut(&flow) else {
+            return;
+        };
+        let Some(reprobe) = meta.reprobe.as_mut() else {
+            return;
+        };
+        reprobe.seen += 1;
+        reprobe.rtp_ok += u32::from(pkt.rtp.is_some());
+        if reprobe.seen < RTP_REPROBE_PACKETS {
+            return;
+        }
+        let confident = reprobe.rtp_ok as f64 / reprobe.seen as f64 >= RTP_CONFIDENCE;
+        if !confident {
+            *reprobe = Reprobe::default();
+            return;
+        }
+        meta.reprobe = None;
+        meta.since_report = 0;
+        let Some(mut old) = self.table.remove(&flow) else {
+            return;
+        };
+        // The new engine anchors at this packet's window; the old
+        // engine's flush can reach at most that window (its packets are
+        // all older), so exactly the boundary overlap is provisional.
+        let anchor = (pkt.ts.as_micros().div_euclid(self.window_us)) as u64;
+        for report in old.finish() {
+            let provisional = report.window >= anchor;
+            if provisional {
+                self.stats.provisional_reports.fetch_add(1, Relaxed);
+            } else {
+                self.stats.window_reports.fetch_add(1, Relaxed);
+            }
+            self.emit(QoeEvent::WindowReport {
+                flow,
+                report,
+                provisional,
+            });
+        }
+        let engine = build_engine(
+            self.method.preferred(),
+            self.config,
+            self.payload_map,
+            self.model.as_ref(),
+        );
+        self.table.insert(flow, engine, pkt.ts);
+    }
+
     /// Emits finalized reports for a flow and runs the max-lag flush
     /// bookkeeping for the `pushed` packets that produced them.
     fn account_reports(&mut self, flow: FlowKey, reports: Vec<WindowReport>, pushed: u32) {
         let finalized = !reports.is_empty();
         for report in reports {
-            self.stats.window_reports += 1;
+            self.stats.window_reports.fetch_add(1, Relaxed);
             self.emit(QoeEvent::WindowReport {
                 flow,
                 report,
@@ -875,7 +1427,7 @@ impl Monitor {
                 .map(|e| e.provisional())
                 .unwrap_or_default();
             for report in snapshots {
-                self.stats.provisional_reports += 1;
+                self.stats.provisional_reports.fetch_add(1, Relaxed);
                 self.emit(QoeEvent::WindowReport {
                     flow,
                     report,
@@ -920,8 +1472,10 @@ impl Monitor {
 
     fn seal_flow(&mut self, flow: FlowKey, reason: EvictReason, final_reports: Vec<WindowReport>) {
         self.meta.remove(&flow);
-        self.stats.flows_evicted += 1;
-        self.stats.window_reports += final_reports.len() as u64;
+        self.stats.flows_evicted.fetch_add(1, Relaxed);
+        self.stats
+            .window_reports
+            .fetch_add(final_reports.len() as u64, Relaxed);
         self.emit(QoeEvent::FlowEvicted {
             flow,
             reason,
@@ -929,26 +1483,46 @@ impl Monitor {
         });
     }
 
-    fn drop_packet(&mut self, ts: Timestamp, reason: ParseDropReason) {
-        self.stats.parse_drops += 1;
-        self.emit(QoeEvent::ParseDrop { ts, reason });
-    }
-
     fn emit(&mut self, event: QoeEvent) {
-        match &mut self.sink {
-            Some(sink) => sink(event),
-            None => self.events.push_back(event),
+        self.out.push(event);
+    }
+}
+
+impl Drop for Monitor {
+    /// A monitor dropped without [`Monitor::finish`] (caller panic,
+    /// early return) must not leak shard workers parked on the bounded
+    /// queue: release the queue so nothing waits, disconnect the
+    /// channels so the workers run their end-of-stream seal and exit,
+    /// and reap the threads. The tail events land in the released queue
+    /// and are dropped with it — only `finish` promises delivery.
+    fn drop(&mut self) {
+        if let Dispatch::Threaded {
+            senders, handles, ..
+        } = &mut self.dispatch
+        {
+            self.queue.release();
+            senders.clear();
+            for handle in handles.drain(..) {
+                // Don't double-panic out of a Drop during unwinding.
+                let _ = handle.join();
+            }
         }
     }
 }
 
 impl std::fmt::Debug for Monitor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let threads = match &self.dispatch {
+            Dispatch::Inline(_) => 1,
+            Dispatch::Threaded { senders, .. } => senders.len(),
+            Dispatch::Done => 0,
+        };
         f.debug_struct("Monitor")
             .field("vca", &self.vca)
             .field("method", &self.method)
+            .field("threads", &threads)
             .field("active_flows", &self.active_flows())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
@@ -1006,9 +1580,9 @@ mod tests {
     fn builder_defaults_are_paper_shaped() {
         let m = MonitorBuilder::new(VcaKind::Webex).build();
         assert_eq!(m.vca(), VcaKind::Webex);
-        assert_eq!(m.config.window_secs, 1);
         assert_eq!(m.active_flows(), 0);
         assert_eq!(m.stats().packets, 0);
+        assert_eq!(m.pending_events(), 0);
     }
 
     #[test]
@@ -1326,6 +1900,237 @@ mod tests {
             "idle sweeps must survive the corruption"
         );
         assert_eq!(m.active_flows(), 1, "only the live flow remains");
+    }
+
+    /// Finalized windows per flow, from a finished monitor's events.
+    fn windows_by_flow(events: &[QoeEvent]) -> HashMap<FlowKey, Vec<WindowReport>> {
+        let mut out: HashMap<FlowKey, Vec<WindowReport>> = HashMap::new();
+        for e in events {
+            if let Some(flow) = e.flow() {
+                out.entry(flow)
+                    .or_default()
+                    .extend_from_slice(e.final_reports());
+            }
+        }
+        for reports in out.values_mut() {
+            reports.sort_by_key(|r| r.window);
+        }
+        out
+    }
+
+    #[test]
+    fn threaded_monitor_matches_inline_windows() {
+        let feed: Vec<(FlowKey, TracePacket)> = {
+            let mut feed = Vec::new();
+            for n in 1..=8u8 {
+                for p in video_stream(3) {
+                    let mut q = p;
+                    q.size = q.size.saturating_add(u16::from(n) * 10);
+                    feed.push((flow_key(n), q));
+                }
+            }
+            feed.sort_by_key(|(_, p)| p.ts);
+            feed
+        };
+        let run = |threads: usize| {
+            let mut m = fixed(Method::IpUdpHeuristic).threads(threads).build();
+            for (flow, p) in &feed {
+                m.ingest_packet(*flow, *p);
+            }
+            m.finish()
+        };
+        let inline = windows_by_flow(&run(1));
+        let threaded = windows_by_flow(&run(4));
+        assert_eq!(inline.len(), 8);
+        assert_eq!(threaded.len(), 8);
+        for (flow, want) in &inline {
+            let got = &threaded[flow];
+            assert_eq!(got.len(), want.len(), "flow {flow}");
+            for (g, w) in got.iter().zip(want) {
+                assert_eq!(g.window, w.window, "flow {flow}");
+                assert_eq!(g.estimate, w.estimate, "flow {flow} window {}", g.window);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_monitor_preserves_per_flow_event_order() {
+        let mut m = fixed(Method::IpUdpHeuristic).threads(3).build();
+        let flows: Vec<FlowKey> = (1..=6).map(flow_key).collect();
+        for p in video_stream(3) {
+            for flow in &flows {
+                m.ingest_packet(*flow, p);
+            }
+        }
+        let mut seen_open: HashMap<FlowKey, bool> = HashMap::new();
+        let mut last_window: HashMap<FlowKey, u64> = HashMap::new();
+        let mut sealed: HashMap<FlowKey, bool> = HashMap::new();
+        for e in m.finish() {
+            match &e {
+                QoeEvent::FlowOpened { flow, .. } => {
+                    assert!(!seen_open.contains_key(flow), "duplicate open");
+                    seen_open.insert(*flow, true);
+                }
+                QoeEvent::WindowReport { flow, report, .. } => {
+                    assert!(seen_open[flow], "report before open");
+                    assert!(!sealed.contains_key(flow), "report after seal");
+                    if let Some(prev) = last_window.get(flow) {
+                        assert!(report.window > *prev, "windows out of order");
+                    }
+                    last_window.insert(*flow, report.window);
+                }
+                QoeEvent::FlowEvicted { flow, .. } => {
+                    assert!(seen_open[flow], "evict before open");
+                    sealed.insert(*flow, true);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(sealed.len(), 6, "every flow sealed exactly once");
+    }
+
+    #[test]
+    fn drop_oldest_bounds_queue_and_accounts_drops() {
+        // Reference: unbounded run counts every event the feed produces.
+        let mut reference = fixed(Method::IpUdpHeuristic).build();
+        let flow = flow_key(1);
+        for p in video_stream(5) {
+            reference.ingest_packet(flow, p);
+        }
+        let total = reference.drain_events().count();
+        assert!(total > 4, "feed produces enough events to overflow");
+
+        let mut m = fixed(Method::IpUdpHeuristic)
+            .queue_capacity(3)
+            .overflow(OverflowPolicy::DropOldest)
+            .build();
+        for p in video_stream(5) {
+            m.ingest_packet(flow, p);
+        }
+        let drained: Vec<QoeEvent> = m.drain_events().collect();
+        let QoeEvent::Dropped { count } = drained[0] else {
+            panic!("drain must lead with the drop marker");
+        };
+        assert_eq!(drained.len() - 1, 3, "queue stayed at capacity");
+        assert_eq!(
+            count as usize + (drained.len() - 1),
+            total,
+            "dropped + kept == every event emitted"
+        );
+        assert_eq!(m.stats().events_dropped, count);
+    }
+
+    #[test]
+    fn inline_block_policy_never_loses_events() {
+        // The single-threaded producer cannot park on its own queue:
+        // Block grows past the bound instead, so nothing is lost.
+        let mut bounded = fixed(Method::IpUdpHeuristic).queue_capacity(2).build();
+        let mut unbounded = fixed(Method::IpUdpHeuristic).build();
+        let flow = flow_key(1);
+        for p in video_stream(4) {
+            bounded.ingest_packet(flow, p);
+            unbounded.ingest_packet(flow, p);
+        }
+        assert_eq!(bounded.finish().len(), unbounded.finish().len());
+    }
+
+    #[test]
+    fn reprobe_upgrades_late_rtp_flow() {
+        use vcaml_rtp::RtpHeader;
+        let mut m = MonitorBuilder::new(VcaKind::Teams)
+            .method(EstimationMethod::AutoHeuristic)
+            .build();
+        let flow = flow_key(1);
+        // A DTLS-style handshake long enough to flunk probation…
+        for i in 0..RTP_PROBATION_PACKETS as i64 {
+            m.ingest_packet(flow, pkt(i * 10_000, 900));
+        }
+        // …then real RTP media at 30 fps, two packets per frame, for
+        // comfortably more than one re-probe interval.
+        let frames = (RTP_REPROBE_PACKETS as i64) * 2;
+        for f in 0..frames {
+            let t0 = 200_000 + f * 33_333;
+            for i in 0..2i64 {
+                let mut p = pkt(t0 + i * 300, 1100);
+                p.rtp = Some(RtpHeader::basic(
+                    102,
+                    (f * 2 + i) as u16,
+                    (f * 3000) as u32,
+                    1,
+                    i == 1,
+                ));
+                m.ingest_packet(flow, p);
+            }
+        }
+        let events = m.finish();
+        let methods: Vec<Method> = events
+            .iter()
+            .flat_map(|e| e.final_reports())
+            .map(|r| r.method)
+            .collect();
+        assert!(
+            methods.contains(&Method::IpUdpHeuristic),
+            "early windows use the fallback: {methods:?}"
+        );
+        assert!(
+            methods.contains(&Method::RtpHeuristic),
+            "re-probe upgrades to the RTP engine: {methods:?}"
+        );
+        // The upgrade seam must not double-report: every finalized
+        // window index appears exactly once.
+        let mut windows: Vec<u64> = events
+            .iter()
+            .flat_map(|e| e.final_reports())
+            .map(|r| r.window)
+            .collect();
+        let n = windows.len();
+        windows.sort_unstable();
+        windows.dedup();
+        assert_eq!(windows.len(), n, "no duplicate final windows at the seam");
+        // Once upgraded, the flow stays upgraded.
+        let last_fallback = methods.iter().rposition(|m| *m == Method::IpUdpHeuristic);
+        let first_rtp = methods.iter().position(|m| *m == Method::RtpHeuristic);
+        assert!(last_fallback.unwrap() < first_rtp.unwrap());
+    }
+
+    #[test]
+    fn fixed_methods_never_reprobe() {
+        // A fixed IP/UDP monitor must keep its engine even on pure RTP
+        // traffic (the paper's no-RTP-access deployment).
+        use vcaml_rtp::RtpHeader;
+        let mut m = fixed(Method::IpUdpHeuristic).build();
+        let flow = flow_key(1);
+        for f in 0..(RTP_REPROBE_PACKETS as i64 * 2) {
+            let mut p = pkt(f * 16_000, 1100);
+            p.rtp = Some(RtpHeader::basic(102, f as u16, (f * 1500) as u32, 1, true));
+            m.ingest_packet(flow, p);
+        }
+        for e in m.finish() {
+            for r in e.final_reports() {
+                assert_eq!(r.method, Method::IpUdpHeuristic);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_sink_receives_all_events() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let mut m = fixed(Method::IpUdpHeuristic)
+            .threads(2)
+            .sink(move |e| seen2.lock().unwrap().push(e.tag()))
+            .build();
+        for n in 1..=4u8 {
+            for p in video_stream(2) {
+                m.ingest_packet(flow_key(n), p);
+            }
+        }
+        let leftover = m.finish();
+        assert!(leftover.is_empty());
+        let tags = seen.lock().unwrap();
+        assert_eq!(tags.iter().filter(|t| **t == "flow_opened").count(), 4);
+        assert_eq!(tags.iter().filter(|t| **t == "flow_evicted").count(), 4);
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Bounded event delivery with an explicit overflow policy.
+//!
+//! A [`crate::api::Monitor`] produces [`QoeEvent`]s faster than some
+//! consumers drain them — a slow log shipper, a stalled dashboard, a
+//! caller that only polls once per second. Before this module the event
+//! queue was unbounded: a slow consumer turned into unbounded memory
+//! growth. The crate-internal `EventQueue` bounds it and makes the
+//! slow-consumer behaviour an explicit, configurable choice:
+//!
+//! * [`OverflowPolicy::Block`] — producers wait for the consumer. On a
+//!   threaded monitor the shard workers park until the caller drains,
+//!   which in turn fills the bounded per-shard ingest channels and makes
+//!   [`crate::api::Monitor::ingest_packet`] wait for channel space
+//!   (staging any ready events while it waits, so the two bounds can
+//!   never deadlock against each other): end-to-end backpressure, no
+//!   event ever lost. On a single-threaded monitor the producer *is* the
+//!   consumer, so blocking would deadlock; the queue instead grows past
+//!   the bound (the pre-backpressure behaviour, now documented rather
+//!   than implicit).
+//! * [`OverflowPolicy::DropOldest`] — the queue stays bounded by
+//!   discarding the oldest undrained events, and the next drain reports
+//!   exactly how many were lost via a leading [`QoeEvent::Dropped`]
+//!   marker. Nothing blocks; freshness wins over completeness.
+//!
+//! The queue is the monitor's *collector*: every shard worker pushes its
+//! event batches here (one lock per batch, batch order preserved), so
+//! per-flow event order — which is per-shard order, since a flow lives on
+//! exactly one shard — survives the merge into the outgoing stream.
+
+use crate::api::QoeEvent;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What the monitor's bounded event queue does when a push finds it full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Wait for the consumer (threaded monitors; end-to-end backpressure).
+    /// Single-threaded monitors cannot block themselves and fall back to
+    /// growing past the bound.
+    #[default]
+    Block,
+    /// Discard the oldest undrained events and account for them with a
+    /// [`QoeEvent::Dropped`] marker on the next drain.
+    DropOldest,
+}
+
+struct QueueInner {
+    buf: VecDeque<QoeEvent>,
+    capacity: usize,
+    policy: OverflowPolicy,
+    /// Events discarded since the last drain (DropOldest only).
+    dropped_since_drain: u64,
+    /// Events discarded over the queue's lifetime.
+    dropped_total: u64,
+    /// Whether `Block` may actually park the producer. False for
+    /// single-threaded monitors (self-deadlock) and after `release()`.
+    may_block: bool,
+    /// Set by `release()`: the capacity (and with it both policies) is
+    /// lifted for good, so the end-of-stream flush can neither park nor
+    /// shed tail events.
+    unbounded: bool,
+}
+
+/// A bounded MPSC event queue shared by the monitor's shard workers (or
+/// its inline ingest path) and the draining caller. See the
+/// [module docs](self) for the policy semantics.
+pub(crate) struct EventQueue {
+    inner: Mutex<QueueInner>,
+    not_full: Condvar,
+}
+
+impl EventQueue {
+    pub(crate) fn new(capacity: usize, policy: OverflowPolicy, may_block: bool) -> Self {
+        assert!(capacity >= 1, "zero event-queue capacity");
+        EventQueue {
+            inner: Mutex::new(QueueInner {
+                buf: VecDeque::new(),
+                capacity,
+                policy,
+                dropped_since_drain: 0,
+                dropped_total: 0,
+                may_block,
+                unbounded: false,
+            }),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Pushes a batch of events, applying the overflow policy per event.
+    /// Batch order (and therefore per-flow order) is preserved.
+    pub(crate) fn push_batch(&self, events: Vec<QoeEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("event queue poisoned");
+        for event in events {
+            while !inner.unbounded && inner.buf.len() >= inner.capacity {
+                match inner.policy {
+                    OverflowPolicy::DropOldest => {
+                        inner.buf.pop_front();
+                        inner.dropped_since_drain += 1;
+                        inner.dropped_total += 1;
+                    }
+                    OverflowPolicy::Block if inner.may_block => {
+                        inner = self.not_full.wait(inner).expect("event queue poisoned");
+                    }
+                    // Single-threaded (or released) Block: grow past the
+                    // bound rather than deadlocking the only thread.
+                    OverflowPolicy::Block => break,
+                }
+            }
+            inner.buf.push_back(event);
+        }
+    }
+
+    /// Takes every queued event. When events were discarded since the
+    /// last drain, the returned batch leads with a [`QoeEvent::Dropped`]
+    /// marker whose count is exact — the discarded events were older
+    /// than everything else returned.
+    pub(crate) fn drain(&self) -> Vec<QoeEvent> {
+        let mut inner = self.inner.lock().expect("event queue poisoned");
+        let dropped = std::mem::take(&mut inner.dropped_since_drain);
+        let mut out = Vec::with_capacity(inner.buf.len() + usize::from(dropped > 0));
+        if dropped > 0 {
+            out.push(QoeEvent::Dropped { count: dropped });
+        }
+        out.extend(inner.buf.drain(..));
+        drop(inner);
+        self.not_full.notify_all();
+        out
+    }
+
+    /// Queued events not yet drained (excludes any pending drop marker).
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("event queue poisoned").buf.len()
+    }
+
+    /// Events discarded over the queue's lifetime.
+    pub(crate) fn dropped_total(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("event queue poisoned")
+            .dropped_total
+    }
+
+    /// Lifts the bound for good: producers stop parking, and *neither*
+    /// policy discards or delays anything further — `Block` overflows
+    /// grow, `DropOldest` stops shedding. Called by `Monitor::finish`
+    /// (and the monitor's `Drop`) before joining the shard workers: the
+    /// end-of-stream flush, which carries every flow's sealed tail
+    /// windows, must neither drop nor deadlock against a full queue.
+    pub(crate) fn release(&self) {
+        let mut inner = self.inner.lock().expect("event queue poisoned");
+        inner.may_block = false;
+        inner.unbounded = true;
+        drop(inner);
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcaml_netpkt::Timestamp;
+
+    fn ev(us: i64) -> QoeEvent {
+        QoeEvent::ParseDrop {
+            ts: Timestamp::from_micros(us),
+            reason: crate::api::ParseDropReason::NotUdp,
+        }
+    }
+
+    #[test]
+    fn drop_oldest_bounds_and_accounts() {
+        let q = EventQueue::new(4, OverflowPolicy::DropOldest, false);
+        q.push_batch((0..10).map(ev).collect());
+        assert_eq!(q.len(), 4);
+        let drained = q.drain();
+        assert!(matches!(drained[0], QoeEvent::Dropped { count: 6 }));
+        assert_eq!(drained.len(), 5);
+        // The survivors are the newest events, in order.
+        let kept: Vec<i64> = drained[1..]
+            .iter()
+            .map(|e| match e {
+                QoeEvent::ParseDrop { ts, .. } => ts.as_micros(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+        assert_eq!(q.dropped_total(), 6);
+        // A fresh drain has nothing to report.
+        assert!(q.drain().is_empty());
+    }
+
+    #[test]
+    fn non_blocking_block_grows_past_bound() {
+        let q = EventQueue::new(2, OverflowPolicy::Block, false);
+        q.push_batch((0..5).map(ev).collect());
+        assert_eq!(q.len(), 5, "single-threaded Block must not lose events");
+        assert_eq!(q.dropped_total(), 0);
+        assert_eq!(q.drain().len(), 5);
+    }
+
+    #[test]
+    fn blocking_producer_waits_for_drain() {
+        use std::sync::Arc;
+        let q = Arc::new(EventQueue::new(2, OverflowPolicy::Block, true));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            q2.push_batch((0..6).map(ev).collect());
+        });
+        // Drain until the producer has delivered everything.
+        let mut got = 0;
+        while got < 6 {
+            got += q.drain().len();
+            std::thread::yield_now();
+        }
+        producer.join().expect("producer");
+        assert_eq!(got, 6);
+        assert_eq!(q.dropped_total(), 0);
+    }
+
+    #[test]
+    fn release_stops_drop_oldest_shedding() {
+        // After release, the end-of-stream flush must not lose events
+        // even under DropOldest: the queue grows past its bound instead.
+        let q = EventQueue::new(2, OverflowPolicy::DropOldest, false);
+        q.push_batch((0..5).map(ev).collect());
+        assert_eq!(q.dropped_total(), 3, "bounded phase sheds");
+        q.release();
+        q.push_batch((5..20).map(ev).collect());
+        assert_eq!(q.dropped_total(), 3, "released phase never sheds");
+        let drained = q.drain();
+        assert!(matches!(drained[0], QoeEvent::Dropped { count: 3 }));
+        assert_eq!(drained.len(), 1 + 2 + 15);
+    }
+
+    #[test]
+    fn release_unblocks_producers() {
+        use std::sync::Arc;
+        let q = Arc::new(EventQueue::new(1, OverflowPolicy::Block, true));
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            q2.push_batch((0..4).map(ev).collect());
+        });
+        q.release();
+        producer.join().expect("producer");
+        assert_eq!(q.drain().len(), 4);
+    }
+}

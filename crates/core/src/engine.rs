@@ -1068,6 +1068,15 @@ impl<E: QoeEstimator> FlowTable<E> {
     /// Finishes every flow (end of capture), returning each flow's
     /// remaining windows.
     pub fn finish_all(mut self) -> Vec<(FlowKey, Vec<WindowReport>)> {
+        self.drain_finish_all()
+    }
+
+    /// [`Self::finish_all`] without consuming the table: drains and
+    /// finishes every flow in place, leaving the table empty but
+    /// reusable. This is the shape a shard worker needs — it owns its
+    /// table inside long-lived state and seals flows at end of stream
+    /// without moving out of itself.
+    pub fn drain_finish_all(&mut self) -> Vec<(FlowKey, Vec<WindowReport>)> {
         let mut out = Vec::new();
         for shard in &mut self.shards {
             for (key, mut entry) in shard.drain() {

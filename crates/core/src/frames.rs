@@ -1,6 +1,27 @@
 //! Frame abstraction shared by both heuristics: "a VCA session can be
 //! abstracted as a sequence of video frames, with each frame transmitted
 //! sequentially over a group of RTP packets" (§3.2.1).
+//!
+//! Both assemblers ([`crate::heuristic::IpUdpAssembler`] from packet
+//! sizes, [`crate::rtp_heuristic::RtpAssembler`] from RTP timestamps and
+//! marker bits) reduce a packet stream to these [`Frame`]s; every QoE
+//! estimate downstream — frame rate, bitrate, frame jitter — is computed
+//! from frame end times and sizes alone.
+//!
+//! ```
+//! use vcaml::Frame;
+//! use vcaml_netpkt::Timestamp;
+//!
+//! // A 2-packet frame: first fragment at t=10 ms, last at t=13 ms.
+//! let frame = Frame {
+//!     start_ts: Timestamp::from_millis(10),
+//!     end_ts: Timestamp::from_millis(13),
+//!     size_bytes: 2_200,
+//!     n_packets: 2,
+//!     rtp_ts: None, // unknown to the IP/UDP reconstruction
+//! };
+//! assert_eq!(frame.assembly_time(), Timestamp::from_millis(3));
+//! ```
 
 use serde::{Deserialize, Serialize};
 use vcaml_netpkt::Timestamp;

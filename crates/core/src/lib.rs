@@ -6,8 +6,12 @@
 //! * [`api`] — **the public monitoring facade and the crate's stable
 //!   contract**: [`api::MonitorBuilder`] → [`api::Monitor`] → a stream of
 //!   [`api::QoeEvent`]s, with raw-packet ingestion (eth→ip→udp layered
-//!   parse, RTP parse-attempt with confidence fallback), idle eviction
-//!   that surfaces final windows, and JSON-lines output;
+//!   parse, RTP parse-attempt with confidence fallback and periodic
+//!   re-probe), optional shard worker threads, idle eviction that
+//!   surfaces final windows, and JSON-lines output;
+//! * [`backpressure`] — the bounded event delivery model:
+//!   [`backpressure::OverflowPolicy`] selects between blocking producers
+//!   and dropping the oldest events with exact loss accounting;
 //! * [`media`] — video/non-video packet classification from packet sizes
 //!   alone (the `Vmin` threshold, §3.1);
 //! * [`heuristic`] — the **IP/UDP Heuristic**: frame-boundary detection
@@ -43,6 +47,7 @@
 //! packet-by-packet, so the two paths produce identical windows.
 
 pub mod api;
+pub mod backpressure;
 pub mod engine;
 pub mod errors;
 pub mod frames;
@@ -58,6 +63,7 @@ pub mod trace;
 pub use api::{
     EstimationMethod, EvictReason, Monitor, MonitorBuilder, MonitorStats, ParseDropReason, QoeEvent,
 };
+pub use backpressure::OverflowPolicy;
 // The concrete engines, `FlowTable`, and `replay` stay at their
 // `engine::` paths only: they are unstable internals behind the facade.
 pub use engine::{EngineConfig, QoeEstimator, WindowReport};

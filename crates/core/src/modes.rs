@@ -2,6 +2,28 @@
 //! the UDP packet-size distribution, and estimating the number of active
 //! video participants in a multi-party call before per-stream QoE
 //! estimation.
+//!
+//! ```
+//! use vcaml::media::MediaClassifier;
+//! use vcaml::modes::{detect_video_off, estimate_participants_ipudp};
+//! use vcaml::TracePacket;
+//! use vcaml_netpkt::Timestamp;
+//!
+//! // An audio-only call: steady 150-byte packets every 20 ms.
+//! let audio_only: Vec<TracePacket> = (0..500)
+//!     .map(|i| TracePacket {
+//!         ts: Timestamp::from_millis(i * 20),
+//!         size: 150,
+//!         rtp: None,
+//!         truth_media: None,
+//!     })
+//!     .collect();
+//! assert!(detect_video_off(&audio_only, &MediaClassifier::default()));
+//!
+//! // A merged conference flow at ~58 aggregate fps over 30 fps tiles
+//! // suggests two active video participants.
+//! assert_eq!(estimate_participants_ipudp(58.0, 30.0), 2);
+//! ```
 
 use crate::media::MediaClassifier;
 use crate::trace::TracePacket;

@@ -198,70 +198,108 @@ fn aggregate_truth(rows: &[TruthRow]) -> TruthRow {
     }
 }
 
+/// Builds one trace's window samples (the per-shard unit of
+/// [`build_samples`]): four engine replays, then truth alignment.
+fn trace_samples(
+    trace_id: usize,
+    trace: &Trace,
+    config: EngineConfig,
+    w: u32,
+) -> Vec<WindowSample> {
+    // One replay per method, each through an engine built by the
+    // facade's single construction point.
+    let run = |method: Method| {
+        replay(
+            &mut build_engine(method, config, trace.payload_map, None),
+            trace,
+            w,
+        )
+    };
+    let heur_r = run(Method::IpUdpHeuristic);
+    let ip_ml_r = run(Method::IpUdpMl);
+    let rtp_heur_r = run(Method::RtpHeuristic);
+    let rtp_ml_r = run(Method::RtpMl);
+
+    let mut samples = Vec::new();
+    for wi in 0..heur_r.len() {
+        // Truth rows covered by this window.
+        let rows: Vec<TruthRow> = trace
+            .truth
+            .iter()
+            .filter(|r| {
+                r.second >= wi as i64 * i64::from(w) && r.second < (wi as i64 + 1) * i64::from(w)
+            })
+            .copied()
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let truth = aggregate_truth(&rows);
+
+        samples.push(WindowSample {
+            ipudp_features: ip_ml_r[wi]
+                .features
+                .clone()
+                .expect("ML report carries features"),
+            rtp_features: rtp_ml_r[wi]
+                .features
+                .clone()
+                .expect("ML report carries features"),
+            truth,
+            heur: heur_r[wi]
+                .estimate
+                .expect("heuristic report carries estimate"),
+            rtp_heur: rtp_heur_r[wi]
+                .estimate
+                .expect("heuristic report carries estimate"),
+            trace_id,
+        });
+    }
+    samples
+}
+
 /// Builds the window samples for a corpus of traces by replaying each
 /// trace through the four streaming engines — one packet pass per method,
 /// no per-trace buffering of windowed packet lists.
+///
+/// Traces are independent, so the replays fan out across scoped worker
+/// threads (the batch-side analogue of the monitor's shard workers: the
+/// engines are `Send`, each worker owns its trace's engines outright)
+/// and the per-trace sample lists are collected back **in trace order**
+/// — the output is bit-identical to the sequential loop it replaces.
 pub fn build_samples(traces: &[Trace], opts: &PipelineOpts) -> SampleSet {
     assert!(!traces.is_empty(), "empty corpus");
     let vca = traces[0].vca;
     let w = opts.window_secs;
     let config = opts.engine_config();
-    let mut samples = Vec::new();
 
-    for (trace_id, trace) in traces.iter().enumerate() {
-        if !trace.is_complete() {
-            continue; // §4.1 filtering
-        }
-        // One replay per method, each through an engine built by the
-        // facade's single construction point.
-        let run = |method: Method| {
-            replay(
-                &mut build_engine(method, config, trace.payload_map, None),
-                trace,
-                w,
-            )
-        };
-        let heur_r = run(Method::IpUdpHeuristic);
-        let ip_ml_r = run(Method::IpUdpMl);
-        let rtp_heur_r = run(Method::RtpHeuristic);
-        let rtp_ml_r = run(Method::RtpMl);
-
-        for wi in 0..heur_r.len() {
-            // Truth rows covered by this window.
-            let rows: Vec<TruthRow> = trace
-                .truth
-                .iter()
-                .filter(|r| {
-                    r.second >= wi as i64 * i64::from(w)
-                        && r.second < (wi as i64 + 1) * i64::from(w)
-                })
-                .copied()
-                .collect();
-            if rows.is_empty() {
-                continue;
-            }
-            let truth = aggregate_truth(&rows);
-
-            samples.push(WindowSample {
-                ipudp_features: ip_ml_r[wi]
-                    .features
-                    .clone()
-                    .expect("ML report carries features"),
-                rtp_features: rtp_ml_r[wi]
-                    .features
-                    .clone()
-                    .expect("ML report carries features"),
-                truth,
-                heur: heur_r[wi]
-                    .estimate
-                    .expect("heuristic report carries estimate"),
-                rtp_heur: rtp_heur_r[wi]
-                    .estimate
-                    .expect("heuristic report carries estimate"),
-                trace_id,
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(traces.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let collected = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= traces.len() {
+                    break;
+                }
+                if !traces[i].is_complete() {
+                    continue; // §4.1 filtering
+                }
+                let samples = trace_samples(i, &traces[i], config, w);
+                collected
+                    .lock()
+                    .expect("collector poisoned")
+                    .push((i, samples));
             });
         }
-    }
+    });
+    let mut collected = collected.into_inner().expect("collector poisoned");
+    collected.sort_by_key(|(i, _)| *i);
+    let samples: Vec<WindowSample> = collected.into_iter().flat_map(|(_, s)| s).collect();
 
     let mut rtp_names = flow_feature_names();
     rtp_names.extend(rtp_feature_names());

@@ -1,6 +1,23 @@
 //! Resolution class schemes (§5.1.5): Meet and Webex are classified
 //! per observed frame-height value; Teams' 11 heights are binned into
 //! low (≤ 240), medium ((240, 480]), and high (> 480).
+//!
+//! ```
+//! use vcaml::ResolutionScheme;
+//! use vcaml_rtp::VcaKind;
+//!
+//! // Teams always uses the paper's three bins…
+//! let teams = ResolutionScheme::for_vca(VcaKind::Teams, &[]);
+//! assert_eq!(teams.class_of(240), Some(0)); // Low
+//! assert_eq!(teams.class_of(360), Some(1)); // Medium
+//! assert_eq!(teams.class_of(720), Some(2)); // High
+//!
+//! // …while Meet gets one class per height observed in the corpus.
+//! let meet = ResolutionScheme::for_vca(VcaKind::Meet, &[360, 180, 360]);
+//! assert_eq!(meet.n_classes(), 2);
+//! assert_eq!(meet.labels(), vec!["180p", "360p"]);
+//! assert_eq!(meet.class_of(540), None); // never observed → no class
+//! ```
 
 use serde::{Deserialize, Serialize};
 use vcaml_rtp::VcaKind;

@@ -1,6 +1,34 @@
 //! The monitor-side trace model: what a passive observer has (timestamps,
 //! sizes, and — for the RTP baselines — parsed RTP headers), plus the
 //! ground-truth rows used for training and evaluation.
+//!
+//! ```
+//! use vcaml::{Trace, TracePacket};
+//! use vcaml_netpkt::Timestamp;
+//! use vcaml_rtp::{PayloadMap, RtpHeader, VcaKind};
+//!
+//! let pkt = |ms: i64, size: u16, pt: Option<u8>| TracePacket {
+//!     ts: Timestamp::from_millis(ms),
+//!     size,
+//!     rtp: pt.map(|pt| RtpHeader::basic(pt, 0, 0, 1, false)),
+//!     truth_media: None,
+//! };
+//! let trace = Trace {
+//!     vca: VcaKind::Teams,
+//!     payload_map: PayloadMap::lab(VcaKind::Teams),
+//!     packets: vec![
+//!         pkt(0, 1_100, Some(102)), // video payload type
+//!         pkt(5, 150, Some(111)),   // audio
+//!         pkt(9, 80, None),         // not RTP at all
+//!     ],
+//!     truth: vec![],
+//!     duration_secs: 1,
+//! };
+//! // Payload-type classification is how the RTP baselines see media.
+//! assert_eq!(trace.rtp_video_packets().count(), 1);
+//! // No ground-truth rows yet → incomplete by the paper's §4.1 filter.
+//! assert!(!trace.is_complete());
+//! ```
 
 use serde::{Deserialize, Serialize};
 use vcaml_netpkt::Timestamp;

@@ -16,6 +16,40 @@
 //!   mean/variance plus a P² quantile sketch for medians, trading exact
 //!   medians for constant memory (the "streaming versions of the methods"
 //!   deployment shape of §7).
+//!
+//! ```
+//! use vcaml_features::incremental::{IpUdpFeatureAcc, P2Quantile};
+//! use vcaml_features::{ipudp_features, PktObs, StatsMode, DEFAULT_THETA_IAT_US};
+//! use vcaml_netpkt::Timestamp;
+//!
+//! // One second of video-sized packets, 60 per second.
+//! let pkts: Vec<PktObs> = (0..60)
+//!     .map(|i| PktObs {
+//!         ts: Timestamp::from_micros(i * 16_667),
+//!         size: 1_000 + (i % 7) as u16,
+//!     })
+//!     .collect();
+//!
+//! // Single-pass accumulation…
+//! let mut acc = IpUdpFeatureAcc::new(StatsMode::Exact, DEFAULT_THETA_IAT_US);
+//! for p in &pkts {
+//!     acc.push(p.ts, p.size);
+//! }
+//! let streamed = acc.features(1.0);
+//!
+//! // …is exactly the batch formula (the batch entry point replays
+//! // through this accumulator).
+//! assert_eq!(streamed, ipudp_features(&pkts, 1.0, DEFAULT_THETA_IAT_US));
+//! assert_eq!(streamed.len(), 14, "Table 1's IP/UDP feature vector");
+//!
+//! // The P² sketch estimates quantiles in O(1) memory: exact for its
+//! // first five observations, approximate afterwards.
+//! let mut median = P2Quantile::new(0.5);
+//! for x in [1.0, 9.0, 5.0, 3.0, 7.0] {
+//!     median.push(x);
+//! }
+//! assert_eq!(median.estimate(), 5.0);
+//! ```
 
 use std::collections::BTreeMap;
 use vcaml_netpkt::Timestamp;

@@ -76,10 +76,16 @@ fn main() {
     // A tap delivers packets in global arrival order.
     feed.sort_by_key(|(_, p)| p.ts);
 
+    // Four shard workers split the fleet: each flow is hashed to one
+    // worker, engines run in parallel, and the bounded event queue
+    // applies backpressure instead of growing without limit if this
+    // consumer falls behind.
     let mut monitor = MonitorBuilder::new(vca)
         .method(EstimationMethod::Fixed(Method::IpUdpMl))
         .model(model.clone())
         .shards(8)
+        .threads(4)
+        .queue_capacity(16_384)
         .idle_timeout(Timestamp::from_secs(30))
         .build();
 
@@ -98,7 +104,7 @@ fn main() {
     }
 
     println!(
-        "\ndemuxed {} packets into {} flows across 8 shards",
+        "\ndemuxed {} packets into {} flows across 4 shard workers",
         stats.packets, stats.flows_opened
     );
     println!("\ncall  windows  inferred FPS (mean)  true FPS (mean)  verdict");

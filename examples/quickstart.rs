@@ -29,8 +29,13 @@ fn main() {
     // 2. The whole pipeline behind one typed entry point: packet-size
     //    media classification, Algorithm-1 frame reconstruction, and
     //    per-second QoE estimation (no application headers consumed).
+    //    `threads(2)` runs the flow engines on shard workers behind
+    //    bounded channels — on a one-call feed it only demonstrates the
+    //    knob, but the same builder line scales a mixed tap across
+    //    cores (see the operator_monitor example).
     let mut monitor = MonitorBuilder::new(VcaKind::Teams)
         .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+        .threads(2)
         .build();
     for cap in &captured {
         monitor.ingest_captured(cap);

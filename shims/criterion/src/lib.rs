@@ -6,9 +6,83 @@
 //! `criterion_main!` macros — as a simple wall-clock harness: each
 //! benchmark is warmed up, then timed over enough iterations to cover a
 //! minimum measurement window, and the median per-iteration time plus
-//! derived throughput is printed. No statistics, plots, or baselines.
+//! derived throughput is printed. No statistics or plots; a minimal
+//! machine-readable baseline is available on request: set
+//! `VCAML_BENCH_JSON=<path>` and `criterion_main!` writes every
+//! measurement of the run as one JSON document (see [`Measurement`]),
+//! which CI uses to track packets/sec trajectories across commits.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One recorded benchmark result, as serialized to `VCAML_BENCH_JSON`.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median wall-clock time per iteration, nanoseconds.
+    pub ns_per_iter: u128,
+    /// Elements (or bytes) per second, when the group declared a
+    /// throughput; `None` otherwise.
+    pub rate_per_sec: Option<f64>,
+    /// Unit of `rate_per_sec`: `"elements"` or `"bytes"`.
+    pub rate_unit: Option<&'static str>,
+}
+
+/// Results of every `bench_function` run in this process, in run order.
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+fn record(m: Measurement) {
+    MEASUREMENTS.lock().expect("measurements poisoned").push(m);
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Writes every measurement of the run to the path in
+/// `VCAML_BENCH_JSON`, if set. Called by `criterion_main!` after all
+/// groups finish; benches running under the real criterion crate simply
+/// never see the variable.
+pub fn write_json_results() {
+    let Ok(path) = std::env::var("VCAML_BENCH_JSON") else {
+        return;
+    };
+    let measurements = MEASUREMENTS.lock().expect("measurements poisoned");
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    // Cores matter for interpreting parallel-vs-serial entries: a
+    // 1-core machine cannot show a threading win, so trajectory tooling
+    // must compare like with like.
+    let mut out = format!("{{\n\"cores\": {cores},\n\"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"group\":\"{}\",\"id\":\"{}\",\"ns_per_iter\":{}",
+            json_escape(&m.group),
+            json_escape(&m.id),
+            m.ns_per_iter
+        ));
+        if let (Some(rate), Some(unit)) = (m.rate_per_sec, m.rate_unit) {
+            out.push_str(&format!(
+                ",\"rate_per_sec\":{rate:.1},\"rate_unit\":\"{unit}\""
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n}\n");
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| panic!("cannot create bench JSON dir {parent:?}: {e}"));
+        }
+    }
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("cannot write bench JSON to {path}: {e}"));
+    eprintln!("wrote {} bench measurements to {path}", measurements.len());
+}
 
 /// Units for reporting throughput.
 #[derive(Debug, Clone, Copy)]
@@ -116,19 +190,33 @@ impl BenchmarkGroup<'_> {
         f(&mut b);
         let per_iter = b.median();
         let ns = per_iter.as_nanos().max(1);
-        let rate = match self.throughput {
+        let (rate, rate_per_sec, rate_unit) = match self.throughput {
             Some(Throughput::Bytes(n)) => {
-                format!(
-                    "  {:>10.1} MiB/s",
-                    n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64
+                let per_sec = n as f64 / per_iter.as_secs_f64();
+                (
+                    format!("  {:>10.1} MiB/s", per_sec / (1 << 20) as f64),
+                    Some(per_sec),
+                    Some("bytes"),
                 )
             }
             Some(Throughput::Elements(n)) => {
-                format!("  {:>12.0} elem/s", n as f64 / per_iter.as_secs_f64())
+                let per_sec = n as f64 / per_iter.as_secs_f64();
+                (
+                    format!("  {per_sec:>12.0} elem/s"),
+                    Some(per_sec),
+                    Some("elements"),
+                )
             }
-            None => String::new(),
+            None => (String::new(), None, None),
         };
         println!("{}/{id:<36} {ns:>12} ns/iter{rate}", self.name);
+        record(Measurement {
+            group: self.name.clone(),
+            id: id.to_string(),
+            ns_per_iter: ns,
+            rate_per_sec,
+            rate_unit,
+        });
         self
     }
 
@@ -172,12 +260,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench `main`, mirroring criterion's macro.
+/// Declares the bench `main`, mirroring criterion's macro. After every
+/// group runs, the measurements are written to `VCAML_BENCH_JSON` when
+/// that variable is set (a shim extension the real criterion ignores).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_results();
         }
     };
 }

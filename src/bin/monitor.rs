@@ -11,6 +11,9 @@
 //! cargo run --release --bin monitor -- --synthetic 10 --calls 3
 //! cargo run --release --bin monitor -- --pcap capture.pcap --vca meet
 //! cargo run --release --bin monitor -- --synthetic 10 --alert-fps 24
+//! # Parallel ingestion with bounded backpressure:
+//! cargo run --release --bin monitor -- --synthetic 30 --calls 16 \
+//!     --threads 4 --queue-cap 4096 --overflow drop-oldest
 //! ```
 
 use std::io::Write;
@@ -19,7 +22,7 @@ use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
 use vcaml_suite::netpkt::{PcapReader, Timestamp};
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    EstimationMethod, Method, Monitor, MonitorBuilder, QoeEvent, WindowReport,
+    EstimationMethod, Method, Monitor, MonitorBuilder, OverflowPolicy, QoeEvent, WindowReport,
 };
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
@@ -33,6 +36,9 @@ struct Args {
     idle_timeout_secs: i64,
     alert_fps: Option<f64>,
     flush_after: Option<u32>,
+    threads: usize,
+    queue_cap: Option<usize>,
+    overflow: OverflowPolicy,
 }
 
 fn usage() -> ! {
@@ -49,7 +55,14 @@ fn usage() -> ! {
            --flush-after <pkts> emit provisional windows after this many\n\
                                 packets without a final one (default off)\n\
            --alert-fps <fps>    emit an alert line when a window's frame\n\
-                                rate falls below this"
+                                rate falls below this\n\
+           --threads <n>        shard worker threads (default 1 = inline)\n\
+           --queue-cap <n>      bound on the event queue and per-shard\n\
+                                ingest channels, in events (default 65536)\n\
+           --overflow <block|drop-oldest>\n\
+                                full-queue policy: block producers, or\n\
+                                drop the oldest events and report them\n\
+                                with a dropped marker (default block)"
     );
     std::process::exit(2)
 }
@@ -65,6 +78,9 @@ fn parse_args() -> Args {
         idle_timeout_secs: 60,
         alert_fps: None,
         flush_after: None,
+        threads: 1,
+        queue_cap: None,
+        overflow: OverflowPolicy::Block,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -100,6 +116,15 @@ fn parse_args() -> Args {
             }
             "--alert-fps" => args.alert_fps = Some(value().parse().unwrap_or_else(|_| usage())),
             "--flush-after" => args.flush_after = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--threads" => args.threads = value().parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => args.queue_cap = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--overflow" => {
+                args.overflow = match value().as_str() {
+                    "block" => OverflowPolicy::Block,
+                    "drop-oldest" => OverflowPolicy::DropOldest,
+                    _ => usage(),
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -108,7 +133,12 @@ fn parse_args() -> Args {
         usage();
     }
     // The builder asserts on these; fail with usage, not a panic.
-    if args.window_secs == 0 || args.flush_after == Some(0) || args.idle_timeout_secs <= 0 {
+    if args.window_secs == 0
+        || args.flush_after == Some(0)
+        || args.idle_timeout_secs <= 0
+        || args.threads == 0
+        || args.queue_cap == Some(0)
+    {
         usage();
     }
     args
@@ -176,7 +206,12 @@ fn main() {
     let mut builder = MonitorBuilder::new(args.vca)
         .method(args.method)
         .window_secs(args.window_secs)
+        .threads(args.threads)
+        .overflow(args.overflow)
         .idle_timeout(Timestamp::from_secs(args.idle_timeout_secs));
+    if let Some(cap) = args.queue_cap {
+        builder = builder.queue_capacity(cap);
+    }
     if let Some(k) = args.flush_after {
         builder = builder.flush_after_packets(k);
     }
