@@ -6,8 +6,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use std::net::{IpAddr, Ipv4Addr};
 use vcaml::api::build_engine;
 use vcaml::{
-    build_samples, estimate_windows, EngineConfig, EstimationMethod, HeuristicParams,
-    IpUdpHeuristic, MediaClassifier, Method, MonitorBuilder, PipelineOpts, QoeEstimator,
+    build_samples, estimate_windows, CountingSink, EngineConfig, EstimationMethod, HeuristicParams,
+    IpUdpHeuristic, MediaClassifier, Method, MonitorBuilder, MonitorRunner, PipelineOpts,
+    QoeEstimator, ReplaySource,
 };
 use vcaml_datasets::{inlab_corpus, to_core_trace, CorpusConfig};
 use vcaml_features::{ipudp_features, windows_by_second, PktObs, DEFAULT_THETA_IAT_US};
@@ -262,19 +263,39 @@ fn feed_64_flows() -> Vec<(FlowKey, vcaml::TracePacket)> {
     feed
 }
 
-fn run_64_flows(feed: &[(FlowKey, vcaml::TracePacket)], threads: usize) -> usize {
-    let mut monitor = MonitorBuilder::new(VcaKind::Teams)
-        .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
-        .shards(8)
-        .threads(threads)
-        .idle_timeout(Timestamp::from_secs(60))
-        .build();
+/// Splits the feed across `n_sources` replay sources by flow (a flow
+/// must not span sources), preserving arrival order within each.
+fn split_feed(feed: &[(FlowKey, vcaml::TracePacket)], n_sources: usize) -> Vec<ReplaySource> {
+    let mut parts: Vec<Vec<(FlowKey, vcaml::TracePacket)>> = vec![Vec::new(); n_sources];
     for (key, p) in feed {
-        monitor.ingest_packet(*key, *p);
+        parts[(key.port_a as usize + key.port_b as usize) % n_sources].push((*key, *p));
     }
-    let mut n = monitor.pending_events();
-    n += monitor.finish().len();
-    n
+    parts.into_iter().map(ReplaySource::from_packets).collect()
+}
+
+/// The full I/O pipeline: replay source(s) → `MonitorRunner` → counting
+/// sink. With a threaded monitor, each source ingests on its own thread.
+fn run_64_flows_runner(
+    feed: &[(FlowKey, vcaml::TracePacket)],
+    threads: usize,
+    n_sources: usize,
+) -> usize {
+    let mut runner = MonitorRunner::new(
+        MonitorBuilder::new(VcaKind::Teams)
+            .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+            .shards(8)
+            .threads(threads)
+            .idle_timeout(Timestamp::from_secs(60)),
+    )
+    .sink(CountingSink::default());
+    for source in split_feed(feed, n_sources) {
+        runner = runner.source(source);
+    }
+    runner.run().events as usize
+}
+
+fn run_64_flows(feed: &[(FlowKey, vcaml::TracePacket)], threads: usize) -> usize {
+    run_64_flows_runner(feed, threads, 1)
 }
 
 /// Monitor-facade throughput with 64 concurrent calls — the facade's
@@ -306,6 +327,26 @@ fn bench_monitor_threads(c: &mut Criterion) {
     g.finish();
 }
 
+/// End-to-end I/O pipeline throughput — source(s) → `MonitorRunner` →
+/// sink — with 1 vs. 2 ingest threads over the same 64-flow feed and the
+/// same 2-worker monitor. The 2-source number includes the second ingest
+/// thread's spawn and the split of the feed, so the speedup shown is the
+/// end-to-end one an operator gets from feeding a monitor off two RX
+/// queues instead of one.
+fn bench_runner_ingest(c: &mut Criterion) {
+    let feed = feed_64_flows();
+    let mut g = c.benchmark_group("runner_ingest");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(feed.len() as u64));
+    g.bench_function("heuristic_64_flows_1_ingest", |b| {
+        b.iter(|| run_64_flows_runner(&feed, 2, 1))
+    });
+    g.bench_function("heuristic_64_flows_2_ingest", |b| {
+        b.iter(|| run_64_flows_runner(&feed, 2, 2))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_packet_parse,
@@ -315,6 +356,7 @@ criterion_group!(
     bench_batch_vs_engine,
     bench_flow_table_64_flows,
     bench_monitor_threads,
+    bench_runner_ingest,
     bench_forest,
     bench_simulation
 );

@@ -271,6 +271,12 @@ pub enum QoeEvent {
     Dropped {
         /// How many events were discarded since the last drain.
         count: u64,
+        /// Flow-attributed breakdown of `count`, sorted by flow —
+        /// dashboards can show *which* flows lost freshness. Events with
+        /// no flow (parse drops) are in `count` but not listed here, and
+        /// attribution is bounded (4096 flows per interval) so `count`
+        /// can exceed the breakdown's sum under extreme flow churn.
+        per_flow: Vec<(FlowKey, u64)>,
     },
 }
 
@@ -373,8 +379,15 @@ impl Serialize for QoeEvent {
                     _ => {}
                 }
             }
-            QoeEvent::Dropped { count } => {
+            QoeEvent::Dropped { count, per_flow } => {
                 m.insert("count".into(), count.to_value());
+                if !per_flow.is_empty() {
+                    let mut flows = Map::new();
+                    for (flow, n) in per_flow {
+                        flows.insert(flow.to_string(), n.to_value());
+                    }
+                    m.insert("per_flow".into(), Value::Object(flows));
+                }
             }
         }
         Value::Object(m)
@@ -382,7 +395,7 @@ impl Serialize for QoeEvent {
 }
 
 /// Running counters over everything a [`Monitor`] has seen.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct MonitorStats {
     /// Packets routed to a flow engine.
     pub packets: u64,
@@ -400,6 +413,12 @@ pub struct MonitorStats {
     /// Events discarded by the bounded event queue
     /// ([`OverflowPolicy::DropOldest`] only).
     pub events_dropped: u64,
+    /// Flow-attributed breakdown of `events_dropped`, sorted by flow.
+    /// Events with no flow (parse drops) are counted in `events_dropped`
+    /// but not listed here, and attribution is bounded (4096 flows over
+    /// the monitor's lifetime) so long-running monitors with endless
+    /// flow churn keep O(1) accounting state.
+    pub dropped_by_flow: Vec<(FlowKey, u64)>,
 }
 
 /// Shared, thread-safe counter cells behind [`MonitorStats`]: shard
@@ -408,7 +427,7 @@ pub struct MonitorStats {
 /// eventually consistent — packets still queued on a shard channel are
 /// not yet counted.
 #[derive(Debug, Default)]
-struct StatsCells {
+pub(crate) struct StatsCells {
     packets: AtomicU64,
     parse_drops: AtomicU64,
     flows_opened: AtomicU64,
@@ -418,7 +437,11 @@ struct StatsCells {
 }
 
 impl StatsCells {
-    fn snapshot(&self, events_dropped: u64) -> MonitorStats {
+    pub(crate) fn snapshot(
+        &self,
+        events_dropped: u64,
+        dropped_by_flow: Vec<(FlowKey, u64)>,
+    ) -> MonitorStats {
         MonitorStats {
             packets: self.packets.load(Relaxed),
             parse_drops: self.parse_drops.load(Relaxed),
@@ -427,6 +450,7 @@ impl StatsCells {
             window_reports: self.window_reports.load(Relaxed),
             provisional_reports: self.provisional_reports.load(Relaxed),
             events_dropped,
+            dropped_by_flow,
         }
     }
 }
@@ -523,14 +547,17 @@ impl MonitorBuilder {
         self
     }
 
-    /// Number of ingest worker threads (default 1 = fully inline, no
+    /// Number of shard worker threads (default 1 = fully inline, no
     /// threads spawned). With `n ≥ 2` the monitor hashes each packet's
     /// flow to one of `n` dedicated shard workers over a bounded channel;
     /// each worker runs its flows' engines, windowing, probation, and
     /// idle eviction independently, and the merged event stream preserves
     /// per-flow ordering (a flow lives on exactly one worker).
+    ///
+    /// `n == 0` means *auto*: size the workers from
+    /// [`std::thread::available_parallelism`] at [`MonitorBuilder::build`]
+    /// time (1 worker per core, inline when only one core is visible).
     pub fn threads(mut self, n: usize) -> Self {
-        assert!(n >= 1, "zero threads");
         self.threads = n;
         self
     }
@@ -581,9 +608,16 @@ impl MonitorBuilder {
     }
 
     /// Constructs the monitor, spawning its shard workers when
-    /// [`MonitorBuilder::threads`] ≥ 2.
+    /// [`MonitorBuilder::threads`] resolves to ≥ 2 (`threads(0)` sizes
+    /// them from [`std::thread::available_parallelism`]).
     pub fn build(self) -> Monitor {
-        let inline = self.threads == 1;
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            n => n,
+        };
+        let inline = threads == 1;
         let stats = Arc::new(StatsCells::default());
         // A single-threaded monitor must never park on its own queue
         // (the producer is the consumer), so Block only waits when shard
@@ -621,11 +655,11 @@ impl MonitorBuilder {
             // Distribute the configured shards across the workers; the
             // ingest channels share the event queue's capacity knob
             // (counted in batches) so one bound governs the pipeline.
-            let inner_shards = (self.shards / self.threads).max(1);
+            let inner_shards = (self.shards / threads).max(1);
             let channel_batches = (self.queue_capacity / INGEST_BATCH).max(1);
-            let mut senders = Vec::with_capacity(self.threads);
-            let mut handles = Vec::with_capacity(self.threads);
-            for worker in 0..self.threads {
+            let mut senders = Vec::with_capacity(threads);
+            let mut handles = Vec::with_capacity(threads);
+            for worker in 0..threads {
                 let (tx, rx) = sync_channel::<ShardMsg>(channel_batches);
                 let state = shard_state(inner_shards);
                 let deliver = deliver.clone();
@@ -933,7 +967,8 @@ impl Monitor {
     /// is eventually consistent: packets still queued on a shard channel
     /// are not yet counted ([`Monitor::finish`] settles everything).
     pub fn stats(&self) -> MonitorStats {
-        self.stats.snapshot(self.queue.dropped_total())
+        self.stats
+            .snapshot(self.queue.dropped_total(), self.queue.dropped_by_flow())
     }
 
     /// Flows currently tracked (probation included). Exact on an inline
@@ -975,76 +1010,32 @@ impl Monitor {
 
     /// Ingests one raw link-layer (Ethernet II) frame.
     pub fn ingest_frame(&mut self, ts: Timestamp, frame: &[u8]) {
-        match UdpDatagram::parse(frame) {
-            Ok(Some(dg)) => self.ingest_datagram(ts, &dg),
-            Ok(None) => self.drop_packet(ts, ParseDropReason::NotUdp),
-            Err(e) => self.drop_packet(ts, ParseDropReason::from(&e)),
+        match parse_frame(ts, frame, self.wants_rtp) {
+            Ok((flow, pkt)) => self.ingest_packet(flow, pkt),
+            Err(reason) => self.drop_packet(ts, reason),
         }
     }
 
     /// Ingests one raw IP packet (pcap `LINKTYPE_RAW` and friends).
     pub fn ingest_ip(&mut self, ts: Timestamp, bytes: &[u8]) {
-        let parsed = match bytes.first().map(|b| b >> 4) {
-            Some(4) => UdpDatagram::parse_ipv4(bytes),
-            Some(6) => UdpDatagram::parse_ipv6(bytes),
-            Some(_) => Err(NetError::Malformed {
-                layer: "ip",
-                what: "version is neither 4 nor 6",
-            }),
-            None => Err(NetError::Truncated {
-                layer: "ip",
-                needed: 1,
-                got: 0,
-            }),
-        };
-        match parsed {
-            Ok(Some(dg)) => self.ingest_datagram(ts, &dg),
-            Ok(None) => self.drop_packet(ts, ParseDropReason::NotUdp),
-            Err(e) => self.drop_packet(ts, ParseDropReason::from(&e)),
+        match parse_ip(ts, bytes, self.wants_rtp) {
+            Ok((flow, pkt)) => self.ingest_packet(flow, pkt),
+            Err(reason) => self.drop_packet(ts, reason),
         }
     }
 
     /// Ingests one pcap record, dispatching on the file's link type.
     pub fn ingest_pcap_record(&mut self, link: LinkType, rec: &PcapRecord) {
-        match link {
-            LinkType::Ethernet => self.ingest_frame(rec.ts, &rec.data),
-            LinkType::RawIp => self.ingest_ip(rec.ts, &rec.data),
-            LinkType::Other(_) => self.drop_packet(
-                rec.ts,
-                ParseDropReason::Malformed {
-                    layer: "pcap",
-                    what: "unsupported link type",
-                },
-            ),
+        match parse_record(link, rec, self.wants_rtp) {
+            Ok((flow, pkt)) => self.ingest_packet(flow, pkt),
+            Err(reason) => self.drop_packet(rec.ts, reason),
         }
     }
 
     /// Ingests one decoded capture (timestamp + UDP datagram).
     pub fn ingest_captured(&mut self, cap: &CapturedPacket) {
-        self.ingest_datagram(cap.ts, &cap.datagram);
-    }
-
-    fn ingest_datagram(&mut self, ts: Timestamp, dg: &UdpDatagram) {
-        let (flow, _) = dg.flow_key();
-        // The RTP parse-attempt: confidence over these results decides
-        // the method for auto-configured monitors, and the header feeds
-        // the RTP engines. Non-RTP payloads simply leave `rtp` empty;
-        // fixed IP/UDP monitors (the paper's no-RTP-access deployment)
-        // skip the attempt entirely — nothing consumes it.
-        let rtp = if self.wants_rtp {
-            RtpHeader::parse(&dg.payload).ok()
-        } else {
-            None
-        };
-        self.ingest_packet(
-            flow,
-            TracePacket {
-                ts,
-                size: dg.ip_total_len,
-                rtp,
-                truth_media: None,
-            },
-        );
+        let (flow, pkt) = datagram_packet(cap.ts, &cap.datagram, self.wants_rtp);
+        self.ingest_packet(flow, pkt);
     }
 
     /// Ingests one pre-parsed packet on an explicit flow — the entry point
@@ -1166,7 +1157,213 @@ impl Monitor {
 
     fn drop_packet(&mut self, ts: Timestamp, reason: ParseDropReason) {
         self.stats.parse_drops.fetch_add(1, Relaxed);
+        let event = QoeEvent::ParseDrop { ts, reason };
+        match &self.deliver {
+            // The caller *is* the queue's consumer: parking here against
+            // a full Block queue would be waiting on itself (workers only
+            // widen the queue, they never drain it), so the drop marker
+            // goes in without waiting.
+            Deliver::Queue(queue) => queue.push_nowait(vec![event]),
+            Deliver::Sink(_) => self.deliver.send(vec![event]),
+        }
+    }
+
+    /// Handles that outlive [`Monitor::finish`], so the runner can
+    /// snapshot final counters *after* consuming the monitor (when the
+    /// workers have settled everything).
+    pub(crate) fn stats_probe(&self) -> (Arc<StatsCells>, Arc<EventQueue>) {
+        (Arc::clone(&self.stats), Arc::clone(&self.queue))
+    }
+
+    /// Opens an independent ingest port on a threaded monitor (`None`
+    /// when the monitor is inline). Ports are how
+    /// [`crate::runner::MonitorRunner`] runs one ingest thread per
+    /// source: each port parses and flow-hashes its own packets and
+    /// feeds the shard channels directly, so the serial dispatch section
+    /// scales with the number of sources. See [`IngestPort`] for the
+    /// concurrent-drainer requirement its holder takes on.
+    pub(crate) fn ingest_port(&self) -> Option<IngestPort> {
+        match &self.dispatch {
+            Dispatch::Threaded { senders, .. } => Some(IngestPort {
+                wants_rtp: self.wants_rtp,
+                stats: Arc::clone(&self.stats),
+                deliver: self.deliver.clone(),
+                batches: senders.iter().map(|_| Vec::new()).collect(),
+                senders: senders.clone(),
+            }),
+            Dispatch::Inline(_) | Dispatch::Done => None,
+        }
+    }
+}
+
+// -- stateless raw-bytes decode (Monitor + IngestPort share it) ------------
+
+/// Decodes one Ethernet II frame into a flow-keyed [`TracePacket`],
+/// attempting the RTP parse when any configured method consumes it.
+pub(crate) fn parse_frame(
+    ts: Timestamp,
+    frame: &[u8],
+    wants_rtp: bool,
+) -> Result<(FlowKey, TracePacket), ParseDropReason> {
+    match UdpDatagram::parse(frame) {
+        Ok(Some(dg)) => Ok(datagram_packet(ts, &dg, wants_rtp)),
+        Ok(None) => Err(ParseDropReason::NotUdp),
+        Err(e) => Err(ParseDropReason::from(&e)),
+    }
+}
+
+/// Decodes one raw IP packet (v4 or v6 by version nibble).
+pub(crate) fn parse_ip(
+    ts: Timestamp,
+    bytes: &[u8],
+    wants_rtp: bool,
+) -> Result<(FlowKey, TracePacket), ParseDropReason> {
+    let parsed = match bytes.first().map(|b| b >> 4) {
+        Some(4) => UdpDatagram::parse_ipv4(bytes),
+        Some(6) => UdpDatagram::parse_ipv6(bytes),
+        Some(_) => Err(NetError::Malformed {
+            layer: "ip",
+            what: "version is neither 4 nor 6",
+        }),
+        None => Err(NetError::Truncated {
+            layer: "ip",
+            needed: 1,
+            got: 0,
+        }),
+    };
+    match parsed {
+        Ok(Some(dg)) => Ok(datagram_packet(ts, &dg, wants_rtp)),
+        Ok(None) => Err(ParseDropReason::NotUdp),
+        Err(e) => Err(ParseDropReason::from(&e)),
+    }
+}
+
+/// Decodes one pcap record, dispatching on the file's link type.
+pub(crate) fn parse_record(
+    link: LinkType,
+    rec: &PcapRecord,
+    wants_rtp: bool,
+) -> Result<(FlowKey, TracePacket), ParseDropReason> {
+    match link {
+        LinkType::Ethernet => parse_frame(rec.ts, &rec.data, wants_rtp),
+        LinkType::RawIp => parse_ip(rec.ts, &rec.data, wants_rtp),
+        LinkType::Other(_) => Err(ParseDropReason::Malformed {
+            layer: "pcap",
+            what: "unsupported link type",
+        }),
+    }
+}
+
+/// Flow-keys a decoded datagram and runs the RTP parse-attempt: the
+/// attempt's confidence decides the method for auto-configured monitors,
+/// and the header feeds the RTP engines. Non-RTP payloads simply leave
+/// `rtp` empty; fixed IP/UDP monitors (the paper's no-RTP-access
+/// deployment) skip the attempt entirely — nothing consumes it.
+pub(crate) fn datagram_packet(
+    ts: Timestamp,
+    dg: &UdpDatagram,
+    wants_rtp: bool,
+) -> (FlowKey, TracePacket) {
+    let (flow, _) = dg.flow_key();
+    let rtp = if wants_rtp {
+        RtpHeader::parse(&dg.payload).ok()
+    } else {
+        None
+    };
+    (
+        flow,
+        TracePacket {
+            ts,
+            size: dg.ip_total_len,
+            rtp,
+            truth_media: None,
+        },
+    )
+}
+
+/// One source's private lane into a threaded monitor's shard workers:
+/// parse, flow-hash, batch, and send happen on the port holder's thread,
+/// so N ports ingest in parallel without sharing the [`Monitor`]'s
+/// `&mut self`. Per-flow packet order within one port is preserved
+/// end-to-end (same hash, same channel, same worker); packets for one
+/// flow split across ports interleave in channel-arrival order.
+///
+/// Sends block when a shard channel is full — ingest-side backpressure.
+/// The holder must guarantee a concurrent drainer (the runner's event
+/// loop), or a `Block` queue can park the pipeline; this is why ports
+/// are crate-internal and only [`crate::runner::MonitorRunner`] hands
+/// them out.
+pub(crate) struct IngestPort {
+    wants_rtp: bool,
+    stats: Arc<StatsCells>,
+    deliver: Deliver,
+    senders: Vec<SyncSender<ShardMsg>>,
+    batches: Vec<Vec<(FlowKey, TracePacket)>>,
+}
+
+impl IngestPort {
+    /// Ingests one pcap record, dispatching on the file's link type.
+    pub(crate) fn ingest_pcap_record(&mut self, link: LinkType, rec: &PcapRecord) {
+        match parse_record(link, rec, self.wants_rtp) {
+            Ok((flow, pkt)) => self.ingest_packet(flow, pkt),
+            Err(reason) => self.drop_packet(rec.ts, reason),
+        }
+    }
+
+    /// Ingests one decoded capture (timestamp + UDP datagram).
+    pub(crate) fn ingest_captured(&mut self, cap: &CapturedPacket) {
+        let (flow, pkt) = datagram_packet(cap.ts, &cap.datagram, self.wants_rtp);
+        self.ingest_packet(flow, pkt);
+    }
+
+    /// Ingests one pre-parsed packet on an explicit flow.
+    pub(crate) fn ingest_packet(&mut self, flow: FlowKey, pkt: TracePacket) {
+        if pkt.ts.as_micros() < 0 {
+            self.drop_packet(pkt.ts, ParseDropReason::NegativeTimestamp);
+            return;
+        }
+        let worker = worker_of(&flow, self.senders.len());
+        self.batches[worker].push((flow, pkt));
+        if self.batches[worker].len() >= INGEST_BATCH {
+            let batch =
+                std::mem::replace(&mut self.batches[worker], Vec::with_capacity(INGEST_BATCH));
+            self.senders[worker]
+                .send(ShardMsg::Batch(batch))
+                .expect("shard workers outlive ingest ports");
+        }
+    }
+
+    /// Sends every partially filled batch to its shard worker. Call
+    /// before dropping the port so no tail packet is left behind.
+    pub(crate) fn flush(&mut self) {
+        for (worker, batch) in self.batches.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                self.senders[worker]
+                    .send(ShardMsg::Batch(std::mem::take(batch)))
+                    .expect("shard workers outlive ingest ports");
+            }
+        }
+    }
+
+    fn drop_packet(&mut self, ts: Timestamp, reason: ParseDropReason) {
+        self.stats.parse_drops.fetch_add(1, Relaxed);
+        // Unlike Monitor::drop_packet this may park against a full Block
+        // queue: the port holder is an ingest thread, and the runner's
+        // event loop is the concurrent drainer that frees it.
         self.deliver.send(vec![QoeEvent::ParseDrop { ts, reason }]);
+    }
+}
+
+impl Drop for IngestPort {
+    /// Best-effort tail flush for ports dropped without [`IngestPort::flush`]
+    /// (ingest-thread panic): delivery is only guaranteed after an
+    /// explicit flush, but don't silently strand full batches either.
+    fn drop(&mut self) {
+        for (worker, batch) in self.batches.iter_mut().enumerate() {
+            if !batch.is_empty() {
+                let _ = self.senders[worker].send(ShardMsg::Batch(std::mem::take(batch)));
+            }
+        }
     }
 }
 
@@ -1583,6 +1780,26 @@ mod tests {
         assert_eq!(m.active_flows(), 0);
         assert_eq!(m.stats().packets, 0);
         assert_eq!(m.pending_events(), 0);
+    }
+
+    #[test]
+    fn threads_zero_sizes_workers_from_available_parallelism() {
+        let want = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let mut m = fixed(Method::IpUdpHeuristic).threads(0).build();
+        assert!(
+            format!("{m:?}").contains(&format!("threads: {want}")),
+            "auto thread count must match available parallelism"
+        );
+        let flow = flow_key(1);
+        for p in video_stream(2) {
+            m.ingest_packet(flow, p);
+        }
+        let events = m.finish();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, QoeEvent::FlowEvicted { .. })));
     }
 
     #[test]
@@ -2008,7 +2225,11 @@ mod tests {
             m.ingest_packet(flow, p);
         }
         let drained: Vec<QoeEvent> = m.drain_events().collect();
-        let QoeEvent::Dropped { count } = drained[0] else {
+        let QoeEvent::Dropped {
+            count,
+            ref per_flow,
+        } = drained[0]
+        else {
             panic!("drain must lead with the drop marker");
         };
         assert_eq!(drained.len() - 1, 3, "queue stayed at capacity");
@@ -2017,7 +2238,14 @@ mod tests {
             total,
             "dropped + kept == every event emitted"
         );
-        assert_eq!(m.stats().events_dropped, count);
+        let stats = m.stats();
+        assert_eq!(stats.events_dropped, count);
+        // Every shed event belonged to the one flow in the feed, so the
+        // per-flow breakdown accounts for the full count in both the
+        // marker and the stats snapshot.
+        assert_eq!(per_flow.len(), 1);
+        assert_eq!(per_flow[0], (flow, count));
+        assert_eq!(stats.dropped_by_flow, *per_flow);
     }
 
     #[test]

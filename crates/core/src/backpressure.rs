@@ -28,8 +28,17 @@
 //! exactly one shard — survives the merge into the outgoing stream.
 
 use crate::api::QoeEvent;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
+use vcaml_netpkt::FlowKey;
+
+/// Bound on the flows the shed-attribution maps track, per interval and
+/// over the queue's lifetime. Shed *counts* stay exact past the bound —
+/// only the per-flow attribution of additional flows is given up — so a
+/// months-long monitor with endless flow churn cannot grow the maps (or
+/// the `Monitor::stats` snapshot that clones them) without limit. Far
+/// above any realistic concurrently-shedding flow population.
+const MAX_ATTRIBUTED_FLOWS: usize = 4096;
 
 /// What the monitor's bounded event queue does when a push finds it full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,8 +59,12 @@ struct QueueInner {
     policy: OverflowPolicy,
     /// Events discarded since the last drain (DropOldest only).
     dropped_since_drain: u64,
+    /// Flow-attributed slice of `dropped_since_drain`, keyed by flow.
+    dropped_flows_since_drain: HashMap<FlowKey, u64>,
     /// Events discarded over the queue's lifetime.
     dropped_total: u64,
+    /// Flow-attributed slice of `dropped_total`, keyed by flow.
+    dropped_flows_total: HashMap<FlowKey, u64>,
     /// Whether `Block` may actually park the producer. False for
     /// single-threaded monitors (self-deadlock) and after `release()`.
     may_block: bool,
@@ -59,6 +72,17 @@ struct QueueInner {
     /// lifted for good, so the end-of-stream flush can neither park nor
     /// shed tail events.
     unbounded: bool,
+}
+
+/// Counts a shed event against `flow`, unless the map is at
+/// [`MAX_ATTRIBUTED_FLOWS`] and the flow is not yet tracked — the total
+/// counters remain exact either way.
+fn bump_bounded(map: &mut HashMap<FlowKey, u64>, flow: FlowKey) {
+    if let Some(n) = map.get_mut(&flow) {
+        *n += 1;
+    } else if map.len() < MAX_ATTRIBUTED_FLOWS {
+        map.insert(flow, 1);
+    }
 }
 
 /// A bounded MPSC event queue shared by the monitor's shard workers (or
@@ -78,7 +102,9 @@ impl EventQueue {
                 capacity,
                 policy,
                 dropped_since_drain: 0,
+                dropped_flows_since_drain: HashMap::new(),
                 dropped_total: 0,
+                dropped_flows_total: HashMap::new(),
                 may_block,
                 unbounded: false,
             }),
@@ -89,6 +115,19 @@ impl EventQueue {
     /// Pushes a batch of events, applying the overflow policy per event.
     /// Batch order (and therefore per-flow order) is preserved.
     pub(crate) fn push_batch(&self, events: Vec<QoeEvent>) {
+        self.push(events, true);
+    }
+
+    /// Like [`EventQueue::push_batch`], but never parks the caller even
+    /// under a blocking policy — for producers that *are* the queue's
+    /// consumer (the inline monitor, or the dispatching thread emitting a
+    /// parse drop), where waiting on the queue is waiting on itself.
+    /// `Block` grows past the bound instead; `DropOldest` is unchanged.
+    pub(crate) fn push_nowait(&self, events: Vec<QoeEvent>) {
+        self.push(events, false);
+    }
+
+    fn push(&self, events: Vec<QoeEvent>, may_wait: bool) {
         if events.is_empty() {
             return;
         }
@@ -97,15 +136,19 @@ impl EventQueue {
             while !inner.unbounded && inner.buf.len() >= inner.capacity {
                 match inner.policy {
                     OverflowPolicy::DropOldest => {
-                        inner.buf.pop_front();
+                        let shed = inner.buf.pop_front();
                         inner.dropped_since_drain += 1;
                         inner.dropped_total += 1;
+                        if let Some(flow) = shed.as_ref().and_then(QoeEvent::flow) {
+                            bump_bounded(&mut inner.dropped_flows_since_drain, flow);
+                            bump_bounded(&mut inner.dropped_flows_total, flow);
+                        }
                     }
-                    OverflowPolicy::Block if inner.may_block => {
+                    OverflowPolicy::Block if inner.may_block && may_wait => {
                         inner = self.not_full.wait(inner).expect("event queue poisoned");
                     }
-                    // Single-threaded (or released) Block: grow past the
-                    // bound rather than deadlocking the only thread.
+                    // Single-threaded (or released, or consumer-side)
+                    // Block: grow past the bound rather than deadlocking.
                     OverflowPolicy::Block => break,
                 }
             }
@@ -115,14 +158,22 @@ impl EventQueue {
 
     /// Takes every queued event. When events were discarded since the
     /// last drain, the returned batch leads with a [`QoeEvent::Dropped`]
-    /// marker whose count is exact — the discarded events were older
-    /// than everything else returned.
+    /// marker whose count — total and per flow — is exact; the discarded
+    /// events were older than everything else returned.
     pub(crate) fn drain(&self) -> Vec<QoeEvent> {
         let mut inner = self.inner.lock().expect("event queue poisoned");
         let dropped = std::mem::take(&mut inner.dropped_since_drain);
+        let mut per_flow: Vec<(FlowKey, u64)> =
+            std::mem::take(&mut inner.dropped_flows_since_drain)
+                .into_iter()
+                .collect();
+        per_flow.sort_unstable_by_key(|(flow, _)| *flow);
         let mut out = Vec::with_capacity(inner.buf.len() + usize::from(dropped > 0));
         if dropped > 0 {
-            out.push(QoeEvent::Dropped { count: dropped });
+            out.push(QoeEvent::Dropped {
+                count: dropped,
+                per_flow,
+            });
         }
         out.extend(inner.buf.drain(..));
         drop(inner);
@@ -141,6 +192,20 @@ impl EventQueue {
             .lock()
             .expect("event queue poisoned")
             .dropped_total
+    }
+
+    /// Flow-attributed lifetime drop counts, sorted by flow for
+    /// deterministic output. Events with no flow (parse drops, markers)
+    /// appear in [`EventQueue::dropped_total`] but not here.
+    pub(crate) fn dropped_by_flow(&self) -> Vec<(FlowKey, u64)> {
+        let inner = self.inner.lock().expect("event queue poisoned");
+        let mut out: Vec<(FlowKey, u64)> = inner
+            .dropped_flows_total
+            .iter()
+            .map(|(flow, n)| (*flow, *n))
+            .collect();
+        out.sort_unstable_by_key(|(flow, _)| *flow);
+        out
     }
 
     /// Lifts the bound for good: producers stop parking, and *neither*
@@ -176,7 +241,7 @@ mod tests {
         q.push_batch((0..10).map(ev).collect());
         assert_eq!(q.len(), 4);
         let drained = q.drain();
-        assert!(matches!(drained[0], QoeEvent::Dropped { count: 6 }));
+        assert!(matches!(drained[0], QoeEvent::Dropped { count: 6, .. }));
         assert_eq!(drained.len(), 5);
         // The survivors are the newest events, in order.
         let kept: Vec<i64> = drained[1..]
@@ -190,6 +255,64 @@ mod tests {
         assert_eq!(q.dropped_total(), 6);
         // A fresh drain has nothing to report.
         assert!(q.drain().is_empty());
+    }
+
+    #[test]
+    fn drop_oldest_attributes_sheds_per_flow() {
+        use std::net::{IpAddr, Ipv4Addr};
+        let flow = |n: u8| {
+            FlowKey::canonical(
+                IpAddr::V4(Ipv4Addr::new(10, 0, 0, n)),
+                5000,
+                IpAddr::V4(Ipv4Addr::new(10, 0, 0, 200)),
+                5001,
+                17,
+            )
+            .0
+        };
+        let opened = |n: u8, us: i64| QoeEvent::FlowOpened {
+            flow: flow(n),
+            ts: Timestamp::from_micros(us),
+        };
+        let q = EventQueue::new(2, OverflowPolicy::DropOldest, false);
+        // Six events: four shed (two per flow), the newest two survive.
+        q.push_batch(vec![
+            opened(1, 0),
+            opened(2, 1),
+            opened(1, 2),
+            opened(2, 3),
+            opened(1, 4),
+            opened(2, 5),
+        ]);
+        let drained = q.drain();
+        let QoeEvent::Dropped { count, per_flow } = &drained[0] else {
+            panic!("drain must lead with the drop marker");
+        };
+        assert_eq!(*count, 4);
+        assert_eq!(per_flow.len(), 2);
+        assert!(per_flow.iter().all(|(_, n)| *n == 2));
+        assert_eq!(per_flow, &q.dropped_by_flow());
+        // A second overflow accumulates the lifetime map but the next
+        // marker counts only the fresh sheds.
+        q.push_batch(vec![opened(1, 6), opened(1, 7), opened(1, 8)]);
+        let drained = q.drain();
+        let QoeEvent::Dropped { count, per_flow } = &drained[0] else {
+            panic!("second drain leads with a fresh marker");
+        };
+        assert_eq!(*count, 1);
+        assert_eq!(per_flow.len(), 1);
+        let lifetime = q.dropped_by_flow();
+        assert_eq!(lifetime.iter().map(|(_, n)| n).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn push_nowait_never_parks_under_block() {
+        let q = EventQueue::new(1, OverflowPolicy::Block, true);
+        // may_block is true (threaded monitor), but the consumer-side
+        // push must still complete without a drain happening.
+        q.push_nowait((0..4).map(ev).collect());
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.dropped_total(), 0);
     }
 
     #[test]
@@ -231,7 +354,7 @@ mod tests {
         q.push_batch((5..20).map(ev).collect());
         assert_eq!(q.dropped_total(), 3, "released phase never sheds");
         let drained = q.drain();
-        assert!(matches!(drained[0], QoeEvent::Dropped { count: 3 }));
+        assert!(matches!(drained[0], QoeEvent::Dropped { count: 3, .. }));
         assert_eq!(drained.len(), 1 + 2 + 15);
     }
 

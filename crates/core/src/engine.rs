@@ -929,9 +929,25 @@ pub fn replay_packets<E: QoeEstimator + ?Sized>(
         reports.extend(engine.push(p));
     }
     reports.extend(engine.finish());
-    // Engines are anchored at their first packet's window, so place each
-    // report at its absolute index and fill leading/trailing gaps with
-    // empty windows.
+    place_windows(engine, reports, duration_secs, window_secs)
+}
+
+/// Aligns a finished engine's reports onto the nominal duration grid:
+/// engines are anchored at their first packet's window, so each report
+/// lands at its absolute index, leading/trailing gaps are padded with
+/// [`QoeEstimator::empty_report`], and windows past the nominal duration
+/// are dropped (they carry no ground truth). The placement half of
+/// [`replay_packets`], shared with source-driven replays
+/// ([`crate::pipeline::build_samples`] streams a [`crate::source::ReplaySource`]
+/// through several engines at once and places each engine's reports
+/// through here).
+pub fn place_windows<E: QoeEstimator + ?Sized>(
+    engine: &E,
+    reports: Vec<WindowReport>,
+    duration_secs: u32,
+    window_secs: u32,
+) -> Vec<WindowReport> {
+    assert!(window_secs > 0, "zero window");
     let n = duration_secs.div_ceil(window_secs) as usize;
     let mut slots: Vec<Option<WindowReport>> = (0..n).map(|_| None).collect();
     for r in reports {

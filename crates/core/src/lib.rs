@@ -9,6 +9,13 @@
 //!   parse, RTP parse-attempt with confidence fallback and periodic
 //!   re-probe), optional shard worker threads, idle eviction that
 //!   surfaces final windows, and JSON-lines output;
+//! * [`source`] / [`sink`] / [`runner`] — **the pluggable I/O layer**:
+//!   pull-based [`source::PacketSource`]s (pcap files, synthetic calls,
+//!   in-memory replays, real-time pacing), typed [`sink::EventSink`]s
+//!   (JSON lines, callbacks, bounded channel subscribers, frame-rate
+//!   alerts, per-flow summaries, [`sink::Tee`] fan-out), and the
+//!   [`runner::MonitorRunner`] that drives N sources on N ingest threads
+//!   into one monitor and fans the event stream out to every sink;
 //! * [`backpressure`] — the bounded event delivery model:
 //!   [`backpressure::OverflowPolicy`] selects between blocking producers
 //!   and dropping the oldest events with exact loss accounting;
@@ -58,12 +65,23 @@ pub mod pipeline;
 pub mod qoe;
 pub mod resolution;
 pub mod rtp_heuristic;
+pub mod runner;
+pub mod sink;
+pub mod source;
 pub mod trace;
 
 pub use api::{
     EstimationMethod, EvictReason, Monitor, MonitorBuilder, MonitorStats, ParseDropReason, QoeEvent,
 };
 pub use backpressure::OverflowPolicy;
+pub use runner::{MonitorRunner, RunnerReport, SourceReport};
+pub use sink::{
+    AlertSink, CallbackSink, ChannelSink, CountingSink, EventSink, JsonLinesSink, Summary,
+    SummarySink, Tee,
+};
+pub use source::{
+    Paced, PacketSource, PcapFileSource, ReplaySource, SourcePacket, SyntheticSource,
+};
 // The concrete engines, `FlowTable`, and `replay` stay at their
 // `engine::` paths only: they are unstable internals behind the facade.
 pub use engine::{EngineConfig, QoeEstimator, WindowReport};

@@ -9,10 +9,11 @@
 //! live monitor runs (no separate batch windowing/frame-assembly path).
 
 use crate::api::build_engine;
-use crate::engine::{replay, EngineConfig};
+use crate::engine::{place_windows, EngineConfig, WindowReport};
 use crate::heuristic::HeuristicParams;
 use crate::qoe::QoeEstimate;
 use crate::resolution::ResolutionScheme;
+use crate::source::{PacketSource, ReplaySource, SourcePacket};
 use crate::trace::{Trace, TruthRow};
 use serde::{Deserialize, Serialize};
 use vcaml_features::flow_stats::flow_feature_names;
@@ -199,26 +200,59 @@ fn aggregate_truth(rows: &[TruthRow]) -> TruthRow {
 }
 
 /// Builds one trace's window samples (the per-shard unit of
-/// [`build_samples`]): four engine replays, then truth alignment.
+/// [`build_samples`]): one [`ReplaySource`] pass through all four
+/// engines at once, then truth alignment. The source is the same
+/// abstraction a live [`crate::runner::MonitorRunner`] drives, so the
+/// batch evaluation's feed path and the monitor's feed path are one
+/// mechanism — and a single pass over the packets beats four.
 fn trace_samples(
     trace_id: usize,
     trace: &Trace,
     config: EngineConfig,
     w: u32,
 ) -> Vec<WindowSample> {
-    // One replay per method, each through an engine built by the
-    // facade's single construction point.
-    let run = |method: Method| {
-        replay(
-            &mut build_engine(method, config, trace.payload_map, None),
-            trace,
-            w,
-        )
-    };
-    let heur_r = run(Method::IpUdpHeuristic);
-    let ip_ml_r = run(Method::IpUdpMl);
-    let rtp_heur_r = run(Method::RtpHeuristic);
-    let rtp_ml_r = run(Method::RtpMl);
+    // Engines in replay order, each built by the facade's single
+    // construction point. The flow key is nominal: engines are per-flow
+    // state machines and the replay is one flow by construction.
+    let methods = [
+        Method::IpUdpHeuristic,
+        Method::IpUdpMl,
+        Method::RtpHeuristic,
+        Method::RtpMl,
+    ];
+    let mut engines: Vec<_> = methods
+        .iter()
+        .map(|m| build_engine(*m, config, trace.payload_map, None))
+        .collect();
+    let mut reports: Vec<Vec<WindowReport>> = methods.iter().map(|_| Vec::new()).collect();
+    let flow = vcaml_netpkt::FlowKey::canonical(
+        std::net::IpAddr::V4(std::net::Ipv4Addr::new(127, 0, 0, 1)),
+        1,
+        std::net::IpAddr::V4(std::net::Ipv4Addr::new(127, 0, 0, 2)),
+        2,
+        17,
+    )
+    .0;
+    let mut source = ReplaySource::from_trace(trace, flow);
+    while let Some(pkt) = source
+        .next_packet()
+        .expect("in-memory replay is infallible")
+    {
+        let SourcePacket::Parsed { packet, .. } = pkt else {
+            unreachable!("trace replays yield pre-parsed packets");
+        };
+        for (engine, out) in engines.iter_mut().zip(&mut reports) {
+            out.extend(engine.push(&packet));
+        }
+    }
+    let mut placed = engines.iter_mut().zip(reports).map(|(engine, mut out)| {
+        out.extend(engine.finish());
+        place_windows(engine.as_ref(), out, trace.duration_secs, w)
+    });
+    let heur_r = placed.next().expect("four replays");
+    let ip_ml_r = placed.next().expect("four replays");
+    let rtp_heur_r = placed.next().expect("four replays");
+    let rtp_ml_r = placed.next().expect("four replays");
 
     let mut samples = Vec::new();
     for wi in 0..heur_r.len() {

@@ -1,0 +1,288 @@
+//! `MonitorRunner`: sources in, one monitor, sinks out.
+//!
+//! The runner ties the pluggable I/O layer together: any number of
+//! [`PacketSource`]s feed one [`Monitor`], and every drained [`QoeEvent`]
+//! fans out to every configured [`EventSink`], in order. On a threaded
+//! monitor each source gets its **own ingest thread with its own ingest
+//! port**: the per-packet parse, flow hash, and channel hand-off — the
+//! serial section of the parallel monitor — run once per source instead
+//! of once per monitor, so ingest scales with sources the way engine
+//! work already scales with shard workers. Per-flow packet order within
+//! one source is preserved end to end; flows should not span sources
+//! (packets for a flow split across sources interleave in channel-arrival
+//! order, which is real-tap behaviour but not deterministic).
+//!
+//! The runner's event loop is the queue's consumer, so the monitor's
+//! backpressure semantics hold unchanged: under
+//! [`OverflowPolicy::Block`](crate::api::OverflowPolicy) a slow sink
+//! slows the drain, fills the queue, parks the shard workers, fills the
+//! ingest channels, and finally stalls the sources — end-to-end
+//! backpressure from sink to source. Under `DropOldest` the sinks see
+//! exact [`QoeEvent::Dropped`] markers instead.
+//!
+//! ```
+//! use vcaml::api::{EstimationMethod, MonitorBuilder};
+//! use vcaml::runner::MonitorRunner;
+//! use vcaml::sink::CountingSink;
+//! use vcaml::source::SyntheticSource;
+//! use vcaml::Method;
+//! use vcaml_rtp::VcaKind;
+//!
+//! // Two synthetic taps, two ingest threads, two shard workers, one
+//! // event stream.
+//! let report = MonitorRunner::new(
+//!     MonitorBuilder::new(VcaKind::Teams)
+//!         .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+//!         .threads(2),
+//! )
+//! .source(SyntheticSource::new(VcaKind::Teams, 2, 1, 5))
+//! .source(SyntheticSource::new(VcaKind::Teams, 2, 1, 6))
+//! .sink(CountingSink::default())
+//! .run();
+//! assert_eq!(report.sources.len(), 2);
+//! assert!(report.sources.iter().all(|s| s.error.is_none()));
+//! assert_eq!(report.stats.flows_opened, 2);
+//! assert!(report.events > 0);
+//! ```
+
+use crate::api::{IngestPort, Monitor, MonitorBuilder, MonitorStats, QoeEvent};
+use crate::sink::EventSink;
+use crate::source::{PacketSource, SourcePacket};
+use serde::Serialize;
+
+/// What one source contributed to a run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SourceReport {
+    /// Packets pulled from the source (before parse classification).
+    pub packets: u64,
+    /// The read error that ended the source early, if any. A source that
+    /// errors stops; the run continues with the others.
+    pub error: Option<String>,
+}
+
+/// The outcome of [`MonitorRunner::run`].
+#[derive(Debug, Clone, Serialize)]
+pub struct RunnerReport {
+    /// The monitor's final counters, settled after `finish()` — unlike a
+    /// mid-run [`Monitor::stats`] snapshot, nothing is still in flight.
+    pub stats: MonitorStats,
+    /// Events delivered to the sinks (each event counts once no matter
+    /// how many sinks observed it).
+    pub events: u64,
+    /// Per-source packet counts and errors, in configuration order.
+    pub sources: Vec<SourceReport>,
+}
+
+/// Drives N packet sources through one monitor into M event sinks.
+///
+/// Construct with a [`MonitorBuilder`] (the runner builds the monitor)
+/// or an already-built [`Monitor`] via [`MonitorRunner::with_monitor`],
+/// add sources and sinks, then [`MonitorRunner::run`] to completion. See
+/// the [module docs](self) for the threading and backpressure model.
+pub struct MonitorRunner {
+    monitor: Monitor,
+    sources: Vec<Box<dyn PacketSource + Send>>,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl MonitorRunner {
+    /// A runner over a monitor built from `builder`.
+    ///
+    /// A builder-configured callback sink
+    /// ([`MonitorBuilder::sink`](crate::api::MonitorBuilder::sink))
+    /// bypasses the event queue and therefore the runner's sinks; use
+    /// runner sinks instead when running through here.
+    pub fn new(builder: MonitorBuilder) -> Self {
+        MonitorRunner::with_monitor(builder.build())
+    }
+
+    /// A runner over an already-built monitor.
+    pub fn with_monitor(monitor: Monitor) -> Self {
+        MonitorRunner {
+            monitor,
+            sources: Vec::new(),
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Adds a packet source. On a threaded monitor every source ingests
+    /// on its own thread; on an inline monitor sources are drained
+    /// sequentially, in configuration order.
+    pub fn source(mut self, source: impl PacketSource + Send + 'static) -> Self {
+        self.sources.push(Box::new(source));
+        self
+    }
+
+    /// Adds an event sink; every sink observes every event, in
+    /// configuration order.
+    pub fn sink(mut self, sink: impl EventSink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Runs every source to completion, fans all events out to the
+    /// sinks, seals the monitor, and flushes the sinks. The end-of-run
+    /// flush is lossless: `finish()` lifts the queue bound, so every
+    /// flow's sealed tail reaches the sinks under either overflow
+    /// policy.
+    pub fn run(self) -> RunnerReport {
+        let MonitorRunner {
+            mut monitor,
+            sources,
+            mut sinks,
+        } = self;
+        let mut events = 0u64;
+        let n_sources = sources.len();
+        let (stat_cells, queue) = monitor.stats_probe();
+
+        // One ingest port per source — threaded monitors only. An inline
+        // monitor (or a portless run) falls back to sequential ingestion
+        // on this thread.
+        let ports: Option<Vec<IngestPort>> = (0..n_sources)
+            .map(|_| monitor.ingest_port())
+            .collect::<Option<Vec<_>>>();
+
+        let source_reports = match ports {
+            Some(ports) if !ports.is_empty() => {
+                run_threaded(&mut monitor, sources, ports, &mut sinks, &mut events)
+            }
+            _ => run_inline(&mut monitor, sources, &mut sinks, &mut events),
+        };
+
+        for event in monitor.drain_events() {
+            deliver(&mut sinks, &event, &mut events);
+        }
+        for event in monitor.finish() {
+            deliver(&mut sinks, &event, &mut events);
+        }
+        for sink in &mut sinks {
+            sink.flush();
+        }
+        RunnerReport {
+            // finish() joined the workers, so the counters are settled.
+            stats: stat_cells.snapshot(queue.dropped_total(), queue.dropped_by_flow()),
+            events,
+            sources: source_reports,
+        }
+    }
+}
+
+/// Sequential fallback: drive every source on the caller's thread,
+/// draining to the sinks after each packet (the inline monitor produces
+/// events synchronously, so this is maximal freshness at no extra cost).
+fn run_inline(
+    monitor: &mut Monitor,
+    sources: Vec<Box<dyn PacketSource + Send>>,
+    sinks: &mut [Box<dyn EventSink>],
+    events: &mut u64,
+) -> Vec<SourceReport> {
+    let mut reports = Vec::with_capacity(sources.len());
+    for mut source in sources {
+        let mut packets = 0u64;
+        let mut error = None;
+        loop {
+            match source.next_packet() {
+                Ok(Some(pkt)) => {
+                    packets += 1;
+                    match pkt {
+                        SourcePacket::Record { link, record } => {
+                            monitor.ingest_pcap_record(link, &record)
+                        }
+                        SourcePacket::Captured(cap) => monitor.ingest_captured(&cap),
+                        SourcePacket::Parsed { flow, packet } => {
+                            monitor.ingest_packet(flow, packet)
+                        }
+                    }
+                    for event in monitor.drain_events() {
+                        deliver_slice(sinks, &event, events);
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    error = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        reports.push(SourceReport { packets, error });
+    }
+    reports
+}
+
+/// Threaded path: one ingest thread per source, each with its own port;
+/// the caller's thread is the event loop that drains the queue to the
+/// sinks until every ingest thread is done. That loop is what keeps a
+/// `Block` queue live — workers it parks are woken by our drains.
+fn run_threaded(
+    monitor: &mut Monitor,
+    sources: Vec<Box<dyn PacketSource + Send>>,
+    ports: Vec<IngestPort>,
+    sinks: &mut [Box<dyn EventSink>],
+    events: &mut u64,
+) -> Vec<SourceReport> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sources
+            .into_iter()
+            .zip(ports)
+            .map(|(mut source, mut port)| {
+                scope.spawn(move || {
+                    let mut packets = 0u64;
+                    let mut error = None;
+                    loop {
+                        match source.next_packet() {
+                            Ok(Some(pkt)) => {
+                                packets += 1;
+                                match pkt {
+                                    SourcePacket::Record { link, record } => {
+                                        port.ingest_pcap_record(link, &record)
+                                    }
+                                    SourcePacket::Captured(cap) => port.ingest_captured(&cap),
+                                    SourcePacket::Parsed { flow, packet } => {
+                                        port.ingest_packet(flow, packet)
+                                    }
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                error = Some(e.to_string());
+                                break;
+                            }
+                        }
+                    }
+                    port.flush();
+                    SourceReport { packets, error }
+                })
+            })
+            .collect();
+        loop {
+            let mut drained_any = false;
+            for event in monitor.drain_events() {
+                deliver_slice(sinks, &event, events);
+                drained_any = true;
+            }
+            if handles.iter().all(|h| h.is_finished()) {
+                break;
+            }
+            if !drained_any {
+                // Nothing ready: don't spin against the queue lock while
+                // the workers chew on their batches.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ingest thread panicked"))
+            .collect()
+    })
+}
+
+fn deliver(sinks: &mut Vec<Box<dyn EventSink>>, event: &QoeEvent, events: &mut u64) {
+    deliver_slice(sinks.as_mut_slice(), event, events);
+}
+
+fn deliver_slice(sinks: &mut [Box<dyn EventSink>], event: &QoeEvent, events: &mut u64) {
+    *events += 1;
+    for sink in sinks.iter_mut() {
+        sink.on_event(event);
+    }
+}

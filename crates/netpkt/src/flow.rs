@@ -19,7 +19,7 @@ pub enum FlowDirection {
 /// `FlowKey::canonical` orders the endpoints so that both directions of a
 /// conversation map to the same key, which is how a passive monitor groups
 /// a VCA session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowKey {
     /// Lower endpoint address (after canonicalization).
     pub addr_a: IpAddr,

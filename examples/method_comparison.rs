@@ -2,9 +2,10 @@
 //! fresh corpus): IP/UDP Heuristic, IP/UDP ML, RTP Heuristic, RTP ML,
 //! cross-validated on an in-lab Webex corpus.
 //!
-//! `build_samples` replays every trace through engines built by the
-//! `vcaml::api` facade — the batch evaluation and a live monitor share
-//! one construction path, so their windows cannot drift apart.
+//! `build_samples` streams every trace through a `vcaml::source::ReplaySource`
+//! into engines built by the `vcaml::api` facade — the batch evaluation
+//! and a live monitor share one feed path and one construction path, so
+//! their windows cannot drift apart.
 //!
 //! ```sh
 //! cargo run --release --example method_comparison

@@ -2,23 +2,28 @@
 //! for many households *without* RTP access.
 //!
 //! Trains an IP/UDP-ML model on lab data once, then watches a fleet of
-//! real-world calls — **interleaved into one packet feed, as a tap would
-//! deliver them** — through a single `vcaml::api::Monitor` that demuxes
-//! per-flow state internally, and raises alerts when the inferred frame
-//! rate drops: the "diagnose and react to QoE degradation" loop of §1.
+//! real-world calls through the crate's I/O layer: the fleet is split
+//! across **two taps** (two `ReplaySource`s — say, two aggregation
+//! links), a `MonitorRunner` ingests both on their own threads into one
+//! sharded monitor, and the merged event stream fans out to a
+//! degradation-alert consumer plus a per-flow summary — the "diagnose
+//! and react to QoE degradation" loop of §1.
 //!
 //! ```sh
 //! cargo run --release --example operator_monitor
 //! ```
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
+use std::rc::Rc;
 use vcaml_suite::datasets::{inlab_corpus, realworld_corpus, CorpusConfig};
 use vcaml_suite::mlcore::{Dataset, RandomForest, Task};
 use vcaml_suite::netpkt::{FlowKey, Timestamp};
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    build_samples, EstimationMethod, Method, MonitorBuilder, PipelineOpts, TracePacket,
+    build_samples, CallbackSink, EstimationMethod, Method, MonitorBuilder, MonitorRunner,
+    PipelineOpts, ReplaySource, TracePacket,
 };
 
 fn main() {
@@ -48,8 +53,9 @@ fn main() {
         train.len()
     );
 
-    // --- Online: one mixed feed of concurrent calls, one flow per
-    // household, demuxed by the canonical UDP 5-tuple.
+    // --- Online: a fleet of concurrent calls, one flow per household,
+    // demuxed by the canonical UDP 5-tuple. Each household hangs off one
+    // of two taps; a tap delivers its packets in arrival order.
     let profiles = realworld_corpus(
         vca,
         &CorpusConfig {
@@ -59,7 +65,7 @@ fn main() {
             seed: 7,
         },
     );
-    let mut feed: Vec<(FlowKey, TracePacket)> = Vec::new();
+    let mut taps: Vec<Vec<(FlowKey, TracePacket)>> = vec![Vec::new(), Vec::new()];
     let mut key_of_call = Vec::new();
     for (call, trace) in profiles.iter().enumerate() {
         let client = IpAddr::V4(Ipv4Addr::new(
@@ -71,43 +77,48 @@ fn main() {
         let relay = IpAddr::V4(Ipv4Addr::new(203, 0, 113, 10));
         let (key, _) = FlowKey::canonical(relay, 3478, client, 50_000 + call as u16, 17);
         key_of_call.push(key);
-        feed.extend(trace.packets.iter().map(|p| (key, *p)));
+        taps[call % 2].extend(trace.packets.iter().map(|p| (key, *p)));
     }
-    // A tap delivers packets in global arrival order.
-    feed.sort_by_key(|(_, p)| p.ts);
-
-    // Four shard workers split the fleet: each flow is hashed to one
-    // worker, engines run in parallel, and the bounded event queue
-    // applies backpressure instead of growing without limit if this
-    // consumer falls behind.
-    let mut monitor = MonitorBuilder::new(vca)
-        .method(EstimationMethod::Fixed(Method::IpUdpMl))
-        .model(model.clone())
-        .shards(8)
-        .threads(4)
-        .queue_capacity(16_384)
-        .idle_timeout(Timestamp::from_secs(30))
-        .build();
-
-    let mut inferred: HashMap<FlowKey, Vec<f64>> = HashMap::new();
-    for (key, pkt) in &feed {
-        monitor.ingest_packet(*key, *pkt);
+    for tap in &mut taps {
+        tap.sort_by_key(|(_, p)| p.ts);
     }
-    let stats = monitor.stats();
-    for event in monitor.finish() {
-        let Some(flow) = event.flow() else { continue };
+
+    // Four shard workers split the fleet's engines; two ingest threads
+    // (one per tap source) split the parse+hash dispatch that used to be
+    // the serial section. The bounded event queue applies backpressure
+    // instead of growing without limit if this consumer falls behind.
+    let inferred: Rc<RefCell<HashMap<FlowKey, Vec<f64>>>> = Rc::default();
+    let collected = Rc::clone(&inferred);
+    let mut runner = MonitorRunner::new(
+        MonitorBuilder::new(vca)
+            .method(EstimationMethod::Fixed(Method::IpUdpMl))
+            .model(model.clone())
+            .shards(8)
+            .threads(4)
+            .queue_capacity(16_384)
+            .idle_timeout(Timestamp::from_secs(30)),
+    )
+    .sink(CallbackSink::new(move |event| {
+        let Some(flow) = event.flow() else { return };
         for report in event.final_reports() {
             if let Some(fps) = report.model_fps {
-                inferred.entry(flow).or_default().push(fps);
+                collected.borrow_mut().entry(flow).or_default().push(fps);
             }
         }
+    }));
+    for tap in taps {
+        runner = runner.source(ReplaySource::from_packets(tap));
     }
+    let report = runner.run();
 
     println!(
-        "\ndemuxed {} packets into {} flows across 4 shard workers",
-        stats.packets, stats.flows_opened
+        "\ndemuxed {} packets from {} taps into {} flows across 4 shard workers",
+        report.stats.packets,
+        report.sources.len(),
+        report.stats.flows_opened
     );
     println!("\ncall  windows  inferred FPS (mean)  true FPS (mean)  verdict");
+    let inferred = inferred.borrow();
     let mut degraded = 0;
     for (call, trace) in profiles.iter().enumerate() {
         let Some(preds) = inferred.get(&key_of_call[call]) else {

@@ -1,6 +1,6 @@
 //! Wire-format round trip: export a simulated call as a standard libpcap
-//! file (openable in Wireshark/tcpdump), read it back, and stream every
-//! raw record into a `vcaml::api::Monitor` — demonstrating that the
+//! file (openable in Wireshark/tcpdump), then read it back through a
+//! `PcapFileSource` driving a `MonitorRunner` — demonstrating that the
 //! estimator consumes nothing beyond what a packet capture contains, and
 //! that malformed records are classified instead of crashing the monitor.
 //!
@@ -8,14 +8,16 @@
 //! cargo run --release --example pcap_pipeline
 //! ```
 
-use std::io::Cursor;
+use std::cell::RefCell;
+use std::rc::Rc;
 use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
 use vcaml_suite::netpkt::{
-    EtherType, EthernetRepr, Ipv4Repr, LinkType, MacAddr, PcapReader, PcapWriter, Timestamp,
-    UdpRepr,
+    EtherType, EthernetRepr, Ipv4Repr, LinkType, MacAddr, PcapWriter, Timestamp, UdpRepr,
 };
 use vcaml_suite::rtp::VcaKind;
-use vcaml_suite::vcaml::{EstimationMethod, Method, MonitorBuilder, QoeEvent};
+use vcaml_suite::vcaml::{
+    CallbackSink, EstimationMethod, Method, MonitorBuilder, MonitorRunner, PcapFileSource, QoeEvent,
+};
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
 fn main() {
@@ -77,27 +79,29 @@ fn main() {
         pcap_bytes.len()
     );
 
-    // 3. Read it back and feed the raw records straight into the monitor
-    //    — the exact loop a live tap runs. The facade does the layered
-    //    eth→ip→udp parse and the RTP parse-attempt itself.
-    let mut reader = PcapReader::new(Cursor::new(pcap_bytes)).expect("pcap header");
-    let link = reader.link_type();
-    let mut monitor = MonitorBuilder::new(VcaKind::Webex)
-        .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
-        .build();
-    while let Some(rec) = reader.next_record().expect("read record") {
-        monitor.ingest_pcap_record(link, &rec);
-    }
-    let stats = monitor.stats();
+    // 3. Read it back through the I/O layer: a `PcapFileSource` yields
+    //    the raw records, the monitor does the layered eth→ip→udp parse
+    //    and the RTP parse-attempt, and the sink observes the typed
+    //    events — the exact pipeline a live tap runs.
+    let events: Rc<RefCell<Vec<QoeEvent>>> = Rc::default();
+    let collected = Rc::clone(&events);
+    let report = MonitorRunner::new(
+        MonitorBuilder::new(VcaKind::Webex).method(EstimationMethod::Fixed(Method::IpUdpHeuristic)),
+    )
+    .source(PcapFileSource::open("webex_call.pcap").expect("reopen capture"))
+    .sink(CallbackSink::new(move |e| {
+        collected.borrow_mut().push(e.clone())
+    }))
+    .run();
     println!(
         "re-parsed {} packets ({} classified drops)",
-        stats.packets, stats.parse_drops
+        report.stats.packets, report.stats.parse_drops
     );
 
     // 4. Per-window QoE straight off the re-parsed capture.
     println!("\n  t   FPS  kbps");
-    for event in monitor.finish() {
-        if let QoeEvent::ParseDrop { ts, reason } = &event {
+    for event in events.borrow().iter() {
+        if let QoeEvent::ParseDrop { ts, reason } = event {
             println!(
                 "  (dropped record at t={}s: {:?})",
                 ts.as_secs_f64(),

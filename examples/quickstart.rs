@@ -1,14 +1,19 @@
-//! Quickstart: simulate one Teams call, feed its captured packets to a
-//! `vcaml::api::Monitor`, and compare the per-second QoE events against
-//! ground truth — the paper's core loop through the public facade.
+//! Quickstart: simulate one Teams call, replay its captured packets
+//! through a `MonitorRunner`, and compare the per-second QoE events
+//! against ground truth — the paper's core loop through the public
+//! I/O layer (source → monitor → sink).
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
 use vcaml_suite::rtp::VcaKind;
-use vcaml_suite::vcaml::{EstimationMethod, Method, MonitorBuilder};
+use vcaml_suite::vcaml::{
+    CallbackSink, EstimationMethod, Method, MonitorBuilder, MonitorRunner, QoeEvent, ReplaySource,
+};
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
 fn main() {
@@ -26,27 +31,38 @@ fn main() {
     let captured = session.to_captured();
     println!("captured {} packets over 30 s", captured.len());
 
-    // 2. The whole pipeline behind one typed entry point: packet-size
-    //    media classification, Algorithm-1 frame reconstruction, and
-    //    per-second QoE estimation (no application headers consumed).
-    //    `threads(2)` runs the flow engines on shard workers behind
-    //    bounded channels — on a one-call feed it only demonstrates the
-    //    knob, but the same builder line scales a mixed tap across
-    //    cores (see the operator_monitor example).
-    let mut monitor = MonitorBuilder::new(VcaKind::Teams)
-        .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
-        .threads(2)
-        .build();
-    for cap in &captured {
-        monitor.ingest_captured(cap);
-    }
-    let events = monitor.finish();
+    // 2. The whole pipeline behind one typed I/O layer: the capture is a
+    //    `ReplaySource`, the monitor does packet-size media
+    //    classification, Algorithm-1 frame reconstruction, and per-second
+    //    QoE estimation (no application headers consumed), and a
+    //    `CallbackSink` collects the typed events. `threads(2)` runs the
+    //    flow engines on shard workers behind bounded channels — on a
+    //    one-call feed it only demonstrates the knob, but the same
+    //    builder line scales a mixed tap across cores (see the
+    //    operator_monitor example, which also fans ingest across
+    //    multiple sources).
+    let events: Rc<RefCell<Vec<QoeEvent>>> = Rc::default();
+    let collected = Rc::clone(&events);
+    let report = MonitorRunner::new(
+        MonitorBuilder::new(VcaKind::Teams)
+            .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+            .threads(2),
+    )
+    .source(ReplaySource::from_captured(captured))
+    .sink(CallbackSink::new(move |e| {
+        collected.borrow_mut().push(e.clone())
+    }))
+    .run();
+    println!(
+        "runner: {} packets in, {} events out",
+        report.stats.packets, report.events
+    );
 
     // 3. Per-second estimates vs ground truth, straight off the events.
     println!("\n  t   est FPS  true FPS  est kbps  true kbps");
     let mut abs_err = 0.0;
     let mut n = 0usize;
-    for event in &events {
+    for event in events.borrow().iter() {
         for r in event.final_reports() {
             let e = r.estimate.expect("heuristic reports carry estimates");
             let Some(truth) = session.truth.get(r.window as usize) else {

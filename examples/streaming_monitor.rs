@@ -1,7 +1,9 @@
 //! Streaming estimation (paper §7 "system considerations"): process a
 //! live packet feed one packet at a time with bounded memory, emitting a
 //! QoE event at every window boundary — the deployment shape a network
-//! operator actually needs, driven entirely through `vcaml::api`.
+//! operator actually needs, driven entirely through the `vcaml` I/O
+//! layer: a `ReplaySource` feeds each `MonitorRunner`, a `ChannelSink`
+//! subscribes to its event stream.
 //!
 //! Two monitors run side by side on the same raw feed: the IP/UDP
 //! Heuristic (frame reconstruction) and IP/UDP ML (incremental features +
@@ -15,17 +17,35 @@ use std::collections::BTreeMap;
 use vcaml_suite::datasets::{inlab_corpus, CorpusConfig};
 use vcaml_suite::mlcore::{Dataset, RandomForest, Task};
 use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
+use vcaml_suite::netpkt::CapturedPacket;
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    build_samples, EstimationMethod, Method, Monitor, MonitorBuilder, PipelineOpts, QoeEvent,
-    WindowReport,
+    build_samples, ChannelSink, EstimationMethod, Method, MonitorBuilder, MonitorRunner,
+    PipelineOpts, ReplaySource, WindowReport,
 };
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
-/// Collects every finalized window from a finished monitor's events.
-fn windows(events: Vec<QoeEvent>) -> BTreeMap<u64, WindowReport> {
+/// Runs one monitor over the feed and collects its finalized windows.
+fn run_method(
+    vca: VcaKind,
+    method: Method,
+    model: Option<RandomForest>,
+    feed: Vec<CapturedPacket>,
+) -> BTreeMap<u64, WindowReport> {
+    let mut builder = MonitorBuilder::new(vca).method(EstimationMethod::Fixed(method));
+    if let Some(model) = model {
+        builder = builder.model(model);
+    }
+    // A bounded channel subscriber: the receiver could live on another
+    // thread (a dashboard, a log shipper); here we drain it after the
+    // run. Its capacity is the subscriber's backpressure.
+    let (subscriber, rx) = ChannelSink::bounded(65_536);
+    MonitorRunner::new(builder)
+        .source(ReplaySource::from_captured(feed))
+        .sink(subscriber)
+        .run();
     let mut out = BTreeMap::new();
-    for event in events {
+    for event in rx.try_iter() {
         for report in event.final_reports() {
             out.insert(report.window, report.clone());
         }
@@ -68,19 +88,8 @@ fn main() {
     .run();
     let captured = session.to_captured();
 
-    let mut heur: Monitor = MonitorBuilder::new(vca)
-        .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
-        .build();
-    let mut ml: Monitor = MonitorBuilder::new(vca)
-        .method(EstimationMethod::Fixed(Method::IpUdpMl))
-        .model(model)
-        .build();
-    for cap in &captured {
-        heur.ingest_captured(cap);
-        ml.ingest_captured(cap);
-    }
-    let heur_windows = windows(heur.finish());
-    let ml_windows = windows(ml.finish());
+    let heur_windows = run_method(vca, Method::IpUdpHeuristic, None, captured.clone());
+    let ml_windows = run_method(vca, Method::IpUdpMl, Some(model), captured);
 
     println!("\n  t   heuristic FPS  model FPS  true FPS  kbps");
     for (w, h) in &heur_windows {

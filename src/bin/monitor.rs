@@ -1,11 +1,10 @@
 //! `monitor` — passive VCA QoE monitoring as a command-line tool.
 //!
-//! Reads packets from a pcap file (`--pcap <file>`) or from a synthetic
-//! multi-call feed (`--synthetic <secs>`), runs them through the
-//! `vcaml::api::Monitor` facade, and prints one JSON event per line:
-//! flow lifecycle, per-window QoE reports, classified parse drops, and
-//! `alert` lines whenever an inferred frame rate falls below the
-//! threshold.
+//! A thin shell over the crate's pluggable I/O layer: the feed is a
+//! `PacketSource` (pcap file or synthetic multi-call generator), the
+//! output is a composition of `EventSink`s (JSON lines, frame-rate
+//! alerts, end-of-run per-flow summary), and a `MonitorRunner` drives
+//! source → `Monitor` → sinks to completion.
 //!
 //! ```sh
 //! cargo run --release --bin monitor -- --synthetic 10 --calls 3
@@ -13,18 +12,44 @@
 //! cargo run --release --bin monitor -- --synthetic 10 --alert-fps 24
 //! # Parallel ingestion with bounded backpressure:
 //! cargo run --release --bin monitor -- --synthetic 30 --calls 16 \
-//!     --threads 4 --queue-cap 4096 --overflow drop-oldest
+//!     --threads auto --queue-cap 4096 --overflow drop-oldest
+//! # Alerts and a per-flow rollup only, no per-window JSON:
+//! cargo run --release --bin monitor -- --synthetic 10 --quiet \
+//!     --alert-fps 24 --summary
 //! ```
 
-use std::io::Write;
-use std::net::{IpAddr, Ipv4Addr};
-use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
-use vcaml_suite::netpkt::{PcapReader, Timestamp};
+use std::cell::RefCell;
+use std::io::{BufWriter, Stdout, Write};
+use std::rc::Rc;
+use vcaml_suite::netpkt::Timestamp;
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    EstimationMethod, Method, Monitor, MonitorBuilder, OverflowPolicy, QoeEvent, WindowReport,
+    AlertSink, EstimationMethod, JsonLinesSink, Method, MonitorBuilder, MonitorRunner,
+    OverflowPolicy, PcapFileSource, SummarySink, SyntheticSource,
 };
-use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
+
+/// One block-buffered stdout shared by every sink (sinks run on the
+/// runner's drain thread, so `Rc<RefCell<_>>` suffices): events, alerts,
+/// and the summary interleave in emission order inside a single buffer
+/// instead of paying a locked, flushed write per line.
+#[derive(Clone)]
+struct SharedStdout(Rc<RefCell<BufWriter<Stdout>>>);
+
+impl SharedStdout {
+    fn new() -> Self {
+        SharedStdout(Rc::new(RefCell::new(BufWriter::new(std::io::stdout()))))
+    }
+}
+
+impl Write for SharedStdout {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.borrow_mut().flush()
+    }
+}
 
 struct Args {
     pcap: Option<String>,
@@ -36,9 +61,12 @@ struct Args {
     idle_timeout_secs: i64,
     alert_fps: Option<f64>,
     flush_after: Option<u32>,
-    threads: usize,
+    /// `None` = auto (`--threads auto`, sized from the machine).
+    threads: Option<usize>,
     queue_cap: Option<usize>,
     overflow: OverflowPolicy,
+    quiet: bool,
+    summary: bool,
 }
 
 fn usage() -> ! {
@@ -56,13 +84,17 @@ fn usage() -> ! {
                                 packets without a final one (default off)\n\
            --alert-fps <fps>    emit an alert line when a window's frame\n\
                                 rate falls below this\n\
-           --threads <n>        shard worker threads (default 1 = inline)\n\
+           --threads <n|auto>   shard worker threads (default 1 = inline;\n\
+                                auto = one per available core)\n\
            --queue-cap <n>      bound on the event queue and per-shard\n\
                                 ingest channels, in events (default 65536)\n\
            --overflow <block|drop-oldest>\n\
                                 full-queue policy: block producers, or\n\
                                 drop the oldest events and report them\n\
-                                with a dropped marker (default block)"
+                                with a dropped marker (default block)\n\
+           --quiet              suppress per-event JSON lines (alerts and\n\
+                                the summary still print)\n\
+           --summary            print an end-of-run per-flow rollup table"
     );
     std::process::exit(2)
 }
@@ -78,9 +110,11 @@ fn parse_args() -> Args {
         idle_timeout_secs: 60,
         alert_fps: None,
         flush_after: None,
-        threads: 1,
+        threads: Some(1),
         queue_cap: None,
         overflow: OverflowPolicy::Block,
+        quiet: false,
+        summary: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -116,7 +150,12 @@ fn parse_args() -> Args {
             }
             "--alert-fps" => args.alert_fps = Some(value().parse().unwrap_or_else(|_| usage())),
             "--flush-after" => args.flush_after = Some(value().parse().unwrap_or_else(|_| usage())),
-            "--threads" => args.threads = value().parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                args.threads = match value().as_str() {
+                    "auto" => None,
+                    n => Some(n.parse().unwrap_or_else(|_| usage())),
+                }
+            }
             "--queue-cap" => args.queue_cap = Some(value().parse().unwrap_or_else(|_| usage())),
             "--overflow" => {
                 args.overflow = match value().as_str() {
@@ -125,6 +164,8 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--quiet" => args.quiet = true,
+            "--summary" => args.summary = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -136,7 +177,7 @@ fn parse_args() -> Args {
     if args.window_secs == 0
         || args.flush_after == Some(0)
         || args.idle_timeout_secs <= 0
-        || args.threads == 0
+        || args.threads == Some(0)
         || args.queue_cap == Some(0)
     {
         usage();
@@ -144,69 +185,12 @@ fn parse_args() -> Args {
     args
 }
 
-/// Frame rate of a report: heuristic estimate or model prediction.
-/// `None` for feature-only reports (ML methods without an attached
-/// model carry no rate signal, so `--alert-fps` cannot fire for them).
-fn fps_of(report: &WindowReport) -> Option<f64> {
-    report.estimate.map(|e| e.fps).or(report.model_fps)
-}
-
-fn print_event(out: &mut impl Write, event: &QoeEvent, alert_fps: Option<f64>) {
-    writeln!(out, "{}", event.to_json_line()).expect("stdout");
-    let Some(threshold) = alert_fps else { return };
-    let Some(flow) = event.flow() else { return };
-    // final_reports() excludes provisional (max-lag flush) snapshots,
-    // which are documented lower bounds: alerting on them would flag
-    // healthy flows mid-window.
-    for report in event.final_reports() {
-        if let Some(fps) = fps_of(report) {
-            if fps < threshold {
-                writeln!(
-                    out,
-                    "{{\"type\":\"alert\",\"flow\":\"{flow}\",\"window\":{},\"fps\":{fps:.1},\"threshold\":{threshold}}}",
-                    report.window
-                )
-                .expect("stdout");
-            }
-        }
-    }
-}
-
-/// Builds an interleaved synthetic feed: `calls` concurrent sessions,
-/// each rewritten onto its own client address so the monitor demuxes
-/// them like a real tap's mixed traffic.
-fn synthetic_feed(
-    vca: VcaKind,
-    secs: u32,
-    calls: usize,
-) -> Vec<vcaml_suite::netpkt::CapturedPacket> {
-    let mut feed = Vec::new();
-    for call in 0..calls {
-        let profile = VcaProfile::lab(vca);
-        let session = Session::new(SessionConfig {
-            profile: profile.clone(),
-            schedule: synth_ndt_schedule(41 + call as u64, secs as usize),
-            duration_secs: secs,
-            seed: 1000 + call as u64,
-            link: LinkConfig::default(),
-        })
-        .run();
-        for mut cap in session.to_captured() {
-            cap.datagram.dst = IpAddr::V4(Ipv4Addr::new(192, 168, 1, 100 + call as u8));
-            cap.datagram.dst_port = 51_820 + call as u16;
-            feed.push(cap);
-        }
-    }
-    feed.sort_by_key(|c| c.ts);
-    feed
-}
-
 fn main() {
     let args = parse_args();
     let mut builder = MonitorBuilder::new(args.vca)
         .method(args.method)
         .window_secs(args.window_secs)
-        .threads(args.threads)
+        .threads(args.threads.unwrap_or(0)) // 0 = auto-size from cores
         .overflow(args.overflow)
         .idle_timeout(Timestamp::from_secs(args.idle_timeout_secs));
     if let Some(cap) = args.queue_cap {
@@ -215,64 +199,51 @@ fn main() {
     if let Some(k) = args.flush_after {
         builder = builder.flush_after_packets(k);
     }
-    let mut monitor: Monitor = builder.build();
 
-    let stdout = std::io::stdout();
-    let mut out = std::io::BufWriter::new(stdout.lock());
+    // The output is a sink composition: per-event JSON lines (unless
+    // --quiet), threshold alerts, and the end-of-run rollup, all
+    // observing one event stream in order through one buffered stdout.
+    let out = SharedStdout::new();
+    let mut runner = MonitorRunner::new(builder);
+    if !args.quiet {
+        runner = runner.sink(JsonLinesSink::new(out.clone()));
+    }
+    if let Some(threshold) = args.alert_fps {
+        runner = runner.sink(AlertSink::new(out.clone(), threshold));
+    }
+    if args.summary {
+        runner = runner.sink(SummarySink::new(out.clone()));
+    }
 
+    // The feed is a packet source: a pcap capture or synthetic calls.
     if let Some(path) = &args.pcap {
-        let file = std::fs::File::open(path).unwrap_or_else(|e| {
-            eprintln!("monitor: cannot open {path}: {e}");
+        let source = PcapFileSource::open(path).unwrap_or_else(|e| {
+            eprintln!("monitor: cannot read {path}: {e}");
             std::process::exit(1);
         });
-        let mut reader = PcapReader::new(std::io::BufReader::new(file)).unwrap_or_else(|e| {
-            eprintln!("monitor: {path} is not a pcap file: {e}");
-            std::process::exit(1);
-        });
-        let link = reader.link_type();
-        loop {
-            match reader.next_record() {
-                Ok(Some(rec)) => {
-                    monitor.ingest_pcap_record(link, &rec);
-                    for event in monitor.drain_events().collect::<Vec<_>>() {
-                        print_event(&mut out, &event, args.alert_fps);
-                    }
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    eprintln!("monitor: read error: {e}");
-                    break;
-                }
-            }
-        }
+        runner = runner.source(source);
     } else {
         let secs = args.synthetic_secs.expect("validated in parse_args");
         eprintln!(
             "monitor: synthesizing {} concurrent {} call(s), {secs} s",
             args.calls, args.vca
         );
-        for cap in synthetic_feed(args.vca, secs, args.calls) {
-            monitor.ingest_captured(&cap);
-            for event in monitor.drain_events().collect::<Vec<_>>() {
-                print_event(&mut out, &event, args.alert_fps);
-            }
-        }
+        runner = runner.source(SyntheticSource::new(args.vca, secs, args.calls, 41));
     }
 
-    // `stats` predates finish(), so add every finalized report finish()
-    // emits (probation replays and sealed tails alike).
-    let stats = monitor.stats();
-    let mut finish_reports = 0usize;
-    for event in monitor.finish() {
-        finish_reports += event.final_reports().len();
-        print_event(&mut out, &event, args.alert_fps);
+    let report = runner.run();
+    for (i, src) in report.sources.iter().enumerate() {
+        if let Some(err) = &src.error {
+            eprintln!("monitor: source {i} read error: {err}");
+        }
     }
-    out.flush().expect("stdout");
+    let stats = &report.stats;
     eprintln!(
-        "monitor: {} packets, {} drops, {} flows, {} window reports",
+        "monitor: {} packets, {} drops, {} flows, {} window reports, {} events shed",
         stats.packets,
         stats.parse_drops,
         stats.flows_opened,
-        stats.window_reports as usize + finish_reports
+        stats.window_reports,
+        stats.events_dropped
     );
 }

@@ -215,14 +215,14 @@ fn drop_oldest_counts_are_exact() {
         {
             for event in monitor.drain_events() {
                 match event {
-                    QoeEvent::Dropped { count } => dropped += count,
+                    QoeEvent::Dropped { count, .. } => dropped += count,
                     _ => delivered += 1,
                 }
             }
             stats_dropped = monitor.stats().events_dropped;
             for event in monitor.finish() {
                 match event {
-                    QoeEvent::Dropped { count } => dropped += count,
+                    QoeEvent::Dropped { count, .. } => dropped += count,
                     _ => delivered += 1,
                 }
             }
@@ -272,7 +272,7 @@ fn finish_under_drop_oldest_keeps_every_tail() {
     let dropped: u64 = events
         .iter()
         .filter_map(|e| match e {
-            QoeEvent::Dropped { count } => Some(*count),
+            QoeEvent::Dropped { count, .. } => Some(*count),
             _ => None,
         })
         .sum();

@@ -1,6 +1,6 @@
+use std::net::{IpAddr, Ipv4Addr};
 use vcaml::{EstimationMethod, Method, MonitorBuilder, OverflowPolicy, TracePacket};
 use vcaml_netpkt::{FlowKey, Timestamp};
-use std::net::{IpAddr, Ipv4Addr};
 
 #[test]
 fn parse_drop_on_full_queue_threaded_block() {
@@ -13,17 +13,31 @@ fn parse_drop_on_full_queue_threaded_block() {
             .overflow(OverflowPolicy::Block)
             .build();
         let (flow, _) = FlowKey::canonical(
-            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)), 5000,
-            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)), 5001, 17);
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            5000,
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 2)),
+            5001,
+            17,
+        );
         // >512 packets so a batch flushes to the worker, which emits
         // events and parks on the size-1 queue.
         for i in 0..2000i64 {
-            let p = TracePacket { ts: Timestamp::from_micros(i * 40_000), size: 1200, rtp: None, truth_media: None };
+            let p = TracePacket {
+                ts: Timestamp::from_micros(i * 40_000),
+                size: 1200,
+                rtp: None,
+                truth_media: None,
+            };
             m.ingest_packet(flow, p);
         }
         std::thread::sleep(std::time::Duration::from_millis(200));
         // Queue is now full; a parse drop must not hang the caller.
-        let p = TracePacket { ts: Timestamp::from_micros(-1), size: 100, rtp: None, truth_media: None };
+        let p = TracePacket {
+            ts: Timestamp::from_micros(-1),
+            size: 100,
+            rtp: None,
+            truth_media: None,
+        };
         m.ingest_packet(flow, p);
         drop(m);
         done_tx.send(()).unwrap();
