@@ -4,11 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
 use vcaml::api::build_engine;
 use vcaml::{
-    build_samples, estimate_windows, CountingSink, EngineConfig, EstimationMethod, HeuristicParams,
-    IpUdpHeuristic, MediaClassifier, Method, MonitorBuilder, MonitorRunner, PipelineOpts,
-    QoeEstimator, ReplaySource,
+    build_samples, estimate_windows, AlertThresholds, ChannelSink, CountingSink, EngineConfig,
+    EstimationMethod, EventBus, EventFilter, HeuristicParams, IpUdpHeuristic, MediaClassifier,
+    Method, MonitorBuilder, MonitorRunner, PipelineOpts, QoeEstimator, QoeEvent, ReplaySource,
 };
 use vcaml_datasets::{inlab_corpus, to_core_trace, CorpusConfig};
 use vcaml_features::{ipudp_features, windows_by_second, PktObs, DEFAULT_THETA_IAT_US};
@@ -347,6 +348,106 @@ fn bench_runner_ingest(c: &mut Criterion) {
     g.finish();
 }
 
+/// N-subscriber event fan-out: the Arc event bus (one allocation shared
+/// by every subscriber) against the pre-bus baseline that deep-cloned
+/// each event per subscriber, on a realistic 64-flow event stream —
+/// plus the end-to-end runner with 1 vs 8 channel subscribers, so the
+/// JSON trajectory records both the isolated fan-out cost and what an
+/// operator sees.
+fn bench_runner_fanout(c: &mut Criterion) {
+    // Produce one realistic event stream (window reports with feature
+    // vectors, lifecycle, seals) to replay through the delivery paths.
+    let feed = feed_64_flows();
+    let (subscriber, rx) = ChannelSink::bounded(1 << 20);
+    MonitorRunner::new(
+        MonitorBuilder::new(VcaKind::Teams)
+            .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+            .shards(8),
+    )
+    .source(ReplaySource::from_packets(feed.clone()))
+    .sink(subscriber)
+    .run();
+    let events: Vec<Arc<QoeEvent>> = rx.try_iter().collect();
+    assert!(events.len() > 1000, "need a meaningful stream to fan out");
+    const SUBS: usize = 8;
+
+    let mut g = c.benchmark_group("runner_fanout");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("publish_8_subscribers_arc", |b| {
+        b.iter_batched(
+            || {
+                let mut bus = EventBus::new(AlertThresholds::new());
+                let rxs: Vec<_> = (0..SUBS)
+                    .map(|_| {
+                        let (sink, rx) = ChannelSink::bounded(events.len() + 1);
+                        bus.subscribe(EventFilter::all(), sink);
+                        rx
+                    })
+                    .collect();
+                (bus, rxs)
+            },
+            |(mut bus, rxs)| {
+                for event in &events {
+                    bus.publish(event);
+                }
+                rxs.iter().map(|rx| rx.try_iter().count()).sum::<usize>()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("publish_8_subscribers_clone", |b| {
+        // The ROADMAP-flagged pre-bus baseline: every subscriber gets
+        // its own deep copy of every event.
+        b.iter_batched(
+            || {
+                let (txs, rxs): (Vec<_>, Vec<_>) = (0..SUBS)
+                    .map(|_| std::sync::mpsc::sync_channel::<QoeEvent>(events.len() + 1))
+                    .unzip();
+                (txs, rxs)
+            },
+            |(txs, rxs)| {
+                for event in &events {
+                    for tx in &txs {
+                        tx.try_send((**event).clone()).expect("channel sized");
+                    }
+                }
+                rxs.iter().map(|rx| rx.try_iter().count()).sum::<usize>()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+
+    // End-to-end: the full pipeline with 1 vs 8 live subscribers.
+    let run_with_subscribers = |n: usize| {
+        let mut runner = MonitorRunner::new(
+            MonitorBuilder::new(VcaKind::Teams)
+                .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+                .shards(8),
+        )
+        .source(ReplaySource::from_packets(feed.clone()));
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (sink, rx) = ChannelSink::bounded(1 << 20);
+            runner = runner.sink(sink);
+            rxs.push(rx);
+        }
+        let report = runner.run();
+        let delivered: usize = rxs.iter().map(|rx| rx.try_iter().count()).sum();
+        report.events as usize + delivered
+    };
+    let mut g = c.benchmark_group("runner_fanout_e2e");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(feed.len() as u64));
+    g.bench_function("heuristic_64_flows_1_subscriber", |b| {
+        b.iter(|| run_with_subscribers(1))
+    });
+    g.bench_function("heuristic_64_flows_8_subscribers", |b| {
+        b.iter(|| run_with_subscribers(8))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_packet_parse,
@@ -357,6 +458,7 @@ criterion_group!(
     bench_flow_table_64_flows,
     bench_monitor_threads,
     bench_runner_ingest,
+    bench_runner_fanout,
     bench_forest,
     bench_simulation
 );

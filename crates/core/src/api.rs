@@ -65,6 +65,7 @@
 
 use crate::backpressure::EventQueue;
 pub use crate::backpressure::OverflowPolicy;
+use crate::control::{ControlShared, MonitorHandle};
 use crate::engine::{EngineConfig, FlowTable, QoeEstimator, WindowReport};
 use crate::engine::{IpUdpHeuristicEngine, IpUdpMlEngine, RtpHeuristicEngine, RtpMlEngine};
 use crate::pipeline::Method;
@@ -84,6 +85,9 @@ use vcaml_rtp::{PayloadMap, RtpHeader, VcaKind};
 /// A per-flow estimator behind the facade. `Send` so a future sharded
 /// monitor can move engines across worker threads.
 pub type BoxedEngine = Box<dyn QoeEstimator + Send>;
+
+/// A builder-configured per-event callback (see [`MonitorBuilder::sink`]).
+type BuilderSink = Box<dyn FnMut(&QoeEvent) + Send>;
 
 /// Packets buffered per flow before the RTP-confidence decision is made
 /// (auto method selection only).
@@ -225,10 +229,32 @@ pub enum EvictReason {
     Idle,
     /// [`Monitor::finish`] sealed every remaining flow.
     EndOfStream,
+    /// An operator asked for the flow via
+    /// [`MonitorHandle::evict_flow`](crate::control::MonitorHandle::evict_flow).
+    Requested,
+}
+
+/// Deep copies of [`QoeEvent`] made over the process lifetime — the
+/// enforcement hook for the event bus's zero-copy contract.
+///
+/// Events travel the whole delivery path (collector queue → runner →
+/// every subscriber) as shared [`Arc<QoeEvent>`]s, so the per-event
+/// fan-out never clones; this counter proves it. Consumers that take
+/// owned copies for themselves (an example stashing events, a test
+/// comparing streams) do count — the counter measures clones, not
+/// blame.
+static QOE_EVENT_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Total deep copies of [`QoeEvent`] made by this process so far. The
+/// delivery path performs none (a tested invariant); consumers taking
+/// owned copies for themselves do count — the counter measures clones,
+/// not blame.
+pub fn qoe_event_clone_count() -> u64 {
+    QOE_EVENT_CLONES.load(Relaxed)
 }
 
 /// One event from the monitor's structured output stream.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub enum QoeEvent {
     /// First packet of a new flow was seen.
     FlowOpened {
@@ -278,6 +304,47 @@ pub enum QoeEvent {
         /// can exceed the breakdown's sum under extreme flow churn.
         per_flow: Vec<(FlowKey, u64)>,
     },
+}
+
+impl Clone for QoeEvent {
+    /// A counted deep copy (see [`qoe_event_clone_count`]): the event
+    /// bus never calls this on a delivery path — shared events clone the
+    /// `Arc`, not the payload.
+    fn clone(&self) -> Self {
+        QOE_EVENT_CLONES.fetch_add(1, Relaxed);
+        match self {
+            QoeEvent::FlowOpened { flow, ts } => QoeEvent::FlowOpened {
+                flow: *flow,
+                ts: *ts,
+            },
+            QoeEvent::WindowReport {
+                flow,
+                report,
+                provisional,
+            } => QoeEvent::WindowReport {
+                flow: *flow,
+                report: report.clone(),
+                provisional: *provisional,
+            },
+            QoeEvent::FlowEvicted {
+                flow,
+                reason,
+                final_reports,
+            } => QoeEvent::FlowEvicted {
+                flow: *flow,
+                reason: *reason,
+                final_reports: final_reports.clone(),
+            },
+            QoeEvent::ParseDrop { ts, reason } => QoeEvent::ParseDrop {
+                ts: *ts,
+                reason: *reason,
+            },
+            QoeEvent::Dropped { count, per_flow } => QoeEvent::Dropped {
+                count: *count,
+                per_flow: per_flow.clone(),
+            },
+        }
+    }
 }
 
 impl QoeEvent {
@@ -359,6 +426,7 @@ impl Serialize for QoeEvent {
                         match reason {
                             EvictReason::Idle => "idle",
                             EvictReason::EndOfStream => "end_of_stream",
+                            EvictReason::Requested => "requested",
                         }
                         .into(),
                     ),
@@ -472,7 +540,7 @@ pub struct MonitorBuilder {
     overflow: OverflowPolicy,
     idle_timeout: Timestamp,
     flush_after: Option<u32>,
-    sink: Option<Box<dyn FnMut(QoeEvent) + Send>>,
+    sink: Option<BuilderSink>,
 }
 
 impl MonitorBuilder {
@@ -601,8 +669,10 @@ impl MonitorBuilder {
     }
 
     /// Delivers events to a callback as they happen instead of queueing
-    /// them for [`Monitor::drain_events`].
-    pub fn sink(mut self, sink: impl FnMut(QoeEvent) + Send + 'static) -> Self {
+    /// them for [`Monitor::drain_events`]. The callback borrows the
+    /// event (events are shared on the delivery path); clone explicitly
+    /// if the consumer needs ownership.
+    pub fn sink(mut self, sink: impl FnMut(&QoeEvent) + Send + 'static) -> Self {
         self.sink = Some(Box::new(sink));
         self
     }
@@ -619,6 +689,7 @@ impl MonitorBuilder {
         };
         let inline = threads == 1;
         let stats = Arc::new(StatsCells::default());
+        let control = Arc::new(ControlShared::new(if inline { 0 } else { threads }));
         // A single-threaded monitor must never park on its own queue
         // (the producer is the consumer), so Block only waits when shard
         // workers exist.
@@ -647,6 +718,9 @@ impl MonitorBuilder {
             behind_streak: 0,
             last_evict_us: i64::MIN,
             stats: Arc::clone(&stats),
+            control: Arc::clone(&control),
+            seen_flush_epoch: 0,
+            evict_cursor: 0,
             out: Vec::new(),
         };
         let dispatch = if inline {
@@ -665,7 +739,7 @@ impl MonitorBuilder {
                 let deliver = deliver.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("vcaml-shard-{worker}"))
-                    .spawn(move || worker_loop(state, rx, deliver))
+                    .spawn(move || worker_loop(state, rx, deliver, worker))
                     .expect("spawn shard worker");
                 senders.push(tx);
                 handles.push(handle);
@@ -689,6 +763,7 @@ impl MonitorBuilder {
                 && self.overflow == OverflowPolicy::Block
                 && matches!(deliver, Deliver::Queue(_)),
             queue,
+            control,
             deliver,
             dispatch,
             drained: VecDeque::new(),
@@ -711,6 +786,14 @@ impl std::fmt::Debug for MonitorBuilder {
             .field("flush_after", &self.flush_after)
             .finish_non_exhaustive()
     }
+}
+
+/// Takes an event out of its delivery `Arc`. On the `Monitor`-owned
+/// drain paths the monitor holds the only reference, so this is a move,
+/// not a copy; the clone fallback only runs when a caller has stashed
+/// another handle to the same event (their copy, their cost).
+fn unshare(event: Arc<QoeEvent>) -> QoeEvent {
+    Arc::try_unwrap(event).unwrap_or_else(|shared| (*shared).clone())
 }
 
 /// Builds one per-flow engine for a resolved method — the single
@@ -780,7 +863,7 @@ impl PendingFlow {
 }
 
 /// A user event callback, shared across shard workers.
-type SharedSink = Arc<Mutex<Box<dyn FnMut(QoeEvent) + Send>>>;
+type SharedSink = Arc<Mutex<BuilderSink>>;
 
 /// Where produced events go: the shared bounded queue (drained by the
 /// caller) or a user callback sink. Cloned into every shard worker.
@@ -791,7 +874,7 @@ enum Deliver {
 }
 
 impl Deliver {
-    fn send(&self, events: Vec<QoeEvent>) {
+    fn send(&self, events: Vec<Arc<QoeEvent>>) {
         if events.is_empty() {
             return;
         }
@@ -800,7 +883,7 @@ impl Deliver {
             Deliver::Sink(sink) => {
                 let mut sink = sink.lock().expect("sink poisoned");
                 for event in events {
-                    sink(event);
+                    sink(&event);
                 }
             }
         }
@@ -845,10 +928,13 @@ enum Dispatch {
 fn dispatch_batch(
     sender: &SyncSender<ShardMsg>,
     queue: &EventQueue,
-    drained: &mut VecDeque<QoeEvent>,
+    drained: &mut VecDeque<Arc<QoeEvent>>,
     stage_on_full: bool,
+    control: &ControlShared,
+    worker: usize,
     batch: Vec<(FlowKey, TracePacket)>,
 ) {
+    control.depth_add(worker, batch.len() as u64);
     let mut msg = ShardMsg::Batch(batch);
     if !stage_on_full {
         sender.send(msg).expect("shard workers outlive dispatch");
@@ -873,15 +959,51 @@ fn dispatch_batch(
     }
 }
 
+/// How often a freshly idle shard worker wakes to poll the control
+/// plane — `force_flush` and `evict_flow` apply within one tick on a
+/// quiet shard (a busy shard applies them after every batch).
+const CONTROL_POLL: std::time::Duration = std::time::Duration::from_millis(20);
+
+/// Idle-tick ceiling: a worker whose shard stays quiet backs its poll
+/// interval off exponentially to this bound, so a long-idle threaded
+/// monitor costs a couple of timer wakeups per second per worker
+/// instead of fifty — at the price of control requests applying within
+/// half a second (instead of one tick) on a long-quiet shard.
+const CONTROL_POLL_MAX: std::time::Duration = std::time::Duration::from_millis(500);
+
 /// A shard worker's main loop: ingest batches until told (or observed,
-/// via channel disconnect) that the stream is over, then seal every flow
-/// and deliver the tail.
-fn worker_loop(mut state: ShardState, rx: Receiver<ShardMsg>, deliver: Deliver) {
-    while let Ok(ShardMsg::Batch(batch)) = rx.recv() {
-        for (flow, pkt) in batch {
-            state.ingest(flow, pkt);
+/// via channel disconnect) that the stream is over, applying pending
+/// control-plane requests between batches (and on an idle tick, with
+/// exponential backoff while the shard stays quiet), then seal every
+/// flow and deliver the tail.
+fn worker_loop(mut state: ShardState, rx: Receiver<ShardMsg>, deliver: Deliver, worker: usize) {
+    use std::sync::mpsc::RecvTimeoutError;
+    let mut poll = CONTROL_POLL;
+    loop {
+        match rx.recv_timeout(poll) {
+            Ok(ShardMsg::Batch(batch)) => {
+                poll = CONTROL_POLL;
+                let n = batch.len() as u64;
+                for (flow, pkt) in batch {
+                    state.ingest(flow, pkt);
+                }
+                state.control.depth_sub(worker, n);
+                state.apply_control();
+                deliver.send(state.take_events());
+            }
+            Ok(ShardMsg::Finish) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                // Reset the backoff when a request actually arrived —
+                // an operator steering an idle monitor gets ticks at
+                // full rate again.
+                if state.apply_control() {
+                    poll = CONTROL_POLL;
+                } else {
+                    poll = (poll * 2).min(CONTROL_POLL_MAX);
+                }
+                deliver.send(state.take_events());
+            }
         }
-        deliver.send(state.take_events());
     }
     state.finish();
     deliver.send(state.take_events());
@@ -908,6 +1030,8 @@ pub struct Monitor {
     /// The bounded collector every shard pushes into (unused when a sink
     /// is configured, but kept so `pending_events` stays cheap).
     queue: Arc<EventQueue>,
+    /// Control-plane cells shared with every [`MonitorHandle`].
+    control: Arc<ControlShared>,
     deliver: Deliver,
     dispatch: Dispatch,
     /// Whether a full ingest channel must be answered by draining the
@@ -915,7 +1039,7 @@ pub struct Monitor {
     /// threaded + `Block` + no sink) — see [`dispatch_batch`].
     stage_on_full: bool,
     /// Staging buffer backing the `drain_events` iterator.
-    drained: VecDeque<QoeEvent>,
+    drained: VecDeque<Arc<QoeEvent>>,
 }
 
 /// The per-worker slice of the monitor: a partition of the flow table
@@ -947,15 +1071,37 @@ struct ShardState {
     behind_streak: u32,
     last_evict_us: i64,
     stats: Arc<StatsCells>,
+    /// Control-plane cells this shard polls between batches.
+    control: Arc<ControlShared>,
+    /// Last flush epoch applied (see [`MonitorHandle::force_flush`]).
+    seen_flush_epoch: u64,
+    /// Cursor into the shared eviction-request list.
+    evict_cursor: usize,
     /// Events produced since the last `take_events` (per-flow order is
-    /// append order).
-    out: Vec<QoeEvent>,
+    /// append order). Wrapped at emission: the `Arc` is the unit of
+    /// delivery everywhere downstream.
+    out: Vec<Arc<QoeEvent>>,
 }
 
 impl Monitor {
     /// Shorthand for [`MonitorBuilder::new`].
     pub fn builder(vca: VcaKind) -> MonitorBuilder {
         MonitorBuilder::new(vca)
+    }
+
+    /// A cloneable live [`MonitorHandle`]: snapshot counters, force a
+    /// provisional flush, evict a flow, retune alert thresholds, or
+    /// request a graceful stop — from any thread, without touching the
+    /// monitor's `&mut` ingest surface. Shard workers apply control
+    /// requests between batches (or within one poll tick when idle); an
+    /// inline monitor applies them on its next `ingest`/`drain` call.
+    /// The handle stays readable after [`Monitor::finish`].
+    pub fn handle(&self) -> MonitorHandle {
+        MonitorHandle {
+            control: Arc::clone(&self.control),
+            stats: Arc::clone(&self.stats),
+            queue: Arc::clone(&self.queue),
+        }
     }
 
     /// The VCA profile the monitor was configured for.
@@ -1000,10 +1146,30 @@ impl Monitor {
     /// [`OverflowPolicy::DropOldest`], the batch leads with a
     /// [`QoeEvent::Dropped`] marker counting them.
     pub fn drain_events(&mut self) -> impl Iterator<Item = QoeEvent> + '_ {
+        self.drain_pending();
+        self.drained.drain(..).map(unshare)
+    }
+
+    /// [`Monitor::drain_events`] without unsharing: the events come out
+    /// as the [`Arc`]s the delivery path carries, so a fan-out consumer
+    /// (the runner's event bus) can hand the same allocation to any
+    /// number of subscribers.
+    pub fn drain_shared(&mut self) -> impl Iterator<Item = Arc<QoeEvent>> + '_ {
+        self.drain_pending();
+        self.drained.drain(..)
+    }
+
+    /// Flushes ingest batches, applies pending control requests on an
+    /// inline monitor, and pulls everything queued into staging.
+    fn drain_pending(&mut self) {
         self.flush_ingest();
+        if let Dispatch::Inline(shard) = &mut self.dispatch {
+            shard.apply_control();
+            let events = shard.take_events();
+            self.deliver.send(events);
+        }
         let batch = self.queue.drain();
         self.drained.extend(batch);
-        self.drained.drain(..)
     }
 
     // -- ingestion ---------------------------------------------------------
@@ -1058,6 +1224,7 @@ impl Monitor {
             dispatch,
             deliver,
             queue,
+            control,
             drained,
             stage_on_full,
             ..
@@ -1065,6 +1232,7 @@ impl Monitor {
         match dispatch {
             Dispatch::Inline(shard) => {
                 shard.ingest(flow, pkt);
+                shard.apply_control();
                 let events = shard.take_events();
                 deliver.send(events);
             }
@@ -1076,7 +1244,15 @@ impl Monitor {
                 if batches[worker].len() >= INGEST_BATCH {
                     let batch =
                         std::mem::replace(&mut batches[worker], Vec::with_capacity(INGEST_BATCH));
-                    dispatch_batch(&senders[worker], queue, drained, *stage_on_full, batch);
+                    dispatch_batch(
+                        &senders[worker],
+                        queue,
+                        drained,
+                        *stage_on_full,
+                        control,
+                        worker,
+                        batch,
+                    );
                 }
             }
             Dispatch::Done => unreachable!("monitor already finished"),
@@ -1090,13 +1266,19 @@ impl Monitor {
     /// ingest batch, signals end-of-stream to each shard worker, joins
     /// them, and drains whatever they delivered — the end-of-stream flush
     /// neither blocks on nor is dropped by the bounded queue.
-    pub fn finish(mut self) -> Vec<QoeEvent> {
+    pub fn finish(self) -> Vec<QoeEvent> {
+        self.finish_shared().into_iter().map(unshare).collect()
+    }
+
+    /// [`Monitor::finish`] without unsharing — the runner's event bus
+    /// consumes this so end-of-stream tails fan out allocation-free.
+    pub fn finish_shared(mut self) -> Vec<Arc<QoeEvent>> {
         // Lift the queue bound (and both overflow policies) first:
         // workers flushing their sealed tails must neither park against
         // a queue nobody is draining yet nor have those tails shed by
         // DropOldest — the end-of-stream flush is lossless by contract.
         self.queue.release();
-        let mut out: Vec<QoeEvent> = self.drained.drain(..).collect();
+        let mut out: Vec<Arc<QoeEvent>> = self.drained.drain(..).collect();
         match std::mem::replace(&mut self.dispatch, Dispatch::Done) {
             Dispatch::Inline(mut shard) => {
                 shard.finish();
@@ -1111,6 +1293,7 @@ impl Monitor {
                 // parks a worker, so every channel drains.
                 for (worker, batch) in batches.drain(..).enumerate() {
                     if !batch.is_empty() {
+                        self.control.depth_add(worker, batch.len() as u64);
                         senders[worker]
                             .send(ShardMsg::Batch(batch))
                             .expect("shard worker alive");
@@ -1138,6 +1321,7 @@ impl Monitor {
         let Monitor {
             dispatch,
             queue,
+            control,
             drained,
             stage_on_full,
             ..
@@ -1149,7 +1333,15 @@ impl Monitor {
             for (worker, batch) in batches.iter_mut().enumerate() {
                 if !batch.is_empty() {
                     let batch = std::mem::take(batch);
-                    dispatch_batch(&senders[worker], queue, drained, *stage_on_full, batch);
+                    dispatch_batch(
+                        &senders[worker],
+                        queue,
+                        drained,
+                        *stage_on_full,
+                        control,
+                        worker,
+                        batch,
+                    );
                 }
             }
         }
@@ -1157,7 +1349,7 @@ impl Monitor {
 
     fn drop_packet(&mut self, ts: Timestamp, reason: ParseDropReason) {
         self.stats.parse_drops.fetch_add(1, Relaxed);
-        let event = QoeEvent::ParseDrop { ts, reason };
+        let event = Arc::new(QoeEvent::ParseDrop { ts, reason });
         match &self.deliver {
             // The caller *is* the queue's consumer: parking here against
             // a full Block queue would be waiting on itself (workers only
@@ -1166,13 +1358,6 @@ impl Monitor {
             Deliver::Queue(queue) => queue.push_nowait(vec![event]),
             Deliver::Sink(_) => self.deliver.send(vec![event]),
         }
-    }
-
-    /// Handles that outlive [`Monitor::finish`], so the runner can
-    /// snapshot final counters *after* consuming the monitor (when the
-    /// workers have settled everything).
-    pub(crate) fn stats_probe(&self) -> (Arc<StatsCells>, Arc<EventQueue>) {
-        (Arc::clone(&self.stats), Arc::clone(&self.queue))
     }
 
     /// Opens an independent ingest port on a threaded monitor (`None`
@@ -1187,6 +1372,7 @@ impl Monitor {
             Dispatch::Threaded { senders, .. } => Some(IngestPort {
                 wants_rtp: self.wants_rtp,
                 stats: Arc::clone(&self.stats),
+                control: Arc::clone(&self.control),
                 deliver: self.deliver.clone(),
                 batches: senders.iter().map(|_| Vec::new()).collect(),
                 senders: senders.clone(),
@@ -1296,6 +1482,7 @@ pub(crate) fn datagram_packet(
 pub(crate) struct IngestPort {
     wants_rtp: bool,
     stats: Arc<StatsCells>,
+    control: Arc<ControlShared>,
     deliver: Deliver,
     senders: Vec<SyncSender<ShardMsg>>,
     batches: Vec<Vec<(FlowKey, TracePacket)>>,
@@ -1327,6 +1514,7 @@ impl IngestPort {
         if self.batches[worker].len() >= INGEST_BATCH {
             let batch =
                 std::mem::replace(&mut self.batches[worker], Vec::with_capacity(INGEST_BATCH));
+            self.control.depth_add(worker, batch.len() as u64);
             self.senders[worker]
                 .send(ShardMsg::Batch(batch))
                 .expect("shard workers outlive ingest ports");
@@ -1338,8 +1526,10 @@ impl IngestPort {
     pub(crate) fn flush(&mut self) {
         for (worker, batch) in self.batches.iter_mut().enumerate() {
             if !batch.is_empty() {
+                let batch = std::mem::take(batch);
+                self.control.depth_add(worker, batch.len() as u64);
                 self.senders[worker]
-                    .send(ShardMsg::Batch(std::mem::take(batch)))
+                    .send(ShardMsg::Batch(batch))
                     .expect("shard workers outlive ingest ports");
             }
         }
@@ -1350,7 +1540,8 @@ impl IngestPort {
         // Unlike Monitor::drop_packet this may park against a full Block
         // queue: the port holder is an ingest thread, and the runner's
         // event loop is the concurrent drainer that frees it.
-        self.deliver.send(vec![QoeEvent::ParseDrop { ts, reason }]);
+        self.deliver
+            .send(vec![Arc::new(QoeEvent::ParseDrop { ts, reason })]);
     }
 }
 
@@ -1361,7 +1552,9 @@ impl Drop for IngestPort {
     fn drop(&mut self) {
         for (worker, batch) in self.batches.iter_mut().enumerate() {
             if !batch.is_empty() {
-                let _ = self.senders[worker].send(ShardMsg::Batch(std::mem::take(batch)));
+                let batch = std::mem::take(batch);
+                self.control.depth_add(worker, batch.len() as u64);
+                let _ = self.senders[worker].send(ShardMsg::Batch(batch));
             }
         }
     }
@@ -1472,8 +1665,72 @@ impl ShardState {
     }
 
     /// Takes the events produced since the last call, in emission order.
-    fn take_events(&mut self) -> Vec<QoeEvent> {
+    fn take_events(&mut self) -> Vec<Arc<QoeEvent>> {
         std::mem::take(&mut self.out)
+    }
+
+    /// Applies pending control-plane requests ([`MonitorHandle`]): a
+    /// forced provisional flush of every flow, and requested evictions
+    /// of flows this shard owns. Cheap when nothing is pending — two
+    /// relaxed atomic loads. Returns whether anything was applied (the
+    /// idle workers' poll-backoff reset signal).
+    fn apply_control(&mut self) -> bool {
+        let mut applied = false;
+        let epoch = self.control.flush_epoch();
+        if epoch != self.seen_flush_epoch {
+            self.seen_flush_epoch = epoch;
+            self.flush_all_provisional();
+            applied = true;
+        }
+        // Fast path first: the Arc clone below is only worth paying
+        // when a request actually exists (it satisfies the borrow
+        // checker across the &mut self eviction calls).
+        if self.control.has_evictions_since(self.evict_cursor) {
+            let control = Arc::clone(&self.control);
+            for flow in control.evictions_since(&mut self.evict_cursor) {
+                self.evict_requested(flow);
+            }
+            applied = true;
+        }
+        applied
+    }
+
+    /// Emits provisional snapshots of every tracked flow's pending
+    /// windows — [`MonitorHandle::force_flush`], with the same
+    /// supersede-later semantics as the builder's max-lag flush.
+    fn flush_all_provisional(&mut self) {
+        let mut snapshots: Vec<(FlowKey, Vec<WindowReport>)> = Vec::new();
+        self.table.for_each_mut(|flow, engine| {
+            let reports = engine.provisional();
+            if !reports.is_empty() {
+                snapshots.push((*flow, reports));
+            }
+        });
+        for (flow, reports) in snapshots {
+            for report in reports {
+                self.stats.provisional_reports.fetch_add(1, Relaxed);
+                self.emit(QoeEvent::WindowReport {
+                    flow,
+                    report,
+                    provisional: true,
+                });
+            }
+        }
+    }
+
+    /// Seals one flow on operator request, surfacing its tail windows —
+    /// [`MonitorHandle::evict_flow`]. A flow still in probation is
+    /// resolved first (its buffered packets replay through the decided
+    /// engine), so even a young flow's windows surface. Flows this shard
+    /// does not own are ignored (their owner processes the same
+    /// request).
+    fn evict_requested(&mut self, flow: FlowKey) {
+        if self.pending.contains_key(&flow) {
+            self.resolve_pending(flow);
+        }
+        if let Some(mut engine) = self.table.remove(&flow) {
+            self.seal_flow(flow, EvictReason::Requested, engine.finish());
+        }
     }
 
     /// Advances the stream clock by at most one idle timeout per packet,
@@ -1681,7 +1938,7 @@ impl ShardState {
     }
 
     fn emit(&mut self, event: QoeEvent) {
-        self.out.push(event);
+        self.out.push(Arc::new(event));
     }
 }
 

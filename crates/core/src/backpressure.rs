@@ -29,7 +29,7 @@
 
 use crate::api::QoeEvent;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use vcaml_netpkt::FlowKey;
 
 /// Bound on the flows the shed-attribution maps track, per interval and
@@ -54,7 +54,7 @@ pub enum OverflowPolicy {
 }
 
 struct QueueInner {
-    buf: VecDeque<QoeEvent>,
+    buf: VecDeque<Arc<QoeEvent>>,
     capacity: usize,
     policy: OverflowPolicy,
     /// Events discarded since the last drain (DropOldest only).
@@ -113,8 +113,10 @@ impl EventQueue {
     }
 
     /// Pushes a batch of events, applying the overflow policy per event.
-    /// Batch order (and therefore per-flow order) is preserved.
-    pub(crate) fn push_batch(&self, events: Vec<QoeEvent>) {
+    /// Batch order (and therefore per-flow order) is preserved. Events
+    /// are shared ([`Arc`]): the queue is the head of the fan-out path,
+    /// and nothing downstream ever deep-copies one.
+    pub(crate) fn push_batch(&self, events: Vec<Arc<QoeEvent>>) {
         self.push(events, true);
     }
 
@@ -123,11 +125,11 @@ impl EventQueue {
     /// consumer (the inline monitor, or the dispatching thread emitting a
     /// parse drop), where waiting on the queue is waiting on itself.
     /// `Block` grows past the bound instead; `DropOldest` is unchanged.
-    pub(crate) fn push_nowait(&self, events: Vec<QoeEvent>) {
+    pub(crate) fn push_nowait(&self, events: Vec<Arc<QoeEvent>>) {
         self.push(events, false);
     }
 
-    fn push(&self, events: Vec<QoeEvent>, may_wait: bool) {
+    fn push(&self, events: Vec<Arc<QoeEvent>>, may_wait: bool) {
         if events.is_empty() {
             return;
         }
@@ -139,7 +141,7 @@ impl EventQueue {
                         let shed = inner.buf.pop_front();
                         inner.dropped_since_drain += 1;
                         inner.dropped_total += 1;
-                        if let Some(flow) = shed.as_ref().and_then(QoeEvent::flow) {
+                        if let Some(flow) = shed.as_deref().and_then(QoeEvent::flow) {
                             bump_bounded(&mut inner.dropped_flows_since_drain, flow);
                             bump_bounded(&mut inner.dropped_flows_total, flow);
                         }
@@ -160,7 +162,7 @@ impl EventQueue {
     /// last drain, the returned batch leads with a [`QoeEvent::Dropped`]
     /// marker whose count — total and per flow — is exact; the discarded
     /// events were older than everything else returned.
-    pub(crate) fn drain(&self) -> Vec<QoeEvent> {
+    pub(crate) fn drain(&self) -> Vec<Arc<QoeEvent>> {
         let mut inner = self.inner.lock().expect("event queue poisoned");
         let dropped = std::mem::take(&mut inner.dropped_since_drain);
         let mut per_flow: Vec<(FlowKey, u64)> =
@@ -170,10 +172,10 @@ impl EventQueue {
         per_flow.sort_unstable_by_key(|(flow, _)| *flow);
         let mut out = Vec::with_capacity(inner.buf.len() + usize::from(dropped > 0));
         if dropped > 0 {
-            out.push(QoeEvent::Dropped {
+            out.push(Arc::new(QoeEvent::Dropped {
                 count: dropped,
                 per_flow,
-            });
+            }));
         }
         out.extend(inner.buf.drain(..));
         drop(inner);
@@ -228,11 +230,11 @@ mod tests {
     use super::*;
     use vcaml_netpkt::Timestamp;
 
-    fn ev(us: i64) -> QoeEvent {
-        QoeEvent::ParseDrop {
+    fn ev(us: i64) -> Arc<QoeEvent> {
+        Arc::new(QoeEvent::ParseDrop {
             ts: Timestamp::from_micros(us),
             reason: crate::api::ParseDropReason::NotUdp,
-        }
+        })
     }
 
     #[test]
@@ -241,12 +243,12 @@ mod tests {
         q.push_batch((0..10).map(ev).collect());
         assert_eq!(q.len(), 4);
         let drained = q.drain();
-        assert!(matches!(drained[0], QoeEvent::Dropped { count: 6, .. }));
+        assert!(matches!(*drained[0], QoeEvent::Dropped { count: 6, .. }));
         assert_eq!(drained.len(), 5);
         // The survivors are the newest events, in order.
         let kept: Vec<i64> = drained[1..]
             .iter()
-            .map(|e| match e {
+            .map(|e| match &**e {
                 QoeEvent::ParseDrop { ts, .. } => ts.as_micros(),
                 _ => unreachable!(),
             })
@@ -270,9 +272,11 @@ mod tests {
             )
             .0
         };
-        let opened = |n: u8, us: i64| QoeEvent::FlowOpened {
-            flow: flow(n),
-            ts: Timestamp::from_micros(us),
+        let opened = |n: u8, us: i64| {
+            Arc::new(QoeEvent::FlowOpened {
+                flow: flow(n),
+                ts: Timestamp::from_micros(us),
+            })
         };
         let q = EventQueue::new(2, OverflowPolicy::DropOldest, false);
         // Six events: four shed (two per flow), the newest two survive.
@@ -285,7 +289,7 @@ mod tests {
             opened(2, 5),
         ]);
         let drained = q.drain();
-        let QoeEvent::Dropped { count, per_flow } = &drained[0] else {
+        let QoeEvent::Dropped { count, per_flow } = &*drained[0] else {
             panic!("drain must lead with the drop marker");
         };
         assert_eq!(*count, 4);
@@ -296,7 +300,7 @@ mod tests {
         // marker counts only the fresh sheds.
         q.push_batch(vec![opened(1, 6), opened(1, 7), opened(1, 8)]);
         let drained = q.drain();
-        let QoeEvent::Dropped { count, per_flow } = &drained[0] else {
+        let QoeEvent::Dropped { count, per_flow } = &*drained[0] else {
             panic!("second drain leads with a fresh marker");
         };
         assert_eq!(*count, 1);
@@ -354,7 +358,7 @@ mod tests {
         q.push_batch((5..20).map(ev).collect());
         assert_eq!(q.dropped_total(), 3, "released phase never sheds");
         let drained = q.drain();
-        assert!(matches!(drained[0], QoeEvent::Dropped { count: 3, .. }));
+        assert!(matches!(*drained[0], QoeEvent::Dropped { count: 3, .. }));
         assert_eq!(drained.len(), 1 + 2 + 15);
     }
 

@@ -1,0 +1,448 @@
+//! The event bus: shared events, typed subscriptions, zero-copy fan-out.
+//!
+//! Every [`QoeEvent`] a monitor produces is allocated once and shared as
+//! an [`Arc<QoeEvent>`] end to end — through the bounded collector queue,
+//! the runner's drain loop, and every subscriber — so attaching N
+//! consumers to one monitor costs N reference-count bumps per event, not
+//! N deep copies (a tested invariant: the crate's clone counter stays at
+//! zero across the whole delivery path, see
+//! [`qoe_event_clone_count`](crate::api::qoe_event_clone_count)).
+//!
+//! Subscriptions are first-class: an [`EventBus`] pairs each
+//! [`EventSink`] with an [`EventFilter`] — by [`EventKind`], by
+//! [`FlowKey`] set, by minimum [`Severity`] — and evaluates the filter
+//! **once per event on the drain thread**, so a subscriber that only
+//! wants alerts pays nothing for the window reports it never sees.
+//! [`Severity`] is computed against the monitor's live
+//! [`AlertThresholds`], which a
+//! [`MonitorHandle`](crate::control::MonitorHandle) can adjust at
+//! runtime: retuning the alert bar re-classifies events for every
+//! min-severity subscriber without rebuilding the pipeline.
+//!
+//! ```
+//! use vcaml::bus::{AlertThresholds, EventBus, EventFilter, EventKind, Severity};
+//! use vcaml::sink::CountingSink;
+//!
+//! let mut bus = EventBus::new(AlertThresholds::new());
+//! bus.subscribe(EventFilter::all(), CountingSink::default());
+//! bus.subscribe(
+//!     EventFilter::all()
+//!         .kinds([EventKind::WindowReport])
+//!         .min_severity(Severity::Warning),
+//!     CountingSink::default(),
+//! );
+//! assert_eq!(bus.subscribers(), 2);
+//! ```
+
+use crate::api::QoeEvent;
+use crate::sink::{report_fps, EventSink};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use vcaml_netpkt::FlowKey;
+
+/// The kind of a [`QoeEvent`], as a filterable tag (one per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// [`QoeEvent::FlowOpened`].
+    FlowOpened,
+    /// [`QoeEvent::WindowReport`].
+    WindowReport,
+    /// [`QoeEvent::FlowEvicted`].
+    FlowEvicted,
+    /// [`QoeEvent::ParseDrop`].
+    ParseDrop,
+    /// [`QoeEvent::Dropped`].
+    Dropped,
+}
+
+impl EventKind {
+    /// All five kinds, in declaration order.
+    pub const ALL: [EventKind; 5] = [
+        EventKind::FlowOpened,
+        EventKind::WindowReport,
+        EventKind::FlowEvicted,
+        EventKind::ParseDrop,
+        EventKind::Dropped,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            EventKind::FlowOpened => 1 << 0,
+            EventKind::WindowReport => 1 << 1,
+            EventKind::FlowEvicted => 1 << 2,
+            EventKind::ParseDrop => 1 << 3,
+            EventKind::Dropped => 1 << 4,
+        }
+    }
+}
+
+impl QoeEvent {
+    /// This event's [`EventKind`].
+    pub fn kind(&self) -> EventKind {
+        match self {
+            QoeEvent::FlowOpened { .. } => EventKind::FlowOpened,
+            QoeEvent::WindowReport { .. } => EventKind::WindowReport,
+            QoeEvent::FlowEvicted { .. } => EventKind::FlowEvicted,
+            QoeEvent::ParseDrop { .. } => EventKind::ParseDrop,
+            QoeEvent::Dropped { .. } => EventKind::Dropped,
+        }
+    }
+}
+
+/// How operationally urgent an event is, for min-severity subscriptions.
+/// Ordered: `Info < Warning < Critical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Normal operation: flow lifecycle, healthy window reports.
+    Info,
+    /// Something an operator may want to look at: a classified parse
+    /// drop, or a finalized window whose frame rate is below the live
+    /// alert threshold (see [`AlertThresholds`]).
+    Warning,
+    /// The monitor itself lost visibility: events were shed by the
+    /// bounded queue ([`QoeEvent::Dropped`]).
+    Critical,
+}
+
+impl Severity {
+    /// Classifies an event against an alert frame-rate bar (usually the
+    /// live [`AlertThresholds::fps`]): any finalized window the event
+    /// carries — a standalone report or an eviction's sealed tail —
+    /// reporting below the bar makes it a `Warning`. Provisional window
+    /// snapshots are documented lower bounds and never escalate past
+    /// `Info`.
+    pub fn of(event: &QoeEvent, alert_fps: f64) -> Severity {
+        match event {
+            QoeEvent::Dropped { .. } => Severity::Critical,
+            QoeEvent::ParseDrop { .. } => Severity::Warning,
+            _ if event
+                .final_reports()
+                .iter()
+                .any(|r| report_fps(r).is_some_and(|fps| fps < alert_fps)) =>
+            {
+                Severity::Warning
+            }
+            _ => Severity::Info,
+        }
+    }
+}
+
+/// Runtime-adjustable alert thresholds, shared between the event bus,
+/// any [`AlertSink`](crate::sink::AlertSink) built from them, and the
+/// [`MonitorHandle`](crate::control::MonitorHandle) that retunes them.
+///
+/// Cloning shares the underlying cells (this is a handle, not a value):
+/// a `set_fps` through any clone is visible to every reader on its next
+/// event. The default threshold is `-inf` — no window is ever degraded
+/// until an operator sets a bar.
+#[derive(Debug, Clone)]
+pub struct AlertThresholds {
+    fps_bits: Arc<AtomicU64>,
+}
+
+impl AlertThresholds {
+    /// Thresholds with no alert bar set (`fps()` is `-inf`).
+    pub fn new() -> Self {
+        AlertThresholds {
+            fps_bits: Arc::new(AtomicU64::new(f64::NEG_INFINITY.to_bits())),
+        }
+    }
+
+    /// Thresholds with an initial frame-rate bar.
+    pub fn with_fps(fps: f64) -> Self {
+        let t = AlertThresholds::new();
+        t.set_fps(fps);
+        t
+    }
+
+    /// The live frame-rate bar: a finalized window reporting below this
+    /// is [`Severity::Warning`]. `-inf` when unset.
+    pub fn fps(&self) -> f64 {
+        f64::from_bits(self.fps_bits.load(Relaxed))
+    }
+
+    /// Retunes the frame-rate bar; takes effect on the next event.
+    pub fn set_fps(&self, fps: f64) {
+        self.fps_bits.store(fps.to_bits(), Relaxed);
+    }
+}
+
+impl Default for AlertThresholds {
+    fn default() -> Self {
+        AlertThresholds::new()
+    }
+}
+
+/// A typed event subscription predicate: which slice of the stream a
+/// subscriber observes. All three axes compose conjunctively; the
+/// default ([`EventFilter::all`]) matches everything.
+///
+/// Evaluated once per event on the drain thread — a filtered-out
+/// subscriber's sink is never called, so narrow subscribers cost
+/// nothing on the events they skip.
+#[derive(Debug, Clone, Default)]
+pub struct EventFilter {
+    /// Bitmask of accepted [`EventKind`]s; `None` = every kind.
+    kinds: Option<u8>,
+    /// Accepted flows; `None` = every flow. When set, only events
+    /// attributed to one of these flows match — plus
+    /// [`QoeEvent::Dropped`] markers whose per-flow breakdown touches
+    /// the set (a flow-pinned subscriber must still learn its flow's
+    /// events were shed). Parse drops carry no flow and never match.
+    flows: Option<BTreeSet<FlowKey>>,
+    /// Minimum [`Severity`]; `None` = any.
+    min_severity: Option<Severity>,
+}
+
+impl EventFilter {
+    /// Matches every event (the unfiltered subscription).
+    pub fn all() -> Self {
+        EventFilter::default()
+    }
+
+    /// Restricts to the given event kinds (replaces any previous kind
+    /// restriction; an empty list matches no event).
+    pub fn kinds(mut self, kinds: impl IntoIterator<Item = EventKind>) -> Self {
+        self.kinds = Some(kinds.into_iter().fold(0u8, |m, k| m | k.bit()));
+        self
+    }
+
+    /// Restricts to events attributed to the given flows (replaces any
+    /// previous flow restriction). A [`QoeEvent::Dropped`] marker still
+    /// matches when its per-flow breakdown attributes sheds to any of
+    /// these flows — the queue's exact-loss accounting must reach the
+    /// subscribers watching those flows. [`QoeEvent::ParseDrop`]
+    /// happens before flow attribution and never matches.
+    pub fn flows(mut self, flows: impl IntoIterator<Item = FlowKey>) -> Self {
+        self.flows = Some(flows.into_iter().collect());
+        self
+    }
+
+    /// Requires at least this [`Severity`] (as classified against the
+    /// bus's live [`AlertThresholds`]).
+    pub fn min_severity(mut self, severity: Severity) -> Self {
+        self.min_severity = Some(severity);
+        self
+    }
+
+    /// Whether an event of the given severity passes the filter. The
+    /// severity is supplied (not recomputed) so a bus can classify each
+    /// event once and evaluate any number of filters against it; use
+    /// [`Severity::of`] for post-hoc filtering outside a bus.
+    pub fn matches(&self, event: &QoeEvent, severity: Severity) -> bool {
+        if let Some(mask) = self.kinds {
+            if mask & event.kind().bit() == 0 {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_severity {
+            if severity < min {
+                return false;
+            }
+        }
+        if let Some(flows) = &self.flows {
+            match event {
+                // Loss markers reach a flow-pinned subscriber when any
+                // of its flows shed — otherwise the subscriber would
+                // see a silently gapped stream.
+                QoeEvent::Dropped { per_flow, .. } => {
+                    if !per_flow.iter().any(|(flow, _)| flows.contains(flow)) {
+                        return false;
+                    }
+                }
+                _ => match event.flow() {
+                    Some(flow) if flows.contains(&flow) => {}
+                    _ => return false,
+                },
+            }
+        }
+        true
+    }
+}
+
+struct Subscription {
+    filter: EventFilter,
+    sink: Box<dyn EventSink + Send>,
+}
+
+/// Fan-out of one shared event stream to typed subscribers.
+///
+/// The bus runs on the draining thread (a
+/// [`MonitorRunner`](crate::runner::MonitorRunner)'s event loop owns
+/// one): for each published [`Arc<QoeEvent>`] it computes the event's
+/// [`Severity`] against the live [`AlertThresholds`] once, then offers
+/// the same `Arc` to every subscription whose [`EventFilter`] matches —
+/// no deep copy anywhere, regardless of subscriber count.
+pub struct EventBus {
+    subscriptions: Vec<Subscription>,
+    thresholds: AlertThresholds,
+    published: u64,
+}
+
+impl EventBus {
+    /// An empty bus classifying severity against `thresholds`.
+    pub fn new(thresholds: AlertThresholds) -> Self {
+        EventBus {
+            subscriptions: Vec::new(),
+            thresholds,
+            published: 0,
+        }
+    }
+
+    /// Adds a subscriber observing the slice of the stream its filter
+    /// selects, in subscription order relative to the other sinks.
+    pub fn subscribe(&mut self, filter: EventFilter, sink: impl EventSink + Send + 'static) {
+        self.subscriptions.push(Subscription {
+            filter,
+            sink: Box::new(sink),
+        });
+    }
+
+    /// Number of subscribers.
+    pub fn subscribers(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Whether the bus has no subscribers.
+    pub fn is_empty(&self) -> bool {
+        self.subscriptions.is_empty()
+    }
+
+    /// Events published so far (each counts once, however many
+    /// subscribers observed it).
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// Offers one shared event to every matching subscriber, in
+    /// subscription order.
+    pub fn publish(&mut self, event: &Arc<QoeEvent>) {
+        self.published += 1;
+        let severity = Severity::of(event, self.thresholds.fps());
+        for sub in &mut self.subscriptions {
+            if sub.filter.matches(event, severity) {
+                sub.sink.on_event(event);
+            }
+        }
+    }
+
+    /// Flushes every subscriber, in subscription order (end of run).
+    pub fn flush(&mut self) {
+        for sub in &mut self.subscriptions {
+            sub.sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("subscribers", &self.subscriptions.len())
+            .field("published", &self.published)
+            .field("alert_fps", &self.thresholds.fps())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CallbackSink;
+    use std::net::{IpAddr, Ipv4Addr};
+    use std::sync::Mutex;
+    use vcaml_netpkt::Timestamp;
+
+    fn flow(n: u8) -> FlowKey {
+        FlowKey::canonical(
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, n)),
+            5000,
+            IpAddr::V4(Ipv4Addr::new(10, 0, 0, 200)),
+            5001,
+            17,
+        )
+        .0
+    }
+
+    fn opened(n: u8) -> Arc<QoeEvent> {
+        Arc::new(QoeEvent::FlowOpened {
+            flow: flow(n),
+            ts: Timestamp::from_micros(1),
+        })
+    }
+
+    fn dropped() -> Arc<QoeEvent> {
+        Arc::new(QoeEvent::Dropped {
+            count: 3,
+            per_flow: vec![],
+        })
+    }
+
+    #[test]
+    fn kind_and_flow_filters_select_their_slice() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let (a, b) = (Arc::clone(&seen), Arc::clone(&seen));
+        let mut bus = EventBus::new(AlertThresholds::new());
+        bus.subscribe(
+            EventFilter::all().kinds([EventKind::Dropped]),
+            CallbackSink::new(move |e| a.lock().unwrap().push(("kinds", e.tag()))),
+        );
+        bus.subscribe(
+            EventFilter::all().flows([flow(1)]),
+            CallbackSink::new(move |e| b.lock().unwrap().push(("flows", e.tag()))),
+        );
+        bus.publish(&opened(1));
+        bus.publish(&opened(2));
+        bus.publish(&dropped());
+        assert_eq!(bus.published(), 3);
+        let seen = seen.lock().unwrap();
+        // The kind subscriber saw only the drop marker; the flow
+        // subscriber saw only flow 1's open (flow-less events never
+        // match a flow filter).
+        assert_eq!(*seen, vec![("flows", "flow_opened"), ("kinds", "dropped")]);
+    }
+
+    #[test]
+    fn min_severity_tracks_live_thresholds() {
+        let thresholds = AlertThresholds::new();
+        let n = Arc::new(Mutex::new(0usize));
+        let n2 = Arc::clone(&n);
+        let mut bus = EventBus::new(thresholds.clone());
+        bus.subscribe(
+            EventFilter::all().min_severity(Severity::Critical),
+            CallbackSink::new(move |_| *n2.lock().unwrap() += 1),
+        );
+        bus.publish(&opened(1)); // Info: filtered out
+        bus.publish(&dropped()); // Critical: delivered
+        assert_eq!(*n.lock().unwrap(), 1);
+        assert_eq!(thresholds.fps(), f64::NEG_INFINITY);
+        thresholds.set_fps(24.0);
+        assert_eq!(thresholds.fps(), 24.0);
+    }
+
+    #[test]
+    fn flow_filter_admits_drop_markers_touching_its_flows() {
+        let filter = EventFilter::all().flows([flow(1)]);
+        let touching = QoeEvent::Dropped {
+            count: 4,
+            per_flow: vec![(flow(1), 3)],
+        };
+        let elsewhere = QoeEvent::Dropped {
+            count: 2,
+            per_flow: vec![(flow(2), 2)],
+        };
+        assert!(
+            filter.matches(&touching, Severity::Critical),
+            "a flow-pinned subscriber must learn its flow shed events"
+        );
+        assert!(!filter.matches(&elsewhere, Severity::Critical));
+    }
+
+    #[test]
+    fn empty_kind_list_matches_nothing() {
+        let filter = EventFilter::all().kinds([]);
+        assert!(!filter.matches(&opened(1), Severity::Info));
+        assert!(!filter.matches(&dropped(), Severity::Critical));
+        assert!(EventFilter::all().matches(&dropped(), Severity::Critical));
+    }
+}

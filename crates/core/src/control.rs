@@ -1,0 +1,289 @@
+//! The live control plane: observe and steer a running monitor.
+//!
+//! A [`MonitorHandle`] is a cheap, cloneable, thread-safe view onto a
+//! [`Monitor`](crate::api::Monitor) — obtained from
+//! [`Monitor::handle`](crate::api::Monitor::handle), from
+//! [`MonitorRunner::handle`](crate::runner::MonitorRunner::handle), or
+//! from a spawned
+//! [`RunningMonitor`](crate::runner::RunningMonitor) — that stays valid
+//! for the monitor's whole life (and keeps its counters readable after
+//! `finish`). It exposes:
+//!
+//! * [`MonitorHandle::stats_snapshot`] — a consistent-enough live
+//!   [`MonitorSnapshot`]: the running [`MonitorStats`] counters, flows
+//!   live, undrained events, and the per-shard ingest-channel depths of
+//!   a threaded monitor;
+//! * [`MonitorHandle::force_flush`] — ask every shard for provisional
+//!   snapshots of its pending windows (freshness on demand, same
+//!   semantics as the builder's max-lag flush);
+//! * [`MonitorHandle::evict_flow`] — seal one flow now, surfacing its
+//!   tail windows as a [`QoeEvent::FlowEvicted`](crate::api::QoeEvent)
+//!   with [`EvictReason::Requested`](crate::api::EvictReason);
+//! * [`MonitorHandle::set_alert_fps`] — retune the live
+//!   [`AlertThresholds`] every severity-filtered subscriber and shared
+//!   [`AlertSink`](crate::sink::AlertSink) reads;
+//! * [`MonitorHandle::stop`] — gracefully stop a run: ingest ports stop
+//!   pulling from their sources, in-flight packets are flushed, and the
+//!   monitor seals every flow — no event produced before the stop is
+//!   lost (a tested invariant).
+//!
+//! Control requests are applied by whichever thread owns the flow state:
+//! shard workers poll them between batches (and on a short idle tick),
+//! an inline monitor applies them on its next `ingest`/`drain` call.
+//! Handles never touch engines directly, so there is nothing to lock
+//! and a dropped or forgotten handle costs nothing.
+
+use crate::api::{MonitorStats, StatsCells};
+use crate::backpressure::EventQueue;
+use crate::bus::AlertThresholds;
+use serde::{Map, Serialize, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use vcaml_netpkt::FlowKey;
+
+/// Shared control cells between a monitor's owner-side state (shard
+/// workers or the inline shard) and every [`MonitorHandle`].
+#[derive(Debug)]
+pub(crate) struct ControlShared {
+    /// Graceful-stop flag; ingest ports check it between packets.
+    stop: AtomicBool,
+    /// Bumped by `force_flush`; shards emit provisional snapshots when
+    /// they observe a new epoch.
+    flush_epoch: AtomicU64,
+    /// Append-only eviction requests; each shard keeps a cursor and
+    /// seals the requested flows it owns.
+    evictions: Mutex<Vec<FlowKey>>,
+    /// `evictions.len()`, readable without the lock (shards skip the
+    /// lock entirely while no new request exists).
+    evict_len: AtomicUsize,
+    /// Live alert thresholds (severity classification + shared sinks).
+    pub(crate) thresholds: AlertThresholds,
+    /// Per-worker ingest backlog, in packets handed to the worker's
+    /// channel and not yet processed. Empty on an inline monitor.
+    depths: Vec<AtomicU64>,
+}
+
+impl ControlShared {
+    pub(crate) fn new(workers: usize) -> Self {
+        ControlShared {
+            stop: AtomicBool::new(false),
+            flush_epoch: AtomicU64::new(0),
+            evictions: Mutex::new(Vec::new()),
+            evict_len: AtomicUsize::new(0),
+            thresholds: AlertThresholds::new(),
+            depths: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn stop_requested(&self) -> bool {
+        self.stop.load(Relaxed)
+    }
+
+    /// Current flush epoch (shards compare against their last seen).
+    pub(crate) fn flush_epoch(&self) -> u64 {
+        self.flush_epoch.load(Relaxed)
+    }
+
+    /// Whether requests exist past `cursor` — the lock-free (and
+    /// refcount-free) per-packet fast path.
+    pub(crate) fn has_evictions_since(&self, cursor: usize) -> bool {
+        self.evict_len.load(Relaxed) != cursor
+    }
+
+    /// Eviction requests past `cursor`, advancing it.
+    pub(crate) fn evictions_since(&self, cursor: &mut usize) -> Vec<FlowKey> {
+        if self.evict_len.load(Relaxed) == *cursor {
+            return Vec::new();
+        }
+        let requests = self.evictions.lock().expect("evictions poisoned");
+        let fresh = requests[(*cursor).min(requests.len())..].to_vec();
+        *cursor = requests.len();
+        fresh
+    }
+
+    /// Records `n` packets handed to `worker`'s channel.
+    pub(crate) fn depth_add(&self, worker: usize, n: u64) {
+        if let Some(cell) = self.depths.get(worker) {
+            cell.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Records `n` packets processed by `worker`.
+    pub(crate) fn depth_sub(&self, worker: usize, n: u64) {
+        if let Some(cell) = self.depths.get(worker) {
+            cell.fetch_sub(n, Relaxed);
+        }
+    }
+}
+
+/// A live, consistent-enough snapshot of a monitor's state, taken by
+/// [`MonitorHandle::stats_snapshot`]. On a threaded monitor the counters
+/// are eventually consistent (packets still queued on a shard channel
+/// are not yet counted); after `finish` everything is settled.
+#[derive(Debug, Clone)]
+pub struct MonitorSnapshot {
+    /// The running ingest/emit counters.
+    pub stats: MonitorStats,
+    /// Flows currently tracked (opened minus evicted).
+    pub flows_live: u64,
+    /// Events queued for the consumer and not yet drained.
+    pub pending_events: usize,
+    /// Per-shard-worker ingest backlog, in packets handed to the worker
+    /// and not yet processed. Empty on an inline monitor.
+    pub shard_depths: Vec<u64>,
+    /// The live alert frame-rate bar, if one is set.
+    pub alert_fps: Option<f64>,
+    /// Whether a graceful stop has been requested.
+    pub stop_requested: bool,
+}
+
+impl MonitorSnapshot {
+    /// One compact JSON object (`"type":"stats"`), the JSON-lines form
+    /// the CLI's `--stats-every` emits to stderr.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serialization is infallible")
+    }
+}
+
+impl Serialize for MonitorSnapshot {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("type".into(), Value::String("stats".into()));
+        m.insert("stats".into(), self.stats.to_value());
+        m.insert("flows_live".into(), self.flows_live.to_value());
+        m.insert("pending_events".into(), self.pending_events.to_value());
+        m.insert(
+            "shard_depths".into(),
+            Value::Array(self.shard_depths.iter().map(|d| d.to_value()).collect()),
+        );
+        if let Some(fps) = self.alert_fps {
+            m.insert("alert_fps".into(), fps.to_value());
+        }
+        m.insert("stop_requested".into(), Value::Bool(self.stop_requested));
+        Value::Object(m)
+    }
+}
+
+/// A cloneable live handle onto a monitor: snapshot its counters, force
+/// a flush, evict a flow, retune alert thresholds, request a graceful
+/// stop. See the [module docs](self) for semantics and timing.
+#[derive(Clone)]
+pub struct MonitorHandle {
+    pub(crate) control: Arc<ControlShared>,
+    pub(crate) stats: Arc<StatsCells>,
+    pub(crate) queue: Arc<EventQueue>,
+}
+
+impl MonitorHandle {
+    /// Takes a live [`MonitorSnapshot`]. Never blocks the data path
+    /// (counter loads plus one short queue lock).
+    pub fn stats_snapshot(&self) -> MonitorSnapshot {
+        let stats = self
+            .stats
+            .snapshot(self.queue.dropped_total(), self.queue.dropped_by_flow());
+        let flows_live = stats.flows_opened.saturating_sub(stats.flows_evicted);
+        MonitorSnapshot {
+            flows_live,
+            pending_events: self.queue.len(),
+            shard_depths: self
+                .control
+                .depths
+                .iter()
+                .map(|d| d.load(Relaxed))
+                .collect(),
+            alert_fps: self.alert_fps(),
+            stop_requested: self.control.stop_requested(),
+            stats,
+        }
+    }
+
+    /// Asks every shard to emit provisional snapshots of its flows'
+    /// pending windows (marked `provisional: true`, superseded by later
+    /// final reports — the same contract as the builder's
+    /// `flush_after_packets`). Applied by shard workers within their
+    /// next poll tick; an inline monitor applies it on its next
+    /// `ingest`/`drain` call.
+    pub fn force_flush(&self) {
+        self.control.flush_epoch.fetch_add(1, Relaxed);
+    }
+
+    /// Asks the owning shard to seal `flow` now: its engine is finished
+    /// and the tail windows surface as a `FlowEvicted` event with
+    /// [`EvictReason::Requested`](crate::api::EvictReason::Requested).
+    /// Unknown flows are ignored. Same application timing as
+    /// [`MonitorHandle::force_flush`].
+    pub fn evict_flow(&self, flow: FlowKey) {
+        let mut requests = self.control.evictions.lock().expect("evictions poisoned");
+        requests.push(flow);
+        self.control.evict_len.store(requests.len(), Relaxed);
+    }
+
+    /// The live [`AlertThresholds`] (a shared handle: retuning through
+    /// it is visible to the bus and every shared alert sink).
+    pub fn alert_thresholds(&self) -> AlertThresholds {
+        self.control.thresholds.clone()
+    }
+
+    /// Retunes the alert frame-rate bar, effective from the next event.
+    pub fn set_alert_fps(&self, fps: f64) {
+        self.control.thresholds.set_fps(fps);
+    }
+
+    /// The live alert frame-rate bar, if one is set.
+    pub fn alert_fps(&self) -> Option<f64> {
+        let fps = self.control.thresholds.fps();
+        (fps > f64::NEG_INFINITY).then_some(fps)
+    }
+
+    /// Requests a graceful stop: every ingest port stops pulling from
+    /// its source at the next packet boundary, in-flight packets are
+    /// flushed to the shards, and the run seals every flow — events
+    /// already produced are all delivered. Idempotent; never blocks.
+    pub fn stop(&self) {
+        self.control.stop.store(true, Relaxed);
+    }
+
+    /// Whether a graceful stop has been requested.
+    pub fn stop_requested(&self) -> bool {
+        self.control.stop_requested()
+    }
+
+    /// A minimal stop-flag view for sources that sleep (see
+    /// [`Paced::with_stop`](crate::source::Paced::with_stop)).
+    pub fn stop_token(&self) -> StopToken {
+        StopToken {
+            control: Arc::clone(&self.control),
+        }
+    }
+}
+
+impl std::fmt::Debug for MonitorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorHandle")
+            .field("snapshot", &self.stats_snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A cloneable view of just the graceful-stop flag, for packet sources
+/// that wait (real-time pacing, future live taps) and must notice a
+/// [`MonitorHandle::stop`] without polling the full handle.
+#[derive(Clone)]
+pub struct StopToken {
+    control: Arc<ControlShared>,
+}
+
+impl StopToken {
+    /// Whether a graceful stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.control.stop_requested()
+    }
+}
+
+impl std::fmt::Debug for StopToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StopToken")
+            .field("stopped", &self.is_stopped())
+            .finish()
+    }
+}

@@ -1103,6 +1103,16 @@ impl<E: QoeEstimator> FlowTable<E> {
         out
     }
 
+    /// Visits every tracked flow's engine mutably, in unspecified order
+    /// (the facade's forced provisional flush walks all flows at once).
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(&FlowKey, &mut E)) {
+        for shard in &mut self.shards {
+            for (key, entry) in shard.iter_mut() {
+                f(key, &mut entry.engine);
+            }
+        }
+    }
+
     /// Number of currently tracked flows.
     pub fn len(&self) -> usize {
         self.shards.iter().map(HashMap::len).sum()

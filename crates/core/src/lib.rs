@@ -16,6 +16,15 @@
 //!   alerts, per-flow summaries, [`sink::Tee`] fan-out), and the
 //!   [`runner::MonitorRunner`] that drives N sources on N ingest threads
 //!   into one monitor and fans the event stream out to every sink;
+//! * [`bus`] / [`control`] — **the output/control plane**: events are
+//!   shared (`Arc<QoeEvent>`) end to end, the [`bus::EventBus`] fans
+//!   them out to typed [`bus::EventFilter`] subscriptions (by kind,
+//!   flow set, min-[`bus::Severity`]) without ever deep-copying, and a
+//!   cloneable [`control::MonitorHandle`] (from
+//!   [`api::Monitor::handle`] or a spawned
+//!   [`runner::RunningMonitor`]) observes and steers a live run:
+//!   stats snapshots, forced flushes, per-flow eviction, runtime alert
+//!   thresholds, graceful stop;
 //! * [`backpressure`] — the bounded event delivery model:
 //!   [`backpressure::OverflowPolicy`] selects between blocking producers
 //!   and dropping the oldest events with exact loss accounting;
@@ -55,6 +64,8 @@
 
 pub mod api;
 pub mod backpressure;
+pub mod bus;
+pub mod control;
 pub mod engine;
 pub mod errors;
 pub mod frames;
@@ -74,7 +85,9 @@ pub use api::{
     EstimationMethod, EvictReason, Monitor, MonitorBuilder, MonitorStats, ParseDropReason, QoeEvent,
 };
 pub use backpressure::OverflowPolicy;
-pub use runner::{MonitorRunner, RunnerReport, SourceReport};
+pub use bus::{AlertThresholds, EventBus, EventFilter, EventKind, Severity};
+pub use control::{MonitorHandle, MonitorSnapshot, StopToken};
+pub use runner::{MonitorRunner, RunnerReport, RunningMonitor, SourceReport};
 pub use sink::{
     AlertSink, CallbackSink, ChannelSink, CountingSink, EventSink, JsonLinesSink, Summary,
     SummarySink, Tee,

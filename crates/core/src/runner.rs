@@ -1,24 +1,40 @@
-//! `MonitorRunner`: sources in, one monitor, sinks out.
+//! `MonitorRunner`: sources in, one monitor, a subscriber bus out —
+//! with a live control plane.
 //!
 //! The runner ties the pluggable I/O layer together: any number of
-//! [`PacketSource`]s feed one [`Monitor`], and every drained [`QoeEvent`]
-//! fans out to every configured [`EventSink`], in order. On a threaded
-//! monitor each source gets its **own ingest thread with its own ingest
-//! port**: the per-packet parse, flow hash, and channel hand-off — the
-//! serial section of the parallel monitor — run once per source instead
-//! of once per monitor, so ingest scales with sources the way engine
-//! work already scales with shard workers. Per-flow packet order within
-//! one source is preserved end to end; flows should not span sources
-//! (packets for a flow split across sources interleave in channel-arrival
-//! order, which is real-tap behaviour but not deterministic).
+//! [`PacketSource`]s feed one [`Monitor`], and every drained
+//! [`Arc<QoeEvent>`](crate::api::QoeEvent) is published on an
+//! [`EventBus`] to every subscriber whose [`EventFilter`] matches — the
+//! same shared allocation for all of them, evaluated once per event on
+//! the drain thread, so fan-out never deep-copies and filtered-out
+//! subscribers cost nothing. On a threaded monitor each source gets its
+//! **own ingest thread with its own ingest port**: the per-packet parse,
+//! flow hash, and channel hand-off — the serial section of the parallel
+//! monitor — run once per source instead of once per monitor, so ingest
+//! scales with sources the way engine work already scales with shard
+//! workers. Per-flow packet order within one source is preserved end to
+//! end; flows should not span sources.
+//!
+//! A runner can run two ways:
+//!
+//! * [`MonitorRunner::run`] — block the calling thread to completion
+//!   (batch jobs, tests, benches);
+//! * [`MonitorRunner::spawn`] — a supervised background run: the whole
+//!   pipeline moves to a supervisor thread and the caller keeps a
+//!   [`RunningMonitor`] whose cloneable [`MonitorHandle`] observes and
+//!   steers it live — `stats_snapshot()`, `force_flush()`,
+//!   `evict_flow()`, alert-threshold retuning, and graceful `stop()`
+//!   (ingest ports check the stop flag between packets, flush what they
+//!   hold, and the run seals every flow: nothing produced before the
+//!   stop is lost).
 //!
 //! The runner's event loop is the queue's consumer, so the monitor's
 //! backpressure semantics hold unchanged: under
-//! [`OverflowPolicy::Block`](crate::api::OverflowPolicy) a slow sink
-//! slows the drain, fills the queue, parks the shard workers, fills the
-//! ingest channels, and finally stalls the sources — end-to-end
-//! backpressure from sink to source. Under `DropOldest` the sinks see
-//! exact [`QoeEvent::Dropped`] markers instead.
+//! [`OverflowPolicy::Block`](crate::api::OverflowPolicy) a slow
+//! subscriber slows the drain, fills the queue, parks the shard workers,
+//! fills the ingest channels, and finally stalls the sources —
+//! end-to-end backpressure from sink to source. Under `DropOldest` the
+//! subscribers see exact `QoeEvent::Dropped` markers instead.
 //!
 //! ```
 //! use vcaml::api::{EstimationMethod, MonitorBuilder};
@@ -28,9 +44,9 @@
 //! use vcaml::Method;
 //! use vcaml_rtp::VcaKind;
 //!
-//! // Two synthetic taps, two ingest threads, two shard workers, one
-//! // event stream.
-//! let report = MonitorRunner::new(
+//! // Two synthetic taps, two ingest threads, two shard workers — run in
+//! // the background, observed through the handle, then joined.
+//! let running = MonitorRunner::new(
 //!     MonitorBuilder::new(VcaKind::Teams)
 //!         .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
 //!         .threads(2),
@@ -38,14 +54,20 @@
 //! .source(SyntheticSource::new(VcaKind::Teams, 2, 1, 5))
 //! .source(SyntheticSource::new(VcaKind::Teams, 2, 1, 6))
 //! .sink(CountingSink::default())
-//! .run();
+//! .spawn();
+//! let handle = running.handle();
+//! let report = running.join();
 //! assert_eq!(report.sources.len(), 2);
 //! assert!(report.sources.iter().all(|s| s.error.is_none()));
 //! assert_eq!(report.stats.flows_opened, 2);
 //! assert!(report.events > 0);
+//! // The handle outlives the run: counters are settled after the join.
+//! assert_eq!(handle.stats_snapshot().stats.flows_opened, 2);
 //! ```
 
-use crate::api::{IngestPort, Monitor, MonitorBuilder, MonitorStats, QoeEvent};
+use crate::api::{IngestPort, Monitor, MonitorBuilder, MonitorStats};
+use crate::bus::{EventBus, EventFilter};
+use crate::control::MonitorHandle;
 use crate::sink::EventSink;
 use crate::source::{PacketSource, SourcePacket};
 use serde::Serialize;
@@ -60,29 +82,33 @@ pub struct SourceReport {
     pub error: Option<String>,
 }
 
-/// The outcome of [`MonitorRunner::run`].
+/// The outcome of [`MonitorRunner::run`] (or a joined
+/// [`RunningMonitor`]).
 #[derive(Debug, Clone, Serialize)]
 pub struct RunnerReport {
     /// The monitor's final counters, settled after `finish()` — unlike a
     /// mid-run [`Monitor::stats`] snapshot, nothing is still in flight.
     pub stats: MonitorStats,
-    /// Events delivered to the sinks (each event counts once no matter
-    /// how many sinks observed it).
+    /// Events published to the bus (each event counts once no matter
+    /// how many subscribers observed it).
     pub events: u64,
     /// Per-source packet counts and errors, in configuration order.
     pub sources: Vec<SourceReport>,
 }
 
-/// Drives N packet sources through one monitor into M event sinks.
+/// Drives N packet sources through one monitor onto an [`EventBus`] of
+/// M subscribers.
 ///
 /// Construct with a [`MonitorBuilder`] (the runner builds the monitor)
 /// or an already-built [`Monitor`] via [`MonitorRunner::with_monitor`],
-/// add sources and sinks, then [`MonitorRunner::run`] to completion. See
-/// the [module docs](self) for the threading and backpressure model.
+/// add sources and subscribers, then [`MonitorRunner::run`] to
+/// completion or [`MonitorRunner::spawn`] a supervised background run.
+/// See the [module docs](self) for the threading and backpressure
+/// model.
 pub struct MonitorRunner {
     monitor: Monitor,
     sources: Vec<Box<dyn PacketSource + Send>>,
-    sinks: Vec<Box<dyn EventSink>>,
+    bus: EventBus,
 }
 
 impl MonitorRunner {
@@ -90,19 +116,28 @@ impl MonitorRunner {
     ///
     /// A builder-configured callback sink
     /// ([`MonitorBuilder::sink`](crate::api::MonitorBuilder::sink))
-    /// bypasses the event queue and therefore the runner's sinks; use
-    /// runner sinks instead when running through here.
+    /// bypasses the event queue and therefore the runner's bus; use
+    /// runner subscriptions instead when running through here.
     pub fn new(builder: MonitorBuilder) -> Self {
         MonitorRunner::with_monitor(builder.build())
     }
 
     /// A runner over an already-built monitor.
     pub fn with_monitor(monitor: Monitor) -> Self {
+        let bus = EventBus::new(monitor.handle().alert_thresholds());
         MonitorRunner {
             monitor,
             sources: Vec::new(),
-            sinks: Vec::new(),
+            bus,
         }
+    }
+
+    /// A live [`MonitorHandle`] onto the runner's monitor — available
+    /// before the run starts, so sources can take a
+    /// [stop token](crate::control::MonitorHandle::stop_token) and
+    /// alert thresholds can be tuned up front.
+    pub fn handle(&self) -> MonitorHandle {
+        self.monitor.handle()
     }
 
     /// Adds a packet source. On a threaded monitor every source ingests
@@ -113,27 +148,35 @@ impl MonitorRunner {
         self
     }
 
-    /// Adds an event sink; every sink observes every event, in
-    /// configuration order.
-    pub fn sink(mut self, sink: impl EventSink + 'static) -> Self {
-        self.sinks.push(Box::new(sink));
+    /// Subscribes a sink to the full event stream (an unfiltered
+    /// subscription); every subscriber observes its events in
+    /// subscription order.
+    pub fn sink(self, sink: impl EventSink + Send + 'static) -> Self {
+        self.subscribe(EventFilter::all(), sink)
+    }
+
+    /// Subscribes a sink to the slice of the stream `filter` selects.
+    /// The filter is evaluated once per event on the drain thread;
+    /// events it rejects never reach the sink.
+    pub fn subscribe(mut self, filter: EventFilter, sink: impl EventSink + Send + 'static) -> Self {
+        self.bus.subscribe(filter, sink);
         self
     }
 
-    /// Runs every source to completion, fans all events out to the
-    /// sinks, seals the monitor, and flushes the sinks. The end-of-run
-    /// flush is lossless: `finish()` lifts the queue bound, so every
-    /// flow's sealed tail reaches the sinks under either overflow
-    /// policy.
+    /// Runs every source to completion (or until a graceful
+    /// [`stop`](crate::control::MonitorHandle::stop)), publishes all
+    /// events to the bus, seals the monitor, and flushes the
+    /// subscribers. The end-of-run flush is lossless: `finish()` lifts
+    /// the queue bound, so every flow's sealed tail reaches the bus
+    /// under either overflow policy.
     pub fn run(self) -> RunnerReport {
         let MonitorRunner {
             mut monitor,
             sources,
-            mut sinks,
+            mut bus,
         } = self;
-        let mut events = 0u64;
+        let handle = monitor.handle();
         let n_sources = sources.len();
-        let (stat_cells, queue) = monitor.stats_probe();
 
         // One ingest port per source — threaded monitors only. An inline
         // monitor (or a portless run) falls back to sequential ingestion
@@ -144,43 +187,119 @@ impl MonitorRunner {
 
         let source_reports = match ports {
             Some(ports) if !ports.is_empty() => {
-                run_threaded(&mut monitor, sources, ports, &mut sinks, &mut events)
+                run_threaded(&mut monitor, sources, ports, &mut bus, &handle)
             }
-            _ => run_inline(&mut monitor, sources, &mut sinks, &mut events),
+            _ => run_inline(&mut monitor, sources, &mut bus, &handle),
         };
 
-        for event in monitor.drain_events() {
-            deliver(&mut sinks, &event, &mut events);
+        for event in monitor.drain_shared() {
+            bus.publish(&event);
         }
-        for event in monitor.finish() {
-            deliver(&mut sinks, &event, &mut events);
+        for event in monitor.finish_shared() {
+            bus.publish(&event);
         }
-        for sink in &mut sinks {
-            sink.flush();
-        }
+        bus.flush();
         RunnerReport {
             // finish() joined the workers, so the counters are settled.
-            stats: stat_cells.snapshot(queue.dropped_total(), queue.dropped_by_flow()),
-            events,
+            stats: handle.stats_snapshot().stats,
+            events: bus.published(),
             sources: source_reports,
         }
+    }
+
+    /// Starts a supervised background run: the whole pipeline (sources,
+    /// monitor, bus) moves to a supervisor thread and this returns
+    /// immediately with a [`RunningMonitor`] — a cloneable live
+    /// [`MonitorHandle`] plus the join point for the final
+    /// [`RunnerReport`]. Stop it gracefully with
+    /// [`RunningMonitor::stop`] (or any handle clone's `stop()` +
+    /// [`RunningMonitor::join`]).
+    pub fn spawn(self) -> RunningMonitor {
+        let handle = self.monitor.handle();
+        let supervisor = std::thread::Builder::new()
+            .name("vcaml-runner".into())
+            .spawn(move || self.run())
+            .expect("spawn runner supervisor");
+        RunningMonitor { handle, supervisor }
+    }
+}
+
+impl std::fmt::Debug for MonitorRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorRunner")
+            .field("sources", &self.sources.len())
+            .field("subscribers", &self.bus.subscribers())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A supervised background run started by [`MonitorRunner::spawn`]:
+/// observe and steer it through [`RunningMonitor::handle`], end it with
+/// [`RunningMonitor::join`] (wait for the sources) or
+/// [`RunningMonitor::stop`] (graceful stop, then join).
+///
+/// Dropping a `RunningMonitor` without joining detaches the run: it
+/// continues to completion on its supervisor thread (any handle clone
+/// can still stop it), but its report is lost.
+pub struct RunningMonitor {
+    handle: MonitorHandle,
+    supervisor: std::thread::JoinHandle<RunnerReport>,
+}
+
+impl RunningMonitor {
+    /// A cloneable live handle onto the running monitor.
+    pub fn handle(&self) -> MonitorHandle {
+        self.handle.clone()
+    }
+
+    /// Whether the run has completed (its report is ready to
+    /// [`join`](RunningMonitor::join) without blocking).
+    pub fn is_finished(&self) -> bool {
+        self.supervisor.is_finished()
+    }
+
+    /// Waits for the run to complete and returns its report.
+    ///
+    /// # Panics
+    /// Propagates a panic from the supervisor thread.
+    pub fn join(self) -> RunnerReport {
+        self.supervisor.join().expect("runner supervisor panicked")
+    }
+
+    /// Requests a graceful stop and waits for the run to wind down:
+    /// ingest ports stop pulling at the next packet boundary, in-flight
+    /// packets flush to the shards, every flow is sealed, and every
+    /// event produced before the stop reaches the subscribers. Returns
+    /// the settled report.
+    pub fn stop(self) -> RunnerReport {
+        self.handle.stop();
+        self.join()
+    }
+}
+
+impl std::fmt::Debug for RunningMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunningMonitor")
+            .field("finished", &self.is_finished())
+            .finish_non_exhaustive()
     }
 }
 
 /// Sequential fallback: drive every source on the caller's thread,
-/// draining to the sinks after each packet (the inline monitor produces
-/// events synchronously, so this is maximal freshness at no extra cost).
+/// draining to the bus after each packet (the inline monitor produces
+/// events synchronously, so this is maximal freshness at no extra
+/// cost). Checks the graceful-stop flag between packets.
 fn run_inline(
     monitor: &mut Monitor,
     sources: Vec<Box<dyn PacketSource + Send>>,
-    sinks: &mut [Box<dyn EventSink>],
-    events: &mut u64,
+    bus: &mut EventBus,
+    handle: &MonitorHandle,
 ) -> Vec<SourceReport> {
     let mut reports = Vec::with_capacity(sources.len());
     for mut source in sources {
         let mut packets = 0u64;
         let mut error = None;
-        loop {
+        while !handle.stop_requested() {
             match source.next_packet() {
                 Ok(Some(pkt)) => {
                     packets += 1;
@@ -193,8 +312,8 @@ fn run_inline(
                             monitor.ingest_packet(flow, packet)
                         }
                     }
-                    for event in monitor.drain_events() {
-                        deliver_slice(sinks, &event, events);
+                    for event in monitor.drain_shared() {
+                        bus.publish(&event);
                     }
                 }
                 Ok(None) => break,
@@ -211,24 +330,28 @@ fn run_inline(
 
 /// Threaded path: one ingest thread per source, each with its own port;
 /// the caller's thread is the event loop that drains the queue to the
-/// sinks until every ingest thread is done. That loop is what keeps a
-/// `Block` queue live — workers it parks are woken by our drains.
+/// bus until every ingest thread is done. That loop is what keeps a
+/// `Block` queue live — workers it parks are woken by our drains. Each
+/// ingest thread checks the graceful-stop flag between packets and
+/// flushes its port on the way out, so a stop loses nothing already
+/// pulled.
 fn run_threaded(
     monitor: &mut Monitor,
     sources: Vec<Box<dyn PacketSource + Send>>,
     ports: Vec<IngestPort>,
-    sinks: &mut [Box<dyn EventSink>],
-    events: &mut u64,
+    bus: &mut EventBus,
+    handle: &MonitorHandle,
 ) -> Vec<SourceReport> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = sources
             .into_iter()
             .zip(ports)
             .map(|(mut source, mut port)| {
+                let stop = handle.stop_token();
                 scope.spawn(move || {
                     let mut packets = 0u64;
                     let mut error = None;
-                    loop {
+                    while !stop.is_stopped() {
                         match source.next_packet() {
                             Ok(Some(pkt)) => {
                                 packets += 1;
@@ -256,8 +379,8 @@ fn run_threaded(
             .collect();
         loop {
             let mut drained_any = false;
-            for event in monitor.drain_events() {
-                deliver_slice(sinks, &event, events);
+            for event in monitor.drain_shared() {
+                bus.publish(&event);
                 drained_any = true;
             }
             if handles.iter().all(|h| h.is_finished()) {
@@ -274,15 +397,4 @@ fn run_threaded(
             .map(|h| h.join().expect("ingest thread panicked"))
             .collect()
     })
-}
-
-fn deliver(sinks: &mut Vec<Box<dyn EventSink>>, event: &QoeEvent, events: &mut u64) {
-    deliver_slice(sinks.as_mut_slice(), event, events);
-}
-
-fn deliver_slice(sinks: &mut [Box<dyn EventSink>], event: &QoeEvent, events: &mut u64) {
-    *events += 1;
-    for sink in sinks.iter_mut() {
-        sink.on_event(event);
-    }
 }

@@ -43,11 +43,13 @@
 //! ```
 
 use crate::api::QoeEvent;
+use crate::bus::AlertThresholds;
 use crate::engine::WindowReport;
 use crate::pipeline::Method;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use vcaml_netpkt::FlowKey;
 
 /// An ordered observer of a monitor's event stream.
@@ -56,9 +58,12 @@ use vcaml_netpkt::FlowKey;
 /// need no synchronization of their own; a slow sink slows the drain,
 /// which is exactly the backpressure contract of the bounded queue.
 pub trait EventSink {
-    /// Observes one event. Events arrive in drain order, which preserves
-    /// per-flow order.
-    fn on_event(&mut self, event: &QoeEvent);
+    /// Observes one shared event. Events arrive in drain order, which
+    /// preserves per-flow order; the `Arc` is the delivery currency of
+    /// the whole output path, so a sink that forwards the event
+    /// elsewhere ([`ChannelSink`], a custom broadcaster) clones the
+    /// `Arc` — never the event.
+    fn on_event(&mut self, event: &Arc<QoeEvent>);
 
     /// End of run: write totals, flush buffers, release resources.
     /// Called exactly once by the runner after the final event.
@@ -66,7 +71,17 @@ pub trait EventSink {
 }
 
 impl EventSink for Box<dyn EventSink> {
-    fn on_event(&mut self, event: &QoeEvent) {
+    fn on_event(&mut self, event: &Arc<QoeEvent>) {
+        (**self).on_event(event);
+    }
+
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+impl EventSink for Box<dyn EventSink + Send> {
+    fn on_event(&mut self, event: &Arc<QoeEvent>) {
         (**self).on_event(event);
     }
 
@@ -94,7 +109,7 @@ impl<W: Write> JsonLinesSink<W> {
 }
 
 impl<W: Write> EventSink for JsonLinesSink<W> {
-    fn on_event(&mut self, event: &QoeEvent) {
+    fn on_event(&mut self, event: &Arc<QoeEvent>) {
         writeln!(self.writer, "{}", event.to_json_line()).expect("event sink write");
     }
 
@@ -116,7 +131,7 @@ impl<F: FnMut(&QoeEvent)> CallbackSink<F> {
 }
 
 impl<F: FnMut(&QoeEvent)> EventSink for CallbackSink<F> {
-    fn on_event(&mut self, event: &QoeEvent) {
+    fn on_event(&mut self, event: &Arc<QoeEvent>) {
         (self.callback)(event);
     }
 }
@@ -135,13 +150,16 @@ impl CountingSink {
 }
 
 impl EventSink for CountingSink {
-    fn on_event(&mut self, _event: &QoeEvent) {
+    fn on_event(&mut self, _event: &Arc<QoeEvent>) {
         self.events += 1;
     }
 }
 
-/// A bounded channel subscriber: events are cloned onto a
-/// [`sync_channel`] whose receiver can live on another thread.
+/// A bounded channel subscriber: shared events go onto a
+/// [`sync_channel`] whose receiver can live on another thread. Each
+/// delivery clones the `Arc`, never the event — N channel subscribers
+/// on one stream share one allocation per event (the ROADMAP PR 4
+/// fan-out cost, deleted).
 ///
 /// The sink never blocks the drain loop: a full channel *sheds* the
 /// event and counts it ([`ChannelSink::overflowed`]). Blocking would be
@@ -152,14 +170,14 @@ impl EventSink for CountingSink {
 /// small) or drain the receiver concurrently for lossless delivery. A
 /// dropped receiver quietly detaches the sink (no panic mid-run).
 pub struct ChannelSink {
-    tx: SyncSender<QoeEvent>,
+    tx: SyncSender<Arc<QoeEvent>>,
     detached: bool,
     overflowed: u64,
 }
 
 impl ChannelSink {
     /// A sink/receiver pair with an event bound of `capacity`.
-    pub fn bounded(capacity: usize) -> (Self, Receiver<QoeEvent>) {
+    pub fn bounded(capacity: usize) -> (Self, Receiver<Arc<QoeEvent>>) {
         assert!(capacity >= 1, "zero channel capacity");
         let (tx, rx) = sync_channel(capacity);
         (
@@ -184,11 +202,11 @@ impl ChannelSink {
 }
 
 impl EventSink for ChannelSink {
-    fn on_event(&mut self, event: &QoeEvent) {
+    fn on_event(&mut self, event: &Arc<QoeEvent>) {
         if self.detached {
             return;
         }
-        match self.tx.try_send(event.clone()) {
+        match self.tx.try_send(Arc::clone(event)) {
             Ok(()) => {}
             Err(std::sync::mpsc::TrySendError::Full(_)) => self.overflowed += 1,
             Err(std::sync::mpsc::TrySendError::Disconnected(_)) => self.detached = true,
@@ -210,17 +228,24 @@ pub fn report_fps(report: &WindowReport) -> Option<f64> {
 /// bounds and never alerted on.
 pub struct AlertSink<W: Write> {
     writer: W,
-    fps_threshold: f64,
+    thresholds: AlertThresholds,
     alerts: u64,
 }
 
 impl<W: Write> AlertSink<W> {
     /// Alerts to `writer` when a window's frame rate drops below
-    /// `fps_threshold`.
+    /// `fps_threshold` (a private, fixed bar).
     pub fn new(writer: W, fps_threshold: f64) -> Self {
+        AlertSink::with_thresholds(writer, AlertThresholds::with_fps(fps_threshold))
+    }
+
+    /// Alerts against shared, live [`AlertThresholds`] — pass a
+    /// [`MonitorHandle::alert_thresholds`](crate::control::MonitorHandle::alert_thresholds)
+    /// and the bar is retunable mid-run through the handle.
+    pub fn with_thresholds(writer: W, thresholds: AlertThresholds) -> Self {
         AlertSink {
             writer,
-            fps_threshold,
+            thresholds,
             alerts: 0,
         }
     }
@@ -232,18 +257,19 @@ impl<W: Write> AlertSink<W> {
 }
 
 impl<W: Write> EventSink for AlertSink<W> {
-    fn on_event(&mut self, event: &QoeEvent) {
+    fn on_event(&mut self, event: &Arc<QoeEvent>) {
         let Some(flow) = event.flow() else { return };
+        let threshold = self.thresholds.fps();
         for report in event.final_reports() {
             let Some(fps) = report_fps(report) else {
                 continue;
             };
-            if fps < self.fps_threshold {
+            if fps < threshold {
                 self.alerts += 1;
                 writeln!(
                     self.writer,
-                    "{{\"type\":\"alert\",\"flow\":\"{flow}\",\"window\":{},\"fps\":{fps:.1},\"threshold\":{}}}",
-                    report.window, self.fps_threshold
+                    "{{\"type\":\"alert\",\"flow\":\"{flow}\",\"window\":{},\"fps\":{fps:.1},\"threshold\":{threshold}}}",
+                    report.window
                 )
                 .expect("alert sink write");
             }
@@ -403,7 +429,7 @@ impl<W: Write> SummarySink<W> {
 }
 
 impl<W: Write> EventSink for SummarySink<W> {
-    fn on_event(&mut self, event: &QoeEvent) {
+    fn on_event(&mut self, event: &Arc<QoeEvent>) {
         self.summary.observe(event);
     }
 
@@ -423,7 +449,7 @@ impl<W: Write> EventSink for SummarySink<W> {
 /// event sequences (a tested invariant).
 #[derive(Default)]
 pub struct Tee {
-    sinks: Vec<Box<dyn EventSink>>,
+    sinks: Vec<Box<dyn EventSink + Send>>,
 }
 
 impl Tee {
@@ -432,8 +458,9 @@ impl Tee {
         Tee::default()
     }
 
-    /// Adds a child sink (builder-style).
-    pub fn with(mut self, sink: impl EventSink + 'static) -> Self {
+    /// Adds a child sink (builder-style). Children are `Send` so a tee
+    /// can ride a spawned runner onto its supervisor thread.
+    pub fn with(mut self, sink: impl EventSink + Send + 'static) -> Self {
         self.sinks.push(Box::new(sink));
         self
     }
@@ -450,7 +477,7 @@ impl Tee {
 }
 
 impl EventSink for Tee {
-    fn on_event(&mut self, event: &QoeEvent) {
+    fn on_event(&mut self, event: &Arc<QoeEvent>) {
         for sink in &mut self.sinks {
             sink.on_event(event);
         }
@@ -480,11 +507,11 @@ mod tests {
         .0
     }
 
-    fn opened(us: i64) -> QoeEvent {
-        QoeEvent::FlowOpened {
+    fn opened(us: i64) -> Arc<QoeEvent> {
+        Arc::new(QoeEvent::FlowOpened {
             flow: flow(),
             ts: Timestamp::from_micros(us),
-        }
+        })
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! assert!(n > 0, "two 2-second calls produce packets");
 //! ```
 
+use crate::control::StopToken;
 use crate::trace::{Trace, TracePacket};
 use std::io::{BufReader, Read};
 use std::net::{IpAddr, Ipv4Addr};
@@ -239,7 +240,15 @@ pub struct Paced<S> {
     inner: S,
     speed: f64,
     epoch: Option<(std::time::Instant, Timestamp)>,
+    /// Graceful-stop signal: pacing sleeps are chunked against it so a
+    /// [`MonitorHandle::stop`](crate::control::MonitorHandle::stop)
+    /// interrupts a long inter-packet wait instead of riding it out.
+    stop: Option<StopToken>,
 }
+
+/// Longest uninterruptible pacing sleep when a stop token is attached:
+/// a stop is noticed within this bound even mid-gap.
+const STOP_POLL: std::time::Duration = std::time::Duration::from_millis(20);
 
 impl<S: PacketSource> Paced<S> {
     /// Real-time (1×) pacing.
@@ -254,12 +263,26 @@ impl<S: PacketSource> Paced<S> {
             inner,
             speed,
             epoch: None,
+            stop: None,
         }
+    }
+
+    /// Attaches a graceful-stop token (from
+    /// [`MonitorHandle::stop_token`](crate::control::MonitorHandle::stop_token)):
+    /// when a stop is requested, the source ends its stream (`Ok(None)`)
+    /// at the next packet boundary — even one still being waited on —
+    /// instead of sleeping out the rest of a long capture gap.
+    pub fn with_stop(mut self, stop: StopToken) -> Self {
+        self.stop = Some(stop);
+        self
     }
 }
 
 impl<S: PacketSource> PacketSource for Paced<S> {
     fn next_packet(&mut self) -> Result<Option<SourcePacket>, NetError> {
+        if self.stop.as_ref().is_some_and(StopToken::is_stopped) {
+            return Ok(None);
+        }
         let Some(pkt) = self.inner.next_packet()? else {
             return Ok(None);
         };
@@ -269,9 +292,20 @@ impl<S: PacketSource> PacketSource for Paced<S> {
         if stream_us > 0 {
             let due = wall_start
                 + std::time::Duration::from_micros((stream_us as f64 / self.speed) as u64);
-            let now = std::time::Instant::now();
-            if due > now {
-                std::thread::sleep(due - now);
+            loop {
+                let now = std::time::Instant::now();
+                if due <= now {
+                    break;
+                }
+                match &self.stop {
+                    None => std::thread::sleep(due - now),
+                    Some(stop) => {
+                        if stop.is_stopped() {
+                            return Ok(None);
+                        }
+                        std::thread::sleep((due - now).min(STOP_POLL));
+                    }
+                }
             }
         }
         Ok(Some(pkt))

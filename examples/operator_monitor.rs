@@ -4,26 +4,28 @@
 //! Trains an IP/UDP-ML model on lab data once, then watches a fleet of
 //! real-world calls through the crate's I/O layer: the fleet is split
 //! across **two taps** (two `ReplaySource`s — say, two aggregation
-//! links), a `MonitorRunner` ingests both on their own threads into one
-//! sharded monitor, and the merged event stream fans out to a
-//! degradation-alert consumer plus a per-flow summary — the "diagnose
-//! and react to QoE degradation" loop of §1.
+//! links), a spawned `MonitorRunner` ingests both on their own threads
+//! into one sharded monitor, and the merged event stream fans out on
+//! the event bus — an unfiltered rollup consumer plus a min-severity
+//! subscription that sees *only* operationally interesting events
+//! (degraded windows below the live alert bar, shed markers) — while a
+//! `MonitorHandle` watches the run live: the "diagnose and react to
+//! QoE degradation" loop of §1.
 //!
 //! ```sh
 //! cargo run --release --example operator_monitor
 //! ```
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use vcaml_suite::datasets::{inlab_corpus, realworld_corpus, CorpusConfig};
 use vcaml_suite::mlcore::{Dataset, RandomForest, Task};
 use vcaml_suite::netpkt::{FlowKey, Timestamp};
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    build_samples, CallbackSink, EstimationMethod, Method, MonitorBuilder, MonitorRunner,
-    PipelineOpts, ReplaySource, TracePacket,
+    build_samples, CallbackSink, EstimationMethod, EventFilter, Method, MonitorBuilder,
+    MonitorRunner, PipelineOpts, ReplaySource, Severity, TracePacket,
 };
 
 fn main() {
@@ -87,8 +89,16 @@ fn main() {
     // (one per tap source) split the parse+hash dispatch that used to be
     // the serial section. The bounded event queue applies backpressure
     // instead of growing without limit if this consumer falls behind.
-    let inferred: Rc<RefCell<HashMap<FlowKey, Vec<f64>>>> = Rc::default();
-    let collected = Rc::clone(&inferred);
+    //
+    // Two bus subscriptions share every event allocation: an unfiltered
+    // rollup of inferred frame rates, and a min-severity subscription
+    // that only ever sees windows below the live alert bar (classified
+    // once on the drain thread — the filtered subscriber pays nothing
+    // for healthy traffic).
+    let inferred: Arc<Mutex<HashMap<FlowKey, Vec<f64>>>> = Arc::default();
+    let collected = Arc::clone(&inferred);
+    let degraded_windows = Arc::new(Mutex::new(0u64));
+    let degraded_counter = Arc::clone(&degraded_windows);
     let mut runner = MonitorRunner::new(
         MonitorBuilder::new(vca)
             .method(EstimationMethod::Fixed(Method::IpUdpMl))
@@ -102,14 +112,22 @@ fn main() {
         let Some(flow) = event.flow() else { return };
         for report in event.final_reports() {
             if let Some(fps) = report.model_fps {
-                collected.borrow_mut().entry(flow).or_default().push(fps);
+                collected.lock().unwrap().entry(flow).or_default().push(fps);
             }
         }
-    }));
+    }))
+    .subscribe(
+        EventFilter::all().min_severity(Severity::Warning),
+        CallbackSink::new(move |_| *degraded_counter.lock().unwrap() += 1),
+    );
+    // The alert bar the severity classification uses, tunable live.
+    let handle = runner.handle();
+    handle.set_alert_fps(20.0);
     for tap in taps {
         runner = runner.source(ReplaySource::from_packets(tap));
     }
-    let report = runner.run();
+    let report = runner.spawn().join();
+    let snapshot = handle.stats_snapshot();
 
     println!(
         "\ndemuxed {} packets from {} taps into {} flows across 4 shard workers",
@@ -117,8 +135,17 @@ fn main() {
         report.sources.len(),
         report.stats.flows_opened
     );
+    println!(
+        "{} events below the {} fps alert bar reached the severity-filtered subscriber",
+        degraded_windows.lock().unwrap(),
+        handle.alert_fps().unwrap_or_default()
+    );
+    println!(
+        "final snapshot: {} flows live, {} events pending, shard depths {:?}",
+        snapshot.flows_live, snapshot.pending_events, snapshot.shard_depths
+    );
     println!("\ncall  windows  inferred FPS (mean)  true FPS (mean)  verdict");
-    let inferred = inferred.borrow();
+    let inferred = inferred.lock().unwrap();
     let mut degraded = 0;
     for (call, trace) in profiles.iter().enumerate() {
         let Some(preds) = inferred.get(&key_of_call[call]) else {

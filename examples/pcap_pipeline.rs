@@ -8,15 +8,13 @@
 //! cargo run --release --example pcap_pipeline
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
 use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
 use vcaml_suite::netpkt::{
     EtherType, EthernetRepr, Ipv4Repr, LinkType, MacAddr, PcapWriter, Timestamp, UdpRepr,
 };
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    CallbackSink, EstimationMethod, Method, MonitorBuilder, MonitorRunner, PcapFileSource, QoeEvent,
+    ChannelSink, EstimationMethod, Method, MonitorBuilder, MonitorRunner, PcapFileSource, QoeEvent,
 };
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
@@ -81,18 +79,18 @@ fn main() {
 
     // 3. Read it back through the I/O layer: a `PcapFileSource` yields
     //    the raw records, the monitor does the layered eth→ip→udp parse
-    //    and the RTP parse-attempt, and the sink observes the typed
-    //    events — the exact pipeline a live tap runs.
-    let events: Rc<RefCell<Vec<QoeEvent>>> = Rc::default();
-    let collected = Rc::clone(&events);
-    let report = MonitorRunner::new(
+    //    and the RTP parse-attempt, and a bounded channel subscriber
+    //    receives the typed events (shared `Arc`s — no event is ever
+    //    deep-copied on its way out) — the exact pipeline a live tap
+    //    runs. `spawn()` supervises the run on a background thread.
+    let (subscriber, rx) = ChannelSink::bounded(1 << 16);
+    let running = MonitorRunner::new(
         MonitorBuilder::new(VcaKind::Webex).method(EstimationMethod::Fixed(Method::IpUdpHeuristic)),
     )
     .source(PcapFileSource::open("webex_call.pcap").expect("reopen capture"))
-    .sink(CallbackSink::new(move |e| {
-        collected.borrow_mut().push(e.clone())
-    }))
-    .run();
+    .sink(subscriber)
+    .spawn();
+    let report = running.join();
     println!(
         "re-parsed {} packets ({} classified drops)",
         report.stats.packets, report.stats.parse_drops
@@ -100,8 +98,8 @@ fn main() {
 
     // 4. Per-window QoE straight off the re-parsed capture.
     println!("\n  t   FPS  kbps");
-    for event in events.borrow().iter() {
-        if let QoeEvent::ParseDrop { ts, reason } = event {
+    for event in rx.try_iter() {
+        if let QoeEvent::ParseDrop { ts, reason } = &*event {
             println!(
                 "  (dropped record at t={}s: {:?})",
                 ts.as_secs_f64(),

@@ -1,18 +1,17 @@
 //! Quickstart: simulate one Teams call, replay its captured packets
-//! through a `MonitorRunner`, and compare the per-second QoE events
-//! against ground truth — the paper's core loop through the public
-//! I/O layer (source → monitor → sink).
+//! through a spawned `MonitorRunner`, and compare the per-second QoE
+//! events against ground truth — the paper's core loop through the
+//! public I/O layer (source → monitor → event bus) with the run
+//! supervised in the background and observed through a `MonitorHandle`.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
 use vcaml_suite::netem::{synth_ndt_schedule, LinkConfig};
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    CallbackSink, EstimationMethod, Method, MonitorBuilder, MonitorRunner, QoeEvent, ReplaySource,
+    ChannelSink, EstimationMethod, Method, MonitorBuilder, MonitorRunner, ReplaySource,
 };
 use vcaml_suite::vcasim::{Session, SessionConfig, VcaProfile};
 
@@ -35,34 +34,38 @@ fn main() {
     //    `ReplaySource`, the monitor does packet-size media
     //    classification, Algorithm-1 frame reconstruction, and per-second
     //    QoE estimation (no application headers consumed), and a
-    //    `CallbackSink` collects the typed events. `threads(2)` runs the
+    //    bounded `ChannelSink` subscribes to the typed events (shared
+    //    `Arc`s — fan-out never copies). `threads(2)` runs the
     //    flow engines on shard workers behind bounded channels — on a
     //    one-call feed it only demonstrates the knob, but the same
     //    builder line scales a mixed tap across cores (see the
     //    operator_monitor example, which also fans ingest across
     //    multiple sources).
-    let events: Rc<RefCell<Vec<QoeEvent>>> = Rc::default();
-    let collected = Rc::clone(&events);
-    let report = MonitorRunner::new(
+    let (subscriber, rx) = ChannelSink::bounded(1 << 16);
+    let running = MonitorRunner::new(
         MonitorBuilder::new(VcaKind::Teams)
             .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
             .threads(2),
     )
     .source(ReplaySource::from_captured(captured))
-    .sink(CallbackSink::new(move |e| {
-        collected.borrow_mut().push(e.clone())
-    }))
-    .run();
+    .sink(subscriber)
+    .spawn();
+    // The run is supervised in the background; the handle observes it
+    // live (and could force_flush, evict flows, or stop it early).
+    let handle = running.handle();
+    let report = running.join();
     println!(
-        "runner: {} packets in, {} events out",
-        report.stats.packets, report.events
+        "runner: {} packets in, {} events out, {} flows live at the end",
+        report.stats.packets,
+        report.events,
+        handle.stats_snapshot().flows_live
     );
 
     // 3. Per-second estimates vs ground truth, straight off the events.
     println!("\n  t   est FPS  true FPS  est kbps  true kbps");
     let mut abs_err = 0.0;
     let mut n = 0usize;
-    for event in events.borrow().iter() {
+    for event in rx.try_iter() {
         for r in event.final_reports() {
             let e = r.estimate.expect("heuristic reports carry estimates");
             let Some(truth) = session.truth.get(r.window as usize) else {

@@ -2,8 +2,9 @@
 //! live packet feed one packet at a time with bounded memory, emitting a
 //! QoE event at every window boundary — the deployment shape a network
 //! operator actually needs, driven entirely through the `vcaml` I/O
-//! layer: a `ReplaySource` feeds each `MonitorRunner`, a `ChannelSink`
-//! subscribes to its event stream.
+//! layer: a `ReplaySource` feeds each spawned `MonitorRunner`, a
+//! `ChannelSink` subscribes to its event stream (shared `Arc` events —
+//! subscribing never copies).
 //!
 //! Two monitors run side by side on the same raw feed: the IP/UDP
 //! Heuristic (frame reconstruction) and IP/UDP ML (incremental features +
@@ -43,7 +44,8 @@ fn run_method(
     MonitorRunner::new(builder)
         .source(ReplaySource::from_captured(feed))
         .sink(subscriber)
-        .run();
+        .spawn()
+        .join();
     let mut out = BTreeMap::new();
     for event in rx.try_iter() {
         for report in event.final_reports() {

@@ -1,10 +1,13 @@
 //! `monitor` — passive VCA QoE monitoring as a command-line tool.
 //!
-//! A thin shell over the crate's pluggable I/O layer: the feed is a
-//! `PacketSource` (pcap file or synthetic multi-call generator), the
-//! output is a composition of `EventSink`s (JSON lines, frame-rate
-//! alerts, end-of-run per-flow summary), and a `MonitorRunner` drives
-//! source → `Monitor` → sinks to completion.
+//! A thin shell over the crate's pluggable I/O layer and control plane:
+//! the feed is a `PacketSource` (pcap file or synthetic multi-call
+//! generator), the output is a composition of `EventSink` subscribers
+//! (JSON lines, frame-rate alerts, end-of-run per-flow summary) on the
+//! runner's event bus, and `MonitorRunner::spawn` supervises the run in
+//! the background while the main thread watches it through a
+//! `MonitorHandle` (periodic `--stats-every` snapshots to stderr,
+//! Ctrl-C-style graceful stop readiness).
 //!
 //! ```sh
 //! cargo run --release --bin monitor -- --synthetic 10 --calls 3
@@ -13,14 +16,14 @@
 //! # Parallel ingestion with bounded backpressure:
 //! cargo run --release --bin monitor -- --synthetic 30 --calls 16 \
 //!     --threads auto --queue-cap 4096 --overflow drop-oldest
-//! # Alerts and a per-flow rollup only, no per-window JSON:
+//! # Alerts and a per-flow rollup only, no per-window JSON, with a live
+//! # stats snapshot to stderr every 2 seconds:
 //! cargo run --release --bin monitor -- --synthetic 10 --quiet \
-//!     --alert-fps 24 --summary
+//!     --alert-fps 24 --summary --stats-every 2
 //! ```
 
-use std::cell::RefCell;
 use std::io::{BufWriter, Stdout, Write};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use vcaml_suite::netpkt::Timestamp;
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
@@ -28,26 +31,27 @@ use vcaml_suite::vcaml::{
     OverflowPolicy, PcapFileSource, SummarySink, SyntheticSource,
 };
 
-/// One block-buffered stdout shared by every sink (sinks run on the
-/// runner's drain thread, so `Rc<RefCell<_>>` suffices): events, alerts,
-/// and the summary interleave in emission order inside a single buffer
-/// instead of paying a locked, flushed write per line.
+/// One block-buffered stdout shared by every sink. Subscribers run on
+/// the runner's drain thread — which `spawn()` moves to the supervisor
+/// thread — so the handle must be `Send`; the mutex is uncontended
+/// (one drain thread) and the block buffering is what saves the
+/// per-line flush.
 #[derive(Clone)]
-struct SharedStdout(Rc<RefCell<BufWriter<Stdout>>>);
+struct SharedStdout(Arc<Mutex<BufWriter<Stdout>>>);
 
 impl SharedStdout {
     fn new() -> Self {
-        SharedStdout(Rc::new(RefCell::new(BufWriter::new(std::io::stdout()))))
+        SharedStdout(Arc::new(Mutex::new(BufWriter::new(std::io::stdout()))))
     }
 }
 
 impl Write for SharedStdout {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.borrow_mut().write(buf)
+        self.0.lock().expect("stdout poisoned").write(buf)
     }
 
     fn flush(&mut self) -> std::io::Result<()> {
-        self.0.borrow_mut().flush()
+        self.0.lock().expect("stdout poisoned").flush()
     }
 }
 
@@ -67,6 +71,8 @@ struct Args {
     overflow: OverflowPolicy,
     quiet: bool,
     summary: bool,
+    /// Print a `MonitorHandle` stats snapshot to stderr this often.
+    stats_every: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -94,7 +100,10 @@ fn usage() -> ! {
                                 with a dropped marker (default block)\n\
            --quiet              suppress per-event JSON lines (alerts and\n\
                                 the summary still print)\n\
-           --summary            print an end-of-run per-flow rollup table"
+           --summary            print an end-of-run per-flow rollup table\n\
+           --stats-every <secs> print a live stats snapshot (JSON, type\n\
+                                \"stats\") to stderr every <secs> seconds\n\
+                                while the run is supervised"
     );
     std::process::exit(2)
 }
@@ -115,6 +124,7 @@ fn parse_args() -> Args {
         overflow: OverflowPolicy::Block,
         quiet: false,
         summary: false,
+        stats_every: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -164,6 +174,7 @@ fn parse_args() -> Args {
                     _ => usage(),
                 }
             }
+            "--stats-every" => args.stats_every = Some(value().parse().unwrap_or_else(|_| usage())),
             "--quiet" => args.quiet = true,
             "--summary" => args.summary = true,
             "--help" | "-h" => usage(),
@@ -179,6 +190,7 @@ fn parse_args() -> Args {
         || args.idle_timeout_secs <= 0
         || args.threads == Some(0)
         || args.queue_cap == Some(0)
+        || args.stats_every == Some(0)
     {
         usage();
     }
@@ -200,16 +212,24 @@ fn main() {
         builder = builder.flush_after_packets(k);
     }
 
-    // The output is a sink composition: per-event JSON lines (unless
-    // --quiet), threshold alerts, and the end-of-run rollup, all
-    // observing one event stream in order through one buffered stdout.
+    // The output is a subscriber composition on the runner's event bus:
+    // per-event JSON lines (unless --quiet), threshold alerts, and the
+    // end-of-run rollup, all observing one shared event stream in order
+    // through one buffered stdout.
     let out = SharedStdout::new();
     let mut runner = MonitorRunner::new(builder);
+    let handle = runner.handle();
     if !args.quiet {
         runner = runner.sink(JsonLinesSink::new(out.clone()));
     }
     if let Some(threshold) = args.alert_fps {
-        runner = runner.sink(AlertSink::new(out.clone(), threshold));
+        // The bar lives in the monitor's shared thresholds, so a future
+        // control surface can retune it mid-run through the handle.
+        handle.set_alert_fps(threshold);
+        runner = runner.sink(AlertSink::with_thresholds(
+            out.clone(),
+            handle.alert_thresholds(),
+        ));
     }
     if args.summary {
         runner = runner.sink(SummarySink::new(out.clone()));
@@ -231,7 +251,24 @@ fn main() {
         runner = runner.source(SyntheticSource::new(args.vca, secs, args.calls, 41));
     }
 
-    let report = runner.run();
+    // Supervised background run: the pipeline lives on its own thread,
+    // this one watches it through the handle.
+    let running = runner.spawn();
+    if let Some(secs) = args.stats_every {
+        // First snapshot immediately (short runs still get one), then
+        // one every interval until the run winds down.
+        eprintln!("{}", handle.stats_snapshot().to_json_line());
+        let interval = std::time::Duration::from_secs(secs);
+        let mut next = std::time::Instant::now() + interval;
+        while !running.is_finished() {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            if std::time::Instant::now() >= next {
+                eprintln!("{}", handle.stats_snapshot().to_json_line());
+                next += interval;
+            }
+        }
+    }
+    let report = running.join();
     for (i, src) in report.sources.iter().enumerate() {
         if let Some(err) = &src.error {
             eprintln!("monitor: source {i} read error: {err}");

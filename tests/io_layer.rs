@@ -57,9 +57,9 @@ fn mixed_feed(traces: &[Trace], calls: impl Iterator<Item = usize>) -> Vec<(Flow
     feed
 }
 
-/// Every finalized window per flow from an event stream.
+/// Every finalized window per flow from a (shared) event stream.
 fn final_windows(
-    events: impl Iterator<Item = QoeEvent>,
+    events: impl Iterator<Item = Arc<QoeEvent>>,
 ) -> HashMap<FlowKey, BTreeMap<u64, WindowReport>> {
     let mut out: HashMap<FlowKey, BTreeMap<u64, WindowReport>> = HashMap::new();
     for event in events {
@@ -199,10 +199,10 @@ fn per_flow_shed_accounting_reaches_summary_and_stats() {
     let mut marker_total = 0u64;
     let mut marker_by_flow: BTreeMap<FlowKey, u64> = BTreeMap::new();
     for event in rx.try_iter() {
-        if let QoeEvent::Dropped { count, per_flow } = event {
+        if let QoeEvent::Dropped { count, per_flow } = &*event {
             marker_total += count;
             for (flow, n) in per_flow {
-                *marker_by_flow.entry(flow).or_insert(0) += n;
+                *marker_by_flow.entry(*flow).or_insert(0) += n;
             }
         }
     }
