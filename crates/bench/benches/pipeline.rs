@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use std::net::{IpAddr, Ipv4Addr};
 use std::sync::Arc;
 use vcaml::api::build_engine;
+use vcaml::engine::{FlowTable, IpUdpHeuristicEngine};
 use vcaml::{
     build_samples, estimate_windows, AlertThresholds, ChannelSink, CountingSink, EngineConfig,
     EstimationMethod, EventBus, EventFilter, HeuristicParams, IpUdpHeuristic, MediaClassifier,
@@ -448,6 +449,111 @@ fn bench_runner_fanout(c: &mut Criterion) {
     g.finish();
 }
 
+/// The hot-path wins in isolation, so the JSON trajectory records each
+/// one separately from the end-to-end monitor numbers:
+/// `alloc_free_engine` — the push-into engine API with reusable report
+/// buffers (vs. `engine_30s_trace`'s allocating wrappers);
+/// `open_addressed_table` — the linear-probe `FlowTable` hot loop with
+/// the flow hash computed once per packet, as the shard router does;
+/// `batched_seal` — one window-crossing batch sealing every flow's
+/// expired windows in a single pass over a warm 64-flow table.
+fn bench_hot_path(c: &mut Criterion) {
+    let trace = sample_trace();
+    let config = EngineConfig::paper(VcaKind::Teams);
+
+    let mut g = c.benchmark_group("hot_path");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.packets.len() as u64));
+    g.bench_function("alloc_free_engine", |b| {
+        b.iter(|| {
+            let mut heur = build_engine(Method::IpUdpHeuristic, config, trace.payload_map, None);
+            let mut ml = build_engine(Method::IpUdpMl, config, trace.payload_map, None);
+            let mut out = Vec::with_capacity(64);
+            let mut n = 0usize;
+            for p in &trace.packets {
+                heur.push_into(p, &mut out);
+                ml.push_into(p, &mut out);
+                n += out.len();
+                out.clear();
+            }
+            heur.finish_into(&mut out);
+            ml.finish_into(&mut out);
+            n + out.len()
+        })
+    });
+
+    // Pre-route the 64-flow feed the way the dispatcher does: one
+    // multiplicative hash per packet, carried alongside the key.
+    let feed = feed_64_flows();
+    let routed: Vec<(u64, FlowKey, vcaml::TracePacket)> =
+        feed.iter().map(|(k, p)| (k.hash64(), *k, *p)).collect();
+    let fresh_table = move || {
+        FlowTable::new(8, Timestamp::from_secs(60), move |_: &FlowKey| {
+            IpUdpHeuristicEngine::new(config)
+        })
+    };
+    g.throughput(Throughput::Elements(routed.len() as u64));
+    g.bench_function("open_addressed_table", |b| {
+        b.iter_batched(
+            fresh_table,
+            |mut table| {
+                let mut out = Vec::with_capacity(64);
+                let mut n = 0usize;
+                for (hash, key, pkt) in &routed {
+                    table.push_hashed_into(*hash, *key, pkt, &mut out);
+                    n += out.len();
+                    out.clear();
+                }
+                n
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Warm one window per flow, then push a single batch of
+    // window-crossing packets: all 64 flows seal in one pass.
+    let warm: Vec<_> = routed
+        .iter()
+        .filter(|(_, _, p)| p.ts.as_micros() < 1_000_000)
+        .cloned()
+        .collect();
+    let boundary: Vec<(u64, FlowKey, vcaml::TracePacket)> = {
+        let mut seen = std::collections::HashSet::new();
+        routed
+            .iter()
+            .filter(|(_, k, _)| seen.insert(*k))
+            .map(|(h, k, p)| {
+                let mut q = *p;
+                q.ts = Timestamp::from_micros(2_100_000);
+                (*h, *k, q)
+            })
+            .collect()
+    };
+    g.throughput(Throughput::Elements(boundary.len() as u64));
+    g.bench_function("batched_seal", |b| {
+        b.iter_batched(
+            || {
+                let mut table = fresh_table();
+                let mut out = Vec::new();
+                for (hash, key, pkt) in &warm {
+                    table.push_hashed_into(*hash, *key, pkt, &mut out);
+                    out.clear();
+                }
+                table
+            },
+            |mut table| {
+                let mut out = Vec::with_capacity(256);
+                for (hash, key, pkt) in &boundary {
+                    table.push_hashed_into(*hash, *key, pkt, &mut out);
+                }
+                out.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_packet_parse,
@@ -455,6 +561,7 @@ criterion_group!(
     bench_heuristic,
     bench_feature_extraction,
     bench_batch_vs_engine,
+    bench_hot_path,
     bench_flow_table_64_flows,
     bench_monitor_threads,
     bench_runner_ingest,

@@ -698,7 +698,8 @@ impl MonitorBuilder {
             Some(sink) => Deliver::Sink(Arc::new(Mutex::new(sink))),
             None => Deliver::Queue(Arc::clone(&queue)),
         };
-        let shard_state = |n_shards: usize| ShardState {
+        let shard_state = |n_shards: usize, worker: usize| ShardState {
+            worker,
             method: self.method,
             config: self.config,
             payload_map: self.payload_map,
@@ -712,7 +713,6 @@ impl MonitorBuilder {
             table: FlowTable::new(n_shards, self.idle_timeout, |_: &FlowKey| {
                 unreachable!("the facade inserts engines explicitly")
             }),
-            meta: HashMap::new(),
             pending: HashMap::new(),
             now: None,
             behind_streak: 0,
@@ -722,9 +722,11 @@ impl MonitorBuilder {
             seen_flush_epoch: 0,
             evict_cursor: 0,
             out: Vec::new(),
+            reports: Vec::new(),
+            snapshots: Vec::new(),
         };
         let dispatch = if inline {
-            Dispatch::Inline(Box::new(shard_state(self.shards)))
+            Dispatch::Inline(Box::new(shard_state(self.shards, 0)))
         } else {
             // Distribute the configured shards across the workers; the
             // ingest channels share the event queue's capacity knob
@@ -735,7 +737,7 @@ impl MonitorBuilder {
             let mut handles = Vec::with_capacity(threads);
             for worker in 0..threads {
                 let (tx, rx) = sync_channel::<ShardMsg>(channel_batches);
-                let state = shard_state(inner_shards);
+                let state = shard_state(inner_shards, worker);
                 let deliver = deliver.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("vcaml-shard-{worker}"))
@@ -825,18 +827,57 @@ pub fn build_engine(
     }
 }
 
-/// Per-flow facade bookkeeping (the engine itself lives in the table).
-struct FlowMeta {
+/// A flow's engine plus the facade's per-flow bookkeeping, stored
+/// together in the flow table's entry slab — the steady-state per-packet
+/// path pays exactly one hash and one probe, with no side map to rehash
+/// the key into.
+struct TrackedEngine {
+    engine: BoxedEngine,
     /// Packets pushed since the last finalized window (max-lag flush).
     since_report: u32,
-    /// Still buffering toward the RTP-confidence decision (auto methods
-    /// only); cached here so the hot path pays one map probe, not a
-    /// table lookup per packet.
-    probation: bool,
     /// Post-probation RTP re-probe counters: `Some` only for auto-method
     /// flows that resolved to the IP/UDP fallback, which keep watching
     /// for late-blooming RTP (see [`RTP_REPROBE_PACKETS`]).
     reprobe: Option<Reprobe>,
+}
+
+impl TrackedEngine {
+    fn new(engine: BoxedEngine) -> Self {
+        TrackedEngine {
+            engine,
+            since_report: 0,
+            reprobe: None,
+        }
+    }
+}
+
+/// Forwarding impl so the flow table can seal, flush, and account a
+/// tracked entry exactly like a bare engine.
+impl QoeEstimator for TrackedEngine {
+    fn method(&self) -> Method {
+        self.engine.method()
+    }
+
+    fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
+        self.engine.push_into(pkt, out);
+    }
+
+    fn finish_into(&mut self, out: &mut Vec<WindowReport>) {
+        self.engine.finish_into(out);
+    }
+
+    fn empty_report(&self, window: u64) -> WindowReport {
+        self.engine.empty_report(window)
+    }
+
+    fn provisional_into(&self, out: &mut Vec<WindowReport>) {
+        self.engine.provisional_into(out);
+    }
+
+    fn state_bytes(&self) -> usize {
+        // The entry slab already accounts for this struct's inline size.
+        self.engine.state_bytes()
+    }
 }
 
 /// Rolling RTP-confidence evidence over the current re-probe interval.
@@ -890,10 +931,15 @@ impl Deliver {
     }
 }
 
+/// One packet routed to a shard worker, carrying the
+/// [`FlowKey::hash64`] the dispatcher already computed — workers reuse
+/// it for the table probe, so a key is hashed exactly once per packet.
+type RoutedPacket = (u64, FlowKey, TracePacket);
+
 /// One message on a shard worker's bounded ingest channel.
 enum ShardMsg {
     /// Packets for this worker's flows, in arrival order.
-    Batch(Vec<(FlowKey, TracePacket)>),
+    Batch(Vec<RoutedPacket>),
     /// End of stream: seal every flow and exit.
     Finish,
 }
@@ -908,7 +954,7 @@ enum Dispatch {
     /// buffers that amortize the hand-off.
     Threaded {
         senders: Vec<SyncSender<ShardMsg>>,
-        batches: Vec<Vec<(FlowKey, TracePacket)>>,
+        batches: Vec<Vec<RoutedPacket>>,
         handles: Vec<JoinHandle<()>>,
     },
     /// Placeholder after [`Monitor::finish`] has taken the dispatch
@@ -932,7 +978,7 @@ fn dispatch_batch(
     stage_on_full: bool,
     control: &ControlShared,
     worker: usize,
-    batch: Vec<(FlowKey, TracePacket)>,
+    batch: Vec<RoutedPacket>,
 ) {
     control.depth_add(worker, batch.len() as u64);
     let mut msg = ShardMsg::Batch(batch);
@@ -984,9 +1030,7 @@ fn worker_loop(mut state: ShardState, rx: Receiver<ShardMsg>, deliver: Deliver, 
             Ok(ShardMsg::Batch(batch)) => {
                 poll = CONTROL_POLL;
                 let n = batch.len() as u64;
-                for (flow, pkt) in batch {
-                    state.ingest(flow, pkt);
-                }
+                state.ingest_batch(batch);
                 state.control.depth_sub(worker, n);
                 state.apply_control();
                 deliver.send(state.take_events());
@@ -1058,8 +1102,12 @@ struct ShardState {
     flush_after: Option<u32>,
     /// Window length in µs, for anchoring method upgrades.
     window_us: i64,
-    table: FlowTable<BoxedEngine>,
-    meta: HashMap<FlowKey, FlowMeta>,
+    /// This shard's worker index (0 on an inline monitor) — the slot it
+    /// publishes its flow footprint under.
+    worker: usize,
+    /// Per-flow engines *and* facade bookkeeping, together in the table's
+    /// entry slab: one [`FlowKey::hash64`] and one probe per packet.
+    table: FlowTable<TrackedEngine>,
     pending: HashMap<FlowKey, PendingFlow>,
     /// Stream clock: max ingest timestamp, bounded-advance so one corrupt
     /// far-future timestamp cannot mass-evict healthy flows. Per shard —
@@ -1081,6 +1129,11 @@ struct ShardState {
     /// append order). Wrapped at emission: the `Arc` is the unit of
     /// delivery everywhere downstream.
     out: Vec<Arc<QoeEvent>>,
+    /// Scratch for finalized windows, drained after every engine borrow
+    /// and kept warm — the per-packet path allocates no report buffer.
+    reports: Vec<WindowReport>,
+    /// Scratch for provisional (max-lag flush) snapshots, same lifecycle.
+    snapshots: Vec<WindowReport>,
 }
 
 impl Monitor {
@@ -1239,8 +1292,9 @@ impl Monitor {
             Dispatch::Threaded {
                 senders, batches, ..
             } => {
-                let worker = worker_of(&flow, senders.len());
-                batches[worker].push((flow, pkt));
+                let hash = flow.hash64();
+                let worker = worker_of(hash, senders.len());
+                batches[worker].push((hash, flow, pkt));
                 if batches[worker].len() >= INGEST_BATCH {
                     let batch =
                         std::mem::replace(&mut batches[worker], Vec::with_capacity(INGEST_BATCH));
@@ -1424,19 +1478,40 @@ pub(crate) fn parse_ip(
     }
 }
 
-/// Decodes one pcap record, dispatching on the file's link type.
+/// Decodes one pcap record, dispatching on the file's link type. The
+/// record's buffer is `Bytes`-backed, so the decoded datagram's payload
+/// is a zero-copy slice of it — no per-packet payload allocation.
 pub(crate) fn parse_record(
     link: LinkType,
     rec: &PcapRecord,
     wants_rtp: bool,
 ) -> Result<(FlowKey, TracePacket), ParseDropReason> {
-    match link {
-        LinkType::Ethernet => parse_frame(rec.ts, &rec.data, wants_rtp),
-        LinkType::RawIp => parse_ip(rec.ts, &rec.data, wants_rtp),
-        LinkType::Other(_) => Err(ParseDropReason::Malformed {
-            layer: "pcap",
-            what: "unsupported link type",
-        }),
+    let parsed = match link {
+        LinkType::Ethernet => UdpDatagram::parse_shared(&rec.data),
+        LinkType::RawIp => match rec.data.first().map(|b| b >> 4) {
+            Some(4) => UdpDatagram::parse_ipv4_shared(&rec.data),
+            Some(6) => UdpDatagram::parse_ipv6_shared(&rec.data),
+            Some(_) => Err(NetError::Malformed {
+                layer: "ip",
+                what: "version is neither 4 nor 6",
+            }),
+            None => Err(NetError::Truncated {
+                layer: "ip",
+                needed: 1,
+                got: 0,
+            }),
+        },
+        LinkType::Other(_) => {
+            return Err(ParseDropReason::Malformed {
+                layer: "pcap",
+                what: "unsupported link type",
+            })
+        }
+    };
+    match parsed {
+        Ok(Some(dg)) => Ok(datagram_packet(rec.ts, &dg, wants_rtp)),
+        Ok(None) => Err(ParseDropReason::NotUdp),
+        Err(e) => Err(ParseDropReason::from(&e)),
     }
 }
 
@@ -1485,7 +1560,7 @@ pub(crate) struct IngestPort {
     control: Arc<ControlShared>,
     deliver: Deliver,
     senders: Vec<SyncSender<ShardMsg>>,
-    batches: Vec<Vec<(FlowKey, TracePacket)>>,
+    batches: Vec<Vec<RoutedPacket>>,
 }
 
 impl IngestPort {
@@ -1509,8 +1584,9 @@ impl IngestPort {
             self.drop_packet(pkt.ts, ParseDropReason::NegativeTimestamp);
             return;
         }
-        let worker = worker_of(&flow, self.senders.len());
-        self.batches[worker].push((flow, pkt));
+        let hash = flow.hash64();
+        let worker = worker_of(hash, self.senders.len());
+        self.batches[worker].push((hash, flow, pkt));
         if self.batches[worker].len() >= INGEST_BATCH {
             let batch =
                 std::mem::replace(&mut self.batches[worker], Vec::with_capacity(INGEST_BATCH));
@@ -1560,32 +1636,14 @@ impl Drop for IngestPort {
     }
 }
 
-/// Stable flow → worker routing. This runs once per packet on the
-/// dispatching thread — the serial section of the whole parallel
-/// monitor — so it is a cheap multiplicative hash with a splitmix64
-/// avalanche rather than the flow table's SipHash: routing only needs
-/// determinism and spread, not DoS resistance (the per-worker tables
-/// keep their own hasher).
-fn worker_of(key: &FlowKey, n_workers: usize) -> usize {
-    fn addr_bits(addr: &std::net::IpAddr) -> u64 {
-        match addr {
-            std::net::IpAddr::V4(v4) => u64::from(u32::from_be_bytes(v4.octets())),
-            std::net::IpAddr::V6(v6) => {
-                let o = v6.octets();
-                u64::from_le_bytes(o[..8].try_into().expect("8 bytes"))
-                    ^ u64::from_le_bytes(o[8..].try_into().expect("8 bytes"))
-            }
-        }
-    }
-    let mut h = addr_bits(&key.addr_a).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    h ^= addr_bits(&key.addr_b).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
-    h ^= (u64::from(key.port_a) << 32) | (u64::from(key.port_b) << 16) | u64::from(key.protocol);
-    h ^= h >> 30;
-    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    h ^= h >> 27;
-    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
-    h ^= h >> 31;
-    (h % n_workers as u64) as usize
+/// Stable flow → worker routing: the low bits of the one
+/// [`FlowKey::hash64`] computed per packet on the dispatching thread.
+/// The hash rides the channel with the packet; inside a worker the
+/// table's shard selection takes the top 16 bits and slot probing
+/// starts from bits 16.., so the three routing layers stay uncorrelated
+/// while the key is hashed exactly once (see [`FlowTable`]).
+fn worker_of(hash: u64, n_workers: usize) -> usize {
+    (hash % n_workers as u64) as usize
 }
 
 impl ShardState {
@@ -1594,63 +1652,134 @@ impl ShardState {
     /// timestamps.
     fn ingest(&mut self, flow: FlowKey, pkt: TracePacket) {
         self.stats.packets.fetch_add(1, Relaxed);
-        self.advance_clock(pkt.ts);
+        self.ingest_hashed(flow.hash64(), flow, pkt);
+    }
 
-        let needs_probation = self.method.is_auto();
-        let (is_new, in_probation) = match self.meta.entry(flow) {
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(FlowMeta {
-                    since_report: 0,
-                    probation: needs_probation,
-                    reprobe: None,
-                });
-                (true, needs_probation)
+    /// Batch form of [`Self::ingest`]: the packet counter is bumped once
+    /// for the whole batch, and each packet reuses the route hash the
+    /// dispatching thread already computed.
+    fn ingest_batch(&mut self, batch: Vec<RoutedPacket>) {
+        self.stats.packets.fetch_add(batch.len() as u64, Relaxed);
+        for (hash, flow, pkt) in batch {
+            self.ingest_hashed(hash, flow, pkt);
+        }
+    }
+
+    fn ingest_hashed(&mut self, hash: u64, flow: FlowKey, pkt: TracePacket) {
+        self.advance_clock(pkt.ts);
+        if !self.push_established(hash, flow, &pkt) {
+            self.ingest_cold(hash, flow, pkt);
+        }
+        self.maybe_evict();
+    }
+
+    /// The steady-state per-packet path: one table probe finds the flow's
+    /// engine *and* its bookkeeping; finalized windows land in the warm
+    /// scratch buffer and are emitted after the borrow ends. Returns
+    /// `false` when the flow is not established (new or in probation).
+    fn push_established(&mut self, hash: u64, flow: FlowKey, pkt: &TracePacket) -> bool {
+        let mut reports = std::mem::take(&mut self.reports);
+        let mut snapshots = std::mem::take(&mut self.snapshots);
+        let flush_after = self.flush_after;
+        let mut upgrade = false;
+        let found = match self.table.get_mut_seen_hashed(hash, &flow, pkt.ts) {
+            None => false,
+            Some(tracked) => {
+                // Post-probation RTP re-probe bookkeeping (auto-method
+                // fallback flows only; `None` for everyone else).
+                if let Some(reprobe) = tracked.reprobe.as_mut() {
+                    reprobe.seen += 1;
+                    reprobe.rtp_ok += u32::from(pkt.rtp.is_some());
+                    if reprobe.seen >= RTP_REPROBE_PACKETS {
+                        if reprobe.rtp_ok as f64 / reprobe.seen as f64 >= RTP_CONFIDENCE {
+                            upgrade = true;
+                        } else {
+                            *reprobe = Reprobe::default();
+                        }
+                    }
+                }
+                if !upgrade {
+                    tracked.engine.push_into(pkt, &mut reports);
+                    if let Some(k) = flush_after {
+                        tracked.since_report = if reports.is_empty() {
+                            tracked.since_report + 1
+                        } else {
+                            0
+                        };
+                        if tracked.since_report >= k {
+                            tracked.since_report = 0;
+                            tracked.engine.provisional_into(&mut snapshots);
+                        }
+                    }
+                }
+                true
             }
-            std::collections::hash_map::Entry::Occupied(slot) => (false, slot.get().probation),
         };
+        for report in reports.drain(..) {
+            self.stats.window_reports.fetch_add(1, Relaxed);
+            self.emit(QoeEvent::WindowReport {
+                flow,
+                report,
+                provisional: false,
+            });
+        }
+        for report in snapshots.drain(..) {
+            self.stats.provisional_reports.fetch_add(1, Relaxed);
+            self.emit(QoeEvent::WindowReport {
+                flow,
+                report,
+                provisional: true,
+            });
+        }
+        self.reports = reports;
+        self.snapshots = snapshots;
+        if upgrade {
+            self.upgrade_flow(hash, flow, pkt);
+        }
+        found
+    }
+
+    /// Off the fast path: the flow has no engine yet — it is brand new,
+    /// or still buffering toward the RTP-confidence decision.
+    fn ingest_cold(&mut self, hash: u64, flow: FlowKey, pkt: TracePacket) {
+        let needs_probation = self.method.is_auto();
+        let is_new = !self.pending.contains_key(&flow);
         if is_new {
             self.stats.flows_opened.fetch_add(1, Relaxed);
             self.emit(QoeEvent::FlowOpened { flow, ts: pkt.ts });
-        }
-
-        if is_new && !in_probation {
-            let engine = build_engine(
-                self.method.fallback(),
-                self.config,
-                self.payload_map,
-                self.model.as_ref(),
-            );
-            self.table.insert(flow, engine, pkt.ts);
-        }
-
-        if in_probation {
-            let pending = self.pending.entry(flow).or_insert_with(|| PendingFlow {
-                packets: Vec::with_capacity(RTP_PROBATION_PACKETS),
-                rtp_ok: 0,
-                last_seen: pkt.ts,
-            });
-            pending.rtp_ok += usize::from(pkt.rtp.is_some());
-            // Bounded advance, like FlowTable's last_seen: one corrupt
-            // far-future timestamp must not exempt the flow from the
-            // idle sweep forever.
-            let bound = pending
-                .last_seen
-                .as_micros()
-                .saturating_add(self.idle_timeout_us);
-            pending.last_seen = pending
-                .last_seen
-                .max(Timestamp::from_micros(pkt.ts.as_micros().min(bound)));
-            pending.packets.push(pkt);
-            if pending.packets.len() >= RTP_PROBATION_PACKETS {
-                self.resolve_pending(flow);
+            if !needs_probation {
+                let engine = build_engine(
+                    self.method.fallback(),
+                    self.config,
+                    self.payload_map,
+                    self.model.as_ref(),
+                );
+                self.table
+                    .insert_hashed(hash, flow, TrackedEngine::new(engine), pkt.ts);
+                self.push_established(hash, flow, &pkt);
+                return;
             }
-        } else {
-            self.maybe_reprobe(flow, &pkt);
-            let reports = self.table.push(flow, &pkt);
-            self.account_reports(flow, reports, 1);
         }
-
-        self.maybe_evict();
+        let pending = self.pending.entry(flow).or_insert_with(|| PendingFlow {
+            packets: Vec::with_capacity(RTP_PROBATION_PACKETS),
+            rtp_ok: 0,
+            last_seen: pkt.ts,
+        });
+        pending.rtp_ok += usize::from(pkt.rtp.is_some());
+        // Bounded advance, like FlowTable's last_seen: one corrupt
+        // far-future timestamp must not exempt the flow from the
+        // idle sweep forever.
+        let bound = pending
+            .last_seen
+            .as_micros()
+            .saturating_add(self.idle_timeout_us);
+        pending.last_seen = pending
+            .last_seen
+            .max(Timestamp::from_micros(pkt.ts.as_micros().min(bound)));
+        pending.packets.push(pkt);
+        if pending.packets.len() >= RTP_PROBATION_PACKETS {
+            self.resolve_pending(flow);
+        }
     }
 
     /// Seals and reports every remaining flow (end of stream).
@@ -1781,54 +1910,84 @@ impl ShardState {
         };
         let engine = build_engine(method, self.config, self.payload_map, self.model.as_ref());
         let first_seen = pending.packets.first().map_or(pending.last_seen, |p| p.ts);
-        self.table.insert(flow, engine, first_seen);
-        if let Some(meta) = self.meta.get_mut(&flow) {
-            meta.probation = false;
-            meta.reprobe = (!confident && self.method.preferred() != method).then(Reprobe::default);
-        }
-        let mut reports = Vec::new();
+        let hash = flow.hash64();
+        self.table.insert_hashed(
+            hash,
+            flow,
+            TrackedEngine {
+                engine,
+                since_report: 0,
+                // A flow resolved to the fallback keeps watching for
+                // late-blooming RTP; one resolved to the preferred
+                // method is settled for good.
+                reprobe: (!confident && self.method.preferred() != method).then(Reprobe::default),
+            },
+            first_seen,
+        );
+        // Replay the probation buffer through the decided engine; the
+        // max-lag accounting sees the burst as one push of N packets.
+        let mut reports = std::mem::take(&mut self.reports);
+        let mut snapshots = std::mem::take(&mut self.snapshots);
         for pkt in &pending.packets {
-            reports.extend(self.table.push(flow, pkt));
+            let tracked = self
+                .table
+                .get_mut_seen_hashed(hash, &flow, pkt.ts)
+                .expect("just inserted");
+            tracked.engine.push_into(pkt, &mut reports);
         }
-        self.account_reports(flow, reports, pending.packets.len() as u32);
+        if let Some(k) = self.flush_after {
+            let tracked = self
+                .table
+                .get_mut_hashed(hash, &flow)
+                .expect("just inserted");
+            tracked.since_report = if reports.is_empty() {
+                pending.packets.len() as u32
+            } else {
+                0
+            };
+            if tracked.since_report >= k {
+                tracked.since_report = 0;
+                tracked.engine.provisional_into(&mut snapshots);
+            }
+        }
+        for report in reports.drain(..) {
+            self.stats.window_reports.fetch_add(1, Relaxed);
+            self.emit(QoeEvent::WindowReport {
+                flow,
+                report,
+                provisional: false,
+            });
+        }
+        for report in snapshots.drain(..) {
+            self.stats.provisional_reports.fetch_add(1, Relaxed);
+            self.emit(QoeEvent::WindowReport {
+                flow,
+                report,
+                provisional: true,
+            });
+        }
+        self.reports = reports;
+        self.snapshots = snapshots;
     }
 
-    /// Post-probation RTP re-probe: every [`RTP_REPROBE_PACKETS`] packets
-    /// on a fallback-resolved auto flow, re-evaluate RTP confidence over
-    /// the interval just seen. When media has become visible, upgrade the
-    /// flow to the preferred RTP engine: the old engine's pending windows
-    /// flush first — final up to the upgrade boundary, `provisional` for
-    /// the boundary window itself, which the new engine (anchored at this
-    /// packet) will finalize — so every window still appears in
-    /// [`QoeEvent::final_reports`] exactly once. The seam is visible to
-    /// consumers as the report's `method` changing mid-flow.
-    fn maybe_reprobe(&mut self, flow: FlowKey, pkt: &TracePacket) {
-        let Some(meta) = self.meta.get_mut(&flow) else {
-            return;
-        };
-        let Some(reprobe) = meta.reprobe.as_mut() else {
-            return;
-        };
-        reprobe.seen += 1;
-        reprobe.rtp_ok += u32::from(pkt.rtp.is_some());
-        if reprobe.seen < RTP_REPROBE_PACKETS {
-            return;
-        }
-        let confident = reprobe.rtp_ok as f64 / reprobe.seen as f64 >= RTP_CONFIDENCE;
-        if !confident {
-            *reprobe = Reprobe::default();
-            return;
-        }
-        meta.reprobe = None;
-        meta.since_report = 0;
-        let Some(mut old) = self.table.remove(&flow) else {
+    /// Post-probation RTP upgrade, reached when [`Self::push_established`]
+    /// finds a fallback-resolved auto flow confidently RTP over the
+    /// re-probe interval just seen (see [`RTP_REPROBE_PACKETS`]). The old
+    /// engine's pending windows flush first — final up to the upgrade
+    /// boundary, `provisional` for the boundary window itself, which the
+    /// new engine (anchored at this packet) will finalize — so every
+    /// window still appears in [`QoeEvent::final_reports`] exactly once.
+    /// The seam is visible to consumers as the report's `method` changing
+    /// mid-flow; the triggering packet replays into the new engine.
+    fn upgrade_flow(&mut self, hash: u64, flow: FlowKey, pkt: &TracePacket) {
+        let Some(mut old) = self.table.remove_hashed(hash, &flow) else {
             return;
         };
         // The new engine anchors at this packet's window; the old
         // engine's flush can reach at most that window (its packets are
         // all older), so exactly the boundary overlap is provisional.
         let anchor = (pkt.ts.as_micros().div_euclid(self.window_us)) as u64;
-        for report in old.finish() {
+        for report in old.engine.finish() {
             let provisional = report.window >= anchor;
             if provisional {
                 self.stats.provisional_reports.fetch_add(1, Relaxed);
@@ -1847,48 +2006,9 @@ impl ShardState {
             self.payload_map,
             self.model.as_ref(),
         );
-        self.table.insert(flow, engine, pkt.ts);
-    }
-
-    /// Emits finalized reports for a flow and runs the max-lag flush
-    /// bookkeeping for the `pushed` packets that produced them.
-    fn account_reports(&mut self, flow: FlowKey, reports: Vec<WindowReport>, pushed: u32) {
-        let finalized = !reports.is_empty();
-        for report in reports {
-            self.stats.window_reports.fetch_add(1, Relaxed);
-            self.emit(QoeEvent::WindowReport {
-                flow,
-                report,
-                provisional: false,
-            });
-        }
-        let Some(k) = self.flush_after else {
-            return;
-        };
-        let Some(meta) = self.meta.get_mut(&flow) else {
-            return;
-        };
-        meta.since_report = if finalized {
-            0
-        } else {
-            meta.since_report + pushed
-        };
-        if meta.since_report >= k {
-            meta.since_report = 0;
-            let snapshots = self
-                .table
-                .get_mut(&flow)
-                .map(|e| e.provisional())
-                .unwrap_or_default();
-            for report in snapshots {
-                self.stats.provisional_reports.fetch_add(1, Relaxed);
-                self.emit(QoeEvent::WindowReport {
-                    flow,
-                    report,
-                    provisional: true,
-                });
-            }
-        }
+        self.table
+            .insert_hashed(hash, flow, TrackedEngine::new(engine), pkt.ts);
+        self.push_established(hash, flow, pkt);
     }
 
     /// Periodic idle sweep over both established and probation flows.
@@ -1922,10 +2042,16 @@ impl ShardState {
                 self.seal_flow(flow, EvictReason::Idle, engine.finish());
             }
         }
+        // Piggyback the bytes-per-flow gauge on the sweep cadence: the
+        // survivors' engine state is what the monitor is resident for.
+        self.control.set_flow_footprint(
+            self.worker,
+            self.table.state_bytes() as u64,
+            self.table.len() as u64,
+        );
     }
 
     fn seal_flow(&mut self, flow: FlowKey, reason: EvictReason, final_reports: Vec<WindowReport>) {
-        self.meta.remove(&flow);
         self.stats.flows_evicted.fetch_add(1, Relaxed);
         self.stats
             .window_reports

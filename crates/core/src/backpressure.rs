@@ -29,6 +29,7 @@
 
 use crate::api::QoeEvent;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use vcaml_netpkt::FlowKey;
 
@@ -91,12 +92,19 @@ fn bump_bounded(map: &mut HashMap<FlowKey, u64>, flow: FlowKey) {
 pub(crate) struct EventQueue {
     inner: Mutex<QueueInner>,
     not_full: Condvar,
+    /// Queued events plus any pending drop marker — maintained under the
+    /// lock, read lock-free. The per-packet drain of an otherwise idle
+    /// monitor is the hot path's common case: this lets [`Self::drain`]
+    /// and [`Self::len`] answer "nothing there" with one atomic load
+    /// instead of a mutex round-trip.
+    approx_len: AtomicUsize,
 }
 
 impl EventQueue {
     pub(crate) fn new(capacity: usize, policy: OverflowPolicy, may_block: bool) -> Self {
         assert!(capacity >= 1, "zero event-queue capacity");
         EventQueue {
+            approx_len: AtomicUsize::new(0),
             inner: Mutex::new(QueueInner {
                 buf: VecDeque::new(),
                 capacity,
@@ -147,6 +155,14 @@ impl EventQueue {
                         }
                     }
                     OverflowPolicy::Block if inner.may_block && may_wait => {
+                        // Publish what is already queued before parking:
+                        // the consumer's lock-free emptiness check must
+                        // see the backlog, or it will never take the
+                        // lock and never notify us.
+                        self.approx_len.store(
+                            inner.buf.len() + usize::from(inner.dropped_since_drain > 0),
+                            Ordering::Release,
+                        );
                         inner = self.not_full.wait(inner).expect("event queue poisoned");
                     }
                     // Single-threaded (or released, or consumer-side)
@@ -156,6 +172,10 @@ impl EventQueue {
             }
             inner.buf.push_back(event);
         }
+        self.approx_len.store(
+            inner.buf.len() + usize::from(inner.dropped_since_drain > 0),
+            Ordering::Release,
+        );
     }
 
     /// Takes every queued event. When events were discarded since the
@@ -163,6 +183,13 @@ impl EventQueue {
     /// marker whose count — total and per flow — is exact; the discarded
     /// events were older than everything else returned.
     pub(crate) fn drain(&self) -> Vec<Arc<QoeEvent>> {
+        // Common case on the per-packet drain path: nothing queued, no
+        // pending drop marker — skip the lock entirely. A racing push
+        // lands on the next drain, exactly as if it had arrived one
+        // instruction later.
+        if self.approx_len.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
         let mut inner = self.inner.lock().expect("event queue poisoned");
         let dropped = std::mem::take(&mut inner.dropped_since_drain);
         let mut per_flow: Vec<(FlowKey, u64)> =
@@ -178,6 +205,7 @@ impl EventQueue {
             }));
         }
         out.extend(inner.buf.drain(..));
+        self.approx_len.store(0, Ordering::Release);
         drop(inner);
         self.not_full.notify_all();
         out

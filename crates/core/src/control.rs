@@ -61,6 +61,12 @@ pub(crate) struct ControlShared {
     /// Per-worker ingest backlog, in packets handed to the worker's
     /// channel and not yet processed. Empty on an inline monitor.
     depths: Vec<AtomicU64>,
+    /// Per-worker tracked-flow footprint in bytes (engine state plus
+    /// table overhead), refreshed by each shard's idle sweep. One slot
+    /// even on an inline monitor (its shard publishes as worker 0).
+    flow_bytes: Vec<AtomicU64>,
+    /// Flows counted into the matching `flow_bytes` slot.
+    flow_counts: Vec<AtomicU64>,
 }
 
 impl ControlShared {
@@ -72,6 +78,8 @@ impl ControlShared {
             evict_len: AtomicUsize::new(0),
             thresholds: AlertThresholds::new(),
             depths: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            flow_bytes: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            flow_counts: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -114,6 +122,24 @@ impl ControlShared {
             cell.fetch_sub(n, Relaxed);
         }
     }
+
+    /// Publishes `worker`'s tracked-flow footprint (idle-sweep cadence:
+    /// once per stream-second of that shard's traffic).
+    pub(crate) fn set_flow_footprint(&self, worker: usize, bytes: u64, flows: u64) {
+        if let Some(cell) = self.flow_bytes.get(worker) {
+            cell.store(bytes, Relaxed);
+        }
+        if let Some(cell) = self.flow_counts.get(worker) {
+            cell.store(flows, Relaxed);
+        }
+    }
+
+    /// Summed footprint across workers: `(bytes, flows)`.
+    pub(crate) fn flow_footprint(&self) -> (u64, u64) {
+        let bytes = self.flow_bytes.iter().map(|c| c.load(Relaxed)).sum();
+        let flows = self.flow_counts.iter().map(|c| c.load(Relaxed)).sum();
+        (bytes, flows)
+    }
 }
 
 /// A live, consistent-enough snapshot of a monitor's state, taken by
@@ -131,6 +157,14 @@ pub struct MonitorSnapshot {
     /// Per-shard-worker ingest backlog, in packets handed to the worker
     /// and not yet processed. Empty on an inline monitor.
     pub shard_depths: Vec<u64>,
+    /// Estimated resident bytes per tracked flow: engine state plus flow
+    /// table overhead, averaged over the flows live at the last idle
+    /// sweep (0 until a shard has swept). [`StatsMode::Sketch`]
+    /// engines hold this constant regardless of window content — the
+    /// strictly-O(1)-per-flow deployment story.
+    ///
+    /// [`StatsMode::Sketch`]: vcaml_features::StatsMode::Sketch
+    pub bytes_per_flow: u64,
     /// The live alert frame-rate bar, if one is set.
     pub alert_fps: Option<f64>,
     /// Whether a graceful stop has been requested.
@@ -156,6 +190,7 @@ impl Serialize for MonitorSnapshot {
             "shard_depths".into(),
             Value::Array(self.shard_depths.iter().map(|d| d.to_value()).collect()),
         );
+        m.insert("bytes_per_flow".into(), self.bytes_per_flow.to_value());
         if let Some(fps) = self.alert_fps {
             m.insert("alert_fps".into(), fps.to_value());
         }
@@ -182,8 +217,12 @@ impl MonitorHandle {
             .stats
             .snapshot(self.queue.dropped_total(), self.queue.dropped_by_flow());
         let flows_live = stats.flows_opened.saturating_sub(stats.flows_evicted);
+        let (footprint_bytes, footprint_flows) = self.control.flow_footprint();
         MonitorSnapshot {
             flows_live,
+            bytes_per_flow: footprint_bytes
+                .checked_div(footprint_flows)
+                .unwrap_or_default(),
             pending_events: self.queue.len(),
             shard_depths: self
                 .control

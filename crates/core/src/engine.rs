@@ -42,9 +42,6 @@ use crate::qoe::{QoeEstimate, QoeWindower};
 use crate::rtp_heuristic::RtpAssembler;
 use crate::trace::{Trace, TracePacket};
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap};
-use std::hash::{Hash, Hasher};
 use vcaml_features::rtp_feats::LagReference;
 use vcaml_features::{FlowFeatureAcc, IpUdpFeatureAcc, RtpWindowAcc, StatsMode};
 use vcaml_mlcore::RandomForest;
@@ -178,11 +175,15 @@ pub trait QoeEstimator {
     /// Which of the paper's four methods this engine implements.
     fn method(&self) -> Method;
 
-    /// Offers one captured packet; returns any windows finalized by it.
-    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport>;
+    /// Offers one captured packet, appending any windows it finalizes
+    /// into `out`. This is the hot-path form: with a warmed caller-owned
+    /// buffer the steady-state per-packet path performs no heap
+    /// allocation.
+    fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>);
 
-    /// Flushes every remaining window at end of stream.
-    fn finish(&mut self) -> Vec<WindowReport>;
+    /// Flushes every remaining window at end of stream into `out`. Call
+    /// exactly once.
+    fn finish_into(&mut self, out: &mut Vec<WindowReport>);
 
     /// The report an idle (empty) window produces — used by [`replay`] to
     /// pad a fixed-duration evaluation.
@@ -190,13 +191,39 @@ pub trait QoeEstimator {
 
     /// Snapshots every window that has started but is not yet final —
     /// the still-accumulating current window and, for the heuristic
-    /// engines, boundary windows held back by open frames. The reports
-    /// are *provisional*: metrics are lower bounds that the eventual
-    /// final report supersedes, and nothing is consumed from the engine.
-    /// Used by the facade's optional max-lag flush; engines that cannot
-    /// snapshot return nothing (the default).
+    /// engines, boundary windows held back by open frames — into `out`.
+    /// The reports are *provisional*: metrics are lower bounds that the
+    /// eventual final report supersedes, and nothing is consumed from the
+    /// engine. Used by the facade's optional max-lag flush; engines that
+    /// cannot snapshot append nothing (the default).
+    fn provisional_into(&self, _out: &mut Vec<WindowReport>) {}
+
+    /// Approximate resident size of this flow's state — the engine value
+    /// itself plus owned heap — feeding the monitor's bytes-per-flow
+    /// gauge. Engines that do not account return 0.
+    fn state_bytes(&self) -> usize {
+        0
+    }
+
+    /// Allocating convenience form of [`Self::push_into`].
+    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
+        let mut out = Vec::new();
+        self.push_into(pkt, &mut out);
+        out
+    }
+
+    /// Allocating convenience form of [`Self::finish_into`].
+    fn finish(&mut self) -> Vec<WindowReport> {
+        let mut out = Vec::new();
+        self.finish_into(&mut out);
+        out
+    }
+
+    /// Allocating convenience form of [`Self::provisional_into`].
     fn provisional(&self) -> Vec<WindowReport> {
-        Vec::new()
+        let mut out = Vec::new();
+        self.provisional_into(&mut out);
+        out
     }
 }
 
@@ -205,40 +232,66 @@ impl<T: QoeEstimator + ?Sized> QoeEstimator for Box<T> {
         (**self).method()
     }
 
-    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
-        (**self).push(pkt)
+    fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
+        (**self).push_into(pkt, out)
     }
 
-    fn finish(&mut self) -> Vec<WindowReport> {
-        (**self).finish()
+    fn finish_into(&mut self, out: &mut Vec<WindowReport>) {
+        (**self).finish_into(out)
     }
 
     fn empty_report(&self, window: u64) -> WindowReport {
         (**self).empty_report(window)
     }
 
-    fn provisional(&self) -> Vec<WindowReport> {
-        (**self).provisional()
+    fn provisional_into(&self, out: &mut Vec<WindowReport>) {
+        (**self).provisional_into(out)
+    }
+
+    fn state_bytes(&self) -> usize {
+        (**self).state_bytes()
     }
 }
 
-/// Tracks per-window video-packet counts for reporting.
+/// Tracks per-window video-packet counts for reporting. A flow holds
+/// counts for at most a handful of pending windows, so a small sorted
+/// vector beats a tree map: no per-entry allocation, and the common bump
+/// (newest window) is a one-element scan from the back.
 #[derive(Debug, Clone, Default)]
 struct ArrivalCounts {
-    counts: BTreeMap<u64, usize>,
+    /// `(window, count)` in ascending window order.
+    counts: Vec<(u64, usize)>,
 }
 
 impl ArrivalCounts {
     fn bump(&mut self, window: u64) {
-        *self.counts.entry(window).or_insert(0) += 1;
+        match self.counts.binary_search_by_key(&window, |&(w, _)| w) {
+            Ok(i) => self.counts[i].1 += 1,
+            Err(i) => self.counts.insert(i, (window, 1)),
+        }
     }
 
     fn take(&mut self, window: u64) -> usize {
-        self.counts.remove(&window).unwrap_or(0)
+        match self.counts.binary_search_by_key(&window, |&(w, _)| w) {
+            Ok(i) => self.counts.remove(i).1,
+            Err(_) => 0,
+        }
     }
 
     fn peek(&self, window: u64) -> usize {
-        self.counts.get(&window).copied().unwrap_or(0)
+        match self.counts.binary_search_by_key(&window, |&(w, _)| w) {
+            Ok(i) => self.counts[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Drops all counts in place, retaining capacity.
+    fn clear(&mut self) {
+        self.counts.clear();
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.counts.capacity() * std::mem::size_of::<(u64, usize)>()
     }
 }
 
@@ -262,6 +315,13 @@ struct HeuristicState {
     clock: u64,
     started: bool,
     gap: GapGuard,
+    /// One-window memo over the timestamp→index map: consecutive packets
+    /// overwhelmingly land in the same window, so the common case is two
+    /// compares instead of an `i64` division. `memo_lo > memo_hi` until
+    /// the first lookup. (`memo_lo`, `memo_hi`] bound is exclusive.
+    memo_lo: i64,
+    memo_hi: i64,
+    memo_w: u64,
 }
 
 impl HeuristicState {
@@ -273,14 +333,32 @@ impl HeuristicState {
             clock: 0,
             started: false,
             gap: GapGuard::default(),
+            memo_lo: 1,
+            memo_hi: 0,
+            memo_w: 0,
         }
+    }
+
+    /// Window index for a non-negative microsecond timestamp, memoized
+    /// on the window of the previous lookup.
+    #[inline]
+    fn memo_map(&mut self, us: i64) -> u64 {
+        if us >= self.memo_lo && us < self.memo_hi {
+            return self.memo_w;
+        }
+        let w = us.div_euclid(self.window_us);
+        self.memo_lo = w * self.window_us;
+        self.memo_hi = self.memo_lo + self.window_us;
+        self.memo_w = w as u64;
+        self.memo_w
     }
 
     /// Window index for a timestamp, or `None` for negative timestamps
     /// (outside every window).
-    fn window_of(&self, ts: Timestamp) -> Option<u64> {
+    #[inline]
+    fn window_of(&mut self, ts: Timestamp) -> Option<u64> {
         let us = ts.as_micros();
-        (us >= 0).then(|| us.div_euclid(self.window_us) as u64)
+        (us >= 0).then(|| self.memo_map(us))
     }
 
     /// Classifies a packet's window against the bounded emission gap
@@ -293,7 +371,7 @@ impl HeuristicState {
     /// re-anchors emission at `w`. The caller must seal its assembler and
     /// flush via [`Self::drain_finish`] first.
     fn skip_to(&mut self, w: u64) {
-        self.counts = ArrivalCounts::default();
+        self.counts.clear();
         self.windower.skip_to(w);
         self.clock = w;
     }
@@ -308,24 +386,34 @@ impl HeuristicState {
         self.clock = self.clock.max(w);
     }
 
-    /// Emits every window that is final: arrivals have moved past it and
+    /// Emits every window that is final — arrivals have moved past it and
     /// no still-open frame (bounded below by `min_open_end`) could seal
-    /// into it.
-    fn drain_safe(&mut self, min_open_end: Option<Timestamp>) -> Vec<(u64, QoeEstimate)> {
-        let open_bound = min_open_end
-            .and_then(|ts| self.windower.window_of(ts))
-            .unwrap_or(self.clock);
-        self.windower.drain_until(self.clock.min(open_bound))
+    /// into it — appending into `out`.
+    fn drain_safe_into(
+        &mut self,
+        min_open_end: Option<Timestamp>,
+        out: &mut Vec<(u64, QoeEstimate)>,
+    ) {
+        let open_bound = match min_open_end {
+            // Open-frame end timestamps are never negative (their packets
+            // were window-mapped first); route through the same memo as
+            // the arrival path — they share the packet's window almost
+            // always.
+            Some(ts) if ts.as_micros() >= 0 => self.memo_map(ts.as_micros()),
+            _ => self.clock,
+        };
+        self.windower
+            .drain_until_into(self.clock.min(open_bound), out);
     }
 
     /// Emits everything through the last arrival window and the last
-    /// window holding a frame (end of stream).
-    fn drain_finish(&mut self) -> Vec<(u64, QoeEstimate)> {
+    /// window holding a frame (end of stream), appending into `out`.
+    fn drain_finish_into(&mut self, out: &mut Vec<(u64, QoeEstimate)>) {
         if !self.started {
-            return Vec::new();
+            return;
         }
         let through = (self.clock + 1).max(self.windower.last_open_window().map_or(0, |w| w + 1));
-        self.windower.drain_until(through)
+        self.windower.drain_until_into(through, out);
     }
 
     fn report(&mut self, method: Method, window: u64, estimate: QoeEstimate) -> WindowReport {
@@ -353,20 +441,24 @@ impl HeuristicState {
     /// Snapshots every pending window (`next emission ..= clock`) without
     /// consuming anything: frames still open in the assembler are not
     /// included, so the estimates are lower bounds.
-    fn provisional(&self, method: Method) -> Vec<WindowReport> {
+    fn provisional_into(&self, method: Method, out: &mut Vec<WindowReport>) {
         if !self.started {
-            return Vec::new();
+            return;
         }
-        (self.windower.next_window()..=self.clock)
-            .map(|w| WindowReport {
+        out.extend(
+            (self.windower.next_window()..=self.clock).map(|w| WindowReport {
                 window: w,
                 method,
                 estimate: Some(self.windower.peek(w)),
                 features: None,
                 model_fps: None,
                 video_packets: self.counts.peek(w),
-            })
-            .collect()
+            }),
+        );
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.windower.heap_bytes() + self.counts.heap_bytes()
     }
 }
 
@@ -378,24 +470,31 @@ impl HeuristicState {
 /// the two classification+assembler pairings so the (subtle) push/finish
 /// orchestration exists exactly once in [`HeuristicDriver`].
 trait FrameSource {
-    /// Classifies one packet and, for video, feeds the assembler.
-    /// Returns `None` for non-video packets, `Some(sealed frames)` for
-    /// video packets.
-    fn accept(&mut self, pkt: &TracePacket) -> Option<Vec<(u64, Frame)>>;
+    /// Classifies one packet and, for video, feeds the assembler,
+    /// appending any frames this packet seals into `sealed`. Returns
+    /// `false` for non-video packets, `true` for video packets.
+    fn accept_into(&mut self, pkt: &TracePacket, sealed: &mut Vec<(u64, Frame)>) -> bool;
 
-    /// Seals every open frame (end of stream or discontinuity).
-    fn seal_all(&mut self) -> Vec<(u64, Frame)>;
+    /// Seals every open frame (end of stream or discontinuity) into `out`.
+    fn seal_all_into(&mut self, out: &mut Vec<(u64, Frame)>);
 
     /// Earliest end time any open frame can still finalize with.
     fn min_open_end(&self) -> Option<Timestamp>;
+
+    /// Heap bytes the assembler currently holds.
+    fn heap_bytes(&self) -> usize;
 }
 
 /// The shared heuristic state machine: gap quarantine, window clock,
-/// frame offering, and safe/final draining.
+/// frame offering, and safe/final draining. Owns two scratch buffers
+/// (sealed frames, drained windows) so the per-packet cycle recycles
+/// capacity instead of allocating.
 struct HeuristicDriver<S> {
     source: S,
     state: HeuristicState,
     method: Method,
+    sealed: Vec<(u64, Frame)>,
+    drained: Vec<(u64, QoeEstimate)>,
 }
 
 impl<S: FrameSource> HeuristicDriver<S> {
@@ -404,70 +503,81 @@ impl<S: FrameSource> HeuristicDriver<S> {
             source,
             state: HeuristicState::new(config),
             method,
+            sealed: Vec::new(),
+            drained: Vec::new(),
         }
     }
 
-    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
+    /// Offers freshly sealed frames from `self.sealed` to the windower,
+    /// clearing the scratch buffer.
+    fn offer_sealed(&mut self) {
+        for &(id, ref frame) in &self.sealed {
+            self.state.windower.offer(id, frame);
+        }
+        self.sealed.clear();
+    }
+
+    /// Converts windows drained into `self.drained` to reports, clearing
+    /// the scratch buffer.
+    fn report_drained(&mut self, out: &mut Vec<WindowReport>) {
+        let method = self.method;
+        // (index loop: `drained` and `state` are disjoint fields, but the
+        // report call needs `&mut self.state` while we read `drained`)
+        for i in 0..self.drained.len() {
+            let (dw, e) = self.drained[i];
+            out.push(self.state.report(method, dw, e));
+        }
+        self.drained.clear();
+    }
+
+    fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
         let Some(w) = self.state.window_of(pkt.ts) else {
-            return Vec::new();
+            return;
         };
-        let mut flushed = Vec::new();
         match self.state.gap_check(w) {
-            GapVerdict::Drop => return Vec::new(),
+            GapVerdict::Drop => return,
             GapVerdict::Reanchor => {
                 // Flush everything pending before jumping: report
                 // construction must precede skip_to so window counts are
                 // consumed at their own indices.
-                for (id, frame) in self.source.seal_all() {
-                    self.state.windower.offer(id, &frame);
-                }
-                let method = self.method;
-                flushed = self
-                    .state
-                    .drain_finish()
-                    .into_iter()
-                    .map(|(dw, e)| self.state.report(method, dw, e))
-                    .collect();
+                self.source.seal_all_into(&mut self.sealed);
+                self.offer_sealed();
+                self.state.drain_finish_into(&mut self.drained);
+                self.report_drained(out);
                 self.state.skip_to(w);
             }
             GapVerdict::Normal => {}
         }
         self.state.observe(w);
-        if let Some(sealed) = self.source.accept(pkt) {
+        if self.source.accept_into(pkt, &mut self.sealed) {
             self.state.counts.bump(w);
-            for (id, frame) in sealed {
-                self.state.windower.offer(id, &frame);
-            }
         }
-        let method = self.method;
+        self.offer_sealed();
         let min_open_end = self.source.min_open_end();
-        flushed.extend(
-            self.state
-                .drain_safe(min_open_end)
-                .into_iter()
-                .map(|(w, e)| self.state.report(method, w, e)),
-        );
-        flushed
+        self.state.drain_safe_into(min_open_end, &mut self.drained);
+        self.report_drained(out);
     }
 
-    fn finish(&mut self) -> Vec<WindowReport> {
-        for (id, frame) in self.source.seal_all() {
-            self.state.windower.offer(id, &frame);
-        }
-        let method = self.method;
-        self.state
-            .drain_finish()
-            .into_iter()
-            .map(|(w, e)| self.state.report(method, w, e))
-            .collect()
+    fn finish_into(&mut self, out: &mut Vec<WindowReport>) {
+        self.source.seal_all_into(&mut self.sealed);
+        self.offer_sealed();
+        self.state.drain_finish_into(&mut self.drained);
+        self.report_drained(out);
     }
 
     fn empty_report(&self, window: u64) -> WindowReport {
         self.state.empty_report(self.method, window)
     }
 
-    fn provisional(&self) -> Vec<WindowReport> {
-        self.state.provisional(self.method)
+    fn provisional_into(&self, out: &mut Vec<WindowReport>) {
+        self.state.provisional_into(self.method, out);
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.source.heap_bytes()
+            + self.state.heap_bytes()
+            + self.sealed.capacity() * std::mem::size_of::<(u64, Frame)>()
+            + self.drained.capacity() * std::mem::size_of::<(u64, QoeEstimate)>()
     }
 }
 
@@ -478,20 +588,24 @@ struct IpUdpSource {
 }
 
 impl FrameSource for IpUdpSource {
-    fn accept(&mut self, pkt: &TracePacket) -> Option<Vec<(u64, Frame)>> {
+    fn accept_into(&mut self, pkt: &TracePacket, sealed: &mut Vec<(u64, Frame)>) -> bool {
         if !self.classifier.is_video(pkt) {
-            return None;
+            return false;
         }
-        let (_, sealed) = self.assembler.push(pkt.ts, pkt.size);
-        Some(sealed)
+        self.assembler.push_into(pkt.ts, pkt.size, sealed);
+        true
     }
 
-    fn seal_all(&mut self) -> Vec<(u64, Frame)> {
-        self.assembler.finish()
+    fn seal_all_into(&mut self, out: &mut Vec<(u64, Frame)>) {
+        self.assembler.finish_into(out);
     }
 
     fn min_open_end(&self) -> Option<Timestamp> {
         self.assembler.min_open_end()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.assembler.heap_bytes()
     }
 }
 
@@ -502,19 +616,28 @@ struct RtpSource {
 }
 
 impl FrameSource for RtpSource {
-    fn accept(&mut self, pkt: &TracePacket) -> Option<Vec<(u64, Frame)>> {
-        let h = pkt
+    fn accept_into(&mut self, pkt: &TracePacket, sealed: &mut Vec<(u64, Frame)>) -> bool {
+        let Some(h) = pkt
             .rtp
-            .filter(|h| self.payload_map.classify(h.payload_type) == Some(MediaKind::Video))?;
-        Some(self.assembler.push(pkt.ts, h.timestamp, h.marker, pkt.size))
+            .filter(|h| self.payload_map.classify(h.payload_type) == Some(MediaKind::Video))
+        else {
+            return false;
+        };
+        self.assembler
+            .push_into(pkt.ts, h.timestamp, h.marker, pkt.size, sealed);
+        true
     }
 
-    fn seal_all(&mut self) -> Vec<(u64, Frame)> {
-        self.assembler.finish()
+    fn seal_all_into(&mut self, out: &mut Vec<(u64, Frame)>) {
+        self.assembler.finish_into(out);
     }
 
     fn min_open_end(&self) -> Option<Timestamp> {
         self.assembler.min_open_end()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.assembler.heap_bytes()
     }
 }
 
@@ -545,20 +668,24 @@ impl QoeEstimator for IpUdpHeuristicEngine {
         Method::IpUdpHeuristic
     }
 
-    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
-        self.driver.push(pkt)
+    fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
+        self.driver.push_into(pkt, out)
     }
 
-    fn finish(&mut self) -> Vec<WindowReport> {
-        self.driver.finish()
+    fn finish_into(&mut self, out: &mut Vec<WindowReport>) {
+        self.driver.finish_into(out)
     }
 
     fn empty_report(&self, window: u64) -> WindowReport {
         self.driver.empty_report(window)
     }
 
-    fn provisional(&self) -> Vec<WindowReport> {
-        self.driver.provisional()
+    fn provisional_into(&self, out: &mut Vec<WindowReport>) {
+        self.driver.provisional_into(out)
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.driver.heap_bytes()
     }
 }
 
@@ -589,20 +716,24 @@ impl QoeEstimator for RtpHeuristicEngine {
         Method::RtpHeuristic
     }
 
-    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
-        self.driver.push(pkt)
+    fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
+        self.driver.push_into(pkt, out)
     }
 
-    fn finish(&mut self) -> Vec<WindowReport> {
-        self.driver.finish()
+    fn finish_into(&mut self, out: &mut Vec<WindowReport>) {
+        self.driver.finish_into(out)
     }
 
     fn empty_report(&self, window: u64) -> WindowReport {
         self.driver.empty_report(window)
     }
 
-    fn provisional(&self) -> Vec<WindowReport> {
-        self.driver.provisional()
+    fn provisional_into(&self, out: &mut Vec<WindowReport>) {
+        self.driver.provisional_into(out)
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.driver.heap_bytes()
     }
 }
 
@@ -613,6 +744,11 @@ struct MlWindowClock {
     current: u64,
     started: bool,
     gap: GapGuard,
+    /// Bounds of the `current` window (`cur_lo > cur_hi` until started):
+    /// a packet inside them is in the accumulating window — no division,
+    /// no gap check, nothing to emit. The steady-state common case.
+    cur_lo: i64,
+    cur_hi: i64,
 }
 
 impl MlWindowClock {
@@ -622,7 +758,15 @@ impl MlWindowClock {
             current: 0,
             started: false,
             gap: GapGuard::default(),
+            cur_lo: 1,
+            cur_hi: 0,
         }
+    }
+
+    /// Re-anchors the current-window bounds memo after `current` moved.
+    fn rememo(&mut self) {
+        self.cur_lo = self.current as i64 * self.window_us;
+        self.cur_hi = self.cur_lo + self.window_us;
     }
 
     /// Accepts one packet timestamp. Returns the (bounded) range of
@@ -636,10 +780,19 @@ impl MlWindowClock {
         if us < 0 {
             return None;
         }
+        if us >= self.cur_lo && us < self.cur_hi {
+            // Inside the accumulating window (started is implied: the
+            // bounds are empty until the first packet): nothing emits.
+            // An in-window packet is a Normal verdict, which clears any
+            // quarantine streak — preserve that here.
+            self.gap.suspect = None;
+            return Some(self.current..self.current);
+        }
         let w = us.div_euclid(self.window_us) as u64;
         if !self.started {
             self.started = true;
             self.current = w;
+            self.rememo();
             return Some(w..w);
         }
         match self.gap.check(self.current, self.started, w) {
@@ -647,11 +800,13 @@ impl MlWindowClock {
             GapVerdict::Reanchor => {
                 let emit = self.current..self.current + 1;
                 self.current = w;
+                self.rememo();
                 Some(emit)
             }
             GapVerdict::Normal => {
                 let emit = self.current..w.max(self.current);
                 self.current = w.max(self.current);
+                self.rememo();
                 Some(emit)
             }
         }
@@ -735,21 +890,23 @@ impl QoeEstimator for IpUdpMlEngine {
         Method::IpUdpMl
     }
 
-    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
+    fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
         let Some(emit) = self.clock.advance(pkt.ts) else {
-            return Vec::new();
+            return;
         };
-        let out = emit.map(|w| self.emit_window(w)).collect();
+        for w in emit {
+            let r = self.emit_window(w);
+            out.push(r);
+        }
         if self.classifier.is_video(pkt) {
             self.acc.push(pkt.ts, pkt.size);
         }
-        out
     }
 
-    fn finish(&mut self) -> Vec<WindowReport> {
-        match self.clock.finish() {
-            Some(w) => vec![self.emit_window(w)],
-            None => Vec::new(),
+    fn finish_into(&mut self, out: &mut Vec<WindowReport>) {
+        if let Some(w) = self.clock.finish() {
+            let r = self.emit_window(w);
+            out.push(r);
         }
     }
 
@@ -764,11 +921,16 @@ impl QoeEstimator for IpUdpMlEngine {
         }
     }
 
-    fn provisional(&self) -> Vec<WindowReport> {
-        match self.clock.in_progress() {
-            Some(w) => vec![self.snapshot_window(w)],
-            None => Vec::new(),
+    fn provisional_into(&self, out: &mut Vec<WindowReport>) {
+        if let Some(w) = self.clock.in_progress() {
+            out.push(self.snapshot_window(w));
         }
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.acc.state_bytes() - std::mem::size_of::<IpUdpFeatureAcc>())
+            + self.empty_features.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -800,11 +962,11 @@ impl RtpMlEngine {
         // means no lags), so one pristine-accumulator evaluation covers
         // every empty report.
         let mut empty_features = FlowFeatureAcc::new(config.stats).features(window_secs);
-        empty_features.extend(RtpWindowAcc::new().features(None));
+        empty_features.extend(RtpWindowAcc::with_mode(config.stats).features(None));
         RtpMlEngine {
             payload_map,
             flow: FlowFeatureAcc::new(config.stats),
-            rtp: RtpWindowAcc::new(),
+            rtp: RtpWindowAcc::with_mode(config.stats),
             lag_ref: None,
             empty_features,
             window_secs,
@@ -847,21 +1009,28 @@ impl QoeEstimator for RtpMlEngine {
         Method::RtpMl
     }
 
-    fn push(&mut self, pkt: &TracePacket) -> Vec<WindowReport> {
+    fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
         let Some(emit) = self.clock.advance(pkt.ts) else {
-            return Vec::new();
+            return;
         };
-        let out = emit.map(|w| self.emit_window(w)).collect();
+        for w in emit {
+            let r = self.emit_window(w);
+            out.push(r);
+        }
         if let Some(h) = pkt.rtp {
             match self.payload_map.classify(h.payload_type) {
                 Some(MediaKind::Video) => {
                     // The lag clock anchors at the session's first video
                     // packet ("we assume that the first frame had zero
                     // delay", §3.3).
-                    self.lag_ref.get_or_insert(LagReference {
+                    let lr = *self.lag_ref.get_or_insert(LagReference {
                         t0: pkt.ts,
                         ts0: h.timestamp,
                     });
+                    // The accumulator's window-local anchor resets each
+                    // window; re-arm it with the session anchor so Sketch
+                    // mode folds ring-evicted frame lags correctly.
+                    self.rtp.set_lag_anchor(lr);
                     self.flow.push(pkt.ts, pkt.size);
                     self.rtp.push_video(pkt.ts, &h);
                     self.video_packets += 1;
@@ -870,13 +1039,12 @@ impl QoeEstimator for RtpMlEngine {
                 _ => {}
             }
         }
-        out
     }
 
-    fn finish(&mut self) -> Vec<WindowReport> {
-        match self.clock.finish() {
-            Some(w) => vec![self.emit_window(w)],
-            None => Vec::new(),
+    fn finish_into(&mut self, out: &mut Vec<WindowReport>) {
+        if let Some(w) = self.clock.finish() {
+            let r = self.emit_window(w);
+            out.push(r);
         }
     }
 
@@ -891,11 +1059,17 @@ impl QoeEstimator for RtpMlEngine {
         }
     }
 
-    fn provisional(&self) -> Vec<WindowReport> {
-        match self.clock.in_progress() {
-            Some(w) => vec![self.snapshot_window(w)],
-            None => Vec::new(),
+    fn provisional_into(&self, out: &mut Vec<WindowReport>) {
+        if let Some(w) = self.clock.in_progress() {
+            out.push(self.snapshot_window(w));
         }
+    }
+
+    fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.flow.state_bytes() - std::mem::size_of::<FlowFeatureAcc>())
+            + (self.rtp.state_bytes() - std::mem::size_of::<RtpWindowAcc>())
+            + self.empty_features.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -926,9 +1100,9 @@ pub fn replay_packets<E: QoeEstimator + ?Sized>(
     assert!(window_secs > 0, "zero window");
     let mut reports = Vec::new();
     for p in packets {
-        reports.extend(engine.push(p));
+        engine.push_into(p, &mut reports);
     }
-    reports.extend(engine.finish());
+    engine.finish_into(&mut reports);
     place_windows(engine, reports, duration_secs, window_secs)
 }
 
@@ -972,20 +1146,164 @@ pub fn place_windows<E: QoeEstimator + ?Sized>(
 /// monitoring many concurrent VCA calls.
 ///
 /// Packets are routed by canonical UDP 5-tuple to a per-flow engine
-/// created on first sight by the factory. Shards bound rehash cost and
-/// give each a smaller, cache-friendlier map (and are the unit a future
-/// multi-threaded monitor would pin to cores). Idle flows are evicted —
-/// flushing their final windows — so memory is O(active flows), each
-/// O(window content) ([`StatsMode::Sketch`]: O(1)).
+/// created on first sight by the factory. Each shard is an
+/// **open-addressed** linear-probe index over a dense entry slab: a
+/// lookup is one cheap multiplicative hash ([`FlowKey::hash64`]), a few
+/// contiguous slot probes, and one slab access — no SipHash, no
+/// per-entry allocation, and eviction recycles slots in place. The
+/// hashed entry points (`*_hashed`) let callers that already computed
+/// the flow hash (the facade hashes once per packet for worker routing)
+/// skip rehashing. Idle flows are evicted — flushing their final
+/// windows — so memory is O(active flows), each O(window content)
+/// ([`StatsMode::Sketch`]: O(1)).
+///
+/// Hash-bit usage across the routing layers (one hash per packet):
+/// workers take `hash64 % n_threads` (low bits), shards take the top 16
+/// bits, slot probing starts from bits 16.. — so the three layers stay
+/// uncorrelated.
 pub struct FlowTable<E: QoeEstimator> {
-    shards: Vec<HashMap<FlowKey, FlowEntry<E>>>,
+    shards: Vec<FlowShard<E>>,
     factory: Box<dyn FnMut(&FlowKey) -> E + Send>,
     idle_timeout_us: i64,
 }
 
 struct FlowEntry<E> {
+    key: FlowKey,
+    hash: u64,
+    /// Index of this entry's slot in the shard's probe table.
+    slot: u32,
     engine: E,
     last_seen: Timestamp,
+}
+
+/// Sentinel for an unoccupied probe slot.
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// One open-addressed shard: a power-of-two probe table of entry indices
+/// plus a dense entry slab (`swap_remove` keeps it dense; each entry
+/// remembers its slot so moves can be patched).
+struct FlowShard<E> {
+    slots: Vec<u32>,
+    entries: Vec<FlowEntry<E>>,
+}
+
+impl<E> FlowShard<E> {
+    fn new() -> Self {
+        FlowShard {
+            slots: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn home(&self, hash: u64) -> usize {
+        // Bits 16.. seed the probe: low bits route workers, top bits
+        // route shards.
+        (hash >> 16) as usize & (self.slots.len() - 1)
+    }
+
+    /// Finds the slot holding `key`, if present.
+    #[inline]
+    fn find_slot(&self, hash: u64, key: &FlowKey) -> Option<usize> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.home(hash);
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY_SLOT {
+                return None;
+            }
+            let e = &self.entries[s as usize];
+            if e.hash == hash && e.key == *key {
+                return Some(i);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Index into `entries` for `key`, if present.
+    #[inline]
+    fn find(&self, hash: u64, key: &FlowKey) -> Option<usize> {
+        self.find_slot(hash, key)
+            .map(|slot| self.slots[slot] as usize)
+    }
+
+    /// Grows (or initializes) the probe table and re-places every entry.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        self.slots.clear();
+        self.slots.resize(new_cap, EMPTY_SLOT);
+        let mask = new_cap - 1;
+        for (idx, e) in self.entries.iter_mut().enumerate() {
+            let mut i = (e.hash >> 16) as usize & mask;
+            while self.slots[i] != EMPTY_SLOT {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = idx as u32;
+            e.slot = i as u32;
+        }
+    }
+
+    /// Inserts a new entry (caller guarantees the key is absent),
+    /// returning its index in `entries`.
+    fn insert_new(&mut self, key: FlowKey, hash: u64, engine: E, last_seen: Timestamp) -> usize {
+        // Keep load ≤ 7/8 so probe runs stay short.
+        if self.slots.is_empty() || (self.entries.len() + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.home(hash);
+        while self.slots[i] != EMPTY_SLOT {
+            i = (i + 1) & mask;
+        }
+        let idx = self.entries.len();
+        self.slots[i] = idx as u32;
+        self.entries.push(FlowEntry {
+            key,
+            hash,
+            slot: i as u32,
+            engine,
+            last_seen,
+        });
+        idx
+    }
+
+    /// Removes the entry at `slot`, backward-shifting the probe run to
+    /// keep lookups tombstone-free, and returns the entry.
+    fn remove_slot(&mut self, slot: usize) -> FlowEntry<E> {
+        let mask = self.slots.len() - 1;
+        let idx = self.slots[slot] as usize;
+        // Backward-shift deletion: close the hole by moving any later
+        // entry in the probe run whose home position is at or before the
+        // hole.
+        let mut hole = slot;
+        let mut j = slot;
+        loop {
+            j = (j + 1) & mask;
+            let s = self.slots[j];
+            if s == EMPTY_SLOT {
+                break;
+            }
+            let home = (self.entries[s as usize].hash >> 16) as usize & mask;
+            let dist_home = j.wrapping_sub(home) & mask;
+            let dist_hole = j.wrapping_sub(hole) & mask;
+            if dist_home >= dist_hole {
+                self.slots[hole] = s;
+                self.entries[s as usize].slot = hole as u32;
+                hole = j;
+            }
+        }
+        self.slots[hole] = EMPTY_SLOT;
+        // Keep the slab dense; patch the moved entry's slot pointer.
+        let entry = self.entries.swap_remove(idx);
+        if idx < self.entries.len() {
+            let moved_slot = self.entries[idx].slot as usize;
+            self.slots[moved_slot] = idx as u32;
+        }
+        entry
+    }
 }
 
 impl<E: QoeEstimator> FlowTable<E> {
@@ -999,16 +1317,15 @@ impl<E: QoeEstimator> FlowTable<E> {
         assert!(n_shards >= 1, "zero shards");
         assert!(idle_timeout.as_micros() > 0, "non-positive idle timeout");
         FlowTable {
-            shards: (0..n_shards).map(|_| HashMap::new()).collect(),
+            shards: (0..n_shards).map(|_| FlowShard::new()).collect(),
             factory: Box::new(factory),
             idle_timeout_us: idle_timeout.as_micros(),
         }
     }
 
-    fn shard_of(&self, key: &FlowKey) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() % self.shards.len() as u64) as usize
+    #[inline]
+    fn shard_of(&self, hash: u64) -> usize {
+        ((hash >> 48) as usize) % self.shards.len()
     }
 
     /// Inserts a pre-built engine for `key`, replacing any existing one.
@@ -1016,31 +1333,102 @@ impl<E: QoeEstimator> FlowTable<E> {
     /// flow key (RTP-confidence probation); plain [`Self::push`] creation
     /// goes through the factory.
     pub fn insert(&mut self, key: FlowKey, engine: E, last_seen: Timestamp) {
-        let shard = self.shard_of(&key);
-        self.shards[shard].insert(key, FlowEntry { engine, last_seen });
+        self.insert_hashed(key.hash64(), key, engine, last_seen);
+    }
+
+    /// [`Self::insert`] with a precomputed [`FlowKey::hash64`].
+    pub fn insert_hashed(&mut self, hash: u64, key: FlowKey, engine: E, last_seen: Timestamp) {
+        let shard_idx = self.shard_of(hash);
+        let shard = &mut self.shards[shard_idx];
+        match shard.find(hash, &key) {
+            Some(idx) => {
+                let e = &mut shard.entries[idx];
+                e.engine = engine;
+                e.last_seen = last_seen;
+            }
+            None => {
+                shard.insert_new(key, hash, engine, last_seen);
+            }
+        }
     }
 
     /// Mutable access to a flow's engine, if tracked.
     pub fn get_mut(&mut self, key: &FlowKey) -> Option<&mut E> {
-        let shard = self.shard_of(key);
-        self.shards[shard].get_mut(key).map(|e| &mut e.engine)
+        self.get_mut_hashed(key.hash64(), key)
+    }
+
+    /// [`Self::get_mut`] with a precomputed [`FlowKey::hash64`].
+    pub fn get_mut_hashed(&mut self, hash: u64, key: &FlowKey) -> Option<&mut E> {
+        let shard_idx = self.shard_of(hash);
+        let shard = &mut self.shards[shard_idx];
+        shard
+            .find(hash, key)
+            .map(|idx| &mut shard.entries[idx].engine)
+    }
+
+    /// [`Self::get_mut_hashed`] that also advances the flow's `last_seen`
+    /// toward `ts` (bounded by one idle timeout per call, like
+    /// [`Self::push_hashed_into`]) — the facade's per-packet lookup,
+    /// which needs the entry's bookkeeping hot before pushing.
+    pub fn get_mut_seen_hashed(
+        &mut self,
+        hash: u64,
+        key: &FlowKey,
+        ts: Timestamp,
+    ) -> Option<&mut E> {
+        let idle = self.idle_timeout_us;
+        let shard_idx = self.shard_of(hash);
+        let shard = &mut self.shards[shard_idx];
+        shard.find(hash, key).map(move |idx| {
+            let entry = &mut shard.entries[idx];
+            let bound = Timestamp::from_micros(entry.last_seen.as_micros().saturating_add(idle));
+            entry.last_seen = entry.last_seen.max(ts.min(bound));
+            &mut entry.engine
+        })
     }
 
     /// Removes a flow's engine without finishing it; the caller owns any
     /// remaining flush.
     pub fn remove(&mut self, key: &FlowKey) -> Option<E> {
-        let shard = self.shard_of(key);
-        self.shards[shard].remove(key).map(|e| e.engine)
+        self.remove_hashed(key.hash64(), key)
+    }
+
+    /// [`Self::remove`] with a precomputed [`FlowKey::hash64`].
+    pub fn remove_hashed(&mut self, hash: u64, key: &FlowKey) -> Option<E> {
+        let shard_idx = self.shard_of(hash);
+        let shard = &mut self.shards[shard_idx];
+        shard
+            .find_slot(hash, key)
+            .map(|slot| shard.remove_slot(slot).engine)
     }
 
     /// Routes one packet to its flow's engine (creating it on first
     /// sight) and returns that flow's finalized windows.
     pub fn push(&mut self, key: FlowKey, pkt: &TracePacket) -> Vec<WindowReport> {
-        let shard = self.shard_of(&key);
-        let entry = self.shards[shard].entry(key).or_insert_with(|| FlowEntry {
-            engine: (self.factory)(&key),
-            last_seen: pkt.ts,
-        });
+        let mut out = Vec::new();
+        self.push_hashed_into(key.hash64(), key, pkt, &mut out);
+        out
+    }
+
+    /// [`Self::push`] with a precomputed hash, appending finalized
+    /// windows into `out` — the zero-alloc per-packet entry point.
+    pub fn push_hashed_into(
+        &mut self,
+        hash: u64,
+        key: FlowKey,
+        pkt: &TracePacket,
+        out: &mut Vec<WindowReport>,
+    ) {
+        let shard_idx = self.shard_of(hash);
+        let shard = &mut self.shards[shard_idx];
+        let idx = match shard.find(hash, &key) {
+            Some(idx) => idx,
+            None => {
+                let engine = (self.factory)(&key);
+                shard.insert_new(key, hash, engine, pkt.ts)
+            }
+        };
+        let entry = &mut shard.entries[idx];
         // Advance `last_seen` by at most one idle timeout per packet: a
         // corrupt far-future timestamp (which the engine quarantines)
         // then delays eviction by at most one timeout instead of marking
@@ -1053,7 +1441,7 @@ impl<E: QoeEstimator> FlowTable<E> {
                 .saturating_add(self.idle_timeout_us),
         );
         entry.last_seen = entry.last_seen.max(pkt.ts.min(bound));
-        entry.engine.push(pkt)
+        entry.engine.push_into(pkt, out);
     }
 
     /// Evicts flows idle longer than the timeout at `now`, flushing each
@@ -1066,16 +1454,17 @@ impl<E: QoeEstimator> FlowTable<E> {
         let future_bound = now.as_micros().saturating_add(self.idle_timeout_us);
         let mut out = Vec::new();
         for shard in &mut self.shards {
-            let stale: Vec<FlowKey> = shard
-                .iter()
-                .filter(|(_, e)| {
-                    e.last_seen.as_micros() < deadline || e.last_seen.as_micros() > future_bound
-                })
-                .map(|(k, _)| *k)
-                .collect();
-            for key in stale {
-                let mut entry = shard.remove(&key).expect("key listed above");
-                out.push((key, entry.engine.finish()));
+            let mut idx = 0;
+            while idx < shard.entries.len() {
+                let e = &shard.entries[idx];
+                if e.last_seen.as_micros() < deadline || e.last_seen.as_micros() > future_bound {
+                    let slot = e.slot as usize;
+                    let mut entry = shard.remove_slot(slot);
+                    out.push((entry.key, entry.engine.finish()));
+                    // swap_remove refilled `idx`; re-examine it.
+                } else {
+                    idx += 1;
+                }
             }
         }
         out
@@ -1095,8 +1484,9 @@ impl<E: QoeEstimator> FlowTable<E> {
     pub fn drain_finish_all(&mut self) -> Vec<(FlowKey, Vec<WindowReport>)> {
         let mut out = Vec::new();
         for shard in &mut self.shards {
-            for (key, mut entry) in shard.drain() {
-                out.push((key, entry.engine.finish()));
+            shard.slots.clear();
+            for mut entry in shard.entries.drain(..) {
+                out.push((entry.key, entry.engine.finish()));
             }
         }
         out.sort_by_key(|(k, _)| (k.addr_a, k.port_a, k.addr_b, k.port_b));
@@ -1107,15 +1497,15 @@ impl<E: QoeEstimator> FlowTable<E> {
     /// (the facade's forced provisional flush walks all flows at once).
     pub fn for_each_mut(&mut self, mut f: impl FnMut(&FlowKey, &mut E)) {
         for shard in &mut self.shards {
-            for (key, entry) in shard.iter_mut() {
-                f(key, &mut entry.engine);
+            for entry in shard.entries.iter_mut() {
+                f(&entry.key, &mut entry.engine);
             }
         }
     }
 
     /// Number of currently tracked flows.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(HashMap::len).sum()
+        self.shards.iter().map(|s| s.entries.len()).sum()
     }
 
     /// True when no flow is tracked.
@@ -1130,7 +1520,22 @@ impl<E: QoeEstimator> FlowTable<E> {
 
     /// Flows per shard (for load-balance inspection).
     pub fn shard_loads(&self) -> Vec<usize> {
-        self.shards.iter().map(HashMap::len).collect()
+        self.shards.iter().map(|s| s.entries.len()).collect()
+    }
+
+    /// Total resident bytes of tracked-flow state: the probe tables, the
+    /// entry slabs, and each engine's own [`QoeEstimator::state_bytes`]
+    /// accounting — the numerator of the monitor's bytes-per-flow gauge.
+    pub fn state_bytes(&self) -> usize {
+        let mut total = 0;
+        for shard in &self.shards {
+            total += shard.slots.capacity() * std::mem::size_of::<u32>();
+            total += shard.entries.capacity() * std::mem::size_of::<FlowEntry<E>>();
+            for entry in &shard.entries {
+                total += entry.engine.state_bytes();
+            }
+        }
+        total
     }
 }
 

@@ -70,8 +70,10 @@ pub struct IpUdpAssembler {
     params: HeuristicParams,
     /// `(size, frame id)` of the last `lookback` packets, most recent last.
     recent: std::collections::VecDeque<(u16, u64)>,
-    /// Frames whose ids are still in the lookback set, by id.
-    open: std::collections::HashMap<u64, Frame>,
+    /// Frames whose ids are still in the lookback set, in ascending id
+    /// order (ids are created ascending and removals preserve order).
+    /// At most `lookback + 1` entries, so linear scans beat hashing.
+    open: Vec<(u64, Frame)>,
     next_id: u64,
 }
 
@@ -82,7 +84,7 @@ impl IpUdpAssembler {
         IpUdpAssembler {
             params,
             recent: std::collections::VecDeque::with_capacity(params.lookback + 1),
-            open: std::collections::HashMap::new(),
+            open: Vec::with_capacity(params.lookback + 1),
             next_id: 0,
         }
     }
@@ -95,6 +97,16 @@ impl IpUdpAssembler {
     /// overheads per packet, as the paper's bitrate accounting does
     /// (§5.1.3).
     pub fn push(&mut self, ts: Timestamp, size: u16) -> (u64, Vec<(u64, Frame)>) {
+        let mut sealed = Vec::new();
+        let fid = self.push_into(ts, size, &mut sealed);
+        (fid, sealed)
+    }
+
+    /// [`Self::push`] appending sealed frames into a caller-owned buffer
+    /// instead of allocating — the per-packet form the streaming engine
+    /// uses (sealing happens every couple of packets, so a fresh `Vec`
+    /// per call would dominate the hot path).
+    pub fn push_into(&mut self, ts: Timestamp, size: u16, sealed: &mut Vec<(u64, Frame)>) -> u64 {
         let payload = usize::from(size).saturating_sub(52).max(1);
         // Compare with up to Nmax previous packets, most recent first.
         let matched = self
@@ -105,7 +117,14 @@ impl IpUdpAssembler {
             .map(|&(_, fid)| fid);
         let fid = match matched {
             Some(fid) => {
-                let f = self.open.get_mut(&fid).expect("matched frame is open");
+                // Matched frames are overwhelmingly the newest: scan from
+                // the back.
+                let (_, f) = self
+                    .open
+                    .iter_mut()
+                    .rev()
+                    .find(|(id, _)| *id == fid)
+                    .expect("matched frame is open");
                 f.size_bytes += payload;
                 f.n_packets += 1;
                 f.end_ts = f.end_ts.max(ts);
@@ -115,7 +134,7 @@ impl IpUdpAssembler {
             None => {
                 let fid = self.next_id;
                 self.next_id += 1;
-                self.open.insert(
+                self.open.push((
                     fid,
                     Frame {
                         start_ts: ts,
@@ -124,38 +143,54 @@ impl IpUdpAssembler {
                         n_packets: 1,
                         rtp_ts: None,
                     },
-                );
+                ));
                 fid
             }
         };
-        let mut sealed = Vec::new();
         if self.recent.len() == self.params.lookback {
             let (_, evicted) = self.recent.pop_front().expect("non-empty lookback");
             // Seal the evicted frame once no other lookback entry keeps it
             // matchable (and the current packet did not rejoin it).
             if evicted != fid && !self.recent.iter().any(|&(_, f)| f == evicted) {
-                if let Some(frame) = self.open.remove(&evicted) {
+                // Evicted ids are the oldest: scan from the front. The
+                // order-preserving remove keeps `open` id-sorted.
+                if let Some(pos) = self.open.iter().position(|(id, _)| *id == evicted) {
+                    let (_, frame) = self.open.remove(pos);
                     sealed.push((evicted, frame));
                 }
             }
         }
         self.recent.push_back((size, fid));
-        (fid, sealed)
+        fid
     }
 
     /// Seals every open frame (end of stream) and resets the assembler.
     pub fn finish(&mut self) -> Vec<(u64, Frame)> {
-        self.recent.clear();
-        let mut out: Vec<(u64, Frame)> = self.open.drain().collect();
-        out.sort_by_key(|&(id, _)| id);
+        let mut out = Vec::new();
+        self.finish_into(&mut out);
         out
+    }
+
+    /// [`Self::finish`] appending into a caller-owned buffer; the drained
+    /// map and lookback deque retain their capacity for the next stream.
+    pub fn finish_into(&mut self, out: &mut Vec<(u64, Frame)>) {
+        self.recent.clear();
+        // `open` is id-sorted by construction, so the append is too; it
+        // leaves `open` empty with its capacity retained.
+        out.append(&mut self.open);
+    }
+
+    /// Heap bytes currently held, for per-flow memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.recent.capacity() * std::mem::size_of::<(u16, u64)>()
+            + self.open.capacity() * std::mem::size_of::<(u64, Frame)>()
     }
 
     /// Earliest end time any still-open frame currently has. Open frames
     /// can only move *forward* in time, so every window strictly before
     /// this bound is final.
     pub fn min_open_end(&self) -> Option<Timestamp> {
-        self.open.values().map(|f| f.end_ts).min()
+        self.open.iter().map(|(_, f)| f.end_ts).min()
     }
 
     /// Number of frames still open (≤ lookback + 1).

@@ -242,11 +242,11 @@ fn trace_samples(
             unreachable!("trace replays yield pre-parsed packets");
         };
         for (engine, out) in engines.iter_mut().zip(&mut reports) {
-            out.extend(engine.push(&packet));
+            engine.push_into(&packet, out);
         }
     }
     let mut placed = engines.iter_mut().zip(reports).map(|(engine, mut out)| {
-        out.extend(engine.finish());
+        engine.finish_into(&mut out);
         place_windows(engine.as_ref(), out, trace.duration_secs, w)
     });
     let heur_r = placed.next().expect("four replays");

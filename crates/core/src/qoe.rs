@@ -22,6 +22,13 @@ pub struct QoeEstimate {
     pub frame_jitter_ms: f64,
 }
 
+/// One open window's frames: `(frame id, end, bytes)` per frame.
+type WindowFrames = Vec<(u64, Timestamp, usize)>;
+
+/// Spare frame vectors kept for recycling; a handful covers the 1–2
+/// windows typically open at once.
+const SPARE_POOL: usize = 8;
+
 /// Buckets sealed frames by end time into fixed windows and emits one
 /// [`QoeEstimate`] per window, in window order, as soon as the caller
 /// declares a window final.
@@ -31,13 +38,20 @@ pub struct QoeEstimate {
 /// streaming engine offers frames as its assemblers seal them. Frames may
 /// be offered out of end-time order (sealing order is not arrival order);
 /// each window sorts its few frames at emission.
+///
+/// Internally the open windows live in a short ordered deque (one or two
+/// entries in practice) instead of a tree, and drained windows' frame
+/// vectors are recycled through a spare pool — after warmup the offer →
+/// drain cycle performs no heap allocation.
 #[derive(Debug, Clone)]
 pub struct QoeWindower {
     window_us: i64,
     window_secs: f64,
     next_emit: u64,
-    /// Open windows: window index → `(frame id, end, bytes)`.
-    open: std::collections::BTreeMap<u64, Vec<(u64, Timestamp, usize)>>,
+    /// Open windows in ascending window order: `(window, frames)`.
+    open: std::collections::VecDeque<(u64, WindowFrames)>,
+    /// Recycled frame vectors (cleared, capacity retained).
+    spare: Vec<WindowFrames>,
 }
 
 impl QoeWindower {
@@ -48,7 +62,8 @@ impl QoeWindower {
             window_us: i64::from(window_secs) * 1_000_000,
             window_secs: f64::from(window_secs),
             next_emit: 0,
-            open: std::collections::BTreeMap::new(),
+            open: std::collections::VecDeque::new(),
+            spare: Vec::new(),
         }
     }
 
@@ -65,10 +80,27 @@ impl QoeWindower {
         if let Some(w) = self.window_of(frame.end_ts) {
             debug_assert!(w >= self.next_emit, "frame sealed into an emitted window");
             if w >= self.next_emit {
-                self.open
-                    .entry(w)
-                    .or_default()
-                    .push((id, frame.end_ts, frame.size_bytes));
+                let entry = (id, frame.end_ts, frame.size_bytes);
+                // Scan from the back: frames overwhelmingly seal into the
+                // newest open window.
+                for i in (0..self.open.len()).rev() {
+                    match self.open[i].0.cmp(&w) {
+                        std::cmp::Ordering::Equal => {
+                            self.open[i].1.push(entry);
+                            return;
+                        }
+                        std::cmp::Ordering::Less => {
+                            let mut frames = self.spare.pop().unwrap_or_default();
+                            frames.push(entry);
+                            self.open.insert(i + 1, (w, frames));
+                            return;
+                        }
+                        std::cmp::Ordering::Greater => {}
+                    }
+                }
+                let mut frames = self.spare.pop().unwrap_or_default();
+                frames.push(entry);
+                self.open.push_front((w, frames));
             }
         }
     }
@@ -77,13 +109,30 @@ impl QoeWindower {
     /// last emission; windows without frames yield zero estimates).
     pub fn drain_until(&mut self, safe: u64) -> Vec<(u64, QoeEstimate)> {
         let mut out = Vec::new();
+        self.drain_until_into(safe, &mut out);
+        out
+    }
+
+    /// [`Self::drain_until`] appending into a caller-owned buffer — the
+    /// allocation-free form the streaming engines use.
+    pub fn drain_until_into(&mut self, safe: u64, out: &mut Vec<(u64, QoeEstimate)>) {
         while self.next_emit < safe {
             let w = self.next_emit;
-            let frames = self.open.remove(&w).unwrap_or_default();
-            out.push((w, self.estimate(frames)));
+            let estimate = match self.open.front_mut() {
+                Some((front, _)) if *front == w => {
+                    let (_, mut frames) = self.open.pop_front().expect("front checked");
+                    let e = self.estimate_slice(&mut frames);
+                    frames.clear();
+                    if self.spare.len() < SPARE_POOL {
+                        self.spare.push(frames);
+                    }
+                    e
+                }
+                _ => self.empty_estimate(),
+            };
+            out.push((w, estimate));
             self.next_emit += 1;
         }
-        out
     }
 
     /// Next window index that would be emitted.
@@ -93,7 +142,7 @@ impl QoeWindower {
 
     /// Highest window index currently holding an unemitted frame.
     pub fn last_open_window(&self) -> Option<u64> {
-        self.open.keys().next_back().copied()
+        self.open.back().map(|&(w, _)| w)
     }
 
     /// Anchors the first emitted window (a flow's epoch). Only valid
@@ -117,7 +166,11 @@ impl QoeWindower {
 
     /// The estimate an empty window produces.
     pub fn empty_estimate(&self) -> QoeEstimate {
-        self.estimate(Vec::new())
+        QoeEstimate {
+            bitrate_kbps: 0.0,
+            fps: 0.0,
+            frame_jitter_ms: 0.0,
+        }
     }
 
     /// Estimates a not-yet-final window from the frames sealed into it so
@@ -126,22 +179,46 @@ impl QoeWindower {
     /// "provisional window" the max-lag flush publishes for dashboards
     /// that prefer freshness over exactness.
     pub fn peek(&self, window: u64) -> QoeEstimate {
-        let frames = self.open.get(&window).cloned().unwrap_or_default();
-        self.estimate(frames)
+        match self.open.iter().find(|&&(w, _)| w == window) {
+            Some((_, frames)) => {
+                let mut copy = frames.clone();
+                self.estimate_slice(&mut copy)
+            }
+            None => self.empty_estimate(),
+        }
     }
 
-    fn estimate(&self, mut frames: Vec<(u64, Timestamp, usize)>) -> QoeEstimate {
+    /// Heap bytes currently held (open-window and spare capacity), for
+    /// per-flow memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        let per = std::mem::size_of::<(u64, Timestamp, usize)>();
+        self.open
+            .iter()
+            .map(|(_, f)| f.capacity() * per)
+            .sum::<usize>()
+            + self.spare.iter().map(|f| f.capacity() * per).sum::<usize>()
+            + self.open.capacity() * std::mem::size_of::<(u64, WindowFrames)>()
+    }
+
+    fn estimate_slice(&self, frames: &mut [(u64, Timestamp, usize)]) -> QoeEstimate {
         // End-time order, creation order breaking ties — the same order
         // the batch stable sort produced.
         frames.sort_by_key(|&(id, end, _)| (end, id));
         let bits: f64 = frames.iter().map(|&(_, _, bytes)| bytes as f64 * 8.0).sum();
         let fps = frames.len() as f64 / self.window_secs;
         let jitter = if frames.len() >= 3 {
-            let gaps: Vec<f64> = frames
-                .windows(2)
-                .map(|p| (p[1].1 - p[0].1).as_millis_f64())
-                .collect();
-            stddev(&gaps)
+            // Two Welford-free passes over the gaps: no gap buffer.
+            let n = (frames.len() - 1) as f64;
+            let mut sum = 0.0;
+            for p in frames.windows(2) {
+                sum += (p[1].1 - p[0].1).as_millis_f64();
+            }
+            let mean = sum / n;
+            let mut var = 0.0;
+            for p in frames.windows(2) {
+                var += ((p[1].1 - p[0].1).as_millis_f64() - mean).powi(2);
+            }
+            (var / n).sqrt()
         } else {
             0.0
         };
@@ -172,14 +249,6 @@ pub fn estimate_windows(frames: &[Frame], n_windows: usize, window_secs: u32) ->
         .into_iter()
         .map(|(_, e)| e)
         .collect()
-}
-
-fn stddev(xs: &[f64]) -> f64 {
-    if xs.len() < 2 {
-        return 0.0;
-    }
-    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-    (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
 }
 
 #[cfg(test)]

@@ -67,6 +67,22 @@ impl RtpAssembler {
         marker: bool,
         size: u16,
     ) -> Vec<(u64, Frame)> {
+        let mut sealed = Vec::new();
+        self.push_into(ts, rtp_ts, marker, size, &mut sealed);
+        sealed
+    }
+
+    /// [`Self::push`] appending sealed frames into a caller-owned buffer
+    /// instead of allocating — the per-packet form the streaming engine
+    /// uses.
+    pub fn push_into(
+        &mut self,
+        ts: Timestamp,
+        rtp_ts: u32,
+        marker: bool,
+        size: u16,
+        sealed: &mut Vec<(u64, Frame)>,
+    ) {
         let payload = usize::from(size).saturating_sub(52).max(1);
         match self
             .open
@@ -82,7 +98,6 @@ impl RtpAssembler {
                 if marker {
                     a.marker_at = Some(ts);
                 }
-                Vec::new()
             }
             None => {
                 self.open.push_back(Acc {
@@ -97,18 +112,29 @@ impl RtpAssembler {
                     marker_at: marker.then_some(ts),
                 });
                 self.next_id += 1;
-                let mut sealed = Vec::new();
                 while self.open.len() > SCAN_DEPTH {
                     sealed.push(self.open.pop_front().expect("len checked").finalize());
                 }
-                sealed
             }
         }
     }
 
     /// Seals every open frame (end of stream) and resets the assembler.
     pub fn finish(&mut self) -> Vec<(u64, Frame)> {
-        self.open.drain(..).map(Acc::finalize).collect()
+        let mut out = Vec::new();
+        self.finish_into(&mut out);
+        out
+    }
+
+    /// [`Self::finish`] appending into a caller-owned buffer; the open
+    /// deque keeps its capacity for the next stream.
+    pub fn finish_into(&mut self, out: &mut Vec<(u64, Frame)>) {
+        out.extend(self.open.drain(..).map(Acc::finalize));
+    }
+
+    /// Heap bytes currently held, for per-flow memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.open.capacity() * std::mem::size_of::<Acc>()
     }
 
     /// Earliest end time any open frame can still finalize with; windows

@@ -191,30 +191,42 @@ impl PacketSource for SyntheticSource {
 
 /// An in-memory packet list as a source — the replay shape used by
 /// tests, benches, and the batch pipeline.
+///
+/// Flow-keyed feeds are kept in their compact `(FlowKey, TracePacket)`
+/// form and wrapped into [`SourcePacket`]s one at a time on pull, so
+/// constructing a replay of N packets never re-materializes the feed
+/// (it used to copy the whole list into a second, wider vector).
 pub struct ReplaySource {
-    items: std::vec::IntoIter<SourcePacket>,
+    items: ReplayItems,
+}
+
+enum ReplayItems {
+    /// Pre-parsed flow-keyed packets, wrapped lazily (both are `Copy`).
+    Parsed {
+        feed: Vec<(FlowKey, TracePacket)>,
+        pos: usize,
+    },
+    /// Already-shaped source packets (decoded captures).
+    Shaped(std::vec::IntoIter<SourcePacket>),
 }
 
 impl ReplaySource {
     /// Replays pre-parsed flow-keyed packets.
     pub fn from_packets(feed: Vec<(FlowKey, TracePacket)>) -> Self {
         ReplaySource {
-            items: feed
-                .into_iter()
-                .map(|(flow, packet)| SourcePacket::Parsed { flow, packet })
-                .collect::<Vec<_>>()
-                .into_iter(),
+            items: ReplayItems::Parsed { feed, pos: 0 },
         }
     }
 
     /// Replays decoded captures.
     pub fn from_captured(feed: Vec<CapturedPacket>) -> Self {
         ReplaySource {
-            items: feed
-                .into_iter()
-                .map(SourcePacket::Captured)
-                .collect::<Vec<_>>()
-                .into_iter(),
+            items: ReplayItems::Shaped(
+                feed.into_iter()
+                    .map(SourcePacket::Captured)
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            ),
         }
     }
 
@@ -226,7 +238,16 @@ impl ReplaySource {
 
 impl PacketSource for ReplaySource {
     fn next_packet(&mut self) -> Result<Option<SourcePacket>, NetError> {
-        Ok(self.items.next())
+        Ok(match &mut self.items {
+            ReplayItems::Parsed { feed, pos } => {
+                let item = feed
+                    .get(*pos)
+                    .map(|&(flow, packet)| SourcePacket::Parsed { flow, packet });
+                *pos += 1;
+                item
+            }
+            ReplayItems::Shaped(items) => items.next(),
+        })
     }
 }
 

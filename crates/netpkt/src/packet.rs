@@ -103,6 +103,15 @@ pub struct UdpDatagram {
     pub payload: Bytes,
 }
 
+/// Builds the payload [`Bytes`]: a zero-copy slice of `backing` when the
+/// caller's buffer is already refcounted, a copy otherwise.
+fn payload_bytes(backing: Option<&Bytes>, payload: &[u8]) -> Bytes {
+    match backing {
+        Some(buf) => buf.slice_ref(payload),
+        None => Bytes::copy_from_slice(payload),
+    }
+}
+
 impl UdpDatagram {
     /// Parses an Ethernet II frame carrying IPv4/UDP or IPv6/UDP.
     ///
@@ -110,16 +119,38 @@ impl UdpDatagram {
     /// (ARP, TCP, ICMP, ...) so callers can skip them without treating the
     /// trace as corrupt.
     pub fn parse(frame_bytes: &[u8]) -> Result<Option<Self>> {
+        Self::parse_inner(frame_bytes, None)
+    }
+
+    /// [`Self::parse`] from a [`Bytes`]-backed frame (a pcap record): the
+    /// datagram's payload is a zero-copy slice of the record's storage
+    /// instead of a fresh allocation — the hot-path form a live monitor
+    /// ingests with.
+    pub fn parse_shared(frame: &Bytes) -> Result<Option<Self>> {
+        Self::parse_inner(frame, Some(frame))
+    }
+
+    fn parse_inner(frame_bytes: &[u8], backing: Option<&Bytes>) -> Result<Option<Self>> {
         let frame = EthernetFrame::new_checked(frame_bytes)?;
         match frame.ethertype() {
-            EtherType::Ipv4 => Self::parse_ipv4(frame.payload()),
-            EtherType::Ipv6 => Self::parse_ipv6(frame.payload()),
+            EtherType::Ipv4 => Self::parse_ipv4_inner(frame.payload(), backing),
+            EtherType::Ipv6 => Self::parse_ipv6_inner(frame.payload(), backing),
             _ => Ok(None),
         }
     }
 
     /// Parses from the start of an IPv4 header.
     pub fn parse_ipv4(bytes: &[u8]) -> Result<Option<Self>> {
+        Self::parse_ipv4_inner(bytes, None)
+    }
+
+    /// [`Self::parse_ipv4`] with a zero-copy payload slice (see
+    /// [`Self::parse_shared`]).
+    pub fn parse_ipv4_shared(bytes: &Bytes) -> Result<Option<Self>> {
+        Self::parse_ipv4_inner(bytes, Some(bytes))
+    }
+
+    fn parse_ipv4_inner(bytes: &[u8], backing: Option<&Bytes>) -> Result<Option<Self>> {
         let ip = Ipv4Packet::new_checked(bytes)?;
         if ip.protocol() != crate::IP_PROTO_UDP {
             return Ok(None);
@@ -138,12 +169,22 @@ impl UdpDatagram {
             src_port: udp.src_port(),
             dst_port: udp.dst_port(),
             ip_total_len: ip.total_len(),
-            payload: Bytes::copy_from_slice(udp.payload()),
+            payload: payload_bytes(backing, udp.payload()),
         }))
     }
 
     /// Parses from the start of an IPv6 header.
     pub fn parse_ipv6(bytes: &[u8]) -> Result<Option<Self>> {
+        Self::parse_ipv6_inner(bytes, None)
+    }
+
+    /// [`Self::parse_ipv6`] with a zero-copy payload slice (see
+    /// [`Self::parse_shared`]).
+    pub fn parse_ipv6_shared(bytes: &Bytes) -> Result<Option<Self>> {
+        Self::parse_ipv6_inner(bytes, Some(bytes))
+    }
+
+    fn parse_ipv6_inner(bytes: &[u8], backing: Option<&Bytes>) -> Result<Option<Self>> {
         let ip = Ipv6Packet::new_checked(bytes)?;
         if ip.next_header() != crate::IP_PROTO_UDP {
             return Ok(None);
@@ -155,7 +196,7 @@ impl UdpDatagram {
             src_port: udp.src_port(),
             dst_port: udp.dst_port(),
             ip_total_len: (crate::ipv6::HEADER_LEN + ip.payload_len() as usize) as u16,
-            payload: Bytes::copy_from_slice(udp.payload()),
+            payload: payload_bytes(backing, udp.payload()),
         }))
     }
 

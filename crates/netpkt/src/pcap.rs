@@ -50,8 +50,10 @@ pub struct PcapRecord {
     /// Original packet length on the wire.
     pub orig_len: u32,
     /// Captured bytes (may be shorter than `orig_len` if the trace used a
-    /// snap length).
-    pub data: Vec<u8>,
+    /// snap length). [`bytes::Bytes`]-backed so parsers can hand out
+    /// zero-copy payload slices of the record
+    /// ([`UdpDatagram::parse_shared`](crate::UdpDatagram::parse_shared)).
+    pub data: bytes::Bytes,
 }
 
 /// Streaming pcap reader.
@@ -137,7 +139,7 @@ impl<R: Read> PcapReader<R> {
         Ok(Some(PcapRecord {
             ts: Timestamp(ts_sec * 1_000_000 + micros),
             orig_len,
-            data,
+            data: data.into(),
         }))
     }
 

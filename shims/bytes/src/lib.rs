@@ -1,13 +1,17 @@
 //! Offline stand-in for the `bytes` crate: just [`Bytes`], an immutable,
-//! cheaply cloneable byte buffer backed by `Arc<[u8]>`.
+//! cheaply cloneable byte buffer backed by `Arc<[u8]>` plus a view
+//! window, so subslices ([`Bytes::slice`], [`Bytes::slice_ref`]) share
+//! the parent's storage instead of copying.
 
-use std::ops::Deref;
+use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
-/// Immutable shared byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+/// Immutable shared byte buffer (a window onto refcounted storage).
+#[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -18,19 +22,67 @@ impl Bytes {
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from_arc(Arc::from(data))
+    }
+
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let end = data.len();
         Bytes {
-            data: Arc::from(data),
+            data,
+            start: 0,
+            end,
         }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
+    }
+
+    /// A sub-window of this buffer sharing the same storage — no copy.
+    ///
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Zero-copy promotion of `subset` — a slice borrowed *from this
+    /// buffer* (e.g. a parser's payload view) — back into an owned
+    /// [`Bytes`] sharing this buffer's storage.
+    ///
+    /// Panics when `subset` does not lie within `self`.
+    pub fn slice_ref(&self, subset: &[u8]) -> Self {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let base = self.as_ref().as_ptr() as usize;
+        let sub = subset.as_ptr() as usize;
+        assert!(
+            sub >= base && sub + subset.len() <= base + self.len(),
+            "slice_ref of a slice outside the buffer"
+        );
+        let lo = sub - base;
+        self.slice(lo..lo + subset.len())
     }
 }
 
@@ -38,19 +90,19 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        Bytes::from_arc(v.into())
     }
 }
 
@@ -60,10 +112,42 @@ impl From<&[u8]> for Bytes {
     }
 }
 
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_ref()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_ref() {
             write!(f, "\\x{b:02x}")?;
         }
         write!(f, "\"")
@@ -87,5 +171,37 @@ mod tests {
         let a = Bytes::from(vec![9, 8, 7]);
         assert_eq!(a[1], 8);
         assert_eq!(&a[1..], &[8, 7]);
+    }
+
+    #[test]
+    fn slice_shares_storage_without_copy() {
+        let a = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let b = a.slice(1..4);
+        assert_eq!(&b[..], &[2, 3, 4]);
+        let c = b.slice(1..);
+        assert_eq!(&c[..], &[3, 4]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn slice_ref_promotes_borrowed_view() {
+        let a = Bytes::from(vec![10, 20, 30, 40]);
+        let view = &a[1..3];
+        let b = a.slice_ref(view);
+        assert_eq!(&b[..], &[20, 30]);
+    }
+
+    #[test]
+    fn slice_ref_of_empty_is_empty() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        assert!(a.slice_ref(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the buffer")]
+    fn slice_ref_rejects_foreign_slice() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let other = [9u8, 9, 9];
+        let _ = a.slice_ref(&other);
     }
 }

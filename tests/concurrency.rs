@@ -7,10 +7,11 @@ use std::collections::{BTreeMap, HashMap};
 use std::net::{IpAddr, Ipv4Addr};
 use vcaml_suite::datasets::{inlab_corpus, CorpusConfig};
 use vcaml_suite::netpkt::FlowKey;
+use vcaml_suite::netpkt::Timestamp;
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    EstimationMethod, Method, MonitorBuilder, OverflowPolicy, QoeEvent, Trace, TracePacket,
-    WindowReport,
+    EstimationMethod, EvictReason, Method, MonitorBuilder, OverflowPolicy, QoeEvent, Trace,
+    TracePacket, WindowReport,
 };
 
 fn flow_key(n: u16) -> FlowKey {
@@ -365,4 +366,145 @@ fn block_policy_delivers_everything_under_slow_draining() {
     assert_eq!(monitor.stats().events_dropped, 0, "Block never drops");
     got += monitor.finish().len();
     assert_eq!(got, total, "every event delivered exactly once");
+}
+
+/// A steady synthetic video flow (two ~1 kB packets per 30 fps frame)
+/// between `from`..`to` seconds, used to keep a shard worker's clock
+/// advancing through another flow's quiet period.
+fn steady_feed(flow: FlowKey, from: i64, to: i64) -> Vec<(FlowKey, TracePacket)> {
+    let mut out = Vec::new();
+    for f in from * 30..to * 30 {
+        let t0 = f * 33_333;
+        for i in 0..2i64 {
+            out.push((
+                flow,
+                TracePacket {
+                    ts: Timestamp::from_micros(t0 + i * 300),
+                    size: 1_000 + ((f % 9) * 13) as u16,
+                    rtp: None,
+                    truth_media: None,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Slot recycling under the parallel monitor: four corpus flows go
+/// quiet for far longer than the idle timeout, get evicted mid-run, and
+/// then the very same keys re-open into recycled open-addressed slots.
+/// Long-lived "clock driver" flows — chosen so every shard worker owns
+/// at least two — keep each worker's clock advancing smoothly through
+/// the quiet period, so the evict/reopen cycle is deterministic and
+/// threaded runs must stay window-exact against sequential ones for all
+/// four methods, across both flow lives.
+#[test]
+fn parallel_matches_sequential_across_slot_recycling() {
+    const THREADS: usize = 4;
+    let vca = VcaKind::Teams;
+    let traces = inlab_corpus(
+        vca,
+        &CorpusConfig {
+            n_calls: 4,
+            min_secs: 6,
+            max_secs: 6,
+            seed: 78,
+        },
+    );
+    let payload_map = traces[0].payload_map;
+
+    // Clock drivers: at least two steady flows hashed onto every one of
+    // the THREADS shard workers (the router picks `hash64() % workers`),
+    // so no worker's clock ever stalls during the corpus flows' silence.
+    let mut per_worker = [0usize; THREADS];
+    let mut drivers = Vec::new();
+    for n in 1000u16.. {
+        let key = flow_key(n);
+        let worker = (key.hash64() % THREADS as u64) as usize;
+        if per_worker[worker] < 2 {
+            per_worker[worker] += 1;
+            drivers.push(key);
+        }
+        if per_worker.iter().all(|c| *c == 2) {
+            break;
+        }
+    }
+
+    // First life 0..~6 s, silence, second life 20..~26 s: idle well past
+    // the 5 s timeout, with every eviction settled before the re-open.
+    let phase1 = mixed_feed(&traces);
+    let mut feed = phase1.clone();
+    feed.extend(phase1.iter().map(|(k, p)| {
+        let mut q = *p;
+        q.ts = Timestamp::from_micros(p.ts.as_micros() + 20_000_000);
+        (*k, q)
+    }));
+    for key in &drivers {
+        feed.extend(steady_feed(*key, 0, 27));
+    }
+    feed.sort_by_key(|(_, p)| p.ts);
+
+    let run = |method: Method, threads: usize| -> Vec<QoeEvent> {
+        let mut monitor = MonitorBuilder::new(vca)
+            .method(EstimationMethod::Fixed(method))
+            .payload_map(payload_map)
+            .threads(threads)
+            .idle_timeout(Timestamp::from_secs(5))
+            .build();
+        for (flow, pkt) in &feed {
+            monitor.ingest_packet(*flow, *pkt);
+        }
+        monitor.finish()
+    };
+
+    for method in Method::ALL {
+        let seq_events = run(method, 1);
+        let idle_evictions = seq_events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    QoeEvent::FlowEvicted {
+                        reason: EvictReason::Idle,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(
+            idle_evictions,
+            traces.len(),
+            "{method:?}: exactly the corpus flows must be evicted idle"
+        );
+        let reopened = seq_events
+            .iter()
+            .filter(|e| matches!(e, QoeEvent::FlowOpened { .. }))
+            .count();
+        assert_eq!(
+            reopened,
+            drivers.len() + 2 * traces.len(),
+            "{method:?}: every corpus flow must open a second life"
+        );
+
+        let sequential = final_windows(&seq_events);
+        let parallel = final_windows(&run(method, THREADS));
+        assert_eq!(sequential.len(), parallel.len(), "{method:?}: flow count");
+        for (flow, want) in &sequential {
+            // Both lives land in one map: absolute window indices keep a
+            // reborn flow's windows disjoint from its first life's.
+            let got = parallel.get(flow).unwrap_or_else(|| {
+                panic!("{method:?}: flow {flow} missing from parallel run");
+            });
+            assert_eq!(got.len(), want.len(), "{method:?} {flow}: window count");
+            for (w, want_r) in want {
+                let got_r = &got[w];
+                assert_eq!(got_r.estimate, want_r.estimate, "{method:?} window {w}");
+                assert_eq!(got_r.features, want_r.features, "{method:?} window {w}");
+                assert_eq!(
+                    got_r.video_packets, want_r.video_packets,
+                    "{method:?} window {w}"
+                );
+            }
+        }
+    }
 }

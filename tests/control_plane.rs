@@ -462,3 +462,70 @@ fn force_flush_reaches_threaded_workers() {
     assert_eq!(snapshot.shard_depths.len(), 2, "one depth cell per worker");
     monitor.finish();
 }
+
+/// `bytes_per_flow` in a stats snapshot reflects each method's per-flow
+/// memory footprint: heuristics keep frame rings in the low kilobytes,
+/// the IP/UDP ML accumulator carries an 8 KiB inter-arrival histogram,
+/// and everything stays bounded (O(1) per flow) — the §7 "system
+/// considerations" answer in one observable number.
+#[test]
+fn bytes_per_flow_is_pinned_per_method() {
+    let trace: Trace = inlab_corpus(
+        VcaKind::Teams,
+        &CorpusConfig {
+            n_calls: 1,
+            min_secs: 8,
+            max_secs: 8,
+            seed: 21,
+        },
+    )
+    .remove(0);
+    let flow = flow_key(0);
+
+    let footprint = |method: Method| -> u64 {
+        let mut monitor = MonitorBuilder::new(VcaKind::Teams)
+            .method(EstimationMethod::Fixed(method))
+            .payload_map(trace.payload_map)
+            .build();
+        let handle = monitor.handle();
+        for p in &trace.packets {
+            monitor.ingest_packet(flow, *p);
+        }
+        // The footprint is published by the 1 Hz eviction sweep, so an
+        // 8 s single-flow trace has refreshed it several times by now.
+        handle.stats_snapshot().bytes_per_flow
+    };
+
+    let ipudp_h = footprint(Method::IpUdpHeuristic);
+    let rtp_h = footprint(Method::RtpHeuristic);
+    let ipudp_ml = footprint(Method::IpUdpMl);
+    let rtp_ml = footprint(Method::RtpMl);
+
+    for (label, bytes) in [
+        ("IpUdpHeuristic", ipudp_h),
+        ("RtpHeuristic", rtp_h),
+        ("IpUdpMl", ipudp_ml),
+        ("RtpMl", rtp_ml),
+    ] {
+        assert!(
+            (1_024..65_536).contains(&bytes),
+            "{label}: {bytes} bytes/flow outside the sane O(1) band"
+        );
+    }
+    assert!(
+        ipudp_ml >= 8_192,
+        "IpUdpMl carries a 1024-bucket u64 IAT histogram: {ipudp_ml}"
+    );
+    assert!(
+        ipudp_ml > ipudp_h && rtp_ml > rtp_h,
+        "ML accumulators outweigh heuristic frame rings: \
+         ml {ipudp_ml}/{rtp_ml} vs heuristic {ipudp_h}/{rtp_h}"
+    );
+
+    // No live flows (nothing ingested) → no footprint, not a division
+    // artifact.
+    let idle = MonitorBuilder::new(VcaKind::Teams)
+        .method(EstimationMethod::Fixed(Method::IpUdpHeuristic))
+        .build();
+    assert_eq!(idle.handle().stats_snapshot().bytes_per_flow, 0);
+}

@@ -1,0 +1,166 @@
+//! Allocation discipline on the steady-state per-packet path.
+//!
+//! A counting global allocator meters every heap allocation made by the
+//! current thread. After a warmup phase (first half of a trace) has grown
+//! every scratch buffer, ring, and accumulator to its steady-state
+//! capacity, pushing a packet that does **not** seal a window must make
+//! zero heap allocations — for all four estimation methods. Packets that
+//! do seal a window are exempt: a sealed [`WindowReport`] legitimately
+//! owns a fresh feature vector.
+//!
+//! ML engines run in [`StatsMode::Sketch`], the strict-O(1) configuration
+//! (exact mode keeps unbounded per-window sets by design).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use vcaml_suite::datasets::{inlab_corpus, CorpusConfig};
+use vcaml_suite::features::StatsMode;
+use vcaml_suite::rtp::VcaKind;
+use vcaml_suite::vcaml::engine::{
+    IpUdpHeuristicEngine, IpUdpMlEngine, RtpHeuristicEngine, RtpMlEngine,
+};
+use vcaml_suite::vcaml::{EngineConfig, QoeEstimator, Trace, WindowReport};
+
+/// Wraps the system allocator with a per-thread allocation counter. The
+/// counter only advances while the owning thread has armed it, so
+/// parallel test threads never pollute each other's measurements.
+struct CountingAlloc;
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_if_armed() {
+    if ARMED.with(Cell::get) {
+        ALLOCS.with(|a| a.set(a.get() + 1));
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_armed();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_if_armed();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_armed();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the counter armed and returns how many heap allocations
+/// it made on this thread.
+fn metered<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.with(Cell::get);
+    ARMED.with(|c| c.set(true));
+    let out = f();
+    ARMED.with(|c| c.set(false));
+    (ALLOCS.with(Cell::get) - before, out)
+}
+
+fn trace(vca: VcaKind) -> Trace {
+    inlab_corpus(
+        vca,
+        &CorpusConfig {
+            n_calls: 1,
+            min_secs: 20,
+            max_secs: 20,
+            seed: 0x607_9a7,
+        },
+    )
+    .remove(0)
+}
+
+/// Warm an engine on the first half of a trace, then assert that every
+/// non-sealing push in the second half allocates nothing.
+fn assert_alloc_free_steady_state<E: QoeEstimator>(mut engine: E, trace: &Trace, label: &str) {
+    let mid = trace.packets.len() / 2;
+    let mut out: Vec<WindowReport> = Vec::with_capacity(64);
+    for p in &trace.packets[..mid] {
+        engine.push_into(p, &mut out);
+        out.clear();
+    }
+
+    let mut steady = 0usize;
+    let mut dirty = Vec::new();
+    for (i, p) in trace.packets[mid..].iter().enumerate() {
+        let (allocs, ()) = metered(|| engine.push_into(p, &mut out));
+        if out.is_empty() {
+            // No window sealed: the pure per-packet path must be heap-silent.
+            steady += 1;
+            if allocs > 0 {
+                dirty.push((mid + i, allocs));
+            }
+        }
+        out.clear();
+    }
+
+    assert!(
+        steady > 100,
+        "{label}: trace too short to exercise the steady state ({steady} packets)"
+    );
+    assert!(
+        dirty.is_empty(),
+        "{label}: {} of {steady} steady-state packets allocated: {:?}",
+        dirty.len(),
+        &dirty[..dirty.len().min(8)]
+    );
+}
+
+fn sketch_config(vca: VcaKind) -> EngineConfig {
+    EngineConfig {
+        stats: StatsMode::Sketch,
+        ..EngineConfig::paper(vca)
+    }
+}
+
+/// The meter itself must see allocations, or every test above is vacuous.
+#[test]
+fn allocation_meter_detects_heap_traffic() {
+    let (allocs, v) = metered(|| Vec::<u64>::with_capacity(32));
+    assert!(allocs >= 1, "counting allocator missed a Vec allocation");
+    drop(v);
+    let (quiet, ()) = metered(|| ());
+    assert_eq!(quiet, 0, "counter advanced with no allocation");
+}
+
+#[test]
+fn ipudp_heuristic_steady_state_is_alloc_free() {
+    let t = trace(VcaKind::Meet);
+    let engine = IpUdpHeuristicEngine::new(sketch_config(VcaKind::Meet));
+    assert_alloc_free_steady_state(engine, &t, "IpUdpHeuristic");
+}
+
+#[test]
+fn rtp_heuristic_steady_state_is_alloc_free() {
+    let t = trace(VcaKind::Meet);
+    let engine = RtpHeuristicEngine::new(sketch_config(VcaKind::Meet), t.payload_map);
+    assert_alloc_free_steady_state(engine, &t, "RtpHeuristic");
+}
+
+#[test]
+fn ipudp_ml_steady_state_is_alloc_free() {
+    let t = trace(VcaKind::Teams);
+    let engine = IpUdpMlEngine::new(sketch_config(VcaKind::Teams));
+    assert_alloc_free_steady_state(engine, &t, "IpUdpMl");
+}
+
+#[test]
+fn rtp_ml_steady_state_is_alloc_free() {
+    let t = trace(VcaKind::Teams);
+    let engine = RtpMlEngine::new(sketch_config(VcaKind::Teams), t.payload_map);
+    assert_alloc_free_steady_state(engine, &t, "RtpMl");
+}

@@ -262,7 +262,7 @@ proptest! {
             };
             prop_assert_eq!(link, LinkType::Ethernet);
             prop_assert_eq!(record.orig_len as usize, record.data.len());
-            got.push((record.ts.as_micros(), record.data));
+            got.push((record.ts.as_micros(), record.data.to_vec()));
         }
         prop_assert_eq!(got, records);
     }

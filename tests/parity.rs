@@ -15,7 +15,7 @@ use vcaml_suite::vcaml::engine::{
 };
 use vcaml_suite::vcaml::{
     build_samples, estimate_windows, qoe::QoeWindower, rtp_heuristic, EngineConfig, IpUdpHeuristic,
-    MediaClassifier, Method, PipelineOpts, QoeEstimator, Trace, WindowReport,
+    MediaClassifier, Method, PipelineOpts, QoeEstimator, Trace, TracePacket, WindowReport,
 };
 
 fn corpus(vca: VcaKind, seed: u64, n: usize) -> Vec<Trace> {
@@ -370,5 +370,104 @@ fn qoe_windower_agrees_with_estimate_windows() {
     assert_eq!(streamed.len(), batch.len());
     for ((_, s), b) in streamed.iter().zip(&batch) {
         assert_eq!(s, b);
+    }
+}
+
+/// Forced slot recycling in the open-addressed table: flows evicted idle
+/// and re-opened under the *same keys* land in recycled slab slots
+/// (swap-remove + backward-shift deletion), and both lives stay
+/// window-exact against dedicated single-flow engines.
+#[test]
+fn recycled_slots_stay_window_exact() {
+    let vca = VcaKind::Teams;
+    let config = EngineConfig::paper(vca);
+    let trace = &corpus(vca, 18, 1)[0];
+    const FLOWS: usize = 8;
+    let key_of = |i: usize| {
+        let client = IpAddr::V4(Ipv4Addr::new(10, 9, 0, i as u8 + 1));
+        let relay = IpAddr::V4(Ipv4Addr::new(198, 51, 100, 7));
+        FlowKey::canonical(relay, 3478, client, 53_000 + i as u16, 17).0
+    };
+
+    // The second life starts well past the idle timeout so one sweep
+    // between the lives reclaims every slot.
+    let gap_us = (trace.duration_secs as i64 + 30) * 1_000_000;
+    let shifted: Vec<TracePacket> = trace
+        .packets
+        .iter()
+        .map(|p| {
+            let mut q = *p;
+            q.ts = Timestamp::from_micros(p.ts.as_micros() + gap_us);
+            q
+        })
+        .collect();
+
+    let mut table = FlowTable::new(2, Timestamp::from_secs(5), move |_: &FlowKey| {
+        IpUdpHeuristicEngine::new(config)
+    });
+
+    let mut life1: HashMap<FlowKey, Vec<WindowReport>> = HashMap::new();
+    for p in &trace.packets {
+        for i in 0..FLOWS {
+            life1
+                .entry(key_of(i))
+                .or_default()
+                .extend(table.push(key_of(i), p));
+        }
+    }
+    assert_eq!(table.len(), FLOWS);
+    let evicted = table.evict_idle(Timestamp::from_micros(gap_us));
+    assert_eq!(evicted.len(), FLOWS, "one sweep reclaims every slot");
+    assert!(table.is_empty());
+    for (key, tail) in evicted {
+        life1
+            .get_mut(&key)
+            .expect("evicted key was fed")
+            .extend(tail);
+    }
+
+    // Same keys again: fresh engines in recycled slots.
+    let mut life2: HashMap<FlowKey, Vec<WindowReport>> = HashMap::new();
+    for p in &shifted {
+        for i in 0..FLOWS {
+            life2
+                .entry(key_of(i))
+                .or_default()
+                .extend(table.push(key_of(i), p));
+        }
+    }
+    assert_eq!(table.len(), FLOWS);
+    for (key, tail) in table.drain_finish_all() {
+        life2
+            .get_mut(&key)
+            .expect("reopened key was fed")
+            .extend(tail);
+    }
+
+    let want1 = stream(&mut IpUdpHeuristicEngine::new(config), trace);
+    let mut solo2 = IpUdpHeuristicEngine::new(config);
+    let mut want2 = Vec::new();
+    for p in &shifted {
+        want2.extend(solo2.push(p));
+    }
+    want2.extend(solo2.finish());
+
+    for i in 0..FLOWS {
+        let key = key_of(i);
+        for (label, got, want) in [
+            ("first life", &life1[&key], &want1),
+            ("second life", &life2[&key], &want2),
+        ] {
+            assert_eq!(got.len(), want.len(), "flow {i} {label}: window count");
+            for (g, w) in got.iter().zip(want) {
+                assert_eq!(g.window, w.window, "flow {i} {label}");
+                assert_eq!(
+                    g.estimate, w.estimate,
+                    "flow {i} {label} window {}",
+                    w.window
+                );
+                assert_eq!(g.video_packets, w.video_packets, "flow {i} {label}");
+            }
+        }
     }
 }
