@@ -2,6 +2,9 @@
 //! paper's §7 "system considerations": how cheap is per-packet processing
 //! and per-window inference if an operator deploys this at scale?
 
+// Bench target: panicking on setup failure is idiomatic.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::net::{IpAddr, Ipv4Addr};
 use std::sync::Arc;

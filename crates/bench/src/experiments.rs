@@ -1,6 +1,10 @@
 //! One function per paper table/figure. Each prints a paper-style text
 //! rendering and writes a JSON artifact via [`crate::report::Sink`].
 
+// The experiment harness fails fast: artifact IO and corpus invariants
+// are fatal here (each site carries a `// lint: allow` justification).
+#![allow(clippy::unwrap_used)]
+
 use crate::ctx::{Corpus, Ctx};
 use crate::report::{cdf_points, fraction_le, section, table, Sink};
 use serde_json::json;
@@ -177,7 +181,7 @@ fn f1(ctx: &mut Ctx, sink: &Sink) {
         (1.0 - fraction_le(video, 564.0)) * 100.0
     );
     sink.write("f1", &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 /// Per-frame packet sizes from PT-classified video packets, in arrival
@@ -185,7 +189,7 @@ fn f1(ctx: &mut Ctx, sink: &Sink) {
 fn truth_frames_sizes(trace: &Trace) -> Vec<Vec<u16>> {
     let mut frames: Vec<(u32, Vec<u16>)> = Vec::new();
     for p in trace.rtp_video_packets() {
-        let ts = p.rtp.unwrap().timestamp;
+        let ts = p.rtp.unwrap().timestamp; // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
         match frames.iter_mut().rev().take(8).find(|(t, _)| *t == ts) {
             Some((_, v)) => v.push(p.size),
             None => frames.push((ts, vec![p.size])),
@@ -206,13 +210,13 @@ fn f2(ctx: &mut Ctx, sink: &Sink) {
         let frames = truth_frames_sizes(t);
         for f in &frames {
             if f.len() >= 2 {
-                let lo = *f.iter().min().unwrap();
-                let hi = *f.iter().max().unwrap();
+                let lo = *f.iter().min().unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
+                let hi = *f.iter().max().unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
                 intra.push(f64::from(hi - lo));
             }
         }
         for w in frames.windows(2) {
-            let last = *w[0].last().unwrap();
+            let last = *w[0].last().unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
             let first = w[1][0];
             inter.push(f64::from(last.abs_diff(first)));
         }
@@ -239,7 +243,7 @@ fn f2(ctx: &mut Ctx, sink: &Sink) {
             "inter_ge_2": 1.0 - fraction_le(&inter, 1.99),
         }),
     )
-    .unwrap();
+    .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn media_confusion(ctx: &mut Ctx, sink: &Sink, id: &str, vca: VcaKind) {
@@ -270,7 +274,7 @@ fn media_confusion(ctx: &mut Ctx, sink: &Sink, id: &str, vca: VcaKind) {
             "video": { "correct_pct": m.percent(1,1), "missed_pct": m.percent(1,0), "total": m.row_total(1) },
         }),
     )
-    .unwrap();
+    .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn t2(ctx: &mut Ctx, sink: &Sink) {
@@ -337,7 +341,7 @@ fn truth_cdfs(ctx: &mut Ctx, sink: &Sink, id: &str, corpus: Corpus) {
         )
     );
     sink.write(id, &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn fa1(ctx: &mut Ctx, sink: &Sink) {
@@ -359,7 +363,7 @@ fn fa3(ctx: &mut Ctx, sink: &Sink) {
     let pkts: Vec<(Timestamp, u16, u32)> = trace
         .rtp_video_packets()
         .filter(|p| p.ts.second_index() == 5)
-        .map(|p| (p.ts, p.size, p.rtp.unwrap().timestamp))
+        .map(|p| (p.ts, p.size, p.rtp.unwrap().timestamp)) // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
         .collect();
     let input: Vec<(Timestamp, u16)> = pkts.iter().map(|&(t, s, _)| (t, s)).collect();
     let (_, asg) = IpUdpHeuristic::new(opts.heuristic).assemble(&input);
@@ -389,7 +393,7 @@ fn fa3(ctx: &mut Ctx, sink: &Sink) {
         "{}",
         table(&["Pkt", "Size [B]", "True frame", "Assigned frame"], &rows)
     );
-    sink.write("fa3", &artifact).unwrap();
+    sink.write("fa3", &artifact).unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 // ---------------------------------------------------------------------
@@ -476,7 +480,7 @@ fn error_figure(
         )
     );
     sink.write(id, &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn f3(ctx: &mut Ctx, sink: &Sink) {
@@ -544,7 +548,7 @@ fn f10(ctx: &mut Ctx, sink: &Sink) {
         false,
     );
     sink.write("f10", &json!({"see": ["f10a", "f10b", "f10c"]}))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn f4(ctx: &mut Ctx, sink: &Sink) {
@@ -562,7 +566,7 @@ fn f4(ctx: &mut Ctx, sink: &Sink) {
                 by_sec.entry(p.ts.second_index()).or_default().push((
                     p.ts,
                     p.size,
-                    p.rtp.unwrap().timestamp,
+                    p.rtp.unwrap().timestamp, // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
                 ));
             }
             for pkts in by_sec.values() {
@@ -592,7 +596,7 @@ fn f4(ctx: &mut Ctx, sink: &Sink) {
         table(&["VCA", "Splits", "Interleaves", "Coalesces"], &rows)
     );
     sink.write("f4", &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn f8(ctx: &mut Ctx, sink: &Sink) {
@@ -603,15 +607,10 @@ fn f8(ctx: &mut Ctx, sink: &Sink) {
     let spike_trace = set
         .samples
         .iter()
-        .max_by(|a, b| {
-            a.truth
-                .frame_jitter_ms
-                .partial_cmp(&b.truth.frame_jitter_ms)
-                .unwrap()
-        })
+        .max_by(|a, b| a.truth.frame_jitter_ms.total_cmp(&b.truth.frame_jitter_ms))
         .map(|s| s.trace_id)
-        .unwrap();
-    // Train on every other trace, predict the chosen one.
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
+                   // Train on every other trace, predict the chosen one.
     let mut train = Dataset::new(set.ipudp_names.clone());
     let mut test_feats: Vec<(i64, Vec<f64>, f64)> = Vec::new();
     for s in &set.samples {
@@ -642,7 +641,7 @@ fn f8(ctx: &mut Ctx, sink: &Sink) {
         "{}",
         table(&["t [s]", "IP/UDP ML [ms]", "Ground truth [ms]"], &rows)
     );
-    sink.write("f8", &artifact).unwrap();
+    sink.write("f8", &artifact).unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 // ---------------------------------------------------------------------
@@ -679,7 +678,7 @@ fn importance_figure(
         );
     }
     sink.write(id, &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn f5(ctx: &mut Ctx, sink: &Sink) {
@@ -804,7 +803,7 @@ fn t3(ctx: &mut Ctx, sink: &Sink) {
     }
     println!("{}", table(&["Method", "Meet", "Teams", "Webex"], &rows));
     sink.write("t3", &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn resolution_confusion(ctx: &mut Ctx, sink: &Sink, id: &str, corpus: Corpus) {
@@ -834,7 +833,7 @@ fn resolution_confusion(ctx: &mut Ctx, sink: &Sink, id: &str, corpus: Corpus) {
                 })
                 .collect();
             sink.write(id, &json!({"accuracy": acc, "cells": cells}))
-                .unwrap();
+                .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
         }
         None => println!("not classifiable (single resolution class)"),
     }
@@ -873,7 +872,7 @@ fn transfer_table(ctx: &mut Ctx, sink: &Sink, id: &str, target: Target, unit: &s
     }
     println!("{}", table(&["Method", "Meet", "Teams", "Webex"], &rows));
     sink.write(id, &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn t5(ctx: &mut Ctx, sink: &Sink) {
@@ -958,7 +957,7 @@ fn f11(ctx: &mut Ctx, sink: &Sink) {
     headers.extend(labels.iter().map(String::as_str));
     println!("{}", table(&headers, &rows));
     sink.write("f11", &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn f12(ctx: &mut Ctx, sink: &Sink) {
@@ -997,7 +996,7 @@ fn f12(ctx: &mut Ctx, sink: &Sink) {
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
     println!("{}", table(&href, &rows));
     sink.write("f12", &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn fa10(ctx: &mut Ctx, sink: &Sink) {
@@ -1050,7 +1049,7 @@ fn fa10(ctx: &mut Ctx, sink: &Sink) {
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
     println!("{}", table(&href, &rows));
     sink.write("fa10", &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 fn ta6(_ctx: &mut Ctx, sink: &Sink) {
@@ -1068,7 +1067,7 @@ fn ta6(_ctx: &mut Ctx, sink: &Sink) {
             .map(|d| json!({"dim": d.label(), "values": d.values()}))
             .collect::<Vec<_>>()),
     )
-    .unwrap();
+    .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 // ---------------------------------------------------------------------
@@ -1128,7 +1127,7 @@ pub fn ab1(ctx: &mut Ctx, sink: &Sink) {
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
     println!("{}", table(&href, &rows));
     sink.write("ab1", &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 /// AB2: value of the semantics features — IP/UDP ML with flow statistics
@@ -1176,7 +1175,7 @@ pub fn ab2(ctx: &mut Ctx, sink: &Sink) {
         table(&["VCA", "Flow-only MAE", "Full MAE", "Δ"], &rows)
     );
     sink.write("ab2", &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 /// AB3: forest size vs accuracy — the accuracy/cost trade-off an operator
@@ -1200,7 +1199,7 @@ pub fn ab3(ctx: &mut Ctx, sink: &Sink) {
         artifact.push(json!({"n_trees": n, "mae": m}));
     }
     println!("{}", table(&["Trees", "MAE"], &rows));
-    sink.write("ab3", &artifact).unwrap();
+    sink.write("ab3", &artifact).unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 /// AB4: microburst θ_IAT sensitivity — how the only timing-based semantics
@@ -1228,7 +1227,7 @@ pub fn ab4(ctx: &mut Ctx, sink: &Sink) {
         artifact.push(json!({"theta_us": theta, "mae": m}));
     }
     println!("{}", table(&["θ_IAT", "MAE"], &rows));
-    sink.write("ab4", &artifact).unwrap();
+    sink.write("ab4", &artifact).unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 /// AB5: Δmax_size sensitivity for the IP/UDP Heuristic.
@@ -1282,7 +1281,7 @@ pub fn ab5(ctx: &mut Ctx, sink: &Sink) {
     let href: Vec<&str> = headers.iter().map(String::as_str).collect();
     println!("{}", table(&href, &rows));
     sink.write("ab5", &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 /// AB6: model-family comparison (§4.3: "we experiment with several
@@ -1352,7 +1351,7 @@ pub fn ab6(ctx: &mut Ctx, sink: &Sink) {
         table(&["VCA", "Ridge MAE", "Tree MAE", "Forest MAE"], &rows)
     );
     sink.write("ab6", &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 /// AM1: application modes (§7) — video-off detection accuracy and
@@ -1442,7 +1441,7 @@ pub fn am1(ctx: &mut Ctx, sink: &Sink) {
         json!(correct as f64 / total as f64),
     );
     sink.write("am1", &serde_json::Value::Object(artifact))
-        .unwrap();
+        .unwrap(); // lint: allow(no-unwrap-in-lib) -- experiment harness fails fast: artifact IO and corpus invariants are fatal
 }
 
 #[cfg(test)]

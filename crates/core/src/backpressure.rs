@@ -141,7 +141,7 @@ impl EventQueue {
         if events.is_empty() {
             return;
         }
-        let mut inner = self.inner.lock().expect("event queue poisoned");
+        let mut inner = self.inner.lock().expect("event queue poisoned"); // lint: allow(no-unwrap-in-lib) -- poisoned queue lock means a producer/consumer already panicked; escalate
         for event in events {
             while !inner.unbounded && inner.buf.len() >= inner.capacity {
                 match inner.policy {
@@ -163,6 +163,7 @@ impl EventQueue {
                             inner.buf.len() + usize::from(inner.dropped_since_drain > 0),
                             Ordering::Release,
                         );
+                        // lint: allow(no-unwrap-in-lib) -- poisoned queue lock means a producer/consumer already panicked; escalate
                         inner = self.not_full.wait(inner).expect("event queue poisoned");
                     }
                     // Single-threaded (or released, or consumer-side)
@@ -190,7 +191,7 @@ impl EventQueue {
         if self.approx_len.load(Ordering::Acquire) == 0 {
             return Vec::new();
         }
-        let mut inner = self.inner.lock().expect("event queue poisoned");
+        let mut inner = self.inner.lock().expect("event queue poisoned"); // lint: allow(no-unwrap-in-lib) -- poisoned queue lock means a producer/consumer already panicked; escalate
         let dropped = std::mem::take(&mut inner.dropped_since_drain);
         let mut per_flow: Vec<(FlowKey, u64)> =
             std::mem::take(&mut inner.dropped_flows_since_drain)
@@ -213,14 +214,14 @@ impl EventQueue {
 
     /// Queued events not yet drained (excludes any pending drop marker).
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().expect("event queue poisoned").buf.len()
+        self.inner.lock().expect("event queue poisoned").buf.len() // lint: allow(no-unwrap-in-lib) -- poisoned queue lock means a producer/consumer already panicked; escalate
     }
 
     /// Events discarded over the queue's lifetime.
     pub(crate) fn dropped_total(&self) -> u64 {
         self.inner
             .lock()
-            .expect("event queue poisoned")
+            .expect("event queue poisoned") // lint: allow(no-unwrap-in-lib) -- poisoned queue lock means a producer/consumer already panicked; escalate
             .dropped_total
     }
 
@@ -228,7 +229,7 @@ impl EventQueue {
     /// deterministic output. Events with no flow (parse drops, markers)
     /// appear in [`EventQueue::dropped_total`] but not here.
     pub(crate) fn dropped_by_flow(&self) -> Vec<(FlowKey, u64)> {
-        let inner = self.inner.lock().expect("event queue poisoned");
+        let inner = self.inner.lock().expect("event queue poisoned"); // lint: allow(no-unwrap-in-lib) -- poisoned queue lock means a producer/consumer already panicked; escalate
         let mut out: Vec<(FlowKey, u64)> = inner
             .dropped_flows_total
             .iter()
@@ -245,7 +246,7 @@ impl EventQueue {
     /// end-of-stream flush, which carries every flow's sealed tail
     /// windows, must neither drop nor deadlock against a full queue.
     pub(crate) fn release(&self) {
-        let mut inner = self.inner.lock().expect("event queue poisoned");
+        let mut inner = self.inner.lock().expect("event queue poisoned"); // lint: allow(no-unwrap-in-lib) -- poisoned queue lock means a producer/consumer already panicked; escalate
         inner.may_block = false;
         inner.unbounded = true;
         drop(inner);

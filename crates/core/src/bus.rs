@@ -116,14 +116,17 @@ impl Severity {
         match event {
             QoeEvent::Dropped { .. } => Severity::Critical,
             QoeEvent::ParseDrop { .. } => Severity::Warning,
-            _ if event
-                .final_reports()
-                .iter()
-                .any(|r| report_fps(r).is_some_and(|fps| fps < alert_fps)) =>
+            QoeEvent::WindowReport { .. } | QoeEvent::FlowEvicted { .. }
+                if event
+                    .final_reports()
+                    .iter()
+                    .any(|r| report_fps(r).is_some_and(|fps| fps < alert_fps)) =>
             {
                 Severity::Warning
             }
-            _ => Severity::Info,
+            QoeEvent::FlowOpened { .. }
+            | QoeEvent::WindowReport { .. }
+            | QoeEvent::FlowEvicted { .. } => Severity::Info,
         }
     }
 }
@@ -251,7 +254,10 @@ impl EventFilter {
                         return false;
                     }
                 }
-                _ => match event.flow() {
+                QoeEvent::FlowOpened { .. }
+                | QoeEvent::WindowReport { .. }
+                | QoeEvent::FlowEvicted { .. }
+                | QoeEvent::ParseDrop { .. } => match event.flow() {
                     Some(flow) if flows.contains(&flow) => {}
                     _ => return false,
                 },

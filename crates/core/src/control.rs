@@ -103,7 +103,7 @@ impl ControlShared {
         if self.evict_len.load(Relaxed) == *cursor {
             return Vec::new();
         }
-        let requests = self.evictions.lock().expect("evictions poisoned");
+        let requests = self.evictions.lock().expect("evictions poisoned"); // lint: allow(no-unwrap-in-lib) -- poisoned evictions lock means a peer thread already panicked; escalate
         let fresh = requests[(*cursor).min(requests.len())..].to_vec();
         *cursor = requests.len();
         fresh
@@ -175,6 +175,7 @@ impl MonitorSnapshot {
     /// One compact JSON object (`"type":"stats"`), the JSON-lines form
     /// the CLI's `--stats-every` emits to stderr.
     pub fn to_json_line(&self) -> String {
+        // lint: allow(no-unwrap-in-lib) -- serializing an in-memory snapshot via the serde shim cannot fail
         serde_json::to_string(self).expect("snapshot serialization is infallible")
     }
 }
@@ -252,7 +253,7 @@ impl MonitorHandle {
     /// Unknown flows are ignored. Same application timing as
     /// [`MonitorHandle::force_flush`].
     pub fn evict_flow(&self, flow: FlowKey) {
-        let mut requests = self.control.evictions.lock().expect("evictions poisoned");
+        let mut requests = self.control.evictions.lock().expect("evictions poisoned"); // lint: allow(no-unwrap-in-lib) -- poisoned evictions lock means a peer thread already panicked; escalate
         requests.push(flow);
         self.control.evict_len.store(requests.len(), Relaxed);
     }

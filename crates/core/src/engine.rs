@@ -49,6 +49,9 @@ use vcaml_netpkt::{FlowKey, Timestamp};
 use vcaml_rtp::{MediaKind, PayloadMap, VcaKind};
 
 /// Engine configuration shared by all four methods.
+///
+/// Stability: stable — re-exported from the crate root as part of the
+/// supported API surface (see `ARCHITECTURE.md` § stability).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Media-classification size threshold (IP/UDP methods).
@@ -121,6 +124,7 @@ struct GapGuard {
 }
 
 impl GapGuard {
+    // lint: hot_path
     fn check(&mut self, clock: u64, started: bool, w: u64) -> GapVerdict {
         if !started || w.abs_diff(clock) <= MAX_WINDOW_GAP {
             // Near the established epoch: any earlier outlier was corrupt.
@@ -148,6 +152,9 @@ impl GapGuard {
 }
 
 /// One finalized prediction window from an engine.
+///
+/// Stability: stable — re-exported from the crate root as part of the
+/// supported API surface (see `ARCHITECTURE.md` § stability).
 #[derive(Debug, Clone, Serialize)]
 pub struct WindowReport {
     /// Window index (0-based from stream start).
@@ -171,6 +178,9 @@ pub struct WindowReport {
 /// in strict window order with no gaps (idle windows yield zero
 /// estimates / zero features). Call `finish` exactly once at end of
 /// stream to flush the remaining windows.
+///
+/// Stability: stable — re-exported from the crate root as part of the
+/// supported API surface (see `ARCHITECTURE.md` § stability).
 pub trait QoeEstimator {
     /// Which of the paper's four methods this engine implements.
     fn method(&self) -> Method;
@@ -264,13 +274,16 @@ struct ArrivalCounts {
 }
 
 impl ArrivalCounts {
+    // lint: hot_path
     fn bump(&mut self, window: u64) {
         match self.counts.binary_search_by_key(&window, |&(w, _)| w) {
             Ok(i) => self.counts[i].1 += 1,
+            // lint: allow(hot-path-alloc) -- counts is bounded by the drain lookback; capacity is warmed after the first windows
             Err(i) => self.counts.insert(i, (window, 1)),
         }
     }
 
+    // lint: hot_path
     fn take(&mut self, window: u64) -> usize {
         match self.counts.binary_search_by_key(&window, |&(w, _)| w) {
             Ok(i) => self.counts.remove(i).1,
@@ -278,6 +291,7 @@ impl ArrivalCounts {
         }
     }
 
+    // lint: hot_path
     fn peek(&self, window: u64) -> usize {
         match self.counts.binary_search_by_key(&window, |&(w, _)| w) {
             Ok(i) => self.counts[i].1,
@@ -342,6 +356,7 @@ impl HeuristicState {
     /// Window index for a non-negative microsecond timestamp, memoized
     /// on the window of the previous lookup.
     #[inline]
+    // lint: hot_path
     fn memo_map(&mut self, us: i64) -> u64 {
         if us >= self.memo_lo && us < self.memo_hi {
             return self.memo_w;
@@ -356,6 +371,7 @@ impl HeuristicState {
     /// Window index for a timestamp, or `None` for negative timestamps
     /// (outside every window).
     #[inline]
+    // lint: hot_path
     fn window_of(&mut self, ts: Timestamp) -> Option<u64> {
         let us = ts.as_micros();
         (us >= 0).then(|| self.memo_map(us))
@@ -363,6 +379,7 @@ impl HeuristicState {
 
     /// Classifies a packet's window against the bounded emission gap
     /// ([`MAX_WINDOW_GAP`]): process, quarantine-drop, or re-anchor.
+    // lint: hot_path
     fn gap_check(&mut self, w: u64) -> GapVerdict {
         self.gap.check(self.clock, self.started, w)
     }
@@ -377,6 +394,7 @@ impl HeuristicState {
     }
 
     /// Advances the clock for one accepted packet in window `w`.
+    // lint: hot_path
     fn observe(&mut self, w: u64) {
         if !self.started {
             self.started = true;
@@ -389,6 +407,7 @@ impl HeuristicState {
     /// Emits every window that is final — arrivals have moved past it and
     /// no still-open frame (bounded below by `min_open_end`) could seal
     /// into it — appending into `out`.
+    // lint: hot_path
     fn drain_safe_into(
         &mut self,
         min_open_end: Option<Timestamp>,
@@ -510,6 +529,7 @@ impl<S: FrameSource> HeuristicDriver<S> {
 
     /// Offers freshly sealed frames from `self.sealed` to the windower,
     /// clearing the scratch buffer.
+    // lint: hot_path
     fn offer_sealed(&mut self) {
         for &(id, ref frame) in &self.sealed {
             self.state.windower.offer(id, frame);
@@ -519,6 +539,7 @@ impl<S: FrameSource> HeuristicDriver<S> {
 
     /// Converts windows drained into `self.drained` to reports, clearing
     /// the scratch buffer.
+    // lint: hot_path
     fn report_drained(&mut self, out: &mut Vec<WindowReport>) {
         let method = self.method;
         // (index loop: `drained` and `state` are disjoint fields, but the
@@ -530,6 +551,7 @@ impl<S: FrameSource> HeuristicDriver<S> {
         self.drained.clear();
     }
 
+    // lint: hot_path
     fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
         let Some(w) = self.state.window_of(pkt.ts) else {
             return;
@@ -588,6 +610,7 @@ struct IpUdpSource {
 }
 
 impl FrameSource for IpUdpSource {
+    // lint: hot_path
     fn accept_into(&mut self, pkt: &TracePacket, sealed: &mut Vec<(u64, Frame)>) -> bool {
         if !self.classifier.is_video(pkt) {
             return false;
@@ -616,6 +639,7 @@ struct RtpSource {
 }
 
 impl FrameSource for RtpSource {
+    // lint: hot_path
     fn accept_into(&mut self, pkt: &TracePacket, sealed: &mut Vec<(u64, Frame)>) -> bool {
         let Some(h) = pkt
             .rtp
@@ -668,6 +692,7 @@ impl QoeEstimator for IpUdpHeuristicEngine {
         Method::IpUdpHeuristic
     }
 
+    // lint: hot_path
     fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
         self.driver.push_into(pkt, out)
     }
@@ -716,6 +741,7 @@ impl QoeEstimator for RtpHeuristicEngine {
         Method::RtpHeuristic
     }
 
+    // lint: hot_path
     fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
         self.driver.push_into(pkt, out)
     }
@@ -764,6 +790,7 @@ impl MlWindowClock {
     }
 
     /// Re-anchors the current-window bounds memo after `current` moved.
+    // lint: hot_path
     fn rememo(&mut self) {
         self.cur_lo = self.current as i64 * self.window_us;
         self.cur_hi = self.cur_lo + self.window_us;
@@ -775,6 +802,7 @@ impl MlWindowClock {
     /// quarantined far-future jump — see [`MAX_WINDOW_GAP`]). A
     /// corroborated discontinuity finalizes only the in-progress window,
     /// then skips to the new window without per-window reports.
+    // lint: hot_path
     fn advance(&mut self, ts: Timestamp) -> Option<std::ops::Range<u64>> {
         let us = ts.as_micros();
         if us < 0 {
@@ -890,6 +918,7 @@ impl QoeEstimator for IpUdpMlEngine {
         Method::IpUdpMl
     }
 
+    // lint: hot_path
     fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
         let Some(emit) = self.clock.advance(pkt.ts) else {
             return;
@@ -1009,6 +1038,7 @@ impl QoeEstimator for RtpMlEngine {
         Method::RtpMl
     }
 
+    // lint: hot_path
     fn push_into(&mut self, pkt: &TracePacket, out: &mut Vec<WindowReport>) {
         let Some(emit) = self.clock.advance(pkt.ts) else {
             return;
@@ -1196,6 +1226,7 @@ impl<E> FlowShard<E> {
     }
 
     #[inline]
+    // lint: hot_path
     fn home(&self, hash: u64) -> usize {
         // Bits 16.. seed the probe: low bits route workers, top bits
         // route shards.
@@ -1204,6 +1235,7 @@ impl<E> FlowShard<E> {
 
     /// Finds the slot holding `key`, if present.
     #[inline]
+    // lint: hot_path
     fn find_slot(&self, hash: u64, key: &FlowKey) -> Option<usize> {
         if self.entries.is_empty() {
             return None;
@@ -1225,6 +1257,7 @@ impl<E> FlowShard<E> {
 
     /// Index into `entries` for `key`, if present.
     #[inline]
+    // lint: hot_path
     fn find(&self, hash: u64, key: &FlowKey) -> Option<usize> {
         self.find_slot(hash, key)
             .map(|slot| self.slots[slot] as usize)
@@ -1370,6 +1403,7 @@ impl<E: QoeEstimator> FlowTable<E> {
     /// toward `ts` (bounded by one idle timeout per call, like
     /// [`Self::push_hashed_into`]) — the facade's per-packet lookup,
     /// which needs the entry's bookkeeping hot before pushing.
+    // lint: hot_path
     pub fn get_mut_seen_hashed(
         &mut self,
         hash: u64,
@@ -1412,6 +1446,7 @@ impl<E: QoeEstimator> FlowTable<E> {
 
     /// [`Self::push`] with a precomputed hash, appending finalized
     /// windows into `out` — the zero-alloc per-packet entry point.
+    // lint: hot_path
     pub fn push_hashed_into(
         &mut self,
         hash: u64,

@@ -106,6 +106,7 @@ impl IpUdpAssembler {
     /// instead of allocating — the per-packet form the streaming engine
     /// uses (sealing happens every couple of packets, so a fresh `Vec`
     /// per call would dominate the hot path).
+    // lint: hot_path
     pub fn push_into(&mut self, ts: Timestamp, size: u16, sealed: &mut Vec<(u64, Frame)>) -> u64 {
         let payload = usize::from(size).saturating_sub(52).max(1);
         // Compare with up to Nmax previous packets, most recent first.
@@ -124,7 +125,7 @@ impl IpUdpAssembler {
                     .iter_mut()
                     .rev()
                     .find(|(id, _)| *id == fid)
-                    .expect("matched frame is open");
+                    .expect("matched frame is open"); // lint: allow(no-unwrap-in-lib) -- frame index comes from the open-frame scan just above
                 f.size_bytes += payload;
                 f.n_packets += 1;
                 f.end_ts = f.end_ts.max(ts);
@@ -148,9 +149,9 @@ impl IpUdpAssembler {
             }
         };
         if self.recent.len() == self.params.lookback {
-            let (_, evicted) = self.recent.pop_front().expect("non-empty lookback");
-            // Seal the evicted frame once no other lookback entry keeps it
-            // matchable (and the current packet did not rejoin it).
+            let (_, evicted) = self.recent.pop_front().expect("non-empty lookback"); // lint: allow(no-unwrap-in-lib) -- loop guard holds recent.len() > lookback, so the deque is non-empty
+                                                                                     // Seal the evicted frame once no other lookback entry keeps it
+                                                                                     // matchable (and the current packet did not rejoin it).
             if evicted != fid && !self.recent.iter().any(|&(_, f)| f == evicted) {
                 // Evicted ids are the oldest: scan from the front. The
                 // order-preserving remove keeps `open` id-sorted.

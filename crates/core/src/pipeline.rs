@@ -236,6 +236,7 @@ fn trace_samples(
     let mut source = ReplaySource::from_trace(trace, flow);
     while let Some(pkt) = source
         .next_packet()
+        // lint: allow(no-unwrap-in-lib) -- replay over an in-memory trace never returns an IO error
         .expect("in-memory replay is infallible")
     {
         let SourcePacket::Parsed { packet, .. } = pkt else {
@@ -249,10 +250,10 @@ fn trace_samples(
         engine.finish_into(&mut out);
         place_windows(engine.as_ref(), out, trace.duration_secs, w)
     });
-    let heur_r = placed.next().expect("four replays");
-    let ip_ml_r = placed.next().expect("four replays");
-    let rtp_heur_r = placed.next().expect("four replays");
-    let rtp_ml_r = placed.next().expect("four replays");
+    let heur_r = placed.next().expect("four replays"); // lint: allow(no-unwrap-in-lib) -- the engines vec is constructed with exactly four entries above
+    let ip_ml_r = placed.next().expect("four replays"); // lint: allow(no-unwrap-in-lib) -- the engines vec is constructed with exactly four entries above
+    let rtp_heur_r = placed.next().expect("four replays"); // lint: allow(no-unwrap-in-lib) -- the engines vec is constructed with exactly four entries above
+    let rtp_ml_r = placed.next().expect("four replays"); // lint: allow(no-unwrap-in-lib) -- the engines vec is constructed with exactly four entries above
 
     let mut samples = Vec::new();
     for wi in 0..heur_r.len() {
@@ -274,18 +275,18 @@ fn trace_samples(
             ipudp_features: ip_ml_r[wi]
                 .features
                 .clone()
-                .expect("ML report carries features"),
+                .expect("ML report carries features"), // lint: allow(no-unwrap-in-lib) -- ML engines always attach features to their reports
             rtp_features: rtp_ml_r[wi]
                 .features
                 .clone()
-                .expect("ML report carries features"),
+                .expect("ML report carries features"), // lint: allow(no-unwrap-in-lib) -- ML engines always attach features to their reports
             truth,
             heur: heur_r[wi]
                 .estimate
-                .expect("heuristic report carries estimate"),
+                .expect("heuristic report carries estimate"), // lint: allow(no-unwrap-in-lib) -- heuristic engines always attach an estimate to their reports
             rtp_heur: rtp_heur_r[wi]
                 .estimate
-                .expect("heuristic report carries estimate"),
+                .expect("heuristic report carries estimate"), // lint: allow(no-unwrap-in-lib) -- heuristic engines always attach an estimate to their reports
             trace_id,
         });
     }
@@ -326,12 +327,12 @@ pub fn build_samples(traces: &[Trace], opts: &PipelineOpts) -> SampleSet {
                 let samples = trace_samples(i, &traces[i], config, w);
                 collected
                     .lock()
-                    .expect("collector poisoned")
+                    .expect("collector poisoned") // lint: allow(no-unwrap-in-lib) -- poisoned collector lock means a worker already panicked; escalate
                     .push((i, samples));
             });
         }
     });
-    let mut collected = collected.into_inner().expect("collector poisoned");
+    let mut collected = collected.into_inner().expect("collector poisoned"); // lint: allow(no-unwrap-in-lib) -- poisoned collector lock means a worker already panicked; escalate
     collected.sort_by_key(|(i, _)| *i);
     let samples: Vec<WindowSample> = collected.into_iter().flat_map(|(_, s)| s).collect();
 

@@ -76,6 +76,7 @@ impl QoeWindower {
 
     /// Offers one sealed frame (`id` in creation order, used to break
     /// end-time ties deterministically).
+    // lint: hot_path
     pub fn offer(&mut self, id: u64, frame: &Frame) {
         if let Some(w) = self.window_of(frame.end_ts) {
             debug_assert!(w >= self.next_emit, "frame sealed into an emitted window");
@@ -92,6 +93,7 @@ impl QoeWindower {
                         std::cmp::Ordering::Less => {
                             let mut frames = self.spare.pop().unwrap_or_default();
                             frames.push(entry);
+                            // lint: allow(hot-path-alloc) -- open is bounded by the window lookback and recycles spare buffers; capacity is warmed
                             self.open.insert(i + 1, (w, frames));
                             return;
                         }
@@ -120,7 +122,7 @@ impl QoeWindower {
             let w = self.next_emit;
             let estimate = match self.open.front_mut() {
                 Some((front, _)) if *front == w => {
-                    let (_, mut frames) = self.open.pop_front().expect("front checked");
+                    let (_, mut frames) = self.open.pop_front().expect("front checked"); // lint: allow(no-unwrap-in-lib) -- the while condition just checked the front window exists
                     let e = self.estimate_slice(&mut frames);
                     frames.clear();
                     if self.spare.len() < SPARE_POOL {

@@ -75,6 +75,7 @@ impl RtpAssembler {
     /// [`Self::push`] appending sealed frames into a caller-owned buffer
     /// instead of allocating — the per-packet form the streaming engine
     /// uses.
+    // lint: hot_path
     pub fn push_into(
         &mut self,
         ts: Timestamp,
@@ -113,6 +114,7 @@ impl RtpAssembler {
                 });
                 self.next_id += 1;
                 while self.open.len() > SCAN_DEPTH {
+                    // lint: allow(no-unwrap-in-lib) -- loop guard holds open.len() > lookback, so the deque is non-empty
                     sealed.push(self.open.pop_front().expect("len checked").finalize());
                 }
             }
@@ -160,7 +162,7 @@ pub fn assemble(trace: &Trace) -> Vec<Frame> {
     let mut asm = RtpAssembler::new();
     let mut frames: Vec<(u64, Frame)> = Vec::new();
     for p in trace.rtp_video_packets() {
-        let h = p.rtp.expect("rtp_video_packets yields RTP packets");
+        let h = p.rtp.expect("rtp_video_packets yields RTP packets"); // lint: allow(no-unwrap-in-lib) -- rtp_video_packets filters on rtp.is_some()
         frames.extend(asm.push(p.ts, h.timestamp, h.marker, p.size));
     }
     frames.extend(asm.finish());

@@ -219,7 +219,7 @@ impl MonitorRunner {
         let supervisor = std::thread::Builder::new()
             .name("vcaml-runner".into())
             .spawn(move || self.run())
-            .expect("spawn runner supervisor");
+            .expect("spawn runner supervisor"); // lint: allow(no-unwrap-in-lib) -- spawn fails only on OS thread exhaustion; no recovery at this layer
         RunningMonitor { handle, supervisor }
     }
 }
@@ -263,7 +263,7 @@ impl RunningMonitor {
     /// # Panics
     /// Propagates a panic from the supervisor thread.
     pub fn join(self) -> RunnerReport {
-        self.supervisor.join().expect("runner supervisor panicked")
+        self.supervisor.join().expect("runner supervisor panicked") // lint: allow(no-unwrap-in-lib) -- join re-raises the supervisor panic instead of hiding it
     }
 
     /// Requests a graceful stop and waits for the run to wind down:
@@ -394,7 +394,7 @@ fn run_threaded(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("ingest thread panicked"))
+            .map(|h| h.join().expect("ingest thread panicked")) // lint: allow(no-unwrap-in-lib) -- join re-raises an ingest panic instead of hiding it
             .collect()
     })
 }

@@ -96,12 +96,13 @@ impl P2Quantile {
     }
 
     /// Offers one observation.
+    // lint: hot_path
     pub fn push(&mut self, x: f64) {
         if self.count < 5 {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.heights.sort_by(|a, b| a.total_cmp(b));
             }
             return;
         }
@@ -161,7 +162,7 @@ impl P2Quantile {
             0 => 0.0,
             n if n <= 5 => {
                 let mut buf = self.heights[..n].to_vec();
-                buf.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                buf.sort_by(|a, b| a.total_cmp(b));
                 let rank = self.p * (n - 1) as f64;
                 let lo = rank.floor() as usize;
                 let hi = rank.ceil() as usize;
@@ -232,6 +233,7 @@ impl StatAcc {
         }
     }
 
+    // lint: hot_path
     fn push(&mut self, raw: i64) {
         match self.mode {
             // Exact mode defers every statistic to the once-per-seal
@@ -367,6 +369,7 @@ impl FlowFeatureAcc {
     /// Offers one packet (arrival order). Byte and packet totals are
     /// derived from the size stream at seal time, keeping this hot call
     /// to two appends and a timestamp save.
+    // lint: hot_path
     pub fn push(&mut self, ts: Timestamp, size: u16) {
         self.sizes.push(i64::from(size));
         if let Some(prev) = self.prev_ts {
@@ -437,6 +440,7 @@ impl IpUdpFeatureAcc {
     }
 
     /// Offers one video-classified packet (arrival order).
+    // lint: hot_path
     pub fn push(&mut self, ts: Timestamp, size: u16) {
         self.flow.push(ts, size);
         let (word, bit) = (usize::from(size) / 64, usize::from(size) % 64);

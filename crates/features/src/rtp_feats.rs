@@ -97,6 +97,7 @@ impl Default for LagStream {
 }
 
 impl LagStream {
+    // lint: hot_path
     fn push(&mut self, v: f64) {
         self.n += 1;
         let delta = v - self.mean;
@@ -197,11 +198,14 @@ impl RtpWindowAcc {
     }
 
     /// Offers one video-stream packet (arrival order).
+    // lint: hot_path
     pub fn push_video(&mut self, t: Timestamp, h: &RtpHeader) {
         match self.mode {
             StatsMode::Exact => {
+                // lint: allow(hot-path-alloc) -- Exact mode trades allocation for exactness; the zero-alloc contract covers Sketch mode (tests/hot_path.rs)
                 self.vid_ts.insert(h.timestamp);
             }
+            // lint: allow(hot-path-alloc) -- fixed-width sketch insert mutates O(1) state; no container growth
             StatsMode::Sketch => self.vid_sketch.insert(h.timestamp),
         }
         if h.marker {
@@ -230,8 +234,8 @@ impl RtpWindowAcc {
                 }
                 self.frames.push_back((h.timestamp, t));
                 if self.mode == StatsMode::Sketch && self.frames.len() > FRAME_RING {
-                    let (ts, done) = self.frames.pop_front().expect("len checked");
-                    let a = self.anchor.expect("anchor set with first frame");
+                    let (ts, done) = self.frames.pop_front().expect("len checked"); // lint: allow(no-unwrap-in-lib) -- loop guard holds frames.len() > depth, so the deque is non-empty
+                    let a = self.anchor.expect("anchor set with first frame"); // lint: allow(no-unwrap-in-lib) -- anchor is recorded when the first frame is pushed; frames is non-empty here
                     let lag = RtpClock::video().lag_secs(a.t0, a.ts0, done, ts) * 1000.0;
                     self.lag_stream.push(lag);
                 }
@@ -240,11 +244,14 @@ impl RtpWindowAcc {
     }
 
     /// Offers one retransmission-stream packet (arrival order).
+    // lint: hot_path
     pub fn push_rtx(&mut self, _t: Timestamp, h: &RtpHeader) {
         match self.mode {
             StatsMode::Exact => {
+                // lint: allow(hot-path-alloc) -- Exact mode trades allocation for exactness; the zero-alloc contract covers Sketch mode (tests/hot_path.rs)
                 self.rtx_ts.insert(h.timestamp);
             }
+            // lint: allow(hot-path-alloc) -- fixed-width sketch insert mutates O(1) state; no container growth
             StatsMode::Sketch => self.rtx_sketch.insert(h.timestamp),
         }
         if h.marker {
@@ -319,7 +326,7 @@ impl RtpWindowAcc {
         }
         let anchor = lag_ref
             .or(self.anchor)
-            .expect("anchor recorded with first frame");
+            .expect("anchor recorded with first frame"); // lint: allow(no-unwrap-in-lib) -- anchor is recorded when the first frame is pushed
         let clock = RtpClock::video();
         match self.mode {
             StatsMode::Exact => {

@@ -10,7 +10,7 @@ pub fn five_stats(values: &[f64]) -> [f64; 5] {
     let mean = values.iter().sum::<f64>() / n;
     let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let median = if sorted.len() % 2 == 1 {
         sorted[sorted.len() / 2]
     } else {

@@ -1,0 +1,155 @@
+//! `vcaml-lint` CLI: walks the workspace, runs every rule, prints the
+//! terminal table, optionally writes the JSON report, and exits with a
+//! CI-meaningful code (0 clean, 1 findings, 2 usage/IO error).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+vcaml-lint — static analysis for the vcaml workspace
+
+USAGE:
+  vcaml-lint [OPTIONS]
+
+OPTIONS:
+  --root <DIR>        Workspace root (default: nearest ancestor with a
+                      [workspace] Cargo.toml)
+  --format <F>        table | json | both   (default: table)
+  --out <FILE>        Write the JSON report to FILE (implies computing
+                      JSON regardless of --format)
+  --rule <NAME>       Run only the named rule (repeatable)
+  --list-rules        Print rule names and exit
+  -q, --quiet         Suppress the table on a clean run
+  -h, --help          This help
+";
+
+struct Opts {
+    root: Option<PathBuf>,
+    format: Format,
+    out: Option<PathBuf>,
+    rules: Vec<String>,
+    quiet: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Table,
+    Json,
+    Both,
+}
+
+fn parse_args() -> Result<Option<Opts>, String> {
+    let mut opts = Opts {
+        root: None,
+        format: Format::Table,
+        out: None,
+        rules: Vec::new(),
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(args.next().ok_or("--root needs a value")?));
+            }
+            "--format" => {
+                opts.format = match args.next().as_deref() {
+                    Some("table") => Format::Table,
+                    Some("json") => Format::Json,
+                    Some("both") => Format::Both,
+                    other => {
+                        return Err(format!("--format must be table|json|both, got {other:?}"))
+                    }
+                };
+            }
+            "--out" => {
+                opts.out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?));
+            }
+            "--rule" => {
+                let r = args.next().ok_or("--rule needs a value")?;
+                if !vcaml_lint::rules::ALL_RULES.contains(&r.as_str()) {
+                    return Err(format!("unknown rule `{r}` (see --list-rules)"));
+                }
+                opts.rules.push(r);
+            }
+            "--list-rules" => {
+                for r in vcaml_lint::rules::ALL_RULES {
+                    println!("{r}");
+                }
+                return Ok(None);
+            }
+            "-q" | "--quiet" => opts.quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vcaml-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("vcaml-lint: cannot read cwd: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts
+        .root
+        .clone()
+        .or_else(|| vcaml_lint::find_workspace_root(&cwd))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "vcaml-lint: no [workspace] Cargo.toml above {}",
+                cwd.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let report = match vcaml_lint::analyze(&root, &opts.rules) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vcaml-lint: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(out) = &opts.out {
+        if let Some(parent) = out.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("vcaml-lint: cannot create {}: {e}", parent.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(out, report.to_json()) {
+            eprintln!("vcaml-lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+    match opts.format {
+        Format::Table | Format::Both => {
+            if !(opts.quiet && report.findings.is_empty()) {
+                print!("{}", report.render_table());
+            }
+        }
+        Format::Json => {}
+    }
+    if opts.format == Format::Json || opts.format == Format::Both {
+        print!("{}", report.to_json());
+    }
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(2))
+}

@@ -1,0 +1,591 @@
+//! Structure recovery over the flat token stream: brace matching,
+//! function spans, `#[cfg(test)]` / `#[test]` regions, and the
+//! `// lint:` annotation grammar.
+//!
+//! ## Annotation grammar
+//!
+//! * `// lint: hot_path` — standalone comment line: marks the **next
+//!   `fn` item** as a hot region for the `hot-path-alloc` rule
+//!   (doc comments and attributes may sit between the annotation and
+//!   the `fn`).
+//! * `// lint: allow(<rule>[, <rule>…]) -- <reason>` — suppresses the
+//!   named rule(s). Trailing on a code line it applies to that line;
+//!   standalone it applies to the next code line. The `-- <reason>`
+//!   justification is mandatory: an allow without one is itself a
+//!   finding (`annotation-grammar`).
+
+use crate::lexer::{lex, Comment, DocKind, Lexed, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// How a file participates in the build — decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileRole {
+    /// Library source: every rule applies.
+    Lib,
+    /// Binary targets (`src/bin/`, `src/main.rs`): top-level glue
+    /// where panicking on startup misconfiguration is idiomatic, so
+    /// `no-unwrap-in-lib` is off; structural rules still apply.
+    Binary,
+    /// Integration tests, benches, examples: panicking is idiomatic,
+    /// so `no-unwrap-in-lib` is off; structural rules still apply.
+    TestTarget,
+}
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body, **exclusive** of the outer braces.
+    pub body: std::ops::Range<usize>,
+    /// Marked `// lint: hot_path`.
+    pub hot: bool,
+    /// Inside a `#[cfg(test)]` region or carrying `#[test]`.
+    pub test: bool,
+}
+
+/// A fully analyzed source file.
+pub struct FileModel {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub role: FileRole,
+    pub lines: Vec<String>,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// `line -> rules allowed on that line` (already resolved from
+    /// standalone/trailing placement).
+    pub allows: BTreeMap<u32, BTreeSet<String>>,
+    /// Lines of `lint: allow` annotations missing the `-- reason`.
+    pub bad_allows: Vec<u32>,
+    /// Token ranges (exclusive of braces) that are test-only code.
+    pub test_regions: Vec<std::ops::Range<usize>>,
+    pub fns: Vec<FnSpan>,
+    /// Module is documented-unstable (`//!` doc contains
+    /// `Stability: unstable`).
+    pub unstable_module: bool,
+    /// Public top-level item names carrying a `Stability: stable` doc
+    /// marker (exceptions to `stability-surface`).
+    pub stable_items: BTreeSet<String>,
+    /// All public top-level item names.
+    pub pub_items: BTreeSet<String>,
+}
+
+impl FileModel {
+    /// True when token index `i` lies in test-only code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&i))
+    }
+
+    /// True when `rule` is allowed on `line`.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.get(&line).is_some_and(|s| s.contains(rule))
+    }
+
+    /// The trimmed source text of a 1-based line (for snippets).
+    pub fn snippet(&self, line: u32) -> String {
+        let text = self
+            .lines
+            .get(line as usize - 1)
+            .map(|l| l.trim())
+            .unwrap_or("");
+        let mut s: String = text.chars().take(96).collect();
+        if s.len() < text.len() {
+            s.push('…');
+        }
+        s
+    }
+}
+
+/// Finds the matching `}` for the `{` at `open` (token index).
+/// Returns the index of the closing brace, or `tokens.len()` when
+/// unbalanced (linter must stay total).
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Builds the model for one file.
+pub fn build(path_for_display: &str, fs_path: &Path, src: &str) -> FileModel {
+    let Lexed { tokens, comments } = lex(src);
+    let role = if fs_path.components().any(|c| {
+        matches!(
+            c.as_os_str().to_str(),
+            Some("tests" | "benches" | "examples")
+        )
+    }) {
+        FileRole::TestTarget
+    } else if fs_path
+        .components()
+        .any(|c| c.as_os_str().to_str() == Some("bin"))
+        || fs_path.file_name().and_then(|n| n.to_str()) == Some("main.rs")
+    {
+        FileRole::Binary
+    } else {
+        FileRole::Lib
+    };
+
+    let (allows, bad_allows, hot_lines) = parse_annotations(&comments, &tokens);
+    let test_regions = find_test_regions(&tokens);
+    let fns = find_fns(&tokens, &hot_lines, &test_regions);
+    let (unstable_module, stable_items, pub_items) = stability_markers(&comments, &tokens);
+
+    FileModel {
+        path: path_for_display.to_string(),
+        role,
+        lines: src.lines().map(str::to_string).collect(),
+        tokens,
+        comments,
+        allows,
+        bad_allows,
+        test_regions,
+        fns,
+        unstable_module,
+        stable_items,
+        pub_items,
+    }
+}
+
+/// Extracts `// lint:` annotations. Returns (allow map, malformed
+/// allow lines, hot_path annotation lines).
+#[allow(clippy::type_complexity)]
+fn parse_annotations(
+    comments: &[Comment],
+    tokens: &[Token],
+) -> (BTreeMap<u32, BTreeSet<String>>, Vec<u32>, BTreeSet<u32>) {
+    let mut allows: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    let mut bad = Vec::new();
+    let mut hot = BTreeSet::new();
+    for c in comments {
+        if c.doc != DocKind::Plain {
+            continue;
+        }
+        let body = c.text.trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if rest == "hot_path" {
+            hot.insert(c.line);
+        } else if let Some(spec) = rest.strip_prefix("allow(") {
+            let Some(close) = spec.find(')') else {
+                bad.push(c.line);
+                continue;
+            };
+            let rules: Vec<String> = spec[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let tail = spec[close + 1..].trim();
+            let justified = tail
+                .strip_prefix("--")
+                .is_some_and(|r| !r.trim().is_empty());
+            if rules.is_empty() || !justified {
+                bad.push(c.line);
+                continue;
+            }
+            // Standalone: applies to the next code line; trailing: its
+            // own line.
+            let target = if c.standalone {
+                tokens
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > c.line)
+                    .unwrap_or(c.line)
+            } else {
+                c.line
+            };
+            allows.entry(target).or_default().extend(rules);
+        } else {
+            // Unknown `lint:` directive — surface it rather than
+            // silently ignoring a typo like `lint: hotpath`.
+            bad.push(c.line);
+        }
+    }
+    (allows, bad, hot)
+}
+
+/// Token ranges covered by `#[cfg(test)]` items and `#[test]` fns.
+fn find_test_regions(tokens: &[Token]) -> Vec<std::ops::Range<usize>> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = match_bracket(tokens, i + 1);
+            if attr_is_test(&tokens[i + 2..close.min(tokens.len())]) {
+                // Find the item body this attribute governs: the first
+                // `{` before a `;` at top level (skipping further
+                // attributes).
+                let mut j = close + 1;
+                let mut depth_paren = 0i32;
+                while j < tokens.len() {
+                    let t = &tokens[j];
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                        depth_paren += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+                        depth_paren -= 1;
+                    } else if t.is_punct('{') && depth_paren <= 0 {
+                        let end = match_brace(tokens, j);
+                        regions.push(j + 1..end);
+                        i = end;
+                        break;
+                    } else if t.is_punct(';') && depth_paren <= 0 {
+                        break; // e.g. `#[cfg(test)] use …;`
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]` — but not
+/// `#[cfg_attr(test, …)]` (which gates an attribute, not the item).
+fn attr_is_test(attr: &[Token]) -> bool {
+    match attr.first() {
+        Some(t) if t.is_ident("test") => true,
+        Some(t) if t.is_ident("cfg") => attr.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Matching `]` for the `[` at `open`.
+fn match_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Scans for `fn` items and resolves their bodies and annotations.
+fn find_fns(
+    tokens: &[Token],
+    hot_lines: &BTreeSet<u32>,
+    test_regions: &[std::ops::Range<usize>],
+) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") {
+            let name = match tokens.get(i + 1) {
+                Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+                _ => {
+                    i += 1;
+                    continue; // `fn(` type position
+                }
+            };
+            // A `lint: hot_path` annotation anywhere in the comment gap
+            // above this fn (attributes/docs in between are fine): any
+            // hot line in (prev code line, fn line).
+            let fn_line = tokens[i].line;
+            let prev_code_line = prev_item_boundary(tokens, i);
+            let hot = hot_lines.iter().any(|&l| l < fn_line && l > prev_code_line);
+            // Body: first `{` before a `;` at bracket level 0.
+            let mut j = i + 2;
+            let mut body = None;
+            let mut angle = 0i32;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') {
+                    angle -= 1;
+                } else if t.is_punct('(') || t.is_punct('[') {
+                    let mut d = 0usize;
+                    while j < tokens.len() {
+                        if tokens[j].is_punct('(') || tokens[j].is_punct('[') {
+                            d += 1;
+                        } else if tokens[j].is_punct(')') || tokens[j].is_punct(']') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                } else if t.is_punct('{') && angle <= 0 {
+                    let end = match_brace(tokens, j);
+                    body = Some(j + 1..end);
+                    break;
+                } else if t.is_punct(';') && angle <= 0 {
+                    break; // trait method declaration
+                }
+                j += 1;
+            }
+            if let Some(body) = body {
+                let test = test_regions.iter().any(|r| r.contains(&i));
+                out.push(FnSpan {
+                    name,
+                    line: fn_line,
+                    body,
+                    hot,
+                    test,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Line of the last "real" code token before token `i`, skipping the
+/// attribute soup directly above an item so `// lint: hot_path` can sit
+/// above `#[inline]`. Conservative: walks back over `# [ … ]` groups
+/// only.
+fn prev_item_boundary(tokens: &[Token], i: usize) -> u32 {
+    let mut j = i;
+    loop {
+        // Walk back over one attribute group if present.
+        if j >= 1 && tokens[j - 1].is_punct(']') {
+            let mut depth = 0usize;
+            let mut k = j - 1;
+            loop {
+                if tokens[k].is_punct(']') {
+                    depth += 1;
+                } else if tokens[k].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            if k >= 1 && tokens[k - 1].is_punct('#') {
+                j = k - 1;
+                continue;
+            }
+        }
+        // Walk back over a `(…)` group (`pub(crate)` visibility).
+        if j >= 1 && tokens[j - 1].is_punct(')') {
+            let mut depth = 0usize;
+            let mut k = j - 1;
+            loop {
+                if tokens[k].is_punct(')') {
+                    depth += 1;
+                } else if tokens[k].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            // Only when it really is a visibility group, i.e. `pub`
+            // precedes it — a closing paren of ordinary code must stay
+            // a boundary.
+            if k >= 1 && tokens[k - 1].is_ident("pub") {
+                j = k;
+                continue;
+            }
+        }
+        // Walk back over visibility/qualifiers to the item start.
+        if j >= 1
+            && tokens[j - 1].kind == TokKind::Ident
+            && matches!(
+                tokens[j - 1].text.as_str(),
+                "pub" | "const" | "unsafe" | "async" | "extern" | "crate" | "super" | "in"
+            )
+        {
+            j -= 1;
+            continue;
+        }
+        break;
+    }
+    if j == 0 {
+        0
+    } else {
+        tokens[j - 1].line
+    }
+}
+
+/// Module-level stability markers: is the module documented-unstable,
+/// which pub items are marked `Stability: stable`, and all pub item
+/// names.
+fn stability_markers(
+    comments: &[Comment],
+    tokens: &[Token],
+) -> (bool, BTreeSet<String>, BTreeSet<String>) {
+    let unstable = comments
+        .iter()
+        .filter(|c| c.doc == DocKind::Inner)
+        .any(|c| c.text.contains("Stability: unstable"));
+    let mut stable = BTreeSet::new();
+    let mut pubs = BTreeSet::new();
+    // Top-level `pub` items: depth 0 `pub` followed by an item keyword.
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_ident("pub") {
+            // Skip `pub(crate)` etc.
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+                let mut d = 0usize;
+                while j < tokens.len() {
+                    if tokens[j].is_punct('(') {
+                        d += 1;
+                    } else if tokens[j].is_punct(')') {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                j += 1;
+            }
+            let kw = tokens.get(j).map(|t| t.text.as_str()).unwrap_or("");
+            let name_at = match kw {
+                "struct" | "enum" | "trait" | "mod" | "type" | "union" => j + 1,
+                "fn" => j + 1,
+                "const" | "static" => j + 1,
+                "unsafe" | "async" => j + 2, // `pub unsafe fn x`
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            if let Some(name_tok) = tokens.get(name_at) {
+                if name_tok.kind == TokKind::Ident {
+                    let name = name_tok.text.clone();
+                    // Outer doc directly above (any line between the
+                    // previous code line and this item) marking
+                    // stability.
+                    let item_line = t.line;
+                    // The marker must live in THIS item's doc block:
+                    // above the item (and its attributes), but below
+                    // the last code token of the previous item.
+                    let floor = prev_item_boundary(tokens, i);
+                    let is_stable = comments.iter().any(|c| {
+                        c.doc == DocKind::Outer
+                            && c.line < item_line
+                            && c.line > floor
+                            && item_line - c.line <= 40
+                            && c.text.contains("Stability: stable")
+                    });
+                    if is_stable {
+                        stable.insert(name.clone());
+                    }
+                    pubs.insert(name);
+                }
+            }
+        }
+        i += 1;
+    }
+    (unstable, stable, pubs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn model(src: &str) -> FileModel {
+        build("test.rs", Path::new("crates/x/src/test.rs"), src)
+    }
+
+    #[test]
+    fn hot_path_annotation_attaches_to_next_fn() {
+        let m =
+            model("// lint: hot_path\n#[inline]\npub fn fast(x: u32) -> u32 { x }\nfn slow() {}\n");
+        assert_eq!(m.fns.len(), 2);
+        assert!(m.fns[0].hot, "annotated fn is hot");
+        assert!(!m.fns[1].hot, "next fn is not");
+    }
+
+    #[test]
+    fn allow_grammar_requires_reason() {
+        let m = model(
+            "fn a() { x.unwrap(); } // lint: allow(no-unwrap-in-lib) -- invariant: always set\n\
+             // lint: allow(no-unwrap-in-lib)\nfn b() {}\n",
+        );
+        assert!(m.allowed("no-unwrap-in-lib", 1));
+        assert_eq!(m.bad_allows, vec![2]);
+    }
+
+    #[test]
+    fn standalone_allow_applies_to_next_code_line() {
+        let m = model(
+            "fn a() {\n    // lint: allow(hot-path-alloc) -- warmup growth\n    v.push(1);\n}\n",
+        );
+        assert!(m.allowed("hot-path-alloc", 3));
+        assert!(!m.allowed("hot-path-alloc", 2));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_body() {
+        let m = model("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n");
+        assert_eq!(m.test_regions.len(), 1);
+        assert!(m.fns.iter().any(|f| f.name == "t" && f.test));
+        assert!(m.fns.iter().any(|f| f.name == "lib" && !f.test));
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_a_test_region() {
+        let m = model("#[cfg_attr(test, allow(dead_code))]\nfn lib() {}\n");
+        assert!(m.test_regions.is_empty());
+    }
+
+    #[test]
+    fn stability_markers_collected() {
+        let m = model(
+            "//! Machine room.\n//! **Stability: unstable internals.**\n\
+             /// Widget.\n///\n/// Stability: stable re-export.\npub struct Config;\n\
+             /// Private-ish.\npub struct Table;\n",
+        );
+        assert!(m.unstable_module);
+        assert!(m.stable_items.contains("Config"));
+        assert!(!m.stable_items.contains("Table"));
+        assert!(m.pub_items.contains("Table"));
+    }
+
+    #[test]
+    fn roles_from_paths() {
+        let role = |p: &str| build("x.rs", Path::new(p), "").role;
+        assert_eq!(role("crates/core/src/api.rs"), FileRole::Lib);
+        assert_eq!(role("src/bin/monitor.rs"), FileRole::Binary);
+        assert_eq!(role("crates/lint/src/main.rs"), FileRole::Binary);
+        assert_eq!(role("crates/core/tests/hot.rs"), FileRole::TestTarget);
+        assert_eq!(role("crates/bench/benches/pipe.rs"), FileRole::TestTarget);
+    }
+
+    #[test]
+    fn fn_body_spans_are_exclusive() {
+        let m = model("fn f() { inner(); }");
+        let f = &m.fns[0];
+        assert!(m.tokens[f.body.clone()].iter().any(|t| t.is_ident("inner")));
+        assert!(!m.tokens[f.body.clone()].iter().any(|t| t.is_punct('}')));
+    }
+}

@@ -1,0 +1,281 @@
+//! Typed findings and the two report surfaces: a terminal table and a
+//! structured JSON document with CI-meaningful exit codes (the
+//! verdict/report/exit-code shape of notar-verify-style gates).
+
+use std::collections::BTreeMap;
+
+/// Finding severity. Both levels gate CI (any finding is a nonzero
+/// exit); the split is for triage ordering in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One typed finding: rule, location, severity, human detail, and the
+/// offending source line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    pub snippet: String,
+}
+
+/// Overall verdict of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Clean,
+    Dirty,
+}
+
+impl Verdict {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Clean => "CLEAN",
+            Verdict::Dirty => "DIRTY",
+        }
+    }
+}
+
+/// A full lint run's result.
+#[derive(Debug)]
+pub struct Report {
+    pub root: String,
+    pub files_scanned: usize,
+    pub rules: Vec<String>,
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    pub fn verdict(&self) -> Verdict {
+        if self.findings.is_empty() {
+            Verdict::Clean
+        } else {
+            Verdict::Dirty
+        }
+    }
+
+    /// Process exit code: 0 clean, 1 findings. (2 is reserved for
+    /// usage/IO errors, issued by the CLI.)
+    pub fn exit_code(&self) -> i32 {
+        match self.verdict() {
+            Verdict::Clean => 0,
+            Verdict::Dirty => 1,
+        }
+    }
+
+    pub fn by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for f in &self.findings {
+            *m.entry(f.rule).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Renders the terminal table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "vcaml-lint: {} files scanned, 0 findings — {}\n",
+                self.files_scanned,
+                self.verdict().as_str()
+            ));
+            return out;
+        }
+        let headers = ["RULE", "SEV", "LOCATION", "DETAIL"];
+        let rows: Vec<[String; 4]> = self
+            .findings
+            .iter()
+            .map(|f| {
+                [
+                    f.rule.to_string(),
+                    f.severity.as_str().to_string(),
+                    format!("{}:{}", f.file, f.line),
+                    f.message.clone(),
+                ]
+            })
+            .collect();
+        let mut width = [0usize; 3];
+        for (i, w) in width.iter_mut().enumerate() {
+            *w = headers[i].len();
+            for r in &rows {
+                *w = (*w).max(r[i].chars().count());
+            }
+        }
+        let rule = |out: &mut String| {
+            for w in width {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push_str("---------\n");
+        };
+        let line = |out: &mut String, cells: [&str; 4]| {
+            for (i, w) in width.iter().enumerate() {
+                out.push(' ');
+                out.push_str(cells[i]);
+                out.push_str(&" ".repeat(w.saturating_sub(cells[i].chars().count()) + 1));
+                out.push('|');
+            }
+            out.push(' ');
+            out.push_str(cells[3]);
+            out.push('\n');
+        };
+        rule(&mut out);
+        line(&mut out, [headers[0], headers[1], headers[2], headers[3]]);
+        rule(&mut out);
+        for r in &rows {
+            line(&mut out, [&r[0], &r[1], &r[2], &r[3]]);
+        }
+        rule(&mut out);
+        out.push_str(&format!(
+            "vcaml-lint: {} files scanned, {} finding(s) — {}\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.verdict().as_str()
+        ));
+        for (rule, n) in self.by_rule() {
+            out.push_str(&format!("  {rule}: {n}\n"));
+        }
+        out
+    }
+
+    /// Renders the JSON report (hand-rolled: the linter is
+    /// dependency-free by design).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"tool\": \"vcaml-lint\",\n");
+        s.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str("  \"rules\": [");
+        s.push_str(
+            &self
+                .rules
+                .iter()
+                .map(|r| json_str(r))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        s.push_str("],\n");
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \
+                 \"message\": {}, \"snippet\": {}}}{}\n",
+                json_str(f.rule),
+                json_str(f.severity.as_str()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                json_str(&f.snippet),
+                if i + 1 == self.findings.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"summary\": {");
+        s.push_str(
+            &self
+                .by_rule()
+                .iter()
+                .map(|(r, n)| format!("{}: {}", json_str(r), n))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        s.push_str("},\n");
+        s.push_str(&format!("  \"total_findings\": {},\n", self.findings.len()));
+        s.push_str(&format!(
+            "  \"verdict\": {}\n",
+            json_str(self.verdict().as_str())
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(findings: Vec<Finding>) -> Report {
+        Report {
+            root: "/tmp/x".into(),
+            files_scanned: 3,
+            rules: vec!["no-unwrap-in-lib".into()],
+            findings,
+        }
+    }
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "no-unwrap-in-lib",
+            severity: Severity::Warning,
+            file: "crates/core/src/api.rs".into(),
+            line: 42,
+            message: "msg with \"quotes\"".into(),
+            snippet: "x.unwrap()".into(),
+        }
+    }
+
+    #[test]
+    fn verdict_and_exit_codes() {
+        assert_eq!(report(vec![]).exit_code(), 0);
+        assert_eq!(report(vec![finding()]).exit_code(), 1);
+        assert_eq!(report(vec![]).verdict(), Verdict::Clean);
+    }
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let j = report(vec![finding()]).to_json();
+        assert!(j.contains("\"verdict\": \"DIRTY\""));
+        assert!(j.contains("msg with \\\"quotes\\\""));
+        assert!(j.contains("\"total_findings\": 1"));
+        assert!(j.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn table_lists_findings() {
+        let t = report(vec![finding()]).render_table();
+        assert!(t.contains("crates/core/src/api.rs:42"));
+        assert!(t.contains("DIRTY"));
+        let clean = report(vec![]).render_table();
+        assert!(clean.contains("CLEAN"));
+    }
+}

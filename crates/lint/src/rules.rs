@@ -1,0 +1,861 @@
+//! The rule engine: five repo-grounded rules over [`FileModel`]s, plus
+//! the `annotation-grammar` meta-rule. Each rule is a pure function
+//! from model(s) to [`Finding`]s; suppression via
+//! `// lint: allow(<rule>) -- <reason>` is resolved here.
+
+use crate::lexer::{TokKind, Token};
+use crate::model::{match_brace, FileModel, FileRole};
+use crate::report::{Finding, Severity};
+
+/// Names of all rules, in report order.
+pub const ALL_RULES: &[&str] = &[
+    "hot-path-alloc",
+    "lock-discipline",
+    "no-unwrap-in-lib",
+    "exhaustive-events",
+    "stability-surface",
+    "annotation-grammar",
+];
+
+/// Runs every (selected) rule over the file set.
+pub fn run_all(files: &[FileModel], selected: &[String]) -> Vec<Finding> {
+    let on = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+    let mut findings = Vec::new();
+    for f in files {
+        if on("hot-path-alloc") {
+            hot_path_alloc(f, &mut findings);
+        }
+        if on("lock-discipline") {
+            lock_discipline(f, &mut findings);
+        }
+        if on("no-unwrap-in-lib") {
+            no_unwrap_in_lib(f, &mut findings);
+        }
+        if on("exhaustive-events") {
+            exhaustive_events(f, &mut findings);
+        }
+        if on("annotation-grammar") {
+            annotation_grammar(f, &mut findings);
+        }
+    }
+    if on("stability-surface") {
+        stability_surface(files, &mut findings);
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings
+}
+
+fn emit(out: &mut Vec<Finding>, f: &FileModel, rule: &'static str, line: u32, message: String) {
+    if f.allowed(rule, line) {
+        return;
+    }
+    out.push(Finding {
+        rule,
+        severity: severity_of(rule),
+        file: f.path.clone(),
+        line,
+        message,
+        snippet: f.snippet(line),
+    });
+}
+
+fn severity_of(rule: &str) -> Severity {
+    match rule {
+        "no-unwrap-in-lib" => Severity::Warning,
+        _ => Severity::Error,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hot-path-alloc
+// ---------------------------------------------------------------------------
+
+/// Allocating (or allocation-prone) call patterns forbidden inside
+/// `// lint: hot_path` functions. Matched against the code token
+/// stream, so strings/comments never trip it.
+const BANNED_HOT: &[(&[&str], &str)] = &[
+    (
+        &["Vec", ":", ":", "new"],
+        "Vec::new allocates on first push",
+    ),
+    (
+        &["Vec", ":", ":", "with_capacity"],
+        "Vec::with_capacity heap-allocates",
+    ),
+    (&["vec", "!"], "vec! macro allocates"),
+    (&["format", "!"], "format! allocates a String"),
+    (&["Box", ":", ":", "new"], "Box::new heap-allocates"),
+    (
+        &["String", ":", ":", "new"],
+        "String::new allocates on first push",
+    ),
+    (&["String", ":", ":", "from"], "String::from allocates"),
+    (&[".", "to_vec"], ".to_vec() copies into a fresh Vec"),
+    (&[".", "to_string"], ".to_string() allocates a String"),
+    (&[".", "to_owned"], ".to_owned() allocates"),
+    (&[".", "collect"], ".collect() builds a fresh container"),
+    (
+        &[".", "insert"],
+        "insert may grow/rehash its container (allow when capacity is warmed)",
+    ),
+    (
+        &[".", "clone"],
+        "clone() on a non-Copy type allocates (allow when the type is Copy)",
+    ),
+];
+
+/// `hot-path-alloc`: functions annotated `// lint: hot_path` — the
+/// per-packet paths whose zero-allocation contract
+/// `tests/hot_path.rs` meters dynamically — must not call allocating
+/// APIs. Seal-path or warmup allocations inside a hot function carry
+/// a justified inline allow.
+fn hot_path_alloc(f: &FileModel, out: &mut Vec<Finding>) {
+    for fun in f.fns.iter().filter(|fun| fun.hot) {
+        let body = &f.tokens[fun.body.clone()];
+        for (i, t) in body.iter().enumerate() {
+            for (pat, why) in BANNED_HOT {
+                if match_seq(body, i, pat) {
+                    // Method patterns must be *calls*: require `(` right
+                    // after the name so `.insert` in a path like
+                    // `map.insert` (no call) — or a field — can't trip.
+                    if pat[0] == "." {
+                        let after = i + pat.len();
+                        if !body.get(after).is_some_and(|t| t.is_punct('(')) {
+                            continue;
+                        }
+                    }
+                    emit(
+                        out,
+                        f,
+                        "hot-path-alloc",
+                        t.line,
+                        format!("allocation in hot path `{}`: {}", fun.name, why),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Does the token sequence starting at `i` match `pat`? Pattern
+/// elements are ident texts or single punct chars.
+fn match_seq(tokens: &[Token], i: usize, pat: &[&str]) -> bool {
+    if i + pat.len() > tokens.len() {
+        return false;
+    }
+    pat.iter().enumerate().all(|(k, p)| {
+        let t = &tokens[i + k];
+        match t.kind {
+            TokKind::Ident => t.text == *p,
+            TokKind::Punct => t.text == *p,
+            _ => false,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// lock-discipline
+// ---------------------------------------------------------------------------
+
+/// Channel/condvar operations that can block (or wake a blocked peer
+/// that needs the same lock).
+const WAIT_POINTS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+];
+
+/// `lock-discipline`: a `Mutex` guard bound by `let … .lock() …` must
+/// not be live across a channel send/recv or condvar wait in the same
+/// block — the self-deadlock shape PRs 3 and 6 fixed by hand
+/// (a parked worker holding the lock its waker needs).
+/// Is `body[i]` a blocking call token: `.send(`, `.recv(`, `.wait(`…?
+fn is_wait_point(body: &[Token], i: usize) -> bool {
+    body[i].kind == TokKind::Ident
+        && WAIT_POINTS.contains(&body[i].text.as_str())
+        && i >= 1
+        && body[i - 1].is_punct('.')
+        && body.get(i + 1).is_some_and(|t| t.is_punct('('))
+}
+
+/// For a condvar `wait*` call at `body[i]`, the guard it consumes (and
+/// atomically releases): the first ident in its argument list.
+fn handoff_guard(body: &[Token], i: usize) -> Option<String> {
+    if !body[i].text.starts_with("wait") {
+        return None;
+    }
+    body[i + 2..(i + 6).min(body.len())]
+        .iter()
+        .find(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Emits a `lock-discipline` finding for the wait point at `body[i]`
+/// unless the only live guard is the one a condvar wait hands off.
+fn check_wait(
+    f: &FileModel,
+    out: &mut Vec<Finding>,
+    body: &[Token],
+    i: usize,
+    guards: &[(Option<String>, i32)],
+    fun_name: &str,
+) {
+    // `cvar.wait(guard)` is the legitimate condvar handoff: the wait
+    // atomically releases the guard it is given. Only *other* guards
+    // held across it deadlock.
+    let handoff = handoff_guard(body, i);
+    let held: Vec<String> = guards
+        .iter()
+        .filter(|(n, _)| handoff.is_none() || n.as_deref() != handoff.as_deref())
+        .map(|(n, _)| n.clone().unwrap_or_else(|| "_".into()))
+        .collect();
+    if !held.is_empty() {
+        emit(
+            out,
+            f,
+            "lock-discipline",
+            body[i].line,
+            format!(
+                "`.{}()` while mutex guard `{}` is live in `{}` — \
+                 drop the guard before blocking",
+                body[i].text,
+                held.join("`, `"),
+                fun_name
+            ),
+        );
+    }
+}
+
+fn lock_discipline(f: &FileModel, out: &mut Vec<Finding>) {
+    for fun in &f.fns {
+        let body = &f.tokens[fun.body.clone()];
+        // Live guards: (binding name or None, brace depth at binding).
+        let mut guards: Vec<(Option<String>, i32)> = Vec::new();
+        let mut depth = 0i32;
+        let mut i = 0usize;
+        while i < body.len() {
+            let t = &body[i];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                guards.retain(|(_, d)| *d <= depth);
+            } else if t.is_ident("drop") && body.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                if let Some(name_tok) = body.get(i + 2) {
+                    if name_tok.kind == TokKind::Ident {
+                        let name = name_tok.text.clone();
+                        guards.retain(|(n, _)| n.as_deref() != Some(name.as_str()));
+                    }
+                }
+            } else if t.is_ident("let") {
+                // Scan the statement: `let [mut] NAME … = … ;` or the
+                // `if let`/`while let` form ending at `{`.
+                let mut name = None;
+                let mut has_lock = false;
+                let mut j = i + 1;
+                let mut paren = 0i32;
+                while j < body.len() {
+                    let u = &body[j];
+                    if u.is_punct('(') || u.is_punct('[') {
+                        paren += 1;
+                    } else if u.is_punct(')') || u.is_punct(']') {
+                        paren -= 1;
+                    } else if u.is_punct(';') && paren <= 0 {
+                        break;
+                    } else if u.is_punct('{') && paren <= 0 {
+                        break; // `if let … = … {` / `let … = loop {`
+                    } else if u.is_punct('=') && paren <= 0 {
+                        // Pattern ends at `=`; stop taking binding names
+                        // from the initializer expression.
+                        name = name.or(Some(String::new()));
+                    } else if u.kind == TokKind::Ident
+                        && name.is_none()
+                        && u.text != "mut"
+                        // Skip constructor names: in `Ok(g)` / `Some(g)`
+                        // the binding is inside the parens.
+                        && !matches!(
+                            body.get(j + 1),
+                            Some(n) if n.is_punct('(') || n.is_punct(':')
+                        )
+                    {
+                        name = Some(u.text.clone());
+                    } else if u.is_ident("lock")
+                        && j >= 1
+                        && body[j - 1].is_punct('.')
+                        && body.get(j + 1).is_some_and(|t| t.is_punct('('))
+                    {
+                        has_lock = true;
+                    } else if is_wait_point(body, j) && !guards.is_empty() {
+                        // `let v = rx.recv();` — a blocking call inside
+                        // the initializer blocks just the same.
+                        check_wait(f, out, body, j, &guards, &fun.name);
+                    }
+                    j += 1;
+                }
+                if has_lock {
+                    // The guard's scope: the current block (or the one
+                    // the `if let` is about to open; binding to the
+                    // current depth is conservative for both).
+                    guards.push((name, depth));
+                }
+                i = j;
+                continue;
+            } else if is_wait_point(body, i) && !guards.is_empty() {
+                check_wait(f, out, body, i, &guards, &fun.name);
+            }
+            i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// no-unwrap-in-lib
+// ---------------------------------------------------------------------------
+
+/// `no-unwrap-in-lib`: `unwrap()` / `expect()` / `panic!` are
+/// forbidden in non-test library code. Proper error propagation where
+/// feasible; an invariant that genuinely cannot fail carries a
+/// justified inline allow.
+fn no_unwrap_in_lib(f: &FileModel, out: &mut Vec<Finding>) {
+    if f.role != FileRole::Lib {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        if f.in_test(i) {
+            continue;
+        }
+        let hit = if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 1
+            && f.tokens[i - 1].is_punct('.')
+            && f.tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            Some(format!(".{}() in library code", t.text))
+        } else if t.is_ident("panic") && f.tokens.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            Some("panic! in library code".to_string())
+        } else {
+            None
+        };
+        if let Some(msg) = hit {
+            emit(
+                out,
+                f,
+                "no-unwrap-in-lib",
+                t.line,
+                format!("{msg} — propagate the error or justify with an inline allow"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// exhaustive-events
+// ---------------------------------------------------------------------------
+
+/// Event-shaped enums every consumer must match exhaustively: adding a
+/// variant (a new event kind, eviction cause, or source packet form)
+/// must be a compile-time event at each consumer, never a silently
+/// swallowed wildcard.
+const EVENT_ENUMS: &[&str] = &["QoeEvent", "EvictReason", "SourcePacket"];
+
+/// `exhaustive-events`: a `match` whose arms name an event enum
+/// variant must not also contain a wildcard `_` arm.
+fn exhaustive_events(f: &FileModel, out: &mut Vec<Finding>) {
+    let toks = &f.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("match") {
+            continue;
+        }
+        // Test-only projections (filter_map/find_map extracting one
+        // variant) may use wildcards: the invariant protects live
+        // event handling, not assertions.
+        if f.in_test(i) {
+            continue;
+        }
+        // Find the match body: the first `{` at bracket level 0 after
+        // the scrutinee.
+        let mut j = i + 1;
+        let mut level = 0i32;
+        let mut open = None;
+        while j < toks.len() {
+            let u = &toks[j];
+            if u.is_punct('(') || u.is_punct('[') {
+                level += 1;
+            } else if u.is_punct(')') || u.is_punct(']') {
+                level -= 1;
+            } else if u.is_punct('{') && level <= 0 {
+                open = Some(j);
+                break;
+            } else if u.is_punct(';') && level <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = match_brace(toks, open);
+        // Split arms at depth 0 inside the body; an arm's pattern is
+        // everything up to its `=>`.
+        let mut arm_patterns: Vec<(u32, Vec<usize>)> = Vec::new();
+        let mut cur: Vec<usize> = Vec::new();
+        let mut depth = 0i32;
+        let mut in_pattern = true;
+        let mut k = open + 1;
+        while k < close {
+            let u = &toks[k];
+            if u.is_punct('{') || u.is_punct('(') || u.is_punct('[') {
+                depth += 1;
+            } else if u.is_punct('}') || u.is_punct(')') || u.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0
+                && in_pattern
+                && u.is_punct('=')
+                && toks.get(k + 1).is_some_and(|t| t.is_punct('>'))
+            {
+                arm_patterns.push((u.line, std::mem::take(&mut cur)));
+                in_pattern = false;
+                k += 2;
+                continue;
+            } else if depth == 0 && !in_pattern && u.is_punct(',') {
+                in_pattern = true;
+                k += 1;
+                continue;
+            }
+            // A block arm body `{…}` returns depth to 0; the next
+            // pattern starts right after without a comma.
+            if depth == 0 && !in_pattern && u.is_punct('}') {
+                in_pattern = true;
+                k += 1;
+                continue;
+            }
+            // Skip the separator comma a block-bodied arm may leave
+            // before the next pattern.
+            if in_pattern && depth >= 0 && !(depth == 0 && u.is_punct(',')) {
+                cur.push(k);
+            }
+            k += 1;
+        }
+        let names_event = arm_patterns.iter().any(|(_, pat)| {
+            pat.iter().any(|&idx| {
+                EVENT_ENUMS.contains(&toks[idx].text.as_str())
+                    && toks[idx].kind == TokKind::Ident
+                    && toks.get(idx + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(idx + 2).is_some_and(|t| t.is_punct(':'))
+            })
+        });
+        if !names_event {
+            continue;
+        }
+        for (line, pat) in &arm_patterns {
+            let code: Vec<&Token> = pat.iter().map(|&idx| &toks[idx]).collect();
+            let wildcard = match code.as_slice() {
+                [t] if t.is_ident("_") => true,
+                [t, g, ..] if t.is_ident("_") && g.is_ident("if") => true,
+                _ => false,
+            };
+            if wildcard {
+                emit(
+                    out,
+                    f,
+                    "exhaustive-events",
+                    *line,
+                    "wildcard `_` arm in a match over an event enum — name every \
+                     variant so new ones force handling here"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// stability-surface
+// ---------------------------------------------------------------------------
+
+/// `stability-surface`: items from a documented-unstable module
+/// (`//! … Stability: unstable …`) must not be re-exported from a
+/// crate root `lib.rs`, unless the item itself carries a
+/// `Stability: stable` doc marker.
+fn stability_surface(files: &[FileModel], out: &mut Vec<Finding>) {
+    // Unstable modules by (crate src dir, module name).
+    struct Unstable<'a> {
+        dir: String,
+        module: String,
+        model: &'a FileModel,
+    }
+    let mut unstable: Vec<Unstable> = Vec::new();
+    for f in files {
+        if !f.unstable_module {
+            continue;
+        }
+        let (dir, stem) = split_dir_stem(&f.path);
+        unstable.push(Unstable {
+            dir,
+            module: stem,
+            model: f,
+        });
+    }
+    if unstable.is_empty() {
+        return;
+    }
+    for f in files.iter().filter(|f| f.path.ends_with("lib.rs")) {
+        let (dir, _) = split_dir_stem(&f.path);
+        let toks = &f.tokens;
+        let mut i = 0usize;
+        while i < toks.len() {
+            if toks[i].is_ident("pub") && toks.get(i + 1).is_some_and(|t| t.is_ident("use")) {
+                // Parse `pub use seg::seg::{A, B as C, *};`-ish forms.
+                let mut j = i + 2;
+                let mut segs: Vec<String> = Vec::new();
+                let mut after_as = false;
+                while j < toks.len() && !toks[j].is_punct(';') {
+                    let t = &toks[j];
+                    if t.kind == TokKind::Ident {
+                        if t.text == "as" {
+                            after_as = true; // `x as y`: y is a rename, not a path seg
+                        } else if !after_as {
+                            segs.push(t.text.clone());
+                        } else {
+                            after_as = false;
+                        }
+                    } else if t.is_punct('{') || t.is_punct('*') {
+                        break;
+                    }
+                    j += 1;
+                }
+                let module_seg = segs
+                    .iter()
+                    .find(|s| !matches!(s.as_str(), "crate" | "self" | "super"));
+                if let Some(module) = module_seg {
+                    if let Some(u) = unstable
+                        .iter()
+                        .find(|u| u.dir == dir && u.module == *module)
+                    {
+                        check_reexport(f, u.model, toks, j, &segs, module, out);
+                    }
+                }
+                i = j;
+            }
+            i += 1;
+        }
+    }
+
+    fn check_reexport(
+        f: &FileModel,
+        module_model: &FileModel,
+        toks: &[Token],
+        j: usize,
+        segs: &[String],
+        module: &str,
+        out: &mut Vec<Finding>,
+    ) {
+        let flag = |out: &mut Vec<Finding>, line: u32, item: &str| {
+            emit(
+                out,
+                f,
+                "stability-surface",
+                line,
+                format!(
+                    "`{item}` is documented-unstable (module `{module}`) but re-exported \
+                     from the crate root — mark it `Stability: stable` or drop the re-export"
+                ),
+            );
+        };
+        match toks.get(j) {
+            Some(t) if t.is_punct('{') => {
+                let close = match_brace(toks, j);
+                let mut prev_was_as = false;
+                for t in &toks[j + 1..close.min(toks.len())] {
+                    if t.kind == TokKind::Ident {
+                        if t.text == "as" {
+                            prev_was_as = true;
+                            continue;
+                        }
+                        if prev_was_as {
+                            prev_was_as = false;
+                            continue; // rename target, not the item
+                        }
+                        if module_model.pub_items.contains(&t.text)
+                            && !module_model.stable_items.contains(&t.text)
+                        {
+                            flag(out, t.line, &t.text);
+                        }
+                    }
+                }
+            }
+            Some(t) if t.is_punct('*') => {
+                // A glob re-export of an unstable module leaks every
+                // unmarked item.
+                for item in module_model
+                    .pub_items
+                    .difference(&module_model.stable_items)
+                {
+                    flag(out, t.line, item);
+                }
+            }
+            _ => {
+                // Single-item form: `pub use engine::FlowTable;`
+                if let Some(item) = segs.last() {
+                    if item != module
+                        && module_model.pub_items.contains(item)
+                        && !module_model.stable_items.contains(item)
+                    {
+                        let line = toks.get(j).map(|t| t.line).unwrap_or(0);
+                        flag(out, line, item);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Splits `crates/core/src/engine.rs` into
+/// (`crates/core/src`, `engine`).
+fn split_dir_stem(path: &str) -> (String, String) {
+    let (dir, file) = match path.rfind('/') {
+        Some(i) => (&path[..i], &path[i + 1..]),
+        None => ("", path),
+    };
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    (dir.to_string(), stem.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// annotation-grammar
+// ---------------------------------------------------------------------------
+
+/// `annotation-grammar`: every `// lint:` annotation must parse, and
+/// every allow must carry a `-- <reason>` justification.
+fn annotation_grammar(f: &FileModel, out: &mut Vec<Finding>) {
+    for &line in &f.bad_allows {
+        emit(
+            out,
+            f,
+            "annotation-grammar",
+            line,
+            "malformed `// lint:` annotation — expected `hot_path` or \
+             `allow(<rule>[, <rule>…]) -- <reason>`"
+                .to_string(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build;
+    use std::path::Path;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let m = build("x.rs", Path::new("crates/x/src/x.rs"), src);
+        run_all(std::slice::from_ref(&m), &[])
+    }
+
+    #[test]
+    fn hot_fn_with_alloc_flagged_cold_fn_ignored() {
+        let src = "\
+// lint: hot_path
+fn hot(v: &mut Vec<u32>) { let s = x.to_string(); }
+fn cold() { let s = x.to_string(); }
+";
+        let f = findings(src);
+        assert_eq!(f.iter().filter(|f| f.rule == "hot-path-alloc").count(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn hot_alloc_allow_suppresses() {
+        let src = "\
+// lint: hot_path
+fn hot(v: &mut Vec<u32>) {
+    v.insert(0, 1); // lint: allow(hot-path-alloc) -- capacity warmed in setup
+}
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn lock_across_send_flagged() {
+        let src = "\
+fn f(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock().unwrap();
+    tx.send(*g).ok();
+}
+";
+        let f = findings(src);
+        assert!(f.iter().any(|f| f.rule == "lock-discipline" && f.line == 3));
+    }
+
+    #[test]
+    fn recv_inside_let_initializer_flagged() {
+        let src = "\
+fn f(m: &Mutex<u32>, rx: &Receiver<u32>) {
+    let g = m.lock().ok();
+    let v = rx.recv();
+    let _ = (g, v);
+}
+";
+        let f = findings(src);
+        assert!(f.iter().any(|f| f.rule == "lock-discipline" && f.line == 3));
+    }
+
+    #[test]
+    fn condvar_handoff_is_clean() {
+        let src = "\
+fn f(m: &Mutex<bool>, cvar: &Condvar) {
+    let Ok(mut g) = m.lock() else { return };
+    while !*g {
+        g = match cvar.wait(g) { Ok(v) => v, Err(_) => return };
+    }
+}
+";
+        let f = findings(src);
+        assert!(!f.iter().any(|f| f.rule == "lock-discipline"));
+    }
+
+    #[test]
+    fn lock_dropped_before_send_is_clean() {
+        let src = "\
+fn f(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = m.lock().unwrap();
+    let v = *g;
+    drop(g);
+    tx.send(v).ok();
+}
+";
+        let f = findings(src);
+        assert!(!f.iter().any(|f| f.rule == "lock-discipline"));
+    }
+
+    #[test]
+    fn lock_scope_ends_at_block_close() {
+        let src = "\
+fn f(m: &Mutex<u32>, tx: &Sender<u32>) {
+    {
+        let g = m.lock().unwrap();
+    }
+    tx.send(1).ok();
+}
+";
+        let f = findings(src);
+        assert!(!f.iter().any(|f| f.rule == "lock-discipline"));
+    }
+
+    #[test]
+    fn unwrap_in_lib_flagged_in_tests_exempt() {
+        let src = "\
+fn lib() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { y.unwrap(); }
+}
+";
+        let f = findings(src);
+        assert_eq!(f.iter().filter(|f| f.rule == "no-unwrap-in-lib").count(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_variants_not_confused() {
+        let src = "fn lib() { x.unwrap_or(0); y.unwrap_or_else(f); z.expect_err(); }";
+        assert!(findings(src).iter().all(|f| f.rule != "no-unwrap-in-lib"));
+    }
+
+    #[test]
+    fn wildcard_over_event_enum_flagged() {
+        let src = "\
+fn f(e: &QoeEvent) {
+    match e {
+        QoeEvent::FlowOpened { .. } => a(),
+        _ => b(),
+    }
+}
+";
+        let f = findings(src);
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "exhaustive-events" && f.line == 4));
+    }
+
+    #[test]
+    fn wildcard_over_other_enum_fine() {
+        let src = "\
+fn f(e: &Other) {
+    match e {
+        Other::A => a(),
+        _ => b(),
+    }
+}
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn nested_non_event_match_inside_event_match_fine() {
+        let src = "\
+fn f(e: &QoeEvent) {
+    match e {
+        QoeEvent::FlowOpened { method } => match method {
+            Method::A => a(),
+            _ => b(),
+        },
+        QoeEvent::Dropped { .. } => c(),
+    }
+}
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn stability_surface_flags_unmarked_reexport() {
+        let engine = "\
+//! Machine room.
+//! **Stability: unstable internals.**
+
+/// Public but unstable.
+pub struct FlowTable;
+
+/// Config.
+///
+/// Stability: stable re-export of the unstable module.
+pub struct EngineConfig;
+";
+        let lib = "pub use engine::{EngineConfig, FlowTable};\n";
+        let me = build(
+            "crates/core/src/engine.rs",
+            Path::new("crates/core/src/engine.rs"),
+            engine,
+        );
+        let ml = build(
+            "crates/core/src/lib.rs",
+            Path::new("crates/core/src/lib.rs"),
+            lib,
+        );
+        let f = run_all(&[me, ml], &[]);
+        let hits: Vec<_> = f.iter().filter(|f| f.rule == "stability-surface").collect();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("FlowTable"));
+    }
+
+    #[test]
+    fn annotation_grammar_flags_reasonless_allow() {
+        let src = "fn f() { x.unwrap(); } // lint: allow(no-unwrap-in-lib)\n";
+        let f = findings(src);
+        assert!(f.iter().any(|f| f.rule == "annotation-grammar"));
+        // The reasonless allow does NOT suppress.
+        assert!(f.iter().any(|f| f.rule == "no-unwrap-in-lib"));
+    }
+
+    #[test]
+    fn banned_names_in_strings_do_not_trip() {
+        let src = "\
+// lint: hot_path
+fn hot() { let s = \"x.to_string() vec![] format!\"; }
+fn lib() { let m = \"don't panic!('x') or .unwrap()\"; }
+";
+        assert!(findings(src).is_empty());
+    }
+}

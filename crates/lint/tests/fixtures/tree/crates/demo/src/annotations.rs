@@ -1,0 +1,8 @@
+//! Seeded `annotation-grammar` violations.
+
+pub fn reasonless_allow(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(no-unwrap-in-lib)
+}
+
+// lint: allot(typo-directive) -- close but not a directive
+pub fn typoed_directive() {}

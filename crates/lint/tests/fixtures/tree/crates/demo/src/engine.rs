@@ -1,0 +1,15 @@
+//! Fixture machine room.
+//!
+//! **Stability: unstable internals.** Everything here may change
+//! between minor versions.
+
+/// Public but unstable: must not leak through the crate root.
+pub struct FlowTable;
+
+/// Deliberately blessed re-export.
+///
+/// Stability: stable — part of the supported API surface.
+pub struct EngineConfig;
+
+/// Also unstable; re-exported under a rename.
+pub struct ReplayHarness;

@@ -1,0 +1,40 @@
+//! Seeded `exhaustive-events` violations and clean counterparts.
+
+pub enum QoeEvent {
+    FlowOpened { id: u32 },
+    Dropped { n: u32 },
+}
+
+pub enum Other {
+    A,
+    B,
+}
+
+pub fn wildcard_over_event(e: &QoeEvent) -> u32 {
+    match e {
+        QoeEvent::FlowOpened { id } => *id,
+        _ => 0, // FINDING: wildcard over event enum
+    }
+}
+
+pub fn wildcard_with_guard(e: &QoeEvent, x: u32) -> u32 {
+    match e {
+        QoeEvent::Dropped { n } => *n,
+        _ if x > 0 => x, // FINDING: guarded wildcard still a wildcard
+        QoeEvent::FlowOpened { .. } => 0,
+    }
+}
+
+pub fn exhaustive_is_clean(e: &QoeEvent) -> u32 {
+    match e {
+        QoeEvent::FlowOpened { id } => *id,
+        QoeEvent::Dropped { n } => *n,
+    }
+}
+
+pub fn other_enum_wildcard_is_fine(o: &Other) -> u32 {
+    match o {
+        Other::A => 1,
+        _ => 2, // clean: not an event enum
+    }
+}

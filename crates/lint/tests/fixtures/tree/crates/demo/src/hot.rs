@@ -1,0 +1,21 @@
+//! Seeded `hot-path-alloc` violations and allowed/cold counterparts.
+
+// lint: hot_path
+pub fn hot_allocates(out: &mut Vec<u32>) {
+    let v: Vec<u32> = Vec::new(); // FINDING: Vec::new
+    let s = format!("x{}", out.len()); // FINDING: format!
+    let c: Vec<u32> = out.iter().copied().collect(); // FINDING: .collect()
+    out.push(v.len() as u32 + s.len() as u32 + c.len() as u32);
+}
+
+// lint: hot_path
+pub fn hot_with_justified_allow(map: &mut std::collections::HashMap<u32, u32>) {
+    // lint: allow(hot-path-alloc) -- capacity warmed during setup
+    map.insert(1, 2);
+}
+
+pub fn cold_may_allocate() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}

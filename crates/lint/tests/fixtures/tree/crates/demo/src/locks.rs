@@ -1,0 +1,42 @@
+//! Seeded `lock-discipline` violations and clean counterparts.
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Condvar, Mutex};
+
+pub fn guard_across_send(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let Ok(g) = m.lock() else { return };
+    tx.send(*g).ok(); // FINDING: send while `g` live
+}
+
+pub fn guard_across_recv_in_let(m: &Mutex<u32>, rx: &Receiver<u32>) {
+    let g = m.lock().ok();
+    let v = rx.recv(); // FINDING: recv while `g` live
+    let _ = (g, v);
+}
+
+pub fn guard_dropped_first(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let Ok(g) = m.lock() else { return };
+    let v = *g;
+    drop(g);
+    tx.send(v).ok(); // clean: guard dropped
+}
+
+pub fn guard_scope_ends(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let v = {
+        let Ok(g) = m.lock() else { return };
+        *g
+    };
+    tx.send(v).ok(); // clean: guard scope closed
+}
+
+pub fn condvar_handoff(pair: &(Mutex<bool>, Condvar)) {
+    let (m, cvar) = &*pair;
+    let Ok(mut g) = m.lock() else { return };
+    while !*g {
+        // clean: wait(g) atomically releases the named guard
+        g = match cvar.wait(g) {
+            Ok(v) => v,
+            Err(_) => return,
+        };
+    }
+}

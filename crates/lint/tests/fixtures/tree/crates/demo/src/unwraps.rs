@@ -1,0 +1,33 @@
+//! Seeded `no-unwrap-in-lib` violations, a justified allow, and
+//! test-region code the rule must skip.
+
+pub fn unwrap_in_lib(x: Option<u32>) -> u32 {
+    x.unwrap() // FINDING: unwrap
+}
+
+pub fn expect_in_lib(x: Option<u32>) -> u32 {
+    x.expect("set by caller") // FINDING: expect
+}
+
+pub fn panic_in_lib(x: u32) {
+    if x == 0 {
+        panic!("zero"); // FINDING: panic!
+    }
+}
+
+pub fn justified(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned") // lint: allow(no-unwrap-in-lib) -- poisoned lock means a peer already panicked
+}
+
+pub fn not_the_same_name(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) // clean: unwrap_or is not unwrap
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_fine_in_tests() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1); // clean: test region
+    }
+}

@@ -117,7 +117,7 @@ impl RandomForest {
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("tree fit panicked"))
+                .flat_map(|h| h.join().expect("tree fit panicked")) // lint: allow(no-unwrap-in-lib) -- join re-raises a tree-fit panic instead of hiding it
                 .collect()
         });
 
@@ -183,7 +183,7 @@ impl RandomForest {
             .cloned()
             .zip(self.importances.iter().copied())
             .collect();
-        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
         pairs.truncate(k);
         pairs
     }

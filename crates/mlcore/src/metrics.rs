@@ -59,7 +59,7 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "empty input");
     assert!((0.0..=100.0).contains(&q), "percentile out of range");
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let pos = q / 100.0 * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -227,7 +227,7 @@ impl DecisionTree {
             .iter()
             .map(|&i| (data.row(i)[feature], data.target(i)))
             .collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         let n = pairs.len();
         let parent = self.node_impurity(data, idx);
 

@@ -46,9 +46,9 @@ impl FlowKey {
             match addr {
                 IpAddr::V4(v) => u64::from(u32::from(v)),
                 IpAddr::V6(v) => {
-                    let o = v.octets();
-                    let hi = u64::from_be_bytes(o[..8].try_into().expect("8 bytes"));
-                    let lo = u64::from_be_bytes(o[8..].try_into().expect("8 bytes"));
+                    let bits = v.to_bits();
+                    let hi = (bits >> 64) as u64;
+                    let lo = bits as u64;
                     hi ^ lo.rotate_left(1)
                 }
             }

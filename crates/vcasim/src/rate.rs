@@ -51,7 +51,7 @@ impl RateController {
     pub fn update(&mut self, fb: Feedback) -> f64 {
         // Track the baseline delay (slowly forgetting so route changes
         // don't pin it forever).
-        self.base_owd_ms = Some(match self.base_owd_ms {
+        let base = match self.base_owd_ms {
             None => fb.mean_owd_ms,
             Some(b) => (b * 1.02)
                 .min(fb.mean_owd_ms.max(b * 0.98))
@@ -60,8 +60,8 @@ impl RateController {
                     // never below the observed minimum this round
                     b.min(fb.mean_owd_ms),
                 ),
-        });
-        let base = self.base_owd_ms.unwrap();
+        };
+        self.base_owd_ms = Some(base);
         let queued_ms = (fb.mean_owd_ms - base).max(0.0);
 
         // Loss-based control (GCC thresholds: 2% / 10%).

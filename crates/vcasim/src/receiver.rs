@@ -237,15 +237,15 @@ impl Receiver {
                     .any(|(&fid, a)| fid > id && a.got >= a.needed);
                 if later_complete && now.as_micros() > self.abandon_us {
                     // Only abandon if we've waited long enough since the
-                    // earliest later frame arrived.
+                    // earliest later frame arrived. (`later_complete`
+                    // guarantees at least one later frame exists.)
                     let earliest_later = self
                         .frames
                         .iter()
                         .filter(|(&fid, _)| fid > id)
                         .map(|(_, a)| a.first_arrival)
-                        .min()
-                        .unwrap();
-                    if (now - earliest_later).as_micros() > self.abandon_us {
+                        .min();
+                    if earliest_later.is_some_and(|t| (now - t).as_micros() > self.abandon_us) {
                         self.next_decode += 1;
                         self.abandoned += 1;
                         continue;

@@ -244,7 +244,9 @@ impl Session {
             if head.at > now {
                 break;
             }
-            let Reverse(entry) = self.arrivals.pop().unwrap();
+            let Some(Reverse(entry)) = self.arrivals.pop() else {
+                break; // unreachable: peek above proved non-empty
+            };
             let nacks = self.receiver.on_packet(entry.pkt);
             if self.cfg.profile.has_rtx && !nacks.is_empty() {
                 // NACK travels back over the reverse path, then the sender
@@ -413,7 +415,7 @@ impl Session {
             .profile
             .payload_map
             .video_rtx
-            .expect("rtx keepalive without rtx PT");
+            .expect("rtx keepalive without rtx PT"); // lint: allow(no-unwrap-in-lib) -- path is gated on profile.has_rtx, which implies an rtx payload type
         let hdr = RtpHeader::basic(
             pt,
             seq,
@@ -470,7 +472,7 @@ impl Session {
             .profile
             .payload_map
             .video_rtx
-            .expect("retransmit without rtx PT");
+            .expect("retransmit without rtx PT"); // lint: allow(no-unwrap-in-lib) -- path is gated on profile.has_rtx, which implies an rtx payload type
         let hdr = RtpHeader::basic(pt, rtx_seq, info.rtp_ts, 0x0000_0111, false);
         // RFC 4588: original sequence number prefixes the payload.
         self.transmit(

@@ -16,6 +16,9 @@
 //! cargo run --release --example operator_monitor
 //! ```
 
+// Example code: fail fast keeps the walkthrough readable.
+#![allow(clippy::unwrap_used)]
+
 use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr};
 use std::sync::{Arc, Mutex};

@@ -176,7 +176,7 @@ pub fn run_property<F: FnMut(&mut StdRng) -> TestCaseResult>(name: &str, mut bod
         }
         let mut rng = StdRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37));
         if let Err(TestCaseError(msg)) = body(&mut rng) {
-            panic!("property '{name}' failed at case {case}: {msg}");
+            panic!("property '{name}' failed at case {case}: {msg}"); // lint: allow(no-unwrap-in-lib) -- property failure must abort the run; mirrors upstream proptest
         }
     }
 }

@@ -3,6 +3,9 @@
 //! same packets — for all four methods, on realistic simulated traffic,
 //! through both the pre-parsed and the raw-datagram ingestion paths.
 
+// Test target: panicking is the idiomatic failure mode.
+#![allow(clippy::unwrap_used)]
+
 use std::collections::BTreeMap;
 use vcaml_suite::datasets::{inlab_corpus, to_core_trace, CorpusConfig};
 use vcaml_suite::netpkt::FlowKey;
