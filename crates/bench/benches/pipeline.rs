@@ -18,7 +18,7 @@ use vcaml::{
 use vcaml_datasets::{inlab_corpus, to_core_trace, CorpusConfig};
 use vcaml_features::{ipudp_features, windows_by_second, PktObs, DEFAULT_THETA_IAT_US};
 use vcaml_mlcore::{Dataset, RandomForest, RandomForestParams, Task};
-use vcaml_netem::{synth_ndt_schedule, LinkConfig};
+use vcaml_netem::{synth_ndt_schedule, LinkConfig, Perturbation, Perturber};
 use vcaml_netpkt::{FlowKey, Timestamp, UdpDatagram};
 use vcaml_rtp::VcaKind;
 use vcaml_vcasim::{Session, SessionConfig, VcaProfile};
@@ -197,6 +197,47 @@ fn bench_simulation(c: &mut Criterion) {
 /// the batch path buffers the trace, assembles frames over the whole
 /// capture, and re-computes features per window slice; the engine path
 /// makes one pass, packet by packet.
+/// Tap-side perturbation cost on a full 30 s capture — the per-cell
+/// setup overhead of the `vcaml-scenario` impairment grid. The stages
+/// mirror the grid's reordering + duplication scenarios.
+fn bench_tap_perturb(c: &mut Criterion) {
+    let profile = VcaProfile::lab(VcaKind::Teams);
+    let session = Session::new(SessionConfig {
+        profile,
+        schedule: synth_ndt_schedule(1, 30),
+        duration_secs: 30,
+        seed: 1,
+        link: LinkConfig::default(),
+    })
+    .run();
+    let timed: Vec<_> = session
+        .to_captured()
+        .into_iter()
+        .map(|p| (p.ts, p.datagram))
+        .collect();
+    let stages = vec![
+        Perturbation::Reorder {
+            pct: 12.0,
+            delay_ms: 25.0,
+        },
+        Perturbation::Duplicate {
+            pct: 10.0,
+            delay_ms: 2.0,
+        },
+    ];
+
+    let mut g = c.benchmark_group("tap_perturb");
+    g.throughput(Throughput::Elements(timed.len() as u64));
+    g.bench_function("reorder_dup_30s_capture", |b| {
+        b.iter_batched(
+            || timed.clone(),
+            |pkts| Perturber::new(stages.clone(), 7).apply(pkts),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
 fn bench_batch_vs_engine(c: &mut Criterion) {
     let trace = sample_trace();
     let config = EngineConfig::paper(VcaKind::Teams);
@@ -570,6 +611,7 @@ criterion_group!(
     bench_runner_ingest,
     bench_runner_fanout,
     bench_forest,
-    bench_simulation
+    bench_simulation,
+    bench_tap_perturb
 );
 criterion_main!(benches);

@@ -60,6 +60,18 @@ impl CorpusConfig {
         }
     }
 
+    /// One fixed-length call, as used per cell by the
+    /// `vcaml-scenario` impairment grid: every cell sees exactly
+    /// `secs` seconds of traffic so scorecards stay comparable.
+    pub fn scenario_cell(secs: u32, seed: u64) -> Self {
+        CorpusConfig {
+            n_calls: 1,
+            min_secs: secs,
+            max_secs: secs,
+            seed,
+        }
+    }
+
     /// The default real-world corpus scale (paper: 15–25 s calls).
     pub fn realworld_default(seed: u64) -> Self {
         CorpusConfig {

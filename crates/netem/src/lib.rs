@@ -17,9 +17,11 @@
 pub mod conditions;
 pub mod impairment;
 pub mod link;
+pub mod perturb;
 pub mod trace;
 
 pub use conditions::{ConditionSchedule, SecondCondition};
 pub use impairment::{ImpairmentDim, ImpairmentProfile};
 pub use link::{DropReason, Link, LinkConfig, LinkVerdict};
+pub use perturb::{Perturbation, Perturber};
 pub use trace::{synth_ndt_schedule, NdtTest};

@@ -1,0 +1,280 @@
+//! Tap-side packet-sequence perturbations: loss, duplication,
+//! reordering, and capped extra delay applied to an already-captured
+//! packet sequence.
+//!
+//! [`Link`](crate::link::Link) models the bottleneck the *sender's*
+//! traffic crosses; this module models what happens between the access
+//! link and the monitor's tap — a span the receiver never sees, so
+//! applying a [`Perturber`] to a capture changes what the estimators
+//! observe without changing the ground truth. That is exactly the shape
+//! the scenario harness needs for its duplication and reordering cells,
+//! and the composition rules are simple enough to state as properties:
+//!
+//! * **loss never increases the packet count** (every survivor is an
+//!   input packet);
+//! * **duplication and reordering preserve the payload multiset modulo
+//!   duplicates** (nothing is invented, nothing is lost);
+//! * **delay is monotone and capped**: every packet's timestamp moves
+//!   forward by at most the configured cap.
+//!
+//! The output is always re-sorted by timestamp (stable), matching the
+//! arrival order a tap would record.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcaml_netpkt::Timestamp;
+
+/// One composable impairment stage over a captured packet sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Perturbation {
+    /// Drops each packet independently with probability `pct`/100.
+    Loss {
+        /// Drop probability, percent (0–100).
+        pct: f64,
+    },
+    /// With probability `pct`/100, emits a copy of the packet
+    /// `delay_ms` later (a duplicating middlebox or L2 retransmit).
+    Duplicate {
+        /// Duplication probability, percent (0–100).
+        pct: f64,
+        /// How much later the copy arrives, milliseconds (≥ 0).
+        delay_ms: f64,
+    },
+    /// With probability `pct`/100, holds a packet back by `delay_ms`,
+    /// letting later packets overtake it.
+    Reorder {
+        /// Hold-back probability, percent (0–100).
+        pct: f64,
+        /// Hold-back duration, milliseconds (≥ 0).
+        delay_ms: f64,
+    },
+    /// Shifts every packet forward by `min(ms, cap_ms)` — a uniform
+    /// extra path delay that can never exceed its cap and never moves a
+    /// packet backward in time.
+    Delay {
+        /// Requested extra delay, milliseconds (≥ 0).
+        ms: f64,
+        /// Hard cap on the applied delay, milliseconds (≥ 0).
+        cap_ms: f64,
+    },
+}
+
+impl Perturbation {
+    /// Validates the stage's parameters.
+    fn validate(&self) {
+        let prob_ok = |p: f64| (0.0..=100.0).contains(&p);
+        let delay_ok = |d: f64| d.is_finite() && d >= 0.0;
+        match *self {
+            Perturbation::Loss { pct } => assert!(prob_ok(pct), "loss pct out of range"),
+            Perturbation::Duplicate { pct, delay_ms } => {
+                assert!(prob_ok(pct), "duplicate pct out of range");
+                assert!(delay_ok(delay_ms), "duplicate delay invalid");
+            }
+            Perturbation::Reorder { pct, delay_ms } => {
+                assert!(prob_ok(pct), "reorder pct out of range");
+                assert!(delay_ok(delay_ms), "reorder delay invalid");
+            }
+            Perturbation::Delay { ms, cap_ms } => {
+                assert!(delay_ok(ms), "delay invalid");
+                assert!(delay_ok(cap_ms), "delay cap invalid");
+            }
+        }
+    }
+}
+
+/// Applies a sequence of [`Perturbation`] stages to timestamped packets,
+/// deterministically for a given seed.
+///
+/// The payload type is generic: the scenario harness runs captured wire
+/// packets through it, the property tests run bare ids.
+#[derive(Debug)]
+pub struct Perturber {
+    stages: Vec<Perturbation>,
+    rng: StdRng,
+}
+
+impl Perturber {
+    /// Builds a perturber over `stages`, applied in order.
+    ///
+    /// # Panics
+    /// Panics if any stage has a probability outside 0–100 % or a
+    /// negative/non-finite delay.
+    pub fn new(stages: Vec<Perturbation>, seed: u64) -> Self {
+        for stage in &stages {
+            stage.validate();
+        }
+        Perturber {
+            stages,
+            rng: StdRng::seed_from_u64(seed ^ 0x7e57_ab1e),
+        }
+    }
+
+    /// Runs `packets` through every stage and returns the surviving
+    /// sequence sorted by (possibly shifted) timestamp. Sorting is
+    /// stable, so packets with equal timestamps keep their relative
+    /// order.
+    pub fn apply<T: Clone>(&mut self, packets: Vec<(Timestamp, T)>) -> Vec<(Timestamp, T)> {
+        let mut current = packets;
+        for stage in self.stages.clone() {
+            current = match stage {
+                Perturbation::Loss { pct } => {
+                    let p = pct / 100.0;
+                    let mut out = Vec::with_capacity(current.len());
+                    for item in current {
+                        if self.rng.gen::<f64>() >= p {
+                            out.push(item);
+                        }
+                    }
+                    out
+                }
+                Perturbation::Duplicate { pct, delay_ms } => {
+                    let p = pct / 100.0;
+                    let shift = Timestamp::from_micros((delay_ms * 1000.0) as i64);
+                    let mut out = Vec::with_capacity(current.len());
+                    for (ts, payload) in current {
+                        if self.rng.gen::<f64>() < p {
+                            out.push((ts + shift, payload.clone()));
+                        }
+                        out.push((ts, payload));
+                    }
+                    out
+                }
+                Perturbation::Reorder { pct, delay_ms } => {
+                    let p = pct / 100.0;
+                    let shift = Timestamp::from_micros((delay_ms * 1000.0) as i64);
+                    current
+                        .into_iter()
+                        .map(|(ts, payload)| {
+                            if self.rng.gen::<f64>() < p {
+                                (ts + shift, payload)
+                            } else {
+                                (ts, payload)
+                            }
+                        })
+                        .collect()
+                }
+                Perturbation::Delay { ms, cap_ms } => {
+                    let applied = ms.min(cap_ms);
+                    let shift = Timestamp::from_micros((applied * 1000.0) as i64);
+                    current
+                        .into_iter()
+                        .map(|(ts, payload)| (ts + shift, payload))
+                        .collect()
+                }
+            };
+        }
+        current.sort_by_key(|&(ts, _)| ts);
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<(Timestamp, u32)> {
+        (0..n)
+            .map(|i| (Timestamp::from_millis(i as i64 * 10), i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn zero_probability_stages_are_identity() {
+        let mut p = Perturber::new(
+            vec![
+                Perturbation::Loss { pct: 0.0 },
+                Perturbation::Duplicate {
+                    pct: 0.0,
+                    delay_ms: 5.0,
+                },
+                Perturbation::Reorder {
+                    pct: 0.0,
+                    delay_ms: 5.0,
+                },
+            ],
+            1,
+        );
+        assert_eq!(p.apply(seq(50)), seq(50));
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut p = Perturber::new(vec![Perturbation::Loss { pct: 100.0 }], 2);
+        assert!(p.apply(seq(40)).is_empty());
+    }
+
+    #[test]
+    fn full_duplication_doubles() {
+        let mut p = Perturber::new(
+            vec![Perturbation::Duplicate {
+                pct: 100.0,
+                delay_ms: 1.0,
+            }],
+            3,
+        );
+        let out = p.apply(seq(20));
+        assert_eq!(out.len(), 40);
+    }
+
+    #[test]
+    fn reorder_shuffles_payload_order_but_keeps_multiset() {
+        let mut p = Perturber::new(
+            vec![Perturbation::Reorder {
+                pct: 30.0,
+                delay_ms: 25.0,
+            }],
+            4,
+        );
+        let input = seq(200);
+        let out = p.apply(input.clone());
+        assert_eq!(out.len(), input.len());
+        let mut ids: Vec<u32> = out.iter().map(|&(_, id)| id).collect();
+        let inverted = ids.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inverted > 0, "30% hold-back produced no reordering");
+        ids.sort_unstable();
+        assert_eq!(ids, (0..200).collect::<Vec<u32>>());
+        assert!(out.windows(2).all(|w| w[0].0 <= w[1].0), "output unsorted");
+    }
+
+    #[test]
+    fn delay_is_capped() {
+        let mut p = Perturber::new(
+            vec![Perturbation::Delay {
+                ms: 500.0,
+                cap_ms: 40.0,
+            }],
+            5,
+        );
+        let out = p.apply(seq(10));
+        for (i, &(ts, _)) in out.iter().enumerate() {
+            let shift = ts - Timestamp::from_millis(i as i64 * 10);
+            assert_eq!(shift.as_micros(), 40_000);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let stages = vec![
+            Perturbation::Loss { pct: 10.0 },
+            Perturbation::Duplicate {
+                pct: 10.0,
+                delay_ms: 2.0,
+            },
+            Perturbation::Reorder {
+                pct: 10.0,
+                delay_ms: 20.0,
+            },
+        ];
+        let a = Perturber::new(stages.clone(), 7).apply(seq(300));
+        let b = Perturber::new(stages.clone(), 7).apply(seq(300));
+        assert_eq!(a, b);
+        let c = Perturber::new(stages, 8).apply(seq(300));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss pct out of range")]
+    fn invalid_probability_rejected() {
+        let _ = Perturber::new(vec![Perturbation::Loss { pct: 120.0 }], 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for `vcaml_netem::perturb` — the composition
+//! invariants the scenario harness relies on:
+//!
+//! * loss never increases the packet count, and every survivor is an
+//!   input packet;
+//! * reordering and duplication preserve the payload multiset modulo
+//!   duplicates (nothing invented, nothing lost);
+//! * delay is monotone and capped: every timestamp moves forward by at
+//!   most the cap, never backward;
+//! * arbitrary stage compositions stay within the input multiset modulo
+//!   duplicates.
+
+use proptest::prelude::*;
+use vcaml_netem::{Perturbation, Perturber};
+use vcaml_netpkt::Timestamp;
+
+/// Tags each packet with a unique id so multiset comparisons are exact.
+fn tagged(n: usize) -> Vec<(Timestamp, u32)> {
+    (0..n)
+        .map(|i| (Timestamp::from_micros(i as i64 * 1500), i as u32))
+        .collect()
+}
+
+fn counts(out: &[(Timestamp, u32)]) -> Vec<usize> {
+    let max = out
+        .iter()
+        .map(|&(_, id)| id)
+        .max()
+        .map_or(0, |m| m as usize + 1);
+    let mut c = vec![0usize; max];
+    for &(_, id) in out {
+        c[id as usize] += 1;
+    }
+    c
+}
+
+proptest! {
+    #[test]
+    fn loss_never_increases_packet_count(n in 1usize..400, pct in 0.0f64..100.0, seed in any::<u64>()) {
+        let input = tagged(n);
+        let out = Perturber::new(vec![Perturbation::Loss { pct }], seed).apply(input.clone());
+        prop_assert!(out.len() <= input.len());
+        // Every survivor is an input packet, at most once.
+        for (id, c) in counts(&out).into_iter().enumerate() {
+            prop_assert!(c <= 1, "loss duplicated packet {}", id);
+        }
+        prop_assert!(out.iter().all(|&(_, id)| (id as usize) < n));
+    }
+
+    #[test]
+    fn duplication_preserves_multiset_modulo_dups(n in 1usize..300, pct in 0.0f64..100.0,
+                                                  delay_ms in 0.0f64..50.0, seed in any::<u64>()) {
+        let input = tagged(n);
+        let out = Perturber::new(
+            vec![Perturbation::Duplicate { pct, delay_ms }], seed,
+        ).apply(input.clone());
+        prop_assert!(out.len() >= input.len());
+        prop_assert!(out.len() <= 2 * input.len());
+        // Every original survives exactly once or twice; no id invented.
+        let c = counts(&out);
+        prop_assert_eq!(c.len(), n);
+        for (id, k) in c.into_iter().enumerate() {
+            prop_assert!(k == 1 || k == 2, "packet {} appeared {} times", id, k);
+        }
+    }
+
+    #[test]
+    fn reorder_preserves_payload_multiset(n in 1usize..300, pct in 0.0f64..100.0,
+                                          delay_ms in 0.0f64..100.0, seed in any::<u64>()) {
+        let input = tagged(n);
+        let out = Perturber::new(
+            vec![Perturbation::Reorder { pct, delay_ms }], seed,
+        ).apply(input.clone());
+        prop_assert_eq!(out.len(), input.len());
+        let mut ids: Vec<u32> = out.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..n as u32).collect::<Vec<u32>>());
+        // Output is sorted by timestamp (tap arrival order).
+        prop_assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn delay_is_monotone_and_capped(n in 1usize..300, ms in 0.0f64..500.0,
+                                    cap_ms in 0.0f64..500.0, seed in any::<u64>()) {
+        let input = tagged(n);
+        let out = Perturber::new(
+            vec![Perturbation::Delay { ms, cap_ms }], seed,
+        ).apply(input.clone());
+        prop_assert_eq!(out.len(), input.len());
+        let cap_us = (ms.min(cap_ms) * 1000.0) as i64;
+        // Uniform shift preserves order, so index pairing is valid.
+        for (&(out_ts, out_id), &(in_ts, in_id)) in out.iter().zip(input.iter()) {
+            prop_assert_eq!(out_id, in_id);
+            let shift = (out_ts - in_ts).as_micros();
+            prop_assert!(shift >= 0, "delay moved a packet backward");
+            prop_assert!(shift <= cap_us, "shift {}us exceeds cap {}us", shift, cap_us);
+        }
+    }
+
+    #[test]
+    fn composition_stays_within_input_multiset(n in 1usize..200,
+                                               loss_pct in 0.0f64..40.0,
+                                               dup_pct in 0.0f64..40.0,
+                                               seed in any::<u64>()) {
+        let input = tagged(n);
+        let out = Perturber::new(
+            vec![
+                Perturbation::Loss { pct: loss_pct },
+                Perturbation::Duplicate { pct: dup_pct, delay_ms: 3.0 },
+                Perturbation::Reorder { pct: 20.0, delay_ms: 15.0 },
+                Perturbation::Delay { ms: 10.0, cap_ms: 8.0 },
+            ],
+            seed,
+        ).apply(input.clone());
+        // Modulo duplicates the output payloads are a subset of the input.
+        for (id, k) in counts(&out).into_iter().enumerate() {
+            prop_assert!(k <= 2, "packet {} appeared {} times", id, k);
+            prop_assert!(id < n);
+        }
+        prop_assert!(out.len() <= 2 * input.len());
+        prop_assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

@@ -1,0 +1,76 @@
+//! # vcaml-scenario — impairment-grid accuracy harness
+//!
+//! Sweeps a grid of impaired network scenarios (burst loss, jitter
+//! spikes, bandwidth drops, reordering, duplication, mid-call resolution
+//! switches, DTX silence, multiparty SFU fan-in, plus `crates/datasets`
+//! corpora) across all four estimation methods, driving every cell
+//! through the production `MonitorRunner` ingestion path and scoring the
+//! estimates against vcasim ground truth per window.
+//!
+//! Each cell classifies into a typed [`Verdict`] (`Pass` / `Degraded` /
+//! `Fail`) under per-metric [`Tolerances`]; the `vcaml-scenario` binary
+//! renders a terminal scorecard, writes deterministic
+//! `bench_results/SCENARIO_scorecard.json`, and exits 0/1/2 so accuracy
+//! regressions gate CI exactly like perf regressions do.
+
+pub mod model;
+pub mod report;
+pub mod run;
+pub mod score;
+pub mod scorecard;
+pub mod spec;
+pub mod truth;
+
+pub use model::{ModelCache, VcaModels};
+pub use report::render;
+pub use run::{prepare, run_method, Prepared, WindowEst};
+pub use score::{CellScore, Tolerances, Verdict};
+pub use scorecard::{compare, parse_cells, Comparison, ParsedCell, Scorecard, SCHEMA};
+pub use spec::{cell_seed, grid, smoke_grid, ScenarioKind, ScenarioSpec};
+pub use truth::WindowTruth;
+
+use vcaml::{Method, ResolutionScheme};
+use vcaml_vcasim::VcaProfile;
+
+/// Runs a set of scenarios across all four methods and scores every
+/// cell. Deterministic for a given `(specs, seed)` regardless of
+/// `threads` — thread count only changes monitor internals, whose
+/// window parity is an engine invariant.
+pub fn run_grid(specs: &[ScenarioSpec], seed: u64, threads: usize, tol: &Tolerances) -> Scorecard {
+    let mut models = ModelCache::default();
+    let mut cells = Vec::with_capacity(specs.len() * Method::ALL.len());
+    for sp in specs {
+        let prep = prepare(sp, seed);
+        let ladder = if sp.realworld_ladder {
+            VcaProfile::real_world(sp.vca)
+        } else {
+            VcaProfile::lab(sp.vca)
+        };
+        // Classify against every height the scenario can legitimately
+        // show: truth heights plus the full ladder, so estimate-derived
+        // heights always map to a class and the scheme is independent
+        // of which rungs the call happened to visit.
+        let mut heights: Vec<u32> = prep.truth.iter().map(|t| t.height).collect();
+        heights.extend(ladder.ladder.iter().map(|r| r.height));
+        let scheme = ResolutionScheme::for_vca(sp.vca, &heights);
+        let vca_models = models.get(sp.vca);
+        for method in Method::ALL {
+            let est = run_method(&prep, method, vca_models, threads);
+            cells.push(score::score_cell(
+                sp.name,
+                method,
+                &prep.truth,
+                &est,
+                &scheme,
+                &ladder,
+                tol,
+                sp.tol_scale,
+            ));
+        }
+    }
+    Scorecard {
+        seed,
+        tolerances: *tol,
+        cells,
+    }
+}

@@ -1,0 +1,93 @@
+//! `vcaml-scenario` — run the impairment grid and gate on accuracy.
+//!
+//! ```text
+//! vcaml-scenario [--smoke] [--seed N] [--threads N] [--out PATH] [--quiet]
+//! vcaml-scenario --compare OLD.json NEW.json
+//! ```
+//!
+//! Exit codes: 0 every cell passed or degraded (or no compare
+//! regression), 1 at least one cell failed (or a verdict regressed
+//! under `--compare`), 2 usage or I/O error.
+
+use std::process::exit;
+use vcaml_scenario::{compare, grid, render, run_grid, smoke_grid, Tolerances};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vcaml-scenario [--smoke] [--seed N] [--threads N] [--out PATH] [--quiet]\n\
+                vcaml-scenario --compare OLD.json NEW.json\n\
+         \n\
+         Sweeps the netem x vcasim impairment grid across all four estimation\n\
+         methods and scores them against simulator ground truth. Writes the\n\
+         scorecard JSON (default bench_results/SCENARIO_scorecard.json) and\n\
+         exits 1 when any cell fails, so CI gates on accuracy."
+    );
+    exit(2);
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+
+    if raw.first().map(String::as_str) == Some("--compare") {
+        if raw.len() != 3 {
+            usage();
+        }
+        let read = |path: &str| {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(2);
+            })
+        };
+        let cmp = compare(&read(&raw[1]), &read(&raw[2]));
+        print!("{}", cmp.report);
+        exit(i32::from(cmp.regressions > 0));
+    }
+
+    let mut smoke = false;
+    let mut quiet = false;
+    let mut seed: u64 = 7;
+    let mut threads: usize = 1;
+    let mut out = String::from("bench_results/SCENARIO_scorecard.json");
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--quiet" => quiet = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => threads = v,
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let specs = if smoke { smoke_grid() } else { grid() };
+    let card = run_grid(&specs, seed, threads, &Tolerances::default());
+    if !quiet {
+        print!("{}", render(&card));
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                exit(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, card.to_json()) {
+        eprintln!("cannot write {out}: {e}");
+        exit(2);
+    }
+    if !quiet {
+        println!("scorecard written to {out}");
+    }
+    exit(card.exit_code());
+}

@@ -1,0 +1,73 @@
+//! Terminal scorecard rendering.
+
+use crate::scorecard::Scorecard;
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| format!("{x:.2}"))
+}
+
+/// Renders the scorecard as an aligned terminal table with a summary
+/// footer.
+pub fn render(card: &Scorecard) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<20} {:<18} {:>4} {:>8} {:>8} {:>8}  {}\n",
+        "scenario", "method", "win", "fps_mae", "br_mrae", "res_acc", "verdict"
+    ));
+    for c in &card.cells {
+        s.push_str(&format!(
+            "{:<20} {:<18} {:>4} {:>8.2} {:>8} {:>8}  {}\n",
+            c.scenario,
+            c.method.name(),
+            c.windows,
+            c.fps_mae,
+            fmt_opt(c.bitrate_mrae),
+            fmt_opt(c.res_acc),
+            c.verdict.as_str().to_uppercase(),
+        ));
+    }
+    let (pass, degraded, fail) = card.summary();
+    s.push_str(&format!(
+        "\n{} cells: {pass} pass, {degraded} degraded, {fail} fail (seed {})\n",
+        card.cells.len(),
+        card.seed
+    ));
+    if fail > 0 {
+        s.push_str("accuracy gate: FAIL\n");
+    } else {
+        s.push_str("accuracy gate: ok\n");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::{CellScore, Tolerances, Verdict};
+    use vcaml::Method;
+
+    #[test]
+    fn table_lists_every_cell_and_the_gate_line() {
+        let card = Scorecard {
+            seed: 7,
+            tolerances: Tolerances::default(),
+            cells: vec![CellScore {
+                scenario: "baseline".into(),
+                method: Method::IpUdpMl,
+                windows: 20,
+                fps_mae: 2.0,
+                bitrate_mrae: None,
+                res_acc: Some(0.9),
+                fps_verdict: Verdict::Pass,
+                bitrate_verdict: None,
+                res_verdict: Some(Verdict::Pass),
+                verdict: Verdict::Pass,
+            }],
+        };
+        let out = render(&card);
+        assert!(out.contains("baseline"));
+        assert!(out.contains("IP/UDP ML"));
+        assert!(out.contains("accuracy gate: ok"));
+        assert!(out.contains("1 cells: 1 pass, 0 degraded, 0 fail"));
+    }
+}

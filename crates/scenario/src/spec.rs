@@ -1,0 +1,302 @@
+//! The impairment grid: which scenarios exist, how each one builds its
+//! traffic, and which subset gates PRs.
+
+use vcaml::Trace;
+use vcaml_datasets::{inlab_corpus, realworld_corpus, sweep_value_corpus, CorpusConfig};
+use vcaml_netem::{
+    ConditionSchedule, ImpairmentDim, ImpairmentProfile, LinkConfig, Perturbation, SecondCondition,
+};
+use vcaml_rtp::VcaKind;
+use vcaml_vcasim::{
+    dtx_segment, merge_multiparty, Session, SessionConfig, SessionTrace, VcaProfile,
+};
+
+/// Call length (seconds) for the simulator-backed scenarios.
+pub const SCENARIO_SECS: u32 = 20;
+
+/// How a scenario produces the traffic the monitor observes.
+pub enum ScenarioKind {
+    /// A vcasim session replayed as captured wire packets, optionally
+    /// run through tap-side [`Perturbation`] stages first.
+    Sim {
+        /// Builds the session from the cell seed.
+        build: fn(u64) -> SessionTrace,
+        /// Tap-side stages applied to the capture (seeded per cell).
+        perturb: &'static [Perturbation],
+    },
+    /// A `crates/datasets` trace replayed through the parsed-packet
+    /// ingestion path (carries its own payload map and truth rows).
+    Dataset {
+        /// Builds the trace from the cell seed.
+        build: fn(u64) -> Trace,
+    },
+}
+
+/// One row of the grid: a named impairment condition for one VCA.
+pub struct ScenarioSpec {
+    /// Stable scenario name (scorecard key, must never be renamed
+    /// without updating the committed baseline).
+    pub name: &'static str,
+    /// The VCA whose profile generates the traffic.
+    pub vca: VcaKind,
+    /// Whether the cell is in the PR-time smoke subset.
+    pub smoke: bool,
+    /// Score resolution against the real-world ladder instead of the
+    /// in-lab one (real-world dataset scenarios only).
+    pub realworld_ladder: bool,
+    /// Tolerance multiplier for scenarios that are out-of-distribution
+    /// by construction (error bands widen by it, accuracy thresholds
+    /// shrink by it); 1.0 for everything in-distribution.
+    pub tol_scale: f64,
+    /// Traffic construction.
+    pub kind: ScenarioKind,
+}
+
+/// Derives the per-cell RNG seed from the grid seed and scenario name
+/// (FNV-1a), so inserting or reordering scenarios never shifts the
+/// randomness of existing ones.
+pub fn cell_seed(grid_seed: u64, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ grid_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn good() -> SecondCondition {
+    SecondCondition {
+        throughput_kbps: 5000.0,
+        delay_ms: 20.0,
+        jitter_ms: 1.0,
+        loss_pct: 0.0,
+    }
+}
+
+fn schedule(secs: u32, f: impl Fn(u32) -> SecondCondition) -> ConditionSchedule {
+    ConditionSchedule::new((0..secs).map(f).collect())
+}
+
+fn sim(vca: VcaKind, sched: ConditionSchedule, seed: u64) -> SessionTrace {
+    Session::new(SessionConfig {
+        profile: VcaProfile::lab(vca),
+        schedule: sched,
+        duration_secs: SCENARIO_SECS,
+        seed,
+        link: LinkConfig::default(),
+    })
+    .run()
+}
+
+fn baseline(seed: u64) -> SessionTrace {
+    sim(VcaKind::Teams, ConditionSchedule::constant(good()), seed)
+}
+
+fn burst_loss(seed: u64) -> SessionTrace {
+    let sched = schedule(SCENARIO_SECS, |sec| {
+        let mut c = good();
+        if (8..12).contains(&sec) {
+            c.loss_pct = 15.0;
+        }
+        c
+    });
+    sim(VcaKind::Teams, sched, seed)
+}
+
+fn jitter_spikes(seed: u64) -> SessionTrace {
+    let sched = schedule(SCENARIO_SECS, |sec| {
+        let mut c = good();
+        if (5..8).contains(&sec) || (13..16).contains(&sec) {
+            c.jitter_ms = 35.0;
+        }
+        c
+    });
+    sim(VcaKind::Teams, sched, seed)
+}
+
+fn bandwidth_drop(seed: u64) -> SessionTrace {
+    let sched = schedule(SCENARIO_SECS, |sec| {
+        let mut c = good();
+        c.throughput_kbps = if (7..14).contains(&sec) {
+            400.0
+        } else {
+            4000.0
+        };
+        c
+    });
+    sim(VcaKind::Teams, sched, seed)
+}
+
+fn resolution_switch(seed: u64) -> SessionTrace {
+    let sched = schedule(SCENARIO_SECS, |sec| {
+        let mut c = good();
+        c.throughput_kbps = if (7..14).contains(&sec) {
+            600.0
+        } else {
+            3000.0
+        };
+        c
+    });
+    sim(VcaKind::Teams, sched, seed)
+}
+
+fn dtx_silence(seed: u64) -> SessionTrace {
+    let base = sim(VcaKind::Meet, ConditionSchedule::constant(good()), seed);
+    dtx_segment(&base, 7, 14)
+}
+
+fn multiparty_sfu(seed: u64) -> SessionTrace {
+    let participants: Vec<SessionTrace> = (0..3)
+        .map(|i| {
+            sim(
+                VcaKind::Teams,
+                ConditionSchedule::constant(good()),
+                seed.wrapping_add(i * 0x1000_0001),
+            )
+        })
+        .collect();
+    merge_multiparty(&participants)
+}
+
+fn one_call(seed: u64) -> CorpusConfig {
+    CorpusConfig::scenario_cell(SCENARIO_SECS, seed)
+}
+
+fn dataset_inlab(seed: u64) -> Trace {
+    inlab_corpus(VcaKind::Teams, &one_call(seed)).remove(0)
+}
+
+fn dataset_realworld(seed: u64) -> Trace {
+    realworld_corpus(VcaKind::Meet, &one_call(seed)).remove(0)
+}
+
+fn dataset_sweep_loss(seed: u64) -> Trace {
+    let profile = ImpairmentProfile {
+        dim: ImpairmentDim::PacketLoss,
+        value: 10.0,
+    };
+    sweep_value_corpus(VcaKind::Teams, profile, 1, SCENARIO_SECS, seed).remove(0)
+}
+
+const NO_PERTURB: &[Perturbation] = &[];
+const REORDER_STAGES: &[Perturbation] = &[Perturbation::Reorder {
+    pct: 12.0,
+    delay_ms: 25.0,
+}];
+const DUPLICATE_STAGES: &[Perturbation] = &[Perturbation::Duplicate {
+    pct: 10.0,
+    delay_ms: 2.0,
+}];
+
+fn sim_spec(
+    name: &'static str,
+    vca: VcaKind,
+    smoke: bool,
+    build: fn(u64) -> SessionTrace,
+    perturb: &'static [Perturbation],
+) -> ScenarioSpec {
+    ScenarioSpec {
+        name,
+        vca,
+        smoke,
+        realworld_ladder: false,
+        tol_scale: 1.0,
+        kind: ScenarioKind::Sim { build, perturb },
+    }
+}
+
+/// The full impairment grid, in scorecard emission order.
+pub fn grid() -> Vec<ScenarioSpec> {
+    vec![
+        sim_spec("baseline", VcaKind::Teams, true, baseline, NO_PERTURB),
+        sim_spec("burst_loss", VcaKind::Teams, true, burst_loss, NO_PERTURB),
+        sim_spec(
+            "jitter_spikes",
+            VcaKind::Teams,
+            false,
+            jitter_spikes,
+            NO_PERTURB,
+        ),
+        sim_spec(
+            "bandwidth_drop",
+            VcaKind::Teams,
+            false,
+            bandwidth_drop,
+            NO_PERTURB,
+        ),
+        sim_spec(
+            "resolution_switch",
+            VcaKind::Teams,
+            false,
+            resolution_switch,
+            NO_PERTURB,
+        ),
+        sim_spec(
+            "reordering",
+            VcaKind::Teams,
+            false,
+            baseline,
+            REORDER_STAGES,
+        ),
+        sim_spec(
+            "duplication",
+            VcaKind::Teams,
+            false,
+            baseline,
+            DUPLICATE_STAGES,
+        ),
+        sim_spec("dtx_silence", VcaKind::Meet, true, dtx_silence, NO_PERTURB),
+        ScenarioSpec {
+            // Three participants multiplexed on one flow: aggregate
+            // truth is far outside the single-call training
+            // distribution, and single-stream frame reconstruction is
+            // expected to be coarse here (paper §7).
+            tol_scale: 8.0,
+            ..sim_spec(
+                "multiparty_sfu",
+                VcaKind::Teams,
+                false,
+                multiparty_sfu,
+                NO_PERTURB,
+            )
+        },
+        ScenarioSpec {
+            name: "dataset_inlab",
+            vca: VcaKind::Teams,
+            smoke: false,
+            realworld_ladder: false,
+            tol_scale: 1.0,
+            kind: ScenarioKind::Dataset {
+                build: dataset_inlab,
+            },
+        },
+        ScenarioSpec {
+            // Real-world payload maps and a household ladder the lab
+            // models never saw: resolution classes and ML bitrate are
+            // expected to be coarse.
+            name: "dataset_realworld",
+            vca: VcaKind::Meet,
+            smoke: false,
+            realworld_ladder: true,
+            tol_scale: 2.5,
+            kind: ScenarioKind::Dataset {
+                build: dataset_realworld,
+            },
+        },
+        ScenarioSpec {
+            name: "dataset_sweep_loss",
+            vca: VcaKind::Teams,
+            smoke: false,
+            realworld_ladder: false,
+            tol_scale: 1.0,
+            kind: ScenarioKind::Dataset {
+                build: dataset_sweep_loss,
+            },
+        },
+    ]
+}
+
+/// The PR-time smoke subset of [`grid`].
+pub fn smoke_grid() -> Vec<ScenarioSpec> {
+    grid().into_iter().filter(|s| s.smoke).collect()
+}

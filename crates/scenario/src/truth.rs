@@ -1,0 +1,169 @@
+//! Per-window ground truth extracted from simulator sessions and
+//! dataset traces.
+//!
+//! vcasim sessions start at t ≈ 0 and the engine's window indices are
+//! absolute on the capture clock, so with 1-second windows the
+//! simulator's per-second truth row `second` *is* the monitor's window
+//! index — no offset bookkeeping.
+
+use vcaml::Trace;
+use vcaml_vcasim::SessionTrace;
+
+/// What was actually on screen during one estimation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowTruth {
+    /// Monitor window index (0-based from stream start).
+    pub window: u64,
+    /// True rendered frames per second.
+    pub fps: f64,
+    /// True media bitrate, kbps (payload only, per the paper's truth
+    /// definition — network estimates include header overhead and so
+    /// systematically overestimate).
+    pub bitrate_kbps: f64,
+    /// True frame height in pixels (0 when no video was rendered).
+    pub height: u32,
+}
+
+/// Extracts per-window truth from a simulator session.
+pub fn from_session(session: &SessionTrace) -> Vec<WindowTruth> {
+    session
+        .truth
+        .iter()
+        .filter(|t| t.second >= 0)
+        .map(|t| WindowTruth {
+            window: t.second as u64,
+            fps: t.fps,
+            bitrate_kbps: t.bitrate_kbps,
+            height: t.height,
+        })
+        .collect()
+}
+
+/// Extracts per-window truth from a dataset trace (same row shape,
+/// different container).
+pub fn from_trace(trace: &Trace) -> Vec<WindowTruth> {
+    trace
+        .truth
+        .iter()
+        .filter(|t| t.second >= 0)
+        .map(|t| WindowTruth {
+            window: t.second as u64,
+            fps: t.fps,
+            bitrate_kbps: t.bitrate_kbps,
+            height: t.height,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::cell_seed;
+    use vcaml_datasets::{inlab_corpus, CorpusConfig};
+    use vcaml_netem::{ConditionSchedule, LinkConfig, SecondCondition};
+    use vcaml_rtp::VcaKind;
+    use vcaml_vcasim::{dtx_segment, Session, SessionConfig, VcaProfile};
+
+    fn cond(kbps: f64) -> SecondCondition {
+        SecondCondition {
+            throughput_kbps: kbps,
+            delay_ms: 20.0,
+            jitter_ms: 1.0,
+            loss_pct: 0.0,
+        }
+    }
+
+    fn run(vca: VcaKind, sched: ConditionSchedule, secs: u32, seed: u64) -> SessionTrace {
+        Session::new(SessionConfig {
+            profile: VcaProfile::lab(vca),
+            schedule: sched,
+            duration_secs: secs,
+            seed,
+            link: LinkConfig::default(),
+        })
+        .run()
+    }
+
+    #[test]
+    fn windows_map_one_to_one_onto_truth_seconds() {
+        let s = run(
+            VcaKind::Teams,
+            ConditionSchedule::constant(cond(5000.0)),
+            10,
+            1,
+        );
+        let wt = from_session(&s);
+        assert_eq!(wt.len(), s.truth.len());
+        for (w, t) in wt.iter().zip(&s.truth) {
+            assert_eq!(w.window as i64, t.second);
+            assert_eq!(w.fps, t.fps);
+            assert_eq!(w.bitrate_kbps, t.bitrate_kbps);
+            assert_eq!(w.height, t.height);
+        }
+    }
+
+    #[test]
+    fn mid_call_mode_switch_shows_in_window_heights() {
+        // 3000 kbps for 8 s, then a hard drop to 500 kbps: the encoder
+        // must descend the ladder, so late windows render lower and
+        // slower than the pre-switch steady state.
+        let sched = ConditionSchedule::new(
+            (0..20)
+                .map(|sec| cond(if sec < 8 { 3000.0 } else { 500.0 }))
+                .collect(),
+        );
+        let wt = from_session(&run(VcaKind::Teams, sched, 20, 2));
+        let high = &wt[6]; // settled pre-switch
+        let low = &wt[18]; // settled post-switch
+        assert!(
+            high.height > low.height,
+            "height did not drop: {} -> {}",
+            high.height,
+            low.height
+        );
+        assert!(high.bitrate_kbps > low.bitrate_kbps);
+        assert!(high.fps > low.fps);
+    }
+
+    #[test]
+    fn dtx_windows_have_zero_truth_and_neighbours_do_not() {
+        let base = run(
+            VcaKind::Meet,
+            ConditionSchedule::constant(cond(5000.0)),
+            16,
+            3,
+        );
+        let wt = from_session(&dtx_segment(&base, 6, 10));
+        for w in &wt {
+            if (6..10).contains(&w.window) {
+                assert_eq!(w.fps, 0.0);
+                assert_eq!(w.bitrate_kbps, 0.0);
+                assert_eq!(w.height, 0);
+            }
+        }
+        assert!(wt[4].fps > 0.0 && wt[4].height > 0);
+        assert!(wt[12].fps > 0.0 && wt[12].height > 0);
+    }
+
+    #[test]
+    fn trace_truth_matches_session_shape() {
+        let cfg = CorpusConfig {
+            n_calls: 1,
+            min_secs: 12,
+            max_secs: 12,
+            seed: 9,
+        };
+        let trace = inlab_corpus(VcaKind::Teams, &cfg).remove(0);
+        let wt = from_trace(&trace);
+        assert_eq!(wt.len(), trace.truth.len());
+        assert!(wt.iter().any(|w| w.fps > 0.0 && w.height > 0));
+        assert!(wt.windows(2).all(|p| p[1].window == p[0].window + 1));
+    }
+
+    #[test]
+    fn cell_seed_is_stable_and_name_sensitive() {
+        assert_eq!(cell_seed(7, "baseline"), cell_seed(7, "baseline"));
+        assert_ne!(cell_seed(7, "baseline"), cell_seed(8, "baseline"));
+        assert_ne!(cell_seed(7, "baseline"), cell_seed(7, "burst_loss"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Satellite: the scorecard is byte-identical across repeated runs and
+//! across monitor thread counts for the same seed and grid.
+
+use vcaml_scenario::{prepare, run_grid, smoke_grid, Tolerances};
+
+/// Two runs of the same grid with the same seed must serialize to the
+/// same bytes: no timestamps, no map ordering, no hidden RNG state.
+#[test]
+fn same_seed_same_grid_is_byte_identical() {
+    let a = run_grid(&smoke_grid(), 7, 1, &Tolerances::default()).to_json();
+    let b = run_grid(&smoke_grid(), 7, 1, &Tolerances::default()).to_json();
+    assert_eq!(a, b, "repeated runs diverged");
+}
+
+/// Thread count only changes monitor internals; the per-window reports
+/// (and hence the scorecard bytes) must not move.
+#[test]
+fn thread_count_does_not_change_the_scorecard() {
+    let one = run_grid(&smoke_grid(), 7, 1, &Tolerances::default()).to_json();
+    let four = run_grid(&smoke_grid(), 7, 4, &Tolerances::default()).to_json();
+    assert_eq!(one, four, "thread count leaked into the scorecard");
+}
+
+/// Different seeds must actually change the traffic — guards against a
+/// seed that is accepted but ignored, which would make the determinism
+/// assertions above vacuous.
+#[test]
+fn different_seeds_produce_different_traffic() {
+    let spec_a = smoke_grid();
+    let truth_a = prepare(&spec_a[0], 7).truth;
+    let truth_b = prepare(&spec_a[0], 8).truth;
+    assert_ne!(truth_a, truth_b, "grid seed had no effect on the session");
+}
+
+/// `prepare` itself is deterministic: building the same cell twice
+/// yields identical ground truth.
+#[test]
+fn prepare_is_deterministic_per_cell() {
+    let specs = smoke_grid();
+    for sp in &specs {
+        let a = prepare(sp, 7).truth;
+        let b = prepare(sp, 7).truth;
+        assert_eq!(a, b, "prepare({}) not deterministic", sp.name);
+    }
+}

@@ -1,0 +1,64 @@
+//! Satellite: golden verdicts for the fixed-seed smoke mini-grid.
+//!
+//! Exact (scenario, method, verdict) assertions for the 3-scenario × 4
+//! method smoke subset at the default seed. If an engine or model
+//! change moves one of these verdicts, this test names the exact cell —
+//! update the expectations (and the committed baseline scorecard)
+//! deliberately or fix the regression.
+
+use vcaml::Method;
+use vcaml_scenario::{run_grid, smoke_grid, Tolerances, Verdict};
+
+const GOLDEN_SEED: u64 = 7;
+
+#[test]
+fn smoke_grid_verdicts_match_golden() {
+    let card = run_grid(&smoke_grid(), GOLDEN_SEED, 1, &Tolerances::default());
+
+    let expected: &[(&str, Method, Verdict)] = &[
+        ("baseline", Method::RtpMl, Verdict::Pass),
+        ("baseline", Method::IpUdpMl, Verdict::Pass),
+        ("baseline", Method::RtpHeuristic, Verdict::Pass),
+        ("baseline", Method::IpUdpHeuristic, Verdict::Pass),
+        ("burst_loss", Method::RtpMl, Verdict::Pass),
+        ("burst_loss", Method::IpUdpMl, Verdict::Pass),
+        ("burst_loss", Method::RtpHeuristic, Verdict::Pass),
+        ("burst_loss", Method::IpUdpHeuristic, Verdict::Pass),
+        // DTX zeroes seven mid-call windows; the ML variants smear the
+        // learned fps across the silence while the RTP heuristic tracks
+        // the (absent) marker bits exactly.
+        ("dtx_silence", Method::RtpMl, Verdict::Degraded),
+        ("dtx_silence", Method::IpUdpMl, Verdict::Degraded),
+        ("dtx_silence", Method::RtpHeuristic, Verdict::Pass),
+        ("dtx_silence", Method::IpUdpHeuristic, Verdict::Pass),
+    ];
+
+    assert_eq!(card.cells.len(), expected.len(), "smoke grid size changed");
+    for ((scenario, method, verdict), cell) in expected.iter().zip(&card.cells) {
+        assert_eq!(
+            cell.scenario, *scenario,
+            "cell order changed: expected {scenario}, got {}",
+            cell.scenario
+        );
+        assert_eq!(cell.method, *method, "method order changed in {scenario}");
+        assert_eq!(
+            cell.verdict,
+            *verdict,
+            "golden verdict moved for {scenario} / {}: {:?} -> {:?} \
+             (fps_mae {:.2}, br_mrae {:?}, res_acc {:?})",
+            method.name(),
+            verdict,
+            cell.verdict,
+            cell.fps_mae,
+            cell.bitrate_mrae,
+            cell.res_acc,
+        );
+    }
+
+    // The smoke subset must stay green: it is the CI hard gate.
+    assert_eq!(card.exit_code(), 0, "smoke grid has a failing cell");
+    // Every cell saw the full call.
+    for cell in &card.cells {
+        assert_eq!(cell.windows, 20, "{} lost windows", cell.scenario);
+    }
+}

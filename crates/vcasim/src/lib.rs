@@ -35,7 +35,7 @@ pub mod receiver;
 pub mod session;
 
 pub use codec::{FrameSource, VideoFrame};
-pub use modes::{merge_multiparty, video_off};
+pub use modes::{dtx_segment, merge_multiparty, video_off};
 pub use packetizer::{packetize, FragmentPolicy};
 pub use profiles::{LadderRung, VcaProfile};
 pub use rate::RateController;

@@ -86,6 +86,56 @@ pub fn video_off(session: &SessionTrace) -> SessionTrace {
     }
 }
 
+/// Silences the video sender for seconds `[from_sec, to_sec)` — a DTX /
+/// camera-off segment in the middle of an otherwise normal call. Video
+/// and retransmission packets whose *send* time falls in the segment are
+/// dropped (the sender stopped encoding, so nothing crosses the link),
+/// audio and control continue, and ground truth for those seconds is
+/// zeroed. Seconds outside the segment are untouched.
+///
+/// # Panics
+/// Panics unless `from_sec < to_sec` and the segment fits in the call.
+pub fn dtx_segment(session: &SessionTrace, from_sec: u32, to_sec: u32) -> SessionTrace {
+    assert!(from_sec < to_sec, "empty DTX segment");
+    assert!(
+        to_sec <= session.duration_secs,
+        "DTX segment past end of call"
+    );
+    let silenced = |sec: i64| sec >= from_sec as i64 && sec < to_sec as i64;
+    let packets = session
+        .packets
+        .iter()
+        .filter(|p| match p.media {
+            MediaKind::Video | MediaKind::VideoRtx => !silenced(p.send_ts.second_index()),
+            MediaKind::Audio | MediaKind::Control => true,
+        })
+        .copied()
+        .collect();
+    let truth = session
+        .truth
+        .iter()
+        .map(|t| {
+            if silenced(t.second) {
+                SecondTruth {
+                    second: t.second,
+                    bitrate_kbps: 0.0,
+                    fps: 0.0,
+                    frame_jitter_ms: 0.0,
+                    height: 0,
+                }
+            } else {
+                *t
+            }
+        })
+        .collect();
+    SessionTrace {
+        vca: session.vca,
+        packets,
+        truth,
+        duration_secs: session.duration_secs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +210,43 @@ mod tests {
     #[should_panic(expected = "no participants")]
     fn empty_merge_rejected() {
         let _ = merge_multiparty(&[]);
+    }
+
+    #[test]
+    fn dtx_zeroes_segment_and_keeps_rest() {
+        let base = one_session(4);
+        let dtx = dtx_segment(&base, 3, 6);
+        assert_eq!(dtx.truth.len(), base.truth.len());
+        for t in &dtx.truth {
+            if (3..6).contains(&t.second) {
+                assert_eq!(t.fps, 0.0);
+                assert_eq!(t.bitrate_kbps, 0.0);
+                assert_eq!(t.height, 0);
+            }
+        }
+        // Seconds outside the segment are byte-for-byte the originals.
+        assert_eq!(dtx.truth[1], base.truth[1]);
+        assert_eq!(dtx.truth[7], base.truth[7]);
+        // No video is sent during the segment; audio keeps flowing.
+        let in_seg = |p: &SimPacket| (3..6).contains(&p.send_ts.second_index());
+        assert!(!dtx
+            .packets
+            .iter()
+            .any(|p| in_seg(p) && matches!(p.media, MediaKind::Video | MediaKind::VideoRtx)));
+        assert!(dtx
+            .packets
+            .iter()
+            .any(|p| in_seg(p) && p.media == MediaKind::Audio));
+        // Video resumes after the segment.
+        assert!(dtx
+            .packets
+            .iter()
+            .any(|p| p.send_ts.second_index() >= 6 && p.media == MediaKind::Video));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty DTX segment")]
+    fn dtx_rejects_empty_segment() {
+        let _ = dtx_segment(&one_session(5), 4, 4);
     }
 }

@@ -261,7 +261,10 @@ fn usage() -> ! {
            --summary            print an end-of-run per-flow rollup table\n\
            --stats-every <secs> print a live stats snapshot (JSON, type\n\
                                 \"stats\") to stderr every <secs> seconds\n\
-                                while the run is supervised"
+                                while the run is supervised\n\
+         \n\
+         accuracy (as opposed to perf) regressions are gated by the\n\
+         impairment-grid harness: see `vcaml-scenario --help`"
     );
     std::process::exit(2)
 }
