@@ -924,6 +924,7 @@ impl QoeEstimator for IpUdpMlEngine {
             return;
         };
         for w in emit {
+            // lint: allow(hot-path-alloc-transitive) -- per-window snapshot; amortized across every packet in the window
             let r = self.emit_window(w);
             out.push(r);
         }
@@ -1044,6 +1045,7 @@ impl QoeEstimator for RtpMlEngine {
             return;
         };
         for w in emit {
+            // lint: allow(hot-path-alloc-transitive) -- per-window snapshot; amortized across every packet in the window
             let r = self.emit_window(w);
             out.push(r);
         }

@@ -1,0 +1,764 @@
+//! The interprocedural analyses over the workspace call graph
+//! ([`crate::graph`]): transitive hot-path allocation, panic
+//! reachability from hot roots, held-guard propagation across calls,
+//! and the global lock-order graph with cycle (deadlock) detection.
+//!
+//! All four share one shape: **local facts** are extracted per
+//! function (allocation sites, panic sites, blocking sites, lock
+//! acquisitions), then propagated **bottom-up** over the SCC-condensed
+//! call graph (Tarjan emission order is callees-first; within an SCC a
+//! bounded fixpoint runs). Every finding carries a witness chain
+//! `root (file:line) → helper (file:line) → .to_vec() (file:line)`.
+//!
+//! ## Suppression model
+//!
+//! * A **site** allow kills the fact at its source: an allocation line
+//!   allowed for `hot-path-alloc` (or `-transitive`) contributes no
+//!   transitive fact; a panic line allowed for `no-unwrap-in-lib` (or
+//!   `panic-path`) likewise — a justified local allow means there is
+//!   nothing to upgrade.
+//! * An **edge** allow cuts propagation: an allow on a *call-site*
+//!   line (for the transitive rule) severs that edge for both summary
+//!   propagation and reporting — the per-edge escape hatch.
+
+use crate::graph::{CallEdge, Graph};
+use crate::model::{FileModel, FileRole};
+use crate::report::Finding;
+use crate::rules::{alloc_at, is_wait_point, severity, walk_guards, GuardEvent};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A local fact site: line + display form for witness chains.
+#[derive(Debug, Clone)]
+struct Site {
+    line: u32,
+    desc: String,
+}
+
+/// Per-node local facts.
+#[derive(Default)]
+struct Facts {
+    /// Allocation sites (suppressed sites excluded).
+    alloc: Vec<Site>,
+    /// Panic sites: `.unwrap()` / `.expect()` / `panic!` in library
+    /// code (suppressed sites excluded).
+    panic: Vec<Site>,
+    /// Blocking sites: `.send()` / `.recv()` / `.wait()`…
+    wait: Vec<Site>,
+    /// Lock acquisitions: (normalized lock id, site).
+    acquires: Vec<(String, Site)>,
+    /// Call heads reached while ≥1 guard held:
+    /// (absolute token index, held lock ids, line).
+    held_calls: Vec<(usize, Vec<String>, u32)>,
+    /// Intra-fn lock-order edges: (held lock, newly acquired lock,
+    /// acquisition line).
+    order: Vec<(String, String, u32)>,
+}
+
+/// How a node came to carry a transitive property — the witness-chain
+/// link. `Via` pointers always target a node marked in an earlier
+/// fixpoint step, so chains are acyclic even inside SCCs.
+#[derive(Debug, Clone)]
+enum Reason {
+    Local(Site),
+    Via { line: u32, to: usize },
+}
+
+/// Runs all four graph analyses (honoring rule selection) and appends
+/// findings.
+pub(crate) fn run(files: &[FileModel], graph: &Graph, selected: &[String], out: &mut Vec<Finding>) {
+    let on = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+    let facts = collect_facts(files, graph);
+    if on("hot-path-alloc-transitive") {
+        let reasons = propagate(
+            files,
+            graph,
+            &facts,
+            |f| &f.alloc,
+            &["hot-path-alloc-transitive", "hot-path-alloc"],
+        );
+        report_hot_roots(
+            files,
+            graph,
+            &reasons,
+            "hot-path-alloc-transitive",
+            &["hot-path-alloc-transitive", "hot-path-alloc"],
+            "reaches an allocation",
+            out,
+        );
+    }
+    if on("panic-path") {
+        let reasons = propagate(files, graph, &facts, |f| &f.panic, &["panic-path"]);
+        report_hot_roots(
+            files,
+            graph,
+            &reasons,
+            "panic-path",
+            &["panic-path"],
+            "reaches a panic site",
+            out,
+        );
+        report_local_panics_in_hot(files, graph, &facts, out);
+    }
+    let lock_rules: &[&str] = &["lock-discipline-transitive", "lock-discipline"];
+    if on("lock-discipline-transitive") {
+        let reasons = propagate(files, graph, &facts, |f| &f.wait, lock_rules);
+        report_held_calls(files, graph, &facts, &reasons, lock_rules, out);
+    }
+    if on("lock-order-cycle") {
+        report_lock_cycles(files, graph, &facts, out);
+    }
+}
+
+/// Local fact extraction for every node.
+fn collect_facts(files: &[FileModel], graph: &Graph) -> Vec<Facts> {
+    let mut out = Vec::with_capacity(graph.nodes.len());
+    for node in &graph.nodes {
+        let f = &files[node.file];
+        let fun = &f.fns[node.fn_idx];
+        let mut facts = Facts::default();
+        if node.test {
+            out.push(facts);
+            continue;
+        }
+        let nested = crate::graph::nested_fn_ranges(f, fun);
+        let toks = &f.tokens;
+        let mut i = fun.body.start;
+        while i < fun.body.end {
+            if let Some(r) = nested.iter().find(|r| r.contains(&i)) {
+                i = r.end;
+                continue;
+            }
+            let line = toks[i].line;
+            if let Some((display, _)) = alloc_at(toks, i) {
+                if !f.allowed("hot-path-alloc", line)
+                    && !f.allowed("hot-path-alloc-transitive", line)
+                {
+                    facts.alloc.push(Site {
+                        line,
+                        desc: format!("`{display}`"),
+                    });
+                }
+            }
+            if f.role == FileRole::Lib {
+                let t = &toks[i];
+                let panic_desc = if (t.is_ident("unwrap") || t.is_ident("expect"))
+                    && i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    Some(format!("`.{}()`", t.text))
+                } else if t.is_ident("panic") && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                    Some("`panic!`".to_string())
+                } else {
+                    None
+                };
+                if let Some(desc) = panic_desc {
+                    if !f.allowed("no-unwrap-in-lib", line) && !f.allowed("panic-path", line) {
+                        facts.panic.push(Site { line, desc });
+                    }
+                }
+            }
+            if is_wait_point(toks, i)
+                && !f.allowed("lock-discipline", line)
+                && !f.allowed("lock-discipline-transitive", line)
+            {
+                facts.wait.push(Site {
+                    line,
+                    desc: format!("`.{}()`", toks[i].text),
+                });
+            }
+            i += 1;
+        }
+        walk_guards(f, fun, &mut |held, ev| match ev {
+            GuardEvent::Acquire { guard } => {
+                let line = guard.line;
+                if !f.allowed("lock-order-cycle", line) {
+                    facts.acquires.push((
+                        guard.lock.clone(),
+                        Site {
+                            line,
+                            desc: format!("`{}`", guard.lock),
+                        },
+                    ));
+                    for h in held {
+                        facts.order.push((h.lock.clone(), guard.lock.clone(), line));
+                    }
+                }
+            }
+            GuardEvent::Call { tok } => {
+                facts.held_calls.push((
+                    tok,
+                    held.iter().map(|g| g.lock.clone()).collect(),
+                    toks[tok].line,
+                ));
+            }
+            GuardEvent::Wait { .. } => {}
+        });
+        out.push(facts);
+    }
+    out
+}
+
+/// True when the caller's file allows any of `rules` on the call-site
+/// line — the per-edge escape hatch.
+fn edge_cut(files: &[FileModel], graph: &Graph, e: &CallEdge, rules: &[&str]) -> bool {
+    let f = &files[graph.nodes[e.from].file];
+    rules.iter().any(|r| f.allowed(r, e.line))
+}
+
+/// Bottom-up may-reach propagation over the SCC condensation: a node
+/// carries a [`Reason`] when it has a local fact or a non-cut edge to
+/// a carrying node. SCC members converge via a bounded fixpoint.
+fn propagate(
+    files: &[FileModel],
+    graph: &Graph,
+    facts: &[Facts],
+    local: impl Fn(&Facts) -> &Vec<Site>,
+    cut_rules: &[&str],
+) -> Vec<Option<Reason>> {
+    let mut reasons: Vec<Option<Reason>> = vec![None; graph.nodes.len()];
+    for scc in &graph.sccs {
+        // Bounded fixpoint: each pass marks ≥1 new member or stops, so
+        // |scc| passes suffice.
+        for _ in 0..scc.len() {
+            let mut changed = false;
+            for &n in scc {
+                if reasons[n].is_some() {
+                    continue;
+                }
+                if let Some(site) = local(&facts[n]).first() {
+                    reasons[n] = Some(Reason::Local(site.clone()));
+                    changed = true;
+                    continue;
+                }
+                for e in &graph.out[n] {
+                    if edge_cut(files, graph, e, cut_rules) {
+                        continue;
+                    }
+                    if reasons[e.to].is_some() {
+                        reasons[n] = Some(Reason::Via {
+                            line: e.line,
+                            to: e.to,
+                        });
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    reasons
+}
+
+/// Renders the witness chain for an edge out of `root`:
+/// `root (file:call-line) → … → leaf-fn (file:line) → site (file:line)`.
+fn chain_for(
+    files: &[FileModel],
+    graph: &Graph,
+    reasons: &[Option<Reason>],
+    root: usize,
+    edge: &CallEdge,
+) -> Vec<String> {
+    let step = |n: usize, line: u32| {
+        format!(
+            "{} ({}:{})",
+            graph.nodes[n].label(),
+            files[graph.nodes[n].file].path,
+            line
+        )
+    };
+    let mut out = vec![step(root, edge.line)];
+    let mut n = edge.to;
+    loop {
+        match &reasons[n] {
+            Some(Reason::Local(site)) => {
+                out.push(step(n, site.line));
+                out.push(format!(
+                    "{} ({}:{})",
+                    site.desc, files[graph.nodes[n].file].path, site.line
+                ));
+                return out;
+            }
+            Some(Reason::Via { line, to }) => {
+                out.push(step(n, *line));
+                n = *to;
+            }
+            None => return out, // unreachable by construction
+        }
+    }
+}
+
+/// Findings for hot roots whose callees carry the property: one
+/// finding per offending edge (so a per-edge allow silences exactly
+/// that edge), anchored at the call-site line.
+fn report_hot_roots(
+    files: &[FileModel],
+    graph: &Graph,
+    reasons: &[Option<Reason>],
+    rule: &'static str,
+    cut_rules: &[&str],
+    what: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (n, node) in graph.nodes.iter().enumerate() {
+        if !node.hot || node.test {
+            continue;
+        }
+        let f = &files[node.file];
+        for e in &graph.out[n] {
+            if edge_cut(files, graph, e, cut_rules) || reasons[e.to].is_none() {
+                continue;
+            }
+            let chain = chain_for(files, graph, reasons, n, e);
+            out.push(Finding {
+                rule,
+                severity: severity(rule),
+                file: f.path.clone(),
+                line: e.line,
+                message: format!(
+                    "hot path `{}` {} through `{}`: {}",
+                    node.label(),
+                    what,
+                    graph.nodes[e.to].label(),
+                    chain.join(" → ")
+                ),
+                snippet: f.snippet(e.line),
+                chain,
+            });
+        }
+    }
+}
+
+/// `panic-path` also covers the degenerate chain: a panic site *in*
+/// the hot fn itself upgrades the `no-unwrap-in-lib` warning to an
+/// error (suppressed sites carry no fact, hence no upgrade).
+fn report_local_panics_in_hot(
+    files: &[FileModel],
+    graph: &Graph,
+    facts: &[Facts],
+    out: &mut Vec<Finding>,
+) {
+    for (n, node) in graph.nodes.iter().enumerate() {
+        if !node.hot || node.test {
+            continue;
+        }
+        let f = &files[node.file];
+        for site in &facts[n].panic {
+            let chain = vec![
+                format!("{} ({}:{})", node.label(), f.path, site.line),
+                format!("{} ({}:{})", site.desc, f.path, site.line),
+            ];
+            out.push(Finding {
+                rule: "panic-path",
+                severity: severity("panic-path"),
+                file: f.path.clone(),
+                line: site.line,
+                message: format!(
+                    "{} in hot path `{}` — a per-packet panic is an outage, not a bug report",
+                    site.desc,
+                    node.label()
+                ),
+                snippet: f.snippet(site.line),
+                chain,
+            });
+        }
+    }
+}
+
+/// `lock-discipline-transitive`: a call made while a guard is held,
+/// into a callee that (transitively) blocks on a channel/condvar.
+fn report_held_calls(
+    files: &[FileModel],
+    graph: &Graph,
+    facts: &[Facts],
+    reasons: &[Option<Reason>],
+    cut_rules: &[&str],
+    out: &mut Vec<Finding>,
+) {
+    for (n, node) in graph.nodes.iter().enumerate() {
+        if node.test {
+            continue;
+        }
+        let f = &files[node.file];
+        for (tok, held, line) in &facts[n].held_calls {
+            if cut_rules.iter().any(|r| f.allowed(r, *line)) {
+                continue;
+            }
+            let Some(e) = graph.out[n].iter().find(|e| e.tok == *tok) else {
+                continue;
+            };
+            if reasons[e.to].is_none() {
+                continue;
+            }
+            let chain = chain_for(files, graph, reasons, n, e);
+            out.push(Finding {
+                rule: "lock-discipline-transitive",
+                severity: severity("lock-discipline-transitive"),
+                file: f.path.clone(),
+                line: *line,
+                message: format!(
+                    "call to `{}` while guard on `{}` is held in `{}` reaches a blocking \
+                     operation: {}",
+                    graph.nodes[e.to].label(),
+                    held.join("`, `"),
+                    node.label(),
+                    chain.join(" → ")
+                ),
+                snippet: f.snippet(*line),
+                chain,
+            });
+        }
+    }
+}
+
+/// `lock-order-cycle`: builds the global lock-order graph (held → next
+/// acquired, both intra-fn and through calls) and reports one finding
+/// per cyclic SCC — the potential-deadlock shape.
+fn report_lock_cycles(files: &[FileModel], graph: &Graph, facts: &[Facts], out: &mut Vec<Finding>) {
+    // Transitive acquire sets, bottom-up (lock-rule edge cuts apply).
+    let cut_rules: &[&str] = &["lock-discipline-transitive", "lock-discipline"];
+    let mut acq: Vec<BTreeSet<String>> = vec![BTreeSet::new(); graph.nodes.len()];
+    for scc in &graph.sccs {
+        for _ in 0..scc.len().max(1) {
+            let mut changed = false;
+            for &n in scc {
+                let mut next: BTreeSet<String> =
+                    facts[n].acquires.iter().map(|(l, _)| l.clone()).collect();
+                for e in &graph.out[n] {
+                    if edge_cut(files, graph, e, cut_rules) {
+                        continue;
+                    }
+                    next.extend(acq[e.to].iter().cloned());
+                }
+                if next.len() != acq[n].len() {
+                    acq[n] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    // Order edges: lock → lock, annotated with the first witness site.
+    let mut edges: BTreeMap<(String, String), (String, u32, String)> = BTreeMap::new();
+    for (n, node) in graph.nodes.iter().enumerate() {
+        if node.test {
+            continue;
+        }
+        let f = &files[node.file];
+        for (held, acquired, line) in &facts[n].order {
+            edges
+                .entry((held.clone(), acquired.clone()))
+                .or_insert_with(|| (f.path.clone(), *line, node.label()));
+        }
+        for (tok, held, line) in &facts[n].held_calls {
+            if cut_rules.iter().any(|r| f.allowed(r, *line)) {
+                continue;
+            }
+            let Some(e) = graph.out[n].iter().find(|e| e.tok == *tok) else {
+                continue;
+            };
+            for h in held {
+                for t in &acq[e.to] {
+                    if t != h {
+                        edges
+                            .entry((h.clone(), t.clone()))
+                            .or_insert_with(|| (f.path.clone(), *line, node.label()));
+                    }
+                }
+            }
+        }
+    }
+    for cycle in find_cycles(&edges) {
+        // Anchor at the smallest (file, line) among the cycle's edges.
+        let sites: Vec<&(String, u32, String)> = cycle
+            .windows(2)
+            .filter_map(|w| edges.get(&(w[0].clone(), w[1].clone())))
+            .collect();
+        let Some(anchor) = sites.iter().min_by_key(|(p, l, _)| (p.clone(), *l)) else {
+            continue;
+        };
+        let Some(f) = files.iter().find(|f| f.path == anchor.0) else {
+            continue;
+        };
+        if f.allowed("lock-order-cycle", anchor.1) {
+            continue;
+        }
+        let chain: Vec<String> = cycle
+            .windows(2)
+            .filter_map(|w| {
+                edges.get(&(w[0].clone(), w[1].clone())).map(|(p, l, ctx)| {
+                    format!("`{}` → `{}` ({}:{}, in `{}`)", w[0], w[1], p, l, ctx)
+                })
+            })
+            .collect();
+        out.push(Finding {
+            rule: "lock-order-cycle",
+            severity: severity("lock-order-cycle"),
+            file: anchor.0.clone(),
+            line: anchor.1,
+            message: format!(
+                "lock-order cycle (potential deadlock): {} — acquisition order must be \
+                 globally consistent",
+                chain.join(", ")
+            ),
+            snippet: f.snippet(anchor.1),
+            chain,
+        });
+    }
+}
+
+/// One representative cycle per cyclic SCC of the lock-order graph,
+/// canonicalized to start at the smallest lock id. Returned as
+/// `[a, b, …, a]` (first repeated at the end).
+#[allow(clippy::type_complexity)]
+fn find_cycles(edges: &BTreeMap<(String, String), (String, u32, String)>) -> Vec<Vec<String>> {
+    let mut nodes: BTreeSet<&String> = BTreeSet::new();
+    for (a, b) in edges.keys() {
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    let ids: Vec<&String> = nodes.into_iter().collect();
+    let index: BTreeMap<&String, usize> = ids.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
+    for (a, b) in edges.keys() {
+        adj[index[a]].push(index[b]);
+    }
+    // SCCs of the lock graph via simple Kosaraju-free approach:
+    // repeated DFS cycle-finding from each unvisited smallest node,
+    // restricted by reachability. Lock graphs are tiny (≤ dozens of
+    // locks), so an O(V·E) path search per node is fine.
+    let mut cycles = Vec::new();
+    let mut covered: BTreeSet<usize> = BTreeSet::new();
+    for start in 0..ids.len() {
+        if covered.contains(&start) {
+            continue;
+        }
+        // DFS for a path start → … → start.
+        if let Some(path) = cycle_from(start, &adj) {
+            for &n in &path {
+                covered.insert(n);
+            }
+            let mut cycle: Vec<String> = path.iter().map(|&n| ids[n].clone()).collect();
+            cycle.push(ids[start].clone());
+            cycles.push(cycle);
+        }
+    }
+    cycles
+}
+
+/// DFS path from `start` back to `start` (length ≥ 1 edges), if any.
+fn cycle_from(start: usize, adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+    let mut path: Vec<usize> = vec![start];
+    let mut visited: BTreeSet<usize> = BTreeSet::new();
+    visited.insert(start);
+    while let Some(&mut (v, ref mut ei)) = stack.last_mut() {
+        if let Some(&w) = adj[v].get(*ei) {
+            *ei += 1;
+            if w == start {
+                return Some(path);
+            }
+            if visited.insert(w) {
+                stack.push((w, 0));
+                path.push(w);
+            }
+        } else {
+            stack.pop();
+            path.pop();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build as build_model;
+    use crate::rules::run_all;
+    use std::path::Path;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let m = build_model("x.rs", Path::new("crates/x/src/x.rs"), src);
+        run_all(std::slice::from_ref(&m), &[])
+    }
+
+    #[test]
+    fn transitive_alloc_flagged_with_chain() {
+        let src = "\
+// lint: hot_path
+fn root(x: u32) { helper(x); }
+fn helper(x: u32) { let s = x.to_string(); }
+";
+        let f = findings(src);
+        let hit = f
+            .iter()
+            .find(|f| f.rule == "hot-path-alloc-transitive")
+            .expect("transitive finding");
+        assert_eq!(hit.line, 2);
+        assert_eq!(hit.chain.len(), 3);
+        assert!(hit.chain[0].starts_with("root "));
+        assert!(hit.chain[1].starts_with("helper "));
+        assert!(hit.chain[2].contains(".to_string()"));
+    }
+
+    #[test]
+    fn two_level_chain_resolves() {
+        let src = "\
+// lint: hot_path
+fn root() { mid(); }
+fn mid() { leaf(); }
+fn leaf() { let v = Vec::new(); }
+";
+        let f = findings(src);
+        let hit = f
+            .iter()
+            .find(|f| f.rule == "hot-path-alloc-transitive")
+            .expect("transitive finding");
+        assert_eq!(hit.chain.len(), 4);
+        assert!(hit.chain[3].contains("Vec::new"));
+    }
+
+    #[test]
+    fn edge_allow_cuts_propagation() {
+        let src = "\
+// lint: hot_path
+fn root() {
+    helper(); // lint: allow(hot-path-alloc-transitive) -- seal path, cold by contract
+}
+fn helper() { let s = a.to_owned(); }
+";
+        let f = findings(src);
+        assert!(!f.iter().any(|f| f.rule == "hot-path-alloc-transitive"));
+    }
+
+    #[test]
+    fn site_allow_kills_the_fact() {
+        let src = "\
+// lint: hot_path
+fn root() { helper(); }
+fn helper() {
+    let s = a.to_owned(); // lint: allow(hot-path-alloc) -- warmup only
+}
+";
+        let f = findings(src);
+        assert!(!f.iter().any(|f| f.rule == "hot-path-alloc-transitive"));
+    }
+
+    #[test]
+    fn recursion_scc_converges() {
+        let src = "\
+// lint: hot_path
+fn root() { a(); }
+fn a() { b(); }
+fn b() { a(); let v = vec![1]; }
+";
+        let f = findings(src);
+        assert!(f.iter().any(|f| f.rule == "hot-path-alloc-transitive"));
+    }
+
+    #[test]
+    fn panic_path_upgrades_and_chains() {
+        let src = "\
+// lint: hot_path
+fn root(x: Option<u32>) { helper(x); x.expect(\"set\"); }
+fn helper(x: Option<u32>) { x.unwrap(); }
+";
+        let f = findings(src);
+        // Transitive: root → helper → .unwrap()
+        let trans = f
+            .iter()
+            .find(|f| f.rule == "panic-path" && !f.chain.is_empty() && f.chain.len() == 3)
+            .expect("transitive panic finding");
+        assert!(trans.chain[2].contains(".unwrap()"));
+        // Local upgrade: .expect() in the hot fn itself.
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "panic-path" && f.line == 2 && f.message.contains(".expect()")));
+        // The warning-level rule still fires alongside.
+        assert!(f.iter().any(|f| f.rule == "no-unwrap-in-lib"));
+    }
+
+    #[test]
+    fn transitive_lock_wait_flagged() {
+        let src = "\
+struct W { q: Mutex }
+impl W {
+    fn pump(&self, rx: &Receiver<u32>) {
+        let g = self.q.lock().ok();
+        self.drain(rx);
+    }
+    fn drain(&self, rx: &Receiver<u32>) { let _ = rx.recv(); }
+}
+";
+        let f = findings(src);
+        let hit = f
+            .iter()
+            .find(|f| f.rule == "lock-discipline-transitive")
+            .expect("transitive lock finding");
+        assert_eq!(hit.line, 5);
+        assert!(hit.message.contains("W::q"));
+        assert!(hit.chain.iter().any(|c| c.contains(".recv()")));
+    }
+
+    #[test]
+    fn lock_order_cycle_across_two_fns() {
+        let src = "\
+struct S { a: Mutex, b: Mutex }
+impl S {
+    fn fwd(&self) {
+        let g1 = self.a.lock().ok();
+        let g2 = self.b.lock().ok();
+    }
+    fn rev(&self) {
+        let g2 = self.b.lock().ok();
+        let g1 = self.a.lock().ok();
+    }
+}
+";
+        let f = findings(src);
+        let hit = f
+            .iter()
+            .find(|f| f.rule == "lock-order-cycle")
+            .expect("cycle finding");
+        assert!(hit.message.contains("S::a"));
+        assert!(hit.message.contains("S::b"));
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let src = "\
+struct S { a: Mutex, b: Mutex }
+impl S {
+    fn f1(&self) { let g1 = self.a.lock().ok(); let g2 = self.b.lock().ok(); }
+    fn f2(&self) { let g1 = self.a.lock().ok(); let g2 = self.b.lock().ok(); }
+}
+";
+        let f = findings(src);
+        assert!(!f.iter().any(|f| f.rule == "lock-order-cycle"));
+    }
+
+    #[test]
+    fn cycle_through_a_call_detected() {
+        let src = "\
+struct S { a: Mutex, b: Mutex }
+impl S {
+    fn outer(&self) {
+        let g = self.a.lock().ok();
+        self.inner_acquire();
+    }
+    fn inner_acquire(&self) { let g = self.b.lock().ok(); }
+    fn other(&self) {
+        let g = self.b.lock().ok();
+        let h = self.a.lock().ok();
+    }
+}
+";
+        let f = findings(src);
+        assert!(f.iter().any(|f| f.rule == "lock-order-cycle"));
+    }
+}

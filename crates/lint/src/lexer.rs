@@ -35,6 +35,9 @@ pub struct Token {
     pub text: String,
     /// 1-based source line of the token's first character.
     pub line: u32,
+    /// Raw identifier (`r#fn`): the text is the bare name, but it is
+    /// never a keyword — the call-graph resolver must not skip it.
+    pub raw: bool,
 }
 
 impl Token {
@@ -123,7 +126,12 @@ impl<'a> Lexer<'a> {
 
     fn push_tok(&mut self, kind: TokKind, text: String, line: u32) {
         self.last_code_line = line;
-        self.out.tokens.push(Token { kind, text, line });
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            raw: false,
+        });
     }
 
     fn run(mut self) -> Lexed {
@@ -289,6 +297,9 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     self.bump();
                     self.ident(line);
+                    if let Some(t) = self.out.tokens.last_mut() {
+                        t.raw = true;
+                    }
                 }
                 true
             }
@@ -494,6 +505,56 @@ mod tests {
     fn raw_identifiers_are_idents() {
         let ids = idents("let r#fn = 1;");
         assert!(ids.contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_terminate_exactly() {
+        // r##"…"## may contain `"#` without closing: only the matching
+        // hash count ends the literal. Mis-counting would swallow real
+        // code (the `.unwrap()` after the literal) or leak banned names
+        // from inside it.
+        let src = "let a = r##\"inner \"# quote and vec![0] stay hidden\"##; x.unwrap();";
+        let lexed = lex(src);
+        let ids: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(!ids.contains(&"vec"), "literal body leaked into tokens");
+        assert!(ids.contains(&"unwrap"), "code after literal was swallowed");
+        // Three-hash with an embedded two-hash closer, plus the byte-raw
+        // spelling `br##"…"##`.
+        let deep =
+            lex("let b = r###\"has \"## inside\"###; let c = br##\"# still \"# in\"##; done");
+        assert!(deep.tokens.iter().any(|t| t.is_ident("done")));
+        assert_eq!(
+            deep.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_idents_in_paths_keep_segments() {
+        // `crate::r#mod::r#fn()` must lex as a plain path whose segments
+        // carry the bare keyword text with the raw flag set — not as a
+        // raw string or a skipped keyword.
+        let lexed = lex("crate::r#mod::r#fn(); let ok = r#type::r#loop;");
+        let raws: Vec<(&str, bool)> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.as_str(), t.raw))
+            .collect();
+        assert!(raws.contains(&("mod", true)));
+        assert!(raws.contains(&("fn", true)));
+        assert!(raws.contains(&("type", true)));
+        assert!(raws.contains(&("loop", true)));
+        assert!(raws.contains(&("crate", false)));
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokKind::Str));
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! See `ARCHITECTURE.md` § "Invariants & static analysis" for the rule
 //! table and the `// lint:` annotation grammar.
 
+pub mod analyses;
+pub mod graph;
 pub mod lexer;
 pub mod model;
 pub mod report;
@@ -87,9 +89,8 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Runs the full analysis over a workspace root, with an optional rule
-/// subset (empty = all rules).
-pub fn analyze(root: &Path, selected_rules: &[String]) -> std::io::Result<Report> {
+/// Builds the per-file models for a workspace root.
+fn build_models(root: &Path) -> std::io::Result<Vec<model::FileModel>> {
     let files = collect_files(root)?;
     let mut models = Vec::with_capacity(files.len());
     for rel in &files {
@@ -99,6 +100,21 @@ pub fn analyze(root: &Path, selected_rules: &[String]) -> std::io::Result<Report
             .replace(std::path::MAIN_SEPARATOR, "/");
         models.push(model::build(&display, rel, &src));
     }
+    Ok(models)
+}
+
+/// Builds the workspace call graph and serializes it
+/// (`--emit-callgraph`).
+pub fn emit_callgraph(root: &Path) -> std::io::Result<String> {
+    let models = build_models(root)?;
+    let graph = graph::Graph::build(&models);
+    Ok(graph.to_json(&models))
+}
+
+/// Runs the full analysis over a workspace root, with an optional rule
+/// subset (empty = all rules).
+pub fn analyze(root: &Path, selected_rules: &[String]) -> std::io::Result<Report> {
+    let models = build_models(root)?;
     let findings = rules::run_all(&models, selected_rules);
     Ok(Report {
         root: root.to_string_lossy().into_owned(),

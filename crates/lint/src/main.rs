@@ -18,6 +18,15 @@ OPTIONS:
   --out <FILE>        Write the JSON report to FILE (implies computing
                       JSON regardless of --format)
   --rule <NAME>       Run only the named rule (repeatable)
+  --emit-callgraph <FILE>
+                      Write the resolved workspace call graph (nodes,
+                      edges, unresolved edges, SCCs) as JSON and exit
+                      (`-` = stdout)
+  --compare <BASELINE>
+                      After analysis, compare the report against a
+                      committed baseline JSON: exit 1 on findings not
+                      in the baseline, warn on rules whose findings
+                      all disappeared (possible resolver decay)
   --list-rules        Print rule names and exit
   -q, --quiet         Suppress the table on a clean run
   -h, --help          This help
@@ -29,6 +38,8 @@ struct Opts {
     out: Option<PathBuf>,
     rules: Vec<String>,
     quiet: bool,
+    emit_callgraph: Option<PathBuf>,
+    compare: Option<PathBuf>,
 }
 
 #[derive(PartialEq)]
@@ -45,6 +56,8 @@ fn parse_args() -> Result<Option<Opts>, String> {
         out: None,
         rules: Vec::new(),
         quiet: false,
+        emit_callgraph: None,
+        compare: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,6 +84,15 @@ fn parse_args() -> Result<Option<Opts>, String> {
                     return Err(format!("unknown rule `{r}` (see --list-rules)"));
                 }
                 opts.rules.push(r);
+            }
+            "--emit-callgraph" => {
+                opts.emit_callgraph = Some(PathBuf::from(
+                    args.next()
+                        .ok_or("--emit-callgraph needs a value (`-` = stdout)")?,
+                ));
+            }
+            "--compare" => {
+                opts.compare = Some(PathBuf::from(args.next().ok_or("--compare needs a value")?));
             }
             "--list-rules" => {
                 for r in vcaml_lint::rules::ALL_RULES {
@@ -119,6 +141,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(dest) = &opts.emit_callgraph {
+        let json = match vcaml_lint::emit_callgraph(&root) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("vcaml-lint: call-graph build failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if dest.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(dest, json) {
+            eprintln!("vcaml-lint: cannot write {}: {e}", dest.display());
+            return ExitCode::from(2);
+        }
+        return ExitCode::SUCCESS;
+    }
     let report = match vcaml_lint::analyze(&root, &opts.rules) {
         Ok(r) => r,
         Err(e) => {
@@ -150,6 +188,38 @@ fn main() -> ExitCode {
     }
     if opts.format == Format::Json || opts.format == Format::Both {
         print!("{}", report.to_json());
+    }
+    if let Some(baseline_path) = &opts.compare {
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("vcaml-lint: cannot read {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let cmp = vcaml_lint::report::compare(&baseline, &report.to_json());
+        for rule in &cmp.disappeared_rules {
+            eprintln!(
+                "vcaml-lint: warning: rule `{rule}` had findings in the baseline but reports \
+                 none now — verify the rule still fires (resolver decay?)"
+            );
+        }
+        if cmp.is_regression() {
+            eprintln!(
+                "vcaml-lint: {} finding(s) not in baseline {}:",
+                cmp.new_findings.len(),
+                baseline_path.display()
+            );
+            for k in &cmp.new_findings {
+                eprintln!("  {k}");
+            }
+            return ExitCode::from(1);
+        }
+        eprintln!(
+            "vcaml-lint: report matches baseline {} (no new findings)",
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
     }
     ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(2))
 }

@@ -38,8 +38,20 @@ pub struct FnSpan {
     pub name: String,
     /// Line of the `fn` keyword.
     pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub tok: usize,
+    /// Token range of the signature: after the name, up to (exclusive)
+    /// the body's opening brace. Carries params for the receiver-type
+    /// heuristic.
+    pub sig: std::ops::Range<usize>,
     /// Token range of the body, **exclusive** of the outer braces.
     pub body: std::ops::Range<usize>,
+    /// Base type name of the enclosing `impl` block, if any
+    /// (`impl FlowTable<K>` and `impl Estimator for FlowTable` both
+    /// record `FlowTable`).
+    pub owner: Option<String>,
+    /// Trait name when the enclosing impl is `impl Trait for Type`.
+    pub trait_name: Option<String>,
     /// Marked `// lint: hot_path`.
     pub hot: bool,
     /// Inside a `#[cfg(test)]` region or carrying `#[test]`.
@@ -62,6 +74,10 @@ pub struct FileModel {
     /// Token ranges (exclusive of braces) that are test-only code.
     pub test_regions: Vec<std::ops::Range<usize>>,
     pub fns: Vec<FnSpan>,
+    /// `struct Name` → field name → base type ident (`sizes: Vec<i64>`
+    /// records `("sizes", "Vec")`; tuple-struct fields are `"0"`,
+    /// `"1"`, …). Feeds the call-graph receiver-type heuristic.
+    pub structs: BTreeMap<String, BTreeMap<String, String>>,
     /// Module is documented-unstable (`//!` doc contains
     /// `Stability: unstable`).
     pub unstable_module: bool,
@@ -138,7 +154,9 @@ pub fn build(path_for_display: &str, fs_path: &Path, src: &str) -> FileModel {
 
     let (allows, bad_allows, hot_lines) = parse_annotations(&comments, &tokens);
     let test_regions = find_test_regions(&tokens);
-    let fns = find_fns(&tokens, &hot_lines, &test_regions);
+    let impls = find_impls(&tokens);
+    let fns = find_fns(&tokens, &hot_lines, &test_regions, &impls);
+    let structs = find_structs(&tokens);
     let (unstable_module, stable_items, pub_items) = stability_markers(&comments, &tokens);
 
     FileModel {
@@ -151,10 +169,230 @@ pub fn build(path_for_display: &str, fs_path: &Path, src: &str) -> FileModel {
         bad_allows,
         test_regions,
         fns,
+        structs,
         unstable_module,
         stable_items,
         pub_items,
     }
+}
+
+/// One `impl` block: its body token range (exclusive of braces), the
+/// base name of the implementing type, and the trait when present.
+struct ImplSpan {
+    body: std::ops::Range<usize>,
+    owner: String,
+    trait_name: Option<String>,
+}
+
+/// Scans for `impl` blocks, including `impl Trait for Type` — the
+/// method-ownership facts the call graph resolves `Self::` and
+/// receiver-typed calls against.
+fn find_impls(tokens: &[Token]) -> Vec<ImplSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("impl") || tokens[i].raw {
+            i += 1;
+            continue;
+        }
+        // Walk the header up to its `{`, tracking angle/paren depth so
+        // generic params and `Fn(..) -> T` bounds never contribute
+        // path segments. Depth-0 idents before a depth-0 `for` name the
+        // trait path; after it (or when no `for` appears) the type.
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        let mut before_for: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        let mut in_where = false;
+        let mut open = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                // `->` in an `Fn() -> T` bound is two puncts; the `>`
+                // there must not close an angle level.
+                if !(j >= 1 && tokens[j - 1].is_punct('-')) {
+                    angle -= 1;
+                }
+            } else if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('{') && angle <= 0 && paren <= 0 {
+                open = Some(j);
+                break;
+            } else if t.is_punct(';') && angle <= 0 && paren <= 0 {
+                break; // `impl Trait for Type;` never happens, but stay total
+            } else if angle <= 0 && paren <= 0 && t.kind == TokKind::Ident {
+                if t.text == "for" && !t.raw {
+                    saw_for = true;
+                } else if t.text == "where" && !t.raw {
+                    in_where = true;
+                } else if !in_where {
+                    if saw_for {
+                        after_for = Some(t.text.clone());
+                    } else {
+                        before_for = Some(t.text.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j;
+            continue;
+        };
+        let close = match_brace(tokens, open);
+        let (owner, trait_name) = if saw_for {
+            (after_for, before_for)
+        } else {
+            (before_for, None)
+        };
+        if let Some(owner) = owner {
+            out.push(ImplSpan {
+                body: open + 1..close,
+                owner,
+                trait_name,
+            });
+        }
+        // Nested impls don't exist, but impls inside `mod` bodies do;
+        // continue the scan *inside* the block so those are found too.
+        i = open + 1;
+    }
+    out
+}
+
+/// Field → base-type map for every `struct` declaration. Tuple structs
+/// record positional fields `"0"`, `"1"`, …
+fn find_structs(tokens: &[Token]) -> BTreeMap<String, BTreeMap<String, String>> {
+    let mut out = BTreeMap::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        // Skip generics to the body introducer.
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                if !(j >= 1 && tokens[j - 1].is_punct('-')) {
+                    angle -= 1;
+                }
+            } else if angle <= 0 && (t.is_punct('{') || t.is_punct('(') || t.is_punct(';')) {
+                break;
+            } else if angle <= 0 && t.kind == TokKind::Ident && t.text == "where" {
+                // `struct S<T> where T: X { … }` — scan on to the brace.
+            }
+            j += 1;
+        }
+        let mut fields = BTreeMap::new();
+        match tokens.get(j) {
+            Some(t) if t.is_punct('{') => {
+                let close = match_brace(tokens, j);
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                while k < close {
+                    let t = &tokens[k];
+                    if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                        depth += 1;
+                    } else if t.is_punct('}')
+                        || t.is_punct(')')
+                        || t.is_punct(']')
+                        || (t.is_punct('>') && !(k >= 1 && tokens[k - 1].is_punct('-')))
+                    {
+                        depth -= 1;
+                    } else if depth == 0
+                        && t.kind == TokKind::Ident
+                        && t.text != "pub"
+                        && tokens.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                        && !tokens.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                    {
+                        if let Some(ty) = type_base(&tokens[k + 2..close]) {
+                            fields.insert(t.text.clone(), ty);
+                        }
+                    }
+                    k += 1;
+                }
+                i = close;
+            }
+            Some(t) if t.is_punct('(') => {
+                // Tuple struct: positional fields split on depth-0 commas.
+                let mut k = j + 1;
+                let mut depth = 0i32;
+                let mut idx = 0usize;
+                let mut start = k;
+                while k < tokens.len() {
+                    let t = &tokens[k];
+                    if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+                        depth += 1;
+                    } else if t.is_punct(']') || t.is_punct('>') {
+                        depth -= 1;
+                    } else if t.is_punct(')') {
+                        if depth == 0 {
+                            if let Some(ty) = type_base(&tokens[start..k]) {
+                                fields.insert(idx.to_string(), ty);
+                            }
+                            break;
+                        }
+                        depth -= 1;
+                    } else if t.is_punct(',') && depth == 0 {
+                        if let Some(ty) = type_base(&tokens[start..k]) {
+                            fields.insert(idx.to_string(), ty);
+                        }
+                        idx += 1;
+                        start = k + 1;
+                    }
+                    k += 1;
+                }
+                i = k;
+            }
+            _ => {}
+        }
+        out.entry(name).or_insert(fields);
+        i += 1;
+    }
+    out
+}
+
+/// The base type ident of a type expression: the last path segment of
+/// the leading type path (`&'a mut Vec<i64>` → `Vec`,
+/// `netpkt::Timestamp` → `Timestamp`, `Option<Timestamp>` → `Option`).
+/// Tuple/array/fn-pointer types yield `None`.
+pub fn type_base(tokens: &[Token]) -> Option<String> {
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident if matches!(t.text.as_str(), "mut" | "dyn" | "impl" | "pub") => continue,
+            TokKind::Ident => {
+                // Walk through `::`-joined segments to the last one.
+                let next_is_path = tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'));
+                if next_is_path {
+                    continue;
+                }
+                return Some(t.text.clone());
+            }
+            TokKind::Lifetime => continue,
+            TokKind::Punct if matches!(t.text.as_str(), "&" | ":") => continue,
+            _ => return None,
+        }
+    }
+    None
 }
 
 /// Extracts `// lint:` annotations. Returns (allow map, malformed
@@ -279,16 +517,18 @@ fn match_bracket(tokens: &[Token], open: usize) -> usize {
     tokens.len()
 }
 
-/// Scans for `fn` items and resolves their bodies and annotations.
+/// Scans for `fn` items and resolves their bodies, annotations, and
+/// impl ownership.
 fn find_fns(
     tokens: &[Token],
     hot_lines: &BTreeSet<u32>,
     test_regions: &[std::ops::Range<usize>],
+    impls: &[ImplSpan],
 ) -> Vec<FnSpan> {
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
-        if tokens[i].is_ident("fn") {
+        if tokens[i].is_ident("fn") && !tokens[i].raw {
             let name = match tokens.get(i + 1) {
                 Some(t) if t.kind == TokKind::Ident => t.text.clone(),
                 _ => {
@@ -336,10 +576,20 @@ fn find_fns(
             }
             if let Some(body) = body {
                 let test = test_regions.iter().any(|r| r.contains(&i));
+                // Innermost enclosing impl (smallest containing body)
+                // owns the method.
+                let enclosing = impls
+                    .iter()
+                    .filter(|im| im.body.contains(&i))
+                    .min_by_key(|im| im.body.end - im.body.start);
                 out.push(FnSpan {
                     name,
                     line: fn_line,
+                    tok: i,
+                    sig: i + 2..body.start.saturating_sub(1),
                     body,
+                    owner: enclosing.map(|im| im.owner.clone()),
+                    trait_name: enclosing.and_then(|im| im.trait_name.clone()),
                     hot,
                     test,
                 });
@@ -579,6 +829,52 @@ mod tests {
         assert_eq!(role("crates/lint/src/main.rs"), FileRole::Binary);
         assert_eq!(role("crates/core/tests/hot.rs"), FileRole::TestTarget);
         assert_eq!(role("crates/bench/benches/pipe.rs"), FileRole::TestTarget);
+    }
+
+    #[test]
+    fn raw_ident_fns_found_and_raw_fn_keyword_is_not() {
+        // `fn r#loop()` declares a function whose bare name is `loop`;
+        // the raw ident `r#fn` is a *name*, never the `fn` keyword, so
+        // a macro body like `m! { r#fn ghost { } }` must not fabricate
+        // a phantom function `ghost`.
+        let m = model("fn r#loop() {}\nm! { r#fn ghost { } }\n");
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["loop"]);
+    }
+
+    #[test]
+    fn fns_inside_macro_invocations_are_modeled() {
+        // Token-visible fns inside a macro *invocation* body are real
+        // code the macro pastes through — the linter must see them. The
+        // `$name`-templated fn inside the macro_rules *definition* has
+        // no ident after `fn`, so it can never produce a phantom span.
+        let m = model(
+            "macro_rules! gen {\n    ($name:ident) => { fn $name() {} };\n}\n\
+             wrap_in_mod! {\n    fn generated(v: &mut Vec<u32>) { v.push(1); }\n}\n",
+        );
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["generated"]);
+        let f = &m.fns[0];
+        assert!(m.tokens[f.body.clone()].iter().any(|t| t.is_ident("push")));
+    }
+
+    #[test]
+    fn impl_trait_for_type_methods_are_owned_by_the_type() {
+        let m = model(
+            "impl Estimator for FlowTable {\n    fn update(&mut self) {}\n}\n\
+             impl FlowTable {\n    fn new() -> Self { FlowTable }\n}\n\
+             fn free() {}\n",
+        );
+        let by_name = |n: &str| m.fns.iter().find(|f| f.name == n).expect("fn found");
+        let update = by_name("update");
+        assert_eq!(update.owner.as_deref(), Some("FlowTable"));
+        assert_eq!(update.trait_name.as_deref(), Some("Estimator"));
+        let new = by_name("new");
+        assert_eq!(new.owner.as_deref(), Some("FlowTable"));
+        assert_eq!(new.trait_name, None);
+        let free = by_name("free");
+        assert_eq!(free.owner, None);
+        assert_eq!(free.trait_name, None);
     }
 
     #[test]

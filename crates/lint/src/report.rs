@@ -33,6 +33,10 @@ pub struct Finding {
     pub line: u32,
     pub message: String,
     pub snippet: String,
+    /// Witness call chain for the interprocedural rules, root first
+    /// (`Engine::push (file:12)` → … → `.to_vec() (file:30)`); empty
+    /// for the per-file rules.
+    pub chain: Vec<String>,
 }
 
 /// Overall verdict of a run.
@@ -176,13 +180,18 @@ impl Report {
         for (i, f) in self.findings.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \
-                 \"message\": {}, \"snippet\": {}}}{}\n",
+                 \"message\": {}, \"snippet\": {}, \"chain\": [{}]}}{}\n",
                 json_str(f.rule),
                 json_str(f.severity.as_str()),
                 json_str(&f.file),
                 f.line,
                 json_str(&f.message),
                 json_str(&f.snippet),
+                f.chain
+                    .iter()
+                    .map(|c| json_str(c))
+                    .collect::<Vec<_>>()
+                    .join(", "),
                 if i + 1 == self.findings.len() {
                     ""
                 } else {
@@ -209,6 +218,90 @@ impl Report {
         s.push_str("}\n");
         s
     }
+}
+
+/// Result of a baseline comparison ([`compare`]).
+#[derive(Debug, Default)]
+pub struct CompareResult {
+    /// `(rule, file, line)` keys present in the new report but not the
+    /// baseline — a CI failure.
+    pub new_findings: Vec<String>,
+    /// Rules with a nonzero baseline count that dropped to zero —
+    /// possible silent rule decay (resolver bug), surfaced as a
+    /// warning.
+    pub disappeared_rules: Vec<String>,
+}
+
+impl CompareResult {
+    /// CI gate: fail only on new findings; disappearance warns.
+    pub fn is_regression(&self) -> bool {
+        !self.new_findings.is_empty()
+    }
+}
+
+/// Compares two JSON reports (as written by [`Report::to_json`]).
+/// Line-oriented: each finding is one line, so no JSON parser is
+/// needed (the linter stays dependency-free).
+pub fn compare(baseline: &str, current: &str) -> CompareResult {
+    let old = finding_keys(baseline);
+    let new = finding_keys(current);
+    let mut out = CompareResult::default();
+    for key in &new {
+        if !old.contains(key) {
+            out.new_findings.push(key.clone());
+        }
+    }
+    let count_by_rule = |keys: &[String]| -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for k in keys {
+            if let Some(rule) = k.split(' ').next() {
+                *m.entry(rule.to_string()).or_insert(0) += 1;
+            }
+        }
+        m
+    };
+    let old_counts = count_by_rule(&old);
+    let new_counts = count_by_rule(&new);
+    for (rule, n) in &old_counts {
+        if *n > 0 && new_counts.get(rule).copied().unwrap_or(0) == 0 {
+            out.disappeared_rules.push(rule.clone());
+        }
+    }
+    out
+}
+
+/// `rule file:line` keys for every finding line of a JSON report.
+fn finding_keys(json: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(rule) = extract_str(line, "\"rule\": \"") else {
+            continue;
+        };
+        let Some(file) = extract_str(line, "\"file\": \"") else {
+            continue;
+        };
+        let Some(ln) = extract_num(line, "\"line\": ") else {
+            continue;
+        };
+        out.push(format!("{rule} {file}:{ln}"));
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<u64> {
+    let start = line.find(key)? + key.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
 }
 
 /// JSON string escaping.
@@ -251,6 +344,7 @@ mod tests {
             line: 42,
             message: "msg with \"quotes\"".into(),
             snippet: "x.unwrap()".into(),
+            chain: vec![],
         }
     }
 
@@ -268,6 +362,41 @@ mod tests {
         assert!(j.contains("msg with \\\"quotes\\\""));
         assert!(j.contains("\"total_findings\": 1"));
         assert!(j.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn chain_serialized_in_json() {
+        let mut f = finding();
+        f.chain = vec!["a (x.rs:1)".into(), "`.to_vec()` (y.rs:2)".into()];
+        let j = report(vec![f]).to_json();
+        assert!(j.contains("\"chain\": [\"a (x.rs:1)\", \"`.to_vec()` (y.rs:2)\"]"));
+    }
+
+    #[test]
+    fn compare_flags_new_findings_and_disappearances() {
+        let mut a = finding();
+        a.line = 1;
+        let mut b = finding();
+        b.rule = "hot-path-alloc";
+        b.line = 9;
+        let base = report(vec![a.clone(), b]).to_json();
+        let mut c = finding();
+        c.line = 7; // new location → regression
+        let cur = report(vec![a, c]).to_json();
+        let r = compare(&base, &cur);
+        assert!(r.is_regression());
+        assert_eq!(r.new_findings.len(), 1);
+        assert!(r.new_findings[0].contains(":7"));
+        // hot-path-alloc count went 1 → 0: disappeared-rule anomaly.
+        assert_eq!(r.disappeared_rules, vec!["hot-path-alloc".to_string()]);
+    }
+
+    #[test]
+    fn compare_identical_reports_is_clean() {
+        let j = report(vec![finding()]).to_json();
+        let r = compare(&j, &j);
+        assert!(!r.is_regression());
+        assert!(r.disappeared_rules.is_empty());
     }
 
     #[test]

@@ -7,10 +7,15 @@ use crate::lexer::{TokKind, Token};
 use crate::model::{match_brace, FileModel, FileRole};
 use crate::report::{Finding, Severity};
 
-/// Names of all rules, in report order.
+/// Names of all rules, in report order. The four `*-transitive` /
+/// graph rules live in [`crate::analyses`]; the rest are per-file.
 pub const ALL_RULES: &[&str] = &[
     "hot-path-alloc",
+    "hot-path-alloc-transitive",
     "lock-discipline",
+    "lock-discipline-transitive",
+    "lock-order-cycle",
+    "panic-path",
     "no-unwrap-in-lib",
     "exhaustive-events",
     "stability-surface",
@@ -41,6 +46,18 @@ pub fn run_all(files: &[FileModel], selected: &[String]) -> Vec<Finding> {
     if on("stability-surface") {
         stability_surface(files, &mut findings);
     }
+    if [
+        "hot-path-alloc-transitive",
+        "lock-discipline-transitive",
+        "lock-order-cycle",
+        "panic-path",
+    ]
+    .iter()
+    .any(|r| on(r))
+    {
+        let graph = crate::graph::Graph::build(files);
+        crate::analyses::run(files, &graph, selected, &mut findings);
+    }
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     findings
@@ -57,7 +74,15 @@ fn emit(out: &mut Vec<Finding>, f: &FileModel, rule: &'static str, line: u32, me
         line,
         message,
         snippet: f.snippet(line),
+        chain: vec![],
     });
+}
+
+/// Rule severity; shared with [`crate::analyses`]. All graph rules are
+/// errors — a transitive allocation or deadlock shape is as real as a
+/// local one.
+pub(crate) fn severity(rule: &str) -> Severity {
+    severity_of(rule)
 }
 
 fn severity_of(rule: &str) -> Severity {
@@ -72,68 +97,109 @@ fn severity_of(rule: &str) -> Severity {
 // ---------------------------------------------------------------------------
 
 /// Allocating (or allocation-prone) call patterns forbidden inside
-/// `// lint: hot_path` functions. Matched against the code token
-/// stream, so strings/comments never trip it.
-const BANNED_HOT: &[(&[&str], &str)] = &[
+/// `// lint: hot_path` functions: (token pattern, display form for
+/// witness chains, why). Matched against the code token stream, so
+/// strings/comments never trip it.
+const BANNED_HOT: &[(&[&str], &str, &str)] = &[
     (
         &["Vec", ":", ":", "new"],
+        "Vec::new",
         "Vec::new allocates on first push",
     ),
     (
         &["Vec", ":", ":", "with_capacity"],
+        "Vec::with_capacity",
         "Vec::with_capacity heap-allocates",
     ),
-    (&["vec", "!"], "vec! macro allocates"),
-    (&["format", "!"], "format! allocates a String"),
-    (&["Box", ":", ":", "new"], "Box::new heap-allocates"),
+    (&["vec", "!"], "vec!", "vec! macro allocates"),
+    (&["format", "!"], "format!", "format! allocates a String"),
+    (
+        &["Box", ":", ":", "new"],
+        "Box::new",
+        "Box::new heap-allocates",
+    ),
     (
         &["String", ":", ":", "new"],
+        "String::new",
         "String::new allocates on first push",
     ),
-    (&["String", ":", ":", "from"], "String::from allocates"),
-    (&[".", "to_vec"], ".to_vec() copies into a fresh Vec"),
-    (&[".", "to_string"], ".to_string() allocates a String"),
-    (&[".", "to_owned"], ".to_owned() allocates"),
-    (&[".", "collect"], ".collect() builds a fresh container"),
+    (
+        &["String", ":", ":", "from"],
+        "String::from",
+        "String::from allocates",
+    ),
+    (
+        &[".", "to_vec"],
+        ".to_vec()",
+        ".to_vec() copies into a fresh Vec",
+    ),
+    (
+        &[".", "to_string"],
+        ".to_string()",
+        ".to_string() allocates a String",
+    ),
+    (&[".", "to_owned"], ".to_owned()", ".to_owned() allocates"),
+    (
+        &[".", "collect"],
+        ".collect()",
+        ".collect() builds a fresh container",
+    ),
     (
         &[".", "insert"],
+        ".insert()",
         "insert may grow/rehash its container (allow when capacity is warmed)",
     ),
     (
         &[".", "clone"],
+        ".clone()",
         "clone() on a non-Copy type allocates (allow when the type is Copy)",
     ),
 ];
+
+/// The banned-allocation pattern starting at absolute token index `i`,
+/// if any: `(display, why)`. Method patterns must be *calls* — `(`
+/// required after the name so `.insert` in a path (no call) or a field
+/// can't trip.
+pub(crate) fn alloc_at(toks: &[Token], i: usize) -> Option<(&'static str, &'static str)> {
+    for (pat, display, why) in BANNED_HOT {
+        if match_seq(toks, i, pat) {
+            if pat[0] == "." {
+                let after = i + pat.len();
+                if !toks.get(after).is_some_and(|t| t.is_punct('(')) {
+                    continue;
+                }
+            }
+            return Some((display, why));
+        }
+    }
+    None
+}
 
 /// `hot-path-alloc`: functions annotated `// lint: hot_path` — the
 /// per-packet paths whose zero-allocation contract
 /// `tests/hot_path.rs` meters dynamically — must not call allocating
 /// APIs. Seal-path or warmup allocations inside a hot function carry
-/// a justified inline allow.
+/// a justified inline allow. (Allocations in *callees* are the
+/// `hot-path-alloc-transitive` analysis.)
 fn hot_path_alloc(f: &FileModel, out: &mut Vec<Finding>) {
     for fun in f.fns.iter().filter(|fun| fun.hot) {
-        let body = &f.tokens[fun.body.clone()];
-        for (i, t) in body.iter().enumerate() {
-            for (pat, why) in BANNED_HOT {
-                if match_seq(body, i, pat) {
-                    // Method patterns must be *calls*: require `(` right
-                    // after the name so `.insert` in a path like
-                    // `map.insert` (no call) — or a field — can't trip.
-                    if pat[0] == "." {
-                        let after = i + pat.len();
-                        if !body.get(after).is_some_and(|t| t.is_punct('(')) {
-                            continue;
-                        }
-                    }
-                    emit(
-                        out,
-                        f,
-                        "hot-path-alloc",
-                        t.line,
-                        format!("allocation in hot path `{}`: {}", fun.name, why),
-                    );
-                }
+        let nested = crate::graph::nested_fn_ranges(f, fun);
+        let mut i = fun.body.start;
+        while i < fun.body.end {
+            if let Some(r) = nested.iter().find(|r| r.contains(&i)) {
+                i = r.end;
+                continue;
             }
+            if let Some((_, why)) = alloc_at(&f.tokens, i) {
+                emit(
+                    out,
+                    f,
+                    "hot-path-alloc",
+                    f.tokens[i].line,
+                    format!("allocation in hot path `{}`: {}", fun.name, why),
+                );
+            }
+            i += 1;
         }
     }
 }
@@ -173,56 +239,219 @@ const WAIT_POINTS: &[&str] = &[
 /// not be live across a channel send/recv or condvar wait in the same
 /// block — the self-deadlock shape PRs 3 and 6 fixed by hand
 /// (a parked worker holding the lock its waker needs).
-/// Is `body[i]` a blocking call token: `.send(`, `.recv(`, `.wait(`…?
-fn is_wait_point(body: &[Token], i: usize) -> bool {
-    body[i].kind == TokKind::Ident
-        && WAIT_POINTS.contains(&body[i].text.as_str())
+/// Is `toks[i]` a blocking call token: `.send(`, `.recv(`, `.wait(`…?
+pub(crate) fn is_wait_point(toks: &[Token], i: usize) -> bool {
+    toks[i].kind == TokKind::Ident
+        && WAIT_POINTS.contains(&toks[i].text.as_str())
         && i >= 1
-        && body[i - 1].is_punct('.')
-        && body.get(i + 1).is_some_and(|t| t.is_punct('('))
+        && toks[i - 1].is_punct('.')
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
 }
 
-/// For a condvar `wait*` call at `body[i]`, the guard it consumes (and
+/// For a condvar `wait*` call at `toks[i]`, the guard it consumes (and
 /// atomically releases): the first ident in its argument list.
-fn handoff_guard(body: &[Token], i: usize) -> Option<String> {
-    if !body[i].text.starts_with("wait") {
+fn handoff_guard(toks: &[Token], i: usize) -> Option<String> {
+    if !toks[i].text.starts_with("wait") {
         return None;
     }
-    body[i + 2..(i + 6).min(body.len())]
+    toks[i + 2..(i + 6).min(toks.len())]
         .iter()
         .find(|t| t.kind == TokKind::Ident)
         .map(|t| t.text.clone())
 }
 
-/// Emits a `lock-discipline` finding for the wait point at `body[i]`
-/// unless the only live guard is the one a condvar wait hands off.
-fn check_wait(
+/// One live mutex guard tracked by [`walk_guards`].
+pub(crate) struct Guard {
+    /// Binding name (`None` for `let _ = …` / pattern-eaten names).
+    pub name: Option<String>,
+    /// Normalized lock identity: `Owner::field` for `self.field.lock()`
+    /// in an impl, otherwise the textual receiver path (`m`,
+    /// `shared.inner`). Purely textual — aliasing is out of scope.
+    pub lock: String,
+    /// Brace depth the binding lives at (scope eviction).
+    depth: i32,
+    /// Line of the acquiring `let`.
+    pub line: u32,
+}
+
+/// Guard-state events, streamed in source order with the held-guard
+/// set at that point. Token indices are absolute (into
+/// `FileModel::tokens`).
+pub(crate) enum GuardEvent<'a> {
+    /// Blocking channel/condvar call.
+    Wait { tok: usize },
+    /// A new guard is being bound; `held` (the callback's first
+    /// argument) is the state *before* this acquisition. The site line
+    /// is `guard.line` (the acquiring `let`).
+    Acquire { guard: &'a Guard },
+    /// Any `ident(` call head — the join point for call-graph edges.
+    /// Only streamed while at least one guard is held.
+    Call { tok: usize },
+}
+
+/// Walks `fun`'s body tracking live mutex guards (scope eviction at
+/// `}`, explicit `drop(g)`, binding via `let … .lock() …`), streaming
+/// [`GuardEvent`]s. Shared by the intra-procedural `lock-discipline`
+/// rule and the interprocedural analyses. Nested fn items are skipped:
+/// their guard state is their own.
+pub(crate) fn walk_guards(
     f: &FileModel,
-    out: &mut Vec<Finding>,
-    body: &[Token],
-    i: usize,
-    guards: &[(Option<String>, i32)],
-    fun_name: &str,
+    fun: &crate::model::FnSpan,
+    on: &mut dyn FnMut(&[Guard], GuardEvent),
 ) {
+    let toks = &f.tokens;
+    let nested = crate::graph::nested_fn_ranges(f, fun);
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = fun.body.start;
+    while i < fun.body.end {
+        if let Some(r) = nested.iter().find(|r| r.contains(&i)) {
+            i = r.end;
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+        } else if t.is_ident("drop") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(name_tok) = toks.get(i + 2) {
+                if name_tok.kind == TokKind::Ident {
+                    let name = name_tok.text.clone();
+                    guards.retain(|g| g.name.as_deref() != Some(name.as_str()));
+                }
+            }
+        } else if t.is_ident("let") {
+            // Scan the statement: `let [mut] NAME … = … ;` or the
+            // `if let`/`while let` form ending at `{`.
+            let mut name = None;
+            let mut lock_at = None;
+            let mut j = i + 1;
+            let mut paren = 0i32;
+            while j < fun.body.end {
+                let u = &toks[j];
+                if u.is_punct('(') || u.is_punct('[') {
+                    paren += 1;
+                } else if u.is_punct(')') || u.is_punct(']') {
+                    paren -= 1;
+                } else if u.is_punct(';') && paren <= 0 {
+                    break;
+                } else if u.is_punct('{') && paren <= 0 {
+                    break; // `if let … = … {` / `let … = loop {`
+                } else if u.is_punct('=') && paren <= 0 {
+                    // Pattern ends at `=`; stop taking binding names
+                    // from the initializer expression.
+                    name = name.or(Some(String::new()));
+                } else if u.kind == TokKind::Ident
+                    && name.is_none()
+                    && u.text != "mut"
+                    // Skip constructor names: in `Ok(g)` / `Some(g)`
+                    // the binding is inside the parens.
+                    && !matches!(
+                        toks.get(j + 1),
+                        Some(n) if n.is_punct('(') || n.is_punct(':')
+                    )
+                {
+                    name = Some(u.text.clone());
+                } else if u.is_ident("lock")
+                    && j >= 1
+                    && toks[j - 1].is_punct('.')
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
+                {
+                    if lock_at.is_none() {
+                        lock_at = Some(j);
+                    }
+                } else if is_wait_point(toks, j) && !guards.is_empty() {
+                    // `let v = rx.recv();` — a blocking call inside
+                    // the initializer blocks just the same.
+                    on(&guards, GuardEvent::Wait { tok: j });
+                }
+                if crate::graph::is_call_head(toks, j) && !guards.is_empty() {
+                    on(&guards, GuardEvent::Call { tok: j });
+                }
+                j += 1;
+            }
+            if let Some(la) = lock_at {
+                let guard = Guard {
+                    name: name.filter(|n: &String| !n.is_empty()),
+                    lock: lock_path(toks, la, fun),
+                    // The guard's scope: the current block (or the one
+                    // the `if let` is about to open; binding to the
+                    // current depth is conservative for both).
+                    depth,
+                    line: t.line,
+                };
+                on(&guards, GuardEvent::Acquire { guard: &guard });
+                guards.push(guard);
+            }
+            i = j;
+            continue;
+        } else if is_wait_point(toks, i) && !guards.is_empty() {
+            on(&guards, GuardEvent::Wait { tok: i });
+        }
+        if crate::graph::is_call_head(toks, i) && !guards.is_empty() {
+            on(&guards, GuardEvent::Call { tok: i });
+        }
+        i += 1;
+    }
+}
+
+/// Normalized lock identity for the `.lock()` call at `toks[la]`:
+/// the textual receiver path, with `self.` rewritten to the impl
+/// owner (`self.queue` in `impl Collector` → `Collector::queue`) so
+/// field locks unify across methods of the same type.
+fn lock_path(toks: &[Token], la: usize, fun: &crate::model::FnSpan) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut p = match la.checked_sub(2) {
+        Some(p) => p,
+        None => return "<expr>".to_string(),
+    };
+    loop {
+        let t = &toks[p];
+        if t.kind != TokKind::Ident {
+            // `x.borrow().lock()` and friends: opaque expression.
+            return "<expr>".to_string();
+        }
+        parts.push(t.text.as_str());
+        if p >= 2 && toks[p - 1].is_punct('.') && toks[p - 2].kind == TokKind::Ident {
+            p -= 2;
+            continue;
+        }
+        break;
+    }
+    parts.reverse();
+    if parts[0] == "self" && parts.len() > 1 {
+        if let Some(o) = &fun.owner {
+            return format!("{}::{}", o, parts[1..].join("."));
+        }
+    }
+    parts.join(".")
+}
+
+/// Emits a `lock-discipline` finding for the wait point at `toks[i]`
+/// unless the only live guard is the one a condvar wait hands off.
+fn check_wait(f: &FileModel, out: &mut Vec<Finding>, i: usize, guards: &[Guard], fun_name: &str) {
+    let toks = &f.tokens;
     // `cvar.wait(guard)` is the legitimate condvar handoff: the wait
     // atomically releases the guard it is given. Only *other* guards
     // held across it deadlock.
-    let handoff = handoff_guard(body, i);
+    let handoff = handoff_guard(toks, i);
     let held: Vec<String> = guards
         .iter()
-        .filter(|(n, _)| handoff.is_none() || n.as_deref() != handoff.as_deref())
-        .map(|(n, _)| n.clone().unwrap_or_else(|| "_".into()))
+        .filter(|g| handoff.is_none() || g.name.as_deref() != handoff.as_deref())
+        .map(|g| g.name.clone().unwrap_or_else(|| "_".into()))
         .collect();
     if !held.is_empty() {
         emit(
             out,
             f,
             "lock-discipline",
-            body[i].line,
+            toks[i].line,
             format!(
                 "`.{}()` while mutex guard `{}` is live in `{}` — \
                  drop the guard before blocking",
-                body[i].text,
+                toks[i].text,
                 held.join("`, `"),
                 fun_name
             ),
@@ -232,83 +461,11 @@ fn check_wait(
 
 fn lock_discipline(f: &FileModel, out: &mut Vec<Finding>) {
     for fun in &f.fns {
-        let body = &f.tokens[fun.body.clone()];
-        // Live guards: (binding name or None, brace depth at binding).
-        let mut guards: Vec<(Option<String>, i32)> = Vec::new();
-        let mut depth = 0i32;
-        let mut i = 0usize;
-        while i < body.len() {
-            let t = &body[i];
-            if t.is_punct('{') {
-                depth += 1;
-            } else if t.is_punct('}') {
-                depth -= 1;
-                guards.retain(|(_, d)| *d <= depth);
-            } else if t.is_ident("drop") && body.get(i + 1).is_some_and(|t| t.is_punct('(')) {
-                if let Some(name_tok) = body.get(i + 2) {
-                    if name_tok.kind == TokKind::Ident {
-                        let name = name_tok.text.clone();
-                        guards.retain(|(n, _)| n.as_deref() != Some(name.as_str()));
-                    }
-                }
-            } else if t.is_ident("let") {
-                // Scan the statement: `let [mut] NAME … = … ;` or the
-                // `if let`/`while let` form ending at `{`.
-                let mut name = None;
-                let mut has_lock = false;
-                let mut j = i + 1;
-                let mut paren = 0i32;
-                while j < body.len() {
-                    let u = &body[j];
-                    if u.is_punct('(') || u.is_punct('[') {
-                        paren += 1;
-                    } else if u.is_punct(')') || u.is_punct(']') {
-                        paren -= 1;
-                    } else if u.is_punct(';') && paren <= 0 {
-                        break;
-                    } else if u.is_punct('{') && paren <= 0 {
-                        break; // `if let … = … {` / `let … = loop {`
-                    } else if u.is_punct('=') && paren <= 0 {
-                        // Pattern ends at `=`; stop taking binding names
-                        // from the initializer expression.
-                        name = name.or(Some(String::new()));
-                    } else if u.kind == TokKind::Ident
-                        && name.is_none()
-                        && u.text != "mut"
-                        // Skip constructor names: in `Ok(g)` / `Some(g)`
-                        // the binding is inside the parens.
-                        && !matches!(
-                            body.get(j + 1),
-                            Some(n) if n.is_punct('(') || n.is_punct(':')
-                        )
-                    {
-                        name = Some(u.text.clone());
-                    } else if u.is_ident("lock")
-                        && j >= 1
-                        && body[j - 1].is_punct('.')
-                        && body.get(j + 1).is_some_and(|t| t.is_punct('('))
-                    {
-                        has_lock = true;
-                    } else if is_wait_point(body, j) && !guards.is_empty() {
-                        // `let v = rx.recv();` — a blocking call inside
-                        // the initializer blocks just the same.
-                        check_wait(f, out, body, j, &guards, &fun.name);
-                    }
-                    j += 1;
-                }
-                if has_lock {
-                    // The guard's scope: the current block (or the one
-                    // the `if let` is about to open; binding to the
-                    // current depth is conservative for both).
-                    guards.push((name, depth));
-                }
-                i = j;
-                continue;
-            } else if is_wait_point(body, i) && !guards.is_empty() {
-                check_wait(f, out, body, i, &guards, &fun.name);
+        walk_guards(f, fun, &mut |held, ev| {
+            if let GuardEvent::Wait { tok } = ev {
+                check_wait(f, out, tok, held, &fun.name);
             }
-            i += 1;
-        }
+        });
     }
 }
 
@@ -359,7 +516,13 @@ fn no_unwrap_in_lib(f: &FileModel, out: &mut Vec<Finding>) {
 /// variant (a new event kind, eviction cause, or source packet form)
 /// must be a compile-time event at each consumer, never a silently
 /// swallowed wildcard.
-const EVENT_ENUMS: &[&str] = &["QoeEvent", "EvictReason", "SourcePacket"];
+const EVENT_ENUMS: &[&str] = &[
+    "QoeEvent",
+    "EvictReason",
+    "SourcePacket",
+    "Verdict",
+    "Perturbation",
+];
 
 /// `exhaustive-events`: a `match` whose arms name an event enum
 /// variant must not also contain a wildcard `_` arm.

@@ -32,16 +32,113 @@ const GOLDEN: &[(&str, &str, u32)] = &[
     ("annotation-grammar", "crates/demo/src/annotations.rs", 7),
     ("exhaustive-events", "crates/demo/src/events.rs", 16),
     ("exhaustive-events", "crates/demo/src/events.rs", 23),
+    ("exhaustive-events", "crates/demo/src/events.rs", 56),
     ("hot-path-alloc", "crates/demo/src/hot.rs", 5),
     ("hot-path-alloc", "crates/demo/src/hot.rs", 6),
     ("hot-path-alloc", "crates/demo/src/hot.rs", 7),
-    ("stability-surface", "crates/demo/src/lib.rs", 12),
-    ("stability-surface", "crates/demo/src/lib.rs", 13),
+    ("stability-surface", "crates/demo/src/lib.rs", 15),
+    ("stability-surface", "crates/demo/src/lib.rs", 16),
+    ("lock-order-cycle", "crates/demo/src/lockgraph.rs", 17),
+    ("lock-order-cycle", "crates/demo/src/lockgraph.rs", 36),
+    (
+        "lock-discipline-transitive",
+        "crates/demo/src/lockgraph.rs",
+        52,
+    ),
     ("lock-discipline", "crates/demo/src/locks.rs", 8),
     ("lock-discipline", "crates/demo/src/locks.rs", 13),
+    ("panic-path", "crates/demo/src/panics.rs", 8),
+    ("no-unwrap-in-lib", "crates/demo/src/panics.rs", 13),
+    ("no-unwrap-in-lib", "crates/demo/src/panics.rs", 18),
+    ("panic-path", "crates/demo/src/panics.rs", 18),
+    (
+        "hot-path-alloc-transitive",
+        "crates/demo/src/transitive.rs",
+        7,
+    ),
+    (
+        "hot-path-alloc-transitive",
+        "crates/demo/src/transitive.rs",
+        8,
+    ),
     ("no-unwrap-in-lib", "crates/demo/src/unwraps.rs", 5),
     ("no-unwrap-in-lib", "crates/demo/src/unwraps.rs", 9),
     ("no-unwrap-in-lib", "crates/demo/src/unwraps.rs", 14),
+];
+
+/// Exact witness chains for every finding that carries one. The
+/// interprocedural goldens are `(rule, file, line, chain)`-exact: a
+/// resolver regression that still lands on the right line but walks
+/// the wrong path fails here.
+const GOLDEN_CHAINS: &[(&str, &str, u32, &[&str])] = &[
+    (
+        "lock-order-cycle",
+        "crates/demo/src/lockgraph.rs",
+        17,
+        &[
+            "`Shards::map` → `Shards::stats` (crates/demo/src/lockgraph.rs:17, in `Shards::forward`)",
+            "`Shards::stats` → `Shards::map` (crates/demo/src/lockgraph.rs:23, in `Shards::reverse`)",
+        ],
+    ),
+    (
+        "lock-order-cycle",
+        "crates/demo/src/lockgraph.rs",
+        36,
+        &[
+            "`OneFn::x` → `OneFn::y` (crates/demo/src/lockgraph.rs:36, in `OneFn::zigzag`)",
+            "`OneFn::y` → `OneFn::x` (crates/demo/src/lockgraph.rs:40, in `OneFn::zigzag`)",
+        ],
+    ),
+    (
+        "lock-discipline-transitive",
+        "crates/demo/src/lockgraph.rs",
+        52,
+        &[
+            "Pump::pump (crates/demo/src/lockgraph.rs:52)",
+            "Pump::drain (crates/demo/src/lockgraph.rs:57)",
+            "`.recv()` (crates/demo/src/lockgraph.rs:57)",
+        ],
+    ),
+    (
+        "panic-path",
+        "crates/demo/src/panics.rs",
+        8,
+        &[
+            "hot_parse (crates/demo/src/panics.rs:8)",
+            "decode (crates/demo/src/panics.rs:13)",
+            "`.unwrap()` (crates/demo/src/panics.rs:13)",
+        ],
+    ),
+    (
+        "panic-path",
+        "crates/demo/src/panics.rs",
+        18,
+        &[
+            "hot_local_panic (crates/demo/src/panics.rs:18)",
+            "`.expect()` (crates/demo/src/panics.rs:18)",
+        ],
+    ),
+    (
+        "hot-path-alloc-transitive",
+        "crates/demo/src/transitive.rs",
+        7,
+        &[
+            "hot_root (crates/demo/src/transitive.rs:7)",
+            "snapshot (crates/demo/src/transitive.rs:13)",
+            "`.to_vec()` (crates/demo/src/transitive.rs:13)",
+        ],
+    ),
+    (
+        "hot-path-alloc-transitive",
+        "crates/demo/src/transitive.rs",
+        8,
+        &[
+            "hot_root (crates/demo/src/transitive.rs:8)",
+            "deep_entry (crates/demo/src/transitive.rs:18)",
+            "deep_leaf (crates/demo/src/transitive.rs:22)",
+            "`format!` (crates/demo/src/transitive.rs:22)",
+        ],
+    ),
 ];
 
 #[test]
@@ -68,6 +165,57 @@ fn fixture_corpus_matches_golden_findings() {
     assert_eq!(report.findings.len(), GOLDEN.len());
     assert_eq!(report.verdict(), Verdict::Dirty);
     assert_eq!(report.exit_code(), 1);
+}
+
+#[test]
+fn golden_chains_are_exact() {
+    let report = vcaml_lint::analyze(&fixture_root(), &[]).expect("fixture tree analyzes");
+    for (rule, file, line, chain) in GOLDEN_CHAINS {
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.rule == *rule && f.file == *file && f.line == *line)
+            .unwrap_or_else(|| panic!("missing golden finding {rule} {file}:{line}"));
+        assert_eq!(
+            f.chain, *chain,
+            "witness chain drift for {rule} {file}:{line}"
+        );
+    }
+    // Everything else is a purely local finding: no chain.
+    for f in &report.findings {
+        if !GOLDEN_CHAINS
+            .iter()
+            .any(|(r, p, l, _)| f.rule == *r && f.file == *p && f.line == *l)
+        {
+            assert!(
+                f.chain.is_empty(),
+                "unexpected chain on local finding {} {}:{}",
+                f.rule,
+                f.file,
+                f.line
+            );
+        }
+    }
+}
+
+/// The acceptance bar from the issue: the two-function lock inversion
+/// (`Shards::forward` vs `Shards::reverse`) is detected *and* the
+/// single-function inversion (`OneFn::zigzag`) still is.
+#[test]
+fn lock_inversion_found_across_and_within_functions() {
+    let only = ["lock-order-cycle".to_string()];
+    let report = vcaml_lint::analyze(&fixture_root(), &only).expect("fixture tree analyzes");
+    let cross = report.findings.iter().any(|f| {
+        f.line == 17
+            && f.message.contains("Shards::forward")
+            && f.message.contains("Shards::reverse")
+    });
+    let single = report
+        .findings
+        .iter()
+        .any(|f| f.line == 36 && f.message.contains("OneFn::zigzag"));
+    assert!(cross, "two-function inversion not detected");
+    assert!(single, "single-function inversion regressed");
 }
 
 #[test]

@@ -38,3 +38,28 @@ pub fn other_enum_wildcard_is_fine(o: &Other) -> u32 {
         _ => 2, // clean: not an event enum
     }
 }
+
+pub enum Verdict {
+    Pass,
+    Degraded,
+    Fail,
+}
+
+pub enum Perturbation {
+    Loss { pct: f64 },
+    Delay { ms: u64 },
+}
+
+pub fn wildcard_over_verdict(v: &Verdict) -> u32 {
+    match v {
+        Verdict::Pass => 1,
+        _ => 0, // FINDING: Verdict is an event enum now
+    }
+}
+
+pub fn exhaustive_perturbation(p: &Perturbation) -> f64 {
+    match p {
+        Perturbation::Loss { pct } => *pct,
+        Perturbation::Delay { ms } => *ms as f64, // clean: exhaustive
+    }
+}

@@ -1,0 +1,84 @@
+//! Seeded `lock-order-cycle` and `lock-discipline-transitive`
+//! violations: an inversion split across two functions, the same
+//! inversion within one function, and a blocking call reached through
+//! a callee while a guard is held — plus consistent-order clean code.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Shards {
+    map: Mutex<u32>,
+    stats: Mutex<u32>,
+}
+
+impl Shards {
+    pub fn forward(&self) {
+        let a = self.map.lock().ok();
+        let b = self.stats.lock().ok(); // FINDING: cycle anchor (map → stats here, stats → map in reverse)
+        let _ = (a, b);
+    }
+
+    pub fn reverse(&self) {
+        let b = self.stats.lock().ok();
+        let a = self.map.lock().ok();
+        let _ = (a, b);
+    }
+}
+
+pub struct OneFn {
+    x: Mutex<u32>,
+    y: Mutex<u32>,
+}
+
+impl OneFn {
+    pub fn zigzag(&self) {
+        let g1 = self.x.lock().ok();
+        let g2 = self.y.lock().ok(); // FINDING: cycle anchor (x → y here, y → x below)
+        drop(g2);
+        drop(g1);
+        let h1 = self.y.lock().ok();
+        let h2 = self.x.lock().ok();
+        let _ = (h1, h2);
+    }
+}
+
+pub struct Pump {
+    q: Mutex<u32>,
+}
+
+impl Pump {
+    pub fn pump(&self, rx: &Receiver<u32>) {
+        let g = self.q.lock().ok();
+        self.drain(rx); // FINDING: callee blocks on recv while `Pump::q` is held
+        let _ = g;
+    }
+
+    fn drain(&self, rx: &Receiver<u32>) {
+        let _ = rx.recv();
+    }
+
+    pub fn pump_released(&self, rx: &Receiver<u32>) {
+        let g = self.q.lock().ok();
+        drop(g);
+        self.drain(rx); // clean: guard dropped before the call
+    }
+}
+
+pub struct Ordered {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Ordered {
+    pub fn one(&self) {
+        let g = self.a.lock().ok();
+        let h = self.b.lock().ok(); // clean: globally consistent a → b order
+        let _ = (g, h);
+    }
+
+    pub fn two(&self) {
+        let g = self.a.lock().ok();
+        let h = self.b.lock().ok();
+        let _ = (g, h);
+    }
+}

@@ -1,0 +1,29 @@
+//! Seeded `panic-path` violations: a hot root reaching `.unwrap()`
+//! through a helper (the warning upgrades to an error once a hot path
+//! can hit it), a panic site inside the hot fn itself, and an allowed
+//! site that must not propagate.
+
+// lint: hot_path
+pub fn hot_parse(x: Option<u32>) -> u32 {
+    let v = decode(x); // FINDING: panic reachable via decode
+    v + 1
+}
+
+fn decode(x: Option<u32>) -> u32 {
+    x.unwrap() // FINDING: no-unwrap-in-lib (warning, and the transitive source)
+}
+
+// lint: hot_path
+pub fn hot_local_panic(x: Option<u32>) -> u32 {
+    x.expect("set") // FINDING: no-unwrap-in-lib + panic-path upgrade in hot fn
+}
+
+fn vetted(x: Option<u32>) -> u32 {
+    // lint: allow(no-unwrap-in-lib) -- input validated at construction
+    x.unwrap()
+}
+
+// lint: hot_path
+pub fn hot_calling_vetted(x: Option<u32>) -> u32 {
+    vetted(x) // clean: the panic fact is allowed at its site
+}

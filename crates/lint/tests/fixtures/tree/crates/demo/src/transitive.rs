@@ -1,0 +1,53 @@
+//! Seeded `hot-path-alloc-transitive` violations: hot roots that are
+//! locally allocation-free but reach an allocation through callees,
+//! plus the per-edge allow and a site-level allow that kills the fact.
+
+// lint: hot_path
+pub fn hot_root(out: &mut Vec<u32>) {
+    let n = snapshot(out); // FINDING: one-hop chain via snapshot
+    deep_entry(out); // FINDING: two-hop chain via deep_entry → deep_leaf
+    out.push(n);
+}
+
+fn snapshot(out: &[u32]) -> u32 {
+    let copy = out.to_vec();
+    copy.len() as u32
+}
+
+fn deep_entry(out: &mut Vec<u32>) {
+    deep_leaf(out);
+}
+
+fn deep_leaf(out: &mut Vec<u32>) {
+    let s = format!("{}", out.len());
+    let _ = s;
+}
+
+// lint: hot_path
+pub fn hot_with_edge_allow(out: &mut Vec<u32>) {
+    // lint: allow(hot-path-alloc-transitive) -- snapshot runs per-window, not per-packet
+    let n = snapshot(out);
+    out.push(n);
+}
+
+// lint: hot_path
+pub fn hot_calling_clean_helper(out: &mut Vec<u32>) {
+    let n = count_only(out); // clean: callee never allocates
+    out.push(n);
+}
+
+fn count_only(out: &[u32]) -> u32 {
+    out.len() as u32
+}
+
+fn site_allowed_helper(out: &[u32]) -> u32 {
+    // lint: allow(hot-path-alloc) -- scratch buffer reused from a pool upstream
+    let copy = out.to_vec();
+    copy.len() as u32
+}
+
+// lint: hot_path
+pub fn hot_calling_site_allowed(out: &mut Vec<u32>) {
+    let n = site_allowed_helper(out); // clean: the allocation fact is allowed at its site
+    out.push(n);
+}

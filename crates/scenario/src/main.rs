@@ -15,12 +15,17 @@ use vcaml_scenario::{compare, grid, render, run_grid, smoke_grid, Tolerances};
 fn usage() -> ! {
     eprintln!(
         "usage: vcaml-scenario [--smoke] [--seed N] [--threads N] [--out PATH] [--quiet]\n\
+                               [--inject-tolerance SCALE]\n\
                 vcaml-scenario --compare OLD.json NEW.json\n\
          \n\
          Sweeps the netem x vcasim impairment grid across all four estimation\n\
          methods and scores them against simulator ground truth. Writes the\n\
          scorecard JSON (default bench_results/SCENARIO_scorecard.json) and\n\
-         exits 1 when any cell fails, so CI gates on accuracy."
+         exits 1 when any cell fails, so CI gates on accuracy.\n\
+         \n\
+         --inject-tolerance SCALE multiplies the error bands by SCALE (and\n\
+         divides the accuracy thresholds by it): a small SCALE provably flips\n\
+         passing verdicts, which CI uses to self-test the gate."
     );
     exit(2);
 }
@@ -48,11 +53,16 @@ fn main() {
     let mut seed: u64 = 7;
     let mut threads: usize = 1;
     let mut out = String::from("bench_results/SCENARIO_scorecard.json");
+    let mut inject: Option<f64> = None;
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--quiet" => quiet = true,
+            "--inject-tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v > 0.0 => inject = Some(v),
+                _ => usage(),
+            },
             "--seed" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => seed = v,
                 None => usage(),
@@ -70,7 +80,11 @@ fn main() {
     }
 
     let specs = if smoke { smoke_grid() } else { grid() };
-    let card = run_grid(&specs, seed, threads, &Tolerances::default());
+    let tol = match inject {
+        Some(scale) => Tolerances::default().scaled(scale),
+        None => Tolerances::default(),
+    };
+    let card = run_grid(&specs, seed, threads, &tol);
     if !quiet {
         print!("{}", render(&card));
     }

@@ -102,6 +102,27 @@ impl Default for Tolerances {
 }
 
 impl Tolerances {
+    /// Uniformly tightened (`scale < 1`) or loosened (`scale > 1`)
+    /// bands — the `--inject-tolerance` self-test knob. Error bands
+    /// multiply by `scale`, accuracy thresholds divide by it, so a
+    /// small scale provably flips verdicts that pass under the real
+    /// bands: CI uses this to prove the scorer and the compare gate
+    /// still react, through the live scoring path instead of a
+    /// hand-doctored scorecard.
+    #[must_use]
+    pub fn scaled(&self, scale: f64) -> Tolerances {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        Tolerances {
+            fps_pass: self.fps_pass * scale,
+            fps_degraded: self.fps_degraded * scale,
+            mrae_pass: self.mrae_pass * scale,
+            mrae_degraded: self.mrae_degraded * scale,
+            res_pass: self.res_pass / scale,
+            res_degraded: self.res_degraded / scale,
+            ipudp_heur_fps_scale: self.ipudp_heur_fps_scale,
+        }
+    }
+
     fn judge_error(value: f64, pass: f64, degraded: f64) -> Verdict {
         if value <= pass {
             Verdict::Pass
@@ -284,6 +305,31 @@ mod tests {
         assert_eq!(c.fps_mae, 0.0);
         assert_eq!(c.bitrate_mrae, Some(0.0));
         assert_eq!(c.res_acc, Some(1.0));
+    }
+
+    #[test]
+    fn injected_tolerance_flips_a_passing_cell() {
+        // The same perfect estimates that pass above must fail once the
+        // bands are tightened 20x: the accuracy threshold (0.75 / 0.05)
+        // becomes unattainable, so even res_acc = 1.0 flips. This is
+        // the property `--inject-tolerance` leans on in CI.
+        let ladder = VcaProfile::lab(VcaKind::Teams);
+        let scheme = ResolutionScheme::LowMediumHigh;
+        let truth: Vec<_> = (0..10).map(|w| truth_row(w, 30.0, 2000.0, 540)).collect();
+        let est: Vec<_> = (0..10).map(|w| est_row(w, 30.0, 2000.0)).collect();
+        let c = score_cell(
+            "t",
+            Method::RtpHeuristic,
+            &truth,
+            &est,
+            &scheme,
+            &ladder,
+            &Tolerances::default().scaled(0.05),
+            1.0,
+        );
+        assert_eq!(c.verdict, Verdict::Fail);
+        assert_eq!(c.fps_verdict, Verdict::Pass, "fps was genuinely perfect");
+        assert_eq!(c.res_verdict, Some(Verdict::Fail));
     }
 
     #[test]

@@ -55,6 +55,53 @@ impl Write for SharedStdout {
     }
 }
 
+/// SIGINT/SIGTERM → graceful-stop bridge. The handler does the only
+/// async-signal-safe thing — one atomic store — and the watch loop in
+/// `main` turns the flag into `MonitorHandle::stop()`: ingest ports
+/// stop at the next packet boundary, in-flight packets flush, flows
+/// seal, and every event produced before the stop still reaches the
+/// sinks (a prefix-exact run, not a torn one). Raw `signal(2)` via an
+/// `extern` declaration: the workspace is dependency-free by policy,
+/// so no `libc`/`signal-hook` crate.
+#[cfg(unix)]
+mod signal_bridge {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    pub fn stop_requested() -> bool {
+        STOP.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(unix))]
+mod signal_bridge {
+    pub fn install() {}
+
+    pub fn stop_requested() -> bool {
+        false
+    }
+}
+
 struct Args {
     pcap: Option<String>,
     synthetic_secs: Option<u32>,
@@ -381,6 +428,11 @@ fn main() {
     // per-event JSON lines (unless --quiet), threshold alerts, and the
     // end-of-run rollup, all observing one shared event stream in order
     // through one buffered stdout.
+    // Catch SIGINT/SIGTERM before any heavy setup (a long synthetic
+    // feed is simulated eagerly in the source constructor): a Ctrl-C
+    // during setup is then honored at the first watch-loop poll instead
+    // of killing the process mid-build.
+    signal_bridge::install();
     let out = SharedStdout::new();
     let mut runner = MonitorRunner::new(builder);
     let handle = runner.handle();
@@ -417,19 +469,28 @@ fn main() {
     }
 
     // Supervised background run: the pipeline lives on its own thread,
-    // this one watches it through the handle.
+    // this one watches it through the handle — periodic stats snapshots
+    // and the SIGINT/SIGTERM graceful stop.
     let running = runner.spawn();
-    if let Some(secs) = args.stats_every {
+    let interval = args.stats_every.map(std::time::Duration::from_secs);
+    if interval.is_some() {
         // First snapshot immediately (short runs still get one), then
         // one every interval until the run winds down.
         eprintln!("{}", handle.stats_snapshot().to_json_line());
-        let interval = std::time::Duration::from_secs(secs);
-        let mut next = std::time::Instant::now() + interval;
-        while !running.is_finished() {
-            std::thread::sleep(std::time::Duration::from_millis(50));
-            if std::time::Instant::now() >= next {
+    }
+    let mut next = interval.map(|iv| std::time::Instant::now() + iv);
+    let mut stop_sent = false;
+    while !running.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        if signal_bridge::stop_requested() && !stop_sent {
+            eprintln!("monitor: stop requested — sealing flows and draining the bus");
+            handle.stop();
+            stop_sent = true;
+        }
+        if let (Some(iv), Some(n)) = (interval, next.as_mut()) {
+            if std::time::Instant::now() >= *n {
                 eprintln!("{}", handle.stats_snapshot().to_json_line());
-                next += interval;
+                *n += iv;
             }
         }
     }
