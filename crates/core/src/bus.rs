@@ -35,11 +35,13 @@
 //! ```
 
 use crate::api::QoeEvent;
+use crate::control::ControlShared;
 use crate::sink::{report_fps, EventSink};
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
 use vcaml_netpkt::FlowKey;
+use vcaml_vcasim::VcaProfile;
 
 /// The kind of a [`QoeEvent`], as a filterable tag (one per variant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +77,24 @@ impl EventKind {
             EventKind::Dropped => 1 << 4,
         }
     }
+
+    /// Stable machine-readable name — the same tag
+    /// [`QoeEvent::tag`](crate::api::QoeEvent::tag) puts in JSON lines,
+    /// reused by the control-socket filter grammar.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::FlowOpened => "flow_opened",
+            EventKind::WindowReport => "window_report",
+            EventKind::FlowEvicted => "flow_evicted",
+            EventKind::ParseDrop => "parse_drop",
+            EventKind::Dropped => "dropped",
+        }
+    }
+
+    /// Parses [`EventKind::name`]; `None` for anything else.
+    pub fn from_name(text: &str) -> Option<Self> {
+        EventKind::ALL.into_iter().find(|k| k.name() == text)
+    }
 }
 
 impl QoeEvent {
@@ -106,21 +126,19 @@ pub enum Severity {
 }
 
 impl Severity {
-    /// Classifies an event against an alert frame-rate bar (usually the
-    /// live [`AlertThresholds::fps`]): any finalized window the event
-    /// carries — a standalone report or an eviction's sealed tail —
-    /// reporting below the bar makes it a `Warning`. Provisional window
-    /// snapshots are documented lower bounds and never escalate past
-    /// `Info`.
-    pub fn of(event: &QoeEvent, alert_fps: f64) -> Severity {
+    /// Classifies an event against an [`AlertBar`] (usually a
+    /// [`AlertThresholds::bar`] snapshot): any finalized window the
+    /// event carries — a standalone report or an eviction's sealed tail
+    /// — falling below *any* floor (frame rate, bitrate, or the
+    /// resolution-class floor expressed through the ladder) makes it a
+    /// `Warning`. Provisional window snapshots are documented lower
+    /// bounds and never escalate past `Info`.
+    pub fn of(event: &QoeEvent, bar: &AlertBar) -> Severity {
         match event {
             QoeEvent::Dropped { .. } => Severity::Critical,
             QoeEvent::ParseDrop { .. } => Severity::Warning,
             QoeEvent::WindowReport { .. } | QoeEvent::FlowEvicted { .. }
-                if event
-                    .final_reports()
-                    .iter()
-                    .any(|r| report_fps(r).is_some_and(|fps| fps < alert_fps)) =>
+                if event.final_reports().iter().any(|r| bar.degrades(r)) =>
             {
                 Severity::Warning
             }
@@ -129,26 +147,115 @@ impl Severity {
             | QoeEvent::FlowEvicted { .. } => Severity::Info,
         }
     }
+
+    /// Index into per-severity counter arrays (`Info` = 0, `Warning` =
+    /// 1, `Critical` = 2) — the order of
+    /// [`MonitorSnapshot::events_by_severity`](crate::control::MonitorSnapshot::events_by_severity).
+    pub fn index(self) -> usize {
+        match self {
+            Severity::Info => 0,
+            Severity::Warning => 1,
+            Severity::Critical => 2,
+        }
+    }
+
+    /// All three severities, in ascending order (the counter-array
+    /// order of [`Severity::index`]).
+    pub const ALL: [Severity; 3] = [Severity::Info, Severity::Warning, Severity::Critical];
+
+    /// Lowercase machine-readable name (`"info"` / `"warning"` /
+    /// `"critical"`), as used in JSON snapshots, metric labels, and the
+    /// control-socket filter grammar.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Parses [`Severity::name`]; `None` for anything else.
+    pub fn from_name(text: &str) -> Option<Self> {
+        Severity::ALL.into_iter().find(|s| s.name() == text)
+    }
+}
+
+/// A plain-value snapshot of the live [`AlertThresholds`], loaded once
+/// per event on the drain thread so classifying an event against many
+/// filters reads the atomics exactly once. Unset floors are `-inf` (or
+/// `None` for the resolution floor) and degrade nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct AlertBar {
+    /// Frame-rate floor; a finalized window reporting below is degraded.
+    pub fps: f64,
+    /// Bitrate floor in kbps, against the window's estimated bitrate.
+    pub min_kbps: f64,
+    /// Resolution-class floor as a frame height (e.g. `360` = "at least
+    /// 360p"), for display; the judgement uses `res_min_kbps`.
+    pub res_height: Option<u32>,
+    /// The derived bitrate bound of the resolution floor: the lowest
+    /// ladder rung delivering `res_height` or better. A window whose
+    /// estimated bitrate maps below that rung is degraded.
+    pub res_min_kbps: f64,
+}
+
+impl AlertBar {
+    /// Whether a finalized window report falls below any floor.
+    pub fn degrades(&self, report: &crate::engine::WindowReport) -> bool {
+        if report_fps(report).is_some_and(|fps| fps < self.fps) {
+            return true;
+        }
+        if let Some(est) = &report.estimate {
+            if est.bitrate_kbps < self.min_kbps {
+                return true;
+            }
+            if self.res_height.is_some() && est.bitrate_kbps < self.res_min_kbps {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Runtime-adjustable alert thresholds, shared between the event bus,
 /// any [`AlertSink`](crate::sink::AlertSink) built from them, and the
 /// [`MonitorHandle`](crate::control::MonitorHandle) that retunes them.
 ///
+/// Three independent floors, each unset by default (no window is ever
+/// degraded until an operator sets a bar):
+///
+/// * a **frame-rate floor** ([`AlertThresholds::set_fps`]);
+/// * a **bitrate floor** in kbps ([`AlertThresholds::set_min_kbps`]),
+///   against the window's estimated video bitrate;
+/// * a **resolution-class floor** expressed as a frame height
+///   ([`AlertThresholds::set_resolution_floor`]): the height is mapped
+///   through a VCA's bitrate ladder to the lowest rung delivering that
+///   height or better, and a window whose estimated bitrate maps below
+///   that rung — i.e. whose inferred resolution class is below the
+///   floor, the same est-bitrate→ladder mapping the scenario harness
+///   scores with — is degraded.
+///
 /// Cloning shares the underlying cells (this is a handle, not a value):
-/// a `set_fps` through any clone is visible to every reader on its next
-/// event. The default threshold is `-inf` — no window is ever degraded
-/// until an operator sets a bar.
+/// a setter called through any clone is visible to every reader on its
+/// next event.
 #[derive(Debug, Clone)]
 pub struct AlertThresholds {
     fps_bits: Arc<AtomicU64>,
+    min_kbps_bits: Arc<AtomicU64>,
+    /// Resolution floor height; 0 = unset.
+    res_height: Arc<AtomicU64>,
+    /// Derived kbps bound of the resolution floor (`-inf` = unset).
+    res_kbps_bits: Arc<AtomicU64>,
 }
 
 impl AlertThresholds {
-    /// Thresholds with no alert bar set (`fps()` is `-inf`).
+    /// Thresholds with no floor set (`fps()` is `-inf`).
     pub fn new() -> Self {
         AlertThresholds {
             fps_bits: Arc::new(AtomicU64::new(f64::NEG_INFINITY.to_bits())),
+            min_kbps_bits: Arc::new(AtomicU64::new(f64::NEG_INFINITY.to_bits())),
+            res_height: Arc::new(AtomicU64::new(0)),
+            res_kbps_bits: Arc::new(AtomicU64::new(f64::NEG_INFINITY.to_bits())),
         }
     }
 
@@ -169,6 +276,71 @@ impl AlertThresholds {
     pub fn set_fps(&self, fps: f64) {
         self.fps_bits.store(fps.to_bits(), Relaxed);
     }
+
+    /// The live bitrate floor in kbps. `-inf` when unset.
+    pub fn min_kbps(&self) -> f64 {
+        f64::from_bits(self.min_kbps_bits.load(Relaxed))
+    }
+
+    /// Retunes the bitrate floor; takes effect on the next event.
+    pub fn set_min_kbps(&self, kbps: f64) {
+        self.min_kbps_bits.store(kbps.to_bits(), Relaxed);
+    }
+
+    /// The live resolution-class floor as a frame height, if set.
+    pub fn resolution_floor(&self) -> Option<u32> {
+        let h = self.res_height.load(Relaxed);
+        (h > 0).then_some(h as u32)
+    }
+
+    /// Sets the resolution-class floor: windows whose estimated bitrate
+    /// maps (through `ladder`) to a rung below `height` are degraded.
+    /// A height above the ladder's top rung pins the floor to the top
+    /// rung. `height` 0 clears the floor.
+    pub fn set_resolution_floor(&self, height: u32, ladder: &VcaProfile) {
+        if height == 0 {
+            self.clear_resolution_floor();
+            return;
+        }
+        // The lowest rung delivering `height` or better; ladders are
+        // ascending, so fall back to the top rung for oversized floors.
+        let bound = ladder
+            .ladder
+            .iter()
+            .filter(|r| r.height >= height)
+            .map(|r| r.min_kbps)
+            .fold(f64::INFINITY, f64::min);
+        let bound = if bound.is_finite() {
+            bound
+        } else {
+            ladder
+                .ladder
+                .iter()
+                .map(|r| r.min_kbps)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        self.res_kbps_bits.store(bound.to_bits(), Relaxed);
+        self.res_height.store(u64::from(height), Relaxed);
+    }
+
+    /// Clears the resolution-class floor.
+    pub fn clear_resolution_floor(&self) {
+        self.res_height.store(0, Relaxed);
+        self.res_kbps_bits
+            .store(f64::NEG_INFINITY.to_bits(), Relaxed);
+    }
+
+    /// One consistent-enough plain-value snapshot of every floor —
+    /// loaded once per event by the bus, sinks, and the metrics
+    /// exporter.
+    pub fn bar(&self) -> AlertBar {
+        AlertBar {
+            fps: self.fps(),
+            min_kbps: self.min_kbps(),
+            res_height: self.resolution_floor(),
+            res_min_kbps: f64::from_bits(self.res_kbps_bits.load(Relaxed)),
+        }
+    }
 }
 
 impl Default for AlertThresholds {
@@ -184,7 +356,7 @@ impl Default for AlertThresholds {
 /// Evaluated once per event on the drain thread — a filtered-out
 /// subscriber's sink is never called, so narrow subscribers cost
 /// nothing on the events they skip.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EventFilter {
     /// Bitmask of accepted [`EventKind`]s; `None` = every kind.
     kinds: Option<u8>,
@@ -272,6 +444,54 @@ struct Subscription {
     sink: Box<dyn EventSink + Send>,
 }
 
+/// The shared mailbox behind [`BusHandle`]: subscriptions registered
+/// while the bus is already running, waiting to be adopted by the drain
+/// thread at its next publish.
+struct PendingSubs {
+    pending: Mutex<Vec<Subscription>>,
+    /// Length mirror of `pending`, readable without the lock — the
+    /// per-publish fast path is one relaxed load.
+    n: AtomicUsize,
+}
+
+/// A cloneable registration port onto a live [`EventBus`]: attach new
+/// subscribers **while the bus is running** — the mechanism behind the
+/// control socket's `SUBSCRIBE` verb. The subscription is adopted by
+/// the drain thread at its next publish, so the new sink observes a
+/// suffix of the stream starting there (never a torn event). Handles
+/// stay valid for the bus's whole life; registering after the run ended
+/// parks the sink forever, which is harmless.
+#[derive(Clone)]
+pub struct BusHandle {
+    shared: Arc<PendingSubs>,
+}
+
+impl BusHandle {
+    /// Registers a subscriber for the slice of the stream `filter`
+    /// selects, starting at the drain thread's next publish.
+    pub fn subscribe(&self, filter: EventFilter, sink: impl EventSink + Send + 'static) {
+        let mut pending = self.shared.pending.lock().expect("pending subs poisoned"); // lint: allow(no-unwrap-in-lib) -- poisoned pending-subs lock means a peer thread already panicked; escalate
+        pending.push(Subscription {
+            filter,
+            sink: Box::new(sink),
+        });
+        self.shared.n.store(pending.len(), Relaxed);
+    }
+}
+
+impl std::fmt::Debug for BusHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BusHandle")
+            .field("pending", &self.shared.n.load(Relaxed))
+            .finish()
+    }
+}
+
+/// Publishes between closed-subscriber sweeps: a detached sink
+/// (dropped `SUBSCRIBE` connection) lingers at most this many events
+/// before the bus reclaims its slot.
+const PRUNE_INTERVAL: u64 = 1024;
+
 /// Fan-out of one shared event stream to typed subscribers.
 ///
 /// The bus runs on the draining thread (a
@@ -279,11 +499,21 @@ struct Subscription {
 /// one): for each published [`Arc<QoeEvent>`] it computes the event's
 /// [`Severity`] against the live [`AlertThresholds`] once, then offers
 /// the same `Arc` to every subscription whose [`EventFilter`] matches —
-/// no deep copy anywhere, regardless of subscriber count.
+/// no deep copy anywhere, regardless of subscriber count. A
+/// [`BusHandle`] can attach further subscribers mid-run, and sinks that
+/// report themselves closed ([`EventSink::is_closed`]) are pruned
+/// periodically.
 pub struct EventBus {
     subscriptions: Vec<Subscription>,
     thresholds: AlertThresholds,
     published: u64,
+    /// Live-registration mailbox, created lazily by [`EventBus::handle`].
+    remote: Option<Arc<PendingSubs>>,
+    /// Telemetry cells of the monitor this bus drains, when attached:
+    /// per-severity event counts and per-method finalized-window counts,
+    /// accumulated here on the drain thread because severity is
+    /// classified exactly once, here.
+    telemetry: Option<Arc<ControlShared>>,
 }
 
 impl EventBus {
@@ -293,6 +523,8 @@ impl EventBus {
             subscriptions: Vec::new(),
             thresholds,
             published: 0,
+            remote: None,
+            telemetry: None,
         }
     }
 
@@ -305,7 +537,31 @@ impl EventBus {
         });
     }
 
-    /// Number of subscribers.
+    /// A cloneable [`BusHandle`] for attaching subscribers while the
+    /// bus is running (from another thread; the handle is `Send`).
+    pub fn handle(&mut self) -> BusHandle {
+        let shared = self.remote.get_or_insert_with(|| {
+            Arc::new(PendingSubs {
+                pending: Mutex::new(Vec::new()),
+                n: AtomicUsize::new(0),
+            })
+        });
+        BusHandle {
+            shared: Arc::clone(shared),
+        }
+    }
+
+    /// Routes this bus's drain-side telemetry (per-severity event
+    /// counts, per-method window counts) into a monitor's shared
+    /// control cells, where
+    /// [`stats_snapshot`](crate::control::MonitorHandle::stats_snapshot)
+    /// reads them.
+    pub(crate) fn attach_control(&mut self, control: Arc<ControlShared>) {
+        self.telemetry = Some(control);
+    }
+
+    /// Number of subscribers (excluding pending live registrations not
+    /// yet adopted by the drain thread).
     pub fn subscribers(&self) -> usize {
         self.subscriptions.len()
     }
@@ -321,11 +577,30 @@ impl EventBus {
         self.published
     }
 
+    /// Adopts subscriptions registered through a [`BusHandle`] since
+    /// the last publish, and periodically sweeps out closed sinks.
+    fn adopt_and_prune(&mut self) {
+        if let Some(remote) = &self.remote {
+            if remote.n.load(Relaxed) > 0 {
+                let mut pending = remote.pending.lock().expect("pending subs poisoned"); // lint: allow(no-unwrap-in-lib) -- poisoned pending-subs lock means a peer thread already panicked; escalate
+                self.subscriptions.append(&mut pending);
+                remote.n.store(0, Relaxed);
+            }
+        }
+        if self.published.is_multiple_of(PRUNE_INTERVAL) {
+            self.subscriptions.retain(|s| !s.sink.is_closed());
+        }
+    }
+
     /// Offers one shared event to every matching subscriber, in
     /// subscription order.
     pub fn publish(&mut self, event: &Arc<QoeEvent>) {
         self.published += 1;
-        let severity = Severity::of(event, self.thresholds.fps());
+        self.adopt_and_prune();
+        let severity = Severity::of(event, &self.thresholds.bar());
+        if let Some(control) = &self.telemetry {
+            control.record_published(event, severity);
+        }
         for sub in &mut self.subscriptions {
             if sub.filter.matches(event, severity) {
                 sub.sink.on_event(event);
@@ -334,7 +609,11 @@ impl EventBus {
     }
 
     /// Flushes every subscriber, in subscription order (end of run).
+    /// Also adopts any still-pending live registrations first, so a
+    /// subscriber attached just before the end of the stream at least
+    /// observes its flush.
     pub fn flush(&mut self) {
+        self.adopt_and_prune();
         for sub in &mut self.subscriptions {
             sub.sink.flush();
         }

@@ -33,13 +33,15 @@
 //! Handles never touch engines directly, so there is nothing to lock
 //! and a dropped or forgotten handle costs nothing.
 
-use crate::api::{MonitorStats, StatsCells};
+use crate::api::{MonitorStats, QoeEvent, StatsCells};
 use crate::backpressure::EventQueue;
-use crate::bus::AlertThresholds;
+use crate::bus::{AlertThresholds, Severity};
+use crate::pipeline::Method;
 use serde::{Map, Serialize, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 use vcaml_netpkt::FlowKey;
+use vcaml_vcasim::VcaProfile;
 
 /// Shared control cells between a monitor's owner-side state (shard
 /// workers or the inline shard) and every [`MonitorHandle`].
@@ -67,6 +69,14 @@ pub(crate) struct ControlShared {
     flow_bytes: Vec<AtomicU64>,
     /// Flows counted into the matching `flow_bytes` slot.
     flow_counts: Vec<AtomicU64>,
+    /// Events published by the bus, by [`Severity`] slot
+    /// ([`Severity::index`]). Written only by the drain thread (where
+    /// severity is classified, exactly once per event); read by
+    /// snapshots and the metrics exporter.
+    severity_counts: [AtomicU64; 3],
+    /// Finalized window reports by [`Method`] slot ([`Method::index`]),
+    /// same writer discipline as `severity_counts`.
+    windows_by_method: [AtomicU64; 4],
 }
 
 impl ControlShared {
@@ -80,7 +90,29 @@ impl ControlShared {
             depths: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             flow_bytes: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
             flow_counts: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            severity_counts: Default::default(),
+            windows_by_method: Default::default(),
         }
+    }
+
+    /// Folds one published event into the drain-side telemetry: its
+    /// severity count, and one window count per finalized report.
+    /// Called by the bus on the drain thread only.
+    pub(crate) fn record_published(&self, event: &QoeEvent, severity: Severity) {
+        self.severity_counts[severity.index()].fetch_add(1, Relaxed);
+        for report in event.final_reports() {
+            self.windows_by_method[report.method.index()].fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Published-event counts by [`Severity`] slot.
+    pub(crate) fn severity_counts(&self) -> [u64; 3] {
+        self.severity_counts.each_ref().map(|c| c.load(Relaxed))
+    }
+
+    /// Finalized-window counts by [`Method`] slot.
+    pub(crate) fn windows_by_method(&self) -> [u64; 4] {
+        self.windows_by_method.each_ref().map(|c| c.load(Relaxed))
     }
 
     pub(crate) fn stop_requested(&self) -> bool {
@@ -167,6 +199,17 @@ pub struct MonitorSnapshot {
     pub bytes_per_flow: u64,
     /// The live alert frame-rate bar, if one is set.
     pub alert_fps: Option<f64>,
+    /// The live alert bitrate floor (kbps), if one is set.
+    pub alert_min_kbps: Option<f64>,
+    /// The live resolution-class floor (frame height), if one is set.
+    pub alert_resolution_floor: Option<u32>,
+    /// Events published on the bus so far, by severity
+    /// ([`Severity::ALL`] order: info, warning, critical). All zero
+    /// until a drain loop with an attached bus has run.
+    pub events_by_severity: [u64; 3],
+    /// Finalized window reports published on the bus, by method
+    /// ([`Method::ALL`] order). Same caveat as `events_by_severity`.
+    pub windows_by_method: [u64; 4],
     /// Whether a graceful stop has been requested.
     pub stop_requested: bool,
 }
@@ -195,6 +238,28 @@ impl Serialize for MonitorSnapshot {
         if let Some(fps) = self.alert_fps {
             m.insert("alert_fps".into(), fps.to_value());
         }
+        if let Some(kbps) = self.alert_min_kbps {
+            m.insert("alert_min_kbps".into(), kbps.to_value());
+        }
+        if let Some(height) = self.alert_resolution_floor {
+            m.insert("alert_resolution_floor".into(), height.to_value());
+        }
+        let mut sev = Map::new();
+        for s in Severity::ALL {
+            sev.insert(
+                s.name().into(),
+                self.events_by_severity[s.index()].to_value(),
+            );
+        }
+        m.insert("events_by_severity".into(), Value::Object(sev));
+        let mut methods = Map::new();
+        for method in Method::ALL {
+            methods.insert(
+                method.slug().into(),
+                self.windows_by_method[method.index()].to_value(),
+            );
+        }
+        m.insert("windows_by_method".into(), Value::Object(methods));
         m.insert("stop_requested".into(), Value::Bool(self.stop_requested));
         Value::Object(m)
     }
@@ -232,6 +297,10 @@ impl MonitorHandle {
                 .map(|d| d.load(Relaxed))
                 .collect(),
             alert_fps: self.alert_fps(),
+            alert_min_kbps: self.alert_min_kbps(),
+            alert_resolution_floor: self.control.thresholds.resolution_floor(),
+            events_by_severity: self.control.severity_counts(),
+            windows_by_method: self.control.windows_by_method(),
             stop_requested: self.control.stop_requested(),
             stats,
         }
@@ -275,6 +344,33 @@ impl MonitorHandle {
         (fps > f64::NEG_INFINITY).then_some(fps)
     }
 
+    /// Retunes the alert bitrate floor (kbps), effective from the next
+    /// event: finalized windows estimating below it classify as
+    /// [`Severity::Warning`] and trip shared alert sinks.
+    pub fn set_alert_min_kbps(&self, kbps: f64) {
+        self.control.thresholds.set_min_kbps(kbps);
+    }
+
+    /// The live alert bitrate floor (kbps), if one is set.
+    pub fn alert_min_kbps(&self) -> Option<f64> {
+        let kbps = self.control.thresholds.min_kbps();
+        (kbps > f64::NEG_INFINITY).then_some(kbps)
+    }
+
+    /// Sets the resolution-class floor: `height` is mapped through
+    /// `ladder` (the VCA's bitrate ladder) to a kbps bound once, here,
+    /// so per-event classification stays lock-free. Height 0 clears the
+    /// floor. See
+    /// [`AlertThresholds::set_resolution_floor`](crate::bus::AlertThresholds::set_resolution_floor).
+    pub fn set_alert_resolution_floor(&self, height: u32, ladder: &VcaProfile) {
+        self.control.thresholds.set_resolution_floor(height, ladder);
+    }
+
+    /// The live resolution-class floor (frame height), if one is set.
+    pub fn alert_resolution_floor(&self) -> Option<u32> {
+        self.control.thresholds.resolution_floor()
+    }
+
     /// Requests a graceful stop: every ingest port stops pulling from
     /// its source at the next packet boundary, in-flight packets are
     /// flushed to the shards, and the run seals every flow — events
@@ -286,6 +382,12 @@ impl MonitorHandle {
     /// Whether a graceful stop has been requested.
     pub fn stop_requested(&self) -> bool {
         self.control.stop_requested()
+    }
+
+    /// The shared control cells — in-crate only, for wiring a bus's
+    /// drain-side telemetry back into this monitor's snapshots.
+    pub(crate) fn control_cells(&self) -> Arc<ControlShared> {
+        Arc::clone(&self.control)
     }
 
     /// A minimal stop-flag view for sources that sleep (see

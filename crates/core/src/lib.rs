@@ -25,6 +25,11 @@
 //!   [`runner::RunningMonitor`]) observes and steers a live run:
 //!   stats snapshots, forced flushes, per-flow eviction, runtime alert
 //!   thresholds, graceful stop;
+//! * [`daemon`] — **the operational surface**: an OpenMetrics text
+//!   exporter over [`control::MonitorHandle::stats_snapshot`] and a
+//!   line-protocol control socket (Unix or TCP) mapping typed verbs
+//!   (`STATS`/`FLUSH`/`EVICT`/`SET`/`SUBSCRIBE`/`STOP`) 1:1 onto the
+//!   handle, so a spawned monitor runs as a long-lived service;
 //! * [`backpressure`] — the bounded event delivery model:
 //!   [`backpressure::OverflowPolicy`] selects between blocking producers
 //!   and dropping the oldest events with exact loss accounting;
@@ -66,6 +71,7 @@ pub mod api;
 pub mod backpressure;
 pub mod bus;
 pub mod control;
+pub mod daemon;
 pub mod engine;
 pub mod errors;
 pub mod frames;
@@ -85,8 +91,9 @@ pub use api::{
     EstimationMethod, EvictReason, Monitor, MonitorBuilder, MonitorStats, ParseDropReason, QoeEvent,
 };
 pub use backpressure::OverflowPolicy;
-pub use bus::{AlertThresholds, EventBus, EventFilter, EventKind, Severity};
+pub use bus::{AlertBar, AlertThresholds, BusHandle, EventBus, EventFilter, EventKind, Severity};
 pub use control::{MonitorHandle, MonitorSnapshot, StopToken};
+pub use daemon::{ControlEndpoint, Daemon, DaemonConfig};
 pub use runner::{MonitorRunner, RunnerReport, RunningMonitor, SourceReport};
 pub use sink::{
     AlertSink, CallbackSink, ChannelSink, CountingSink, EventSink, JsonLinesSink, Summary,

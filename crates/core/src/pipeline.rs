@@ -64,6 +64,27 @@ impl Method {
     pub fn is_ml(&self) -> bool {
         matches!(self, Method::IpUdpMl | Method::RtpMl)
     }
+
+    /// Stable machine-readable slug (metric labels, JSON keys).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Method::IpUdpHeuristic => "ip_udp_heuristic",
+            Method::IpUdpMl => "ip_udp_ml",
+            Method::RtpHeuristic => "rtp_heuristic",
+            Method::RtpMl => "rtp_ml",
+        }
+    }
+
+    /// Position in [`Method::ALL`] — a dense slot for per-method
+    /// counter arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            Method::RtpMl => 0,
+            Method::IpUdpMl => 1,
+            Method::RtpHeuristic => 2,
+            Method::IpUdpHeuristic => 3,
+        }
+    }
 }
 
 /// The four estimated QoE metrics.

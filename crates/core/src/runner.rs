@@ -124,12 +124,25 @@ impl MonitorRunner {
 
     /// A runner over an already-built monitor.
     pub fn with_monitor(monitor: Monitor) -> Self {
-        let bus = EventBus::new(monitor.handle().alert_thresholds());
+        let handle = monitor.handle();
+        let mut bus = EventBus::new(handle.alert_thresholds());
+        // Route drain-side telemetry (per-severity events, per-method
+        // windows) into the monitor's control cells so every handle's
+        // stats_snapshot() carries it.
+        bus.attach_control(handle.control_cells());
         MonitorRunner {
             monitor,
             sources: Vec::new(),
             bus,
         }
+    }
+
+    /// A cloneable [`BusHandle`](crate::bus::BusHandle) for attaching
+    /// subscribers after the run has started — the mechanism behind the
+    /// daemon's `SUBSCRIBE` verb. Late subscribers observe a suffix of
+    /// the stream starting at the drain loop's next publish.
+    pub fn bus_handle(&mut self) -> crate::bus::BusHandle {
+        self.bus.handle()
     }
 
     /// A live [`MonitorHandle`] onto the runner's monitor — available
@@ -351,6 +364,12 @@ fn run_threaded(
                 scope.spawn(move || {
                     let mut packets = 0u64;
                     let mut error = None;
+                    // Live sources (taps, paced replays) hand every
+                    // packet straight to its shard worker: at wall-clock
+                    // rates the batch would otherwise sit half-filled
+                    // for seconds, starving the workers — and every
+                    // live observer — of traffic that already arrived.
+                    let live = source.is_live();
                     while !stop.is_stopped() {
                         match source.next_packet() {
                             Ok(Some(pkt)) => {
@@ -363,6 +382,9 @@ fn run_threaded(
                                     SourcePacket::Parsed { flow, packet } => {
                                         port.ingest_packet(flow, packet)
                                     }
+                                }
+                                if live {
+                                    port.flush();
                                 }
                             }
                             Ok(None) => break,

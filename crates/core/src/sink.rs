@@ -48,6 +48,7 @@ use crate::engine::WindowReport;
 use crate::pipeline::Method;
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use vcaml_netpkt::FlowKey;
@@ -68,6 +69,15 @@ pub trait EventSink {
     /// End of run: write totals, flush buffers, release resources.
     /// Called exactly once by the runner after the final event.
     fn flush(&mut self) {}
+
+    /// Whether this sink will never observe anything again (its
+    /// consumer went away). A bus may drop closed sinks; most sinks are
+    /// never closed, so the default is `false`. [`ChannelSink`] reports
+    /// a dropped receiver here — how the daemon's `SUBSCRIBE` streams
+    /// get reclaimed after the connection dies.
+    fn is_closed(&self) -> bool {
+        false
+    }
 }
 
 impl EventSink for Box<dyn EventSink> {
@@ -78,6 +88,10 @@ impl EventSink for Box<dyn EventSink> {
     fn flush(&mut self) {
         (**self).flush();
     }
+
+    fn is_closed(&self) -> bool {
+        (**self).is_closed()
+    }
 }
 
 impl EventSink for Box<dyn EventSink + Send> {
@@ -87,6 +101,10 @@ impl EventSink for Box<dyn EventSink + Send> {
 
     fn flush(&mut self) {
         (**self).flush();
+    }
+
+    fn is_closed(&self) -> bool {
+        (**self).is_closed()
     }
 }
 
@@ -173,7 +191,7 @@ impl EventSink for CountingSink {
 pub struct ChannelSink {
     tx: SyncSender<Arc<QoeEvent>>,
     detached: bool,
-    overflowed: u64,
+    overflowed: Arc<AtomicU64>,
 }
 
 impl ChannelSink {
@@ -185,7 +203,7 @@ impl ChannelSink {
             ChannelSink {
                 tx,
                 detached: false,
-                overflowed: 0,
+                overflowed: Arc::new(AtomicU64::new(0)),
             },
             rx,
         )
@@ -198,7 +216,14 @@ impl ChannelSink {
 
     /// Events shed because the channel was full when they arrived.
     pub fn overflowed(&self) -> u64 {
-        self.overflowed
+        self.overflowed.load(Relaxed)
+    }
+
+    /// A shared view of the overflow counter, readable from the
+    /// receiving side after the sink itself moved onto the drain thread
+    /// (the daemon reports per-subscriber shed counts through this).
+    pub fn overflow_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.overflowed)
     }
 }
 
@@ -209,9 +234,15 @@ impl EventSink for ChannelSink {
         }
         match self.tx.try_send(Arc::clone(event)) {
             Ok(()) => {}
-            Err(std::sync::mpsc::TrySendError::Full(_)) => self.overflowed += 1,
+            Err(std::sync::mpsc::TrySendError::Full(_)) => {
+                self.overflowed.fetch_add(1, Relaxed);
+            }
             Err(std::sync::mpsc::TrySendError::Disconnected(_)) => self.detached = true,
         }
+    }
+
+    fn is_closed(&self) -> bool {
+        self.detached
     }
 }
 
@@ -222,11 +253,13 @@ pub fn report_fps(report: &WindowReport) -> Option<f64> {
     report.estimate.map(|e| e.fps).or(report.model_fps)
 }
 
-/// Threshold alerting on inferred frame rate — the operator loop of the
+/// Threshold alerting on inferred QoE — the operator loop of the
 /// paper's §1, as a composable sink instead of CLI-private code. Emits
-/// one JSON line per finalized window whose frame rate is below the
-/// threshold; provisional (max-lag flush) snapshots are documented lower
-/// bounds and never alerted on.
+/// one JSON line per finalized window that degrades past the live
+/// [`AlertThresholds`] bars: frame rate below the fps floor, bitrate
+/// below the kbps floor, or bitrate below the resolution-class floor
+/// (`metric` names which bar tripped). Provisional (max-lag flush)
+/// snapshots are documented lower bounds and never alerted on.
 pub struct AlertSink<W: Write> {
     writer: W,
     thresholds: AlertThresholds,
@@ -260,19 +293,40 @@ impl<W: Write> AlertSink<W> {
 impl<W: Write> EventSink for AlertSink<W> {
     fn on_event(&mut self, event: &Arc<QoeEvent>) {
         let Some(flow) = event.flow() else { return };
-        let threshold = self.thresholds.fps();
+        let bar = self.thresholds.bar();
         for report in event.final_reports() {
-            let Some(fps) = report_fps(report) else {
-                continue;
-            };
-            if fps < threshold {
-                self.alerts += 1;
-                writeln!(
-                    self.writer,
-                    "{{\"type\":\"alert\",\"flow\":\"{flow}\",\"window\":{},\"fps\":{fps:.1},\"threshold\":{threshold}}}",
-                    report.window
-                )
-                .expect("alert sink write"); // lint: allow(no-unwrap-in-lib) -- EventSink is infallible by contract; a dead sink must abort, not drop telemetry
+            if let Some(fps) = report_fps(report) {
+                if fps < bar.fps {
+                    self.alerts += 1;
+                    writeln!(
+                        self.writer,
+                        "{{\"type\":\"alert\",\"metric\":\"fps\",\"flow\":\"{flow}\",\"window\":{},\"fps\":{fps:.1},\"threshold\":{}}}",
+                        report.window, bar.fps
+                    )
+                    .expect("alert sink write"); // lint: allow(no-unwrap-in-lib) -- EventSink is infallible by contract; a dead sink must abort, not drop telemetry
+                }
+            }
+            if let Some(est) = &report.estimate {
+                let kbps = est.bitrate_kbps;
+                if kbps < bar.min_kbps {
+                    self.alerts += 1;
+                    writeln!(
+                        self.writer,
+                        "{{\"type\":\"alert\",\"metric\":\"bitrate\",\"flow\":\"{flow}\",\"window\":{},\"kbps\":{kbps:.0},\"threshold\":{}}}",
+                        report.window, bar.min_kbps
+                    )
+                    .expect("alert sink write"); // lint: allow(no-unwrap-in-lib) -- EventSink is infallible by contract; a dead sink must abort, not drop telemetry
+                } else if let Some(height) = bar.res_height {
+                    if kbps < bar.res_min_kbps {
+                        self.alerts += 1;
+                        writeln!(
+                            self.writer,
+                            "{{\"type\":\"alert\",\"metric\":\"resolution\",\"flow\":\"{flow}\",\"window\":{},\"kbps\":{kbps:.0},\"floor_height\":{height},\"threshold\":{}}}",
+                            report.window, bar.res_min_kbps
+                        )
+                        .expect("alert sink write"); // lint: allow(no-unwrap-in-lib) -- EventSink is infallible by contract; a dead sink must abort, not drop telemetry
+                    }
+                }
             }
         }
     }

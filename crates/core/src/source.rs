@@ -91,6 +91,20 @@ impl SourcePacket {
 pub trait PacketSource {
     /// Pulls the next packet.
     fn next_packet(&mut self) -> Result<Option<SourcePacket>, NetError>;
+
+    /// Whether this source delivers packets at wall-clock pace (a live
+    /// tap, or a [`Paced`] replay standing in for one) rather than as
+    /// fast as they can be pulled.
+    ///
+    /// The runner batches ingest handover for throughput; on a live
+    /// source that batching would hold sparse traffic away from the
+    /// shard workers for seconds, so the runner hands packets over
+    /// immediately instead. Per-packet handover costs nothing at
+    /// wall-clock rates, and keeps `stats_snapshot()`, the event
+    /// stream, and the daemon's exporter current while the run is live.
+    fn is_live(&self) -> bool {
+        false
+    }
 }
 
 /// A classic libpcap capture as a packet source. Records come out raw —
@@ -330,6 +344,12 @@ impl<S: PacketSource> PacketSource for Paced<S> {
             }
         }
         Ok(Some(pkt))
+    }
+
+    /// Paced replays emulate a live tap; the runner skips ingest
+    /// batching so the emulation holds downstream too.
+    fn is_live(&self) -> bool {
+        true
     }
 }
 

@@ -97,6 +97,60 @@ impl FlowKey {
         };
         (key, src_first)
     }
+
+    /// Compact single-token wire form for control protocols:
+    /// `ADDR:PORT-ADDR:PORT/PROTO`, with IPv6 addresses bracketed —
+    /// e.g. `10.0.0.1:5000-10.0.0.2:5001/17` or
+    /// `[2001:db8::1]:5000-[2001:db8::2]:5001/17`. Whitespace-free, so
+    /// a line protocol can carry it as one argument. Round-trips
+    /// through [`FlowKey::from_wire`].
+    pub fn to_wire(&self) -> String {
+        fn endpoint(addr: IpAddr, port: u16) -> String {
+            match addr {
+                IpAddr::V4(v) => format!("{v}:{port}"),
+                IpAddr::V6(v) => format!("[{v}]:{port}"),
+            }
+        }
+        format!(
+            "{}-{}/{}",
+            endpoint(self.addr_a, self.port_a),
+            endpoint(self.addr_b, self.port_b),
+            self.protocol
+        )
+    }
+
+    /// Parses the [`FlowKey::to_wire`] form, canonicalizing endpoint
+    /// order (so both directions of a conversation parse to the same
+    /// key). Returns `None` on any malformed input — never panics.
+    pub fn from_wire(text: &str) -> Option<Self> {
+        fn endpoint(text: &str) -> Option<(IpAddr, u16)> {
+            let (addr, port) = text.rsplit_once(':')?;
+            let addr = addr
+                .strip_prefix('[')
+                .map_or(addr, |rest| rest.strip_suffix(']').unwrap_or(addr));
+            Some((addr.parse().ok()?, port.parse().ok()?))
+        }
+        let (endpoints, proto) = text.rsplit_once('/')?;
+        let protocol: u8 = proto.parse().ok()?;
+        // The '-' separating the endpoints is the one outside any
+        // bracketed v6 address; scan at depth 0.
+        let mut depth = 0usize;
+        let split = endpoints.char_indices().find_map(|(i, c)| match c {
+            '[' => {
+                depth += 1;
+                None
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                None
+            }
+            '-' if depth == 0 => Some(i),
+            _ => None,
+        })?;
+        let (a, pa) = endpoint(&endpoints[..split])?;
+        let (b, pb) = endpoint(&endpoints[split + 1..])?;
+        Some(FlowKey::canonical(a, pa, b, pb, protocol).0)
+    }
 }
 
 impl fmt::Display for FlowKey {
@@ -158,5 +212,41 @@ mod tests {
     fn display_is_readable() {
         let (k, _) = FlowKey::canonical(ip(1), 50000, ip(2), 3478, 17);
         assert_eq!(k.to_string(), "10.0.0.1:50000 <-> 10.0.0.2:3478 proto 17");
+    }
+
+    #[test]
+    fn wire_form_round_trips_v4_and_v6() {
+        let (v4, _) = FlowKey::canonical(ip(1), 50000, ip(2), 3478, 17);
+        assert_eq!(v4.to_wire(), "10.0.0.1:50000-10.0.0.2:3478/17");
+        assert_eq!(FlowKey::from_wire(&v4.to_wire()), Some(v4));
+
+        let a6: IpAddr = "2001:db8::1".parse().unwrap();
+        let b6: IpAddr = "2001:db8::2".parse().unwrap();
+        let (v6, _) = FlowKey::canonical(a6, 5000, b6, 5001, 17);
+        assert_eq!(v6.to_wire(), "[2001:db8::1]:5000-[2001:db8::2]:5001/17");
+        assert_eq!(FlowKey::from_wire(&v6.to_wire()), Some(v6));
+    }
+
+    #[test]
+    fn wire_parse_canonicalizes_direction() {
+        let fwd = FlowKey::from_wire("10.0.0.2:3478-10.0.0.1:50000/17").unwrap();
+        let (canon, _) = FlowKey::canonical(ip(1), 50000, ip(2), 3478, 17);
+        assert_eq!(fwd, canon);
+    }
+
+    #[test]
+    fn wire_parse_rejects_malformed_without_panicking() {
+        for bad in [
+            "",
+            "10.0.0.1:5000",
+            "10.0.0.1:5000-10.0.0.2:5001",
+            "10.0.0.1-10.0.0.2:5001/17",
+            "10.0.0.1:5000-10.0.0.2:5001/999",
+            "[2001:db8::1:5000-[2001:db8::2]:5001/17",
+            "nonsense/17",
+            "-:/",
+        ] {
+            assert_eq!(FlowKey::from_wire(bad), None, "{bad:?}");
+        }
     }
 }

@@ -20,16 +20,19 @@
 #![allow(clippy::unwrap_used)]
 
 use std::collections::HashMap;
-use std::net::{IpAddr, Ipv4Addr};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, TcpStream};
 use std::sync::{Arc, Mutex};
 use vcaml_suite::datasets::{inlab_corpus, realworld_corpus, CorpusConfig};
 use vcaml_suite::mlcore::{Dataset, RandomForest, Task};
 use vcaml_suite::netpkt::{FlowKey, Timestamp};
 use vcaml_suite::rtp::VcaKind;
+use vcaml_suite::vcaml::daemon::{BoundControl, ControlEndpoint, Daemon, DaemonConfig};
 use vcaml_suite::vcaml::{
     build_samples, CallbackSink, EstimationMethod, EventFilter, Method, MonitorBuilder,
     MonitorRunner, PipelineOpts, ReplaySource, Severity, TracePacket,
 };
+use vcaml_suite::vcasim::VcaProfile;
 
 fn main() {
     let vca = VcaKind::Meet;
@@ -129,8 +132,59 @@ fn main() {
     for tap in taps {
         runner = runner.source(ReplaySource::from_packets(tap));
     }
+
+    // The operational surface a real deployment would expose: an
+    // OpenMetrics exporter for the Prometheus scrape loop and a
+    // line-protocol control socket for the on-call operator. Ephemeral
+    // ports so the example never collides with a real deployment.
+    let daemon = Daemon::start(
+        handle.clone(),
+        runner.bus_handle(),
+        DaemonConfig::new()
+            .ladder(VcaProfile::lab(vca))
+            .metrics_addr("127.0.0.1:0")
+            .control(ControlEndpoint::Tcp("127.0.0.1:0".into())),
+    )
+    .unwrap();
+
     let report = runner.spawn().join();
     let snapshot = handle.stats_snapshot();
+
+    // Scrape the exporter exactly as Prometheus would.
+    let metrics_addr = daemon.metrics_addr().unwrap();
+    let mut scrape = TcpStream::connect(metrics_addr).unwrap();
+    scrape.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut body = String::new();
+    scrape.read_to_string(&mut body).unwrap();
+    let families = body.lines().filter(|l| l.starts_with("# TYPE")).count();
+    let packets_line = body
+        .lines()
+        .find(|l| l.starts_with("vcaml_packets_total "))
+        .unwrap();
+    println!("\nscraped http://{metrics_addr}/metrics ({families} metric families)");
+    println!("  {packets_line}");
+
+    // Drive the control socket: raise the alert bar live, then read the
+    // monitor's own snapshot back over the wire.
+    let Some(BoundControl::Tcp(control_addr)) = daemon.control_addr() else {
+        unreachable!("daemon was configured with a TCP control endpoint");
+    };
+    let mut control = BufReader::new(TcpStream::connect(control_addr).unwrap());
+    control
+        .get_mut()
+        .write_all(b"SET alert_fps 22\nSTATS\n")
+        .unwrap();
+    let mut reply = String::new();
+    control.read_line(&mut reply).unwrap();
+    println!("control SET alert_fps 22 -> {}", reply.trim_end());
+    reply.clear();
+    control.read_line(&mut reply).unwrap();
+    println!(
+        "control STATS -> {} byte snapshot (same serializer as --stats-every)",
+        reply.trim_end().len()
+    );
+    drop(control);
+    daemon.shutdown();
 
     println!(
         "\ndemuxed {} packets from {} taps into {} flows across 4 shard workers",

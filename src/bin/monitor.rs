@@ -20,16 +20,22 @@
 //! # stats snapshot to stderr every 2 seconds:
 //! cargo run --release --bin monitor -- --synthetic 10 --quiet \
 //!     --alert-fps 24 --summary --stats-every 2
+//! # Long-running service: real-time paced feed, OpenMetrics exporter,
+//! # line-protocol control socket (STATS/FLUSH/EVICT/SET/SUBSCRIBE/STOP):
+//! cargo run --release --bin monitor -- --synthetic 600 --pace 1 --quiet \
+//!     --daemon --metrics-addr 127.0.0.1:9464 --control-socket /tmp/vcaml.sock
 //! ```
 
 use std::io::{BufWriter, Stdout, Write};
 use std::sync::{Arc, Mutex};
 use vcaml_suite::netpkt::Timestamp;
 use vcaml_suite::rtp::VcaKind;
+use vcaml_suite::vcaml::daemon::{BoundControl, ControlEndpoint, Daemon, DaemonConfig};
 use vcaml_suite::vcaml::{
     AlertSink, EstimationMethod, JsonLinesSink, Method, MonitorBuilder, MonitorRunner,
-    OverflowPolicy, PcapFileSource, SummarySink, SyntheticSource,
+    OverflowPolicy, Paced, PcapFileSource, SummarySink, SyntheticSource,
 };
+use vcaml_suite::vcasim::VcaProfile;
 
 /// One block-buffered stdout shared by every sink. Subscribers run on
 /// the runner's drain thread — which `spawn()` moves to the supervisor
@@ -120,6 +126,18 @@ struct Args {
     summary: bool,
     /// Print a `MonitorHandle` stats snapshot to stderr this often.
     stats_every: Option<u64>,
+    /// Run as a service: bind the metrics exporter and control socket.
+    daemon: bool,
+    /// Exporter bind address (daemon mode; default 127.0.0.1:9464).
+    metrics_addr: Option<String>,
+    /// Control socket as a Unix path (daemon mode; preferred).
+    control_socket: Option<String>,
+    /// Control socket as a TCP address (daemon mode fallback;
+    /// default 127.0.0.1:9465 when no Unix path is given).
+    control_addr: Option<String>,
+    /// Replay the feed in real time at this speed multiple (e.g. 1 =
+    /// wall clock, 10 = 10x). Off = as fast as possible.
+    pace: Option<f64>,
 }
 
 /// One `{group, id, ns_per_iter, rate_per_sec?}` measurement from a
@@ -309,6 +327,21 @@ fn usage() -> ! {
            --stats-every <secs> print a live stats snapshot (JSON, type\n\
                                 \"stats\") to stderr every <secs> seconds\n\
                                 while the run is supervised\n\
+           --pace <speed>       replay the feed in real time at this\n\
+                                speed multiple (1 = wall clock)\n\
+         \n\
+         daemon mode (long-running service):\n\
+           --daemon             bind the operational surface: an\n\
+                                OpenMetrics exporter and a line-protocol\n\
+                                control socket (STATS/FLUSH/EVICT/SET/\n\
+                                SUBSCRIBE/STOP); exits nonzero if a\n\
+                                worker dies\n\
+           --metrics-addr <a>   exporter bind address\n\
+                                (default 127.0.0.1:9464)\n\
+           --control-socket <p> control socket as a Unix path (preferred)\n\
+           --control-addr <a>   control socket as a TCP address\n\
+                                (default 127.0.0.1:9465 when no Unix\n\
+                                path is given)\n\
          \n\
          accuracy (as opposed to perf) regressions are gated by the\n\
          impairment-grid harness: see `vcaml-scenario --help`"
@@ -333,6 +366,11 @@ fn parse_args() -> Args {
         quiet: false,
         summary: false,
         stats_every: None,
+        daemon: false,
+        metrics_addr: None,
+        control_socket: None,
+        control_addr: None,
+        pace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -383,6 +421,11 @@ fn parse_args() -> Args {
                 }
             }
             "--stats-every" => args.stats_every = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--daemon" => args.daemon = true,
+            "--metrics-addr" => args.metrics_addr = Some(value()),
+            "--control-socket" => args.control_socket = Some(value()),
+            "--control-addr" => args.control_addr = Some(value()),
+            "--pace" => args.pace = Some(value().parse().unwrap_or_else(|_| usage())),
             "--quiet" => args.quiet = true,
             "--summary" => args.summary = true,
             "--help" | "-h" => usage(),
@@ -399,6 +442,15 @@ fn parse_args() -> Args {
         || args.threads == Some(0)
         || args.queue_cap == Some(0)
         || args.stats_every == Some(0)
+        || args.pace.is_some_and(|p| !p.is_finite() || p <= 0.0)
+    {
+        usage();
+    }
+    // The endpoint flags only mean something in daemon mode.
+    if !args.daemon
+        && (args.metrics_addr.is_some()
+            || args.control_socket.is_some()
+            || args.control_addr.is_some())
     {
         usage();
     }
@@ -452,21 +504,66 @@ fn main() {
         runner = runner.sink(SummarySink::new(out.clone()));
     }
 
-    // The feed is a packet source: a pcap capture or synthetic calls.
+    // The feed is a packet source: a pcap capture or synthetic calls,
+    // optionally paced to the wall clock (daemon deployments want a
+    // live-shaped feed, not a burst).
     if let Some(path) = &args.pcap {
         let source = PcapFileSource::open(path).unwrap_or_else(|e| {
             eprintln!("monitor: cannot read {path}: {e}");
             std::process::exit(1);
         });
-        runner = runner.source(source);
+        runner = match args.pace {
+            Some(speed) => {
+                runner.source(Paced::with_speed(source, speed).with_stop(handle.stop_token()))
+            }
+            None => runner.source(source),
+        };
     } else {
         let secs = args.synthetic_secs.expect("validated in parse_args");
         eprintln!(
             "monitor: synthesizing {} concurrent {} call(s), {secs} s",
             args.calls, args.vca
         );
-        runner = runner.source(SyntheticSource::new(args.vca, secs, args.calls, 41));
+        let source = SyntheticSource::new(args.vca, secs, args.calls, 41);
+        runner = match args.pace {
+            Some(speed) => {
+                runner.source(Paced::with_speed(source, speed).with_stop(handle.stop_token()))
+            }
+            None => runner.source(source),
+        };
     }
+
+    // Daemon mode: bind the operational surface before the run starts,
+    // so the first scrape can't race the bind. The bus handle must be
+    // taken pre-spawn (SUBSCRIBE attaches live subscribers through it).
+    let daemon = if args.daemon {
+        let mut config = DaemonConfig::new()
+            .ladder(VcaProfile::lab(args.vca))
+            .metrics_addr(args.metrics_addr.as_deref().unwrap_or("127.0.0.1:9464"));
+        config = match (&args.control_socket, &args.control_addr) {
+            (Some(path), _) => config.control(ControlEndpoint::Unix(path.into())),
+            (None, Some(addr)) => config.control(ControlEndpoint::Tcp(addr.clone())),
+            (None, None) => config.control(ControlEndpoint::Tcp("127.0.0.1:9465".into())),
+        };
+        let daemon =
+            Daemon::start(handle.clone(), runner.bus_handle(), config).unwrap_or_else(|e| {
+                eprintln!("monitor: cannot bind daemon servers: {e}");
+                std::process::exit(1);
+            });
+        if let Some(addr) = daemon.metrics_addr() {
+            eprintln!("monitor: metrics on http://{addr}/metrics");
+        }
+        match daemon.control_addr() {
+            Some(BoundControl::Unix(path)) => {
+                eprintln!("monitor: control socket on {}", path.display())
+            }
+            Some(BoundControl::Tcp(addr)) => eprintln!("monitor: control socket on {addr}"),
+            None => {}
+        }
+        Some(daemon)
+    } else {
+        None
+    };
 
     // Supervised background run: the pipeline lives on its own thread,
     // this one watches it through the handle — periodic stats snapshots
@@ -494,7 +591,22 @@ fn main() {
             }
         }
     }
-    let report = running.join();
+    // Supervision: a worker death surfaces as a supervisor panic on
+    // join. In daemon mode that must be a nonzero exit the init system
+    // can restart on — not a silent unwind.
+    let report = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| running.join())) {
+        Ok(report) => report,
+        Err(_) => {
+            eprintln!("monitor: a pipeline worker died — exiting for supervision");
+            if let Some(daemon) = daemon {
+                daemon.shutdown();
+            }
+            std::process::exit(3);
+        }
+    };
+    if let Some(daemon) = daemon {
+        daemon.shutdown();
+    }
     for (i, src) in report.sources.iter().enumerate() {
         if let Some(err) = &src.error {
             eprintln!("monitor: source {i} read error: {err}");

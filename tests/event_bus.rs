@@ -11,8 +11,8 @@ use vcaml_suite::datasets::{inlab_corpus, CorpusConfig};
 use vcaml_suite::netpkt::FlowKey;
 use vcaml_suite::rtp::VcaKind;
 use vcaml_suite::vcaml::{
-    ChannelSink, EstimationMethod, EventFilter, EventKind, Method, MonitorBuilder, MonitorRunner,
-    ReplaySource, Severity, TracePacket,
+    AlertThresholds, ChannelSink, EstimationMethod, EventFilter, EventKind, Method, MonitorBuilder,
+    MonitorRunner, ReplaySource, Severity, TracePacket,
 };
 
 const FLOWS: usize = 3;
@@ -115,10 +115,10 @@ proptest! {
 
             // Post-hoc: the full stream through the same predicate,
             // with severity classified exactly as the bus does it.
-            let bar = alert_fps.unwrap_or(f64::NEG_INFINITY);
+            let bar = AlertThresholds::with_fps(alert_fps.unwrap_or(f64::NEG_INFINITY)).bar();
             let want: Vec<String> = full_rx
                 .try_iter()
-                .filter(|e| filter.matches(e, Severity::of(e, bar)))
+                .filter(|e| filter.matches(e, Severity::of(e, &bar)))
                 .map(|e| e.to_json_line())
                 .collect();
             let got: Vec<String> = filtered_rx
